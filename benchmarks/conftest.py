@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+The weather database is sized so every figure scenario is non-trivial but a
+full ``pytest benchmarks/ --benchmark-only`` run stays in the minutes range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.weather import build_weather_database
+from repro.data.workloads import build_points_database
+
+
+@pytest.fixture(scope="session")
+def weather_db():
+    """Stations across North America + ~10k observations straddling 1990."""
+    return build_weather_database(extra_stations=60, every_days=30)
+
+
+@pytest.fixture(scope="session")
+def points_db_20k():
+    """20k random points for the sampling/culling sweeps."""
+    return build_points_database(20_000, seed=3)
+
+
+@pytest.fixture(scope="session")
+def points_db_5k():
+    return build_points_database(5_000, seed=4)

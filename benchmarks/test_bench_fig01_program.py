@@ -1,0 +1,49 @@
+"""Figure 1: the program window and the default table view.
+
+Regenerates the paper's first screenshot — Stations → Restrict (Louisiana) →
+Project → viewer with the default two-dimensional table format — and times
+the complete build-and-render cycle a user experiences after each
+incremental edit.
+"""
+
+from __future__ import annotations
+
+from repro.core.scenarios import build_fig1_table_view
+
+
+def build_and_render(db):
+    scenario = build_fig1_table_view(db)
+    canvas = scenario.window().render()
+    return scenario, canvas
+
+
+def test_fig01_build_and_render(benchmark, weather_db):
+    scenario, canvas = benchmark(build_and_render, weather_db)
+    program = scenario.session.program
+    assert sorted(box.type_name for box in program.boxes()) == [
+        "AddTable", "Project", "Restrict", "Viewer",
+    ]
+    restricted = scenario.session.inspect(scenario["restrict"])
+    assert len(restricted.rows) == 18  # the Louisiana stations
+    assert canvas.count_nonbackground() > 500  # the table listing is visible
+
+
+def test_fig01_incremental_refinement(benchmark, weather_db):
+    """The §1.2 story: each predicate edit re-renders only the changed
+    suffix; this is the latency of one direct-manipulation refinement."""
+    scenario = build_fig1_table_view(weather_db)
+    session = scenario.session
+    window = scenario.window()
+    window.render()
+    toggle = {"current": "LA"}
+
+    def refine():
+        toggle["current"] = "TX" if toggle["current"] == "LA" else "LA"
+        session.set_param(
+            scenario["restrict"], "predicate",
+            f"state = '{toggle['current']}'",
+        )
+        return window.render()
+
+    canvas = benchmark(refine)
+    assert canvas.count_nonbackground() > 0

@@ -1,0 +1,86 @@
+"""Figure 2: the nine program-editing operations.
+
+Exercises the full catalog — New/Add/Load/Save Program, Apply Box, Delete
+Box (with its legality rules), Replace Box, T, Encapsulate — as one editing
+session and times it.  Program edits are the interaction loop of the system;
+they must be instantaneous.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ui.session import Session
+
+
+def full_editing_session(db) -> Session:
+    session = Session(db, "fig2-demo")
+
+    # Add Table (a special case of Apply Box with zero inputs, §4.2).
+    stations = session.add_table("Stations")
+
+    # Apply Box: select the source edge's output, pick Restrict from the menu.
+    restrict = session.add_box("Restrict", {"predicate": "state = 'LA'"})
+    edge = session.connect(stations, "out", restrict, "in")
+    candidates = session.apply_box_candidates([edge])
+    assert "Sample" in candidates
+    sample = session.apply_box([edge], "Sample", {"probability": 1.0, "seed": 1})
+
+    # T: tap the edge for inspection.
+    session.insert_t(session.program.edges()[0])
+
+    # Replace Box: swap the Sample for a Project with compatible types.
+    session.replace_box(sample, "Project", {"fields": ["name", "state"]})
+
+    # Delete Box: a 1-in/1-out pass-through splices; an illegal delete raises.
+    deletable = session.add_box("Restrict", {"predicate": "true"})
+    session.connect(restrict, "out", deletable, "in")
+    session.delete_box(deletable)
+
+    # Encapsulate the restrict into a reusable catalog box.
+    session.encapsulate([restrict], f"la_only_{session.program.version}",
+                        register=False)
+
+    # Save Program / New Program / Load Program round trip.
+    session.save_program()
+    session.new_program("scratch")
+    session.load_program("fig2-demo")
+    return session
+
+
+def test_fig02_all_program_operations(benchmark, weather_db):
+    session = benchmark(full_editing_session, weather_db)
+    assert len(session.program) >= 4
+    assert weather_db.has_program("fig2-demo")
+
+
+def test_fig02_delete_legality_rules(benchmark, weather_db):
+    """Delete Box's restriction is semantic, not advisory: deleting a box
+    whose outputs feed others (and is not a pass-through) must fail fast."""
+
+    def attempt_illegal_delete():
+        session = Session(weather_db, "illegal-delete")
+        stations = session.add_table("Stations")
+        restrict = session.add_box("Restrict", {"predicate": "true"})
+        session.connect(stations, "out", restrict, "in")
+        with pytest.raises(GraphError):
+            session.delete_box(stations)
+        return session
+
+    session = benchmark(attempt_illegal_delete)
+    assert len(session.program) == 2  # nothing was deleted
+
+
+def test_fig02_undo(benchmark, weather_db):
+    """The undo button restores the previous program snapshot."""
+    session = Session(weather_db, "undo-bench")
+    session.add_table("Stations")
+
+    def add_and_undo():
+        session.add_box("Restrict", {"predicate": "true"})
+        session.undo()
+        return len(session.program)
+
+    remaining = benchmark(add_and_undo)
+    assert remaining == 1

@@ -1,0 +1,90 @@
+"""Figure 3: the database-operation boxes.
+
+One benchmark per cataloged operation — Add Table, Project, Restrict,
+Sample, Join — timing a cold demand (fire) of the box over the weather data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_db import (
+    AddTableBox,
+    JoinBox,
+    ProjectBox,
+    RestrictBox,
+    SampleBox,
+)
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+
+
+def single_box_demand(db, box_factory, table="Observations"):
+    program = Program()
+    src = program.add_box(AddTableBox(table=table))
+    box_id = program.add_box(box_factory())
+    program.connect(src, "out", box_id, "in")
+    engine = Engine(program, db)
+    return engine.output_of(box_id)
+
+
+def test_fig03_add_table(benchmark, weather_db):
+    def demand():
+        program = Program()
+        src = program.add_box(AddTableBox(table="Observations"))
+        return Engine(program, weather_db).output_of(src)
+
+    relation = benchmark(demand)
+    assert len(relation.rows) == len(weather_db.table("Observations"))
+
+
+def test_fig03_restrict(benchmark, weather_db):
+    relation = benchmark(
+        single_box_demand, weather_db,
+        lambda: RestrictBox(predicate="temperature > 80.0"),
+    )
+    assert 0 < len(relation.rows) < len(weather_db.table("Observations"))
+
+
+def test_fig03_project(benchmark, weather_db):
+    relation = benchmark(
+        single_box_demand, weather_db,
+        lambda: ProjectBox(fields=["station_id", "obs_date", "temperature"]),
+    )
+    assert relation.rows.schema.names == ("station_id", "obs_date",
+                                          "temperature")
+
+
+def test_fig03_sample(benchmark, weather_db):
+    relation = benchmark(
+        single_box_demand, weather_db,
+        lambda: SampleBox(probability=0.1, seed=42),
+    )
+    total = len(weather_db.table("Observations"))
+    assert 0.05 * total < len(relation.rows) < 0.15 * total
+
+
+@pytest.mark.parametrize("strategy", ["hash", "nested_loop"])
+def test_fig03_join(benchmark, weather_db, strategy):
+    """The Stations ⋈ Observations step behind every time-series figure.
+
+    The nested-loop arm is the paper-era baseline; hash should win by a wide
+    margin at this cardinality (see also test_bench_perf_join).
+    """
+    def demand():
+        program = Program()
+        obs = program.add_box(AddTableBox(table="Observations"))
+        sta = program.add_box(AddTableBox(table="Stations"))
+        la = program.add_box(RestrictBox(predicate="state = 'LA'"))
+        program.connect(sta, "out", la, "in")
+        join = program.add_box(
+            JoinBox(left_key="station_id", right_key="station_id",
+                    strategy=strategy)
+        )
+        program.connect(obs, "out", join, "left")
+        program.connect(la, "out", join, "right")
+        return Engine(program, weather_db).output_of(join)
+
+    relation = benchmark(demand)
+    assert len(relation.rows) > 0
+    assert "name" in relation.rows.schema

@@ -1,0 +1,58 @@
+"""Figure 4: the station scatter map with the Altitude slider.
+
+Times the render of the geographic visualization and a slider drag (the
+interactive filtering loop of §3/§5.1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenarios import build_fig4_station_map
+
+
+@pytest.fixture(scope="module")
+def scenario(weather_db):
+    return build_fig4_station_map(weather_db)
+
+
+def test_fig04_render(benchmark, scenario):
+    window = scenario.window()
+    window.viewer.set_slider("Altitude", float("-inf"), float("inf"))
+    result = benchmark(window.viewer.render)
+    names = {item.row["name"] for item in result.all_items()}
+    assert "New Orleans" in names
+    assert "Shreveport" in names
+    # Circle + name per station.
+    kinds = [item.drawable_kind for item in result.all_items()]
+    assert kinds.count("circle") == kinds.count("text")
+
+
+def test_fig04_slider_drag(benchmark, scenario):
+    """One slider gesture: set the Altitude range and re-render."""
+    window = scenario.window()
+    state = {"low": True}
+
+    def drag():
+        state["low"] = not state["low"]
+        high = 60.0 if state["low"] else 1e9
+        window.viewer.set_slider("Altitude", 0.0, high)
+        return window.viewer.render()
+
+    result = benchmark(drag)
+    assert result.stats.tuples_considered > 0
+
+
+def test_fig04_pan_and_zoom(benchmark, scenario):
+    """The fly-over loop: pan a step and re-render."""
+    window = scenario.window()
+    window.viewer.set_slider("Altitude", float("-inf"), float("inf"))
+    step = {"sign": 1}
+
+    def fly():
+        step["sign"] = -step["sign"]
+        window.viewer.pan(0.4 * step["sign"], 0.0)
+        return window.viewer.render()
+
+    result = benchmark(fly)
+    assert result.canvas.count_nonbackground() > 0

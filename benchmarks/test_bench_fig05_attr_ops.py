@@ -1,0 +1,70 @@
+"""Figure 5: the location/display attribute operations.
+
+Times a pipeline applying the whole catalog — Add, Set, Swap, Scale,
+Translate, Combine Displays, Remove — to the Stations relation, demanding
+the final displayable (all method type-checks included).
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.boxes_attr import (
+    AddAttributeBox,
+    CombineDisplaysBox,
+    RemoveAttributeBox,
+    ScaleAttributeBox,
+    SetAttributeBox,
+    SwapAttributesBox,
+    TranslateAttributeBox,
+)
+from repro.dataflow.boxes_db import AddTableBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+
+
+def attribute_pipeline(db):
+    program = Program()
+    boxes = [
+        AddTableBox(table="Stations"),
+        SetAttributeBox(name="x", definition="longitude"),
+        SetAttributeBox(name="y", definition="latitude"),
+        # Scale/translate the canvas (x stretched, y shifted).
+        ScaleAttributeBox(name="x", amount=1.5),
+        TranslateAttributeBox(name="y", amount=-25.0),
+        # Two display attributes...
+        AddAttributeBox(name="dot", definition="filled_circle(3, 'blue')",
+                        declared_type="drawables"),
+        AddAttributeBox(name="label", definition="text_of(name)",
+                        declared_type="drawables"),
+        # ...combined into the active display with a relative offset.
+        CombineDisplaysBox(first="dot", second="label", offset_y=-10.0),
+        # An alternative display, swapped in and back out.
+        AddAttributeBox(name="alt", definition="filled_rect(4, 4, 'red')",
+                        declared_type="drawables"),
+        SwapAttributesBox(first="display", second="alt"),
+        SwapAttributesBox(first="display", second="alt"),
+        # A scratch attribute added then removed.
+        AddAttributeBox(name="scratch", definition="altitude * 2"),
+        RemoveAttributeBox(name="scratch"),
+        # Altitude as a slider dimension.
+        AddAttributeBox(name="Altitude", definition="altitude",
+                        location=True),
+    ]
+    ids = [program.add_box(box) for box in boxes]
+    for upstream, downstream in zip(ids, ids[1:]):
+        program.connect(upstream, "out", downstream, "in")
+    engine = Engine(program, db)
+    return engine.output_of(ids[-1])
+
+
+def test_fig05_attribute_pipeline(benchmark, weather_db):
+    relation = benchmark(attribute_pipeline, weather_db)
+    assert relation.dimension == 3
+    assert relation.has_custom_location
+    assert relation.has_custom_display
+    view0 = relation.view_at(0)
+    x, y, __ = relation.location_of(view0)
+    assert x == view0["longitude"] * 1.5
+    assert y == view0["latitude"] - 25.0
+    drawables = relation.display_of(view0)
+    assert [d.kind for d in drawables] == ["circle", "text"]
+    assert "scratch" not in relation.extended_schema

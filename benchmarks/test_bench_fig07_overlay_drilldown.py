@@ -1,0 +1,90 @@
+"""Figures 6/7: drill down via Set Range, Overlay, and Shuffle.
+
+Times the overlaid-map render at high and low elevation and asserts the
+figure's shape claim: station names exist only beneath the legibility
+elevation while the 2-D state map stays put (invariant in the Altitude
+slider dimension).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenarios import NAME_MAX_ELEVATION, build_fig7_overlay
+
+
+@pytest.fixture(scope="module")
+def scenario(weather_db):
+    return build_fig7_overlay(weather_db)
+
+
+def _labels(result):
+    return sum(1 for item in result.all_items() if item.drawable_kind == "text")
+
+
+@pytest.mark.parametrize("where", ["high", "low"])
+def test_fig07_render_at_elevation(benchmark, scenario, where):
+    window = scenario.window()
+    elevation = NAME_MAX_ELEVATION + 10 if where == "high" else \
+        NAME_MAX_ELEVATION / 2
+    window.viewer.set_elevation(elevation)
+    result = benchmark(window.viewer.render)
+    if where == "high":
+        assert _labels(result) == 0  # names illegible → range-hidden
+        assert result.stats.relations_culled_by_elevation == 1
+    else:
+        assert _labels(result) > 0
+    # The map lines render at both elevations.
+    names = {item.relation_name for item in result.all_items()}
+    assert any("Map" in name for name in names)
+
+
+def test_fig07_drill_down_sweep(benchmark, scenario):
+    """A full drill-down: descend through the legibility threshold."""
+    window = scenario.window()
+
+    def sweep():
+        labels = []
+        for elevation in (30.0, 18.0, 10.0, 4.0):
+            window.viewer.set_elevation(elevation)
+            labels.append(_labels(window.viewer.render()))
+        return labels
+
+    labels = benchmark(sweep)
+    assert labels[0] == labels[1] == 0
+    assert labels[2] > 0
+    assert labels[3] > 0
+
+
+def test_fig07_altitude_slider_leaves_map(benchmark, scenario):
+    """§6.1: the 2-D map is invariant in the Altitude dimension."""
+    window = scenario.window()
+    window.viewer.set_elevation(8.0)
+
+    def slider_to_impossible_range():
+        window.viewer.set_slider("Altitude", 10_000.0, 20_000.0)
+        result = window.viewer.render()
+        window.viewer.set_slider("Altitude", float("-inf"), float("inf"))
+        return result
+
+    result = benchmark(slider_to_impossible_range)
+    kinds = {item.drawable_kind for item in result.all_items()}
+    assert "line" in kinds       # map still there
+    assert "circle" not in kinds  # every station slider-culled
+
+
+def test_fig07_elevation_map_manipulation(benchmark, scenario):
+    """Direct manipulation of the elevation map: drag a bar's range."""
+    window = scenario.window()
+    target = window.elevation_map().bars()[-1].name
+
+    def drag_range():
+        emap = window.elevation_map()
+        emap.set_range(target, 0.0, 100.0)
+        window.viewer.set_elevation(50.0)
+        shown = _labels(window.viewer.render())
+        emap.set_range(target, 0.0, NAME_MAX_ELEVATION)
+        return shown
+
+    shown = benchmark(drag_range)
+    assert shown > 0

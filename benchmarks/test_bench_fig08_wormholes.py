@@ -1,0 +1,69 @@
+"""Figure 8: wormholes and the rear view mirror.
+
+Times the expensive parts of the wormhole machinery: rendering a canvas with
+nested destination previews, passing through, and rendering the underside in
+the mirror.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenarios import build_fig8_wormholes
+
+
+@pytest.fixture(scope="module")
+def scenario(weather_db):
+    built = build_fig8_wormholes(weather_db)
+    viewer = built["map_window"].viewer
+    viewer.pan_to(-90.07, 29.95)  # New Orleans
+    viewer.set_elevation(1.5)
+    return built
+
+
+def test_fig08_render_with_nested_previews(benchmark, scenario):
+    viewer = scenario["map_window"].viewer
+    result = benchmark(viewer.render)
+    wormholes = [i for i in result.all_items() if i.drawable_kind == "viewer"]
+    assert wormholes  # the zoomed-in view reveals wormholes
+
+
+def test_fig08_traverse_and_back(benchmark, scenario):
+    session = scenario.session
+    viewer = scenario["map_window"].viewer
+    viewer.render()
+    target = viewer.visible_wormholes()[0]
+
+    def round_trip():
+        destination = session.navigator.traverse(target)
+        home = session.navigator.go_back()
+        return destination, home
+
+    destination, home = benchmark(round_trip)
+    assert destination.name == "tempseries"
+    assert home.name == "map"
+
+
+def test_fig08_destination_render(benchmark, scenario):
+    session = scenario.session
+    viewer = scenario["map_window"].viewer
+    viewer.render()
+    destination = session.navigator.traverse(viewer.visible_wormholes()[0])
+    destination.set_elevation(120.0)
+    result = benchmark(destination.render)
+    assert len(result.all_items()) > 0
+    session.navigator.go_back()
+
+
+def test_fig08_rear_view_mirror(benchmark, scenario):
+    session = scenario.session
+    viewer = scenario["map_window"].viewer
+    viewer.render()
+    destination = session.navigator.traverse(viewer.visible_wormholes()[0])
+    destination.set_elevation(20.0)
+    mirror = scenario["map_window"].mirror
+
+    canvas = benchmark(mirror.render)
+    assert canvas.count_nonbackground() > 0
+    assert mirror.visible_wormholes()  # the way home
+    session.navigator.go_back()

@@ -1,0 +1,55 @@
+"""Figure 9: the magnifying glass showing an alternative display.
+
+Times the composite render (outer viewer + inner magnified viewer with the
+swapped precipitation display) and a glass drag.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenarios import build_fig9_magnifier
+
+
+@pytest.fixture(scope="module")
+def scenario(weather_db):
+    return build_fig9_magnifier(weather_db)
+
+
+def test_fig09_render_with_glass(benchmark, scenario):
+    window = scenario.window()
+    canvas = benchmark(window.render)
+    glass = scenario["glass"]
+    x, y, __, __h = glass.rect
+    assert canvas.pixel(int(x), int(y)) == (64, 64, 64)  # glass frame
+
+
+def test_fig09_swap_branch_is_alternative_display(benchmark, scenario):
+    """The Swap Attribute branch produces the precipitation visualization of
+    the same relation — demanded through the engine cache."""
+    session = scenario.session
+
+    def demand():
+        return session.inspect(scenario["swap_tail"])
+
+    swapped = benchmark(demand)
+    drawables = swapped.display_of(swapped.view_at(0))
+    assert drawables[0].color == (66, 133, 66)  # precipitation green
+    # The un-swapped branch still shows temperature red.
+    original = session.inspect(scenario["tee"], "out1")
+    assert original.display_of(original.view_at(0))[0].color == (220, 50, 47)
+
+
+def test_fig09_drag_glass(benchmark, scenario):
+    window = scenario.window()
+    glass = scenario["glass"]
+    positions = [(380.0, 150.0), (420.0, 170.0)]
+    state = {"i": 0}
+
+    def drag():
+        state["i"] = (state["i"] + 1) % 2
+        glass.move_to(*positions[state["i"]])
+        return window.render()
+
+    canvas = benchmark(drag)
+    assert canvas.count_nonbackground() > 0

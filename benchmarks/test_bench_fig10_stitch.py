@@ -1,0 +1,54 @@
+"""Figure 10: stitched temperature/precipitation viewers with slaving.
+
+Times the two-member group render and the slaved pan gesture ("whenever the
+user changes the date range under temperature, the precipitation display
+changes to display the same date range").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenarios import build_fig10_stitch
+
+
+@pytest.fixture(scope="module")
+def scenario(weather_db):
+    return build_fig10_stitch(weather_db)
+
+
+def test_fig10_group_render(benchmark, scenario):
+    window = scenario.window()
+    result = benchmark(window.viewer.render)
+    assert set(result.items) == {"temperature", "precipitation"}
+    assert result.items["temperature"]
+    assert result.items["precipitation"]
+
+
+def test_fig10_slaved_pan(benchmark, scenario):
+    viewer = scenario.window().viewer
+    step = {"sign": 1}
+
+    def pan_date_range():
+        step["sign"] = -step["sign"]
+        viewer.pan(20.0 * step["sign"], 0.0, member="temperature")
+        return (
+            viewer.view("temperature").center[0],
+            viewer.view("precipitation").center[0],
+        )
+
+    temp_x, precip_x = benchmark(pan_date_range)
+    assert temp_x == pytest.approx(precip_x)  # same date range (§7.3)
+
+
+def test_fig10_slaved_pan_and_render(benchmark, scenario):
+    window = scenario.window()
+    step = {"sign": 1}
+
+    def gesture():
+        step["sign"] = -step["sign"]
+        window.viewer.pan(20.0 * step["sign"], 0.0, member="temperature")
+        return window.viewer.render()
+
+    result = benchmark(gesture)
+    assert result.canvas.count_nonbackground() > 0

@@ -1,0 +1,69 @@
+"""Figure 11: the replicated viewer (records before/after 1990).
+
+Times the Replicate fire (partition + stitch) and the group render, and
+asserts the partition's correctness properties.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenarios import build_fig11_replicate
+
+
+@pytest.fixture(scope="module")
+def scenario(weather_db):
+    return build_fig11_replicate(weather_db)
+
+
+def test_fig11_partition_fire(benchmark, scenario):
+    session = scenario.session
+    engine = session.engine
+    replicate = scenario["replicate"]
+
+    def demand_cold():
+        engine.invalidate(replicate)
+        return engine.output_of(replicate)
+
+    group = benchmark(demand_cold)
+    assert group.member_names() == ["part1", "part2"]
+    early = group.member("part1").entries[0].relation
+    late = group.member("part2").entries[0].relation
+    assert all(row["obs_date"].year < 1990 for row in early.rows)
+    assert all(row["obs_date"].year >= 1990 for row in late.rows)
+    total = len(early.rows) + len(late.rows)
+    source = session.inspect(scenario["temperature"])
+    assert total == len(source.rows)
+
+
+def test_fig11_group_render(benchmark, scenario):
+    window = scenario.window()
+    result = benchmark(window.viewer.render)
+    assert set(result.items) == {"part1", "part2"}
+    assert result.canvas.count_nonbackground() > 100
+
+
+def test_fig11_enum_partition(benchmark, weather_db):
+    """The enumerated-type partition path (§7.4: "or an enumerated type")."""
+    from repro.ui.session import Session
+
+    def build():
+        session = Session(weather_db, "enum-partition")
+        stations = session.add_table("Stations")
+        restrict = session.add_box(
+            "Restrict",
+            {"predicate": "state = 'LA' or state = 'TX' or state = 'MS'"},
+        )
+        session.connect(stations, "out", restrict, "in")
+        replicate = session.add_box(
+            "Replicate", {"enum_field": "state", "layout": "vertical"}
+        )
+        session.connect(restrict, "out", replicate, "in")
+        return session.inspect(replicate)
+
+    group = benchmark(build)
+    assert len(group) >= 1
+    member_rows = [
+        len(composite.entries[0].relation.rows) for __, composite in group
+    ]
+    assert all(count > 0 for count in member_rows)

@@ -1,0 +1,78 @@
+"""Perf-3: viewer-side filtering "to the ranges specified by the sliders ...
+and to the visible real estate on the screen" (§2).
+
+Renders a 20k-point canvas zoomed deep into a small region with culling on
+and off.  The shape claim: with culling, render cost tracks the few visible
+tuples; without it, every tuple's drawables are constructed and clipped.
+Culling is semantics-preserving (identical pixels — property-tested in
+tests/test_property_render.py).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_attr import SetAttributeBox
+from repro.dataflow.boxes_db import AddTableBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.render.canvas import Canvas
+from repro.render.scene import SceneStats, ViewState, render_composite
+
+
+@pytest.fixture(scope="module")
+def scatter(points_db_20k):
+    program = Program()
+    src = program.add_box(AddTableBox(table="Points"))
+    set_x = program.add_box(SetAttributeBox(name="x", definition="x_pos"))
+    set_y = program.add_box(SetAttributeBox(name="y", definition="y_pos"))
+    display = program.add_box(
+        SetAttributeBox(
+            name="display",
+            definition="combine(filled_circle(2), offset(text_of(point_id), 0, -6))",
+        )
+    )
+    program.connect(src, "out", set_x, "in")
+    program.connect(set_x, "out", set_y, "in")
+    program.connect(set_y, "out", display, "in")
+    engine = Engine(program, points_db_20k)
+    return engine.output_of(display)
+
+
+DEEP_ZOOM = ViewState(center=(0.0, 0.0), elevation=30.0, viewport=(320, 240))
+
+
+@pytest.mark.parametrize("cull", [True, False], ids=["culling", "no-culling"])
+def test_perf_culling_deep_zoom(benchmark, scatter, cull):
+    def render():
+        canvas = Canvas(320, 240)
+        stats = SceneStats()
+        render_composite(canvas, scatter, DEEP_ZOOM, cull=cull, stats=stats)
+        return canvas, stats
+
+    canvas, stats = benchmark(render)
+    assert stats.tuples_considered == 20_000
+    if cull:
+        # The deep zoom sees well under 1% of the points.
+        assert stats.culled_by_viewport > 19_000
+        assert stats.drawables_painted < 600
+    else:
+        assert stats.culled_by_viewport == 0
+        assert stats.drawables_painted == 40_000
+
+
+def test_perf_culling_zoom_sweep(benchmark, scatter):
+    """Flying downward: render cost should fall as the view narrows."""
+    def sweep():
+        rendered = []
+        for elevation in (1100.0, 300.0, 80.0, 20.0):
+            view = ViewState(center=(0.0, 0.0), elevation=elevation,
+                             viewport=(320, 240))
+            stats = SceneStats()
+            render_composite(Canvas(320, 240), scatter, view, stats=stats)
+            rendered.append(stats.tuples_rendered)
+        return rendered
+
+    rendered = benchmark(sweep)
+    assert rendered[0] > rendered[-1]
+    assert all(earlier >= later for earlier, later in zip(rendered, rendered[1:]))

@@ -1,0 +1,75 @@
+"""Perf-6: the browsing-query optimizer ([Che95], deferred by §9).
+
+A naive browsing program filters *after* an Observations ⋈ Stations join;
+the optimizer pushes the Restrict into the join input.  The shape claim:
+pushdown shrinks the join's input by the filter's selectivity and the
+optimized plan wins accordingly; merging adjacent Restricts removes an
+intermediate materialization.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_db import AddTableBox, JoinBox, RestrictBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.dataflow.optimize import optimize
+
+
+def naive_program():
+    """Join everything, filter afterwards — how a little programmer builds it."""
+    program = Program()
+    obs = program.add_box(AddTableBox(table="Observations"))
+    sta = program.add_box(AddTableBox(table="Stations"))
+    join = program.add_box(
+        JoinBox(left_key="station_id", right_key="station_id")
+    )
+    program.connect(obs, "out", join, "left")
+    program.connect(sta, "out", join, "right")
+    r1 = program.add_box(RestrictBox(predicate="state = 'LA'"))
+    program.connect(join, "out", r1, "in")
+    r2 = program.add_box(RestrictBox(predicate="temperature > 85.0"))
+    program.connect(r1, "out", r2, "in")
+    return program, r2
+
+
+@pytest.mark.parametrize("plan", ["naive", "optimized"])
+def test_perf_optimizer_pushdown(benchmark, weather_db, plan):
+    program, tail = naive_program()
+    if plan == "optimized":
+        program, log = optimize(program, weather_db)
+        assert log  # rewrites happened
+        tail = max(program.box_ids(), key=lambda b: len(program.upstream_of(b)))
+
+    def cold_demand():
+        return Engine(program, weather_db).output_of(tail)
+
+    result = benchmark(cold_demand)
+    assert len(result.rows) > 0
+    assert all(row["state"] == "LA" for row in result.rows)
+    assert all(row["temperature"] > 85.0 for row in result.rows)
+
+
+def test_perf_optimizer_plans_agree(benchmark, weather_db):
+    program, tail = naive_program()
+    optimized, log = optimize(program, weather_db)
+
+    fast_tail = max(
+        optimized.box_ids(), key=lambda b: len(optimized.upstream_of(b))
+    )
+
+    def both():
+        naive_rows = Engine(program, weather_db).output_of(tail).rows
+        fast_rows = Engine(optimized, weather_db).output_of(fast_tail).rows
+        return naive_rows, fast_rows
+
+    naive_rows, fast_rows = benchmark(both)
+    assert sorted(map(repr, naive_rows)) == sorted(map(repr, fast_rows))
+
+
+def test_perf_optimizer_rewrite_cost(benchmark, weather_db):
+    """The optimizer itself must be cheap relative to one evaluation."""
+    program, __ = naive_program()
+    optimized, log = benchmark(optimize, program, weather_db)
+    assert len(log) >= 2  # merge + pushdown

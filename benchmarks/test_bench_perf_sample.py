@@ -1,0 +1,73 @@
+"""Perf-1: "Sample is useful for improving interactive response by reducing
+the size of data sets to be processed" (§4.2).
+
+Sweeps the retention probability over a 20k-point scatter and times the
+demand-and-render loop.  The shape claim: latency falls roughly linearly
+with the retained fraction, so heavy sampling buys interactivity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_attr import SetAttributeBox
+from repro.dataflow.boxes_db import AddTableBox, SampleBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.render.canvas import Canvas
+from repro.render.scene import SceneStats, ViewState, render_composite
+
+
+def build_pipeline(db, probability):
+    program = Program()
+    src = program.add_box(AddTableBox(table="Points"))
+    sample = program.add_box(SampleBox(probability=probability, seed=7))
+    set_x = program.add_box(SetAttributeBox(name="x", definition="x_pos"))
+    set_y = program.add_box(SetAttributeBox(name="y", definition="y_pos"))
+    display = program.add_box(
+        SetAttributeBox(name="display", definition="point()")
+    )
+    program.connect(src, "out", sample, "in")
+    program.connect(sample, "out", set_x, "in")
+    program.connect(set_x, "out", set_y, "in")
+    program.connect(set_y, "out", display, "in")
+    return program, display
+
+
+@pytest.mark.parametrize("probability", [1.0, 0.5, 0.1, 0.01])
+def test_perf_sample_sweep(benchmark, points_db_20k, probability):
+    program, tail = build_pipeline(points_db_20k, probability)
+    view = ViewState(center=(0.0, 0.0), elevation=1100.0, viewport=(320, 240))
+
+    def demand_and_render():
+        engine = Engine(program, points_db_20k)  # cold demand each round
+        relation = engine.output_of(tail)
+        canvas = Canvas(320, 240)
+        stats = SceneStats()
+        render_composite(canvas, relation, view, stats=stats)
+        return relation, stats
+
+    relation, stats = benchmark(demand_and_render)
+    expected = 20_000 * probability
+    assert abs(len(relation.rows) - expected) < max(60, expected * 0.3)
+    assert stats.tuples_considered == len(relation.rows)
+
+
+def test_perf_sample_interactive_pan(benchmark, points_db_20k):
+    """The motivating loop: with a 10% sample, pan-and-rerender over the
+    cached (already sampled) relation."""
+    program, tail = build_pipeline(points_db_20k, 0.1)
+    engine = Engine(program, points_db_20k)
+    relation = engine.output_of(tail)
+    state = {"x": 0.0}
+
+    def pan_and_render():
+        state["x"] += 10.0
+        view = ViewState(center=(state["x"] % 200, 0.0), elevation=1100.0,
+                         viewport=(320, 240))
+        canvas = Canvas(320, 240)
+        render_composite(canvas, relation, view)
+        return canvas
+
+    canvas = benchmark(pan_and_render)
+    assert canvas.count_nonbackground() > 0

@@ -1,0 +1,86 @@
+"""Section 8: screen-object updates.
+
+Times the full click-to-refresh loop: pick the screen object, run the update
+dialog, install the new tuple with an SQL-style update, and re-render (the
+table-version signature invalidates the whole demanded path).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.data.weather import build_weather_database
+from repro.ui.session import Session
+
+
+@pytest.fixture()
+def fresh_session():
+    """A fresh, mutable database per benchmark (updates change it)."""
+    db = build_weather_database(extra_stations=20, every_days=60)
+    session = Session(db, "update-bench")
+    stations = session.add_table("Stations")
+    restrict = session.add_box("Restrict", {"predicate": "state = 'LA'"})
+    session.connect(stations, "out", restrict, "in")
+    set_x = session.add_box("SetAttribute", {"name": "x", "definition": "longitude"})
+    session.connect(restrict, "out", set_x, "in")
+    set_y = session.add_box("SetAttribute", {"name": "y", "definition": "latitude"})
+    session.connect(set_x, "out", set_y, "in")
+    display = session.add_box(
+        "SetAttribute",
+        {"name": "display", "definition": "filled_circle(3, 'blue')"},
+    )
+    session.connect(set_y, "out", display, "in")
+    window = session.add_viewer(display, name="map", width=320, height=240)
+    window.viewer.pan_to(-91.8, 31.0)
+    window.viewer.set_elevation(8.0)
+    window.viewer.render()
+    return session, window
+
+
+def test_sec08_click_update_rerender(benchmark, fresh_session):
+    session, window = fresh_session
+    counter = itertools.count(1)
+
+    def click_and_update():
+        result = window.viewer.render()
+        item = result.all_items()[0]
+        cx = (item.bbox[0] + item.bbox[2]) / 2
+        cy = (item.bbox[1] + item.bbox[3]) / 2
+        outcome = session.update_at(
+            "map", cx, cy, {"altitude": f"{next(counter)}.0"}
+        )
+        window.viewer.render()  # refresh with the new table version
+        return outcome
+
+    outcome = benchmark(click_and_update)
+    assert outcome.applied
+
+
+def test_sec08_update_invalidates_downstream(benchmark, fresh_session):
+    """The refresh is incremental: one table-version bump refires exactly
+    the demanded pipeline, not an unrelated branch."""
+    session, window = fresh_session
+    # An unrelated branch over Observations that must stay cached.
+    other = session.add_table("Observations")
+    other_restrict = session.add_box(
+        "Restrict", {"predicate": "temperature > 200.0"}
+    )
+    session.connect(other, "out", other_restrict, "in")
+    session.inspect(other_restrict)
+    fires_before = dict(session.engine.stats.fires)
+    counter = itertools.count(1000)
+
+    def update_once():
+        result = window.viewer.render()
+        item = result.all_items()[0]
+        cx = (item.bbox[0] + item.bbox[2]) / 2
+        cy = (item.bbox[1] + item.bbox[3]) / 2
+        session.update_at("map", cx, cy, {"altitude": f"{next(counter)}.0"})
+        window.viewer.render()
+        session.inspect(other_restrict)  # still cached
+        return session.engine.stats.fires
+
+    fires_after = benchmark(update_once)
+    assert fires_after[other_restrict] == fires_before[other_restrict]

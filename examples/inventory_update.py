@@ -1,0 +1,153 @@
+"""Screen-object updates (Section 8): the paper's inventory scenario.
+
+"The quantity on hand of specific items could appear on a canvas.  The user
+would find an item of interest and then wish to order a certain number of
+the item, thereby decreasing the quantity on hand.  The user could also
+notice data errors and simply wish to fix them."
+
+Builds an inventory visualization (bar per item), clicks items to order
+stock and fix a data error, installs a custom update command with an
+order-entry "look and feel", and shows the visualization refreshing after
+each update.
+
+Run:  python examples/inventory_update.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import Database, Session
+from repro.dbms.tuples import Schema
+from repro.dbms.update import UpdateDialog, generic_update
+
+
+def build_inventory_db() -> Database:
+    db = Database("warehouse")
+    table = db.create_table(
+        "Inventory",
+        Schema(
+            [
+                ("item_id", "int"),
+                ("item", "text"),
+                ("quantity", "int"),
+                ("price", "float"),
+            ]
+        ),
+    )
+    table.insert_many(
+        [
+            {"item_id": 1, "item": "widgets", "quantity": 140, "price": 2.50},
+            {"item_id": 2, "item": "gadgets", "quantity": 75, "price": 9.00},
+            {"item_id": 3, "item": "sprockets", "quantity": 210, "price": 1.25},
+            {"item_id": 4, "item": "flanges", "quantity": 30, "price": 14.00},
+            # A data error: negative stock.
+            {"item_id": 5, "item": "grommets", "quantity": -3, "price": 0.40},
+        ]
+    )
+    return db
+
+
+def build_session(db: Database) -> tuple[Session, object]:
+    session = Session(db, "inventory")
+    src = session.add_table("Inventory")
+    # One bar per item: x by item id, bar height by quantity.
+    set_x = session.add_box(
+        "SetAttribute", {"name": "x", "definition": "item_id * 40"}
+    )
+    session.connect(src, "out", set_x, "in")
+    set_y = session.add_box(
+        "SetAttribute", {"name": "y", "definition": "max(quantity, 0) / 2"}
+    )
+    session.connect(set_x, "out", set_y, "in")
+    display = session.add_box(
+        "SetAttribute",
+        {
+            "name": "display",
+            "definition": (
+                "combine("
+                "filled_rect(20, max(quantity, 1), "
+                "if quantity < 0 then 'red' else 'blue'), "
+                "offset(text_of(item), 0, max(quantity, 0) / 2 + 10), "
+                "offset(text_of(quantity), 0, -(max(quantity, 0) / 2 + 8)))"
+            ),
+        },
+    )
+    session.connect(set_y, "out", display, "in")
+    window = session.add_viewer(display, name="stock", width=480, height=360)
+    window.viewer.pan_to(120.0, 60.0)
+    window.viewer.set_elevation(320.0)
+    return session, window
+
+
+class OrderEntryDialog(UpdateDialog):
+    """A custom 'look and feel' (§8): orders decrement quantity on hand."""
+
+    def __init__(self, order_quantity: int):
+        self.order_quantity = order_quantity
+
+    def ask(self, field_name, atomic, old_value):
+        if field_name == "quantity":
+            return str(old_value - self.order_quantity)
+        return None  # leave everything else alone
+
+
+def item_center(window, item_name: str):
+    result = window.viewer.render()
+    for rendered in result.all_items():
+        if rendered.row["item"] == item_name and \
+                rendered.drawable_kind == "rectangle":
+            x0, y0, x1, y1 = rendered.bbox
+            return (x0 + x1) / 2, (y0 + y1) / 2
+    raise SystemExit(f"item {item_name!r} not on screen")
+
+
+def main() -> None:
+    db = build_inventory_db()
+    session, window = build_session(db)
+
+    canvas = window.render()
+    print("initial stock chart:")
+    print(canvas.to_ascii(columns=70))
+    canvas.to_ppm(Path(__file__).with_name("inventory_before.ppm"))
+
+    # --- Order 50 widgets by clicking the widgets bar -----------------------
+    px, py = item_center(window, "widgets")
+    item = session.pick("stock", px, py)
+    print(f"\nclicked {item.row['item']!r}: quantity on hand "
+          f"{item.row['quantity']}")
+    outcome = session.update_item("stock", item, OrderEntryDialog(50))
+    print(f"ordered 50 -> quantity now {outcome.new['quantity']}")
+
+    # --- Fix the data error on grommets with the generic dialog -------------
+    px, py = item_center(window, "grommets")
+    outcome = session.update_at("stock", px, py, {"quantity": "40"})
+    print(f"fixed grommets: {outcome.old['quantity']} -> "
+          f"{outcome.new['quantity']}")
+
+    # --- Custom update command installed on the relation (§8) ---------------
+    def audited_update(table, row, dialog):
+        print(f"  [audit] updating {row['item']!r}")
+        return generic_update(table, row, dialog)
+
+    relation = session._find_relation("stock", "Inventory")
+    relation.update_command = audited_update
+    px, py = item_center(window, "flanges")
+    item = session.pick("stock", px, py)
+    session.update_item("stock", item, {"price": "13.50"})
+    print("flanges re-priced through the custom (audited) update command")
+
+    # --- The visualization refreshes: the table version advanced ------------
+    canvas = window.render()
+    print("\nstock chart after updates:")
+    print(canvas.to_ascii(columns=70))
+    canvas.to_ppm(Path(__file__).with_name("inventory_after.ppm"))
+
+    print("\nfinal table contents:")
+    for row in db.table("Inventory"):
+        print(f"  {row['item']:<10} qty={row['quantity']:<5} "
+              f"price={row['price']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+"""The paper's complete running example: Figures 1, 4, 7, 8, 9, 10, 11.
+
+Walks the agricultural specialist's session from the first default table
+view to wormholes, magnifying glasses, stitched viewers, and replication —
+rendering each figure to a PPM image next to this script and narrating what
+the paper's corresponding figure shows.
+
+Run:  python examples/louisiana_weather.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import build_weather_database
+from repro.core.scenarios import (
+    NAME_MAX_ELEVATION,
+    build_fig1_table_view,
+    build_fig4_station_map,
+    build_fig7_overlay,
+    build_fig8_wormholes,
+    build_fig9_magnifier,
+    build_fig10_stitch,
+    build_fig11_replicate,
+)
+
+OUT_DIR = Path(__file__).parent
+
+
+def save(canvas, name: str) -> None:
+    path = OUT_DIR / name
+    canvas.to_ppm(path)
+    print(f"  -> {path.name} ({canvas.count_nonbackground()} px painted)")
+
+
+def figure1(db) -> None:
+    print("\nFigure 1 — weather stations in Louisiana (default table view)")
+    scenario = build_fig1_table_view(db)
+    program = scenario.session.program
+    print("  program:", " -> ".join(
+        box.type_name for box in program.boxes()))
+    restricted = scenario.session.inspect(scenario["restrict"])
+    print(f"  Restrict keeps {len(restricted.rows)} Louisiana stations")
+    save(scenario.window().render(), "fig01_table.ppm")
+
+
+def figure4(db) -> None:
+    print("\nFigure 4 — station scatter map with Altitude slider")
+    scenario = build_fig4_station_map(db)
+    window = scenario.window()
+    result = window.viewer.render()
+    print(f"  {len(result.all_items()) // 2} stations plotted at "
+          "(longitude, latitude)")
+    save(result.canvas, "fig04_map.ppm")
+    window.viewer.set_slider("Altitude", 0.0, 50.0)
+    low = window.viewer.render()
+    names = sorted({item.row["name"] for item in low.all_items()})
+    print("  slider [0, 50 ft] keeps:", ", ".join(names))
+
+
+def figure7(db) -> None:
+    print("\nFigure 7 — overlaid displays with restricted elevation ranges")
+    scenario = build_fig7_overlay(db)
+    window = scenario.window()
+    # The full window with its furniture: canvas + elevation map + sliders.
+    save(window.render_window(), "fig07_window_with_furniture.ppm")
+    print("  elevation map:", [
+        f"{bar.name}[{bar.range.minimum:g},{bar.range.maximum:g}]"
+        for bar in window.elevation_map().bars()
+    ])
+    window.viewer.set_elevation(NAME_MAX_ELEVATION + 10)
+    high = window.viewer.render()
+    save(high.canvas, "fig07_high_elevation.ppm")
+    print("  high elevation: names hidden "
+          f"({sum(1 for i in high.all_items() if i.drawable_kind == 'text')} "
+          "labels)")
+    window.viewer.set_elevation(NAME_MAX_ELEVATION / 2)
+    low = window.viewer.render()
+    save(low.canvas, "fig07_low_elevation.ppm")
+    print("  low elevation: names appear "
+          f"({sum(1 for i in low.all_items() if i.drawable_kind == 'text')} "
+          "labels)")
+
+
+def figure8(db) -> None:
+    print("\nFigure 8 — wormholes to the temperature time-series canvas")
+    scenario = build_fig8_wormholes(db)
+    session = scenario.session
+    map_window = scenario["map_window"]
+    map_window.viewer.pan_to(-90.07, 29.95)  # zoom into New Orleans
+    map_window.viewer.set_elevation(1.5)
+    result = map_window.viewer.render()
+    save(result.canvas, "fig08_map_wormholes.ppm")
+    wormholes = map_window.viewer.visible_wormholes()
+    print(f"  {len(wormholes)} wormholes appear at this elevation")
+
+    target = wormholes[0]
+    destination = session.navigator.traverse(target)
+    print(f"  passed through at {target.row['name']}; now viewing "
+          f"{destination.name!r} at elevation {destination.view().elevation}")
+    destination.set_elevation(30.0)
+    save(destination.render().canvas, "fig08_tempseries.ppm")
+
+    mirror = map_window.mirror
+    mirror_canvas = mirror.render()
+    save(mirror_canvas, "fig08_rearview.ppm")
+    print(f"  rear view mirror shows {len(mirror.visible_wormholes())} "
+          "return wormholes (the way home)")
+    home = session.navigator.go_back()
+    print(f"  went back; current canvas is {home.name!r}")
+
+
+def figure9(db) -> None:
+    print("\nFigure 9 — magnifying glass with the precipitation display")
+    scenario = build_fig9_magnifier(db)
+    window = scenario.window()
+    canvas = window.render()
+    save(canvas, "fig09_magnifier.ppm")
+    glass = scenario["glass"]
+    print(f"  glass at {glass.rect} magnifies x{glass.magnification}; the "
+          "inner viewer shows the swapped precipitation display")
+
+
+def figure10(db) -> None:
+    print("\nFigure 10 — stitched temperature and precipitation viewers")
+    scenario = build_fig10_stitch(db)
+    window = scenario.window()
+    save(window.render(), "fig10_stitch.ppm")
+    viewer = window.viewer
+    before = viewer.view("precipitation").center
+    viewer.pan(30.0, 0.0, member="temperature")
+    after = viewer.view("precipitation").center
+    print(f"  panned temperature by 30 days; slaved precipitation followed: "
+          f"{before[0]:.1f} -> {after[0]:.1f}")
+    save(window.render(), "fig10_stitch_panned.ppm")
+
+
+def figure11(db) -> None:
+    print("\nFigure 11 — replicated viewer (before/after 1990)")
+    scenario = build_fig11_replicate(db)
+    window = scenario.window()
+    group = window.viewer.displayable()
+    for name, composite in group:
+        rows = len(composite.entries[0].relation.rows)
+        print(f"  member {name}: {rows} observations")
+    save(window.render(), "fig11_replicate.ppm")
+
+
+def main() -> None:
+    print("building the synthetic weather database ...")
+    db = build_weather_database(extra_stations=40, every_days=30)
+    print(f"  {len(db.table('Stations'))} stations, "
+          f"{len(db.table('Observations'))} observations")
+    figure1(db)
+    figure4(db)
+    figure7(db)
+    figure8(db)
+    figure9(db)
+    figure10(db)
+    figure11(db)
+    print("\nAll figures rendered. View the .ppm files with any image tool.")
+
+
+if __name__ == "__main__":
+    main()

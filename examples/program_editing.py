@@ -1,0 +1,121 @@
+"""A tour of the program-editing operations (Figure 2) and the optimizer.
+
+Shows the workflow the paper's Section 4 narrates: Apply Box from a
+type-matched menu, installing a debugging viewer on an arc with a T, the
+Delete Box legality rules, Replace Box, Encapsulate (with a hole plugged two
+ways), undo, and finally the browsing-query optimizer rewriting a naive
+filter-after-join program.
+
+Run:  python examples/program_editing.py
+"""
+
+from __future__ import annotations
+
+from repro import Session, build_weather_database
+from repro.errors import GraphError
+
+
+def main() -> None:
+    db = build_weather_database(extra_stations=30, every_days=60)
+    session = Session(db, "editing-tour")
+
+    print("== the menu bar ==")
+    print("tables:", ", ".join(session.menu.tables_menu()))
+    print("operations:", ", ".join(session.menu.operations_menu()[:12]), "...")
+
+    # ------------------------------------------------------------------
+    print("\n== Apply Box: the type-matched menu ==")
+    stations = session.add_table("Stations")
+    restrict = session.add_box("Restrict", {"predicate": "state = 'LA'"})
+    edge = session.connect(stations, "out", restrict, "in")
+    candidates = session.apply_box_candidates([edge])
+    print(f"boxes whose inputs match the selected R edge: "
+          f"{', '.join(candidates[:10])} ...")
+    sample = session.apply_box([edge], "Sample",
+                               {"probability": 0.5, "seed": 3})
+    print(f"applied Sample -> {len(session.inspect(sample).rows)} of "
+          f"{len(session.inspect(stations).rows)} stations retained")
+
+    # ------------------------------------------------------------------
+    print("\n== a viewer on any arc (the debugging story) ==")
+    probe = session.viewer_on_edge(session.program.edges()[0], name="probe",
+                                   width=400, height=200)
+    probe.viewer.pan_to(250.0, -3.0)
+    probe.viewer.set_elevation(500.0)
+    print("probe canvas pixels:",
+          probe.render().count_nonbackground())
+
+    # ------------------------------------------------------------------
+    print("\n== Delete Box legality ==")
+    try:
+        session.delete_box(stations)
+    except GraphError as exc:
+        print(f"deleting the source is refused: {exc}")
+    print("deleting the (pass-through) Restrict splices:",
+          session.program.can_delete_box(restrict))
+
+    # ------------------------------------------------------------------
+    print("\n== Replace Box ==")
+    session.replace_box(sample, "Project", {"fields": ["name", "state"]})
+    print("Sample replaced by Project; schema now",
+          session.inspect(sample).rows.schema.names)
+
+    # ------------------------------------------------------------------
+    print("\n== Encapsulate with a hole ==")
+    filt = session.add_box("Restrict", {"predicate": "true"})
+    session.connect(stations, "out", filt, "in")
+    order = session.add_box("OrderBy", {"fields": ["name"]})
+    session.connect(filt, "out", order, "in")
+    macro = session.encapsulate([filt, order], "sorted_subset",
+                                holes=[[filt]], register=True)
+    print("registered box:", macro.param("name"),
+          "holes:", macro.hole_names())
+    louisiana = macro.plug("hole1", _restrict("state = 'LA'"))
+    coastal = macro.plug("hole1", _restrict("altitude < 30"))
+    for label, plugged in (("Louisiana", louisiana), ("coastal", coastal)):
+        box_id = session.program.add_box(plugged)
+        session.connect(stations, "out", box_id, "in1")
+        rows = session.inspect(box_id, "out1").rows
+        print(f"  {label}: {len(rows)} stations, first is "
+              f"{rows[0]['name']!r}")
+
+    # ------------------------------------------------------------------
+    print("\n== undo ==")
+    boxes_before = len(session.program)
+    session.add_box("Restrict", {"predicate": "true"})
+    undone = session.undo()
+    print(f"undid {undone!r}; box count back to "
+          f"{len(session.program)} (was about to be {boxes_before + 1})")
+
+    # ------------------------------------------------------------------
+    print("\n== the browsing-query optimizer ==")
+    naive = Session(db, "naive-browse")
+    obs = naive.add_table("Observations")
+    sta = naive.add_table("Stations")
+    join = naive.add_box("Join", {"left_key": "station_id",
+                                  "right_key": "station_id"})
+    naive.connect(obs, "out", join, "left")
+    naive.connect(sta, "out", join, "right")
+    late_filter = naive.add_box(
+        "Restrict",
+        {"predicate": "state = 'LA' and temperature > 85.0"},
+    )
+    naive.connect(join, "out", late_filter, "in")
+    print("before:")
+    print("  " + naive.program_text().replace("\n", "\n  "))
+    log = naive.optimize()
+    print("rewrites:")
+    for line in log:
+        print("  -", line)
+    print("after:")
+    print("  " + naive.program_text().replace("\n", "\n  "))
+
+
+def _restrict(predicate: str):
+    from repro.dataflow.registry import instantiate
+
+    return instantiate("Restrict", {"predicate": predicate})
+
+
+if __name__ == "__main__":
+    main()

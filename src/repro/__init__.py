@@ -1,0 +1,54 @@
+"""Tioga-2 reproduction: a direct manipulation database visualization environment.
+
+A full implementation of the system described in "Tioga-2: A Direct
+Manipulation Database Visualization Environment" (Aiken, Chen, Stonebraker,
+Woodruff; ICDE 1996): an object-relational DBMS substrate, typed
+boxes-and-arrows dataflow programs with lazy evaluation, the R/C/G
+displayable algebra, a software rasterizer, viewers with pan/zoom/sliders,
+drill down via elevation ranges and wormholes, rear view mirrors, slaving,
+magnifying glasses, stitch/replicate group views, and screen-object updates.
+
+Subpackages
+-----------
+``repro.dbms``      object-relational substrate (tables, algebra, expressions)
+``repro.dataflow``  boxes-and-arrows programs and the lazy engine
+``repro.display``   displayable types, drawables, elevation ranges
+``repro.render``    framebuffer canvas, bitmap font, scene building
+``repro.viewer``    viewers, wormholes, rear view, slaving, magnifiers
+``repro.ui``        the headless session model (windows, menus, undo)
+``repro.data``      synthetic weather data and benchmark workloads
+``repro.core``      facade and the paper's figure scenarios
+"""
+
+from repro.core import (
+    Database,
+    Scenario,
+    Session,
+    build_fig1_table_view,
+    build_fig4_station_map,
+    build_fig7_overlay,
+    build_fig8_wormholes,
+    build_fig9_magnifier,
+    build_fig10_stitch,
+    build_fig11_replicate,
+    build_weather_database,
+)
+from repro.errors import TiogaError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Scenario",
+    "Session",
+    "TiogaError",
+    "__version__",
+    "build_fig1_table_view",
+    "build_fig4_station_map",
+    "build_fig7_overlay",
+    "build_fig8_wormholes",
+    "build_fig9_magnifier",
+    "build_fig10_stitch",
+    "build_fig11_replicate",
+    "build_weather_database",
+]

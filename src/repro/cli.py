@@ -1,0 +1,274 @@
+"""Command-line interface: inspect databases, run programs, render figures.
+
+::
+
+    python -m repro.cli init-weather --out weather.json   # write a demo DB
+    python -m repro.cli tables --db weather.json          # the tables menu
+    python -m repro.cli programs --db weather.json        # saved programs
+    python -m repro.cli show-program --db db.json --name viz [--out p.ppm]
+    python -m repro.cli run-program --db db.json --name viz --out-dir frames/
+    python -m repro.cli figures --out-dir figures/ [--which fig4,fig7]
+    python -m repro.cli query --db db.json --table T --where "x > 1" [--limit N]
+
+``run-program`` loads a saved boxes-and-arrows program, opens every viewer
+box it contains, and renders each canvas to a PPM file — a headless batch
+version of the interactive session.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import scenarios
+from repro.data.weather import build_weather_database
+from repro.dbms.algebra import limit as limit_rows
+from repro.dbms.algebra import restrict_predicate
+from repro.dbms.storage import load_database_file, save_database_file
+from repro.display.defaults import default_field_texts
+from repro.errors import TiogaError
+from repro.ui.session import Session
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "fig1": scenarios.build_fig1_table_view,
+    "fig4": scenarios.build_fig4_station_map,
+    "fig7": scenarios.build_fig7_overlay,
+    "fig8": scenarios.build_fig8_wormholes,
+    "fig9": scenarios.build_fig9_magnifier,
+    "fig10": scenarios.build_fig10_stitch,
+    "fig11": scenarios.build_fig11_replicate,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tioga2",
+        description="Tioga-2 reproduction: headless database visualization",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    init = commands.add_parser(
+        "init-weather", help="write the synthetic weather database to JSON"
+    )
+    init.add_argument("--out", required=True, help="output JSON path")
+    init.add_argument("--stations", type=int, default=60,
+                      help="extra non-Louisiana stations")
+    init.add_argument("--every-days", type=int, default=30,
+                      help="observation cadence in days")
+
+    tables = commands.add_parser("tables", help="list a database's tables")
+    tables.add_argument("--db", required=True)
+
+    programs = commands.add_parser("programs", help="list saved programs")
+    programs.add_argument("--db", required=True)
+
+    show = commands.add_parser(
+        "show-program", help="print (and optionally draw) a saved program"
+    )
+    show.add_argument("--db", required=True)
+    show.add_argument("--name", required=True)
+    show.add_argument("--out", help="also render the program window to PPM")
+
+    run = commands.add_parser(
+        "run-program", help="render every canvas of a saved program"
+    )
+    run.add_argument("--db", required=True)
+    run.add_argument("--name", required=True)
+    run.add_argument("--out-dir", required=True)
+
+    figures = commands.add_parser(
+        "figures", help="regenerate the paper's figures as images"
+    )
+    figures.add_argument("--out-dir", required=True)
+    figures.add_argument(
+        "--which", default=",".join(_FIGURES),
+        help=f"comma-separated subset of: {', '.join(_FIGURES)}",
+    )
+    figures.add_argument(
+        "--format", default="ppm", choices=("ppm", "png", "svg"),
+        help="image format (svg renders vectors through the SVG surface)",
+    )
+
+    query = commands.add_parser(
+        "query", help="print a table, optionally filtered (terminal monitor)"
+    )
+    query.add_argument("--db", required=True)
+    query.add_argument("--table", required=True)
+    query.add_argument("--where", help="predicate in the query language")
+    query.add_argument("--limit", type=int, default=20)
+
+    boxes = commands.add_parser(
+        "boxes", help="list the registered box catalog with help text"
+    )
+    boxes.add_argument("--topic", help="show full help for one box type")
+    return parser
+
+
+def _cmd_init_weather(args) -> int:
+    db = build_weather_database(
+        extra_stations=args.stations, every_days=args.every_days
+    )
+    path = save_database_file(db, args.out)
+    print(f"wrote {path} ({', '.join(db.table_names())})")
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    db = load_database_file(args.db)
+    for name in db.table_names():
+        table = db.table(name)
+        columns = ", ".join(
+            f"{f.name}:{f.type.name}" for f in table.schema
+        )
+        print(f"{name}  ({len(table)} rows)  [{columns}]")
+    return 0
+
+
+def _cmd_programs(args) -> int:
+    db = load_database_file(args.db)
+    names = db.program_names()
+    if not names:
+        print("(no saved programs)")
+    for name in names:
+        print(name)
+    return 0
+
+
+def _cmd_show_program(args) -> int:
+    db = load_database_file(args.db)
+    session = Session(db)
+    session.load_program(args.name)
+    print(session.program_text())
+    if args.out:
+        canvas = session.program_window()
+        canvas.to_ppm(args.out)
+        print(f"program window -> {args.out}")
+    return 0
+
+
+def _cmd_run_program(args) -> int:
+    db = load_database_file(args.db)
+    session = Session(db)
+    session.load_program(args.name)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if not session.windows:
+        print("program has no viewer boxes; nothing to render")
+        return 1
+    for name in sorted(session.windows):
+        canvas = session.window(name).render()
+        path = out_dir / f"{args.name}_{name}.ppm"
+        canvas.to_ppm(path)
+        print(f"{name}: {canvas.count_nonbackground()} px -> {path}")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    wanted = [part.strip() for part in args.which.split(",") if part.strip()]
+    unknown = [name for name in wanted if name not in _FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}; "
+              f"choose from {', '.join(_FIGURES)}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    db = build_weather_database(extra_stations=40, every_days=30)
+    image_format = getattr(args, "format", "ppm")
+    for name in wanted:
+        scenario = _FIGURES[name](db)
+        window = (scenario.named.get("window")
+                  or scenario.named.get("map_window"))
+        path = out_dir / f"{name}.{image_format}"
+        if image_format == "svg":
+            from repro.render.svg import render_svg
+
+            svg = render_svg(window.viewer)
+            svg.to_svg(path)
+            print(f"{name}: {len(svg.elements)} elements -> {path}")
+        else:
+            canvas = window.render()
+            if image_format == "png":
+                canvas.to_png(path)
+            else:
+                canvas.to_ppm(path)
+            print(f"{name}: {canvas.count_nonbackground()} px -> {path}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    db = load_database_file(args.db)
+    rows = db.table(args.table).snapshot()
+    if args.where:
+        rows = restrict_predicate(rows, args.where)
+    total = len(rows)
+    rows = limit_rows(rows, args.limit)
+    from repro.dbms.relation import MethodSet
+
+    methods = MethodSet(rows.schema)
+    print("  ".join(name.ljust(14) for name in rows.schema.names))
+    for row in rows:
+        view = methods.row_view(row)
+        print("  ".join(default_field_texts(view, rows.schema)))
+    if total > len(rows):
+        print(f"... {total - len(rows)} more rows (use --limit)")
+    return 0
+
+
+def _cmd_boxes(args) -> int:
+    import inspect
+
+    from repro.dataflow.registry import box_class, box_class_names
+
+    if args.topic:
+        try:
+            cls = box_class(args.topic)
+        except TiogaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(inspect.getdoc(cls) or args.topic)
+        return 0
+    hidden = {"_Const", "Hole"}
+    for name in box_class_names():
+        if name in hidden:
+            continue
+        doc = inspect.getdoc(box_class(name)) or ""
+        first_line = doc.splitlines()[0] if doc else ""
+        print(f"{name:<18} {first_line}")
+    return 0
+
+
+_HANDLERS = {
+    "init-weather": _cmd_init_weather,
+    "tables": _cmd_tables,
+    "programs": _cmd_programs,
+    "show-program": _cmd_show_program,
+    "run-program": _cmd_run_program,
+    "figures": _cmd_figures,
+    "query": _cmd_query,
+    "boxes": _cmd_boxes,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    import json
+
+    try:
+        return _HANDLERS[args.command](args)
+    except TiogaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: not a database file: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

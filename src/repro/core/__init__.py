@@ -1,0 +1,48 @@
+"""The Tioga-2 environment facade: sessions, scenarios, and the public API.
+
+Most applications need only::
+
+    from repro.core import Session, build_weather_database
+
+    db = build_weather_database()
+    session = Session(db)
+    stations = session.add_table("Stations")
+    ...
+
+The figure scenarios reproduce the paper's running example end to end.
+"""
+
+from repro.core.scenarios import (
+    Scenario,
+    band_center,
+    build_fig1_table_view,
+    build_fig4_station_map,
+    build_fig7_overlay,
+    build_fig8_wormholes,
+    build_fig9_magnifier,
+    build_fig10_stitch,
+    build_fig11_replicate,
+    station_map_pipeline,
+    temperature_series_pipeline,
+)
+from repro.data.weather import build_weather_database
+from repro.dbms.catalog import Database
+from repro.ui.session import CanvasWindow, Session
+
+__all__ = [
+    "CanvasWindow",
+    "Database",
+    "Scenario",
+    "Session",
+    "band_center",
+    "build_fig1_table_view",
+    "build_fig4_station_map",
+    "build_fig7_overlay",
+    "build_fig8_wormholes",
+    "build_fig9_magnifier",
+    "build_fig10_stitch",
+    "build_fig11_replicate",
+    "build_weather_database",
+    "station_map_pipeline",
+    "temperature_series_pipeline",
+]

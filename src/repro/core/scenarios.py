@@ -1,0 +1,507 @@
+"""The paper's figures as executable scenarios.
+
+Every screenshot figure in the paper (1, 4, 7, 8, 9, 10, 11) is reproduced
+here as a builder that constructs the corresponding boxes-and-arrows program
+in a fresh :class:`~repro.ui.session.Session` over the synthetic weather
+database, exactly following the operations the paper narrates.  Examples run
+them for humans; tests assert their semantic content; benchmarks time them.
+
+Each builder returns a :class:`Scenario`: the session plus the ids of the
+interesting boxes and canvas names.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dbms.catalog import Database
+from repro.ui.session import CanvasWindow, Session
+
+__all__ = [
+    "Scenario",
+    "build_fig1_table_view",
+    "build_fig4_station_map",
+    "station_map_pipeline",
+    "build_fig7_overlay",
+    "temperature_series_pipeline",
+    "build_fig8_wormholes",
+    "build_fig9_magnifier",
+    "build_fig10_stitch",
+    "build_fig11_replicate",
+]
+
+# Elevation (world units per viewport width) conventions for the map canvas:
+# Louisiana spans about 5 degrees of longitude, so elevation ~6 frames the
+# state; names become legible only when zoomed beneath NAME_MAX_ELEVATION.
+STATE_ELEVATION = 6.0
+NAME_MAX_ELEVATION = 12.0
+LOUISIANA_CENTER = (-91.8, 31.0)
+
+# Layout of the temperature/precipitation time-series canvas: one horizontal
+# band per station, x = days since the start of the data.
+BAND_HEIGHT = 60.0
+SERIES_X_SCALE = 0.1  # world x units per day: 11 years ≈ 400 wide
+
+
+class Scenario:
+    """A built scenario: the session plus named points of interest."""
+
+    def __init__(self, session: Session, **named: Any):
+        self.session = session
+        self.named = named
+
+    def __getitem__(self, key: str) -> Any:
+        return self.named[key]
+
+    def window(self, key: str = "window") -> CanvasWindow:
+        return self.named[key]
+
+    def __repr__(self) -> str:
+        return f"Scenario({sorted(self.named)})"
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: the program window and the default table view
+# ---------------------------------------------------------------------------
+
+
+def build_fig1_table_view(db: Database) -> Scenario:
+    """Figure 1: Stations → Restrict (Louisiana) → Project → default viewer.
+
+    "Beginning with the Stations box, the user incrementally adds boxes to
+    perform standard database operations such as restricting the data to
+    tuples satisfying a predicate (e.g., stations in Louisiana) and
+    projecting out unneeded fields (e.g., date of construction). ... The last
+    box is a viewer, which in this case displays data using a default
+    two-dimensional table format."
+    """
+    session = Session(db, "fig1-louisiana-table")
+    stations = session.add_table("Stations")
+    restrict = session.add_box("Restrict", {"predicate": "state = 'LA'"})
+    session.connect(stations, "out", restrict, "in")
+    project = session.add_box(
+        "Project", {"fields": ["name", "longitude", "latitude", "altitude"]}
+    )
+    session.connect(restrict, "out", project, "in")
+    window = session.add_viewer(project, name="table", width=640, height=360)
+    # The default display is the terminal-monitor listing: x = 0, y = tuple
+    # sequence; frame the first rows.
+    window.viewer.pan_to(220.0, -8.0)
+    window.viewer.set_elevation(480.0)
+    return Scenario(
+        session,
+        stations=stations,
+        restrict=restrict,
+        project=project,
+        window=window,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: the station scatter map
+# ---------------------------------------------------------------------------
+
+
+def station_map_pipeline(
+    session: Session,
+    with_names: bool = True,
+    name_range: tuple[float, float] | None = None,
+) -> int:
+    """The Figure-4 pipeline: restrict to Louisiana, map (longitude,
+    latitude) → (x, y), circle + name display, Altitude slider dimension.
+
+    Returns the id of the last box.  ``name_range`` optionally applies the
+    Figure-7 Set Range so the display is only defined at low elevations.
+    """
+    stations = session.add_table("Stations")
+    restrict = session.add_box("Restrict", {"predicate": "state = 'LA'"})
+    session.connect(stations, "out", restrict, "in")
+    set_x = session.add_box("SetAttribute", {"name": "x", "definition": "longitude"})
+    session.connect(restrict, "out", set_x, "in")
+    set_y = session.add_box("SetAttribute", {"name": "y", "definition": "latitude"})
+    session.connect(set_x, "out", set_y, "in")
+    if with_names:
+        display = (
+            "combine(circle(4, 'blue'), offset(text_of(name), 0, -10))"
+        )
+    else:
+        display = "filled_circle(3, 'blue')"
+    set_display = session.add_box(
+        "SetAttribute", {"name": "display", "definition": display}
+    )
+    session.connect(set_y, "out", set_display, "in")
+    add_altitude = session.add_box(
+        "AddAttribute",
+        {"name": "Altitude", "definition": "altitude", "location": True},
+    )
+    session.connect(set_display, "out", add_altitude, "in")
+    last = add_altitude
+    if name_range is not None:
+        set_range = session.add_box(
+            "SetRange", {"minimum": name_range[0], "maximum": name_range[1]}
+        )
+        session.connect(last, "out", set_range, "in")
+        last = set_range
+    return last
+
+
+def build_fig4_station_map(db: Database) -> Scenario:
+    """Figure 4: circle + station name at each (longitude, latitude), with an
+    Altitude slider dimension."""
+    session = Session(db, "fig4-station-map")
+    tail = station_map_pipeline(session)
+    window = session.add_viewer(tail, name="stations", width=640, height=480)
+    window.viewer.pan_to(*LOUISIANA_CENTER)
+    window.viewer.set_elevation(STATE_ELEVATION)
+    return Scenario(session, tail=tail, window=window)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: overlays with restricted elevation ranges (drill down in place)
+# ---------------------------------------------------------------------------
+
+
+def _map_pipeline(session: Session) -> int:
+    """The Louisiana border as a 2-D relation of line segments."""
+    map_table = session.add_table("LouisianaMap")
+    set_x = session.add_box("SetAttribute", {"name": "x", "definition": "lon0"})
+    session.connect(map_table, "out", set_x, "in")
+    set_y = session.add_box("SetAttribute", {"name": "y", "definition": "lat0"})
+    session.connect(set_x, "out", set_y, "in")
+    set_display = session.add_box(
+        "SetAttribute",
+        {"name": "display", "definition": "line_to(dlon, dlat, 'darkgray')"},
+    )
+    session.connect(set_y, "out", set_display, "in")
+    return set_display
+
+
+def build_fig7_overlay(db: Database) -> Scenario:
+    """Figure 7: state map ∪ circles-everywhere ∪ names-only-at-low-elevation.
+
+    "a third display is overlaid to give less detail at higher elevations ...
+    The ranges of the two weather station displays are set so that station
+    names disappear at high elevations, where they would be illegible."  The
+    2-D map is invariant under the Altitude slider (§6.1's dimension-mismatch
+    rule).
+    """
+    session = Session(db, "fig7-overlay")
+    map_tail = _map_pipeline(session)
+    # Detailed display (circle + name), defined only below NAME_MAX_ELEVATION.
+    detailed = station_map_pipeline(
+        session, with_names=True, name_range=(0.0, NAME_MAX_ELEVATION)
+    )
+    # Coarse display (circle only), defined at all elevations.
+    coarse = station_map_pipeline(session, with_names=False)
+    overlay_low = session.add_box("Overlay")
+    session.connect(map_tail, "out", overlay_low, "base")
+    session.connect(coarse, "out", overlay_low, "top")
+    overlay_high = session.add_box("Overlay")
+    session.connect(overlay_low, "out", overlay_high, "base")
+    session.connect(detailed, "out", overlay_high, "top")
+    window = session.add_viewer(overlay_high, name="map", width=640, height=480)
+    window.viewer.pan_to(*LOUISIANA_CENTER)
+    window.viewer.set_elevation(STATE_ELEVATION)
+    return Scenario(
+        session,
+        map_tail=map_tail,
+        detailed=detailed,
+        coarse=coarse,
+        overlay=overlay_high,
+        window=window,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: wormholes to a time-series canvas, plus the rear view mirror
+# ---------------------------------------------------------------------------
+
+
+def temperature_series_pipeline(
+    session: Session,
+    value_field: str = "temperature",
+    color: str = "red",
+    value_scale: float = 0.4,
+) -> int:
+    """Observations ⋈ Stations for Louisiana as a banded time-series relation.
+
+    x = days since 1985-01-01 (scaled), y = station band + scaled value; one
+    horizontal band of data per station so a wormhole can land on station s.
+    """
+    observations = session.add_table("Observations")
+    stations = session.add_table("Stations")
+    la_only = session.add_box("Restrict", {"predicate": "state = 'LA'"})
+    session.connect(stations, "out", la_only, "in")
+    join = session.add_box(
+        "Join", {"left_key": "station_id", "right_key": "station_id"}
+    )
+    session.connect(observations, "out", join, "left")
+    session.connect(la_only, "out", join, "right")
+    set_x = session.add_box(
+        "SetAttribute",
+        {
+            "name": "x",
+            "definition": (
+                f"((year(obs_date) - 1985) * 365 + day_of_year(obs_date)) "
+                f"* {SERIES_X_SCALE}"
+            ),
+        },
+    )
+    session.connect(join, "out", set_x, "in")
+    set_y = session.add_box(
+        "SetAttribute",
+        {
+            "name": "y",
+            "definition": (
+                f"station_id * {BAND_HEIGHT} + {value_field} * {value_scale}"
+            ),
+        },
+    )
+    session.connect(set_x, "out", set_y, "in")
+    set_display = session.add_box(
+        "SetAttribute",
+        {"name": "display", "definition": f"filled_circle(1, '{color}')"},
+    )
+    session.connect(set_y, "out", set_display, "in")
+    return set_display
+
+
+def band_center(station_id: int) -> tuple[float, float]:
+    """Where station ``station_id``'s band sits on the series canvas."""
+    # 11 years of data; x midpoint ≈ 5.5 years in scaled units.
+    mid_x = 5.5 * 365 * SERIES_X_SCALE
+    return (mid_x, station_id * BAND_HEIGHT + 25.0)
+
+
+def build_fig8_wormholes(db: Database) -> Scenario:
+    """Figure 8: zooming into a station reveals a wormhole to its temperature
+    time series; traversal populates the rear view mirror.
+
+    "Upon zooming into an individual station s, a wormhole appears (achieved
+    by a combination of modifying display functions and overlaying and
+    setting ranges) that takes the user to a canvas displaying temperature
+    data for each station as a function of time.  The user is initially
+    positioned viewing the data for station s."
+    """
+    session = Session(db, "fig8-wormholes")
+
+    # The destination canvas: temperature vs time for every LA station.
+    series_tail = temperature_series_pipeline(session)
+    series_window = session.add_viewer(
+        series_tail, name="tempseries", width=640, height=480,
+    )
+    series_window.viewer.set_elevation(200.0)
+
+    # The map canvas of Figure 7, plus a wormhole display defined only at
+    # very low elevations (it "appears upon zooming in").
+    map_tail = _map_pipeline(session)
+    coarse = station_map_pipeline(session, with_names=False)
+    detailed = station_map_pipeline(
+        session, with_names=True, name_range=(2.0, NAME_MAX_ELEVATION)
+    )
+    wormholes = station_map_pipeline(session, with_names=False)
+    mid_x, __ = band_center(0)
+    set_wormhole = session.add_box(
+        "SetAttribute",
+        {
+            "name": "display",
+            "definition": (
+                "combine("
+                "wormhole('tempseries', 120, 80, 60, "
+                f"{mid_x}, station_id * {BAND_HEIGHT} + 25.0), "
+                "offset(text_of(name), 0, -50))"
+            ),
+        },
+    )
+    session.connect(wormholes, "out", set_wormhole, "in")
+    wormhole_range = session.add_box("SetRange", {"minimum": 0.0, "maximum": 2.0})
+    session.connect(set_wormhole, "out", wormhole_range, "in")
+
+    overlay1 = session.add_box("Overlay")
+    session.connect(map_tail, "out", overlay1, "base")
+    session.connect(coarse, "out", overlay1, "top")
+    overlay2 = session.add_box("Overlay")
+    session.connect(overlay1, "out", overlay2, "base")
+    session.connect(detailed, "out", overlay2, "top")
+    overlay3 = session.add_box("Overlay")
+    session.connect(overlay2, "out", overlay3, "base")
+    session.connect(wormhole_range, "out", overlay3, "top")
+
+    # The underside of the map canvas (§6.3): return wormholes at each
+    # station, visible only in the rear view mirror after passing through —
+    # "a natural use of the rear view mirror is to illuminate the wormholes
+    # back to the canvas from which the user came."
+    underside = station_map_pipeline(session, with_names=False)
+    set_return = session.add_box(
+        "SetAttribute",
+        {
+            "name": "display",
+            "definition": (
+                f"combine(wormhole('map', 90, 60, {STATE_ELEVATION}, "
+                "longitude, latitude), offset(text_of(name), 0, -40))"
+            ),
+        },
+    )
+    session.connect(underside, "out", set_return, "in")
+    underside_range = session.add_box(
+        "SetRange", {"minimum": -1e9, "maximum": -1e-9}
+    )
+    session.connect(set_return, "out", underside_range, "in")
+    overlay4 = session.add_box("Overlay")
+    session.connect(overlay3, "out", overlay4, "base")
+    session.connect(underside_range, "out", overlay4, "top")
+
+    map_window = session.add_viewer(overlay4, name="map", width=640, height=480)
+    map_window.viewer.pan_to(*LOUISIANA_CENTER)
+    map_window.viewer.set_elevation(STATE_ELEVATION)
+    session.navigator.set_current("map")
+    return Scenario(
+        session,
+        map_window=map_window,
+        series_window=series_window,
+        overlay=overlay4,
+        series_tail=series_tail,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: magnifying glass with an alternative display attribute
+# ---------------------------------------------------------------------------
+
+
+def build_fig9_magnifier(db: Database) -> Scenario:
+    """Figure 9: a temperature-vs-time display with a magnifying glass whose
+    inner viewer shows the precipitation alternative display.
+
+    "An alternative display attribute shows precipitation vs. time ... the
+    magnifying glass is realized by making the precipitation display the
+    display attribute (done by the Swap Attribute box) and then viewing the
+    resulting relation."
+    """
+    session = Session(db, "fig9-magnifier")
+    series_tail = temperature_series_pipeline(session)
+    # Add the alternative displays: precip display + precip y location.
+    alt_display = session.add_box(
+        "AddAttribute",
+        {
+            "name": "precip_display",
+            "definition": "filled_circle(1, 'green')",
+            "declared_type": "drawables",
+        },
+    )
+    session.connect(series_tail, "out", alt_display, "in")
+    alt_y = session.add_box(
+        "AddAttribute",
+        {
+            "name": "precip_y",
+            "definition": f"station_id * {BAND_HEIGHT} + precipitation * 10",
+        },
+    )
+    session.connect(alt_display, "out", alt_y, "in")
+    # The T lets both the main viewer and the magnifier branch consume the
+    # relation (§4.1).
+    tee = session.add_box("T", {"kind": "R"})
+    session.connect(alt_y, "out", tee, "in")
+    # The magnifier branch swaps display <-> precip_display and y <-> precip_y.
+    swap_display = session.add_box(
+        "SwapAttributes", {"first": "display", "second": "precip_display"}
+    )
+    session.connect(tee, "out2", swap_display, "in")
+    swap_y = session.add_box(
+        "SwapAttributes", {"first": "y", "second": "precip_y"}
+    )
+    session.connect(swap_display, "out", swap_y, "in")
+
+    window = session.add_viewer(tee, src_port="out1", name="temperature",
+                                width=640, height=480)
+    new_orleans = band_center(1)
+    window.viewer.pan_to(*new_orleans)
+    window.viewer.set_elevation(80.0)
+    glass = window.add_magnifier(
+        rect=(400.0, 160.0, 180.0, 140.0),
+        magnification=4.0,
+        source=lambda: session.engine.output_of(swap_y, "out"),
+    )
+    return Scenario(
+        session,
+        window=window,
+        glass=glass,
+        swap_tail=swap_y,
+        tee=tee,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: stitched temperature and precipitation viewers, slaved
+# ---------------------------------------------------------------------------
+
+
+def build_fig10_stitch(db: Database) -> Scenario:
+    """Figure 10: temperature-vs-time stitched to precipitation-vs-time, with
+    the precipitation display slaved to the temperature display.
+
+    "whenever the user changes the date range under temperature, the
+    precipitation display changes to display the same date range."
+    """
+    session = Session(db, "fig10-stitch")
+    temperature = temperature_series_pipeline(
+        session, value_field="temperature", color="red"
+    )
+    precipitation = temperature_series_pipeline(
+        session, value_field="precipitation", color="green", value_scale=10.0
+    )
+    stitch = session.add_box(
+        "Stitch",
+        {"arity": 2, "layout": "horizontal",
+         "names": ["temperature", "precipitation"]},
+    )
+    session.connect(temperature, "out", stitch, "c1")
+    session.connect(precipitation, "out", stitch, "c2")
+    window = session.add_viewer(stitch, name="stitched", width=800, height=400)
+    start = band_center(1)
+    window.viewer.pan_to(*start, member="temperature")
+    window.viewer.set_elevation(60.0, member="temperature")
+    window.viewer.pan_to(*start, member="precipitation")
+    window.viewer.set_elevation(60.0, member="precipitation")
+    link = session.slaving.slave(
+        window.viewer, window.viewer,
+        a_member="temperature", b_member="precipitation",
+    )
+    return Scenario(session, window=window, stitch=stitch, link=link)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: replication by partition
+# ---------------------------------------------------------------------------
+
+
+def build_fig11_replicate(db: Database) -> Scenario:
+    """Figure 11: the temperature display replicated into records before 1990
+    and from 1990 on.
+
+    "a viewer showing temperature vs. time and precipitation vs. time has
+    been replicated to show records for years prior to 1990 and after 1990
+    separately."  The replicate goes through the overload machinery: the
+    user names the relation inside the displayable the partition applies to.
+    """
+    session = Session(db, "fig11-replicate")
+    temperature = temperature_series_pipeline(
+        session, value_field="temperature", color="red"
+    )
+    replicate = session.add_box(
+        "Replicate",
+        {
+            "predicates": ["year(obs_date) < 1990", "year(obs_date) >= 1990"],
+            "layout": "horizontal",
+        },
+    )
+    session.connect(temperature, "out", replicate, "in")
+    window = session.add_viewer(replicate, name="replicated", width=800, height=400)
+    early_center = (2.5 * 365 * SERIES_X_SCALE, band_center(1)[1])
+    late_center = (8.0 * 365 * SERIES_X_SCALE, band_center(1)[1])
+    window.viewer.pan_to(*early_center, member="part1")
+    window.viewer.set_elevation(60.0, member="part1")
+    window.viewer.pan_to(*late_center, member="part2")
+    window.viewer.set_elevation(60.0, member="part2")
+    return Scenario(session, window=window, replicate=replicate,
+                    temperature=temperature)

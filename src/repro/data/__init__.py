@@ -1,0 +1,39 @@
+"""Deterministic synthetic data: the weather example and benchmark workloads."""
+
+from repro.data.geography import (
+    LOUISIANA_OUTLINE,
+    MAP_SCHEMA,
+    build_louisiana_map_table,
+    outline_to_segments,
+)
+from repro.data.weather import (
+    LOUISIANA_STATIONS,
+    OBSERVATIONS_SCHEMA,
+    STATIONS_SCHEMA,
+    build_observations_table,
+    build_stations_table,
+    build_weather_database,
+)
+from repro.data.workloads import (
+    POINTS_SCHEMA,
+    build_pairs_tables,
+    build_points_database,
+    build_points_table,
+)
+
+__all__ = [
+    "LOUISIANA_OUTLINE",
+    "LOUISIANA_STATIONS",
+    "MAP_SCHEMA",
+    "OBSERVATIONS_SCHEMA",
+    "POINTS_SCHEMA",
+    "STATIONS_SCHEMA",
+    "build_louisiana_map_table",
+    "build_observations_table",
+    "build_pairs_tables",
+    "build_points_database",
+    "build_points_table",
+    "build_stations_table",
+    "build_weather_database",
+    "outline_to_segments",
+]

@@ -1,0 +1,89 @@
+"""Map geometry: the Louisiana state outline as a relation of line segments.
+
+Figure 7 overlays the station scatter with "a map of Louisiana ... derived
+from a relation of lines defining the map".  Each tuple is one border
+segment: a start point (longitude, latitude) and a delta to the end point,
+displayable with the ``line_to`` world-unit drawable.  The outline is a
+simplified tracing of the real border (fidelity is cosmetic; the overlay
+mechanism is what the reproduction exercises).
+"""
+
+from __future__ import annotations
+
+from repro.dbms.relation import Table
+from repro.dbms.tuples import Schema
+
+__all__ = [
+    "LOUISIANA_OUTLINE",
+    "MAP_SCHEMA",
+    "build_louisiana_map_table",
+    "outline_to_segments",
+]
+
+# Simplified Louisiana border, (longitude, latitude), drawn clockwise from
+# the northwest corner.  Closed implicitly (last point joins the first).
+LOUISIANA_OUTLINE: list[tuple[float, float]] = [
+    (-94.04, 33.02),  # NW corner
+    (-91.17, 33.00),  # north border east along 33°N
+    (-91.10, 32.50),  # Mississippi river southward
+    (-90.95, 32.05),
+    (-91.35, 31.60),
+    (-91.50, 31.20),
+    (-91.60, 31.00),  # 31°N west of the river
+    (-89.73, 31.00),  # east along 31°N
+    (-89.83, 30.65),  # Pearl river south
+    (-89.62, 30.18),
+    (-89.20, 30.05),  # coastal east tip
+    (-89.40, 29.40),  # delta
+    (-89.10, 29.00),
+    (-89.90, 29.20),
+    (-90.60, 29.10),
+    (-91.30, 29.50),
+    (-91.85, 29.70),
+    (-92.60, 29.55),
+    (-93.30, 29.75),
+    (-93.85, 29.70),  # SW coast
+    (-93.72, 30.05),  # Sabine river north
+    (-93.70, 30.60),
+    (-93.55, 31.10),
+    (-93.82, 31.60),
+    (-94.04, 31.99),  # TX corner
+]
+
+MAP_SCHEMA = Schema(
+    [
+        ("segment_id", "int"),
+        ("lon0", "float"),
+        ("lat0", "float"),
+        ("dlon", "float"),
+        ("dlat", "float"),
+    ]
+)
+
+
+def outline_to_segments(
+    outline: list[tuple[float, float]],
+) -> list[dict[str, float]]:
+    """Close an outline polygon into per-segment rows."""
+    segments = []
+    count = len(outline)
+    for index in range(count):
+        lon0, lat0 = outline[index]
+        lon1, lat1 = outline[(index + 1) % count]
+        segments.append(
+            {
+                "segment_id": index + 1,
+                "lon0": lon0,
+                "lat0": lat0,
+                "dlon": round(lon1 - lon0, 4),
+                "dlat": round(lat1 - lat0, 4),
+            }
+        )
+    return segments
+
+
+def build_louisiana_map_table(name: str = "LouisianaMap") -> Table:
+    """The map relation Figure 7 overlays under the stations."""
+    table = Table(name, MAP_SCHEMA)
+    table.insert_many(outline_to_segments(LOUISIANA_OUTLINE))
+    return table

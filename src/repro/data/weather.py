@@ -1,0 +1,208 @@
+"""Synthetic North-America weather data (the paper's running example).
+
+The paper's scenario: "The data is stored in two relations: Stations, which
+contains a tuple describing each weather station, and Observations, which
+contains all observations (e.g., date, time, conditions) from all stations.
+The data covers all of North America and contains a great deal of information
+besides temperature and precipitation." (§4)
+
+We generate a deterministic substitute: the real Louisiana stations the
+figures show (names and approximate coordinates), a configurable number of
+additional stations across North America (so Restrict to Louisiana matters),
+and per-station observation time series with latitude and seasonal structure
+spanning years before and after 1990 (Figure 11's partition).  Temperatures
+are °F, precipitation inches, altitudes feet — as a 1996 NOAA feed would be.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+import random
+
+from repro.dbms.catalog import Database
+from repro.dbms.relation import Table
+from repro.dbms.tuples import Schema
+
+__all__ = [
+    "LOUISIANA_STATIONS",
+    "STATIONS_SCHEMA",
+    "OBSERVATIONS_SCHEMA",
+    "build_stations_table",
+    "build_observations_table",
+    "build_weather_database",
+]
+
+# name, longitude, latitude, altitude (ft) — approximate real values.
+LOUISIANA_STATIONS: list[tuple[str, float, float, float]] = [
+    ("New Orleans", -90.07, 29.95, 7.0),
+    ("Baton Rouge", -91.15, 30.45, 56.0),
+    ("Shreveport", -93.75, 32.52, 141.0),
+    ("Lafayette", -92.02, 30.22, 36.0),
+    ("Lake Charles", -93.22, 30.23, 13.0),
+    ("Monroe", -92.12, 32.51, 72.0),
+    ("Alexandria", -92.45, 31.31, 79.0),
+    ("Houma", -90.72, 29.60, 10.0),
+    ("Slidell", -89.78, 30.28, 27.0),
+    ("Natchitoches", -93.09, 31.76, 120.0),
+    ("Ruston", -92.64, 32.52, 253.0),
+    ("Hammond", -90.46, 30.50, 42.0),
+    ("Morgan City", -91.21, 29.70, 5.0),
+    ("Bogalusa", -89.85, 30.79, 103.0),
+    ("Opelousas", -92.08, 30.53, 70.0),
+    ("Bastrop", -91.91, 32.78, 128.0),
+    ("Minden", -93.29, 32.62, 250.0),
+    ("Crowley", -92.37, 30.21, 25.0),
+]
+
+_OTHER_STATES = (
+    "TX", "MS", "AR", "AL", "FL", "GA", "TN", "OK", "NM", "AZ", "CA", "OR",
+    "WA", "NV", "UT", "CO", "KS", "MO", "KY", "VA", "NC", "SC", "OH", "IN",
+    "IL", "MI", "WI", "MN", "IA", "NE", "SD", "ND", "MT", "ID", "WY", "NY",
+    "PA", "NJ", "MD", "ME", "VT", "NH", "MA", "CT", "RI", "WV", "DE",
+)
+
+STATIONS_SCHEMA = Schema(
+    [
+        ("station_id", "int"),
+        ("name", "text"),
+        ("state", "text"),
+        ("longitude", "float"),
+        ("latitude", "float"),
+        ("altitude", "float"),
+        ("established", "date"),
+    ]
+)
+
+OBSERVATIONS_SCHEMA = Schema(
+    [
+        ("station_id", "int"),
+        ("obs_date", "date"),
+        ("temperature", "float"),
+        ("precipitation", "float"),
+        ("wind_speed", "float"),
+        ("conditions", "text"),
+    ]
+)
+
+_CONDITIONS = ("clear", "cloudy", "rain", "storm", "fog")
+
+
+def build_stations_table(extra_stations: int = 60, seed: int = 7) -> Table:
+    """The Stations relation: Louisiana's real stations plus synthetic ones
+    spread across North America."""
+    rng = random.Random(seed)
+    table = Table("Stations", STATIONS_SCHEMA)
+    rows = []
+    station_id = 1
+    for name, longitude, latitude, altitude in LOUISIANA_STATIONS:
+        rows.append(
+            {
+                "station_id": station_id,
+                "name": name,
+                "state": "LA",
+                "longitude": longitude,
+                "latitude": latitude,
+                "altitude": altitude,
+                "established": _dt.date(1900 + rng.randrange(0, 70), 1, 1),
+            }
+        )
+        station_id += 1
+    for __ in range(extra_stations):
+        state = rng.choice(_OTHER_STATES)
+        longitude = rng.uniform(-124.5, -68.0)
+        latitude = rng.uniform(25.5, 49.0)
+        altitude = max(0.0, rng.gauss(800.0, 900.0))
+        rows.append(
+            {
+                "station_id": station_id,
+                "name": f"Station {station_id:03d} {state}",
+                "state": state,
+                "longitude": round(longitude, 2),
+                "latitude": round(latitude, 2),
+                "altitude": round(altitude, 1),
+                "established": _dt.date(1900 + rng.randrange(0, 80), 1, 1),
+            }
+        )
+        station_id += 1
+    table.insert_many(rows)
+    return table
+
+
+def _temperature(latitude: float, day_of_year: int, rng: random.Random) -> float:
+    """°F with latitude gradient, seasonal swing, and noise."""
+    base = 95.0 - 1.4 * latitude
+    seasonal = 22.0 * math.sin(2.0 * math.pi * (day_of_year - 105) / 365.25)
+    return round(base + seasonal + rng.gauss(0.0, 4.0), 1)
+
+
+def _precipitation(latitude: float, day_of_year: int, rng: random.Random) -> float:
+    """Inches per observation period; wetter in summer, never negative."""
+    base = 0.12 + max(0.0, (35.0 - latitude)) * 0.015
+    seasonal = 0.08 * (1.0 + math.sin(2.0 * math.pi * (day_of_year - 160) / 365.25))
+    raw = rng.expovariate(1.0 / (base + seasonal))
+    return round(min(raw, 8.0), 2)
+
+
+def build_observations_table(
+    stations: Table,
+    start_year: int = 1985,
+    end_year: int = 1995,
+    every_days: int = 14,
+    seed: int = 11,
+) -> Table:
+    """The Observations relation: a time series per station.
+
+    ``every_days`` controls density (14 ≈ fortnightly).  The span straddles
+    1990 so Figure 11's ``year < 1990`` / ``year >= 1990`` partition is
+    non-trivial.
+    """
+    rng = random.Random(seed)
+    table = Table("Observations", OBSERVATIONS_SCHEMA)
+    start = _dt.date(start_year, 1, 1)
+    end = _dt.date(end_year, 12, 31)
+    step = _dt.timedelta(days=every_days)
+    rows = []
+    for station in stations:
+        latitude = station["latitude"]
+        current = start
+        while current <= end:
+            day_of_year = current.timetuple().tm_yday
+            precipitation = _precipitation(latitude, day_of_year, rng)
+            rows.append(
+                {
+                    "station_id": station["station_id"],
+                    "obs_date": current,
+                    "temperature": _temperature(latitude, day_of_year, rng),
+                    "precipitation": precipitation,
+                    "wind_speed": round(abs(rng.gauss(8.0, 5.0)), 1),
+                    "conditions": (
+                        "rain" if precipitation > 0.5 else rng.choice(_CONDITIONS)
+                    ),
+                }
+            )
+            current += step
+    table.insert_many(rows)
+    return table
+
+
+def build_weather_database(
+    extra_stations: int = 60,
+    start_year: int = 1985,
+    end_year: int = 1995,
+    every_days: int = 14,
+    seed: int = 7,
+    include_map: bool = True,
+) -> Database:
+    """The full example database: Stations, Observations, and the state map."""
+    db = Database("weather")
+    stations = build_stations_table(extra_stations, seed)
+    db.add_table(stations)
+    db.add_table(
+        build_observations_table(stations, start_year, end_year, every_days, seed + 4)
+    )
+    if include_map:
+        from repro.data.geography import build_louisiana_map_table
+
+        db.add_table(build_louisiana_map_table())
+    return db

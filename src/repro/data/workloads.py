@@ -1,0 +1,79 @@
+"""Scalable synthetic workloads for the performance benchmarks.
+
+The figure scenarios use the weather data; the Perf-* experiments need
+size-swept inputs.  Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dbms.catalog import Database
+from repro.dbms.relation import Table
+from repro.dbms.tuples import Schema
+
+__all__ = [
+    "POINTS_SCHEMA",
+    "build_points_table",
+    "build_pairs_tables",
+    "build_points_database",
+]
+
+POINTS_SCHEMA = Schema(
+    [
+        ("point_id", "int"),
+        ("x_pos", "float"),
+        ("y_pos", "float"),
+        ("value", "float"),
+        ("category", "text"),
+    ]
+)
+
+_CATEGORIES = ("alpha", "beta", "gamma", "delta")
+
+
+def build_points_table(
+    name: str, count: int, seed: int = 3, spread: float = 1000.0
+) -> Table:
+    """``count`` random points in a ``spread``-wide square with a value."""
+    rng = random.Random(seed)
+    table = Table(name, POINTS_SCHEMA)
+    table.insert_many(
+        {
+            "point_id": index + 1,
+            "x_pos": rng.uniform(-spread / 2, spread / 2),
+            "y_pos": rng.uniform(-spread / 2, spread / 2),
+            "value": rng.uniform(0.0, 100.0),
+            "category": rng.choice(_CATEGORIES),
+        }
+        for index in range(count)
+    )
+    return table
+
+
+def build_pairs_tables(
+    left_count: int, right_per_left: int, seed: int = 5
+) -> tuple[Table, Table]:
+    """A 1:N pair of tables for join benchmarks (think Stations/Observations)."""
+    rng = random.Random(seed)
+    left = Table(
+        "Left", Schema([("key", "int"), ("payload", "float")])
+    )
+    left.insert_many(
+        {"key": index + 1, "payload": rng.uniform(0, 1)} for index in range(left_count)
+    )
+    right = Table(
+        "Right", Schema([("ref", "int"), ("measure", "float")])
+    )
+    right.insert_many(
+        {"ref": rng.randrange(1, left_count + 1), "measure": rng.uniform(0, 1)}
+        for __ in range(left_count * right_per_left)
+    )
+    return left, right
+
+
+def build_points_database(count: int, seed: int = 3) -> Database:
+    """A database holding one Points table of the given size."""
+    db = Database("points")
+    db.add_table(build_points_table("Points", count, seed))
+    return db

@@ -1,0 +1,286 @@
+"""Drill-down and multi-view boxes: Set Range, Overlay, Shuffle (Fig 6) and
+Stitch, Replicate (Section 7).
+
+Set Range and Shuffle manipulate elevation-dependent visibility and drawing
+order — together with Overlay they are how drill down within one space is
+programmed (Figure 7: station names appear only at low elevations, the state
+map stays fixed).  Stitch assembles composites into a group; Replicate
+partitions a relation and stitches the partitions (Figure 11).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dataflow.box import Box
+from repro.dataflow.boxes_db import _filtered
+from repro.dataflow.overload import apply_to_relation, select_composite, select_relation
+from repro.dataflow.ports import Port
+from repro.display.displayable import (
+    Composite,
+    DisplayableRelation,
+    Group,
+    ensure_composite,
+)
+from repro.errors import DisplayError, GraphError
+
+__all__ = [
+    "SetRangeBox",
+    "OverlayBox",
+    "ShuffleBox",
+    "StitchBox",
+    "ReplicateBox",
+]
+
+
+class SetRangeBox(Box):
+    """Set Range (§6.1): "specifies the maximum and minimum elevations at
+    which a relation's display is defined.  Outside of this range, the
+    relation contributes nothing to the canvas."
+
+    Negative elevations place the display on the underside of the canvas,
+    visible in rear view mirrors (§6.3).
+    """
+
+    type_name = "SetRange"
+    overloadable = True
+
+    def __init__(
+        self,
+        minimum: float | None = None,
+        maximum: float | None = None,
+        component: str | None = None,
+        member: str | None = None,
+    ):
+        super().__init__(
+            {
+                "minimum": minimum,
+                "maximum": maximum,
+                "component": component,
+                "member": member,
+            }
+        )
+        self.inputs = [Port("in", "R")]
+        self.outputs = [Port("out", "R")]
+
+    def fire(self, inputs: dict[str, Any], context) -> dict[str, Any]:
+        minimum = float(self.require_param("minimum"))
+        maximum = float(self.require_param("maximum"))
+        return {
+            "out": apply_to_relation(
+                inputs["in"],
+                lambda rel: rel.with_range(minimum, maximum),
+                self.param("component"),
+                self.param("member"),
+            )
+        }
+
+
+class OverlayBox(Box):
+    """Overlay (§6.1): superimpose the ``top`` composite onto the ``base``.
+
+    "The relative position of one overlay to another may be given either by
+    an explicit n-dimensional offset, or by dragging one canvas over the
+    other."  The offset parameters shift every component of ``top``.  Since
+    R = Composite(R), relations may be overlaid directly.  With a group on
+    the ``base`` input, ``member`` selects the composite to overlay onto and
+    the group is reassembled (§2).
+    """
+
+    type_name = "Overlay"
+    overloadable = True
+
+    def __init__(
+        self,
+        offset: dict[str, float] | None = None,
+        member: str | None = None,
+    ):
+        super().__init__({"offset": offset, "member": member})
+        self.inputs = [Port("base", "C"), Port("top", "C")]
+        self.outputs = [Port("out", "C")]
+
+    def fire(self, inputs: dict[str, Any], context) -> dict[str, Any]:
+        base, rebuild = select_composite(inputs["base"], self.param("member"))
+        top = ensure_composite(inputs["top"])
+        offset = self.param("offset") or {}
+        return {"out": rebuild(base.overlay(top, offset))}
+
+
+class ShuffleBox(Box):
+    """Shuffle (§6.1): "moves a relation to the 'top' of the drawing order"."""
+
+    type_name = "Shuffle"
+    overloadable = True
+
+    def __init__(self, component: str | None = None, member: str | None = None):
+        super().__init__({"component": component, "member": member})
+        self.inputs = [Port("in", "C")]
+        self.outputs = [Port("out", "C")]
+
+    def fire(self, inputs: dict[str, Any], context) -> dict[str, Any]:
+        composite, rebuild = select_composite(inputs["in"], self.param("member"))
+        component = self.require_param("component")
+        shuffled = composite.copy()
+        shuffled.shuffle_to_top(component)
+        return {"out": rebuild(shuffled)}
+
+
+class StitchBox(Box):
+    """Stitch (§7.3): "Any number of composites can be stitched together to
+    form a group displayable.  Groups can be displayed side-by-side, arranged
+    vertically, or laid out in a tabular fashion."
+
+    The box is built with a fixed arity; inputs are ``c1`` … ``cN``.  Member
+    names default to ``c1`` … ``cN`` and may be overridden with ``names``.
+    """
+
+    type_name = "Stitch"
+
+    def __init__(
+        self,
+        arity: int = 2,
+        layout: str = "horizontal",
+        names: list[str] | None = None,
+        table_shape: tuple[int, int] | list[int] | None = None,
+    ):
+        if arity < 1:
+            raise GraphError(f"Stitch arity must be >= 1, got {arity}")
+        if names is not None and len(names) != arity:
+            raise GraphError(
+                f"Stitch got {len(names)} names for arity {arity}"
+            )
+        super().__init__(
+            {
+                "arity": arity,
+                "layout": layout,
+                "names": names,
+                "table_shape": list(table_shape) if table_shape else None,
+            }
+        )
+        self.inputs = [Port(f"c{i + 1}", "C") for i in range(arity)]
+        self.outputs = [Port("out", "G")]
+
+    def fire(self, inputs: dict[str, Any], context) -> dict[str, Any]:
+        arity = self.require_param("arity")
+        names = self.param("names") or [f"c{i + 1}" for i in range(arity)]
+        shape = self.param("table_shape")
+        members = []
+        for i in range(arity):
+            value = inputs[f"c{i + 1}"]
+            if isinstance(value, Group):
+                raise GraphError(
+                    "Stitch takes composites; to restitch a group, stitch its "
+                    "members individually"
+                )
+            members.append((names[i], ensure_composite(value)))
+        group = Group(
+            members,
+            layout=self.param("layout", "horizontal"),
+            table_shape=tuple(shape) if shape else None,
+        )
+        return {"out": group}
+
+
+class ReplicateBox(Box):
+    """Replicate (§7.4): partition a relation and stitch the partitions.
+
+    "A relation can be replicated by specifying a partition.  Replicated
+    displays for each partition are stitched together into a group."  The
+    partition is a list of predicates in the query language, or an enumerated
+    field name (``enum_field``) whose distinct values induce the predicates.
+
+    Overloading (the Figure-11 case): with a composite input, each partition
+    member is the whole composite with the selected relation restricted; with
+    a group input, the member composites are each restricted, producing a
+    tabular group of (group members × partitions).
+    """
+
+    type_name = "Replicate"
+    overloadable = True
+
+    def __init__(
+        self,
+        predicates: list[str] | None = None,
+        enum_field: str | None = None,
+        layout: str = "horizontal",
+        component: str | None = None,
+        member: str | None = None,
+    ):
+        super().__init__(
+            {
+                "predicates": predicates,
+                "enum_field": enum_field,
+                "layout": layout,
+                "component": component,
+                "member": member,
+            }
+        )
+        self.inputs = [Port("in", "R")]
+        self.outputs = [Port("out", "G")]
+
+    def _partition_predicates(self, relation: DisplayableRelation) -> list[str]:
+        predicates = self.param("predicates")
+        if predicates:
+            return list(predicates)
+        enum_field = self.param("enum_field")
+        if not enum_field:
+            raise GraphError(
+                "Replicate needs partition predicates or an enum_field"
+            )
+        schema = relation.extended_schema
+        if enum_field not in schema:
+            raise GraphError(
+                f"relation {relation.name!r} has no attribute {enum_field!r}"
+            )
+        seen: list[Any] = []
+        for view in relation.views():
+            value = view[enum_field]
+            if value not in seen:
+                seen.append(value)
+        rendered = []
+        for value in seen:
+            if isinstance(value, str):
+                escaped = value.replace("'", "''")
+                rendered.append(f"{enum_field} = '{escaped}'")
+            else:
+                rendered.append(f"{enum_field} = {value}")
+        if not rendered:
+            raise DisplayError(
+                f"cannot replicate on {enum_field!r}: relation is empty"
+            )
+        return rendered
+
+    def fire(self, inputs: dict[str, Any], context) -> dict[str, Any]:
+        value = inputs["in"]
+        component = self.param("component")
+        member = self.param("member")
+        layout = self.param("layout", "horizontal")
+
+        if isinstance(value, Group):
+            # Figure 11: restrict the named relation inside every member.
+            relation, __ = select_relation(value, component, member)
+            predicates = self._partition_predicates(relation)
+            members: list[tuple[str, Composite]] = []
+            for pos, predicate in enumerate(predicates):
+                for name, composite in value:
+                    target, rebuild = select_relation(composite, component)
+                    restricted = rebuild(_filtered(target, predicate))
+                    members.append((f"{name}_part{pos + 1}", restricted))
+            return {
+                "out": Group(
+                    members,
+                    layout="tabular",
+                    table_shape=(len(predicates), len(value)),
+                )
+            }
+
+        relation, rebuild = select_relation(value, component, member)
+        predicates = self._partition_predicates(relation)
+        members = []
+        for pos, predicate in enumerate(predicates):
+            restricted = rebuild(_filtered(relation, predicate))
+            members.append((f"part{pos + 1}", ensure_composite(restricted)))
+        table_shape = None
+        if layout == "tabular":
+            table_shape = (1, len(members))
+        return {"out": Group(members, layout=layout, table_shape=table_shape)}

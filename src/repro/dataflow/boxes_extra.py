@@ -1,0 +1,324 @@
+"""Big-programmer boxes beyond the paper's minimal catalog (§1.2 principle 5).
+
+"It is expected that big programmers will still construct additional Tioga-2
+boxes as in the original Tioga system."  These are exactly such boxes —
+registered through the same registry, usable from Apply Box, serializable —
+demonstrating that the primitive set is extensible without touching the
+engine: aggregation, ordering, duplicate elimination, limiting, renaming,
+union, and scalar runtime parameters.
+
+:class:`ParameterBox` realizes the Section-2 remark that "a box input or
+output may be a scalar value (e.g., a runtime parameter supplied by the
+user)": it emits a typed scalar, and :class:`RestrictBox` (and
+:class:`ThresholdBox` here) consume scalar inputs referenced from predicate
+text as the ambient name ``param``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dataflow.box import Box
+from repro.dataflow.overload import apply_to_relation
+from repro.dataflow.ports import Port, PortType, scalar
+from repro.dataflow.registry import register_box_class
+from repro.dbms import algebra
+from repro.dbms import types as T
+from repro.dbms.parser import parse_expression
+from repro.dbms.relation import RowSet
+from repro.dbms.tuples import Field, Schema
+from repro.display.displayable import DisplayableRelation
+from repro.errors import GraphError, TypeCheckError
+
+__all__ = [
+    "AggregateBox",
+    "OrderByBox",
+    "DistinctBox",
+    "LimitBox",
+    "RenameBox",
+    "UnionBox",
+    "ParameterBox",
+    "ThresholdBox",
+]
+
+
+class AggregateBox(Box):
+    """Group-by aggregation: R → R'.
+
+    ``aggregations`` is a list of ``[agg, field, output_name]`` with ``agg``
+    one of count/sum/avg/min/max.  The output starts from the default
+    display (its schema is new), preserving the §5.2 guarantee.
+    """
+
+    type_name = "Aggregate"
+    overloadable = True
+
+    def __init__(
+        self,
+        keys: list[str] | None = None,
+        aggregations: list[list[str]] | None = None,
+        component: str | None = None,
+        member: str | None = None,
+    ):
+        super().__init__(
+            {
+                "keys": keys,
+                "aggregations": aggregations,
+                "component": component,
+                "member": member,
+            }
+        )
+        self.inputs = [Port("in", "R")]
+        self.outputs = [Port("out", "R")]
+
+    def fire(self, inputs: dict[str, Any], context) -> dict[str, Any]:
+        keys = self.require_param("keys")
+        aggregations = [tuple(spec) for spec in self.require_param("aggregations")]
+
+        def op(rel: DisplayableRelation) -> DisplayableRelation:
+            rows = algebra.group_by(rel.rows, keys, aggregations)
+            return DisplayableRelation(rows, name=f"{rel.name}_agg")
+
+        return {
+            "out": apply_to_relation(
+                inputs["in"], op, self.param("component"), self.param("member")
+            )
+        }
+
+
+class OrderByBox(Box):
+    """Sort a relation; the default display's tuple sequence follows suit,
+    so ordering directly reorders the terminal-monitor listing."""
+
+    type_name = "OrderBy"
+    overloadable = True
+
+    def __init__(
+        self,
+        fields: list[str] | None = None,
+        descending: bool = False,
+        component: str | None = None,
+        member: str | None = None,
+    ):
+        super().__init__(
+            {
+                "fields": fields,
+                "descending": descending,
+                "component": component,
+                "member": member,
+            }
+        )
+        self.inputs = [Port("in", "R")]
+        self.outputs = [Port("out", "R")]
+
+    def fire(self, inputs: dict[str, Any], context) -> dict[str, Any]:
+        fields = self.require_param("fields")
+        descending = bool(self.param("descending", False))
+
+        def op(rel: DisplayableRelation) -> DisplayableRelation:
+            return rel.with_rows(algebra.order_by(rel.rows, fields, descending))
+
+        return {
+            "out": apply_to_relation(
+                inputs["in"], op, self.param("component"), self.param("member")
+            )
+        }
+
+
+class DistinctBox(Box):
+    """Remove duplicate tuples (first occurrence wins)."""
+
+    type_name = "Distinct"
+    overloadable = True
+
+    def __init__(self, component: str | None = None, member: str | None = None):
+        super().__init__({"component": component, "member": member})
+        self.inputs = [Port("in", "R")]
+        self.outputs = [Port("out", "R")]
+
+    def fire(self, inputs: dict[str, Any], context) -> dict[str, Any]:
+        return {
+            "out": apply_to_relation(
+                inputs["in"],
+                lambda rel: rel.with_rows(algebra.distinct(rel.rows)),
+                self.param("component"),
+                self.param("member"),
+            )
+        }
+
+
+class LimitBox(Box):
+    """Keep the first N tuples — handy for taming the default table view."""
+
+    type_name = "Limit"
+    overloadable = True
+
+    def __init__(
+        self,
+        count: int | None = None,
+        component: str | None = None,
+        member: str | None = None,
+    ):
+        super().__init__({"count": count, "component": component, "member": member})
+        self.inputs = [Port("in", "R")]
+        self.outputs = [Port("out", "R")]
+
+    def fire(self, inputs: dict[str, Any], context) -> dict[str, Any]:
+        count = int(self.require_param("count"))
+        return {
+            "out": apply_to_relation(
+                inputs["in"],
+                lambda rel: rel.with_rows(algebra.limit(rel.rows, count)),
+                self.param("component"),
+                self.param("member"),
+            )
+        }
+
+
+class RenameBox(Box):
+    """Rename a stored field; computed attributes referencing the old name
+    are re-checked (and fail loudly) rather than silently breaking."""
+
+    type_name = "Rename"
+    overloadable = True
+
+    def __init__(
+        self,
+        old: str | None = None,
+        new: str | None = None,
+        component: str | None = None,
+        member: str | None = None,
+    ):
+        super().__init__(
+            {"old": old, "new": new, "component": component, "member": member}
+        )
+        self.inputs = [Port("in", "R")]
+        self.outputs = [Port("out", "R")]
+
+    def fire(self, inputs: dict[str, Any], context) -> dict[str, Any]:
+        old = self.require_param("old")
+        new = self.require_param("new")
+
+        def op(rel: DisplayableRelation) -> DisplayableRelation:
+            return rel.with_rows(algebra.rename(rel.rows, old, new))
+
+        return {
+            "out": apply_to_relation(
+                inputs["in"], op, self.param("component"), self.param("member")
+            )
+        }
+
+
+class UnionBox(Box):
+    """Bag union of two schema-identical relations (R × R → R).
+
+    The left input's visualization spec (methods, sliders, range) carries
+    over; the right contributes rows only.
+    """
+
+    type_name = "Union"
+
+    def __init__(self):
+        super().__init__({})
+        self.inputs = [Port("left", "R"), Port("right", "R")]
+        self.outputs = [Port("out", "R")]
+
+    def fire(self, inputs: dict[str, Any], context) -> dict[str, Any]:
+        left = inputs["left"]
+        right = inputs["right"]
+        if not isinstance(left, DisplayableRelation) or not isinstance(
+            right, DisplayableRelation
+        ):
+            raise GraphError("Union takes two relations (R); select components first")
+        return {"out": left.with_rows(algebra.union(left.rows, right.rows))}
+
+
+class ParameterBox(Box):
+    """A runtime parameter supplied by the user: ∅ → scalar (§2).
+
+    The UI would render this as an entry widget; programmatically the value
+    lives in ``value`` and editing it (set_param) invalidates consumers.
+    """
+
+    type_name = "Parameter"
+
+    def __init__(self, value_type: str = "float", value: Any = None):
+        super().__init__({"value_type": value_type, "value": value})
+        self.outputs = [Port("out", scalar(value_type))]
+
+    def fire(self, inputs: dict[str, Any], context) -> dict[str, Any]:
+        atomic = T.type_by_name(self.require_param("value_type"))
+        value = self.require_param("value")
+        return {"out": atomic.coerce(value)}
+
+
+class ThresholdBox(Box):
+    """Restrict driven by a scalar input: R × scalar → R.
+
+    The predicate text may reference the ambient name ``param`` — e.g.
+    ``altitude < param`` — whose value arrives on the scalar input at fire
+    time.  This is the runtime-parameter pattern of §2 made concrete.
+    """
+
+    type_name = "Threshold"
+    overloadable = True
+
+    def __init__(
+        self,
+        predicate: str | None = None,
+        value_type: str = "float",
+        component: str | None = None,
+        member: str | None = None,
+    ):
+        super().__init__(
+            {
+                "predicate": predicate,
+                "value_type": value_type,
+                "component": component,
+                "member": member,
+            }
+        )
+        self.inputs = [Port("in", "R"), Port("param", scalar(value_type))]
+        self.outputs = [Port("out", "R")]
+
+    def fire(self, inputs: dict[str, Any], context) -> dict[str, Any]:
+        source = self.require_param("predicate")
+        atomic = T.type_by_name(self.param("value_type", "float"))
+        value = inputs["param"]
+
+        def op(rel: DisplayableRelation) -> DisplayableRelation:
+            schema = rel.methods.reference_schema()
+            if "param" not in schema:
+                schema = schema.extend(Field("param", atomic))
+            expr = parse_expression(source, schema)
+            if expr.infer(schema) is not T.BOOL:
+                raise TypeCheckError(
+                    f"Threshold predicate {source!r} must be boolean"
+                )
+            kept = []
+            for seq, row in enumerate(rel.rows):
+                view = rel.methods.row_view(
+                    row, extra={"tioga_seq": seq, "param": value}
+                )
+                if bool(expr.evaluate(view)):
+                    kept.append(row)
+            return rel.with_rows(RowSet(rel.rows.schema, kept))
+
+        return {
+            "out": apply_to_relation(
+                inputs["in"], op, self.param("component"), self.param("member")
+            )
+        }
+
+
+for _cls in (
+    AggregateBox,
+    OrderByBox,
+    DistinctBox,
+    LimitBox,
+    RenameBox,
+    UnionBox,
+    ParameterBox,
+    ThresholdBox,
+):
+    register_box_class(_cls)

@@ -1,0 +1,96 @@
+"""Operator overloading over displayable types (Section 2).
+
+"Given a group G input to Restrict, Tioga-2 asks the user for the composite
+within the group, and the relation within that composite, to which the
+Restrict applies.  After applying the Restrict to the selected relation,
+Tioga-2 reassembles the composite and the group in the obvious way."
+
+:func:`select_relation` and :func:`select_composite` implement the selection
+and return a *rebuild* closure performing the reassembly.  Selection is by
+name (``member`` within a group, ``component`` within a composite); when the
+container has exactly one choice the selection may be omitted — otherwise a
+:class:`GraphError` asks for it, which the UI surfaces as the point-and-click
+prompt.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.display.displayable import Composite, DisplayableRelation, Group
+from repro.errors import GraphError
+
+__all__ = ["select_relation", "select_composite", "apply_to_relation"]
+
+RelationRebuild = Callable[[DisplayableRelation], Any]
+CompositeRebuild = Callable[[Composite], Any]
+
+
+def _sole(names: list[str], what: str, owner: str) -> str:
+    if len(names) == 1:
+        return names[0]
+    raise GraphError(
+        f"{owner} has {len(names)} {what}s ({', '.join(names)}); "
+        f"specify which {what} the operation applies to"
+    )
+
+
+def select_composite(
+    value: Composite | Group | DisplayableRelation, member: str | None = None
+) -> tuple[Composite, CompositeRebuild]:
+    """Resolve a composite-level operation's target within ``value``.
+
+    Returns the selected composite and a rebuild closure that reassembles a
+    value of the original kind around a replacement composite.
+    """
+    if isinstance(value, DisplayableRelation):
+        composite = Composite([value])
+        return composite, lambda new: new
+    if isinstance(value, Composite):
+        return value, lambda new: new
+    if isinstance(value, Group):
+        name = member if member is not None else _sole(
+            value.member_names(), "member", "group"
+        )
+        composite = value.member(name)
+        return composite, lambda new: value.replace_member(name, new)
+    raise GraphError(f"value of type {type(value).__name__} is not a displayable")
+
+
+def select_relation(
+    value: DisplayableRelation | Composite | Group,
+    component: str | None = None,
+    member: str | None = None,
+) -> tuple[DisplayableRelation, RelationRebuild]:
+    """Resolve an R-level operation's target within ``value``.
+
+    Returns the selected relation and a rebuild closure producing a value of
+    the original kind with the relation replaced.
+    """
+    if isinstance(value, DisplayableRelation):
+        return value, lambda new: new
+    composite, rebuild_container = select_composite(value, member)
+    name = component if component is not None else _sole(
+        composite.component_names(), "component", "composite"
+    )
+    relation = composite.entry_named(name).relation
+
+    def rebuild(new: DisplayableRelation) -> Any:
+        return rebuild_container(composite.replace_component(name, new))
+
+    return relation, rebuild
+
+
+def apply_to_relation(
+    value: DisplayableRelation | Composite | Group,
+    op: Callable[[DisplayableRelation], DisplayableRelation],
+    component: str | None = None,
+    member: str | None = None,
+) -> Any:
+    """Apply an R → R operation to ``value`` of any displayable kind.
+
+    The workhorse behind overloadable boxes: select, apply, reassemble.
+    A plain R input yields a plain R output (no spurious wrapping).
+    """
+    relation, rebuild = select_relation(value, component, member)
+    return rebuild(op(relation))

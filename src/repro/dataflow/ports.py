@@ -1,0 +1,152 @@
+"""Port types and connection compatibility for boxes-and-arrows programs.
+
+"Box inputs and outputs are typed and edges connect outputs to inputs of
+compatible types.  Any attempt to connect an output to an input of
+incompatible type is a type error." (Section 2)
+
+Port kinds are the three displayable types R, C, G plus scalars.  Two rules
+extend exact matching:
+
+* **Widening** by the type equivalences R = Composite(R) and C = Group(C): an
+  R output may feed a C or G input, and a C output may feed a G input.
+* **Overloading** (§2): boxes whose operation is defined on R (or C) accept
+  *higher* displayable inputs when they declare themselves overloadable; the
+  user then selects the component the operation applies to and the system
+  reassembles the composite/group around the result.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dbms import types as T
+from repro.display.displayable import Composite, DisplayableRelation, Group
+from repro.errors import TypeCheckError
+
+__all__ = [
+    "PortKind",
+    "RELATION",
+    "COMPOSITE",
+    "GROUP",
+    "PortType",
+    "Port",
+    "scalar",
+    "can_connect",
+    "kind_of_value",
+]
+
+RELATION = "R"
+COMPOSITE = "C"
+GROUP = "G"
+_DISPLAYABLE_KINDS = (RELATION, COMPOSITE, GROUP)
+_WIDENING_RANK = {RELATION: 0, COMPOSITE: 1, GROUP: 2}
+
+PortKind = str
+
+
+class PortType:
+    """The type of a port: a displayable kind or a scalar atomic type."""
+
+    __slots__ = ("kind", "atomic")
+
+    def __init__(self, kind: PortKind, atomic: T.AtomicType | None = None):
+        if kind == "scalar":
+            if atomic is None:
+                raise TypeCheckError("scalar port type needs an atomic type")
+        elif kind not in _DISPLAYABLE_KINDS:
+            raise TypeCheckError(
+                f"unknown port kind {kind!r}; want R, C, G, or scalar"
+            )
+        elif atomic is not None:
+            raise TypeCheckError(f"displayable port kind {kind} takes no atomic type")
+        self.kind = kind
+        self.atomic = atomic
+
+    @property
+    def displayable(self) -> bool:
+        return self.kind in _DISPLAYABLE_KINDS
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PortType)
+            and self.kind == other.kind
+            and self.atomic is other.atomic
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.atomic.name if self.atomic else None))
+
+    def __str__(self) -> str:
+        if self.kind == "scalar":
+            assert self.atomic is not None
+            return f"scalar:{self.atomic.name}"
+        return self.kind
+
+    def __repr__(self) -> str:
+        return f"PortType({self})"
+
+    @classmethod
+    def parse(cls, text: str) -> "PortType":
+        """Inverse of ``str``: 'R', 'C', 'G', or 'scalar:<type>'."""
+        if text in _DISPLAYABLE_KINDS:
+            return cls(text)
+        if text.startswith("scalar:"):
+            return cls("scalar", T.type_by_name(text.split(":", 1)[1]))
+        raise TypeCheckError(f"cannot parse port type {text!r}")
+
+
+R_PORT = PortType(RELATION)
+C_PORT = PortType(COMPOSITE)
+G_PORT = PortType(GROUP)
+
+
+def scalar(atomic: T.AtomicType | str) -> PortType:
+    """A scalar port type (runtime parameters supplied by the user, §2)."""
+    if isinstance(atomic, str):
+        atomic = T.type_by_name(atomic)
+    return PortType("scalar", atomic)
+
+
+class Port:
+    """A named, typed input or output of a box."""
+
+    __slots__ = ("name", "type", "optional")
+
+    def __init__(self, name: str, port_type: PortType | str, optional: bool = False):
+        self.name = name
+        self.type = (
+            PortType.parse(port_type) if isinstance(port_type, str) else port_type
+        )
+        self.optional = optional
+
+    def __repr__(self) -> str:
+        suffix = "?" if self.optional else ""
+        return f"Port({self.name}: {self.type}{suffix})"
+
+
+def can_connect(
+    output: PortType, input_: PortType, input_overloadable: bool = False
+) -> bool:
+    """May an edge run from ``output`` into ``input_``?
+
+    Exact match; widening R→C→G; or narrowing G/C→R (and G→C) into an
+    overloadable input, resolved by component selection at fire time.
+    """
+    if output == input_:
+        return True
+    if output.displayable and input_.displayable:
+        if _WIDENING_RANK[output.kind] < _WIDENING_RANK[input_.kind]:
+            return True
+        return input_overloadable
+    return False
+
+
+def kind_of_value(value: Any) -> PortKind:
+    """The displayable kind of a runtime value."""
+    if isinstance(value, DisplayableRelation):
+        return RELATION
+    if isinstance(value, Composite):
+        return COMPOSITE
+    if isinstance(value, Group):
+        return GROUP
+    return "scalar"

@@ -1,0 +1,159 @@
+"""Program-window operations (Figure 2).
+
+=============  ======================================================
+New Program    erase the program canvas
+Add Program    add a named (saved) program to the program canvas
+Load Program   shorthand for New Program followed by Add Program
+Save Program   save the current program in the database
+Apply Box      menu of boxes whose inputs match the selected edges
+Delete Box     restricted deletion (see :meth:`Program.delete_box`)
+Replace Box    replace one box by a compatible one
+T              add a T-node to a designated edge
+Encapsulate    see :mod:`repro.dataflow.encapsulate`
+=============  ======================================================
+
+These functions operate on a :class:`Program` and a :class:`Database`; the
+UI session (:mod:`repro.ui.session`) wraps them with undo and menus.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.boxes_db import TBox
+from repro.dataflow.encapsulate import EncapsulatedBox
+from repro.dataflow.graph import Edge, Program
+from repro.dataflow.ports import PortType
+from repro.dataflow.registry import compatible_boxes, instantiate
+from repro.dataflow.serialize import program_from_dict, program_to_dict
+from repro.dbms.catalog import Database
+from repro.errors import GraphError
+
+__all__ = [
+    "new_program",
+    "save_program",
+    "add_program",
+    "load_program",
+    "apply_box_candidates",
+    "apply_box",
+    "insert_t",
+    "register_encapsulated",
+]
+
+
+def new_program(name: str = "untitled") -> Program:
+    """New Program: a fresh, empty program canvas."""
+    return Program(name)
+
+
+def save_program(database: Database, program: Program) -> None:
+    """Save the current program in the database under its name."""
+    database.save_program(program.name, program_to_dict(program))
+
+
+def add_program(database: Database, program: Program, name: str) -> dict[int, int]:
+    """Add a named saved program to the current program canvas.
+
+    Returns the saved-id → new-id mapping of the merged boxes.
+    """
+    saved = program_from_dict(database.load_program(name))
+    return program.merge(saved)
+
+
+def load_program(database: Database, name: str) -> Program:
+    """Load Program: "shorthand for New Program followed by Add Program"."""
+    program = new_program(name)
+    add_program(database, program, name)
+    return program
+
+
+def _edge_type(program: Program, edge: Edge) -> PortType:
+    return program.box(edge.src_box).output_port(edge.src_port).type
+
+
+def apply_box_candidates(
+    program: Program,
+    edges: list[Edge],
+    database: Database | None = None,
+) -> list[str]:
+    """Apply Box (§4.1): the menu of boxes that could take these edges.
+
+    Candidates are registered primitive box types plus encapsulated boxes
+    saved in the database's box registry.
+    """
+    edge_types = [_edge_type(program, edge) for edge in edges]
+    candidates = compatible_boxes(edge_types)
+    if database is not None:
+        from repro.dataflow.registry import inputs_match
+
+        for name in database.box_names():
+            spec = database.box(name)
+            if isinstance(spec, EncapsulatedBox):
+                required = [p for p in spec.inputs if not p.optional]
+                if len(required) == len(edge_types) and all(
+                    rt == pt.type
+                    for rt, pt in zip(edge_types, required)
+                ):
+                    candidates.append(name)
+    return candidates
+
+
+def apply_box(
+    program: Program,
+    edges: list[Edge],
+    type_name: str,
+    params: dict | None = None,
+    database: Database | None = None,
+) -> int:
+    """Instantiate the chosen box and wire the selected edges into it.
+
+    Each selected edge feeds one required input, in port order.  Selected
+    edges keep their original destinations too (the new box taps the values
+    through additional arrows is NOT the paper's semantics — the edges
+    identify *outputs* to consume, so the new box is connected from the same
+    source ports).
+    """
+    if database is not None and database.has_box(type_name):
+        spec = database.box(type_name)
+        if not isinstance(spec, EncapsulatedBox):
+            raise GraphError(f"catalog entry {type_name!r} is not a usable box")
+        box = EncapsulatedBox(**spec.params)
+    else:
+        box = instantiate(type_name, params)
+    required = [port for port in box.inputs if not port.optional]
+    if len(required) != len(edges):
+        raise GraphError(
+            f"box {type_name!r} needs {len(required)} inputs, "
+            f"{len(edges)} edges selected"
+        )
+    box_id = program.add_box(box)
+    try:
+        for port, edge in zip(required, edges):
+            program.connect(edge.src_box, edge.src_port, box_id, port.name)
+    except Exception:
+        for stale in list(program.edges()):
+            if stale.dst_box == box_id:
+                program.disconnect(stale)
+        del program._boxes[box_id]
+        box.box_id = None
+        raise
+    return box_id
+
+
+def insert_t(program: Program, edge: Edge) -> int:
+    """T (Fig 2): "Add a T-node to a designated edge."
+
+    The edge is split through a new T box whose free output is available for
+    e.g. a viewer — the §10 debugging story ("a viewer can be installed on
+    any arc in a diagram").
+    """
+    kind = str(_edge_type(program, edge))
+    t_box = TBox(kind=kind)
+    return program.insert_on_edge(edge, t_box, "in", "out1")
+
+
+def register_encapsulated(database: Database, box: EncapsulatedBox) -> None:
+    """Register a user-defined encapsulated box in the database catalog so it
+    appears in the boxes menu and Apply Box results."""
+    name = box.param("name")
+    if not name:
+        raise GraphError("encapsulated box has no name to register under")
+    database.register_box(name, box)

@@ -1,0 +1,107 @@
+"""The box registry: names → box classes, and Apply Box candidate search.
+
+"Apply Box gives the user a menu of all boxes whose inputs match the types of
+the selected edges.  This is a shorthand way to identify those boxes in the
+database that could possibly take the indicated edges as input." (§4.1)
+
+Primitive box classes register here (keyed by ``type_name``); the registry
+also powers program deserialization.  Database-resident boxes — encapsulated
+boxes the user defined — live in the catalog and are merged into Apply Box
+results by the UI session.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterable
+
+from repro.dataflow.box import Box
+from repro.dataflow.ports import PortType, can_connect
+from repro.errors import CatalogError
+
+__all__ = [
+    "register_box_class",
+    "box_class",
+    "box_class_names",
+    "instantiate",
+    "inputs_match",
+    "compatible_boxes",
+]
+
+_BOX_CLASSES: dict[str, type[Box]] = {}
+
+
+def register_box_class(cls: type[Box]) -> type[Box]:
+    """Register a Box subclass under its ``type_name`` (idempotent per class)."""
+    existing = _BOX_CLASSES.get(cls.type_name)
+    if existing is not None and existing is not cls:
+        raise CatalogError(
+            f"box type {cls.type_name!r} is already registered by "
+            f"{existing.__module__}.{existing.__name__}"
+        )
+    _BOX_CLASSES[cls.type_name] = cls
+    return cls
+
+
+def box_class(type_name: str) -> type[Box]:
+    try:
+        return _BOX_CLASSES[type_name]
+    except KeyError as exc:
+        known = ", ".join(sorted(_BOX_CLASSES))
+        raise CatalogError(
+            f"unknown box type {type_name!r}; registered: {known}"
+        ) from exc
+
+
+def box_class_names() -> list[str]:
+    return sorted(_BOX_CLASSES)
+
+
+def instantiate(type_name: str, params: dict | None = None) -> Box:
+    """Create a box of a registered type from its parameter dict."""
+    cls = box_class(type_name)
+    return cls(**(params or {}))
+
+
+def inputs_match(cls: type[Box], edge_types: list[PortType]) -> bool:
+    """Could a default instance of ``cls`` take edges of these types as its
+    required inputs (in some order)?"""
+    try:
+        probe = cls()
+    except Exception:
+        return False
+    required = [port for port in probe.inputs if not port.optional]
+    if len(required) != len(edge_types):
+        return False
+    if not required:
+        return not edge_types
+    for ordering in permutations(range(len(required))):
+        if all(
+            can_connect(edge_types[i], required[pos].type, probe.overloadable)
+            for i, pos in enumerate(ordering)
+        ):
+            return True
+    return False
+
+
+def compatible_boxes(edge_types: Iterable[PortType]) -> list[str]:
+    """Apply Box: names of all registered boxes whose inputs match."""
+    edge_types = list(edge_types)
+    return [
+        name
+        for name in sorted(_BOX_CLASSES)
+        if inputs_match(_BOX_CLASSES[name], edge_types)
+    ]
+
+
+def _register_defaults() -> None:
+    from repro.dataflow import boxes_attr, boxes_db, boxes_display
+
+    for module in (boxes_db, boxes_attr, boxes_display):
+        for name in module.__all__:
+            cls = getattr(module, name)
+            if isinstance(cls, type) and issubclass(cls, Box):
+                register_box_class(cls)
+
+
+_register_defaults()

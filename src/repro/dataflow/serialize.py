@@ -1,0 +1,73 @@
+"""Program serialization: boxes-and-arrows ↔ JSON-compatible dicts.
+
+Programs are saved "in the database" (Fig 2).  A serialized program records
+each box's registered type name, its parameter dict, and its label, plus the
+edge list.  Box parameters are JSON-safe by convention (predicate *source
+strings*, field-name lists, numbers) — the same convention that lets boxes be
+re-instantiated from their params.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dataflow.graph import Edge, Program
+from repro.dataflow.registry import instantiate
+from repro.errors import CatalogError
+
+__all__ = ["program_to_dict", "program_from_dict", "clone_program"]
+
+_FORMAT = "tioga2-program-v1"
+
+
+def program_to_dict(program: Program) -> dict[str, Any]:
+    """Serialize a program to a JSON-compatible dict."""
+    boxes = {}
+    for box in program.boxes():
+        boxes[str(box.box_id)] = {
+            "type": box.type_name,
+            "params": _jsonable_params(box.params),
+            "label": box.label,
+        }
+    edges = [
+        [edge.src_box, edge.src_port, edge.dst_box, edge.dst_port]
+        for edge in program.edges()
+    ]
+    return {
+        "format": _FORMAT,
+        "name": program.name,
+        "boxes": boxes,
+        "edges": edges,
+    }
+
+
+def _jsonable_params(params: dict[str, Any]) -> dict[str, Any]:
+    cleaned = {}
+    for key, value in params.items():
+        if isinstance(value, tuple):
+            value = list(value)
+        cleaned[key] = value
+    return cleaned
+
+
+def program_from_dict(payload: dict[str, Any]) -> Program:
+    """Reconstruct a program, preserving the original box ids."""
+    if payload.get("format") != _FORMAT:
+        raise CatalogError(
+            f"unrecognized program format {payload.get('format')!r}; "
+            f"expected {_FORMAT!r}"
+        )
+    program = Program(payload.get("name", "untitled"))
+    for box_id_text, spec in sorted(
+        payload.get("boxes", {}).items(), key=lambda item: int(item[0])
+    ):
+        box = instantiate(spec["type"], spec.get("params"))
+        program.add_box(box, label=spec.get("label"), box_id=int(box_id_text))
+    for src_box, src_port, dst_box, dst_port in payload.get("edges", []):
+        program.connect(src_box, src_port, dst_box, dst_port)
+    return program
+
+
+def clone_program(program: Program) -> Program:
+    """A deep, independent copy via serialization round-trip."""
+    return program_from_dict(program_to_dict(program))

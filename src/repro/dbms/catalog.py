@@ -1,0 +1,137 @@
+"""The database catalog: tables, registered boxes, and saved programs.
+
+"For every relation known to the Tioga-2 system there is a box of the same
+name" (§4) and programs are saved "in the database" (Fig 2, Save Program).
+The catalog is the single namespace behind the menu bar's *tables*, *boxes*,
+and program menus (§3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.dbms.relation import Table
+from repro.dbms.tuples import Schema
+from repro.errors import CatalogError
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-memory object-relational database instance."""
+
+    def __init__(self, name: str = "tioga"):
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._programs: dict[str, dict[str, Any]] = {}
+        self._boxes: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create and register an empty table."""
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def add_table(self, table: Table) -> Table:
+        """Register an existing :class:`Table` under its own name."""
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"no table {name!r} to drop")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            known = ", ".join(sorted(self._tables)) or "(none)"
+            raise CatalogError(f"unknown table {name!r}; known tables: {known}") from exc
+
+    def table_names(self) -> list[str]:
+        """The menu of all tables available (§3)."""
+        return sorted(self._tables)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    # ------------------------------------------------------------------
+    # Registered boxes (big-programmer functions, §1.2 principle 5)
+    # ------------------------------------------------------------------
+
+    def register_box(self, name: str, spec: Any, replace: bool = False) -> None:
+        """Register a box specification under ``name``.
+
+        The dataflow layer defines the spec objects; the catalog is only the
+        namespace.  Encapsulated boxes (§4.1) are registered here too.
+        """
+        if name in self._boxes and not replace:
+            raise CatalogError(f"box {name!r} already registered")
+        self._boxes[name] = spec
+
+    def box(self, name: str) -> Any:
+        try:
+            return self._boxes[name]
+        except KeyError as exc:
+            known = ", ".join(sorted(self._boxes)) or "(none)"
+            raise CatalogError(f"unknown box {name!r}; known boxes: {known}") from exc
+
+    def box_names(self) -> list[str]:
+        """The menu of all boxes available (§3)."""
+        return sorted(self._boxes)
+
+    def has_box(self, name: str) -> bool:
+        return name in self._boxes
+
+    def unregister_box(self, name: str) -> None:
+        if name not in self._boxes:
+            raise CatalogError(f"no box {name!r} to unregister")
+        del self._boxes[name]
+
+    # ------------------------------------------------------------------
+    # Saved programs (Fig 2: Save Program / Add Program / Load Program)
+    # ------------------------------------------------------------------
+
+    def save_program(self, name: str, payload: dict[str, Any]) -> None:
+        """Store a serialized program (a JSON-compatible dict)."""
+        self._programs[name] = payload
+
+    def load_program(self, name: str) -> dict[str, Any]:
+        try:
+            return self._programs[name]
+        except KeyError as exc:
+            known = ", ".join(sorted(self._programs)) or "(none)"
+            raise CatalogError(
+                f"unknown program {name!r}; saved programs: {known}"
+            ) from exc
+
+    def program_names(self) -> list[str]:
+        return sorted(self._programs)
+
+    def delete_program(self, name: str) -> None:
+        if name not in self._programs:
+            raise CatalogError(f"no program {name!r} to delete")
+        del self._programs[name]
+
+    def has_program(self, name: str) -> bool:
+        return name in self._programs
+
+    # ------------------------------------------------------------------
+
+    def tables(self) -> Iterable[Table]:
+        return self._tables.values()
+
+    def __repr__(self) -> str:
+        return (
+            f"Database({self.name!r}: {len(self._tables)} tables, "
+            f"{len(self._boxes)} boxes, {len(self._programs)} programs)"
+        )

@@ -1,0 +1,140 @@
+"""Secondary indexes: hash (point lookup) and sorted (range scan).
+
+The paper defers implementation/performance questions to [Che95], but a
+credible substrate needs indexes: `Restrict` over large relations and the
+Stations ⋈ Observations step behind wormhole canvases (Figure 8) dominate
+interactive latency.  Both index kinds attach to a :class:`Table` and refresh
+themselves lazily when the table's version stamp advances, or wrap an
+immutable :class:`RowSet` once.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+from repro.dbms.relation import RowSet, Table
+from repro.dbms.tuples import Tuple
+from repro.errors import SchemaError
+
+__all__ = ["HashIndex", "SortedIndex", "indexed_equi_join"]
+
+
+class _IndexBase:
+    """Shared machinery: source binding and lazy rebuild on version change."""
+
+    def __init__(self, source: Table | RowSet, field: str):
+        source.schema.field(field)  # validate
+        self._source = source
+        self.field = field
+        self._built_version: int | None = None
+        self._build()
+
+    def _rows(self) -> Iterable[Tuple]:
+        return self._source
+
+    def _build(self) -> None:
+        raise NotImplementedError
+
+    def _refresh(self) -> None:
+        if isinstance(self._source, Table):
+            if self._built_version != self._source.version:
+                self._build()
+                self._built_version = self._source.version
+
+    @property
+    def source(self) -> Table | RowSet:
+        return self._source
+
+
+class HashIndex(_IndexBase):
+    """Exact-match index: field value → list of rows."""
+
+    def _build(self) -> None:
+        buckets: dict[Any, list[Tuple]] = {}
+        for row in self._rows():
+            buckets.setdefault(row[self.field], []).append(row)
+        self._buckets = buckets
+
+    def lookup(self, value: Any) -> list[Tuple]:
+        """All rows whose indexed field equals ``value``."""
+        self._refresh()
+        return list(self._buckets.get(value, ()))
+
+    def keys(self) -> Iterator[Any]:
+        self._refresh()
+        return iter(self._buckets)
+
+    def __len__(self) -> int:
+        self._refresh()
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class SortedIndex(_IndexBase):
+    """Order-based index supporting range queries over a comparable field."""
+
+    def _build(self) -> None:
+        pairs = sorted(
+            ((row[self.field], pos) for pos, row in enumerate(self._rows())),
+            key=lambda pair: pair[0],
+        )
+        self._keys = [key for key, __ in pairs]
+        self._order = [pos for __, pos in pairs]
+        self._snapshot = list(self._rows())
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[Tuple]:
+        """Rows with indexed value in [low, high] (bounds optional)."""
+        self._refresh()
+        lo = 0
+        hi = len(self._keys)
+        if low is not None:
+            lo = (
+                bisect.bisect_left(self._keys, low)
+                if include_low
+                else bisect.bisect_right(self._keys, low)
+            )
+        if high is not None:
+            hi = (
+                bisect.bisect_right(self._keys, high)
+                if include_high
+                else bisect.bisect_left(self._keys, high)
+            )
+        return [self._snapshot[self._order[i]] for i in range(lo, hi)]
+
+    def min_key(self) -> Any:
+        self._refresh()
+        if not self._keys:
+            raise SchemaError(f"index on empty relation has no min for {self.field!r}")
+        return self._keys[0]
+
+    def max_key(self) -> Any:
+        self._refresh()
+        if not self._keys:
+            raise SchemaError(f"index on empty relation has no max for {self.field!r}")
+        return self._keys[-1]
+
+    def __len__(self) -> int:
+        self._refresh()
+        return len(self._keys)
+
+
+def indexed_equi_join(
+    left: RowSet, index: HashIndex, left_key: str
+) -> list[tuple[Tuple, Tuple]]:
+    """Join ``left`` against an existing hash index; returns row pairs.
+
+    This is the probe side of an index-nested-loop join; callers assemble
+    output tuples as needed.  Used by the join-strategy benchmark.
+    """
+    left.schema.field(left_key)
+    pairs: list[tuple[Tuple, Tuple]] = []
+    for lrow in left:
+        for rrow in index.lookup(lrow[left_key]):
+            pairs.append((lrow, rrow))
+    return pairs

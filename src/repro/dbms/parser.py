@@ -1,0 +1,278 @@
+"""Recursive-descent parser for the query expression language.
+
+Grammar (lowest to highest precedence)::
+
+    expr        := 'if' expr 'then' expr 'else' expr ['end'] | or_expr
+    or_expr     := and_expr ('or' and_expr)*
+    and_expr    := not_expr ('and' not_expr)*
+    not_expr    := 'not' not_expr | comparison
+    comparison  := additive (cmp_op additive)?
+    cmp_op      := '=' | '==' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+    additive    := multiplicative (('+' | '-' | '||') multiplicative)*
+    multiplicative := unary (('*' | '/' | '%') unary)*
+    unary       := '-' unary | primary
+    primary     := NUMBER | STRING | 'true' | 'false'
+                 | IDENT '(' [expr (',' expr)*] ')' | IDENT | '(' expr ')'
+
+``==`` and ``<>`` are accepted as spellings of ``=`` and ``!=``.  Strings use
+single quotes with ``''`` as the escape for a quote.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+from repro.dbms.expr import Binary, Call, Conditional, Expr, FieldRef, Literal, Unary
+from repro.dbms.tuples import Schema
+from repro.errors import ExpressionError
+
+__all__ = ["parse_expression", "parse_predicate", "tokenize"]
+
+_KEYWORDS = {"and", "or", "not", "if", "then", "else", "end", "true", "false"}
+_TWO_CHAR = {"==", "!=", "<>", "<=", ">=", "||"}
+_ONE_CHAR = set("=<>+-*/%(),")
+
+
+class Token(NamedTuple):
+    kind: str  # 'num' | 'str' | 'ident' | 'kw' | 'op' | 'eof'
+    text: str
+    pos: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split ``source`` into tokens, raising on any illegal character."""
+    return list(_token_stream(source))
+
+
+def _token_stream(source: str) -> Iterator[Token]:
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = source[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i > start:
+                    seen_exp = True
+                    i += 1
+                    if i < n and source[i] in "+-":
+                        i += 1
+                else:
+                    break
+            yield Token("num", source[start:i], start)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            lowered = word.lower()
+            if lowered in _KEYWORDS:
+                yield Token("kw", lowered, start)
+            else:
+                yield Token("ident", word, start)
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chunks: list[str] = []
+            while True:
+                if i >= n:
+                    raise ExpressionError(
+                        f"unterminated string starting at position {start}"
+                    )
+                if source[i] == "'":
+                    if i + 1 < n and source[i + 1] == "'":
+                        chunks.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chunks.append(source[i])
+                i += 1
+            yield Token("str", "".join(chunks), start)
+            continue
+        two = source[i : i + 2]
+        if two in _TWO_CHAR:
+            yield Token("op", two, i)
+            i += 2
+            continue
+        if ch in _ONE_CHAR:
+            yield Token("op", ch, i)
+            i += 1
+            continue
+        raise ExpressionError(f"illegal character {ch!r} at position {i} in {source!r}")
+    yield Token("eof", "", n)
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            got = self.peek()
+            want = text if text is not None else kind
+            raise ExpressionError(
+                f"expected {want!r} at position {got.pos} in {self.source!r}, "
+                f"got {got.text!r}"
+            )
+        return token
+
+    def parse(self) -> Expr:
+        expr = self.expression()
+        trailing = self.peek()
+        if trailing.kind != "eof":
+            raise ExpressionError(
+                f"unexpected trailing {trailing.text!r} at position "
+                f"{trailing.pos} in {self.source!r}"
+            )
+        return expr
+
+    def expression(self) -> Expr:
+        if self.accept("kw", "if"):
+            condition = self.expression()
+            self.expect("kw", "then")
+            then_branch = self.expression()
+            self.expect("kw", "else")
+            else_branch = self.expression()
+            self.accept("kw", "end")
+            return Conditional(condition, then_branch, else_branch)
+        return self.or_expr()
+
+    def or_expr(self) -> Expr:
+        left = self.and_expr()
+        while self.accept("kw", "or"):
+            left = Binary("or", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> Expr:
+        left = self.not_expr()
+        while self.accept("kw", "and"):
+            left = Binary("and", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> Expr:
+        if self.accept("kw", "not"):
+            return Unary("not", self.not_expr())
+        return self.comparison()
+
+    _CMP_CANON = {"==": "=", "<>": "!="}
+
+    def comparison(self) -> Expr:
+        left = self.additive()
+        token = self.peek()
+        if token.kind == "op" and token.text in ("=", "==", "!=", "<>", "<", "<=", ">", ">="):
+            self.advance()
+            op = self._CMP_CANON.get(token.text, token.text)
+            return Binary(op, left, self.additive())
+        return left
+
+    def additive(self) -> Expr:
+        left = self.multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ("+", "-", "||"):
+                self.advance()
+                left = Binary(token.text, left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self) -> Expr:
+        left = self.unary()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ("*", "/", "%"):
+                self.advance()
+                left = Binary(token.text, left, self.unary())
+            else:
+                return left
+
+    def unary(self) -> Expr:
+        if self.accept("op", "-"):
+            return Unary("-", self.unary())
+        return self.primary()
+
+    def primary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "num":
+            self.advance()
+            text = token.text
+            if any(c in text for c in ".eE"):
+                return Literal(float(text))
+            return Literal(int(text))
+        if token.kind == "str":
+            self.advance()
+            return Literal(token.text)
+        if token.kind == "kw" and token.text in ("true", "false"):
+            self.advance()
+            return Literal(token.text == "true")
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args: list[Expr] = []
+                if not self.accept("op", ")"):
+                    args.append(self.expression())
+                    while self.accept("op", ","):
+                        args.append(self.expression())
+                    self.expect("op", ")")
+                return Call(token.text, args)
+            return FieldRef(token.text)
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            inner = self.expression()
+            self.expect("op", ")")
+            return inner
+        raise ExpressionError(
+            f"unexpected {token.text or 'end of input'!r} at position "
+            f"{token.pos} in {self.source!r}"
+        )
+
+
+def parse_expression(source: str, schema: Schema | None = None) -> Expr:
+    """Parse ``source``; if ``schema`` is given, also type-check against it."""
+    expr = _Parser(source).parse()
+    if schema is not None:
+        expr.infer(schema)
+    return expr
+
+
+def parse_predicate(source: str, schema: Schema) -> Expr:
+    """Parse and type-check a boolean predicate against ``schema``."""
+    from repro.dbms import types as T
+
+    expr = _Parser(source).parse()
+    result = expr.infer(schema)
+    if result is not T.BOOL:
+        raise ExpressionError(
+            f"predicate {source!r} has type {result}, expected bool"
+        )
+    return expr

@@ -1,0 +1,101 @@
+"""JSON persistence for databases: tables, rows, and saved programs.
+
+POSTGRES persisted everything; our in-memory substrate persists to a single
+JSON document so example databases and saved visualization programs survive
+across sessions.  Drawable-valued columns are not persisted (display
+attributes are computed, never stored — §2), and no table should contain
+them; attempting to persist one is an error rather than silent loss.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.dbms import types as T
+from repro.dbms.catalog import Database
+from repro.dbms.relation import Table
+from repro.dbms.tuples import Field, Schema
+from repro.errors import CatalogError, TypeCheckError
+
+__all__ = ["dump_database", "load_database", "save_database_file", "load_database_file"]
+
+_FORMAT = "tioga2-db-v1"
+
+
+def _encode_value(atomic: T.AtomicType, value: Any) -> Any:
+    if atomic is T.DATE:
+        return value.isoformat()
+    if atomic is T.DRAWABLES:
+        raise TypeCheckError(
+            "drawable-valued columns cannot be persisted; display attributes "
+            "are computed, not stored"
+        )
+    return value
+
+
+def _decode_value(atomic: T.AtomicType, value: Any) -> Any:
+    if atomic is T.DATE:
+        return _dt.date.fromisoformat(value)
+    return value
+
+
+def dump_database(db: Database) -> dict[str, Any]:
+    """Serialize a database to a JSON-compatible dict."""
+    tables: dict[str, Any] = {}
+    for table in db.tables():
+        schema_spec = [[field.name, field.type.name] for field in table.schema]
+        rows = [
+            [
+                _encode_value(field.type, value)
+                for field, value in zip(table.schema.fields, row.values)
+            ]
+            for row in table
+        ]
+        tables[table.name] = {"schema": schema_spec, "rows": rows}
+    return {
+        "format": _FORMAT,
+        "name": db.name,
+        "tables": tables,
+        "programs": {name: db.load_program(name) for name in db.program_names()},
+    }
+
+
+def load_database(payload: dict[str, Any]) -> Database:
+    """Reconstruct a database from :func:`dump_database` output."""
+    if payload.get("format") != _FORMAT:
+        raise CatalogError(
+            f"unrecognized database format {payload.get('format')!r}; "
+            f"expected {_FORMAT!r}"
+        )
+    db = Database(payload.get("name", "tioga"))
+    for table_name, spec in payload.get("tables", {}).items():
+        schema = Schema([Field(name, T.type_by_name(tn)) for name, tn in spec["schema"]])
+        table = Table(table_name, schema)
+        decoded = [
+            [
+                _decode_value(field.type, value)
+                for field, value in zip(schema.fields, raw)
+            ]
+            for raw in spec["rows"]
+        ]
+        table.insert_many(decoded)
+        db.add_table(table)
+    for program_name, program in payload.get("programs", {}).items():
+        db.save_program(program_name, program)
+    return db
+
+
+def save_database_file(db: Database, path: str | Path) -> Path:
+    """Write a database to a JSON file; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(dump_database(db), indent=1, sort_keys=True))
+    return path
+
+
+def load_database_file(path: str | Path) -> Database:
+    """Load a database from a JSON file."""
+    path = Path(path)
+    return load_database(json.loads(path.read_text()))

@@ -1,0 +1,319 @@
+"""Atomic type system for the object-relational substrate.
+
+The paper assumes "an object-relational DBMS in which a relation has stored
+attributes as well as methods defining additional attributes" (Section 2) and
+requires, for each primitive type, a *default display function* used to render
+values and an *update function* used to edit them from the screen
+(Sections 5.2 and 8).
+
+This module defines the atomic column types, a registry mapping type names to
+singleton instances, value validation/coercion, and the per-type default
+display and update hooks.  The drawable-list type used by display attributes
+lives here too, so that display attributes are ordinary typed attributes.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+from typing import Any, Callable
+
+from repro.errors import TypeCheckError
+
+__all__ = [
+    "AtomicType",
+    "IntType",
+    "FloatType",
+    "TextType",
+    "BoolType",
+    "DateType",
+    "DrawableListType",
+    "INT",
+    "FLOAT",
+    "TEXT",
+    "BOOL",
+    "DATE",
+    "DRAWABLES",
+    "type_by_name",
+    "register_type",
+    "registered_type_names",
+    "infer_type",
+    "numeric",
+    "set_update_function",
+    "get_update_function",
+]
+
+
+class AtomicType:
+    """A column type: name, validation, coercion, display and update hooks.
+
+    Instances are singletons registered by name; equality is identity-based,
+    which keeps type checks cheap and unambiguous.
+    """
+
+    name: str = "abstract"
+
+    def validates(self, value: Any) -> bool:
+        """Return True when ``value`` is a legal instance of this type."""
+        raise NotImplementedError
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce ``value`` to this type or raise :class:`TypeCheckError`."""
+        if self.validates(value):
+            return value
+        raise TypeCheckError(
+            f"value {value!r} is not a legal {self.name} and cannot be coerced"
+        )
+
+    def default_value(self) -> Any:
+        """A neutral value of this type, used when constructing blank tuples."""
+        raise NotImplementedError
+
+    def default_display(self, value: Any) -> str:
+        """Default textual rendering — the 'terminal monitor' form (§5.2)."""
+        return str(value)
+
+    def default_update(self, old_value: Any, raw_input: str) -> Any:
+        """Parse user-entered text into a new value for an update dialog (§8).
+
+        The ``old_value`` is available so types can support relative edits;
+        the default implementation ignores it and parses ``raw_input``.
+        """
+        del old_value
+        return self.parse(raw_input)
+
+    def parse(self, text: str) -> Any:
+        """Parse a textual representation into a value of this type."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<type {self.name}>"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class IntType(AtomicType):
+    name = "int"
+
+    def validates(self, value: Any) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    def coerce(self, value: Any) -> Any:
+        if self.validates(value):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise TypeCheckError(f"value {value!r} is not a legal int")
+
+    def default_value(self) -> int:
+        return 0
+
+    def parse(self, text: str) -> int:
+        try:
+            return int(text.strip())
+        except ValueError as exc:
+            raise TypeCheckError(f"cannot parse {text!r} as int") from exc
+
+
+class FloatType(AtomicType):
+    name = "float"
+
+    def validates(self, value: Any) -> bool:
+        return isinstance(value, float) and not math.isnan(value)
+
+    def coerce(self, value: Any) -> Any:
+        if self.validates(value):
+            return value
+        if isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        raise TypeCheckError(f"value {value!r} is not a legal float")
+
+    def default_value(self) -> float:
+        return 0.0
+
+    def default_display(self, value: Any) -> str:
+        return f"{value:g}"
+
+    def parse(self, text: str) -> float:
+        try:
+            return float(text.strip())
+        except ValueError as exc:
+            raise TypeCheckError(f"cannot parse {text!r} as float") from exc
+
+
+class TextType(AtomicType):
+    name = "text"
+
+    def validates(self, value: Any) -> bool:
+        return isinstance(value, str)
+
+    def default_value(self) -> str:
+        return ""
+
+    def parse(self, text: str) -> str:
+        return text
+
+
+class BoolType(AtomicType):
+    name = "bool"
+
+    _TRUE = {"true", "t", "yes", "1"}
+    _FALSE = {"false", "f", "no", "0"}
+
+    def validates(self, value: Any) -> bool:
+        return isinstance(value, bool)
+
+    def default_value(self) -> bool:
+        return False
+
+    def parse(self, text: str) -> bool:
+        lowered = text.strip().lower()
+        if lowered in self._TRUE:
+            return True
+        if lowered in self._FALSE:
+            return False
+        raise TypeCheckError(f"cannot parse {text!r} as bool")
+
+
+class DateType(AtomicType):
+    """Calendar dates, stored as :class:`datetime.date`.
+
+    Comparisons and the ``year()``/``month()``/``day()`` builtins in the
+    expression language operate on these.
+    """
+
+    name = "date"
+
+    def validates(self, value: Any) -> bool:
+        return isinstance(value, _dt.date) and not isinstance(value, _dt.datetime)
+
+    def coerce(self, value: Any) -> Any:
+        if self.validates(value):
+            return value
+        if isinstance(value, str):
+            return self.parse(value)
+        raise TypeCheckError(f"value {value!r} is not a legal date")
+
+    def default_value(self) -> _dt.date:
+        return _dt.date(1970, 1, 1)
+
+    def default_display(self, value: Any) -> str:
+        return value.isoformat()
+
+    def parse(self, text: str) -> _dt.date:
+        try:
+            return _dt.date.fromisoformat(text.strip())
+        except ValueError as exc:
+            raise TypeCheckError(f"cannot parse {text!r} as date (want YYYY-MM-DD)") from exc
+
+
+class DrawableListType(AtomicType):
+    """The type of display attributes: an ordered list of primitive drawables.
+
+    "A display attribute is a list of primitive drawable objects" (§5.1).
+    Validation is structural (duck-typed on the Drawable protocol) to avoid a
+    circular import with :mod:`repro.display.drawables`; the drawables module
+    is the authority on what a drawable is.
+    """
+
+    name = "drawables"
+
+    def validates(self, value: Any) -> bool:
+        if not isinstance(value, (list, tuple)):
+            return False
+        return all(hasattr(item, "paint") and hasattr(item, "offset") for item in value)
+
+    def coerce(self, value: Any) -> Any:
+        if hasattr(value, "paint") and hasattr(value, "offset"):
+            return [value]
+        if isinstance(value, tuple):
+            value = list(value)
+        if self.validates(value):
+            return list(value)
+        raise TypeCheckError(f"value {value!r} is not a legal drawable list")
+
+    def default_value(self) -> list:
+        return []
+
+    def default_display(self, value: Any) -> str:
+        return "[" + ", ".join(type(item).__name__ for item in value) + "]"
+
+    def parse(self, text: str) -> Any:
+        raise TypeCheckError("drawable lists cannot be parsed from text")
+
+
+INT = IntType()
+FLOAT = FloatType()
+TEXT = TextType()
+BOOL = BoolType()
+DATE = DateType()
+DRAWABLES = DrawableListType()
+
+_REGISTRY: dict[str, AtomicType] = {}
+_UPDATE_FUNCTIONS: dict[str, Callable[[Any, str], Any]] = {}
+
+
+def register_type(atomic: AtomicType) -> AtomicType:
+    """Register a type singleton under its name; idempotent for same instance."""
+    existing = _REGISTRY.get(atomic.name)
+    if existing is not None and existing is not atomic:
+        raise TypeCheckError(f"type name {atomic.name!r} is already registered")
+    _REGISTRY[atomic.name] = atomic
+    return atomic
+
+
+for _atomic in (INT, FLOAT, TEXT, BOOL, DATE, DRAWABLES):
+    register_type(_atomic)
+
+
+def type_by_name(name: str) -> AtomicType:
+    """Look up a registered type by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise TypeCheckError(f"unknown type {name!r} (known: {known})") from exc
+
+
+def registered_type_names() -> list[str]:
+    """All registered type names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def infer_type(value: Any) -> AtomicType:
+    """Infer the atomic type of a Python value."""
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, float):
+        if math.isnan(value):
+            raise TypeCheckError("NaN is not a legal float value")
+        return FLOAT
+    if isinstance(value, str):
+        return TEXT
+    if isinstance(value, _dt.date) and not isinstance(value, _dt.datetime):
+        return DATE
+    if DRAWABLES.validates(value):
+        return DRAWABLES
+    raise TypeCheckError(f"cannot infer an atomic type for {value!r}")
+
+
+def numeric(atomic: AtomicType) -> bool:
+    """True for types that support arithmetic (int and float)."""
+    return atomic is INT or atomic is FLOAT
+
+
+def set_update_function(atomic: AtomicType, fn: Callable[[Any, str], Any]) -> None:
+    """Override the update function for a type (Section 8).
+
+    "the type definer is required to write a second update function that
+    enables Tioga-2 to provide updates for instances of the type."
+    """
+    _UPDATE_FUNCTIONS[atomic.name] = fn
+
+
+def get_update_function(atomic: AtomicType) -> Callable[[Any, str], Any]:
+    """The update function for a type: custom if set, else the type default."""
+    return _UPDATE_FUNCTIONS.get(atomic.name, atomic.default_update)

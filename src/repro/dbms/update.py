@@ -1,0 +1,102 @@
+"""Screen-object updates (Section 8).
+
+"When a user clicks on a screen object, the Tioga-2 run time system activates
+a generic update procedure, passing it the tuple corresponding to the screen
+object.  The function engages a dialog with the user to construct a new tuple
+— using the primitive update functions for the fields — and then perform an
+SQL update to install the new value in the database."
+
+Headlessly, the *dialog* is an object answering :meth:`UpdateDialog.ask` for
+each field; interactive front ends would implement it with widgets, tests use
+:class:`ScriptedDialog`.  Per-type update functions come from
+:func:`repro.dbms.types.get_update_function` and can be overridden by type
+definers; per-visualization custom update commands are installed on
+displayable relations (see :mod:`repro.display.displayable`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.dbms import types as T
+from repro.dbms.relation import Table
+from repro.dbms.tuples import Tuple
+from repro.errors import TypeCheckError, UpdateError
+
+__all__ = ["UpdateDialog", "ScriptedDialog", "UpdateResult", "generic_update"]
+
+
+class UpdateDialog:
+    """The dialog protocol: one question per field of the clicked tuple."""
+
+    def ask(self, field_name: str, atomic: T.AtomicType, old_value: Any) -> str | None:
+        """Return the user's raw text for ``field_name``, or None to keep it."""
+        raise NotImplementedError
+
+
+class ScriptedDialog(UpdateDialog):
+    """A dialog answering from a prepared mapping — the headless stand-in.
+
+    Fields absent from the mapping are kept unchanged.
+    """
+
+    def __init__(self, answers: Mapping[str, str]):
+        self.answers = dict(answers)
+        self.asked: list[str] = []
+
+    def ask(self, field_name: str, atomic: T.AtomicType, old_value: Any) -> str | None:
+        del atomic, old_value
+        self.asked.append(field_name)
+        return self.answers.get(field_name)
+
+
+class UpdateResult:
+    """Outcome of a generic update: the old and new tuples and whether applied."""
+
+    __slots__ = ("applied", "old", "new")
+
+    def __init__(self, applied: bool, old: Tuple, new: Tuple):
+        self.applied = applied
+        self.old = old
+        self.new = new
+
+    def __repr__(self) -> str:
+        state = "applied" if self.applied else "no-op"
+        return f"UpdateResult({state}, {self.old!r} -> {self.new!r})"
+
+
+def generic_update(table: Table, row: Tuple, dialog: UpdateDialog) -> UpdateResult:
+    """The default update procedure of Section 8.
+
+    Walks the stored fields of ``row``, asks the dialog for each, parses the
+    answers with the per-type update functions, and installs the new tuple in
+    ``table`` with an SQL-style update (replace the matching stored row).
+    """
+    if row.schema != table.schema:
+        raise UpdateError(
+            f"clicked tuple does not belong to table {table.name!r}: schema mismatch"
+        )
+    changes: dict[str, Any] = {}
+    for field in row.schema:
+        raw = dialog.ask(field.name, field.type, row[field.name])
+        if raw is None:
+            continue
+        update_fn = T.get_update_function(field.type)
+        try:
+            changes[field.name] = update_fn(row[field.name], raw)
+        except TypeCheckError as exc:
+            raise UpdateError(f"field {field.name!r}: {exc}") from exc
+    if not changes:
+        return UpdateResult(False, row, row)
+    new_row = row.replace(**changes)
+    if not table.replace_row(row, new_row):
+        raise UpdateError(
+            f"tuple no longer present in table {table.name!r}; it may have "
+            "been modified concurrently"
+        )
+    return UpdateResult(True, row, new_row)
+
+
+UpdateCommand = Callable[[Table, Tuple, UpdateDialog], UpdateResult]
+"""Signature for custom update commands replacing :func:`generic_update` (§8:
+"he can replace the default update command with one of his own choosing")."""

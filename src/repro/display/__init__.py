@@ -1,0 +1,69 @@
+"""Displayable types, drawables, elevation ranges, and default displays."""
+
+from repro.display.defaults import (
+    default_display_list,
+    default_displayable,
+    default_field_texts,
+)
+from repro.display.displayable import (
+    SEQ_FIELD,
+    Composite,
+    CompositeEntry,
+    Displayable,
+    DisplayableRelation,
+    Group,
+    ensure_composite,
+    ensure_group,
+)
+from repro.display.drawables import (
+    NAMED_COLORS,
+    Circle,
+    Color,
+    Drawable,
+    Line,
+    Point,
+    Polygon,
+    Rectangle,
+    Style,
+    Text,
+    ViewerDrawable,
+    resolve_color,
+)
+from repro.display.elevation import (
+    TOP_SIDE,
+    UNDER_SIDE,
+    ElevationBar,
+    ElevationMap,
+    ElevationRange,
+)
+
+__all__ = [
+    "Circle",
+    "Color",
+    "Composite",
+    "CompositeEntry",
+    "Displayable",
+    "DisplayableRelation",
+    "Drawable",
+    "ElevationBar",
+    "ElevationMap",
+    "ElevationRange",
+    "Group",
+    "Line",
+    "NAMED_COLORS",
+    "Point",
+    "Polygon",
+    "Rectangle",
+    "SEQ_FIELD",
+    "Style",
+    "TOP_SIDE",
+    "Text",
+    "UNDER_SIDE",
+    "ViewerDrawable",
+    "default_display_list",
+    "default_displayable",
+    "default_field_texts",
+    "ensure_composite",
+    "ensure_group",
+    "resolve_color",
+]

@@ -1,0 +1,69 @@
+"""Default displays (Section 5.2).
+
+"To guarantee that boxes produce relations with initial valid displays,
+Tioga-2 provides default location and display attributes.  There is a default
+display for each atomic type.  The default display for a relation renders
+each field in the tuple, side by side, using the default display for each
+column type.  The default space has two dimensions: the x-location is 0 and
+the y-location is the sequence number of the tuple."
+
+This produces the familiar *terminal monitor* listing: one row of text per
+tuple, fields side by side.  The default location is implemented in
+:meth:`DisplayableRelation.location_of` (x=0, y=``tioga_seq``); this module
+builds the default drawable list for one tuple and wraps tables/row sets into
+default displayables for Add Table.
+"""
+
+from __future__ import annotations
+
+from repro.dbms import types as T
+from repro.dbms.relation import RowSet, Table, VirtualRow
+from repro.dbms.tuples import Schema
+from repro.display.displayable import DisplayableRelation
+from repro.display.drawables import Drawable, Text
+
+__all__ = ["default_field_texts", "default_display_list", "default_displayable"]
+
+_COLUMN_WIDTH = 14
+"""Characters allotted per field in the side-by-side default rendering."""
+
+
+def default_field_texts(view: VirtualRow, schema: Schema) -> list[str]:
+    """Each stored field rendered with its type's default display, padded."""
+    texts = []
+    for field in schema:
+        rendered = field.type.default_display(view[field.name])
+        if len(rendered) > _COLUMN_WIDTH:
+            rendered = rendered[: _COLUMN_WIDTH - 1] + "~"
+        texts.append(rendered.ljust(_COLUMN_WIDTH))
+    return texts
+
+
+def default_display_list(view: VirtualRow, schema: Schema) -> list[Drawable]:
+    """The default drawable list for one tuple: fields side by side.
+
+    Text drawables are centered on their anchor, so each column's label is
+    offset to lay the fields out left-to-right from the tuple position.
+    """
+    drawables: list[Drawable] = []
+    cursor = 0.0
+    for text in default_field_texts(view, schema):
+        width = len(text) * Text.CHAR_WIDTH
+        drawables.append(Text(text.rstrip(), offset=(cursor + width / 2.0, 0.0)))
+        cursor += width
+    return drawables
+
+
+def default_displayable(source: Table | RowSet, name: str | None = None) -> DisplayableRelation:
+    """Wrap a table or row set as a displayable with all defaults (§5.2).
+
+    This is what the Add Table box emits: "every Add Table operation
+    introduces a box that produces a relation with the default display and
+    location."
+    """
+    if isinstance(source, Table):
+        rows = source.snapshot()
+        return DisplayableRelation(
+            rows, name=name or source.name, source_table=source.name
+        )
+    return DisplayableRelation(source, name=name or "relation")

@@ -1,0 +1,516 @@
+"""The three displayable types (Section 2).
+
+::
+
+    G = Group(C1, ..., Cn)
+    C = Composite(R1, ..., Rn)
+    R = relations with attributes x, y, display
+
+A :class:`DisplayableRelation` is an extended relation: a materialized row
+set plus computed location/display attributes and an elevation range.  A
+:class:`Composite` overlays same-space relations with a drawing order; a
+:class:`Group` arranges composites side-by-side / top-to-bottom / tabularly.
+The type equivalences R = Composite(R) and C = Group(C) are provided by
+:func:`ensure_composite` and :func:`ensure_group`.
+
+Displayable values flow along dataflow edges; all operations here are
+copy-on-write so boxes stay pure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.dbms import types as T
+from repro.dbms.relation import Method, MethodSet, RowSet, VirtualRow
+from repro.display.elevation import ElevationMap, ElevationRange
+from repro.errors import DisplayError
+
+__all__ = [
+    "SEQ_FIELD",
+    "DisplayableRelation",
+    "CompositeEntry",
+    "Composite",
+    "Group",
+    "Displayable",
+    "ensure_composite",
+    "ensure_group",
+    "LAYOUTS",
+]
+
+SEQ_FIELD = "tioga_seq"
+"""Ambient attribute: the 0-based sequence number of a tuple within its
+relation.  The default display uses it as the y location (§5.2)."""
+
+_RESERVED = ("x", "y", "display")
+
+LAYOUTS = ("horizontal", "vertical", "tabular")
+
+
+class DisplayableRelation:
+    """An extended relation R: rows + computed attributes + elevation range.
+
+    The relation "knows how to display itself": if it defines ``x``/``y``
+    attributes (stored or computed) they position each tuple; otherwise the
+    default location applies (x = 0, y = sequence number).  If it defines a
+    ``display`` attribute (of drawable-list type) that renders each tuple;
+    otherwise the default side-by-side field rendering applies.  Additional
+    numeric attributes named in ``slider_dims`` add visualization dimensions
+    beyond the two screen dimensions.
+    """
+
+    def __init__(
+        self,
+        rows: RowSet,
+        methods: MethodSet | None = None,
+        name: str = "relation",
+        slider_dims: Iterable[str] = (),
+        elevation_range: ElevationRange | None = None,
+        source_table: str | None = None,
+        update_command: Callable[..., Any] | None = None,
+    ):
+        self.rows = rows
+        if methods is None:
+            methods = MethodSet(rows.schema, ambient={SEQ_FIELD: T.INT})
+        if methods.base_schema != rows.schema:
+            methods = methods.rebase(rows.schema)
+        self.methods = methods
+        self.name = name
+        self.slider_dims = tuple(slider_dims)
+        self.elevation_range = elevation_range or ElevationRange()
+        self.source_table = source_table
+        self.update_command = update_command
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        schema = self.extended_schema
+        for dim in self.slider_dims:
+            if dim in _RESERVED:
+                raise DisplayError(f"{dim!r} cannot be a slider dimension")
+            if dim not in schema:
+                raise DisplayError(
+                    f"slider dimension {dim!r} is not an attribute of {self.name!r}"
+                )
+            if not T.numeric(schema.type_of(dim)):
+                raise DisplayError(
+                    f"slider dimension {dim!r} must be numeric, "
+                    f"got {schema.type_of(dim)}"
+                )
+        if len(set(self.slider_dims)) != len(self.slider_dims):
+            raise DisplayError("duplicate slider dimensions")
+        for axis in ("x", "y"):
+            if axis in schema and not T.numeric(schema.type_of(axis)):
+                raise DisplayError(
+                    f"location attribute {axis!r} must be numeric, "
+                    f"got {schema.type_of(axis)}"
+                )
+        if "display" in schema and schema.type_of("display") is not T.DRAWABLES:
+            raise DisplayError(
+                f"attribute 'display' must be of drawable-list type, "
+                f"got {schema.type_of('display')}"
+            )
+
+    @property
+    def extended_schema(self):
+        """Stored fields plus computed attributes."""
+        return self.methods.extended_schema
+
+    @property
+    def dimension(self) -> int:
+        """Number of location attributes: 2 screen dims + sliders (§2)."""
+        return 2 + len(self.slider_dims)
+
+    @property
+    def location_attrs(self) -> tuple[str, ...]:
+        return ("x", "y", *self.slider_dims)
+
+    @property
+    def has_custom_location(self) -> bool:
+        return "x" in self.extended_schema and "y" in self.extended_schema
+
+    @property
+    def has_custom_display(self) -> bool:
+        return "display" in self.extended_schema
+
+    def alternate_displays(self) -> tuple[str, ...]:
+        """Names of drawable-list attributes other than ``display`` (§5.1:
+        "There may be additional display attributes to provide alternative
+        visualizations")."""
+        return tuple(
+            field.name
+            for field in self.extended_schema
+            if field.type is T.DRAWABLES and field.name != "display"
+        )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------
+    # Row views and tuple-wise visualization (§2: "the visualization of a
+    # relation R is the sum of the visualizations of each tuple of R")
+    # ------------------------------------------------------------------
+
+    def views(self) -> Iterator[VirtualRow]:
+        """Lazy extended views of each tuple, with the sequence number ambient."""
+        for seq, row in enumerate(self.rows):
+            yield self.methods.row_view(row, extra={SEQ_FIELD: seq})
+
+    def view_at(self, index: int) -> VirtualRow:
+        return self.methods.row_view(self.rows[index], extra={SEQ_FIELD: index})
+
+    def location_of(self, view: VirtualRow) -> tuple[float, ...]:
+        """The tuple's position in n-space: (x, y, l1, ..., l_{n-2})."""
+        if self.has_custom_location:
+            base = (float(view["x"]), float(view["y"]))
+        else:
+            base = (0.0, float(view[SEQ_FIELD]))
+        return base + tuple(float(view[dim]) for dim in self.slider_dims)
+
+    def display_of(self, view: VirtualRow) -> list:
+        """The tuple's drawable list under the active display attribute."""
+        if self.has_custom_display:
+            return list(view["display"])
+        from repro.display.defaults import default_display_list
+
+        return default_display_list(view, self.rows.schema)
+
+    # ------------------------------------------------------------------
+    # Copy-on-write modifiers
+    # ------------------------------------------------------------------
+
+    def _clone(self, **overrides: Any) -> "DisplayableRelation":
+        state = {
+            "rows": self.rows,
+            "methods": self.methods,
+            "name": self.name,
+            "slider_dims": self.slider_dims,
+            "elevation_range": self.elevation_range,
+            "source_table": self.source_table,
+            "update_command": self.update_command,
+        }
+        state.update(overrides)
+        return DisplayableRelation(**state)
+
+    def with_rows(self, rows: RowSet) -> "DisplayableRelation":
+        """Same visualization spec over different rows (Restrict/Sample)."""
+        return self._clone(rows=rows, methods=self.methods.rebase(rows.schema))
+
+    def with_methods(self, methods: MethodSet) -> "DisplayableRelation":
+        return self._clone(methods=methods)
+
+    def with_method_added(self, method: Method) -> "DisplayableRelation":
+        methods = self.methods.copy()
+        methods.add(method)
+        return self._clone(methods=methods)
+
+    def with_method_replaced(self, method: Method) -> "DisplayableRelation":
+        methods = self.methods.copy()
+        methods.replace(method)
+        return self._clone(methods=methods)
+
+    def with_range(self, minimum: float, maximum: float) -> "DisplayableRelation":
+        """Set Range (§6.1)."""
+        return self._clone(elevation_range=ElevationRange(minimum, maximum))
+
+    def with_name(self, name: str) -> "DisplayableRelation":
+        return self._clone(name=name)
+
+    def with_slider_dims(self, slider_dims: Iterable[str]) -> "DisplayableRelation":
+        return self._clone(slider_dims=tuple(slider_dims))
+
+    def with_slider_added(self, dim: str) -> "DisplayableRelation":
+        """Adding a location attribute adds a dimension (§5.3)."""
+        if dim in self.slider_dims:
+            raise DisplayError(f"{dim!r} is already a slider dimension")
+        return self._clone(slider_dims=(*self.slider_dims, dim))
+
+    def with_update_command(
+        self, command: Callable[..., Any] | None
+    ) -> "DisplayableRelation":
+        """Install a custom update command (§8)."""
+        return self._clone(update_command=command)
+
+    def with_source_table(self, table_name: str | None) -> "DisplayableRelation":
+        return self._clone(source_table=table_name)
+
+    def __repr__(self) -> str:
+        return (
+            f"DisplayableRelation({self.name!r}, {len(self.rows)} rows, "
+            f"dim={self.dimension}, range={self.elevation_range!r})"
+        )
+
+
+class CompositeEntry:
+    """One component of a composite: a relation plus an n-dim overlay offset.
+
+    ``offset`` maps dimension names ('x', 'y', or a slider name) to shifts in
+    world units — the result of dragging one canvas over another, or of an
+    explicit offset (§6.1).
+    """
+
+    __slots__ = ("relation", "offset")
+
+    def __init__(
+        self, relation: DisplayableRelation, offset: dict[str, float] | None = None
+    ):
+        self.relation = relation
+        self.offset = {k: float(v) for k, v in (offset or {}).items()}
+
+    def offset_for(self, dim: str) -> float:
+        return self.offset.get(dim, 0.0)
+
+    def __repr__(self) -> str:
+        return f"CompositeEntry({self.relation.name!r}, offset={self.offset})"
+
+
+class Composite:
+    """An overlay of relations in the same viewing space (Section 2).
+
+    "A composite visualization is the overlay of each of the composite's
+    components — the visualizations are simply superimposed. ... the order of
+    the relations specifies the drawing order."  Entry 0 paints first
+    (bottom); the last entry paints on top.
+
+    Constituents should share the composite's dimension; on mismatch the
+    paper *warns* and then treats lower-dimensional relations as "invariant
+    in the extra dimensions" (§6.1) — warnings are recorded on the composite
+    for the UI to surface.
+    """
+
+    def __init__(self, entries: Iterable[CompositeEntry | DisplayableRelation] = ()):
+        self.entries: list[CompositeEntry] = []
+        self.warnings: list[str] = []
+        for entry in entries:
+            if isinstance(entry, DisplayableRelation):
+                entry = CompositeEntry(entry)
+            self._add_entry(entry)
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        """The composite's dimension: the maximum over its components."""
+        if not self.entries:
+            return 2
+        return max(entry.relation.dimension for entry in self.entries)
+
+    @property
+    def slider_dims(self) -> tuple[str, ...]:
+        """Ordered union of component slider dimensions."""
+        seen: list[str] = []
+        for entry in self.entries:
+            for dim in entry.relation.slider_dims:
+                if dim not in seen:
+                    seen.append(dim)
+        return tuple(seen)
+
+    def component_names(self) -> list[str]:
+        return [entry.relation.name for entry in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[CompositeEntry]:
+        return iter(self.entries)
+
+    def _unique_name(self, name: str) -> str:
+        taken = set(self.component_names())
+        if name not in taken:
+            return name
+        suffix = 2
+        while f"{name}_{suffix}" in taken:
+            suffix += 1
+        return f"{name}_{suffix}"
+
+    def _add_entry(self, entry: CompositeEntry) -> None:
+        unique = self._unique_name(entry.relation.name)
+        if unique != entry.relation.name:
+            entry = CompositeEntry(entry.relation.with_name(unique), entry.offset)
+        if self.entries and entry.relation.dimension != self.dimension:
+            self.warnings.append(
+                f"dimension mismatch: composite is {self.dimension}-dimensional, "
+                f"{entry.relation.name!r} is {entry.relation.dimension}-dimensional; "
+                "the lower-dimensional relations are treated as invariant in the "
+                "extra dimensions"
+            )
+        self.entries.append(entry)
+
+    def entry_named(self, name: str) -> CompositeEntry:
+        for entry in self.entries:
+            if entry.relation.name == name:
+                return entry
+        known = ", ".join(self.component_names()) or "(none)"
+        raise DisplayError(f"no component {name!r} in composite; have: {known}")
+
+    def index_of(self, name: str) -> int:
+        for pos, entry in enumerate(self.entries):
+            if entry.relation.name == name:
+                return pos
+        raise DisplayError(f"no component {name!r} in composite")
+
+    # -- operations (Overlay / Shuffle / Set Range, §6.1) -----------------
+
+    def copy(self) -> "Composite":
+        clone = Composite()
+        clone.entries = [CompositeEntry(e.relation, e.offset) for e in self.entries]
+        clone.warnings = list(self.warnings)
+        return clone
+
+    def overlay(
+        self,
+        other: "Composite | DisplayableRelation",
+        offset: dict[str, float] | None = None,
+    ) -> "Composite":
+        """Overlay ``other`` on top of this composite (returns a new one).
+
+        ``offset`` applies to every component of ``other``, combining with
+        any offsets those components already carry.
+        """
+        other = ensure_composite(other)
+        result = self.copy()
+        for entry in other.entries:
+            merged = dict(entry.offset)
+            for dim, shift in (offset or {}).items():
+                merged[dim] = merged.get(dim, 0.0) + float(shift)
+            result._add_entry(CompositeEntry(entry.relation, merged))
+        return result
+
+    def shuffle_to_top(self, name: str) -> None:
+        """Move a component to the top of the drawing order (paints last)."""
+        pos = self.index_of(name)
+        entry = self.entries.pop(pos)
+        self.entries.append(entry)
+
+    def move_to_order(self, name: str, order: int) -> None:
+        if not 0 <= order < len(self.entries):
+            raise DisplayError(
+                f"order {order} out of range for {len(self.entries)} components"
+            )
+        pos = self.index_of(name)
+        entry = self.entries.pop(pos)
+        self.entries.insert(order, entry)
+
+    def replace_component(self, name: str, relation: DisplayableRelation) -> "Composite":
+        """A new composite with one component's relation replaced (used by the
+        overload machinery to reassemble after an R-level operation, §2)."""
+        result = self.copy()
+        pos = result.index_of(name)
+        old = result.entries[pos]
+        result.entries[pos] = CompositeEntry(
+            relation.with_name(name) if relation.name != name else relation,
+            old.offset,
+        )
+        return result
+
+    def set_component_range(self, name: str, minimum: float, maximum: float) -> None:
+        entry = self.entry_named(name)
+        entry.relation = entry.relation.with_range(minimum, maximum)
+
+    def elevation_map(self) -> ElevationMap:
+        """The elevation-map model for this composite (§6.1)."""
+        return ElevationMap(self)
+
+    def __repr__(self) -> str:
+        return f"Composite([{', '.join(self.component_names())}])"
+
+
+class Group:
+    """A layout of composites in distinct viewing spaces (Section 2).
+
+    "A group visualization is just the visualization of each of the
+    composites arranged either side-by-side, top-to-bottom, or in a tabular
+    fashion according to the user's specification."  Each member keeps its
+    own pan/zoom position in the viewer.
+    """
+
+    def __init__(
+        self,
+        members: Iterable[tuple[str, "Composite | DisplayableRelation"]] = (),
+        layout: str = "horizontal",
+        table_shape: tuple[int, int] | None = None,
+    ):
+        if layout not in LAYOUTS:
+            raise DisplayError(f"layout must be one of {LAYOUTS}, got {layout!r}")
+        self.layout = layout
+        self.members: list[tuple[str, Composite]] = []
+        for name, member in members:
+            self.add_member(name, member)
+        if layout == "tabular":
+            if table_shape is None:
+                raise DisplayError("tabular layout requires a table_shape")
+            rows, cols = table_shape
+            if rows < 1 or cols < 1:
+                raise DisplayError(f"illegal table shape {table_shape}")
+        self.table_shape = table_shape
+
+    def add_member(self, name: str, member: "Composite | DisplayableRelation") -> None:
+        if any(existing == name for existing, __ in self.members):
+            raise DisplayError(f"group already has a member named {name!r}")
+        self.members.append((name, ensure_composite(member)))
+
+    def member(self, name: str) -> Composite:
+        for member_name, composite in self.members:
+            if member_name == name:
+                return composite
+        known = ", ".join(name for name, __ in self.members) or "(none)"
+        raise DisplayError(f"no group member {name!r}; have: {known}")
+
+    def member_names(self) -> list[str]:
+        return [name for name, __ in self.members]
+
+    def replace_member(self, name: str, composite: "Composite") -> "Group":
+        """A new group with one member replaced (overload reassembly, §2)."""
+        if name not in self.member_names():
+            raise DisplayError(f"no group member {name!r}")
+        clone = Group(layout=self.layout, table_shape=self.table_shape)
+        for member_name, member in self.members:
+            clone.add_member(member_name, composite if member_name == name else member)
+        return clone
+
+    def grid_shape(self) -> tuple[int, int]:
+        """(rows, cols) of the layout grid."""
+        count = len(self.members)
+        if self.layout == "horizontal":
+            return (1, max(1, count))
+        if self.layout == "vertical":
+            return (max(1, count), 1)
+        assert self.table_shape is not None
+        return self.table_shape
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self) -> Iterator[tuple[str, Composite]]:
+        return iter(self.members)
+
+    def __repr__(self) -> str:
+        return f"Group({self.member_names()}, layout={self.layout!r})"
+
+
+Displayable = DisplayableRelation | Composite | Group
+"""The union of the three displayable types."""
+
+
+def ensure_composite(displayable: "Composite | DisplayableRelation") -> Composite:
+    """The type equivalence R = Composite(R) (§2)."""
+    if isinstance(displayable, Composite):
+        return displayable
+    if isinstance(displayable, DisplayableRelation):
+        return Composite([displayable])
+    raise DisplayError(
+        f"cannot treat {type(displayable).__name__} as a composite"
+    )
+
+
+def ensure_group(
+    displayable: "Group | Composite | DisplayableRelation", name: str = "view"
+) -> Group:
+    """The type equivalence C = Group(C) (§2)."""
+    if isinstance(displayable, Group):
+        return displayable
+    composite = ensure_composite(displayable)
+    return Group([(name, composite)])

@@ -1,0 +1,132 @@
+"""Elevation ranges and the elevation map (Sections 6.1 and 6.3).
+
+"Every Tioga-2 displayable has a minimum and maximum elevation."  A relation
+contributes nothing to the canvas outside its range (Set Range).  Positive
+elevations are visible from above in the viewer; negative elevations are the
+*underside* of the canvas, visible only in the rear view mirror after passing
+through a wormhole; a range straddling zero is visible on both sides.
+
+The *elevation map* is "a bar-chart display of the maximum/minimum elevations
+and drawing order of all elements of a composite on the current canvas" and
+"can be manipulated directly by the user to adjust the ranges and drawing
+order of overlaid relations."  Here it is a model object: bars expose the
+ranges/order, and its mutation methods are the direct-manipulation handles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import DisplayError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.display.displayable import Composite
+
+__all__ = ["ElevationRange", "TOP_SIDE", "UNDER_SIDE", "ElevationBar", "ElevationMap"]
+
+TOP_SIDE = "top"
+UNDER_SIDE = "under"
+
+
+class ElevationRange:
+    """A [minimum, maximum] elevation interval; either bound may be infinite."""
+
+    __slots__ = ("minimum", "maximum")
+
+    def __init__(self, minimum: float = 0.0, maximum: float = math.inf):
+        minimum = float(minimum)
+        maximum = float(maximum)
+        if math.isnan(minimum) or math.isnan(maximum):
+            raise DisplayError("elevation bounds cannot be NaN")
+        if minimum > maximum:
+            raise DisplayError(
+                f"elevation range minimum {minimum} exceeds maximum {maximum}"
+            )
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def contains(self, elevation: float) -> bool:
+        """True when a viewer at ``elevation`` sees this displayable."""
+        return self.minimum <= elevation <= self.maximum
+
+    def visible_topside(self) -> bool:
+        """Any part of the range is at or above ground level."""
+        return self.maximum >= 0.0
+
+    def visible_underside(self) -> bool:
+        """Any part of the range is at or below ground level (§6.3)."""
+        return self.minimum <= 0.0
+
+    def sides(self) -> tuple[str, ...]:
+        """Which canvas sides this range is visible from."""
+        sides = []
+        if self.visible_topside():
+            sides.append(TOP_SIDE)
+        if self.visible_underside():
+            sides.append(UNDER_SIDE)
+        return tuple(sides)
+
+    def intersect(self, other: "ElevationRange") -> "ElevationRange | None":
+        low = max(self.minimum, other.minimum)
+        high = min(self.maximum, other.maximum)
+        if low > high:
+            return None
+        return ElevationRange(low, high)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ElevationRange)
+            and self.minimum == other.minimum
+            and self.maximum == other.maximum
+        )
+
+    def __repr__(self) -> str:
+        return f"ElevationRange({self.minimum}, {self.maximum})"
+
+
+class ElevationBar:
+    """One bar of the elevation map: a component's name, range, and order."""
+
+    __slots__ = ("name", "range", "order")
+
+    def __init__(self, name: str, elevation_range: ElevationRange, order: int):
+        self.name = name
+        self.range = elevation_range
+        self.order = order
+
+    def __repr__(self) -> str:
+        return f"ElevationBar({self.name!r}, {self.range!r}, order={self.order})"
+
+
+class ElevationMap:
+    """Direct-manipulation model over a composite's ranges and drawing order."""
+
+    def __init__(self, composite: "Composite"):
+        self._composite = composite
+
+    def bars(self) -> list[ElevationBar]:
+        """Bars in drawing order (order 0 paints first, i.e. bottom)."""
+        return [
+            ElevationBar(entry.relation.name, entry.relation.elevation_range, order)
+            for order, entry in enumerate(self._composite.entries)
+        ]
+
+    def __iter__(self) -> Iterator[ElevationBar]:
+        return iter(self.bars())
+
+    def __len__(self) -> int:
+        return len(self._composite.entries)
+
+    def set_range(self, name: str, minimum: float, maximum: float) -> None:
+        """Drag a bar's ends: adjust a component's elevation range."""
+        entry = self._composite.entry_named(name)
+        entry.relation = entry.relation.with_range(minimum, maximum)
+
+    def shuffle_to_top(self, name: str) -> None:
+        """Drag a bar to the top of the drawing order (Shuffle, §6.1)."""
+        self._composite.shuffle_to_top(name)
+
+    def move_to_order(self, name: str, order: int) -> None:
+        """Drag a bar to an arbitrary position in the drawing order."""
+        self._composite.move_to_order(name, order)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the Tioga-2 reproduction.
+
+Every user-facing failure raises a subclass of :class:`TiogaError` with a
+message precise enough to act on.  The hierarchy mirrors the subsystems: the
+DBMS substrate, the expression language, the dataflow graph, displayables,
+viewers, and the UI session.
+"""
+
+from __future__ import annotations
+
+
+class TiogaError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(TiogaError):
+    """A schema is malformed or a field reference does not resolve."""
+
+
+class TypeCheckError(TiogaError):
+    """A value, expression, or dataflow edge fails static type checking.
+
+    The paper (Section 2): "Any attempt to connect an output to an input of
+    incompatible type is a type error."
+    """
+
+
+class ExpressionError(TiogaError):
+    """An expression in the query language is syntactically or semantically bad."""
+
+
+class EvaluationError(TiogaError):
+    """A well-typed expression failed at evaluation time (e.g. division by zero)."""
+
+
+class CatalogError(TiogaError):
+    """A catalog lookup failed: unknown table, function, box, or program."""
+
+
+class GraphError(TiogaError):
+    """An illegal edit of the boxes-and-arrows diagram.
+
+    Covers dangling-input deletions (Section 4.1), connecting ports that do
+    not exist, cycles, and firing boxes with missing inputs.
+    """
+
+
+class DisplayError(TiogaError):
+    """A displayable is malformed: missing x/y/display, dimension mismatch, etc."""
+
+
+class ViewerError(TiogaError):
+    """An illegal viewer operation: bad slider, slaving dimension mismatch, etc."""
+
+
+class UpdateError(TiogaError):
+    """A database update initiated from the screen could not be applied."""
+
+
+class UIError(TiogaError):
+    """An illegal UI session operation (bad undo, unknown window, ...)."""

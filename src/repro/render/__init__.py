@@ -1,0 +1,53 @@
+"""Software rasterizer: framebuffer canvas, bitmap font, scene building."""
+
+from repro.render.canvas import BLACK, WHITE, Canvas
+from repro.render.font import CHAR_HEIGHT, CHAR_WIDTH, GLYPHS, glyph_rows
+from repro.render.program_view import (
+    BoxGeometry,
+    layout_program,
+    program_listing,
+    render_program,
+)
+from repro.render.svg import SvgCanvas, render_svg
+from repro.render.widgets import (
+    render_elevation_map,
+    render_slider_bar,
+    render_window_frame,
+)
+from repro.render.scene import (
+    MAX_WORMHOLE_DEPTH,
+    CanvasDef,
+    CanvasResolver,
+    RenderedItem,
+    SceneStats,
+    ViewState,
+    render_composite,
+    render_group,
+)
+
+__all__ = [
+    "BLACK",
+    "BoxGeometry",
+    "CHAR_HEIGHT",
+    "CHAR_WIDTH",
+    "Canvas",
+    "CanvasDef",
+    "CanvasResolver",
+    "GLYPHS",
+    "MAX_WORMHOLE_DEPTH",
+    "RenderedItem",
+    "SceneStats",
+    "SvgCanvas",
+    "ViewState",
+    "WHITE",
+    "glyph_rows",
+    "layout_program",
+    "program_listing",
+    "render_composite",
+    "render_program",
+    "render_group",
+    "render_elevation_map",
+    "render_slider_bar",
+    "render_svg",
+    "render_window_frame",
+]

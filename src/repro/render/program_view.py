@@ -1,0 +1,143 @@
+"""The program window: rendering the boxes-and-arrows diagram (§3).
+
+"a program window, containing a boxes-and-arrows representation of a Tioga-2
+program" — Figure 1's left half.  This module draws a program graph onto a
+:class:`~repro.render.canvas.Canvas` using a layered (longest-path) layout,
+and produces a textual listing for terminals.
+
+The layout is deterministic: boxes are layered by their longest distance
+from a source, ordered within a layer by id, and edges drawn as straight
+segments with arrowheads.  Returned geometry (box rectangles) supports
+click-to-select in a front end.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.dataflow.graph import Program
+from repro.render.canvas import Canvas
+
+__all__ = ["BoxGeometry", "layout_program", "render_program", "program_listing"]
+
+_BOX_W = 108
+_BOX_H = 34
+_H_GAP = 36
+_V_GAP = 22
+_MARGIN = 16
+
+_BOX_FILL = (235, 240, 248)
+_BOX_EDGE = (60, 70, 90)
+_ARROW = (90, 90, 90)
+_TEXT = (20, 20, 20)
+
+
+class BoxGeometry(NamedTuple):
+    """Where one box sits in the program window."""
+
+    box_id: int
+    layer: int
+    rect: tuple[int, int, int, int]  # x0, y0, x1, y1
+
+    @property
+    def center(self) -> tuple[float, float]:
+        x0, y0, x1, y1 = self.rect
+        return ((x0 + x1) / 2.0, (y0 + y1) / 2.0)
+
+
+def _layers(program: Program) -> dict[int, int]:
+    """Longest-path layering: sources at layer 0."""
+    layer: dict[int, int] = {}
+    for box_id in program.topological_order():
+        incoming = program.edges_into(box_id)
+        if not incoming:
+            layer[box_id] = 0
+        else:
+            layer[box_id] = 1 + max(layer[edge.src_box] for edge in incoming)
+    return layer
+
+
+def layout_program(program: Program) -> tuple[list[BoxGeometry], int, int]:
+    """Compute box geometry; returns (geometries, canvas_width, canvas_height)."""
+    layer_of = _layers(program)
+    columns: dict[int, list[int]] = {}
+    for box_id, layer in layer_of.items():
+        columns.setdefault(layer, []).append(box_id)
+    for members in columns.values():
+        members.sort()
+
+    geometries: list[BoxGeometry] = []
+    for layer, members in sorted(columns.items()):
+        x0 = _MARGIN + layer * (_BOX_W + _H_GAP)
+        for row, box_id in enumerate(members):
+            y0 = _MARGIN + row * (_BOX_H + _V_GAP)
+            geometries.append(
+                BoxGeometry(box_id, layer, (x0, y0, x0 + _BOX_W, y0 + _BOX_H))
+            )
+
+    width = _MARGIN * 2 + max(
+        (geo.rect[2] for geo in geometries), default=_BOX_W
+    )
+    height = _MARGIN + max((geo.rect[3] for geo in geometries), default=_BOX_H)
+    return geometries, max(width, 160), max(height + _MARGIN, 120)
+
+
+def _box_title(program: Program, box_id: int) -> str:
+    box = program.box(box_id)
+    title = box.label or box.type_name
+    return title if len(title) <= 16 else title[:15] + "~"
+
+
+def render_program(program: Program, canvas: Canvas | None = None) -> Canvas:
+    """Draw the boxes-and-arrows diagram; returns the canvas."""
+    geometries, width, height = layout_program(program)
+    if canvas is None:
+        canvas = Canvas(width, height)
+    by_id = {geo.box_id: geo for geo in geometries}
+
+    for edge in program.edges():
+        src = by_id[edge.src_box]
+        dst = by_id[edge.dst_box]
+        x0 = src.rect[2]
+        y0 = (src.rect[1] + src.rect[3]) / 2.0
+        x1 = dst.rect[0]
+        y1 = (dst.rect[1] + dst.rect[3]) / 2.0
+        canvas.draw_line(x0, y0, x1, y1, _ARROW)
+        # Arrowhead.
+        canvas.draw_line(x1, y1, x1 - 6, y1 - 4, _ARROW)
+        canvas.draw_line(x1, y1, x1 - 6, y1 + 4, _ARROW)
+
+    for geo in geometries:
+        x0, y0, x1, y1 = geo.rect
+        canvas.fill_rect(x0, y0, x1, y1, _BOX_FILL)
+        canvas.draw_rect(x0, y0, x1, y1, _BOX_EDGE)
+        title = _box_title(program, geo.box_id)
+        cx = (x0 + x1) / 2.0
+        canvas.draw_text(cx - len(title) * 3, y0 + 5, title, _TEXT)
+        ident = f"#{geo.box_id}"
+        canvas.draw_text(cx - len(ident) * 3, y0 + 18, ident, (110, 110, 110))
+    return canvas
+
+
+def program_listing(program: Program) -> str:
+    """A textual program window for terminals: boxes by layer, then edges."""
+    layer_of = _layers(program)
+    lines = [f"program {program.name!r} "
+             f"({len(program)} boxes, {len(program.edges())} edges)"]
+    by_layer: dict[int, list[int]] = {}
+    for box_id, layer in layer_of.items():
+        by_layer.setdefault(layer, []).append(box_id)
+    for layer in sorted(by_layer):
+        for box_id in sorted(by_layer[layer]):
+            box = program.box(box_id)
+            label = f" {box.label!r}" if box.label else ""
+            interesting = {
+                key: value
+                for key, value in box.params.items()
+                if value is not None and key not in ("component", "member")
+            }
+            params = f"  {interesting}" if interesting else ""
+            lines.append(f"  [{layer}] #{box_id} {box.type_name}{label}{params}")
+    for edge in program.edges():
+        lines.append(f"  {edge}")
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""The headless UI model: session, canvas windows, menu bar, undo."""
+
+from repro.ui.menus import PROGRAM_OPERATIONS, MenuBar
+from repro.ui.session import CanvasWindow, Session
+from repro.ui.undo import UndoStack
+
+__all__ = ["CanvasWindow", "MenuBar", "PROGRAM_OPERATIONS", "Session", "UndoStack"]

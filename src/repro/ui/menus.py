@@ -1,0 +1,99 @@
+"""The menu bar (Section 3).
+
+"The menu bar includes: a menu of all operations available, a menu of all
+tables available, a menu of all boxes available, an undo button ... and a
+help button."
+
+Menus are models (lists of entries) the host front end would draw; the help
+button serves each operation's documentation, pulled straight from the box
+classes' docstrings so the help can never drift from the implementation.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.dataflow.registry import box_class, box_class_names
+from repro.dbms.catalog import Database
+from repro.errors import UIError
+
+__all__ = ["MenuBar", "PROGRAM_OPERATIONS"]
+
+PROGRAM_OPERATIONS = (
+    "New Program",
+    "Add Program",
+    "Load Program",
+    "Save Program",
+    "Apply Box",
+    "Delete Box",
+    "Replace Box",
+    "T",
+    "Encapsulate",
+)
+"""The Figure-2 program-editing operations (handled by the session, not by
+box instantiation)."""
+
+_HIDDEN_BOX_TYPES = {"_Const", "Hole"}
+"""Internal box types never offered in user menus."""
+
+
+class MenuBar:
+    """The operations / tables / boxes menus over one database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    def operations_menu(self) -> list[str]:
+        """All operations available: program edits plus every primitive box."""
+        boxes = [
+            name for name in box_class_names() if name not in _HIDDEN_BOX_TYPES
+        ]
+        return list(PROGRAM_OPERATIONS) + boxes
+
+    def tables_menu(self) -> list[str]:
+        """All tables available (Add Table picks from this menu, §4.2)."""
+        return self.database.table_names()
+
+    def boxes_menu(self) -> list[str]:
+        """All boxes available: primitives plus catalog-registered boxes
+        (encapsulated user definitions)."""
+        primitives = [
+            name for name in box_class_names() if name not in _HIDDEN_BOX_TYPES
+        ]
+        return sorted(set(primitives) | set(self.database.box_names()))
+
+    def help(self, topic: str) -> str:
+        """The help button: documentation for an operation or box type."""
+        if topic in PROGRAM_OPERATIONS:
+            from repro.dataflow import program_ops
+
+            mapping = {
+                "New Program": program_ops.new_program,
+                "Add Program": program_ops.add_program,
+                "Load Program": program_ops.load_program,
+                "Save Program": program_ops.save_program,
+                "Apply Box": program_ops.apply_box,
+                "T": program_ops.insert_t,
+            }
+            if topic in mapping:
+                return inspect.getdoc(mapping[topic]) or topic
+            if topic == "Encapsulate":
+                import importlib
+
+                # The package re-exports the function under the module's
+                # name, so resolve the module through importlib.
+                module = importlib.import_module("repro.dataflow.encapsulate")
+                return inspect.getdoc(module.encapsulate) or topic
+            if topic == "Delete Box":
+                from repro.dataflow.graph import Program
+
+                return inspect.getdoc(Program.delete_box) or topic
+            if topic == "Replace Box":
+                from repro.dataflow.graph import Program
+
+                return inspect.getdoc(Program.replace_box) or topic
+        try:
+            cls = box_class(topic)
+        except Exception as exc:
+            raise UIError(f"no help available for {topic!r}") from exc
+        return inspect.getdoc(cls) or topic

@@ -1,0 +1,47 @@
+"""Undo for program-editing operations (Section 3: "an undo button to undo
+the last operation performed").
+
+Undo is implemented by snapshotting the serialized program before each
+operation.  Multi-level undo falls out for free and is kept (a strict
+single-level undo would be a regression with no fidelity benefit).  Database
+updates (Section 8) are *data*, not program edits, and are not undone here —
+matching the paper, whose undo lives in the program-editing menu bar.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import UIError
+
+__all__ = ["UndoStack"]
+
+
+class UndoStack:
+    """A bounded stack of (description, program-snapshot) pairs."""
+
+    def __init__(self, limit: int = 100):
+        if limit < 1:
+            raise UIError(f"undo limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._entries: list[tuple[str, dict[str, Any]]] = []
+
+    def push(self, description: str, snapshot: dict[str, Any]) -> None:
+        self._entries.append((description, snapshot))
+        if len(self._entries) > self.limit:
+            del self._entries[0]
+
+    def pop(self) -> tuple[str, dict[str, Any]]:
+        if not self._entries:
+            raise UIError("nothing to undo")
+        return self._entries.pop()
+
+    def peek_description(self) -> str | None:
+        """What the undo button would undo, for display."""
+        return self._entries[-1][0] if self._entries else None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

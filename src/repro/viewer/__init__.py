@@ -1,0 +1,28 @@
+"""Viewers, wormholes, rear view mirrors, slaving, and magnifying glasses."""
+
+from repro.viewer.magnifier import MagnifyingGlass
+from repro.viewer.rearview import RearViewMirror
+from repro.viewer.slaving import SlaveEnd, SlaveLink, SlavingManager
+from repro.viewer.viewer import MAIN_MEMBER, RenderResult, Viewer, ViewerBox
+from repro.viewer.wormhole import (
+    CanvasRegistry,
+    TravelHistory,
+    TravelRecord,
+    WormholeNavigator,
+)
+
+__all__ = [
+    "CanvasRegistry",
+    "MAIN_MEMBER",
+    "MagnifyingGlass",
+    "RearViewMirror",
+    "RenderResult",
+    "SlaveEnd",
+    "SlaveLink",
+    "SlavingManager",
+    "TravelHistory",
+    "TravelRecord",
+    "Viewer",
+    "ViewerBox",
+    "WormholeNavigator",
+]

@@ -1,0 +1,156 @@
+"""Magnifying glasses: viewers within viewers (Section 7.2).
+
+"A user may create a magnifying glass by placing a viewer inside of another
+viewer.  Typically, a user will place a copy of the current viewer inside of
+itself; he will then zoom the inner viewer, so it magnifies what is in the
+outer viewer.  Magnifying glasses must have the same dimension as their
+containing viewer.  The inner and outer viewers may be slaved so that they
+move in unison.  Magnifying glasses may also be deleted."
+
+Unlike a wormhole, a magnifying glass shows *the same viewing space* (or an
+alternative display of the same relation, as in Figure 9 where the magnifier
+shows precipitation over a temperature display) — it is screen furniture of
+its containing viewer, not a passage to another canvas.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.display.displayable import (
+    Composite,
+    DisplayableRelation,
+    Group,
+    ensure_composite,
+)
+from repro.errors import ViewerError
+from repro.render.canvas import Canvas
+from repro.render.scene import SceneStats, ViewState, render_composite
+from repro.viewer.viewer import Viewer
+
+__all__ = ["MagnifyingGlass"]
+
+
+class MagnifyingGlass:
+    """An inner viewer rendered into a rectangle of its containing viewer.
+
+    ``rect`` is (x, y, width, height) in parent screen pixels.  The glass
+    magnifies the world point under the rect's center by ``magnification``
+    (inner elevation = outer elevation / magnification).  An optional
+    ``source`` shows an alternative displayable of the same dimension — the
+    Figure-9 construction feeds it the output of a Swap Attributes box.
+    """
+
+    def __init__(
+        self,
+        parent: Viewer,
+        rect: tuple[float, float, float, float],
+        magnification: float = 4.0,
+        member: str | None = None,
+        source: Callable[[], Composite | DisplayableRelation] | None = None,
+        slaved: bool = True,
+    ):
+        if magnification <= 0:
+            raise ViewerError(f"magnification must be positive, got {magnification}")
+        x, y, w, h = rect
+        if w < 4 or h < 4:
+            raise ViewerError(f"magnifier rectangle {rect} is too small")
+        self.parent = parent
+        self.rect = (float(x), float(y), float(w), float(h))
+        self.magnification = float(magnification)
+        self.member = member or parent.member_names()[0]
+        self.source = source
+        self.slaved = slaved
+        self._world_offset: tuple[float, float] | None = None
+        self.deleted = False
+
+        inner = self._inner_composite()
+        outer_dim = parent.dimension(self.member)
+        if inner.dimension != outer_dim:
+            raise ViewerError(
+                f"magnifying glasses must have the same dimension as their "
+                f"containing viewer; inner is {inner.dimension}-dimensional, "
+                f"outer is {outer_dim}-dimensional"
+            )
+
+    # ------------------------------------------------------------------
+
+    def _inner_composite(self) -> Composite:
+        if self.source is not None:
+            displayable = self.source()
+            if isinstance(displayable, Group):
+                raise ViewerError(
+                    "a magnifying glass shows a composite, not a group"
+                )
+            return ensure_composite(displayable)
+        return self.parent._member_composite(self.member)
+
+    def _center_world(self) -> tuple[float, float]:
+        """The world point the glass is centered over."""
+        x, y, w, h = self.rect
+        outer_view = self.parent.view(self.member)
+        if self.slaved or self._world_offset is None:
+            wx, wy = outer_view.to_world(x + w / 2.0, y + h / 2.0)
+            if not self.slaved:
+                self._world_offset = (
+                    wx - outer_view.center[0],
+                    wy - outer_view.center[1],
+                )
+            return wx, wy
+        return (
+            outer_view.center[0] + self._world_offset[0],
+            outer_view.center[1] + self._world_offset[1],
+        )
+
+    def inner_view(self) -> ViewState:
+        """The magnified view state derived from the parent's position."""
+        outer_view = self.parent.view(self.member)
+        x, y, w, h = self.rect
+        return ViewState(
+            center=self._center_world(),
+            elevation=outer_view.elevation / self.magnification,
+            slider_ranges=dict(outer_view.slider_ranges),
+            viewport=(max(1, int(w) - 2), max(1, int(h) - 2)),
+            world_per_elevation=outer_view.world_per_elevation,
+        )
+
+    def render_onto(self, canvas: Canvas, cull: bool = True) -> SceneStats:
+        """Paint the glass onto the parent's rendered canvas."""
+        if self.deleted:
+            raise ViewerError("this magnifying glass has been deleted")
+        view = self.inner_view()
+        sub_canvas = type(canvas)(*view.viewport)
+        stats = SceneStats()
+        render_composite(
+            sub_canvas,
+            self._inner_composite(),
+            view,
+            self.parent.resolver,
+            cull=cull,
+            stats=stats,
+        )
+        x, y, w, h = self.rect
+        canvas.blit(sub_canvas, x + 1, y + 1)
+        canvas.draw_rect(x, y, x + w - 1, y + h - 1, (64, 64, 64), 1)
+        return stats
+
+    def move_to(self, x: float, y: float) -> None:
+        """Drag the glass to a new screen position (same size)."""
+        __, __, w, h = self.rect
+        self.rect = (float(x), float(y), w, h)
+        self._world_offset = None
+
+    def set_magnification(self, magnification: float) -> None:
+        if magnification <= 0:
+            raise ViewerError(f"magnification must be positive, got {magnification}")
+        self.magnification = float(magnification)
+
+    def delete(self) -> None:
+        """Magnifying glasses may also be deleted (§7.2)."""
+        self.deleted = True
+
+    def __repr__(self) -> str:
+        return (
+            f"MagnifyingGlass(on {self.parent.name!r}, rect={self.rect}, "
+            f"x{self.magnification})"
+        )

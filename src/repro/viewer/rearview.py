@@ -1,0 +1,95 @@
+"""Rear view mirrors (Section 6.3).
+
+"For each canvas, we introduce an additional window called a rear view
+mirror.  This window shows the 'bottom side' of the canvas through which the
+user last moved.  Hence, immediately after going through a wormhole, the user
+is looking down at a new canvas from some specific elevation and is at
+negative ground level for the canvas he just left.  As he descends toward the
+new canvas, he increases the distance from the previous canvas."
+
+Rendering the mirror is rendering the origin canvas's composite at a
+*negative* elevation equal to the descent distance: only displayables whose
+elevation range reaches below zero (undersides) appear.  A natural use is to
+place return wormholes on the underside so the user can "find his way home."
+"""
+
+from __future__ import annotations
+
+from repro.display.displayable import Group, ensure_composite
+from repro.render.canvas import Canvas
+from repro.render.scene import RenderedItem, SceneStats, ViewState, render_composite
+from repro.viewer.wormhole import CanvasRegistry, TravelHistory, WormholeNavigator
+
+__all__ = ["RearViewMirror"]
+
+_MIN_DESCENT = 1e-6
+"""Immediately after passage the descent distance is zero; the mirror views
+from an infinitesimally small negative elevation instead (zero is passing
+through, not viewing)."""
+
+
+class RearViewMirror:
+    """The mirror window attached to a session's current canvas."""
+
+    def __init__(
+        self,
+        navigator: WormholeNavigator,
+        width: int = 240,
+        height: int = 180,
+    ):
+        self.navigator = navigator
+        self.width = int(width)
+        self.height = int(height)
+        self.last_items: list[RenderedItem] = []
+
+    @property
+    def registry(self) -> CanvasRegistry:
+        return self.navigator.registry
+
+    @property
+    def history(self) -> TravelHistory:
+        return self.navigator.history
+
+    def has_view(self) -> bool:
+        """The mirror is blank until the user has moved through a wormhole."""
+        return self.history.peek() is not None
+
+    def render(self, cull: bool = True) -> Canvas:
+        """Render the underside of the last canvas travelled through."""
+        canvas = Canvas(self.width, self.height)
+        record = self.history.peek()
+        self.last_items = []
+        if record is None:
+            return canvas
+        origin = self.registry.get(record.origin_canvas)
+        displayable = origin.displayable()
+        if isinstance(displayable, Group):
+            composite = displayable.member(record.origin_member)
+        else:
+            composite = ensure_composite(displayable)
+        distance = max(self.navigator.descent_distance(), _MIN_DESCENT)
+        view = ViewState(
+            center=record.origin_center,
+            elevation=-distance,
+            slider_ranges=dict(origin.view(record.origin_member).slider_ranges),
+            viewport=(self.width, self.height),
+            world_per_elevation=origin.world_per_elevation,
+        )
+        stats = SceneStats()
+        self.last_items = render_composite(
+            canvas, composite, view, self.registry.resolve, cull=cull, stats=stats
+        )
+        return canvas
+
+    def visible_wormholes(self) -> list[RenderedItem]:
+        """Return wormholes visible in the mirror — the way home (§6.3)."""
+        if not self.last_items:
+            self.render()
+        return [
+            item for item in self.last_items if item.drawable_kind == "viewer"
+        ]
+
+    def __repr__(self) -> str:
+        target = self.history.peek()
+        shown = target.origin_canvas if target else "(blank)"
+        return f"RearViewMirror(showing {shown})"

@@ -1,0 +1,164 @@
+"""Slaving: constraining viewers to move together (Section 7.1).
+
+"Two viewers may be slaved together, in which case the system maintains the
+relative offset between the two viewers.  When a viewer is deleted, all of
+its slaving relationships are also deleted.  Slaving relationships may be
+removed explicitly as well.  Slaving is only defined for two viewers with the
+same dimensions."
+
+Slaving also applies between members of a stitched group ("Components may be
+slaved to one another", §7.3), so a slaving endpoint is a (viewer, member)
+pair.  The manager maintains the center offset and the elevation ratio
+captured when the link was made, and copies shared slider ranges — which is
+how Figure 10's precipitation display follows the temperature display's date
+range.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import ViewerError
+from repro.viewer.viewer import MAIN_MEMBER, Viewer
+
+__all__ = ["SlaveEnd", "SlaveLink", "SlavingManager"]
+
+
+class SlaveEnd(NamedTuple):
+    viewer: Viewer
+    member: str
+
+    def describe(self) -> str:
+        if self.member == MAIN_MEMBER:
+            return self.viewer.name
+        return f"{self.viewer.name}:{self.member}"
+
+
+class SlaveLink(NamedTuple):
+    a: SlaveEnd
+    b: SlaveEnd
+    offset: tuple[float, float]  # b.center - a.center at link time
+    elevation_ratio: float  # b.elevation / a.elevation at link time
+
+
+class SlavingManager:
+    """Owns all slaving links and propagates movement through them."""
+
+    def __init__(self) -> None:
+        self._links: list[SlaveLink] = []
+        self._subscribed: set[int] = set()
+        self._propagating: set[tuple[int, str]] = set()
+
+    # ------------------------------------------------------------------
+
+    def slave(
+        self,
+        a: Viewer,
+        b: Viewer,
+        a_member: str | None = None,
+        b_member: str | None = None,
+    ) -> SlaveLink:
+        """Link two (viewer, member) endpoints; same dimension required."""
+        end_a = SlaveEnd(a, a_member or a.member_names()[0])
+        end_b = SlaveEnd(b, b_member or b.member_names()[0])
+        if end_a == end_b:
+            raise ViewerError("cannot slave a viewer to itself")
+        dim_a = a.dimension(end_a.member)
+        dim_b = b.dimension(end_b.member)
+        if dim_a != dim_b:
+            raise ViewerError(
+                f"slaving is only defined for viewers with the same dimensions; "
+                f"{end_a.describe()} is {dim_a}-dimensional, "
+                f"{end_b.describe()} is {dim_b}-dimensional"
+            )
+        view_a = a.view(end_a.member)
+        view_b = b.view(end_b.member)
+        link = SlaveLink(
+            end_a,
+            end_b,
+            (
+                view_b.center[0] - view_a.center[0],
+                view_b.center[1] - view_a.center[1],
+            ),
+            view_b.elevation / view_a.elevation,
+        )
+        self._links.append(link)
+        for viewer in (a, b):
+            if id(viewer) not in self._subscribed:
+                viewer.moved_callbacks.append(self._on_moved)
+                self._subscribed.add(id(viewer))
+        return link
+
+    def unslave(self, a: Viewer, b: Viewer) -> int:
+        """Remove all links between two viewers; returns the count removed."""
+        before = len(self._links)
+        self._links = [
+            link
+            for link in self._links
+            if not (
+                {link.a.viewer, link.b.viewer} == {a, b}
+            )
+        ]
+        return before - len(self._links)
+
+    def remove_viewer(self, viewer: Viewer) -> int:
+        """Delete a viewer's slaving relationships (viewer deletion, §7.1)."""
+        before = len(self._links)
+        self._links = [
+            link
+            for link in self._links
+            if link.a.viewer is not viewer and link.b.viewer is not viewer
+        ]
+        if id(viewer) in self._subscribed:
+            try:
+                viewer.moved_callbacks.remove(self._on_moved)
+            except ValueError:
+                pass
+            self._subscribed.discard(id(viewer))
+        return before - len(self._links)
+
+    def links_of(self, viewer: Viewer) -> list[SlaveLink]:
+        return [
+            link
+            for link in self._links
+            if link.a.viewer is viewer or link.b.viewer is viewer
+        ]
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    # ------------------------------------------------------------------
+
+    def _on_moved(self, viewer: Viewer, member: str) -> None:
+        key = (id(viewer), member)
+        if key in self._propagating:
+            return
+        self._propagating.add(key)
+        try:
+            for link in self._links:
+                if link.a.viewer is viewer and link.a.member == member:
+                    self._follow(link.a, link.b, link.offset, link.elevation_ratio)
+                elif link.b.viewer is viewer and link.b.member == member:
+                    inverse = (-link.offset[0], -link.offset[1])
+                    self._follow(link.b, link.a, inverse, 1.0 / link.elevation_ratio)
+        finally:
+            self._propagating.discard(key)
+
+    def _follow(
+        self,
+        source: SlaveEnd,
+        target: SlaveEnd,
+        offset: tuple[float, float],
+        elevation_ratio: float,
+    ) -> None:
+        src_view = source.viewer.view(source.member)
+        dst_view = target.viewer.view(target.member)
+        dst_view.center = (
+            src_view.center[0] + offset[0],
+            src_view.center[1] + offset[1],
+        )
+        dst_view.elevation = src_view.elevation * elevation_ratio
+        for dim, bounds in src_view.slider_ranges.items():
+            if dim in dst_view.slider_ranges:
+                dst_view.slider_ranges[dim] = bounds
+        target.viewer._notify_moved(target.member)

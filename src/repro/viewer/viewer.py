@@ -1,0 +1,336 @@
+"""Viewers: the boxes that translate displayables into screen output (§2, §3).
+
+A :class:`ViewerBox` is an ordinary dataflow sink; the :class:`Viewer`
+runtime object owns the box's view state — an (n+1)-dimensional position per
+group member (pan in n dimensions plus elevation) and slider ranges — and
+renders the demanded displayable through :mod:`repro.render.scene`.
+
+"If an n-dimensional relation R is the input to a viewer, then the viewer has
+an n+1-dimensional position ... The user controls the position by panning in
+the n viewing dimensions and by zooming, which changes the elevation."
+
+Movement notifications feed the slaving manager (§7.1); the display list from
+the last render feeds picking, which starts the Section-8 update path and
+wormhole traversal (§6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.dataflow.box import Box
+from repro.dataflow.ports import Port
+from repro.dataflow.registry import register_box_class
+from repro.display.displayable import (
+    Composite,
+    DisplayableRelation,
+    Group,
+    ensure_composite,
+)
+from repro.display.drawables import ViewerDrawable
+from repro.display.elevation import ElevationMap
+from repro.errors import ViewerError
+from repro.render.canvas import Canvas
+from repro.render.scene import (
+    CanvasResolver,
+    RenderedItem,
+    SceneStats,
+    ViewState,
+    render_composite,
+    render_group,
+)
+
+__all__ = ["ViewerBox", "RenderResult", "Viewer", "MAIN_MEMBER"]
+
+MAIN_MEMBER = "main"
+"""Member key used for non-group inputs (a composite has one view state)."""
+
+
+class ViewerBox(Box):
+    """The viewer as a box: one displayable input, no outputs (a sink).
+
+    The input port is typed G; by the equivalences R = Composite(R) and
+    C = Group(C) any displayable connects.  View positions live on the
+    :class:`Viewer` runtime, not in params — panning is interaction, not
+    program structure (saving a program stores the box, not the scroll
+    position).
+    """
+
+    type_name = "Viewer"
+
+    def __init__(
+        self,
+        name: str = "canvas",
+        width: int = 640,
+        height: int = 480,
+        world_per_elevation: float = 1.0,
+    ):
+        super().__init__(
+            {
+                "name": name,
+                "width": width,
+                "height": height,
+                "world_per_elevation": world_per_elevation,
+            }
+        )
+        self.inputs = [Port("in", "G")]
+        self.outputs = []
+
+    def fire(self, inputs: dict[str, Any], context) -> dict[str, Any]:
+        # A viewer never fires through the engine (no outputs); rendering is
+        # driven by the Viewer runtime demanding the input.
+        del inputs, context
+        return {}
+
+
+register_box_class(ViewerBox)
+
+
+class RenderResult:
+    """One rendered frame: the canvas, per-member display lists, statistics."""
+
+    def __init__(
+        self,
+        canvas: Canvas,
+        items: dict[str, list[RenderedItem]],
+        stats: SceneStats,
+    ):
+        self.canvas = canvas
+        self.items = items
+        self.stats = stats
+
+    def all_items(self) -> list[RenderedItem]:
+        flat: list[RenderedItem] = []
+        for member_items in self.items.values():
+            flat.extend(member_items)
+        return flat
+
+    def __repr__(self) -> str:
+        return f"RenderResult({self.canvas!r}, {len(self.all_items())} items)"
+
+
+class Viewer:
+    """The runtime state and behaviour of one canvas window's viewer.
+
+    ``source`` is a zero-argument callable returning the current input
+    displayable — typically a closure over the engine and the viewer box, so
+    every render sees the current program and database state (incremental
+    programming, §1.2).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        source: Callable[[], Composite | Group | DisplayableRelation],
+        width: int = 640,
+        height: int = 480,
+        world_per_elevation: float = 1.0,
+        resolver: CanvasResolver | None = None,
+    ):
+        self.name = name
+        self.source = source
+        self.width = int(width)
+        self.height = int(height)
+        self.world_per_elevation = float(world_per_elevation)
+        self.resolver = resolver
+        self.views: dict[str, ViewState] = {}
+        self.moved_callbacks: list[Callable[["Viewer", str], None]] = []
+        self.last_result: RenderResult | None = None
+
+    # ------------------------------------------------------------------
+    # Input shape
+    # ------------------------------------------------------------------
+
+    def displayable(self) -> Composite | Group | DisplayableRelation:
+        return self.source()
+
+    def is_group(self) -> bool:
+        return isinstance(self.displayable(), Group)
+
+    def member_names(self) -> list[str]:
+        displayable = self.displayable()
+        if isinstance(displayable, Group):
+            return displayable.member_names()
+        return [MAIN_MEMBER]
+
+    def _member_composite(self, member: str) -> Composite:
+        displayable = self.displayable()
+        if isinstance(displayable, Group):
+            return displayable.member(member)
+        if member != MAIN_MEMBER:
+            raise ViewerError(
+                f"viewer {self.name!r} has no member {member!r} (not a group)"
+            )
+        return ensure_composite(displayable)
+
+    def dimension(self, member: str | None = None) -> int:
+        """The dimension of (one member of) the viewed displayable."""
+        return self._member_composite(member or MAIN_MEMBER).dimension
+
+    def _sync_views(self) -> None:
+        """Create default view states for new members; drop stale ones."""
+        names = self.member_names()
+        for name in names:
+            if name not in self.views:
+                self.views[name] = self._default_view(name)
+        for stale in [name for name in self.views if name not in names]:
+            del self.views[stale]
+
+    def _default_view(self, member: str) -> ViewState:
+        composite = self._member_composite(member)
+        sliders: dict[str, tuple[float, float]] = {}
+        for dim in composite.slider_dims:
+            sliders[dim] = (float("-inf"), float("inf"))
+        return ViewState(
+            center=(0.0, 0.0),
+            elevation=100.0,
+            slider_ranges=sliders,
+            viewport=(self.width, self.height),
+            world_per_elevation=self.world_per_elevation,
+        )
+
+    def view(self, member: str | None = None) -> ViewState:
+        self._sync_views()
+        member = member or self._only_member()
+        try:
+            return self.views[member]
+        except KeyError as exc:
+            raise ViewerError(
+                f"viewer {self.name!r} has no member {member!r}; "
+                f"members: {self.member_names()}"
+            ) from exc
+
+    def _only_member(self) -> str:
+        names = self.member_names()
+        if len(names) == 1:
+            return names[0]
+        raise ViewerError(
+            f"viewer {self.name!r} shows a group "
+            f"({', '.join(names)}); name the member to address"
+        )
+
+    # ------------------------------------------------------------------
+    # Position control (§3: scroll bars, sliders, elevation control)
+    # ------------------------------------------------------------------
+
+    def pan(self, dx: float, dy: float, member: str | None = None) -> None:
+        """Pan in the two screen dimensions by world-unit deltas."""
+        view = self.view(member)
+        view.center = (view.center[0] + dx, view.center[1] + dy)
+        self._notify_moved(member)
+
+    def pan_to(self, cx: float, cy: float, member: str | None = None) -> None:
+        view = self.view(member)
+        view.center = (float(cx), float(cy))
+        self._notify_moved(member)
+
+    def set_elevation(self, elevation: float, member: str | None = None) -> None:
+        """The elevation control: drag the dashed line in the elevation map."""
+        if elevation <= 0:
+            raise ViewerError(
+                f"elevation must stay positive while viewing (got {elevation}); "
+                "descending to zero passes through a wormhole — use the "
+                "wormhole traversal API"
+            )
+        self.view(member).elevation = float(elevation)
+        self._notify_moved(member)
+
+    def zoom(self, factor: float, member: str | None = None) -> None:
+        """Zoom in (factor > 1 descends; elevation divides by the factor)."""
+        if factor <= 0:
+            raise ViewerError(f"zoom factor must be positive, got {factor}")
+        view = self.view(member)
+        view.elevation = view.elevation / factor
+        self._notify_moved(member)
+
+    def set_slider(
+        self, dim: str, low: float, high: float, member: str | None = None
+    ) -> None:
+        """Set a slider dimension's visible range (§3)."""
+        view = self.view(member)
+        composite = self._member_composite(member or self._only_member())
+        if dim not in composite.slider_dims:
+            raise ViewerError(
+                f"viewer {self.name!r} has no slider dimension {dim!r}; "
+                f"dimensions: {composite.slider_dims}"
+            )
+        if low > high:
+            raise ViewerError(f"slider range [{low}, {high}] is empty")
+        view.slider_ranges[dim] = (float(low), float(high))
+        self._notify_moved(member)
+
+    def slider_dims(self, member: str | None = None) -> tuple[str, ...]:
+        return self._member_composite(member or self._only_member()).slider_dims
+
+    def _notify_moved(self, member: str | None) -> None:
+        member = member or self.member_names()[0]
+        for callback in list(self.moved_callbacks):
+            callback(self, member)
+
+    # ------------------------------------------------------------------
+    # Rendering and picking
+    # ------------------------------------------------------------------
+
+    def render(self, cull: bool = True) -> RenderResult:
+        """Render the current input through the current position(s)."""
+        self._sync_views()
+        displayable = self.displayable()
+        canvas = Canvas(self.width, self.height)
+        stats = SceneStats()
+        if isinstance(displayable, Group):
+            items = render_group(
+                canvas, displayable, self.views, self.resolver, cull=cull, stats=stats
+            )
+        else:
+            view = self.views[MAIN_MEMBER]
+            view.viewport = (self.width, self.height)
+            flat = render_composite(
+                canvas,
+                ensure_composite(displayable),
+                view,
+                self.resolver,
+                cull=cull,
+                stats=stats,
+            )
+            items = {MAIN_MEMBER: flat}
+        self.last_result = RenderResult(canvas, items, stats)
+        return self.last_result
+
+    def pick(self, px: float, py: float) -> RenderedItem | None:
+        """The topmost rendered item under a screen point (§8 click)."""
+        result = self.last_result or self.render()
+        hit: RenderedItem | None = None
+        for item in result.all_items():
+            x0, y0, x1, y1 = item.bbox
+            if x0 <= px <= x1 and y0 <= py <= y1:
+                hit = item  # later items paint on top
+        return hit
+
+    def wormhole_at(self, px: float, py: float) -> RenderedItem | None:
+        """The topmost wormhole (viewer drawable) under a screen point."""
+        result = self.last_result or self.render()
+        hit: RenderedItem | None = None
+        for item in result.all_items():
+            if item.drawable_kind != "viewer":
+                continue
+            x0, y0, x1, y1 = item.bbox
+            if x0 <= px <= x1 and y0 <= py <= y1:
+                hit = item
+        return hit
+
+    def visible_wormholes(self) -> list[RenderedItem]:
+        result = self.last_result or self.render()
+        return [
+            item for item in result.all_items() if item.drawable_kind == "viewer"
+        ]
+
+    def elevation_map(self, member: str | None = None) -> ElevationMap:
+        """The elevation map for (one member of) the viewed composite (§6.1).
+
+        "For a group displayable, a viewer shows an elevation map for only
+        one member of the group at a time" — callers cycle through members.
+        """
+        return self._member_composite(member or self._only_member()).elevation_map()
+
+    def __repr__(self) -> str:
+        return f"Viewer({self.name!r}, {self.width}x{self.height})"

@@ -1,0 +1,192 @@
+"""Wormhole traversal between canvases (Section 6.2).
+
+"A wormhole is a viewer onto another canvas. ... When a user zooms in on a
+wormhole and reaches zero elevation he passes through the wormhole and moves
+from his original canvas to the destination canvas."
+
+The :class:`CanvasRegistry` names canvases (one per viewer) and supplies the
+scene builder's resolver for nested wormhole rendering.  The
+:class:`WormholeNavigator` drives traversal: descending through a wormhole
+records a :class:`TravelRecord` on the travel history — the data behind the
+rear view mirror (§6.3) and its "find his way home" generalization of
+hypertext *back*.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.display.drawables import ViewerDrawable
+from repro.errors import ViewerError
+from repro.render.scene import CanvasDef, RenderedItem
+from repro.viewer.viewer import Viewer
+
+__all__ = ["CanvasRegistry", "TravelRecord", "TravelHistory", "WormholeNavigator"]
+
+
+class CanvasRegistry:
+    """All named canvases in a session; wormhole destinations resolve here."""
+
+    def __init__(self) -> None:
+        self._viewers: dict[str, Viewer] = {}
+
+    def register(self, viewer: Viewer) -> Viewer:
+        if viewer.name in self._viewers:
+            raise ViewerError(f"a canvas named {viewer.name!r} already exists")
+        self._viewers[viewer.name] = viewer
+        viewer.resolver = self.resolve
+        return viewer
+
+    def unregister(self, name: str) -> Viewer:
+        try:
+            return self._viewers.pop(name)
+        except KeyError as exc:
+            raise ViewerError(f"no canvas named {name!r}") from exc
+
+    def get(self, name: str) -> Viewer:
+        try:
+            return self._viewers[name]
+        except KeyError as exc:
+            known = ", ".join(sorted(self._viewers)) or "(none)"
+            raise ViewerError(
+                f"no canvas named {name!r}; canvases: {known}"
+            ) from exc
+
+    def names(self) -> list[str]:
+        return sorted(self._viewers)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._viewers
+
+    def resolve(self, name: str) -> CanvasDef:
+        """The scene builder's resolver: destination displayable + defaults."""
+        viewer = self.get(name)
+        displayable = viewer.displayable()
+        slider_ranges: dict[str, tuple[float, float]] = {}
+        if not viewer.is_group():
+            slider_ranges = dict(viewer.view().slider_ranges)
+        return CanvasDef(displayable, slider_ranges, viewer.world_per_elevation)
+
+
+class TravelRecord(NamedTuple):
+    """One wormhole passage: where the user came from, and through what."""
+
+    origin_canvas: str
+    origin_member: str
+    origin_center: tuple[float, float]
+    origin_elevation: float
+    wormhole: ViewerDrawable
+    destination_canvas: str
+
+
+class TravelHistory:
+    """The stack of wormhole passages (most recent last)."""
+
+    def __init__(self) -> None:
+        self._records: list[TravelRecord] = []
+
+    def push(self, record: TravelRecord) -> None:
+        self._records.append(record)
+
+    def pop(self) -> TravelRecord:
+        if not self._records:
+            raise ViewerError("travel history is empty; nowhere to go back to")
+        return self._records.pop()
+
+    def peek(self) -> TravelRecord | None:
+        return self._records[-1] if self._records else None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> list[TravelRecord]:
+        return list(self._records)
+
+
+class WormholeNavigator:
+    """Drives wormhole traversal and *back* navigation for a session."""
+
+    def __init__(self, registry: CanvasRegistry, history: TravelHistory | None = None):
+        self.registry = registry
+        self.history = history or TravelHistory()
+        self.current_canvas: str | None = None
+
+    def set_current(self, name: str) -> None:
+        self.registry.get(name)  # validate
+        self.current_canvas = name
+
+    def current_viewer(self) -> Viewer:
+        if self.current_canvas is None:
+            raise ViewerError("no current canvas; set one first")
+        return self.registry.get(self.current_canvas)
+
+    def traverse(
+        self, item: RenderedItem, member: str | None = None
+    ) -> Viewer:
+        """Pass through a rendered wormhole: reach zero elevation and emerge
+        over the destination canvas at the wormhole's initial location and
+        elevation.  Returns the destination viewer.
+        """
+        if item.drawable_kind != "viewer" or not isinstance(
+            item.drawable, ViewerDrawable
+        ):
+            raise ViewerError("the picked item is not a wormhole")
+        wormhole: ViewerDrawable = item.drawable
+        origin = self.current_viewer()
+        origin_member = member or origin.member_names()[0]
+        origin_view = origin.view(origin_member)
+        destination = self.registry.get(wormhole.destination)
+
+        self.history.push(
+            TravelRecord(
+                origin_canvas=origin.name,
+                origin_member=origin_member,
+                origin_center=origin_view.center,
+                origin_elevation=origin_view.elevation,
+                wormhole=wormhole,
+                destination_canvas=destination.name,
+            )
+        )
+        dest_member = destination.member_names()[0]
+        destination.pan_to(*wormhole.dest_location, member=dest_member)
+        destination.set_elevation(wormhole.dest_elevation, member=dest_member)
+        self.current_canvas = destination.name
+        return destination
+
+    def zoom_into_wormhole(
+        self, px: float, py: float, member: str | None = None
+    ) -> Viewer:
+        """Pick the wormhole under a screen point on the current canvas and
+        pass through it (the zoom-to-zero-elevation gesture)."""
+        origin = self.current_viewer()
+        item = origin.wormhole_at(px, py)
+        if item is None:
+            raise ViewerError(
+                f"no wormhole under ({px}, {py}) on canvas "
+                f"{origin.name!r}"
+            )
+        return self.traverse(item, member)
+
+    def go_back(self) -> Viewer:
+        """Return through the last wormhole, restoring the origin position."""
+        record = self.history.pop()
+        origin = self.registry.get(record.origin_canvas)
+        origin.pan_to(*record.origin_center, member=record.origin_member)
+        origin.set_elevation(record.origin_elevation, member=record.origin_member)
+        self.current_canvas = origin.name
+        return origin
+
+    def descent_distance(self) -> float:
+        """How far below the last origin canvas the user currently is.
+
+        After passing through, the user starts at the destination's entry
+        elevation (distance 0 below the origin) and increases distance as he
+        descends toward the new canvas (§6.3).
+        """
+        record = self.history.peek()
+        if record is None:
+            return 0.0
+        destination = self.registry.get(record.destination_canvas)
+        member = destination.member_names()[0]
+        current = destination.view(member).elevation
+        return max(0.0, record.wormhole.dest_elevation - current)

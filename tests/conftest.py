@@ -1,0 +1,65 @@
+"""Shared fixtures: a small deterministic weather database and sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.weather import build_weather_database
+from repro.dbms.catalog import Database
+from repro.dbms.relation import Table
+from repro.dbms.tuples import Schema
+from repro.ui.session import Session
+
+
+@pytest.fixture(scope="session")
+def weather_db() -> Database:
+    """A small shared weather database.
+
+    Session-scoped for speed; tests that mutate tables must use
+    ``mutable_weather_db`` instead.
+    """
+    return build_weather_database(extra_stations=20, every_days=60)
+
+
+@pytest.fixture()
+def mutable_weather_db() -> Database:
+    """A fresh weather database per test (safe to update)."""
+    return build_weather_database(extra_stations=10, every_days=120)
+
+
+@pytest.fixture()
+def stations_db() -> Database:
+    """A tiny hand-built Stations table with known contents."""
+    db = Database("test")
+    schema = Schema(
+        [
+            ("station_id", "int"),
+            ("name", "text"),
+            ("state", "text"),
+            ("longitude", "float"),
+            ("latitude", "float"),
+            ("altitude", "float"),
+        ]
+    )
+    table = Table("Stations", schema)
+    table.insert_many(
+        [
+            {"station_id": 1, "name": "New Orleans", "state": "LA",
+             "longitude": -90.07, "latitude": 29.95, "altitude": 7.0},
+            {"station_id": 2, "name": "Baton Rouge", "state": "LA",
+             "longitude": -91.15, "latitude": 30.45, "altitude": 56.0},
+            {"station_id": 3, "name": "Shreveport", "state": "LA",
+             "longitude": -93.75, "latitude": 32.52, "altitude": 141.0},
+            {"station_id": 4, "name": "Dallas", "state": "TX",
+             "longitude": -96.80, "latitude": 32.78, "altitude": 430.0},
+            {"station_id": 5, "name": "Jackson", "state": "MS",
+             "longitude": -90.18, "latitude": 32.30, "altitude": 279.0},
+        ]
+    )
+    db.add_table(table)
+    return db
+
+
+@pytest.fixture()
+def stations_session(stations_db: Database) -> Session:
+    return Session(stations_db, "test-program")

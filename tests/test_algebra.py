@@ -1,0 +1,213 @@
+"""Unit tests: relational algebra (repro.dbms.algebra)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms import algebra
+from repro.dbms.parser import parse_predicate
+from repro.dbms.relation import RowSet
+from repro.dbms.tuples import Schema
+from repro.errors import EvaluationError, SchemaError, TypeCheckError
+
+PEOPLE = Schema([("pid", "int"), ("name", "text"), ("age", "int"), ("city", "text")])
+ORDERS = Schema([("oid", "int"), ("pid", "int"), ("total", "float")])
+
+
+@pytest.fixture()
+def people() -> RowSet:
+    return RowSet.from_dicts(
+        PEOPLE,
+        [
+            {"pid": 1, "name": "ada", "age": 36, "city": "NO"},
+            {"pid": 2, "name": "bob", "age": 25, "city": "BR"},
+            {"pid": 3, "name": "cat", "age": 36, "city": "NO"},
+            {"pid": 4, "name": "dan", "age": 52, "city": "SH"},
+        ],
+    )
+
+
+@pytest.fixture()
+def orders() -> RowSet:
+    return RowSet.from_dicts(
+        ORDERS,
+        [
+            {"oid": 10, "pid": 1, "total": 5.0},
+            {"oid": 11, "pid": 1, "total": 7.5},
+            {"oid": 12, "pid": 3, "total": 2.0},
+            {"oid": 13, "pid": 9, "total": 9.0},
+        ],
+    )
+
+
+class TestProject:
+    def test_keeps_order_given(self, people):
+        result = algebra.project(people, ["age", "name"])
+        assert result.schema.names == ("age", "name")
+        assert result[0]["age"] == 36
+
+    def test_duplicates_preserved(self, people):
+        result = algebra.project(people, ["city"])
+        assert len(result) == 4  # bag semantics
+
+    def test_empty_field_list_rejected(self, people):
+        with pytest.raises(SchemaError):
+            algebra.project(people, [])
+
+    def test_unknown_field_rejected(self, people):
+        with pytest.raises(SchemaError):
+            algebra.project(people, ["ghost"])
+
+
+class TestRestrict:
+    def test_predicate_filtering(self, people):
+        result = algebra.restrict_predicate(people, "age = 36")
+        assert [row["name"] for row in result] == ["ada", "cat"]
+
+    def test_compound_predicate(self, people):
+        result = algebra.restrict_predicate(people, "age > 30 and city = 'NO'")
+        assert len(result) == 2
+
+    def test_non_bool_predicate_rejected(self, people):
+        with pytest.raises(TypeCheckError):
+            algebra.restrict(people, parse_predicate("age = 36", PEOPLE).left)
+
+    def test_empty_result(self, people):
+        assert len(algebra.restrict_predicate(people, "age > 100")) == 0
+
+
+class TestSample:
+    def test_probability_bounds(self, people):
+        with pytest.raises(EvaluationError):
+            algebra.sample(people, 1.5)
+        with pytest.raises(EvaluationError):
+            algebra.sample(people, -0.1)
+
+    def test_extremes(self, people):
+        assert len(algebra.sample(people, 0.0, seed=1)) == 0
+        assert len(algebra.sample(people, 1.0, seed=1)) == 4
+
+    def test_seed_reproducible(self, people):
+        a = algebra.sample(people, 0.5, seed=42)
+        b = algebra.sample(people, 0.5, seed=42)
+        assert a == b
+
+    def test_sample_is_subset(self, people):
+        sampled = algebra.sample(people, 0.5, seed=7)
+        originals = set(people.rows)
+        assert all(row in originals for row in sampled)
+
+
+class TestJoin:
+    def test_hash_equals_nested_loop(self, people, orders):
+        by_hash = algebra.join_hash(people, orders, "pid", "pid")
+        by_loop = algebra.join_nested_loop(people, orders, "pid", "pid")
+        assert sorted(map(repr, by_hash)) == sorted(map(repr, by_loop))
+
+    def test_join_row_count(self, people, orders):
+        result = algebra.join_hash(people, orders, "pid", "pid")
+        assert len(result) == 3  # pid 9 dangles, pid 1 matches twice
+
+    def test_collision_renaming(self, people, orders):
+        result = algebra.join_hash(people, orders, "pid", "pid")
+        assert "right_pid" in result.schema
+        assert result[0]["pid"] == result[0]["right_pid"]
+
+    def test_theta_join(self, people, orders):
+        result = algebra.join_theta(
+            people, orders, "pid = right_pid and total > 4.0"
+        )
+        assert len(result) == 2
+
+    def test_incompatible_key_types_rejected(self, people, orders):
+        with pytest.raises(TypeCheckError):
+            algebra.join_hash(people, orders, "name", "pid")
+
+    def test_strategy_dispatch(self, people, orders):
+        assert len(algebra.join(people, orders, "pid", "pid", "hash")) == 3
+        assert len(algebra.join(people, orders, "pid", "pid", "nested_loop")) == 3
+        with pytest.raises(EvaluationError):
+            algebra.join(people, orders, "pid", "pid", "merge")
+
+    def test_cross_product(self, people, orders):
+        assert len(algebra.cross_product(people, orders)) == 16
+
+
+class TestOrderDistinctLimitUnion:
+    def test_order_by(self, people):
+        result = algebra.order_by(people, ["age", "name"])
+        assert [r["name"] for r in result] == ["bob", "ada", "cat", "dan"]
+
+    def test_order_by_descending(self, people):
+        result = algebra.order_by(people, ["age"], descending=True)
+        assert result[0]["name"] == "dan"
+
+    def test_order_by_unknown_field(self, people):
+        with pytest.raises(SchemaError):
+            algebra.order_by(people, ["ghost"])
+
+    def test_distinct(self, people):
+        cities = algebra.distinct(algebra.project(people, ["city"]))
+        assert len(cities) == 3
+
+    def test_limit(self, people):
+        assert len(algebra.limit(people, 2)) == 2
+        assert len(algebra.limit(people, 100)) == 4
+        with pytest.raises(EvaluationError):
+            algebra.limit(people, -1)
+
+    def test_union(self, people):
+        doubled = algebra.union(people, people)
+        assert len(doubled) == 8
+
+    def test_union_schema_mismatch(self, people, orders):
+        with pytest.raises(SchemaError):
+            algebra.union(people, orders)
+
+    def test_rename(self, people):
+        renamed = algebra.rename(people, "age", "years")
+        assert "years" in renamed.schema
+        assert renamed[0]["years"] == 36
+
+
+class TestGroupBy:
+    def test_count_and_sum(self, orders):
+        result = algebra.group_by(
+            orders, ["pid"], [("count", "oid", "n"), ("sum", "total", "spend")]
+        )
+        by_pid = {row["pid"]: row for row in result}
+        assert by_pid[1]["n"] == 2
+        assert by_pid[1]["spend"] == 12.5
+
+    def test_avg_min_max(self, orders):
+        result = algebra.group_by(
+            orders,
+            ["pid"],
+            [("avg", "total", "mean"), ("min", "total", "lo"),
+             ("max", "total", "hi")],
+        )
+        by_pid = {row["pid"]: row for row in result}
+        assert by_pid[1]["mean"] == 6.25
+        assert by_pid[1]["lo"] == 5.0
+        assert by_pid[1]["hi"] == 7.5
+
+    def test_multi_key_grouping(self, people):
+        result = algebra.group_by(
+            people, ["city", "age"], [("count", "pid", "n")]
+        )
+        assert len(result) == 3
+
+    def test_unknown_aggregate(self, orders):
+        with pytest.raises(EvaluationError, match="unknown aggregate"):
+            algebra.group_by(orders, ["pid"], [("median", "total", "m")])
+
+    def test_sum_of_text_rejected(self, people):
+        with pytest.raises(TypeCheckError):
+            algebra.group_by(people, ["city"], [("sum", "name", "s")])
+
+    def test_result_types(self, orders):
+        result = algebra.group_by(
+            orders, ["pid"], [("count", "oid", "n"), ("avg", "total", "mean")]
+        )
+        assert result.schema.type_of("n").name == "int"
+        assert result.schema.type_of("mean").name == "float"

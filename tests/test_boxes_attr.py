@@ -1,0 +1,343 @@
+"""Unit tests: the Figure-5 attribute boxes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_attr import (
+    AddAttributeBox,
+    CombineDisplaysBox,
+    RemoveAttributeBox,
+    ScaleAttributeBox,
+    SetAttributeBox,
+    SwapAttributesBox,
+    TranslateAttributeBox,
+)
+from repro.dataflow.boxes_db import AddTableBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.errors import DisplayError, GraphError, TypeCheckError
+
+
+def run_chain(db, *boxes):
+    program = Program()
+    ids = [program.add_box(box) for box in boxes]
+    for upstream, downstream in zip(ids, ids[1:]):
+        program.connect(upstream, "out", downstream, "in")
+    engine = Engine(program, db)
+    return engine.output_of(ids[-1])
+
+
+class TestAddAttribute:
+    def test_adds_computed_attribute(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            AddAttributeBox(name="alt_m", definition="altitude * 0.3048"),
+        )
+        view = relation.view_at(0)
+        assert view["alt_m"] == pytest.approx(7.0 * 0.3048)
+
+    def test_location_attribute_adds_dimension(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            AddAttributeBox(name="alt", definition="altitude", location=True),
+        )
+        assert relation.dimension == 3
+        assert "alt" in relation.slider_dims
+
+    def test_location_x_does_not_become_slider(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            AddAttributeBox(name="x", definition="longitude", location=True),
+        )
+        assert relation.dimension == 2
+        assert relation.has_custom_location is False  # y still default
+
+    def test_non_numeric_location_rejected(self, stations_db):
+        with pytest.raises(DisplayError):
+            run_chain(
+                stations_db,
+                AddTableBox(table="Stations"),
+                AddAttributeBox(name="loc", definition="name", location=True),
+            )
+
+    def test_declared_type_mismatch_rejected(self, stations_db):
+        with pytest.raises(TypeCheckError):
+            run_chain(
+                stations_db,
+                AddTableBox(table="Stations"),
+                AddAttributeBox(name="bad", definition="name",
+                                declared_type="int"),
+            )
+
+    def test_duplicate_name_rejected(self, stations_db):
+        with pytest.raises(Exception):
+            run_chain(
+                stations_db,
+                AddTableBox(table="Stations"),
+                AddAttributeBox(name="altitude", definition="1.0"),
+            )
+
+    def test_definition_can_reference_sequence(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            AddAttributeBox(name="rank", definition="tioga_seq * 10"),
+        )
+        assert relation.view_at(2)["rank"] == 20
+
+
+class TestSetAttribute:
+    def test_establishes_custom_location(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            SetAttributeBox(name="x", definition="longitude"),
+            SetAttributeBox(name="y", definition="latitude"),
+        )
+        assert relation.has_custom_location
+        assert relation.location_of(relation.view_at(0))[:2] == (-90.07, 29.95)
+
+    def test_redefines_existing_method(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            SetAttributeBox(name="x", definition="longitude"),
+            SetAttributeBox(name="x", definition="longitude * 2"),
+        )
+        assert relation.view_at(0)["x"] == pytest.approx(-180.14)
+
+    def test_cannot_redefine_stored_field(self, stations_db):
+        with pytest.raises(GraphError, match="stored field"):
+            run_chain(
+                stations_db,
+                AddTableBox(table="Stations"),
+                SetAttributeBox(name="altitude", definition="1.0"),
+            )
+
+    def test_display_must_be_drawables(self, stations_db):
+        with pytest.raises(DisplayError):
+            run_chain(
+                stations_db,
+                AddTableBox(table="Stations"),
+                SetAttributeBox(name="display", definition="altitude"),
+            )
+
+    def test_display_from_constructor_expression(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            SetAttributeBox(name="display",
+                            definition="filled_circle(3, 'blue')"),
+        )
+        drawables = relation.display_of(relation.view_at(0))
+        assert len(drawables) == 1
+        assert drawables[0].kind == "circle"
+
+
+class TestRemoveAttribute:
+    def test_removes_computed(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            AddAttributeBox(name="tmp", definition="1"),
+            RemoveAttributeBox(name="tmp"),
+        )
+        assert "tmp" not in relation.extended_schema
+
+    def test_removes_stored(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            RemoveAttributeBox(name="altitude"),
+        )
+        assert "altitude" not in relation.rows.schema
+
+    def test_protected_attributes(self, stations_db):
+        for protected in ("x", "y", "display"):
+            with pytest.raises(GraphError, match="required"):
+                run_chain(
+                    stations_db,
+                    AddTableBox(table="Stations"),
+                    RemoveAttributeBox(name=protected),
+                )
+
+    def test_removing_slider_dim_drops_dimension(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            AddAttributeBox(name="alt", definition="altitude", location=True),
+            RemoveAttributeBox(name="alt"),
+        )
+        assert relation.dimension == 2
+
+    def test_unknown_attribute(self, stations_db):
+        with pytest.raises(GraphError, match="no attribute"):
+            run_chain(
+                stations_db,
+                AddTableBox(table="Stations"),
+                RemoveAttributeBox(name="ghost"),
+            )
+
+
+class TestSwapAttributes:
+    def test_swap_computed_rotates_canvas(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            SetAttributeBox(name="x", definition="longitude"),
+            SetAttributeBox(name="y", definition="latitude"),
+            SwapAttributesBox(first="x", second="y"),
+        )
+        x, y = relation.location_of(relation.view_at(0))[:2]
+        assert (x, y) == (29.95, -90.07)
+
+    def test_swap_display_with_alternate(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            SetAttributeBox(name="display", definition="circle(5)"),
+            AddAttributeBox(name="alt_display",
+                            definition="filled_rect(4, 4, 'red')",
+                            declared_type="drawables"),
+            SwapAttributesBox(first="display", second="alt_display"),
+        )
+        drawables = relation.display_of(relation.view_at(0))
+        assert drawables[0].kind == "rectangle"
+
+    def test_swap_stored_fields(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            SwapAttributesBox(first="longitude", second="latitude"),
+        )
+        row = relation.rows[0]
+        assert row["longitude"] == 29.95
+        assert row["latitude"] == -90.07
+
+    def test_swap_mixed_rejected(self, stations_db):
+        with pytest.raises(GraphError, match="both"):
+            run_chain(
+                stations_db,
+                AddTableBox(table="Stations"),
+                SetAttributeBox(name="x", definition="longitude"),
+                SwapAttributesBox(first="x", second="altitude"),
+            )
+
+    def test_swap_different_types_rejected(self, stations_db):
+        with pytest.raises(TypeCheckError):
+            run_chain(
+                stations_db,
+                AddTableBox(table="Stations"),
+                SwapAttributesBox(first="name", second="altitude"),
+            )
+
+    def test_swap_same_name_rejected(self, stations_db):
+        with pytest.raises(GraphError, match="distinct"):
+            run_chain(
+                stations_db,
+                AddTableBox(table="Stations"),
+                SwapAttributesBox(first="x", second="x"),
+            )
+
+
+class TestScaleTranslate:
+    def test_scale_computed(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            SetAttributeBox(name="x", definition="longitude"),
+            ScaleAttributeBox(name="x", amount=2.0),
+        )
+        assert relation.view_at(0)["x"] == pytest.approx(-180.14)
+
+    def test_translate_computed(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            SetAttributeBox(name="y", definition="latitude"),
+            TranslateAttributeBox(name="y", amount=10.0),
+        )
+        assert relation.view_at(0)["y"] == pytest.approx(39.95)
+
+    def test_scale_stored_field(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            ScaleAttributeBox(name="altitude", amount=2.0),
+        )
+        assert relation.rows[0]["altitude"] == 14.0
+
+    def test_translate_stored_int_stays_int(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            TranslateAttributeBox(name="station_id", amount=100.0),
+        )
+        assert relation.rows[0]["station_id"] == 101
+
+    def test_scale_stored_int_fractional_rejected(self, stations_db):
+        with pytest.raises(TypeCheckError, match="non-integer"):
+            run_chain(
+                stations_db,
+                AddTableBox(table="Stations"),
+                ScaleAttributeBox(name="station_id", amount=0.5),
+            )
+
+    def test_scale_text_rejected(self, stations_db):
+        with pytest.raises(TypeCheckError, match="numeric"):
+            run_chain(
+                stations_db,
+                AddTableBox(table="Stations"),
+                ScaleAttributeBox(name="name", amount=2.0),
+            )
+
+
+class TestCombineDisplays:
+    def test_combines_in_order_with_offset(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            AddAttributeBox(name="dot", definition="filled_circle(3, 'blue')",
+                            declared_type="drawables"),
+            AddAttributeBox(name="label", definition="text_of(name)",
+                            declared_type="drawables"),
+            CombineDisplaysBox(first="dot", second="label",
+                               offset_x=0.0, offset_y=-10.0),
+        )
+        drawables = relation.display_of(relation.view_at(0))
+        assert [d.kind for d in drawables] == ["circle", "text"]
+        assert drawables[1].offset == (0.0, -10.0)
+
+    def test_combined_becomes_display_attribute(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            AddAttributeBox(name="a", definition="circle(2)",
+                            declared_type="drawables"),
+            AddAttributeBox(name="b", definition="point()",
+                            declared_type="drawables"),
+            CombineDisplaysBox(first="a", second="b"),
+        )
+        assert relation.has_custom_display
+
+    def test_non_drawable_attribute_rejected(self, stations_db):
+        with pytest.raises(TypeCheckError, match="drawable"):
+            run_chain(
+                stations_db,
+                AddTableBox(table="Stations"),
+                AddAttributeBox(name="a", definition="circle(2)",
+                                declared_type="drawables"),
+                CombineDisplaysBox(first="a", second="altitude"),
+            )
+
+    def test_unknown_attribute_rejected(self, stations_db):
+        with pytest.raises(GraphError):
+            run_chain(
+                stations_db,
+                AddTableBox(table="Stations"),
+                CombineDisplaysBox(first="ghost", second="ghost2"),
+            )

@@ -1,0 +1,203 @@
+"""Unit tests: the Figure-3 database boxes plus T and Switch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_db import (
+    AddTableBox,
+    JoinBox,
+    ProjectBox,
+    RestrictBox,
+    SampleBox,
+    SwitchBox,
+)
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.dbms.catalog import Database
+from repro.errors import CatalogError, GraphError, TypeCheckError
+from repro.display.displayable import DisplayableRelation
+
+
+def build(session_db, *boxes):
+    """Wire boxes into a linear chain; returns (program, engine, last_id)."""
+    program = Program()
+    ids = [program.add_box(box) for box in boxes]
+    for upstream, downstream in zip(ids, ids[1:]):
+        src_port = program.box(upstream).outputs[0].name
+        program.connect(upstream, src_port, downstream, "in")
+    return program, Engine(program, session_db), ids
+
+
+class TestAddTable:
+    def test_emits_default_displayable(self, stations_db):
+        program, engine, ids = build(stations_db, AddTableBox(table="Stations"))
+        relation = engine.output_of(ids[0])
+        assert isinstance(relation, DisplayableRelation)
+        assert relation.name == "Stations"
+        assert relation.source_table == "Stations"
+        assert not relation.has_custom_location  # defaults (§5.2)
+        assert not relation.has_custom_display
+
+    def test_unknown_table_at_fire_time(self, stations_db):
+        program, engine, ids = build(stations_db, AddTableBox(table="Nope"))
+        with pytest.raises(CatalogError):
+            engine.output_of(ids[0])
+
+    def test_tracks_table_version(self, stations_db):
+        program, engine, ids = build(stations_db, AddTableBox(table="Stations"))
+        n = len(engine.output_of(ids[0]).rows)
+        stations_db.table("Stations").insert(
+            {"station_id": 99, "name": "Extra", "state": "LA",
+             "longitude": -91.0, "latitude": 30.0, "altitude": 1.0}
+        )
+        assert len(engine.output_of(ids[0]).rows) == n + 1
+
+
+class TestRestrict:
+    def test_stored_field_predicate(self, stations_db):
+        program, engine, ids = build(
+            stations_db,
+            AddTableBox(table="Stations"),
+            RestrictBox(predicate="state = 'LA'"),
+        )
+        result = engine.output_of(ids[1])
+        assert len(result.rows) == 3
+        assert all(row["state"] == "LA" for row in result.rows)
+
+    def test_computed_attribute_predicate(self, stations_db):
+        from repro.dataflow.boxes_attr import AddAttributeBox
+
+        program, engine, ids = build(
+            stations_db,
+            AddTableBox(table="Stations"),
+            AddAttributeBox(name="high", definition="altitude > 100",
+                            declared_type="bool"),
+            RestrictBox(predicate="high"),
+        )
+        result = engine.output_of(ids[2])
+        assert len(result.rows) == 3
+
+    def test_bad_predicate_reports(self, stations_db):
+        program, engine, ids = build(
+            stations_db,
+            AddTableBox(table="Stations"),
+            RestrictBox(predicate="ghost = 1"),
+        )
+        with pytest.raises(TypeCheckError):
+            engine.output_of(ids[1])
+
+    def test_missing_predicate_param(self, stations_db):
+        program, engine, ids = build(
+            stations_db, AddTableBox(table="Stations"), RestrictBox()
+        )
+        with pytest.raises(GraphError, match="predicate"):
+            engine.output_of(ids[1])
+
+
+class TestProject:
+    def test_projects_stored_fields(self, stations_db):
+        program, engine, ids = build(
+            stations_db,
+            AddTableBox(table="Stations"),
+            ProjectBox(fields=["name", "state"]),
+        )
+        result = engine.output_of(ids[1])
+        assert result.rows.schema.names == ("name", "state")
+
+    def test_projection_breaking_display_method_rejected(self, stations_db):
+        from repro.dataflow.boxes_attr import SetAttributeBox
+
+        program, engine, ids = build(
+            stations_db,
+            AddTableBox(table="Stations"),
+            SetAttributeBox(name="x", definition="longitude"),
+            ProjectBox(fields=["name"]),  # drops longitude used by x
+        )
+        with pytest.raises(TypeCheckError):
+            engine.output_of(ids[2])
+
+
+class TestSample:
+    def test_probability_one_keeps_all(self, stations_db):
+        program, engine, ids = build(
+            stations_db,
+            AddTableBox(table="Stations"),
+            SampleBox(probability=1.0, seed=1),
+        )
+        assert len(engine.output_of(ids[1]).rows) == 5
+
+    def test_seeded_sample_reproducible(self, stations_db):
+        results = []
+        for __ in range(2):
+            program, engine, ids = build(
+                stations_db,
+                AddTableBox(table="Stations"),
+                SampleBox(probability=0.5, seed=123),
+            )
+            results.append([r["name"] for r in engine.output_of(ids[1]).rows])
+        assert results[0] == results[1]
+
+
+class TestJoin:
+    def test_equi_join(self, weather_db):
+        program = Program()
+        obs = program.add_box(AddTableBox(table="Observations"))
+        sta = program.add_box(AddTableBox(table="Stations"))
+        join = program.add_box(
+            JoinBox(left_key="station_id", right_key="station_id")
+        )
+        program.connect(obs, "out", join, "left")
+        program.connect(sta, "out", join, "right")
+        engine = Engine(program, weather_db)
+        result = engine.output_of(join)
+        assert len(result.rows) == len(weather_db.table("Observations"))
+        assert "name" in result.rows.schema
+        assert "right_station_id" in result.rows.schema
+
+    def test_theta_join(self, stations_db):
+        program = Program()
+        a = program.add_box(AddTableBox(table="Stations"))
+        b = program.add_box(AddTableBox(table="Stations"))
+        join = program.add_box(
+            JoinBox(predicate="station_id < right_station_id and state = right_state")
+        )
+        program.connect(a, "out", join, "left")
+        program.connect(b, "out", join, "right")
+        engine = Engine(program, stations_db)
+        result = engine.output_of(join)
+        assert len(result.rows) == 3  # LA pairs (1,2) (1,3) (2,3)
+
+    def test_join_output_not_updatable(self, stations_db):
+        program = Program()
+        a = program.add_box(AddTableBox(table="Stations"))
+        b = program.add_box(AddTableBox(table="Stations"))
+        join = program.add_box(JoinBox(left_key="station_id", right_key="station_id"))
+        program.connect(a, "out", join, "left")
+        program.connect(b, "out", join, "right")
+        engine = Engine(program, stations_db)
+        assert engine.output_of(join).source_table is None
+
+
+class TestSwitch:
+    def test_routes_tuples(self, stations_db):
+        program, engine, ids = build(
+            stations_db,
+            AddTableBox(table="Stations"),
+            SwitchBox(predicate="state = 'LA'"),
+        )
+        true_side = engine.output_of(ids[1], "true")
+        false_side = engine.output_of(ids[1], "false")
+        assert len(true_side.rows) == 3
+        assert len(false_side.rows) == 2
+        assert len(true_side.rows) + len(false_side.rows) == 5
+
+    def test_partitions_are_disjoint(self, stations_db):
+        program, engine, ids = build(
+            stations_db,
+            AddTableBox(table="Stations"),
+            SwitchBox(predicate="altitude > 100"),
+        )
+        names_true = {r["name"] for r in engine.output_of(ids[1], "true").rows}
+        names_false = {r["name"] for r in engine.output_of(ids[1], "false").rows}
+        assert not (names_true & names_false)

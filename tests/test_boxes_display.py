@@ -1,0 +1,268 @@
+"""Unit tests: drill-down and multi-view boxes (SetRange/Overlay/Shuffle/
+Stitch/Replicate) and the overload machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_attr import SetAttributeBox
+from repro.dataflow.boxes_db import AddTableBox, RestrictBox
+from repro.dataflow.boxes_display import (
+    OverlayBox,
+    ReplicateBox,
+    SetRangeBox,
+    ShuffleBox,
+    StitchBox,
+)
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.dataflow.overload import apply_to_relation, select_relation
+from repro.display.displayable import Composite, DisplayableRelation, Group
+from repro.errors import DisplayError, GraphError
+
+
+def station_relation(db, engine_holder, name="Stations"):
+    program = Program()
+    src = program.add_box(AddTableBox(table=name))
+    engine = Engine(program, db)
+    engine_holder.append(engine)
+    return engine.output_of(src)
+
+
+class TestSetRange:
+    def test_sets_elevation_range(self, stations_db):
+        program = Program()
+        src = program.add_box(AddTableBox(table="Stations"))
+        rng = program.add_box(SetRangeBox(minimum=0.0, maximum=12.0))
+        program.connect(src, "out", rng, "in")
+        relation = Engine(program, stations_db).output_of(rng)
+        assert relation.elevation_range.minimum == 0.0
+        assert relation.elevation_range.maximum == 12.0
+
+    def test_negative_range_for_underside(self, stations_db):
+        program = Program()
+        src = program.add_box(AddTableBox(table="Stations"))
+        rng = program.add_box(SetRangeBox(minimum=-100.0, maximum=-1.0))
+        program.connect(src, "out", rng, "in")
+        relation = Engine(program, stations_db).output_of(rng)
+        assert relation.elevation_range.visible_underside()
+        assert not relation.elevation_range.contains(50.0)
+
+    def test_inverted_range_rejected(self, stations_db):
+        program = Program()
+        src = program.add_box(AddTableBox(table="Stations"))
+        rng = program.add_box(SetRangeBox(minimum=10.0, maximum=1.0))
+        program.connect(src, "out", rng, "in")
+        with pytest.raises(DisplayError):
+            Engine(program, stations_db).output_of(rng)
+
+
+class TestOverlay:
+    def build_overlay(self, db, offset=None):
+        program = Program()
+        a = program.add_box(AddTableBox(table="Stations"))
+        b = program.add_box(AddTableBox(table="Stations"))
+        overlay = program.add_box(OverlayBox(offset=offset))
+        program.connect(a, "out", overlay, "base")
+        program.connect(b, "out", overlay, "top")
+        return Engine(program, db).output_of(overlay)
+
+    def test_produces_composite_in_order(self, stations_db):
+        composite = self.build_overlay(stations_db)
+        assert isinstance(composite, Composite)
+        assert len(composite) == 2
+        # Unique component names generated on collision.
+        assert composite.component_names() == ["Stations", "Stations_2"]
+
+    def test_offset_recorded(self, stations_db):
+        composite = self.build_overlay(stations_db, offset={"x": 5.0, "y": -1.0})
+        entry = composite.entries[1]
+        assert entry.offset_for("x") == 5.0
+        assert entry.offset_for("y") == -1.0
+
+    def test_dimension_mismatch_warns(self, stations_db):
+        from repro.dataflow.boxes_attr import AddAttributeBox
+
+        program = Program()
+        flat = program.add_box(AddTableBox(table="Stations"))
+        tall_src = program.add_box(AddTableBox(table="Stations"))
+        tall = program.add_box(
+            AddAttributeBox(name="alt", definition="altitude", location=True)
+        )
+        program.connect(tall_src, "out", tall, "in")
+        overlay = program.add_box(OverlayBox())
+        program.connect(tall, "out", overlay, "base")
+        program.connect(flat, "out", overlay, "top")
+        composite = Engine(program, stations_db).output_of(overlay)
+        assert composite.dimension == 3
+        assert any("mismatch" in warning for warning in composite.warnings)
+
+
+class TestShuffle:
+    def test_moves_component_to_top(self, stations_db):
+        program = Program()
+        a = program.add_box(AddTableBox(table="Stations"))
+        b = program.add_box(AddTableBox(table="Stations"))
+        overlay = program.add_box(OverlayBox())
+        program.connect(a, "out", overlay, "base")
+        program.connect(b, "out", overlay, "top")
+        shuffle = program.add_box(ShuffleBox(component="Stations"))
+        program.connect(overlay, "out", shuffle, "in")
+        composite = Engine(program, stations_db).output_of(shuffle)
+        # 'Stations' now paints last (top of drawing order).
+        assert composite.component_names() == ["Stations_2", "Stations"]
+
+    def test_unknown_component(self, stations_db):
+        program = Program()
+        a = program.add_box(AddTableBox(table="Stations"))
+        shuffle = program.add_box(ShuffleBox(component="Ghost"))
+        program.connect(a, "out", shuffle, "in")
+        with pytest.raises(DisplayError, match="no component"):
+            Engine(program, stations_db).output_of(shuffle)
+
+
+class TestStitch:
+    def test_stitches_composites_into_group(self, stations_db):
+        program = Program()
+        a = program.add_box(AddTableBox(table="Stations"))
+        b = program.add_box(AddTableBox(table="Stations"))
+        stitch = program.add_box(
+            StitchBox(arity=2, layout="vertical", names=["top", "bottom"])
+        )
+        program.connect(a, "out", stitch, "c1")
+        program.connect(b, "out", stitch, "c2")
+        group = Engine(program, stations_db).output_of(stitch)
+        assert isinstance(group, Group)
+        assert group.member_names() == ["top", "bottom"]
+        assert group.layout == "vertical"
+        assert group.grid_shape() == (2, 1)
+
+    def test_tabular_layout(self, stations_db):
+        program = Program()
+        ids = [program.add_box(AddTableBox(table="Stations")) for __ in range(4)]
+        stitch = program.add_box(
+            StitchBox(arity=4, layout="tabular", table_shape=(2, 2))
+        )
+        for pos, box_id in enumerate(ids):
+            program.connect(box_id, "out", stitch, f"c{pos + 1}")
+        group = Engine(program, stations_db).output_of(stitch)
+        assert group.grid_shape() == (2, 2)
+
+    def test_bad_arity(self):
+        with pytest.raises(GraphError):
+            StitchBox(arity=0)
+        with pytest.raises(GraphError):
+            StitchBox(arity=2, names=["only-one"])
+
+
+class TestReplicate:
+    def test_partitions_relation(self, stations_db):
+        program = Program()
+        src = program.add_box(AddTableBox(table="Stations"))
+        rep = program.add_box(
+            ReplicateBox(predicates=["altitude < 100", "altitude >= 100"])
+        )
+        program.connect(src, "out", rep, "in")
+        group = Engine(program, stations_db).output_of(rep)
+        assert group.member_names() == ["part1", "part2"]
+        low = group.member("part1").entries[0].relation
+        high = group.member("part2").entries[0].relation
+        assert len(low.rows) == 2
+        assert len(high.rows) == 3
+
+    def test_enum_field_partition(self, stations_db):
+        program = Program()
+        src = program.add_box(AddTableBox(table="Stations"))
+        rep = program.add_box(ReplicateBox(enum_field="state"))
+        program.connect(src, "out", rep, "in")
+        group = Engine(program, stations_db).output_of(rep)
+        assert len(group) == 3  # LA, TX, MS
+        totals = sum(
+            len(composite.entries[0].relation.rows) for __, composite in group
+        )
+        assert totals == 5
+
+    def test_missing_partition_spec(self, stations_db):
+        program = Program()
+        src = program.add_box(AddTableBox(table="Stations"))
+        rep = program.add_box(ReplicateBox())
+        program.connect(src, "out", rep, "in")
+        with pytest.raises(GraphError, match="predicates"):
+            Engine(program, stations_db).output_of(rep)
+
+    def test_group_input_requires_component_selection(self, stations_db):
+        # Figure 11's overload: a group input partitions each member.
+        program = Program()
+        a = program.add_box(AddTableBox(table="Stations"))
+        b = program.add_box(AddTableBox(table="Stations"))
+        stitch = program.add_box(StitchBox(arity=2, names=["m1", "m2"]))
+        program.connect(a, "out", stitch, "c1")
+        program.connect(b, "out", stitch, "c2")
+        rep = program.add_box(
+            ReplicateBox(predicates=["state = 'LA'", "state != 'LA'"],
+                         component="Stations", member="m1")
+        )
+        program.connect(stitch, "out", rep, "in")
+        group = Engine(program, stations_db).output_of(rep)
+        assert len(group) == 4  # 2 members x 2 partitions
+        assert group.layout == "tabular"
+        assert group.grid_shape() == (2, 2)
+
+
+class TestOverloadMachinery:
+    def test_r_level_op_on_composite(self, stations_db):
+        holder = []
+        relation = station_relation(stations_db, holder)
+        composite = Composite([relation, relation.with_name("Copy")])
+        result = apply_to_relation(
+            composite,
+            lambda rel: rel.with_rows(rel.rows),
+            component="Copy",
+        )
+        assert isinstance(result, Composite)
+        assert result.component_names() == ["Stations", "Copy"]
+
+    def test_sole_component_selected_implicitly(self, stations_db):
+        holder = []
+        relation = station_relation(stations_db, holder)
+        composite = Composite([relation])
+        selected, rebuild = select_relation(composite)
+        assert selected.name == "Stations"
+        rebuilt = rebuild(selected.with_name("Stations"))
+        assert isinstance(rebuilt, Composite)
+
+    def test_ambiguous_selection_asks(self, stations_db):
+        holder = []
+        relation = station_relation(stations_db, holder)
+        composite = Composite([relation, relation.with_name("Copy")])
+        with pytest.raises(GraphError, match="specify"):
+            select_relation(composite)
+
+    def test_group_selection_by_member_and_component(self, stations_db):
+        holder = []
+        relation = station_relation(stations_db, holder)
+        group = Group(
+            [("g1", Composite([relation])),
+             ("g2", Composite([relation.with_name("Other")]))]
+        )
+        selected, rebuild = select_relation(group, member="g2")
+        assert selected.name == "Other"
+        rebuilt = rebuild(selected)
+        assert isinstance(rebuilt, Group)
+        assert rebuilt.member_names() == ["g1", "g2"]
+
+    def test_restrict_box_on_composite_via_overload(self, stations_db):
+        program = Program()
+        a = program.add_box(AddTableBox(table="Stations"))
+        b = program.add_box(AddTableBox(table="Stations"))
+        overlay = program.add_box(OverlayBox())
+        program.connect(a, "out", overlay, "base")
+        program.connect(b, "out", overlay, "top")
+        restrict = program.add_box(
+            RestrictBox(predicate="state = 'LA'", component="Stations_2")
+        )
+        program.connect(overlay, "out", restrict, "in")
+        composite = Engine(program, stations_db).output_of(restrict)
+        assert isinstance(composite, Composite)
+        assert len(composite.entry_named("Stations_2").relation.rows) == 3
+        assert len(composite.entry_named("Stations").relation.rows) == 5

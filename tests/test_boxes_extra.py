@@ -1,0 +1,175 @@
+"""Unit tests: big-programmer boxes and scalar parameters (boxes_extra)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_db import AddTableBox
+from repro.dataflow.boxes_extra import (
+    AggregateBox,
+    DistinctBox,
+    LimitBox,
+    OrderByBox,
+    ParameterBox,
+    RenameBox,
+    ThresholdBox,
+    UnionBox,
+)
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.dataflow.registry import box_class_names, compatible_boxes
+from repro.dataflow.ports import PortType
+from repro.errors import GraphError, TypeCheckError
+
+
+def run_chain(db, *boxes):
+    program = Program()
+    ids = [program.add_box(box) for box in boxes]
+    for upstream, downstream in zip(ids, ids[1:]):
+        program.connect(upstream, "out", downstream, "in")
+    return Engine(program, db).output_of(ids[-1])
+
+
+class TestAggregate:
+    def test_group_count_avg(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            AggregateBox(keys=["state"],
+                         aggregations=[["count", "station_id", "n"],
+                                       ["avg", "altitude", "mean_alt"]]),
+        )
+        by_state = {row["state"]: row for row in relation.rows}
+        assert by_state["LA"]["n"] == 3
+        assert by_state["LA"]["mean_alt"] == pytest.approx((7 + 56 + 141) / 3)
+
+    def test_output_validly_displayable(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            AggregateBox(keys=["state"],
+                         aggregations=[["count", "station_id", "n"]]),
+        )
+        # §5.2 guarantee: fresh schema → default display still works.
+        drawables = relation.display_of(relation.view_at(0))
+        assert drawables
+        assert relation.source_table is None  # derived, not updatable
+
+
+class TestOrderLimitDistinctRename:
+    def test_order_by_reorders_default_listing(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            OrderByBox(fields=["altitude"], descending=True),
+        )
+        altitudes = [row["altitude"] for row in relation.rows]
+        assert altitudes == sorted(altitudes, reverse=True)
+        # The default y-location is the sequence number, so ordering moved
+        # the tallest station to the top row of the listing.
+        assert relation.location_of(relation.view_at(0)) == (0.0, 0.0)
+
+    def test_limit(self, stations_db):
+        relation = run_chain(
+            stations_db, AddTableBox(table="Stations"), LimitBox(count=2)
+        )
+        assert len(relation.rows) == 2
+
+    def test_distinct(self, stations_db):
+        from repro.dataflow.boxes_db import ProjectBox
+
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            ProjectBox(fields=["state"]),
+            DistinctBox(),
+        )
+        assert len(relation.rows) == 3  # LA, TX, MS
+
+    def test_rename(self, stations_db):
+        relation = run_chain(
+            stations_db,
+            AddTableBox(table="Stations"),
+            RenameBox(old="altitude", new="elevation_ft"),
+        )
+        assert "elevation_ft" in relation.rows.schema
+        assert "altitude" not in relation.rows.schema
+
+
+class TestUnion:
+    def test_bag_union(self, stations_db):
+        program = Program()
+        a = program.add_box(AddTableBox(table="Stations"))
+        b = program.add_box(AddTableBox(table="Stations"))
+        union = program.add_box(UnionBox())
+        program.connect(a, "out", union, "left")
+        program.connect(b, "out", union, "right")
+        relation = Engine(program, stations_db).output_of(union)
+        assert len(relation.rows) == 10
+
+
+class TestParameterAndThreshold:
+    def build(self, db, predicate="altitude < param", value=100.0):
+        program = Program()
+        src = program.add_box(AddTableBox(table="Stations"))
+        param = program.add_box(ParameterBox(value_type="float", value=value))
+        threshold = program.add_box(ThresholdBox(predicate=predicate))
+        program.connect(src, "out", threshold, "in")
+        program.connect(param, "out", threshold, "param")
+        return program, Engine(program, db), param, threshold
+
+    def test_scalar_flows_into_predicate(self, stations_db):
+        __, engine, __, threshold = self.build(stations_db)
+        relation = engine.output_of(threshold)
+        assert sorted(r["name"] for r in relation.rows) == [
+            "Baton Rouge", "New Orleans"
+        ]
+
+    def test_editing_parameter_invalidates(self, stations_db):
+        program, engine, param, threshold = self.build(stations_db)
+        assert len(engine.output_of(threshold).rows) == 2
+        program.box(param).set_param("value", 300.0)
+        assert len(engine.output_of(threshold).rows) == 4
+
+    def test_scalar_port_types_checked(self, stations_db):
+        program = Program()
+        param = program.add_box(ParameterBox(value_type="text", value="x"))
+        threshold = program.add_box(ThresholdBox(predicate="altitude < param"))
+        with pytest.raises(TypeCheckError):
+            program.connect(param, "out", threshold, "param")
+
+    def test_parameter_value_coerced(self, stations_db):
+        program = Program()
+        param = program.add_box(ParameterBox(value_type="float", value=7))
+        engine = Engine(program, stations_db)
+        assert engine.output_of(param) == 7.0
+
+    def test_non_boolean_threshold_predicate(self, stations_db):
+        __, engine, __, threshold = self.build(
+            stations_db, predicate="altitude + param"
+        )
+        with pytest.raises(TypeCheckError, match="boolean"):
+            engine.output_of(threshold)
+
+
+class TestRegistration:
+    def test_extra_boxes_registered(self):
+        names = box_class_names()
+        for expected in ("Aggregate", "OrderBy", "Distinct", "Limit",
+                         "Rename", "Union", "Parameter", "Threshold"):
+            assert expected in names
+
+    def test_apply_box_sees_extras(self):
+        candidates = compatible_boxes([PortType("R")])
+        assert "Aggregate" in candidates
+        assert "OrderBy" in candidates
+
+    def test_serialization_roundtrip(self, stations_db):
+        from repro.dataflow.serialize import program_from_dict, program_to_dict
+
+        program, engine, param, threshold = TestParameterAndThreshold().build(
+            stations_db
+        )
+        restored = program_from_dict(program_to_dict(program))
+        relation = Engine(restored, stations_db).output_of(threshold)
+        assert len(relation.rows) == 2

@@ -1,0 +1,124 @@
+"""Unit tests: the catalog and JSON persistence (dbms.catalog, dbms.storage)."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.dbms.catalog import Database
+from repro.dbms.relation import Table
+from repro.dbms.storage import (
+    dump_database,
+    load_database,
+    load_database_file,
+    save_database_file,
+)
+from repro.dbms.tuples import Schema
+from repro.errors import CatalogError, TypeCheckError
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database("demo")
+    table = database.create_table(
+        "Events", Schema([("eid", "int"), ("label", "text"), ("when", "date")])
+    )
+    table.insert_many(
+        [
+            {"eid": 1, "label": "launch", "when": dt.date(1995, 5, 1)},
+            {"eid": 2, "label": "retro", "when": dt.date(1996, 2, 26)},
+        ]
+    )
+    return database
+
+
+class TestTables:
+    def test_create_and_lookup(self, db):
+        assert db.table("Events").name == "Events"
+        assert db.has_table("Events")
+
+    def test_duplicate_create_rejected(self, db):
+        with pytest.raises(CatalogError, match="already exists"):
+            db.create_table("Events", Schema([("x", "int")]))
+
+    def test_add_existing_table(self, db):
+        table = Table("Extra", Schema([("x", "int")]))
+        db.add_table(table)
+        assert db.table("Extra") is table
+
+    def test_unknown_table_lists_known(self, db):
+        with pytest.raises(CatalogError, match="Events"):
+            db.table("Ghost")
+
+    def test_drop(self, db):
+        db.drop_table("Events")
+        assert not db.has_table("Events")
+        with pytest.raises(CatalogError):
+            db.drop_table("Events")
+
+    def test_table_names_sorted(self, db):
+        db.create_table("Aaa", Schema([("x", "int")]))
+        assert db.table_names() == ["Aaa", "Events"]
+
+
+class TestBoxesAndPrograms:
+    def test_register_and_lookup_box(self, db):
+        db.register_box("MyBox", {"spec": 1})
+        assert db.box("MyBox") == {"spec": 1}
+        assert db.has_box("MyBox")
+        assert "MyBox" in db.box_names()
+
+    def test_duplicate_box_rejected_unless_replace(self, db):
+        db.register_box("MyBox", 1)
+        with pytest.raises(CatalogError):
+            db.register_box("MyBox", 2)
+        db.register_box("MyBox", 2, replace=True)
+        assert db.box("MyBox") == 2
+
+    def test_unregister_box(self, db):
+        db.register_box("MyBox", 1)
+        db.unregister_box("MyBox")
+        assert not db.has_box("MyBox")
+        with pytest.raises(CatalogError):
+            db.unregister_box("MyBox")
+
+    def test_programs(self, db):
+        db.save_program("p1", {"format": "x"})
+        assert db.load_program("p1") == {"format": "x"}
+        assert db.program_names() == ["p1"]
+        db.delete_program("p1")
+        with pytest.raises(CatalogError):
+            db.load_program("p1")
+
+
+class TestPersistence:
+    def test_roundtrip_in_memory(self, db):
+        db.save_program("viz", {"format": "tioga2-program-v1", "boxes": {},
+                                "edges": [], "name": "viz"})
+        payload = dump_database(db)
+        restored = load_database(payload)
+        assert restored.name == "demo"
+        assert len(restored.table("Events")) == 2
+        assert restored.table("Events").snapshot()[0]["when"] == dt.date(1995, 5, 1)
+        assert restored.program_names() == ["viz"]
+
+    def test_roundtrip_via_file(self, db, tmp_path):
+        path = save_database_file(db, tmp_path / "db.json")
+        restored = load_database_file(path)
+        assert restored.table("Events").schema == db.table("Events").schema
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(CatalogError, match="format"):
+            load_database({"format": "something-else"})
+
+    def test_drawable_columns_not_persistable(self):
+        from repro.display.drawables import Circle
+
+        database = Database()
+        table = database.create_table(
+            "Bad", Schema([("d", "drawables")])
+        )
+        table.insert({"d": [Circle(1.0)]})
+        with pytest.raises(TypeCheckError, match="persist"):
+            dump_database(database)

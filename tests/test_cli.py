@@ -1,0 +1,174 @@
+"""Unit tests: the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.dbms.storage import load_database_file, save_database_file
+from repro.ui.session import Session
+
+
+@pytest.fixture()
+def weather_json(tmp_path) -> Path:
+    path = tmp_path / "weather.json"
+    code = main([
+        "init-weather", "--out", str(path),
+        "--stations", "5", "--every-days", "365",
+    ])
+    assert code == 0
+    return path
+
+
+class TestInitAndTables:
+    def test_init_writes_database(self, weather_json):
+        db = load_database_file(weather_json)
+        assert db.has_table("Stations")
+        assert db.has_table("Observations")
+
+    def test_tables_lists_all(self, weather_json, capsys):
+        assert main(["tables", "--db", str(weather_json)]) == 0
+        out = capsys.readouterr().out
+        assert "Stations" in out
+        assert "station_id:int" in out
+
+    def test_missing_db_file(self, tmp_path, capsys):
+        code = main(["tables", "--db", str(tmp_path / "nope.json")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestPrograms:
+    def make_program(self, weather_json):
+        db = load_database_file(weather_json)
+        session = Session(db, "cli-demo")
+        stations = session.add_table("Stations")
+        restrict = session.add_box("Restrict", {"predicate": "state = 'LA'"})
+        session.connect(stations, "out", restrict, "in")
+        set_x = session.add_box("SetAttribute",
+                                {"name": "x", "definition": "longitude"})
+        session.connect(restrict, "out", set_x, "in")
+        set_y = session.add_box("SetAttribute",
+                                {"name": "y", "definition": "latitude"})
+        session.connect(set_x, "out", set_y, "in")
+        window = session.add_viewer(set_y, name="map", width=160, height=120)
+        window.viewer.pan_to(-91.8, 31.0)
+        window.viewer.set_elevation(8.0)
+        session.save_program()
+        save_database_file(db, weather_json)
+
+    def test_programs_listing(self, weather_json, capsys):
+        self.make_program(weather_json)
+        assert main(["programs", "--db", str(weather_json)]) == 0
+        assert "cli-demo" in capsys.readouterr().out
+
+    def test_programs_empty(self, weather_json, capsys):
+        assert main(["programs", "--db", str(weather_json)]) == 0
+        assert "no saved programs" in capsys.readouterr().out
+
+    def test_show_program(self, weather_json, tmp_path, capsys):
+        self.make_program(weather_json)
+        out = tmp_path / "program.ppm"
+        code = main([
+            "show-program", "--db", str(weather_json),
+            "--name", "cli-demo", "--out", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Restrict" in text
+        assert out.exists()
+        assert out.read_bytes().startswith(b"P6")
+
+    def test_run_program_renders_canvases(self, weather_json, tmp_path, capsys):
+        self.make_program(weather_json)
+        out_dir = tmp_path / "frames"
+        code = main([
+            "run-program", "--db", str(weather_json),
+            "--name", "cli-demo", "--out-dir", str(out_dir),
+        ])
+        assert code == 0
+        rendered = list(out_dir.glob("*.ppm"))
+        assert len(rendered) == 1
+        assert rendered[0].name == "cli-demo_map.ppm"
+
+    def test_run_program_without_viewers(self, weather_json, tmp_path, capsys):
+        db = load_database_file(weather_json)
+        session = Session(db, "no-viewers")
+        session.add_table("Stations")
+        session.save_program()
+        save_database_file(db, weather_json)
+        code = main([
+            "run-program", "--db", str(weather_json),
+            "--name", "no-viewers", "--out-dir", str(tmp_path / "x"),
+        ])
+        assert code == 1
+
+    def test_unknown_program(self, weather_json, capsys):
+        code = main([
+            "show-program", "--db", str(weather_json), "--name", "ghost",
+        ])
+        assert code == 1
+        assert "unknown program" in capsys.readouterr().err
+
+
+class TestFigures:
+    def test_render_subset(self, tmp_path, capsys):
+        out_dir = tmp_path / "figs"
+        code = main([
+            "figures", "--out-dir", str(out_dir), "--which", "fig4",
+        ])
+        assert code == 0
+        assert (out_dir / "fig4.ppm").exists()
+
+    def test_render_png_and_svg(self, tmp_path, capsys):
+        out_dir = tmp_path / "figs"
+        assert main(["figures", "--out-dir", str(out_dir),
+                     "--which", "fig4", "--format", "png"]) == 0
+        assert (out_dir / "fig4.png").read_bytes().startswith(b"\x89PNG")
+        assert main(["figures", "--out-dir", str(out_dir),
+                     "--which", "fig4", "--format", "svg"]) == 0
+        assert (out_dir / "fig4.svg").read_text().startswith("<svg")
+
+    def test_unknown_figure(self, tmp_path, capsys):
+        code = main([
+            "figures", "--out-dir", str(tmp_path), "--which", "fig99",
+        ])
+        assert code == 2
+        assert "unknown figures" in capsys.readouterr().err
+
+
+class TestBoxes:
+    def test_catalog_listing(self, capsys):
+        assert main(["boxes"]) == 0
+        out = capsys.readouterr().out
+        assert "Restrict" in out
+        assert "Aggregate" in out
+        assert "_Const" not in out  # internal types hidden
+
+    def test_single_topic(self, capsys):
+        assert main(["boxes", "--topic", "Replicate"]) == 0
+        assert "partition" in capsys.readouterr().out.lower()
+
+    def test_unknown_topic(self, capsys):
+        assert main(["boxes", "--topic", "Frobnicate"]) == 1
+
+
+class TestQuery:
+    def test_prints_terminal_monitor_listing(self, weather_json, capsys):
+        code = main([
+            "query", "--db", str(weather_json), "--table", "Stations",
+            "--where", "state = 'LA'", "--limit", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "New Orleans" in out
+        assert "more rows" in out  # 18 LA stations, limit 5
+
+    def test_bad_predicate(self, weather_json, capsys):
+        code = main([
+            "query", "--db", str(weather_json), "--table", "Stations",
+            "--where", "ghost > 1",
+        ])
+        assert code == 1

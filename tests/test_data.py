@@ -1,0 +1,152 @@
+"""Unit tests: the synthetic data generators (repro.data)."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+from repro.data.geography import (
+    LOUISIANA_OUTLINE,
+    build_louisiana_map_table,
+    outline_to_segments,
+)
+from repro.data.weather import (
+    LOUISIANA_STATIONS,
+    build_observations_table,
+    build_stations_table,
+    build_weather_database,
+)
+from repro.data.workloads import (
+    build_pairs_tables,
+    build_points_database,
+    build_points_table,
+)
+
+
+class TestStations:
+    def test_louisiana_stations_present(self):
+        table = build_stations_table(extra_stations=10)
+        la = [row for row in table if row["state"] == "LA"]
+        assert len(la) == len(LOUISIANA_STATIONS)
+        names = {row["name"] for row in la}
+        assert "New Orleans" in names
+        assert "Shreveport" in names
+
+    def test_extra_stations_outside_louisiana(self):
+        table = build_stations_table(extra_stations=25)
+        others = [row for row in table if row["state"] != "LA"]
+        assert len(others) == 25
+
+    def test_station_ids_unique(self):
+        table = build_stations_table(extra_stations=30)
+        ids = [row["station_id"] for row in table]
+        assert len(set(ids)) == len(ids)
+
+    def test_deterministic_by_seed(self):
+        a = build_stations_table(extra_stations=5, seed=1)
+        b = build_stations_table(extra_stations=5, seed=1)
+        assert a.snapshot() == b.snapshot()
+
+    def test_coordinates_in_north_america(self):
+        table = build_stations_table(extra_stations=40)
+        for row in table:
+            assert -125.0 <= row["longitude"] <= -67.0
+            assert 25.0 <= row["latitude"] <= 50.0
+
+
+class TestObservations:
+    def test_series_spans_1990(self):
+        stations = build_stations_table(extra_stations=0)
+        obs = build_observations_table(stations, 1985, 1995, every_days=90)
+        years = {row["obs_date"].year for row in obs}
+        assert min(years) == 1985
+        assert max(years) == 1995
+        assert 1990 in years
+
+    def test_every_station_observed(self):
+        stations = build_stations_table(extra_stations=3)
+        obs = build_observations_table(stations, 1990, 1990, every_days=120)
+        observed = {row["station_id"] for row in obs}
+        assert observed == {row["station_id"] for row in stations}
+
+    def test_temperature_seasonal_structure(self):
+        stations = build_stations_table(extra_stations=0)
+        obs = build_observations_table(stations, 1990, 1990, every_days=7)
+        new_orleans = [
+            row for row in obs if row["station_id"] == 1
+        ]
+        july = [r["temperature"] for r in new_orleans
+                if r["obs_date"].month == 7]
+        january = [r["temperature"] for r in new_orleans
+                   if r["obs_date"].month == 1]
+        assert sum(july) / len(july) > sum(january) / len(january) + 15
+
+    def test_precipitation_nonnegative(self):
+        stations = build_stations_table(extra_stations=2)
+        obs = build_observations_table(stations, 1990, 1991, every_days=60)
+        assert all(row["precipitation"] >= 0.0 for row in obs)
+
+    def test_heavy_rain_flagged(self):
+        stations = build_stations_table(extra_stations=0)
+        obs = build_observations_table(stations, 1988, 1992, every_days=30)
+        for row in obs:
+            if row["precipitation"] > 0.5:
+                assert row["conditions"] == "rain"
+
+
+class TestWeatherDatabase:
+    def test_contains_all_tables(self):
+        db = build_weather_database(extra_stations=5, every_days=120)
+        assert db.has_table("Stations")
+        assert db.has_table("Observations")
+        assert db.has_table("LouisianaMap")
+
+    def test_map_optional(self):
+        db = build_weather_database(extra_stations=0, every_days=365,
+                                    include_map=False)
+        assert not db.has_table("LouisianaMap")
+
+
+class TestGeography:
+    def test_outline_closed(self):
+        segments = outline_to_segments(LOUISIANA_OUTLINE)
+        assert len(segments) == len(LOUISIANA_OUTLINE)
+        # Walking every delta returns to the start.
+        total_dlon = sum(s["dlon"] for s in segments)
+        total_dlat = sum(s["dlat"] for s in segments)
+        assert abs(total_dlon) < 1e-6
+        assert abs(total_dlat) < 1e-6
+
+    def test_map_table_schema(self):
+        table = build_louisiana_map_table()
+        assert table.schema.names == ("segment_id", "lon0", "lat0", "dlon",
+                                      "dlat")
+        assert len(table) == len(LOUISIANA_OUTLINE)
+
+    def test_outline_in_louisiana_bounding_box(self):
+        for lon, lat in LOUISIANA_OUTLINE:
+            assert -94.1 <= lon <= -88.9
+            assert 28.9 <= lat <= 33.1
+
+
+class TestWorkloads:
+    def test_points_table_size_and_bounds(self):
+        table = build_points_table("P", 100, seed=1, spread=100.0)
+        assert len(table) == 100
+        for row in table:
+            assert -50.0 <= row["x_pos"] <= 50.0
+            assert -50.0 <= row["y_pos"] <= 50.0
+
+    def test_points_deterministic(self):
+        a = build_points_table("P", 50, seed=9)
+        b = build_points_table("P", 50, seed=9)
+        assert a.snapshot() == b.snapshot()
+
+    def test_pairs_tables_referential(self):
+        left, right = build_pairs_tables(20, 3, seed=2)
+        keys = {row["key"] for row in left}
+        assert len(right) == 60
+        assert all(row["ref"] in keys for row in right)
+
+    def test_points_database(self):
+        db = build_points_database(10)
+        assert len(db.table("Points")) == 10

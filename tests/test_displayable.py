@@ -1,0 +1,244 @@
+"""Unit tests: the R/C/G displayable algebra (display.displayable, §2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms.parser import parse_expression
+from repro.dbms.relation import Method, RowSet
+from repro.dbms.tuples import Schema
+from repro.display.displayable import (
+    Composite,
+    DisplayableRelation,
+    Group,
+    ensure_composite,
+    ensure_group,
+)
+from repro.display.elevation import ElevationRange
+from repro.errors import DisplayError
+
+SCHEMA = Schema([("name", "text"), ("lon", "float"), ("lat", "float"),
+                 ("alt", "float")])
+
+
+def make_relation(name="R", rows=None) -> DisplayableRelation:
+    data = rows or [
+        {"name": "a", "lon": 1.0, "lat": 2.0, "alt": 10.0},
+        {"name": "b", "lon": 3.0, "lat": 4.0, "alt": 20.0},
+    ]
+    return DisplayableRelation(RowSet.from_dicts(SCHEMA, data), name=name)
+
+
+def located(relation: DisplayableRelation) -> DisplayableRelation:
+    relation = relation.with_method_added(
+        Method("x", "float", parse_expression("lon"))
+    )
+    return relation.with_method_added(
+        Method("y", "float", parse_expression("lat"))
+    )
+
+
+class TestDisplayableRelation:
+    def test_default_location_is_sequence(self):
+        relation = make_relation()
+        views = list(relation.views())
+        assert relation.location_of(views[0]) == (0.0, 0.0)
+        assert relation.location_of(views[1]) == (0.0, 1.0)
+
+    def test_custom_location(self):
+        relation = located(make_relation())
+        assert relation.has_custom_location
+        assert relation.location_of(relation.view_at(1))[:2] == (3.0, 4.0)
+
+    def test_default_display_lists_fields(self):
+        relation = make_relation()
+        drawables = relation.display_of(relation.view_at(0))
+        assert len(drawables) == len(SCHEMA)
+        assert all(d.kind == "text" for d in drawables)
+
+    def test_dimension_counts_sliders(self):
+        relation = located(make_relation()).with_slider_added("alt")
+        assert relation.dimension == 3
+        assert relation.location_attrs == ("x", "y", "alt")
+        assert relation.location_of(relation.view_at(0)) == (1.0, 2.0, 10.0)
+
+    def test_slider_must_be_numeric(self):
+        with pytest.raises(DisplayError, match="numeric"):
+            make_relation().with_slider_added("name")
+
+    def test_slider_must_exist(self):
+        with pytest.raises(DisplayError):
+            make_relation().with_slider_added("ghost")
+
+    def test_duplicate_slider_rejected(self):
+        relation = make_relation().with_slider_added("alt")
+        with pytest.raises(DisplayError, match="already"):
+            relation.with_slider_added("alt")
+
+    def test_reserved_slider_names_rejected(self):
+        relation = located(make_relation())
+        with pytest.raises(DisplayError):
+            relation.with_slider_dims(["x"])
+
+    def test_display_must_be_drawables_type(self):
+        with pytest.raises(DisplayError, match="display"):
+            make_relation().with_method_added(
+                Method("display", "int", parse_expression("1"))
+            )
+
+    def test_location_must_be_numeric(self):
+        with pytest.raises(DisplayError, match="numeric"):
+            make_relation().with_method_added(
+                Method("x", "text", parse_expression("name"))
+            )
+
+    def test_alternate_displays_listed(self):
+        relation = make_relation().with_method_added(
+            Method("display", "drawables", parse_expression("circle(1)"))
+        ).with_method_added(
+            Method("alt_view", "drawables", parse_expression("point()"))
+        )
+        assert relation.alternate_displays() == ("alt_view",)
+
+    def test_with_range(self):
+        relation = make_relation().with_range(-5.0, 5.0)
+        assert relation.elevation_range == ElevationRange(-5.0, 5.0)
+
+    def test_with_rows_rebases_methods(self):
+        relation = located(make_relation())
+        fewer = RowSet.from_dicts(SCHEMA, [
+            {"name": "z", "lon": 9.0, "lat": 9.0, "alt": 1.0},
+        ])
+        updated = relation.with_rows(fewer)
+        assert len(updated) == 1
+        assert updated.location_of(updated.view_at(0))[:2] == (9.0, 9.0)
+
+    def test_copy_on_write_isolation(self):
+        base = make_relation()
+        derived = base.with_name("other").with_range(0, 1)
+        assert base.name == "R"
+        assert base.elevation_range.maximum == float("inf")
+        assert derived.name == "other"
+
+
+class TestComposite:
+    def test_drawing_order_is_list_order(self):
+        composite = Composite([make_relation("a"), make_relation("b")])
+        assert composite.component_names() == ["a", "b"]
+
+    def test_name_collision_suffixed(self):
+        composite = Composite([make_relation("a"), make_relation("a")])
+        assert composite.component_names() == ["a", "a_2"]
+
+    def test_overlay_merges_offsets(self):
+        base = Composite([make_relation("a")])
+        top = Composite([make_relation("b")])
+        merged = base.overlay(top, offset={"x": 2.0})
+        assert merged.component_names() == ["a", "b"]
+        assert merged.entries[1].offset_for("x") == 2.0
+        # Original untouched.
+        assert len(base) == 1
+
+    def test_shuffle_to_top(self):
+        composite = Composite([make_relation("a"), make_relation("b"),
+                               make_relation("c")])
+        composite.shuffle_to_top("a")
+        assert composite.component_names() == ["b", "c", "a"]
+
+    def test_move_to_order(self):
+        composite = Composite([make_relation("a"), make_relation("b"),
+                               make_relation("c")])
+        composite.move_to_order("c", 0)
+        assert composite.component_names() == ["c", "a", "b"]
+        with pytest.raises(DisplayError):
+            composite.move_to_order("a", 9)
+
+    def test_dimension_is_max(self):
+        flat = make_relation("flat")
+        tall = located(make_relation("tall")).with_slider_added("alt")
+        composite = Composite([flat, tall])
+        assert composite.dimension == 3
+        assert composite.slider_dims == ("alt",)
+        assert composite.warnings  # mismatch recorded
+
+    def test_replace_component_preserves_offset(self):
+        composite = Composite([make_relation("a")])
+        composite.entries[0].offset["x"] = 7.0
+        replaced = composite.replace_component("a", make_relation("a"))
+        assert replaced.entries[0].offset_for("x") == 7.0
+
+    def test_set_component_range(self):
+        composite = Composite([make_relation("a")])
+        composite.set_component_range("a", 0, 10)
+        assert composite.entries[0].relation.elevation_range.maximum == 10
+
+    def test_unknown_component(self):
+        composite = Composite([make_relation("a")])
+        with pytest.raises(DisplayError, match="no component"):
+            composite.entry_named("zzz")
+
+
+class TestGroup:
+    def test_layouts(self):
+        composites = [("a", ensure_composite(make_relation("a"))),
+                      ("b", ensure_composite(make_relation("b")))]
+        horizontal = Group(composites, layout="horizontal")
+        assert horizontal.grid_shape() == (1, 2)
+        vertical = Group(composites, layout="vertical")
+        assert vertical.grid_shape() == (2, 1)
+        tabular = Group(composites, layout="tabular", table_shape=(2, 1))
+        assert tabular.grid_shape() == (2, 1)
+
+    def test_tabular_requires_shape(self):
+        with pytest.raises(DisplayError, match="table_shape"):
+            Group([("a", ensure_composite(make_relation()))], layout="tabular")
+
+    def test_bad_layout(self):
+        with pytest.raises(DisplayError):
+            Group([], layout="diagonal")
+
+    def test_duplicate_member_rejected(self):
+        group = Group([("a", ensure_composite(make_relation()))])
+        with pytest.raises(DisplayError, match="already has"):
+            group.add_member("a", make_relation())
+
+    def test_member_lookup(self):
+        group = Group([("a", ensure_composite(make_relation("inner")))])
+        assert group.member("a").component_names() == ["inner"]
+        with pytest.raises(DisplayError):
+            group.member("z")
+
+    def test_replace_member(self):
+        group = Group([("a", ensure_composite(make_relation("one")))])
+        replacement = ensure_composite(make_relation("two"))
+        updated = group.replace_member("a", replacement)
+        assert updated.member("a").component_names() == ["two"]
+        assert group.member("a").component_names() == ["one"]
+
+
+class TestCoercions:
+    def test_relation_is_composite(self):
+        composite = ensure_composite(make_relation("r"))
+        assert isinstance(composite, Composite)
+        assert composite.component_names() == ["r"]
+
+    def test_composite_passthrough(self):
+        composite = Composite([make_relation()])
+        assert ensure_composite(composite) is composite
+
+    def test_composite_is_group(self):
+        group = ensure_group(Composite([make_relation()]), "main")
+        assert isinstance(group, Group)
+        assert group.member_names() == ["main"]
+
+    def test_relation_is_group(self):
+        group = ensure_group(make_relation("r"))
+        assert group.member("view").component_names() == ["r"]
+
+    def test_group_passthrough(self):
+        group = Group([("a", ensure_composite(make_relation()))])
+        assert ensure_group(group) is group
+
+    def test_bad_coercion(self):
+        with pytest.raises(DisplayError):
+            ensure_composite("not a displayable")

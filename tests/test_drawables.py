@@ -1,0 +1,219 @@
+"""Unit tests: primitive drawables (display.drawables, §5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms.parser import parse_expression
+from repro.dbms.tuples import Schema, Tuple
+from repro.display.drawables import (
+    Circle,
+    Line,
+    Point,
+    Polygon,
+    Rectangle,
+    Style,
+    Text,
+    ViewerDrawable,
+    resolve_color,
+)
+from repro.errors import DisplayError
+from repro.render.canvas import Canvas
+
+
+class TestColors:
+    def test_named_colors(self):
+        assert resolve_color("black") == (0, 0, 0)
+        assert resolve_color("RED") == (220, 50, 47)
+
+    def test_rgb_triple(self):
+        assert resolve_color((1, 2, 3)) == (1, 2, 3)
+
+    def test_unknown_name(self):
+        with pytest.raises(DisplayError, match="unknown color"):
+            resolve_color("mauve-ish")
+
+    def test_out_of_range_rgb(self):
+        with pytest.raises(DisplayError):
+            resolve_color((0, 0, 300))
+
+
+class TestStyle:
+    def test_defaults(self):
+        style = Style()
+        assert style.line_width == 1
+        assert not style.filled
+
+    def test_bad_width(self):
+        with pytest.raises(DisplayError):
+            Style(line_width=0)
+
+
+class TestGeometry:
+    def test_offset_flips_y_for_screen(self):
+        # Positive y offset means "up" in world orientation → smaller py.
+        drawable = Point(offset=(0.0, 10.0))
+        x, y = drawable._origin(100.0, 100.0, 1.0)
+        assert (x, y) == (100.0, 90.0)
+
+    def test_world_units_scale_with_zoom(self):
+        drawable = Circle(2.0, units="world")
+        bbox_near = drawable.bbox(0, 0, world_scale=10.0)
+        bbox_far = drawable.bbox(0, 0, world_scale=1.0)
+        assert bbox_near[2] - bbox_near[0] == pytest.approx(40.0)
+        assert bbox_far[2] - bbox_far[0] == pytest.approx(4.0)
+
+    def test_screen_units_constant_under_zoom(self):
+        drawable = Circle(2.0, units="screen")
+        assert drawable.bbox(0, 0, 10.0) == drawable.bbox(0, 0, 1.0)
+
+    def test_with_offset_returns_copy(self):
+        original = Circle(2.0)
+        shifted = original.with_offset(5.0, 5.0)
+        assert original.offset == (0.0, 0.0)
+        assert shifted.offset == (5.0, 5.0)
+
+    def test_with_color_returns_copy(self):
+        original = Text("hi")
+        colored = original.with_color("red")
+        assert original.color == (0, 0, 0)
+        assert colored.color == (220, 50, 47)
+
+    def test_bad_units(self):
+        with pytest.raises(DisplayError):
+            Point(units="parsec")
+
+
+class TestValidation:
+    def test_negative_circle(self):
+        with pytest.raises(DisplayError):
+            Circle(-1.0)
+
+    def test_negative_rect(self):
+        with pytest.raises(DisplayError):
+            Rectangle(-1.0, 2.0)
+
+    def test_polygon_needs_three_vertices(self):
+        with pytest.raises(DisplayError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_wormhole_needs_destination(self):
+        with pytest.raises(DisplayError):
+            ViewerDrawable("")
+
+    def test_wormhole_needs_positive_size(self):
+        with pytest.raises(DisplayError):
+            ViewerDrawable("dest", width=0)
+
+    def test_wormhole_needs_positive_elevation(self):
+        with pytest.raises(DisplayError):
+            ViewerDrawable("dest", dest_elevation=0)
+
+
+class TestPainting:
+    def paint(self, drawable, scale=1.0, size=64):
+        canvas = Canvas(size, size)
+        drawable.paint(canvas, size / 2, size / 2, scale)
+        return canvas
+
+    def test_point_paints_pixels(self):
+        assert self.paint(Point()).count_nonbackground() >= 1
+
+    def test_line_paints_along_delta(self):
+        canvas = self.paint(Line((20.0, 0.0)))
+        assert canvas.count_nonbackground() >= 20
+
+    def test_circle_outline_vs_filled(self):
+        outline = self.paint(Circle(10.0))
+        filled = self.paint(Circle(10.0, style=Style(filled=True)))
+        assert filled.count_nonbackground() > outline.count_nonbackground()
+
+    def test_rect_outline_vs_filled(self):
+        outline = self.paint(Rectangle(20, 10))
+        filled = self.paint(Rectangle(20, 10, style=Style(filled=True)))
+        assert filled.count_nonbackground() > outline.count_nonbackground()
+
+    def test_polygon_fill(self):
+        triangle = Polygon([(0, 0), (20, 0), (10, 15)], style=Style(filled=True))
+        assert self.paint(triangle).count_nonbackground() > 50
+
+    def test_text_paints_glyphs(self):
+        canvas = self.paint(Text("AB"))
+        assert canvas.count_nonbackground() > 10
+
+    def test_wormhole_paints_frame_only(self):
+        wormhole = ViewerDrawable("dest", width=30, height=20)
+        canvas = self.paint(wormhole)
+        painted = canvas.count_nonbackground()
+        assert 0 < painted < 30 * 20  # outline, not filled interior
+
+    def test_painting_off_canvas_is_silent(self):
+        canvas = Canvas(32, 32)
+        Circle(5.0).paint(canvas, -100, -100, 1.0)
+        Text("far away").paint(canvas, 500, 500, 1.0)
+        assert canvas.count_nonbackground() == 0
+
+    def test_color_lands_on_canvas(self):
+        canvas = self.paint(Circle(5.0, color="red", style=Style(filled=True)))
+        assert (220, 50, 47) in canvas.colors_used()
+
+
+class TestExpressionConstructors:
+    SCHEMA = Schema([("name", "text"), ("size", "float")])
+    ROW = Tuple(SCHEMA, {"name": "Ada", "size": 4.0})
+
+    def build(self, source: str):
+        return parse_expression(source, self.SCHEMA).evaluate(self.ROW)
+
+    def test_circle_constructor(self):
+        [circle] = self.build("circle(size, 'blue')")
+        assert circle.kind == "circle"
+        assert circle.radius == 4.0
+
+    def test_filled_variants(self):
+        [disc] = self.build("filled_circle(2)")
+        assert disc.style.filled
+        [rect] = self.build("filled_rect(4, 2, 'red')")
+        assert rect.style.filled
+
+    def test_text_of_renders_value(self):
+        [text] = self.build("text_of(name)")
+        assert text.text == "Ada"
+        [number] = self.build("text_of(size)")
+        assert number.text == "4"
+
+    def test_line_to_world_units(self):
+        [line] = self.build("line_to(1.5, -0.5)")
+        assert line.units == "world"
+        assert line.delta == (1.5, -0.5)
+
+    def test_combine_concatenates_in_order(self):
+        result = self.build("combine(circle(1), point(), text_of(name))")
+        assert [d.kind for d in result] == ["circle", "point", "text"]
+
+    def test_offset_shifts_all(self):
+        result = self.build("offset(combine(circle(1), point()), 3, 4)")
+        assert all(d.offset == (3.0, 4.0) for d in result)
+
+    def test_recolor(self):
+        result = self.build("recolor(circle(1), 'green')")
+        assert result[0].color == (66, 133, 66)
+
+    def test_nothing_is_empty(self):
+        assert self.build("nothing()") == []
+
+    def test_wormhole_constructor(self):
+        [hole] = self.build("wormhole('dest', 100, 50, 20, 1.0, 2.0)")
+        assert hole.kind == "viewer"
+        assert hole.destination == "dest"
+        assert hole.dest_location == (1.0, 2.0)
+
+    def test_type_errors_reported(self):
+        from repro.errors import TypeCheckError
+
+        with pytest.raises(TypeCheckError):
+            parse_expression("circle('big')", self.SCHEMA)
+        with pytest.raises(TypeCheckError):
+            parse_expression("combine(size)", self.SCHEMA)
+        with pytest.raises(TypeCheckError):
+            parse_expression("offset(circle(1), 'a', 2)", self.SCHEMA)

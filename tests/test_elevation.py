@@ -1,0 +1,101 @@
+"""Unit tests: elevation ranges and the elevation map (display.elevation)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dbms.relation import RowSet
+from repro.dbms.tuples import Schema
+from repro.display.displayable import Composite, DisplayableRelation
+from repro.display.elevation import (
+    TOP_SIDE,
+    UNDER_SIDE,
+    ElevationMap,
+    ElevationRange,
+)
+from repro.errors import DisplayError
+
+SCHEMA = Schema([("v", "int")])
+
+
+def relation(name: str) -> DisplayableRelation:
+    return DisplayableRelation(RowSet.from_dicts(SCHEMA, [{"v": 1}]), name=name)
+
+
+class TestElevationRange:
+    def test_default_is_topside_everything(self):
+        rng = ElevationRange()
+        assert rng.contains(0.0)
+        assert rng.contains(1e9)
+        assert not rng.contains(-0.001)
+
+    def test_contains_bounds_inclusive(self):
+        rng = ElevationRange(2.0, 10.0)
+        assert rng.contains(2.0)
+        assert rng.contains(10.0)
+        assert not rng.contains(1.999)
+        assert not rng.contains(10.001)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(DisplayError):
+            ElevationRange(5.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(DisplayError):
+            ElevationRange(math.nan, 1.0)
+
+    def test_sides_classification(self):
+        # §6.3: both positive → top only; both negative → underside only;
+        # straddling zero → both sides.
+        assert ElevationRange(1.0, 10.0).sides() == (TOP_SIDE,)
+        assert ElevationRange(-10.0, -1.0).sides() == (UNDER_SIDE,)
+        assert ElevationRange(-5.0, 5.0).sides() == (TOP_SIDE, UNDER_SIDE)
+
+    def test_intersect(self):
+        a = ElevationRange(0.0, 10.0)
+        b = ElevationRange(5.0, 20.0)
+        assert a.intersect(b) == ElevationRange(5.0, 10.0)
+        assert a.intersect(ElevationRange(11.0, 12.0)) is None
+
+    def test_equality(self):
+        assert ElevationRange(1, 2) == ElevationRange(1.0, 2.0)
+        assert ElevationRange(1, 2) != ElevationRange(1, 3)
+
+
+class TestElevationMap:
+    def make_composite(self) -> Composite:
+        return Composite([
+            relation("map"),
+            relation("coarse").with_range(0, 100),
+            relation("detail").with_range(0, 12),
+        ])
+
+    def test_bars_reflect_drawing_order(self):
+        bars = ElevationMap(self.make_composite()).bars()
+        assert [bar.name for bar in bars] == ["map", "coarse", "detail"]
+        assert [bar.order for bar in bars] == [0, 1, 2]
+        assert bars[2].range.maximum == 12
+
+    def test_set_range_via_map(self):
+        composite = self.make_composite()
+        emap = composite.elevation_map()
+        emap.set_range("coarse", 5, 50)
+        assert composite.entry_named("coarse").relation.elevation_range == \
+            ElevationRange(5, 50)
+
+    def test_shuffle_via_map(self):
+        composite = self.make_composite()
+        composite.elevation_map().shuffle_to_top("map")
+        assert composite.component_names() == ["coarse", "detail", "map"]
+
+    def test_move_to_order_via_map(self):
+        composite = self.make_composite()
+        composite.elevation_map().move_to_order("detail", 0)
+        assert composite.component_names() == ["detail", "map", "coarse"]
+
+    def test_len_and_iter(self):
+        emap = ElevationMap(self.make_composite())
+        assert len(emap) == 3
+        assert len(list(emap)) == 3

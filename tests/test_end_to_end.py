@@ -1,0 +1,114 @@
+"""End-to-end narrative test: the agricultural specialist's whole session.
+
+Follows the paper's §4–§8 story in one continuous session, asserting at each
+step the principle the paper attaches to it: immediate visual feedback,
+incremental modification, inspection of partial results, drill down,
+traversal, and update — with the engine recomputing only what changed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenarios import NAME_MAX_ELEVATION
+from repro.ui.session import Session
+
+
+@pytest.fixture()
+def session(mutable_weather_db) -> Session:
+    return Session(mutable_weather_db, "specialist-session")
+
+
+class TestSpecialistSession:
+    def test_full_story(self, session):
+        # --- §4: start from the Stations box; every step is visualizable.
+        stations = session.add_table("Stations")
+        window = session.add_viewer(stations, name="work", width=320, height=240)
+        window.viewer.pan_to(300.0, -5.0)
+        window.viewer.set_elevation(700.0)
+        first_canvas = window.render()
+        assert first_canvas.count_nonbackground() > 0  # default table view
+
+        # --- Restrict to Louisiana; the same canvas updates.
+        restrict = session.add_box("Restrict", {"predicate": "state = 'LA'"})
+        edge = session.program.edge_into_port(window.viewer_box_id, "in")
+        session.program.disconnect(edge)
+        session.connect(stations, "out", restrict, "in")
+        session.connect(restrict, "out", window.viewer_box_id, "in")
+        assert len(session.inspect(restrict).rows) == 18
+
+        # --- "If the user discovers that any step produces unexpected
+        # results, he can inspect ... boxes": partial results on any edge.
+        assert len(session.inspect(stations).rows) > 18
+
+        # --- §5: turn the table into a map by setting location/display.
+        set_x = session.add_box("SetAttribute",
+                                {"name": "x", "definition": "longitude"})
+        session.connect(restrict, "out", set_x, "in")
+        set_y = session.add_box("SetAttribute",
+                                {"name": "y", "definition": "latitude"})
+        session.connect(set_x, "out", set_y, "in")
+        display = session.add_box("SetAttribute", {
+            "name": "display",
+            "definition": "combine(circle(4,'blue'), offset(text_of(name),0,-10))",
+        })
+        session.connect(set_y, "out", display, "in")
+        map_window = session.add_viewer(display, name="map",
+                                        width=320, height=240)
+        map_window.viewer.pan_to(-91.8, 31.0)
+        map_window.viewer.set_elevation(6.0)
+        result = map_window.viewer.render()
+        assert {"circle", "text"} <= {i.drawable_kind for i in result.all_items()}
+
+        # --- Incrementality: fires before vs after a small edit.
+        session.engine.stats.reset()
+        session.set_param(restrict, "predicate",
+                          "state = 'LA' and altitude < 200")
+        map_window.viewer.render()
+        fires = dict(session.engine.stats.fires)
+        assert fires.get(stations, 0) == 0  # source cache intact
+
+        # --- §6: drill down by elevation range.
+        ranged = session.add_box("SetRange",
+                                 {"minimum": 0.0,
+                                  "maximum": NAME_MAX_ELEVATION})
+        # Splice the range between display and the viewer.
+        viewer_edge = session.program.edge_into_port(
+            map_window.viewer_box_id, "in"
+        )
+        session.program.disconnect(viewer_edge)
+        session.connect(display, "out", ranged, "in")
+        session.connect(ranged, "out", map_window.viewer_box_id, "in")
+        map_window.viewer.set_elevation(NAME_MAX_ELEVATION + 10)
+        assert map_window.viewer.render().all_items() == []
+        map_window.viewer.set_elevation(5.0)
+        assert map_window.viewer.render().all_items()
+
+        # --- §8: notice a data error and fix it from the screen.
+        item = map_window.viewer.render().all_items()[0]
+        cx = (item.bbox[0] + item.bbox[2]) / 2
+        cy = (item.bbox[1] + item.bbox[3]) / 2
+        outcome = session.update_at("map", cx, cy, {"altitude": "12.0"})
+        assert outcome.applied
+        table = session.database.table("Stations")
+        assert any(row["altitude"] == 12.0 for row in table)
+
+        # --- The program round-trips through the database.
+        session.save_program()
+        fresh = Session(session.database, "reload")
+        fresh.load_program("specialist-session")
+        assert sorted(fresh.windows) == ["map", "work"]
+        reloaded = fresh.window("map")
+        reloaded.viewer.pan_to(-91.8, 31.0)
+        reloaded.viewer.set_elevation(5.0)
+        assert reloaded.render().count_nonbackground() > 0
+
+    def test_undo_rewinds_the_story(self, session):
+        stations = session.add_table("Stations")
+        restrict = session.add_box("Restrict", {"predicate": "state = 'LA'"})
+        session.connect(stations, "out", restrict, "in")
+        checkpoints = len(session.undo_stack)
+        assert checkpoints == 3
+        for __ in range(checkpoints):
+            session.undo()
+        assert len(session.program) == 0

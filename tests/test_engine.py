@@ -1,0 +1,177 @@
+"""Unit tests: the lazy dataflow engine (dataflow.engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_db import AddTableBox, ProjectBox, RestrictBox, TBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.dbms.catalog import Database
+from repro.dbms.relation import Table
+from repro.dbms.tuples import Schema
+from repro.errors import GraphError
+from repro.viewer.viewer import ViewerBox
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    table = database.create_table(
+        "T", Schema([("name", "text"), ("value", "int")])
+    )
+    table.insert_many([{"name": "a", "value": 1}, {"name": "b", "value": 2}])
+    return database
+
+
+def chain(db: Database):
+    program = Program()
+    src = program.add_box(AddTableBox(table="T"))
+    mid = program.add_box(RestrictBox(predicate="value > 1"))
+    tail = program.add_box(ProjectBox(fields=["name"]))
+    program.connect(src, "out", mid, "in")
+    program.connect(mid, "out", tail, "in")
+    return program, src, mid, tail
+
+
+class TestDemand:
+    def test_output_of_fires_upstream_only(self, db):
+        program, src, mid, tail = chain(db)
+        # Add a second unconnected branch that must NOT fire.
+        other = program.add_box(AddTableBox(table="T"))
+        unused = program.add_box(RestrictBox(predicate="value > 100"))
+        program.connect(other, "out", unused, "in")
+        engine = Engine(program, db)
+        result = engine.output_of(tail)
+        assert len(result.rows) == 1
+        assert engine.stats.fires.get(unused, 0) == 0
+        assert engine.stats.total_fires() == 3
+
+    def test_single_output_inferred(self, db):
+        program, src, *_ = chain(db)
+        engine = Engine(program, db)
+        assert len(engine.output_of(src).rows) == 2
+
+    def test_multi_output_requires_name(self, db):
+        program = Program()
+        src = program.add_box(AddTableBox(table="T"))
+        tee = program.add_box(TBox(kind="R"))
+        program.connect(src, "out", tee, "in")
+        engine = Engine(program, db)
+        with pytest.raises(GraphError, match="name the one"):
+            engine.output_of(tee)
+        assert engine.output_of(tee, "out2") is engine.output_of(tee, "out1")
+
+    def test_dangling_input_reported(self, db):
+        program = Program()
+        mid = program.add_box(RestrictBox(predicate="true"))
+        engine = Engine(program, db)
+        with pytest.raises(GraphError, match="not connected"):
+            engine.output_of(mid)
+
+    def test_inputs_of_sink(self, db):
+        program, __, __, tail = chain(db)
+        viewer = program.add_box(ViewerBox(name="v"))
+        program.connect(tail, "out", viewer, "in")
+        engine = Engine(program, db)
+        values = engine.inputs_of(viewer)
+        assert len(values["in"].rows) == 1
+
+
+class TestMemoization:
+    def test_second_demand_hits_cache(self, db):
+        program, __, __, tail = chain(db)
+        engine = Engine(program, db)
+        engine.output_of(tail)
+        fires = engine.stats.total_fires()
+        engine.output_of(tail)
+        assert engine.stats.total_fires() == fires
+        assert engine.stats.cache_hits >= 1
+
+    def test_table_update_invalidates(self, db):
+        program, __, __, tail = chain(db)
+        engine = Engine(program, db)
+        assert len(engine.output_of(tail).rows) == 1
+        db.table("T").insert({"name": "c", "value": 5})
+        assert len(engine.output_of(tail).rows) == 2
+
+    def test_param_edit_refires_only_suffix(self, db):
+        program, src, mid, tail = chain(db)
+        engine = Engine(program, db)
+        engine.output_of(tail)
+        before = dict(engine.stats.fires)
+        program.box(mid).set_param("predicate", "value > 0")
+        engine.output_of(tail)
+        assert engine.stats.fires[src] == before[src]  # source cached
+        assert engine.stats.fires[mid] == before[mid] + 1
+        assert engine.stats.fires[tail] == before[tail] + 1
+
+    def test_invalidate_one_box(self, db):
+        program, __, mid, tail = chain(db)
+        engine = Engine(program, db)
+        engine.output_of(tail)
+        engine.invalidate(mid)
+        engine.output_of(tail)
+        assert engine.stats.fires[mid] == 2
+
+    def test_invalidate_all(self, db):
+        program, src, mid, tail = chain(db)
+        engine = Engine(program, db)
+        engine.output_of(tail)
+        engine.invalidate()
+        engine.output_of(tail)
+        assert engine.stats.fires[src] == 2
+
+    def test_t_box_shares_single_fire(self, db):
+        program = Program()
+        src = program.add_box(AddTableBox(table="T"))
+        tee = program.add_box(TBox(kind="R"))
+        left = program.add_box(RestrictBox(predicate="value > 0"))
+        right = program.add_box(RestrictBox(predicate="value > 1"))
+        program.connect(src, "out", tee, "in")
+        program.connect(tee, "out1", left, "in")
+        program.connect(tee, "out2", right, "in")
+        engine = Engine(program, db)
+        engine.output_of(left)
+        engine.output_of(right)
+        assert engine.stats.fires[tee] == 1
+        assert engine.stats.fires[src] == 1
+
+
+class TestEagerMode:
+    def test_evaluate_all_fires_everything(self, db):
+        program, src, mid, tail = chain(db)
+        extra = program.add_box(AddTableBox(table="T"))
+        dead_end = program.add_box(RestrictBox(predicate="value > 10"))
+        program.connect(extra, "out", dead_end, "in")
+        engine = Engine(program, db)
+        count = engine.evaluate_all()
+        assert count == 5
+        assert engine.stats.fires[dead_end] == 1
+
+    def test_evaluate_all_skips_disconnected(self, db):
+        program = Program()
+        program.add_box(RestrictBox(predicate="true"))  # dangling input
+        engine = Engine(program, db)
+        assert engine.evaluate_all() == 0
+
+    def test_eager_does_more_work_than_lazy(self, db):
+        program, __, __, tail = chain(db)
+        extra = program.add_box(AddTableBox(table="T"))
+        dead_end = program.add_box(RestrictBox(predicate="value > 10"))
+        program.connect(extra, "out", dead_end, "in")
+        lazy = Engine(program, db)
+        lazy.output_of(tail)
+        eager = Engine(program, db)
+        eager.evaluate_all()
+        assert eager.stats.total_fires() > lazy.stats.total_fires()
+
+
+class TestStats:
+    def test_reset(self, db):
+        program, __, __, tail = chain(db)
+        engine = Engine(program, db)
+        engine.output_of(tail)
+        engine.stats.reset()
+        assert engine.stats.total_fires() == 0
+        assert engine.stats.cache_misses == 0

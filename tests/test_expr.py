@@ -1,0 +1,277 @@
+"""Unit tests: the expression AST (repro.dbms.expr)."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.dbms import types as T
+from repro.dbms.expr import (
+    Binary,
+    Call,
+    Conditional,
+    FieldRef,
+    FunctionDef,
+    Literal,
+    Unary,
+    function_names,
+    lookup_function,
+    register_function,
+)
+from repro.dbms.tuples import Schema, Tuple
+from repro.errors import EvaluationError, ExpressionError, TypeCheckError
+
+SCHEMA = Schema(
+    [("a", "int"), ("b", "float"), ("s", "text"), ("flag", "bool"), ("d", "date")]
+)
+ROW = Tuple(
+    SCHEMA,
+    {"a": 6, "b": 2.5, "s": "hello", "flag": True, "d": dt.date(1992, 3, 14)},
+)
+
+
+class TestLiterals:
+    def test_int_literal(self):
+        lit = Literal(5)
+        assert lit.infer(SCHEMA) is T.INT
+        assert lit.evaluate(ROW) == 5
+
+    def test_text_literal_str_escapes_quotes(self):
+        assert str(Literal("o'brien")) == "'o''brien'"
+
+    def test_date_literal_renders_as_call(self):
+        assert str(Literal(dt.date(1990, 1, 2))) == "date('1990-01-02')"
+
+    def test_fields_used_empty(self):
+        assert Literal(1).fields_used() == set()
+
+
+class TestFieldRef:
+    def test_infer_and_eval(self):
+        ref = FieldRef("b")
+        assert ref.infer(SCHEMA) is T.FLOAT
+        assert ref.evaluate(ROW) == 2.5
+
+    def test_unknown_field(self):
+        with pytest.raises(TypeCheckError, match="unknown field"):
+            FieldRef("zzz").infer(SCHEMA)
+
+    def test_fields_used(self):
+        assert FieldRef("a").fields_used() == {"a"}
+
+
+class TestUnary:
+    def test_negate_int(self):
+        expr = Unary("-", FieldRef("a"))
+        assert expr.infer(SCHEMA) is T.INT
+        assert expr.evaluate(ROW) == -6
+
+    def test_not_bool(self):
+        expr = Unary("not", FieldRef("flag"))
+        assert expr.infer(SCHEMA) is T.BOOL
+        assert expr.evaluate(ROW) is False
+
+    def test_negate_text_rejected(self):
+        with pytest.raises(TypeCheckError):
+            Unary("-", FieldRef("s")).infer(SCHEMA)
+
+    def test_not_numeric_rejected(self):
+        with pytest.raises(TypeCheckError):
+            Unary("not", FieldRef("a")).infer(SCHEMA)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExpressionError):
+            Unary("~", FieldRef("a"))
+
+
+class TestArithmetic:
+    def test_int_plus_int_is_int(self):
+        expr = Binary("+", FieldRef("a"), Literal(2))
+        assert expr.infer(SCHEMA) is T.INT
+        assert expr.evaluate(ROW) == 8
+
+    def test_int_plus_float_promotes(self):
+        expr = Binary("+", FieldRef("a"), FieldRef("b"))
+        assert expr.infer(SCHEMA) is T.FLOAT
+        assert expr.evaluate(ROW) == 8.5
+
+    def test_division_always_float(self):
+        expr = Binary("/", Literal(7), Literal(2))
+        assert expr.infer(SCHEMA) is T.FLOAT
+        assert expr.evaluate(ROW) == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError, match="division by zero"):
+            Binary("/", Literal(1), Literal(0)).evaluate(ROW)
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(EvaluationError, match="modulo by zero"):
+            Binary("%", Literal(1), Literal(0)).evaluate(ROW)
+
+    def test_arith_on_text_rejected(self):
+        with pytest.raises(TypeCheckError):
+            Binary("*", FieldRef("s"), Literal(2)).infer(SCHEMA)
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("!=", True), ("<", False), ("<=", False),
+         (">", True), (">=", True)],
+    )
+    def test_numeric_comparisons(self, op, expected):
+        expr = Binary(op, FieldRef("a"), Literal(3))
+        assert expr.infer(SCHEMA) is T.BOOL
+        assert expr.evaluate(ROW) is expected
+
+    def test_mixed_numeric_comparison_allowed(self):
+        expr = Binary("<", FieldRef("a"), FieldRef("b"))
+        assert expr.infer(SCHEMA) is T.BOOL
+
+    def test_text_comparison(self):
+        expr = Binary("=", FieldRef("s"), Literal("hello"))
+        assert expr.evaluate(ROW) is True
+
+    def test_date_comparison(self):
+        expr = Binary(">", FieldRef("d"), Literal(dt.date(1990, 1, 1)))
+        assert expr.evaluate(ROW) is True
+
+    def test_text_vs_int_rejected(self):
+        with pytest.raises(TypeCheckError, match="cannot compare"):
+            Binary("=", FieldRef("s"), FieldRef("a")).infer(SCHEMA)
+
+
+class TestLogic:
+    def test_and_or(self):
+        expr = Binary("or", Binary("and", FieldRef("flag"), Literal(False)),
+                      Literal(True))
+        assert expr.evaluate(ROW) is True
+
+    def test_short_circuit_and(self):
+        # The right side would divide by zero if evaluated.
+        poison = Binary("=", Binary("/", Literal(1), Literal(0)), Literal(1.0))
+        expr = Binary("and", Literal(False), poison)
+        assert expr.evaluate(ROW) is False
+
+    def test_short_circuit_or(self):
+        poison = Binary("=", Binary("/", Literal(1), Literal(0)), Literal(1.0))
+        expr = Binary("or", Literal(True), poison)
+        assert expr.evaluate(ROW) is True
+
+    def test_logic_on_int_rejected(self):
+        with pytest.raises(TypeCheckError):
+            Binary("and", FieldRef("a"), FieldRef("flag")).infer(SCHEMA)
+
+
+class TestConcat:
+    def test_concat(self):
+        expr = Binary("||", FieldRef("s"), Literal(" world"))
+        assert expr.infer(SCHEMA) is T.TEXT
+        assert expr.evaluate(ROW) == "hello world"
+
+    def test_concat_non_text_rejected(self):
+        with pytest.raises(TypeCheckError):
+            Binary("||", FieldRef("a"), FieldRef("s")).infer(SCHEMA)
+
+
+class TestConditional:
+    def test_matching_branches(self):
+        expr = Conditional(FieldRef("flag"), Literal(1), Literal(2))
+        assert expr.infer(SCHEMA) is T.INT
+        assert expr.evaluate(ROW) == 1
+
+    def test_numeric_branches_promote(self):
+        expr = Conditional(FieldRef("flag"), Literal(1), Literal(2.5))
+        assert expr.infer(SCHEMA) is T.FLOAT
+
+    def test_mismatched_branches_rejected(self):
+        with pytest.raises(TypeCheckError, match="mismatched"):
+            Conditional(FieldRef("flag"), Literal(1), Literal("x")).infer(SCHEMA)
+
+    def test_non_bool_condition_rejected(self):
+        with pytest.raises(TypeCheckError):
+            Conditional(FieldRef("a"), Literal(1), Literal(2)).infer(SCHEMA)
+
+    def test_fields_used_union(self):
+        expr = Conditional(FieldRef("flag"), FieldRef("a"), FieldRef("b"))
+        assert expr.fields_used() == {"flag", "a", "b"}
+
+
+class TestBuiltinFunctions:
+    def test_abs_preserves_int(self):
+        expr = Call("abs", [Unary("-", FieldRef("a"))])
+        assert expr.infer(SCHEMA) is T.INT
+        assert expr.evaluate(ROW) == 6
+
+    def test_sqrt(self):
+        assert Call("sqrt", [Literal(9.0)]).evaluate(ROW) == 3.0
+
+    def test_sqrt_negative(self):
+        with pytest.raises(EvaluationError):
+            Call("sqrt", [Literal(-1.0)]).evaluate(ROW)
+
+    def test_ln_nonpositive(self):
+        with pytest.raises(EvaluationError):
+            Call("ln", [Literal(0.0)]).evaluate(ROW)
+
+    def test_floor_ceil_round(self):
+        assert Call("floor", [Literal(2.7)]).evaluate(ROW) == 2
+        assert Call("ceil", [Literal(2.1)]).evaluate(ROW) == 3
+        assert Call("round", [Literal(2.5)]).evaluate(ROW) == 2  # banker's
+
+    def test_min_max(self):
+        assert Call("min", [Literal(3), Literal(1), Literal(2)]).evaluate(ROW) == 1
+        assert Call("max", [FieldRef("a"), Literal(2)]).evaluate(ROW) == 6
+
+    def test_min_needs_two_args(self):
+        with pytest.raises(TypeCheckError):
+            Call("min", [Literal(1)]).infer(SCHEMA)
+
+    def test_date_parts(self):
+        assert Call("year", [FieldRef("d")]).evaluate(ROW) == 1992
+        assert Call("month", [FieldRef("d")]).evaluate(ROW) == 3
+        assert Call("day", [FieldRef("d")]).evaluate(ROW) == 14
+        assert Call("day_of_year", [FieldRef("d")]).evaluate(ROW) == 74
+
+    def test_date_constructor(self):
+        expr = Call("date", [Literal("1990-05-01")])
+        assert expr.infer(SCHEMA) is T.DATE
+        assert expr.evaluate(ROW) == dt.date(1990, 5, 1)
+
+    def test_string_functions(self):
+        assert Call("upper", [FieldRef("s")]).evaluate(ROW) == "HELLO"
+        assert Call("lower", [Literal("ABC")]).evaluate(ROW) == "abc"
+        assert Call("length", [FieldRef("s")]).evaluate(ROW) == 5
+        assert Call("substr", [FieldRef("s"), Literal(1), Literal(3)]).evaluate(ROW) == "ell"
+
+    def test_str_renders_default_display(self):
+        assert Call("str", [FieldRef("b")]).evaluate(ROW) == "2.5"
+        assert Call("str", [FieldRef("d")]).evaluate(ROW) == "1992-03-14"
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError, match="unknown function"):
+            Call("bogus", [])
+
+    def test_function_names_sorted(self):
+        names = function_names()
+        assert names == sorted(names)
+        assert "circle" in names  # drawable constructors registered
+
+    def test_register_custom_function(self):
+        fn = FunctionDef(
+            "twice",
+            lambda arg_types: T.FLOAT,
+            lambda v: v * 2,
+        )
+        register_function(fn)
+        assert lookup_function("twice") is fn
+        assert Call("twice", [Literal(2.0)]).evaluate(ROW) == 4.0
+
+    def test_call_wraps_internal_errors(self):
+        register_function(
+            FunctionDef("explode", lambda arg_types: T.INT,
+                        lambda: 1 / 0)
+        )
+        with pytest.raises(EvaluationError, match="explode"):
+            Call("explode", []).evaluate(ROW)

@@ -1,0 +1,160 @@
+"""Failure-injection tests: errors must surface cleanly and never corrupt
+engine caches, program structure, or session state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.box import Box
+from repro.dataflow.boxes_db import AddTableBox, RestrictBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.dataflow.ports import Port
+from repro.errors import EvaluationError, GraphError, TiogaError, TypeCheckError
+from repro.ui.session import Session
+
+
+class FlakyBox(Box):
+    """Fails for the first ``failures`` fires, then passes input through."""
+
+    type_name = "_Flaky"
+
+    def __init__(self, failures: int = 1):
+        super().__init__({"failures": failures})
+        self.inputs = [Port("in", "R")]
+        self.outputs = [Port("out", "R")]
+        self.attempts = 0
+
+    def fire(self, inputs, context):
+        self.attempts += 1
+        if self.attempts <= self.param("failures"):
+            raise EvaluationError(f"injected failure #{self.attempts}")
+        return {"out": inputs["in"]}
+
+
+def flaky_chain(db, failures=1):
+    program = Program()
+    src = program.add_box(AddTableBox(table="Stations"))
+    flaky = FlakyBox(failures=failures)
+    flaky_id = program.add_box(flaky)
+    program.connect(src, "out", flaky_id, "in")
+    tail = program.add_box(RestrictBox(predicate="state = 'LA'"))
+    program.connect(flaky_id, "out", tail, "in")
+    return program, Engine(program, db), flaky, tail
+
+
+class TestEngineFailures:
+    def test_failure_propagates(self, stations_db):
+        __, engine, __f, tail = flaky_chain(stations_db)
+        with pytest.raises(EvaluationError, match="injected"):
+            engine.output_of(tail)
+
+    def test_failed_fire_not_cached(self, stations_db):
+        # After the failure window passes, re-demand succeeds: the failed
+        # attempt must not have poisoned the cache.
+        __, engine, flaky, tail = flaky_chain(stations_db, failures=1)
+        with pytest.raises(EvaluationError):
+            engine.output_of(tail)
+        result = engine.output_of(tail)
+        assert len(result.rows) == 3
+        assert flaky.attempts == 2
+
+    def test_upstream_success_cached_across_failure(self, stations_db):
+        program, engine, flaky, tail = flaky_chain(stations_db, failures=1)
+        with pytest.raises(EvaluationError):
+            engine.output_of(tail)
+        engine.output_of(tail)
+        src = program.boxes_of_type("AddTable")[0].box_id
+        assert engine.stats.fires[src] == 1  # source fired once in total
+
+    def test_bad_predicate_fails_every_demand(self, stations_db):
+        program = Program()
+        src = program.add_box(AddTableBox(table="Stations"))
+        bad = program.add_box(RestrictBox(predicate="ghost > 1"))
+        program.connect(src, "out", bad, "in")
+        engine = Engine(program, stations_db)
+        for __ in range(2):
+            with pytest.raises(TypeCheckError):
+                engine.output_of(bad)
+
+    def test_incomplete_outputs_detected(self, stations_db):
+        class HalfBox(Box):
+            type_name = "_Half"
+
+            def __init__(self):
+                super().__init__({})
+                self.outputs = [Port("a", "R"), Port("b", "R")]
+
+            def fire(self, inputs, context):
+                return {"a": None}  # forgot 'b'
+
+        program = Program()
+        half = program.add_box(HalfBox())
+        engine = Engine(program, stations_db)
+        with pytest.raises(GraphError, match="without producing"):
+            engine.output_of(half, "a")
+
+
+class TestSessionFailures:
+    def test_failed_connect_keeps_program_consistent(self, stations_session):
+        stations = stations_session.add_table("Stations")
+        join = stations_session.add_box(
+            "Join", {"left_key": "station_id", "right_key": "station_id"}
+        )
+        stations_session.connect(stations, "out", join, "left")
+        edges_before = len(stations_session.program.edges())
+        with pytest.raises(GraphError):
+            # Same input twice: rejected, nothing half-connected.
+            stations_session.connect(stations, "out", join, "left")
+        assert len(stations_session.program.edges()) == edges_before
+
+    def test_failed_render_leaves_windows_usable(self, stations_session):
+        stations = stations_session.add_table("Stations")
+        bad = stations_session.add_box("Restrict", {"predicate": "ghost = 1"})
+        stations_session.connect(stations, "out", bad, "in")
+        window = stations_session.add_viewer(bad, name="broken",
+                                             width=100, height=80)
+        with pytest.raises(TiogaError):
+            window.render()
+        # Fix the program; the same window now renders.
+        stations_session.set_param(bad, "predicate", "state = 'LA'")
+        assert window.render().count_nonbackground() >= 0
+
+    def test_inspect_missing_box(self, stations_session):
+        with pytest.raises(GraphError, match="no box"):
+            stations_session.inspect(999)
+
+    def test_update_with_bad_value_changes_nothing(self, stations_session):
+        from repro.errors import UpdateError
+
+        stations = stations_session.add_table("Stations")
+        set_x = stations_session.add_box(
+            "SetAttribute", {"name": "x", "definition": "longitude"}
+        )
+        stations_session.connect(stations, "out", set_x, "in")
+        set_y = stations_session.add_box(
+            "SetAttribute", {"name": "y", "definition": "latitude"}
+        )
+        stations_session.connect(set_x, "out", set_y, "in")
+        window = stations_session.add_viewer(set_y, name="map",
+                                             width=160, height=120)
+        window.viewer.pan_to(-91.0, 30.5)
+        window.viewer.set_elevation(12.0)
+        result = window.viewer.render()
+        item = result.all_items()[0]
+        table = stations_session.database.table("Stations")
+        version = table.version
+        with pytest.raises(UpdateError, match="altitude"):
+            stations_session.update_item(
+                "map", item, {"altitude": "not-a-number"}
+            )
+        assert table.version == version  # nothing committed
+
+    def test_undo_after_failed_operation_sequence(self, stations_session):
+        stations = stations_session.add_table("Stations")
+        with pytest.raises(Exception):
+            stations_session.add_box("NoSuchBox")
+        # The failed add still pushed a snapshot; undo must cope.
+        stations_session.undo()
+        stations_session.undo()
+        assert len(stations_session.program) == 0

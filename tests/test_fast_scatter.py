@@ -1,0 +1,165 @@
+"""Unit + property tests: the vectorized scatter fast path must be an
+invisible optimization — same pixels, items, and statistics as the general
+tuple-wise path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.render.scene as scene
+from repro.data.workloads import build_points_table
+from repro.dbms.parser import parse_expression
+from repro.dbms.relation import Method
+from repro.display.defaults import default_displayable
+from repro.render.canvas import Canvas
+from repro.render.scene import SceneStats, ViewState, render_composite
+
+
+def scatter_relation(count=200, seed=5, display="filled_circle(2, 'blue')",
+                     with_slider=True):
+    table = build_points_table("Points", count, seed=seed, spread=400.0)
+    relation = default_displayable(table)
+    relation = relation.with_method_added(
+        Method("x", "float", parse_expression("x_pos"))
+    )
+    relation = relation.with_method_added(
+        Method("y", "float", parse_expression("y_pos"))
+    )
+    relation = relation.with_method_added(
+        Method("display", "drawables", parse_expression(display))
+    )
+    if with_slider:
+        relation = relation.with_slider_added("value")
+    return relation
+
+
+def render_both(relation, view):
+    """Render with the fast path and with it disabled; return both results."""
+    fast_canvas = Canvas(*view.viewport)
+    fast_stats = SceneStats()
+    fast_items = render_composite(fast_canvas, relation, view,
+                                  stats=fast_stats)
+
+    original = scene._try_fast_scatter
+    scene._try_fast_scatter = lambda *a, **k: None
+    try:
+        slow_canvas = Canvas(*view.viewport)
+        slow_stats = SceneStats()
+        slow_items = render_composite(slow_canvas, relation, view,
+                                      stats=slow_stats)
+    finally:
+        scene._try_fast_scatter = original
+    return (fast_canvas, fast_stats, fast_items), (slow_canvas, slow_stats,
+                                                   slow_items)
+
+
+class TestEquivalence:
+    VIEW = ViewState(center=(0.0, 0.0), elevation=150.0, viewport=(200, 160))
+
+    def test_pixels_identical(self):
+        relation = scatter_relation()
+        (fast, __, __i), (slow, __s, __si) = render_both(relation, self.VIEW)
+        assert np.array_equal(fast.pixels, slow.pixels)
+
+    def test_items_identical(self):
+        relation = scatter_relation()
+        (__, __, fast_items), (__c, __s, slow_items) = render_both(
+            relation, self.VIEW
+        )
+        assert len(fast_items) == len(slow_items)
+        for fast, slow in zip(fast_items, slow_items):
+            assert fast.bbox == slow.bbox
+            assert fast.row == slow.row
+            assert fast.tuple_index == slow.tuple_index
+            assert fast.drawable_kind == slow.drawable_kind
+
+    def test_stats_identical(self):
+        relation = scatter_relation()
+        view = ViewState(center=(0.0, 0.0), elevation=150.0,
+                         viewport=(200, 160),
+                         slider_ranges={"value": (0.0, 50.0)})
+        (__, fast_stats, __i), (__c, slow_stats, __si) = render_both(
+            relation, view
+        )
+        for field in ("tuples_considered", "tuples_rendered",
+                      "culled_by_slider", "culled_by_viewport",
+                      "drawables_painted"):
+            assert getattr(fast_stats, field) == getattr(slow_stats, field), field
+
+    @given(
+        center_x=st.floats(-300, 300), center_y=st.floats(-300, 300),
+        elevation=st.floats(min_value=10.0, max_value=2000.0),
+        low=st.floats(0.0, 50.0), high=st.floats(50.0, 100.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_equivalence(self, center_x, center_y, elevation,
+                                  low, high):
+        relation = scatter_relation(count=120, seed=9)
+        view = ViewState(center=(center_x, center_y), elevation=elevation,
+                         viewport=(120, 96),
+                         slider_ranges={"value": (low, high)})
+        (fast, fast_stats, __), (slow, slow_stats, __s) = render_both(
+            relation, view
+        )
+        assert np.array_equal(fast.pixels, slow.pixels)
+        assert fast_stats.tuples_rendered == slow_stats.tuples_rendered
+
+
+class TestApplicability:
+    VIEW = ViewState(center=(0.0, 0.0), elevation=150.0, viewport=(120, 96))
+
+    def run_fast(self, relation, view=None):
+        from repro.display.displayable import Composite
+
+        entry = Composite([relation]).entries[0]
+        return scene._try_fast_scatter(
+            Canvas(120, 96), entry, view or self.VIEW, None, 0, SceneStats()
+        )
+
+    def test_applies_to_fieldref_scatter(self):
+        assert self.run_fast(scatter_relation()) is not None
+
+    def test_small_relations_fall_back(self):
+        assert self.run_fast(scatter_relation(count=10)) is None
+
+    def test_computed_location_falls_back(self):
+        relation = scatter_relation()
+        relation = relation.with_method_replaced(
+            Method("x", "float", parse_expression("x_pos * 2"))
+        )
+        assert self.run_fast(relation) is None
+
+    def test_tuple_dependent_display_falls_back(self):
+        relation = scatter_relation(
+            display="filled_circle(max(value / 20, 1.0))"
+        )
+        assert self.run_fast(relation) is None
+
+    def test_default_display_falls_back(self):
+        table = build_points_table("Points", 100, seed=2)
+        relation = default_displayable(table)
+        assert self.run_fast(relation) is None
+
+    def test_fast_path_is_faster_on_deep_zoom(self):
+        import time
+
+        relation = scatter_relation(count=20_000, seed=4)
+        view = ViewState(center=(0.0, 0.0), elevation=20.0,
+                         viewport=(160, 120))
+
+        start = time.perf_counter()
+        render_composite(Canvas(160, 120), relation, view)
+        fast_elapsed = time.perf_counter() - start
+
+        original = scene._try_fast_scatter
+        scene._try_fast_scatter = lambda *a, **k: None
+        try:
+            start = time.perf_counter()
+            render_composite(Canvas(160, 120), relation, view)
+            slow_elapsed = time.perf_counter() - start
+        finally:
+            scene._try_fast_scatter = original
+        assert fast_elapsed < slow_elapsed

@@ -1,0 +1,97 @@
+"""Unit tests: hash and sorted indexes (repro.dbms.index)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms.index import HashIndex, SortedIndex, indexed_equi_join
+from repro.dbms.relation import RowSet, Table
+from repro.dbms.tuples import Schema
+from repro.errors import SchemaError
+
+SCHEMA = Schema([("key", "int"), ("label", "text")])
+
+
+def make_table() -> Table:
+    table = Table("T", SCHEMA)
+    table.insert_many(
+        [{"key": k, "label": f"row{k}"} for k in (5, 3, 8, 3, 1)]
+    )
+    return table
+
+
+class TestHashIndex:
+    def test_lookup(self):
+        index = HashIndex(make_table(), "key")
+        assert len(index.lookup(3)) == 2
+        assert index.lookup(99) == []
+
+    def test_refreshes_after_mutation(self):
+        table = make_table()
+        index = HashIndex(table, "key")
+        assert len(index.lookup(7)) == 0
+        table.insert({"key": 7, "label": "new"})
+        assert len(index.lookup(7)) == 1
+
+    def test_len_counts_rows(self):
+        assert len(HashIndex(make_table(), "key")) == 5
+
+    def test_keys(self):
+        index = HashIndex(make_table(), "key")
+        assert set(index.keys()) == {1, 3, 5, 8}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SchemaError):
+            HashIndex(make_table(), "ghost")
+
+    def test_over_rowset(self):
+        rows = make_table().snapshot()
+        index = HashIndex(rows, "key")
+        assert len(index.lookup(5)) == 1
+
+
+class TestSortedIndex:
+    def test_range_inclusive(self):
+        index = SortedIndex(make_table(), "key")
+        found = index.range(3, 5)
+        assert sorted(row["key"] for row in found) == [3, 3, 5]
+
+    def test_range_exclusive_bounds(self):
+        index = SortedIndex(make_table(), "key")
+        found = index.range(3, 8, include_low=False, include_high=False)
+        assert [row["key"] for row in found] == [5]
+
+    def test_open_ended_ranges(self):
+        index = SortedIndex(make_table(), "key")
+        assert len(index.range(low=5)) == 2
+        assert len(index.range(high=3)) == 3
+        assert len(index.range()) == 5
+
+    def test_min_max(self):
+        index = SortedIndex(make_table(), "key")
+        assert index.min_key() == 1
+        assert index.max_key() == 8
+
+    def test_min_of_empty_raises(self):
+        index = SortedIndex(Table("E", SCHEMA), "key")
+        with pytest.raises(SchemaError):
+            index.min_key()
+
+    def test_refresh_after_mutation(self):
+        table = make_table()
+        index = SortedIndex(table, "key")
+        table.insert({"key": 100, "label": "big"})
+        assert index.max_key() == 100
+
+
+class TestIndexedJoin:
+    def test_pairs_match_hash_join(self):
+        table = make_table()
+        probe = RowSet.from_dicts(
+            Schema([("key", "int"), ("tag", "text")]),
+            [{"key": 3, "tag": "x"}, {"key": 8, "tag": "y"}, {"key": 0, "tag": "z"}],
+        )
+        index = HashIndex(table, "key")
+        pairs = indexed_equi_join(probe, index, "key")
+        assert len(pairs) == 3  # key 3 matches twice, key 8 once
+        assert all(l["key"] == r["key"] for l, r in pairs)

@@ -1,0 +1,154 @@
+"""Unit tests: the query-language parser (repro.dbms.parser)."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.dbms import types as T
+from repro.dbms.parser import parse_expression, parse_predicate, tokenize
+from repro.dbms.tuples import Schema, Tuple
+from repro.errors import ExpressionError, TypeCheckError
+
+SCHEMA = Schema(
+    [("a", "int"), ("b", "float"), ("s", "text"), ("flag", "bool"), ("d", "date")]
+)
+ROW = Tuple(
+    SCHEMA, {"a": 6, "b": 2.5, "s": "it's", "flag": True, "d": dt.date(1991, 7, 4)}
+)
+
+
+def evaluate(source: str):
+    return parse_expression(source, SCHEMA).evaluate(ROW)
+
+
+class TestTokenizer:
+    def test_numbers(self):
+        kinds = [(t.kind, t.text) for t in tokenize("1 2.5 .5 1e3 2.5e-2")][:-1]
+        assert kinds == [
+            ("num", "1"), ("num", "2.5"), ("num", ".5"),
+            ("num", "1e3"), ("num", "2.5e-2"),
+        ]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == "str"
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ExpressionError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("AND Or NoT")
+        assert [t.text for t in tokens[:-1]] == ["and", "or", "not"]
+
+    def test_identifiers_preserve_case(self):
+        assert tokenize("Altitude")[0].text == "Altitude"
+
+    def test_two_char_operators(self):
+        texts = [t.text for t in tokenize("<= >= != <> == ||")][:-1]
+        assert texts == ["<=", ">=", "!=", "<>", "==", "||"]
+
+    def test_illegal_character(self):
+        with pytest.raises(ExpressionError, match="illegal character"):
+            tokenize("a $ b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestParsing:
+    def test_precedence_mul_over_add(self):
+        assert evaluate("1 + 2 * 3") == 7
+
+    def test_parentheses(self):
+        assert evaluate("(1 + 2) * 3") == 9
+
+    def test_unary_minus(self):
+        assert evaluate("-a + 10") == 4
+
+    def test_comparison_chain_via_and(self):
+        assert evaluate("1 < a and a < 10") is True
+
+    def test_not_binds_tighter_than_and(self):
+        assert evaluate("not flag and flag") is False
+
+    def test_or_lowest(self):
+        assert evaluate("flag or flag and not flag") is True
+
+    def test_alternative_spellings(self):
+        assert evaluate("a == 6") is True
+        assert evaluate("a <> 7") is True
+
+    def test_if_then_else(self):
+        assert evaluate("if a > 3 then 'big' else 'small'") == "big"
+
+    def test_if_with_end_keyword(self):
+        assert evaluate("if flag then 1 else 2 end") == 1
+
+    def test_nested_if(self):
+        assert evaluate("if a > 10 then 1 else if a > 3 then 2 else 3") == 2
+
+    def test_function_calls(self):
+        assert evaluate("max(a, 10)") == 10
+        assert evaluate("year(d)") == 1991
+
+    def test_zero_arg_call(self):
+        result = evaluate("nothing()")
+        assert result == []
+
+    def test_string_concat(self):
+        assert evaluate("s || '!'") == "it's!"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ExpressionError, match="trailing"):
+            parse_expression("1 + 2 3")
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse_expression("1 +")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse_expression("(1 + 2")
+
+    def test_missing_then_rejected(self):
+        with pytest.raises(ExpressionError, match="then"):
+            parse_expression("if flag 1 else 2")
+
+    def test_boolean_literals(self):
+        assert evaluate("true") is True
+        assert evaluate("false") is False
+
+    def test_float_vs_int_literal(self):
+        expr = parse_expression("2")
+        assert expr.infer(SCHEMA) is T.INT
+        expr = parse_expression("2.0")
+        assert expr.infer(SCHEMA) is T.FLOAT
+
+    def test_schema_check_at_parse_time(self):
+        with pytest.raises(TypeCheckError, match="unknown field"):
+            parse_expression("zzz + 1", SCHEMA)
+
+    def test_str_roundtrip(self):
+        # str(expr) reparses to an expression with the same value.
+        source = "if a > 3 and not flag then b * 2 else abs(-a) / 2"
+        expr = parse_expression(source, SCHEMA)
+        reparsed = parse_expression(str(expr), SCHEMA)
+        assert reparsed.evaluate(ROW) == expr.evaluate(ROW)
+
+
+class TestPredicates:
+    def test_predicate_accepts_bool(self):
+        pred = parse_predicate("a > 3 and flag", SCHEMA)
+        assert pred.evaluate(ROW) is True
+
+    def test_predicate_rejects_non_bool(self):
+        with pytest.raises(ExpressionError, match="expected bool"):
+            parse_predicate("a + 1", SCHEMA)
+
+    def test_predicate_rejects_unknown_field(self):
+        with pytest.raises(TypeCheckError):
+            parse_predicate("height > 3", SCHEMA)

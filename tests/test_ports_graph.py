@@ -1,0 +1,257 @@
+"""Unit tests: port typing and the program graph (dataflow.ports/.graph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_db import AddTableBox, ProjectBox, RestrictBox, SampleBox, TBox
+from repro.dataflow.graph import Edge, Program
+from repro.dataflow.ports import PortType, can_connect, scalar
+from repro.dataflow.boxes_display import OverlayBox, StitchBox
+from repro.errors import GraphError, TypeCheckError
+
+
+class TestPortTypes:
+    def test_parse_roundtrip(self):
+        for text in ("R", "C", "G", "scalar:int", "scalar:text"):
+            assert str(PortType.parse(text)) == text
+
+    def test_bad_parse(self):
+        with pytest.raises(TypeCheckError):
+            PortType.parse("Z")
+
+    def test_scalar_requires_atomic(self):
+        with pytest.raises(TypeCheckError):
+            PortType("scalar")
+
+    def test_displayable_rejects_atomic(self):
+        from repro.dbms import types as T
+
+        with pytest.raises(TypeCheckError):
+            PortType("R", T.INT)
+
+    def test_exact_match_connects(self):
+        assert can_connect(PortType("R"), PortType("R"))
+
+    def test_widening_r_to_c_to_g(self):
+        # R = Composite(R) and C = Group(C) (§2).
+        assert can_connect(PortType("R"), PortType("C"))
+        assert can_connect(PortType("R"), PortType("G"))
+        assert can_connect(PortType("C"), PortType("G"))
+
+    def test_narrowing_requires_overloadable(self):
+        assert not can_connect(PortType("G"), PortType("R"))
+        assert can_connect(PortType("G"), PortType("R"), input_overloadable=True)
+        assert can_connect(PortType("C"), PortType("R"), input_overloadable=True)
+
+    def test_scalar_must_match(self):
+        assert can_connect(scalar("int"), scalar("int"))
+        assert not can_connect(scalar("int"), scalar("float"))
+        assert not can_connect(scalar("int"), PortType("R"))
+
+
+class TestConnect:
+    def test_connect_type_checks(self):
+        program = Program()
+        src = program.add_box(AddTableBox(table="T"))
+        dst = program.add_box(RestrictBox(predicate="true"))
+        edge = program.connect(src, "out", dst, "in")
+        assert edge in program.edges()
+
+    def test_connect_unknown_port(self):
+        program = Program()
+        src = program.add_box(AddTableBox(table="T"))
+        dst = program.add_box(RestrictBox(predicate="true"))
+        with pytest.raises(GraphError, match="no output"):
+            program.connect(src, "result", dst, "in")
+
+    def test_input_accepts_single_edge(self):
+        program = Program()
+        a = program.add_box(AddTableBox(table="T"))
+        b = program.add_box(AddTableBox(table="U"))
+        dst = program.add_box(RestrictBox(predicate="true"))
+        program.connect(a, "out", dst, "in")
+        with pytest.raises(GraphError, match="already connected"):
+            program.connect(b, "out", dst, "in")
+
+    def test_cycle_rejected(self):
+        program = Program()
+        a = program.add_box(RestrictBox(predicate="true"))
+        b = program.add_box(RestrictBox(predicate="true"))
+        program.connect(a, "out", b, "in")
+        with pytest.raises(GraphError, match="cycle"):
+            program.connect(b, "out", a, "in")
+
+    def test_self_loop_rejected(self):
+        program = Program()
+        a = program.add_box(RestrictBox(predicate="true"))
+        with pytest.raises(GraphError, match="cycle"):
+            program.connect(a, "out", a, "in")
+
+    def test_box_in_two_programs_rejected(self):
+        p1, p2 = Program(), Program()
+        box = AddTableBox(table="T")
+        p1.add_box(box)
+        with pytest.raises(GraphError, match="already belongs"):
+            p2.add_box(box)
+
+    def test_explicit_id(self):
+        program = Program()
+        box_id = program.add_box(AddTableBox(table="T"), box_id=42)
+        assert box_id == 42
+        with pytest.raises(GraphError, match="in use"):
+            program.add_box(AddTableBox(table="U"), box_id=42)
+        assert program.add_box(AddTableBox(table="U")) == 43
+
+
+class TestDeleteBox:
+    """The Section-4.1 deletion legality rules."""
+
+    def make_chain(self):
+        program = Program()
+        src = program.add_box(AddTableBox(table="T"))
+        mid = program.add_box(RestrictBox(predicate="true"))
+        tail = program.add_box(ProjectBox(fields=["a"]))
+        program.connect(src, "out", mid, "in")
+        program.connect(mid, "out", tail, "in")
+        return program, src, mid, tail
+
+    def test_delete_sink_is_legal(self):
+        program, __, __, tail = self.make_chain()
+        ok, reason = program.can_delete_box(tail)
+        assert ok and "no outputs connected" in reason
+        program.delete_box(tail)
+        assert tail not in program
+
+    def test_delete_passthrough_splices(self):
+        program, src, mid, tail = self.make_chain()
+        ok, reason = program.can_delete_box(mid)
+        assert ok and "splice" in reason
+        program.delete_box(mid)
+        assert Edge(src, "out", tail, "in") in program.edges()
+
+    def test_delete_source_with_consumers_rejected(self):
+        program, src, __, __ = self.make_chain()
+        # AddTable has 0 inputs and a connected output: not deletable.
+        ok, reason = program.can_delete_box(src)
+        assert not ok
+        with pytest.raises(GraphError, match="cannot delete"):
+            program.delete_box(src)
+
+    def test_delete_multi_output_with_consumers_rejected(self):
+        program = Program()
+        src = program.add_box(AddTableBox(table="T"))
+        tee = program.add_box(TBox(kind="R"))
+        tail = program.add_box(ProjectBox(fields=["a"]))
+        program.connect(src, "out", tee, "in")
+        program.connect(tee, "out1", tail, "in")
+        ok, __ = program.can_delete_box(tee)
+        assert not ok
+
+    def test_delete_unconnected_source(self):
+        program = Program()
+        src = program.add_box(AddTableBox(table="T"))
+        program.delete_box(src)
+        assert len(program) == 0
+
+
+class TestReplaceBox:
+    def test_compatible_replacement(self):
+        program = Program()
+        src = program.add_box(AddTableBox(table="T"))
+        mid = program.add_box(RestrictBox(predicate="true"))
+        tail = program.add_box(ProjectBox(fields=["a"]))
+        program.connect(src, "out", mid, "in")
+        program.connect(mid, "out", tail, "in")
+        program.replace_box(mid, SampleBox(probability=0.5))
+        assert program.box(mid).type_name == "Sample"
+        # Edges survived.
+        assert len(program.edges()) == 2
+
+    def test_incompatible_replacement_rejected(self):
+        program = Program()
+        src = program.add_box(AddTableBox(table="T"))
+        mid = program.add_box(RestrictBox(predicate="true"))
+        program.connect(src, "out", mid, "in")
+        with pytest.raises(GraphError):
+            program.replace_box(mid, StitchBox(arity=2))
+
+    def test_replacement_keeps_label(self):
+        program = Program()
+        box_id = program.add_box(RestrictBox(predicate="true"), label="filter")
+        program.replace_box(box_id, SampleBox(probability=0.1))
+        assert program.box(box_id).label == "filter"
+
+
+class TestGraphQueries:
+    def test_upstream_downstream(self):
+        program = Program()
+        a = program.add_box(AddTableBox(table="T"))
+        b = program.add_box(RestrictBox(predicate="true"))
+        c = program.add_box(ProjectBox(fields=["x"]))
+        program.connect(a, "out", b, "in")
+        program.connect(b, "out", c, "in")
+        assert program.upstream_of(c) == {a, b}
+        assert program.downstream_of(a) == {b, c}
+
+    def test_topological_order(self):
+        program = Program()
+        a = program.add_box(AddTableBox(table="T"))
+        b = program.add_box(RestrictBox(predicate="true"))
+        program.connect(a, "out", b, "in")
+        order = program.topological_order()
+        assert order.index(a) < order.index(b)
+
+    def test_sinks(self):
+        program = Program()
+        a = program.add_box(AddTableBox(table="T"))
+        b = program.add_box(RestrictBox(predicate="true"))
+        program.connect(a, "out", b, "in")
+        assert [box.box_id for box in program.sinks()] == [b]
+
+    def test_boxes_of_type(self):
+        program = Program()
+        program.add_box(AddTableBox(table="T"))
+        program.add_box(AddTableBox(table="U"))
+        assert len(program.boxes_of_type("AddTable")) == 2
+
+    def test_merge_remaps_ids(self):
+        source = Program("lib")
+        a = source.add_box(AddTableBox(table="T"))
+        b = source.add_box(RestrictBox(predicate="true"))
+        source.connect(a, "out", b, "in")
+        target = Program("main")
+        target.add_box(AddTableBox(table="X"))
+        mapping = target.merge(source)
+        assert len(target) == 3
+        assert len(target.edges()) == 1
+        assert set(mapping) == {a, b}
+
+    def test_version_bumps_on_edits(self):
+        program = Program()
+        v0 = program.version
+        a = program.add_box(AddTableBox(table="T"))
+        assert program.version > v0
+        b = program.add_box(RestrictBox(predicate="true"))
+        v1 = program.version
+        program.connect(a, "out", b, "in")
+        assert program.version > v1
+
+
+class TestInsertOnEdge:
+    def test_insert_t_keeps_values_flowing(self):
+        program = Program()
+        a = program.add_box(AddTableBox(table="T"))
+        b = program.add_box(RestrictBox(predicate="true"))
+        edge = program.connect(a, "out", b, "in")
+        t_id = program.insert_on_edge(edge, TBox(kind="R"), "in", "out1")
+        assert Edge(a, "out", t_id, "in") in program.edges()
+        assert Edge(t_id, "out1", b, "in") in program.edges()
+        assert edge not in program.edges()
+
+    def test_insert_on_missing_edge(self):
+        program = Program()
+        a = program.add_box(AddTableBox(table="T"))
+        ghost = Edge(a, "out", 99, "in")
+        with pytest.raises(GraphError):
+            program.insert_on_edge(ghost, TBox(kind="R"), "in", "out1")

@@ -1,0 +1,138 @@
+"""Unit tests: the program window renderer (render.program_view) and viewer
+cloning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_db import AddTableBox, JoinBox, RestrictBox
+from repro.dataflow.graph import Program
+from repro.render.program_view import layout_program, program_listing, render_program
+from repro.ui.session import Session
+
+
+def diamond_program() -> Program:
+    program = Program("diamond")
+    obs = program.add_box(AddTableBox(table="Observations"), label="Observations")
+    sta = program.add_box(AddTableBox(table="Stations"), label="Stations")
+    la = program.add_box(RestrictBox(predicate="state = 'LA'"))
+    join = program.add_box(JoinBox(left_key="station_id", right_key="station_id"))
+    program.connect(sta, "out", la, "in")
+    program.connect(obs, "out", join, "left")
+    program.connect(la, "out", join, "right")
+    return program
+
+
+class TestLayout:
+    def test_layers_follow_longest_path(self):
+        program = diamond_program()
+        geometries, __, __h = layout_program(program)
+        by_id = {geo.box_id: geo for geo in geometries}
+        assert by_id[1].layer == 0  # Observations
+        assert by_id[2].layer == 0  # Stations
+        assert by_id[3].layer == 1  # Restrict
+        assert by_id[4].layer == 2  # Join waits for the longest path
+
+    def test_edges_go_left_to_right(self):
+        program = diamond_program()
+        geometries, __, __h = layout_program(program)
+        by_id = {geo.box_id: geo for geo in geometries}
+        for edge in program.edges():
+            assert by_id[edge.src_box].rect[2] <= by_id[edge.dst_box].rect[0]
+
+    def test_no_overlapping_boxes(self):
+        program = diamond_program()
+        geometries, __, __h = layout_program(program)
+        rects = [geo.rect for geo in geometries]
+        for i, a in enumerate(rects):
+            for b in rects[i + 1:]:
+                disjoint = (a[2] < b[0] or b[2] < a[0]
+                            or a[3] < b[1] or b[3] < a[1])
+                assert disjoint
+
+    def test_empty_program(self):
+        geometries, width, height = layout_program(Program())
+        assert geometries == []
+        assert width > 0 and height > 0
+
+
+class TestRender:
+    def test_paints_boxes_and_edges(self):
+        canvas = render_program(diamond_program())
+        assert canvas.count_nonbackground() > 1000
+        assert (235, 240, 248) in canvas.colors_used()  # box fill
+
+    def test_render_empty_program(self):
+        canvas = render_program(Program())
+        assert canvas.count_nonbackground() == 0
+
+
+class TestListing:
+    def test_listing_contains_boxes_and_edges(self):
+        text = program_listing(diamond_program())
+        assert "'diamond'" in text
+        assert "#4 Join" in text
+        assert "state = 'LA'" in text
+        assert "1.left" not in text  # edges use src.port -> dst.port
+        assert "-> 4.left" in text
+
+    def test_listing_orders_by_layer(self):
+        text = program_listing(diamond_program())
+        lines = text.splitlines()
+        join_line = next(i for i, l in enumerate(lines) if "Join" in l)
+        restrict_line = next(i for i, l in enumerate(lines) if "Restrict" in l)
+        assert restrict_line < join_line
+
+
+class TestSessionProgramWindow:
+    def test_program_window_canvas(self, stations_session):
+        stations_session.add_table("Stations")
+        canvas = stations_session.program_window()
+        assert canvas.count_nonbackground() > 0
+
+    def test_program_text(self, stations_session):
+        stations_session.add_table("Stations")
+        assert "AddTable" in stations_session.program_text()
+
+
+class TestCloneViewer:
+    def build(self, session: Session):
+        stations = session.add_table("Stations")
+        set_x = session.add_box("SetAttribute",
+                                {"name": "x", "definition": "longitude"})
+        session.connect(stations, "out", set_x, "in")
+        set_y = session.add_box("SetAttribute",
+                                {"name": "y", "definition": "latitude"})
+        session.connect(set_x, "out", set_y, "in")
+        window = session.add_viewer(set_y, name="main", width=160, height=120)
+        window.viewer.pan_to(-91.0, 30.0)
+        window.viewer.set_elevation(12.0)
+        return window
+
+    def test_clone_starts_at_original_position(self, stations_session):
+        window = self.build(stations_session)
+        clone = stations_session.clone_viewer("main")
+        assert clone.name == "main_2"
+        assert clone.viewer.view().center == window.viewer.view().center
+        assert clone.viewer.view().elevation == window.viewer.view().elevation
+
+    def test_clone_moves_independently(self, stations_session):
+        window = self.build(stations_session)
+        clone = stations_session.clone_viewer("main", "detail")
+        clone.viewer.zoom(4.0)
+        assert window.viewer.view().elevation == 12.0
+        assert clone.viewer.view().elevation == 3.0
+
+    def test_clone_sees_same_data(self, stations_session):
+        self.build(stations_session)
+        clone = stations_session.clone_viewer("main")
+        original_items = stations_session.window("main").viewer.render()
+        clone_items = clone.viewer.render()
+        assert len(original_items.all_items()) == len(clone_items.all_items())
+
+    def test_clone_can_be_slaved(self, stations_session):
+        window = self.build(stations_session)
+        clone = stations_session.clone_viewer("main")
+        stations_session.slaving.slave(window.viewer, clone.viewer)
+        window.viewer.pan(1.0, 0.0)
+        assert clone.viewer.view().center == window.viewer.view().center

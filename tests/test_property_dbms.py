@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis): the DBMS substrate's invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbms import algebra
+from repro.dbms.parser import parse_expression, tokenize
+from repro.dbms.relation import RowSet
+from repro.dbms.tuples import Schema, Tuple
+
+SCHEMA = Schema([("k", "int"), ("v", "float"), ("tag", "text")])
+
+row_dicts = st.fixed_dictionaries(
+    {
+        "k": st.integers(min_value=-1000, max_value=1000),
+        "v": st.floats(min_value=-1e6, max_value=1e6,
+                       allow_nan=False, allow_infinity=False),
+        "tag": st.sampled_from(["a", "b", "c", "d"]),
+    }
+)
+row_sets = st.lists(row_dicts, max_size=40).map(
+    lambda dicts: RowSet.from_dicts(SCHEMA, dicts)
+)
+
+
+class TestAlgebraProperties:
+    @given(rows=row_sets)
+    def test_restrict_returns_subset(self, rows):
+        result = algebra.restrict_predicate(rows, "k > 0")
+        originals = list(rows.rows)
+        assert all(row in originals for row in result)
+        assert all(row["k"] > 0 for row in result)
+
+    @given(rows=row_sets)
+    def test_restrict_partition_is_exhaustive(self, rows):
+        positive = algebra.restrict_predicate(rows, "k > 0")
+        rest = algebra.restrict_predicate(rows, "not (k > 0)")
+        assert len(positive) + len(rest) == len(rows)
+
+    @given(rows=row_sets)
+    def test_project_preserves_cardinality(self, rows):
+        result = algebra.project(rows, ["tag", "k"])
+        assert len(result) == len(rows)
+        assert result.schema.names == ("tag", "k")
+
+    @given(rows=row_sets, probability=st.floats(min_value=0.0, max_value=1.0),
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_sample_is_reproducible_subset(self, rows, probability, seed):
+        first = algebra.sample(rows, probability, seed)
+        second = algebra.sample(rows, probability, seed)
+        assert first == second
+        assert len(first) <= len(rows)
+
+    @given(rows=row_sets)
+    def test_order_by_sorted_and_permutation(self, rows):
+        result = algebra.order_by(rows, ["k"])
+        values = [row["k"] for row in result]
+        assert values == sorted(values)
+        assert sorted(map(repr, result)) == sorted(map(repr, rows))
+
+    @given(rows=row_sets)
+    def test_distinct_idempotent(self, rows):
+        once = algebra.distinct(rows)
+        twice = algebra.distinct(once)
+        assert once == twice
+
+    @given(left=row_sets, right=row_sets)
+    @settings(max_examples=25)
+    def test_hash_join_matches_nested_loop(self, left, right):
+        by_hash = algebra.join_hash(left, right, "k", "k")
+        by_loop = algebra.join_nested_loop(left, right, "k", "k")
+        assert sorted(map(repr, by_hash)) == sorted(map(repr, by_loop))
+
+    @given(left=row_sets, right=row_sets)
+    @settings(max_examples=25)
+    def test_join_cardinality_formula(self, left, right):
+        joined = algebra.join_hash(left, right, "k", "k")
+        expected = sum(
+            sum(1 for r in right if r["k"] == l["k"]) for l in left
+        )
+        assert len(joined) == expected
+
+    @given(rows=row_sets)
+    def test_group_by_count_sums_to_total(self, rows):
+        if len(rows) == 0:
+            return
+        grouped = algebra.group_by(rows, ["tag"], [("count", "k", "n")])
+        assert sum(row["n"] for row in grouped) == len(rows)
+
+    @given(rows=row_sets)
+    def test_group_by_sum_matches_python(self, rows):
+        if len(rows) == 0:
+            return
+        grouped = algebra.group_by(rows, ["tag"], [("sum", "v", "total")])
+        for group_row in grouped:
+            expected = sum(
+                row["v"] for row in rows if row["tag"] == group_row["tag"]
+            )
+            assert math.isclose(group_row["total"], expected, rel_tol=1e-9,
+                                abs_tol=1e-9)
+
+    @given(rows=row_sets, count=st.integers(min_value=0, max_value=50))
+    def test_limit_bounds(self, rows, count):
+        result = algebra.limit(rows, count)
+        assert len(result) == min(count, len(rows))
+        assert list(result.rows) == list(rows.rows[:count])
+
+    @given(left=row_sets, right=row_sets)
+    def test_union_cardinality(self, left, right):
+        assert len(algebra.union(left, right)) == len(left) + len(right)
+
+
+# --- expression/parser properties -------------------------------------------
+
+int_exprs = st.recursive(
+    st.one_of(
+        st.integers(min_value=-99, max_value=99).map(str),
+        st.just("k"),
+    ),
+    lambda children: st.tuples(
+        children, st.sampled_from(["+", "-", "*"]), children
+    ).map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+    max_leaves=12,
+)
+
+
+class TestExpressionProperties:
+    @given(source=int_exprs, k=st.integers(min_value=-50, max_value=50))
+    def test_parser_agrees_with_python_eval(self, source, k):
+        expr = parse_expression(source, SCHEMA)
+        row = Tuple(SCHEMA, {"k": k, "v": 0.0, "tag": "a"})
+        assert expr.evaluate(row) == eval(source, {}, {"k": k})
+
+    @given(source=int_exprs)
+    def test_str_roundtrip_is_stable(self, source):
+        expr = parse_expression(source, SCHEMA)
+        reparsed = parse_expression(str(expr), SCHEMA)
+        assert str(reparsed) == str(expr)
+
+    @given(source=int_exprs)
+    def test_fields_used_subset_of_schema(self, source):
+        expr = parse_expression(source, SCHEMA)
+        assert expr.fields_used() <= set(SCHEMA.names)
+
+    @given(text=st.text(alphabet="abcdefgh ()+-*/<>=.,0123456789'", max_size=30))
+    def test_tokenizer_never_crashes_unexpectedly(self, text):
+        from repro.errors import ExpressionError
+
+        try:
+            tokens = tokenize(text)
+        except ExpressionError:
+            return
+        assert tokens[-1].kind == "eof"
+
+
+class TestTupleProperties:
+    @given(rows=row_sets)
+    def test_tuple_equality_consistent_with_hash(self, rows):
+        seen = {}
+        for row in rows:
+            if row in seen:
+                assert hash(row) == hash(seen[row])
+            seen[row] = row
+
+    @given(data=row_dicts)
+    def test_replace_roundtrip(self, data):
+        row = Tuple(SCHEMA, data)
+        replaced = row.replace(k=row["k"])
+        assert replaced == row

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis): rendering and viewer invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbms.parser import parse_expression
+from repro.dbms.relation import Method, RowSet
+from repro.dbms.tuples import Schema
+from repro.display.displayable import DisplayableRelation
+from repro.render.canvas import Canvas
+from repro.render.scene import SceneStats, ViewState, render_composite
+
+coords = st.floats(min_value=-500.0, max_value=500.0,
+                   allow_nan=False, allow_infinity=False)
+
+SCHEMA = Schema([("px", "float"), ("py", "float")])
+
+
+def dotted(rows) -> DisplayableRelation:
+    relation = DisplayableRelation(
+        RowSet.from_dicts(SCHEMA, [{"px": x, "py": y} for x, y in rows]),
+        name="dots",
+    )
+    relation = relation.with_method_added(
+        Method("x", "float", parse_expression("px"))
+    )
+    relation = relation.with_method_added(
+        Method("y", "float", parse_expression("py"))
+    )
+    return relation.with_method_added(
+        Method("display", "drawables", parse_expression("filled_circle(2)"))
+    )
+
+
+class TestCanvasProperties:
+    @given(
+        x0=st.floats(-200, 200), y0=st.floats(-200, 200),
+        x1=st.floats(-200, 200), y1=st.floats(-200, 200),
+    )
+    @settings(max_examples=50)
+    def test_line_clipping_never_escapes(self, x0, y0, x1, y1):
+        canvas = Canvas(32, 32)
+        canvas.draw_line(x0, y0, x1, y1, (0, 0, 0))
+        # Drawing with arbitrary endpoints never raises and never writes
+        # outside — reading back every border pixel stays valid.
+        assert canvas.count_nonbackground() <= 32 * 32
+
+    @given(
+        cx=st.floats(-100, 100), cy=st.floats(-100, 100),
+        r=st.floats(0, 100),
+    )
+    @settings(max_examples=50)
+    def test_circle_fill_bounded_by_bbox(self, cx, cy, r):
+        canvas = Canvas(64, 64)
+        canvas.fill_circle(cx, cy, r, (0, 0, 0))
+        painted = canvas.count_nonbackground()
+        assert painted <= (2 * r + 3) ** 2
+
+    @given(st.lists(st.tuples(st.floats(-50, 120), st.floats(-50, 120)),
+                    min_size=3, max_size=8))
+    @settings(max_examples=50)
+    def test_polygon_fill_never_crashes(self, vertices):
+        canvas = Canvas(64, 64)
+        canvas.fill_polygon(list(vertices), (0, 0, 0))
+
+
+class TestSceneProperties:
+    @given(rows=st.lists(st.tuples(coords, coords), max_size=25),
+           center_x=coords, center_y=coords,
+           elevation=st.floats(min_value=1.0, max_value=2000.0))
+    @settings(max_examples=40, deadline=None)
+    def test_culling_never_changes_pixels(self, rows, center_x, center_y,
+                                          elevation):
+        # The Perf-3 claim: culling is an optimization, not a semantic change.
+        relation = dotted(rows)
+        view = ViewState(center=(center_x, center_y), elevation=elevation,
+                         viewport=(96, 96))
+        culled = Canvas(96, 96)
+        render_composite(culled, relation, view, cull=True)
+        full = Canvas(96, 96)
+        render_composite(full, relation, view, cull=False)
+        assert (culled.pixels == full.pixels).all()
+
+    @given(rows=st.lists(st.tuples(coords, coords), max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_stats_partition_tuples(self, rows):
+        relation = dotted(rows)
+        view = ViewState(center=(0.0, 0.0), elevation=100.0, viewport=(96, 96))
+        stats = SceneStats()
+        render_composite(Canvas(96, 96), relation, view, stats=stats)
+        accounted = (
+            stats.tuples_rendered
+            + stats.culled_by_slider
+            + stats.culled_by_viewport
+        )
+        # Tuples whose drawables all fall just outside the viewport are
+        # considered but neither rendered nor counted as culled.
+        assert accounted <= stats.tuples_considered == len(rows)
+
+    @given(elevation=st.floats(min_value=0.5, max_value=1000.0),
+           px=st.floats(-200, 200), py=st.floats(-200, 200))
+    @settings(max_examples=60)
+    def test_view_transform_roundtrip(self, elevation, px, py):
+        view = ViewState(center=(3.0, -7.0), elevation=elevation,
+                         viewport=(128, 96))
+        wx, wy = view.to_world(px, py)
+        back = view.to_screen(wx, wy)
+        assert abs(back[0] - px) < 1e-6
+        assert abs(back[1] - py) < 1e-6

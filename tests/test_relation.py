@@ -1,0 +1,269 @@
+"""Unit tests: tables, row sets, and computed-attribute methods."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms import types as T
+from repro.dbms.parser import parse_expression
+from repro.dbms.relation import Method, MethodSet, RowSet, Table
+from repro.dbms.tuples import Schema, Tuple
+from repro.errors import EvaluationError, SchemaError, TypeCheckError
+
+SCHEMA = Schema([("name", "text"), ("value", "int")])
+
+
+def make_table() -> Table:
+    table = Table("T", SCHEMA)
+    table.insert_many([{"name": "a", "value": 1}, {"name": "b", "value": 2}])
+    return table
+
+
+class TestRowSet:
+    def test_rows_materialized_and_immutable(self):
+        rows = RowSet(SCHEMA, (Tuple(SCHEMA, ["a", 1]),))
+        assert len(rows) == 1
+        assert rows[0]["name"] == "a"
+
+    def test_schema_mismatch_rejected(self):
+        other = Schema([("name", "text")])
+        with pytest.raises(SchemaError):
+            RowSet(SCHEMA, (Tuple(other, ["a"]),))
+
+    def test_from_dicts(self):
+        rows = RowSet.from_dicts(SCHEMA, [{"name": "x", "value": 9}])
+        assert rows[0]["value"] == 9
+
+    def test_equality(self):
+        a = RowSet.from_dicts(SCHEMA, [{"name": "x", "value": 1}])
+        b = RowSet.from_dicts(SCHEMA, [{"name": "x", "value": 1}])
+        assert a == b
+
+
+class TestTable:
+    def test_insert_bumps_version(self):
+        table = make_table()
+        v = table.version
+        table.insert({"name": "c", "value": 3})
+        assert table.version == v + 1
+        assert len(table) == 3
+
+    def test_insert_many_single_version_step(self):
+        table = Table("T", SCHEMA)
+        v = table.version
+        table.insert_many([{"name": "a", "value": 1}, {"name": "b", "value": 2}])
+        assert table.version == v + 1
+
+    def test_insert_many_empty_no_version_bump(self):
+        table = Table("T", SCHEMA)
+        v = table.version
+        table.insert_many([])
+        assert table.version == v
+
+    def test_insert_validates(self):
+        table = make_table()
+        with pytest.raises(TypeCheckError):
+            table.insert({"name": "c", "value": "three"})
+
+    def test_delete_where(self):
+        table = make_table()
+        deleted = table.delete_where(lambda row: row["value"] > 1)
+        assert deleted == 1
+        assert len(table) == 1
+
+    def test_delete_where_no_match_keeps_version(self):
+        table = make_table()
+        v = table.version
+        assert table.delete_where(lambda row: False) == 0
+        assert table.version == v
+
+    def test_update_where(self):
+        table = make_table()
+        updated = table.update_where(lambda row: row["name"] == "a", {"value": 10})
+        assert updated == 1
+        assert table.snapshot()[0]["value"] == 10
+
+    def test_replace_row(self):
+        table = make_table()
+        old = table.snapshot()[0]
+        new = old.replace(value=99)
+        assert table.replace_row(old, new) is True
+        assert table.snapshot()[0]["value"] == 99
+
+    def test_replace_missing_row(self):
+        table = make_table()
+        ghost = Tuple(SCHEMA, ["ghost", 0])
+        assert table.replace_row(ghost, ghost.replace(value=1)) is False
+
+    def test_clear(self):
+        table = make_table()
+        table.clear()
+        assert len(table) == 0
+
+    def test_snapshot_is_isolated(self):
+        table = make_table()
+        snap = table.snapshot()
+        table.insert({"name": "c", "value": 3})
+        assert len(snap) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("", SCHEMA)
+
+
+class TestMethods:
+    def test_expression_method(self):
+        method = Method("double", "int", parse_expression("value * 2"))
+        methods = MethodSet(SCHEMA, [method])
+        view = methods.row_view(Tuple(SCHEMA, ["a", 4]))
+        assert view["double"] == 8
+
+    def test_methods_see_earlier_methods(self):
+        methods = MethodSet(SCHEMA)
+        methods.add(Method("double", "int", parse_expression("value * 2")))
+        methods.add(Method("quad", "int", parse_expression("double * 2")))
+        view = methods.row_view(Tuple(SCHEMA, ["a", 3]))
+        assert view["quad"] == 12
+
+    def test_method_cannot_reference_later_method(self):
+        methods = MethodSet(SCHEMA)
+        with pytest.raises(TypeCheckError):
+            methods.add(Method("bad", "int", parse_expression("later * 2")))
+
+    def test_duplicate_name_rejected(self):
+        methods = MethodSet(SCHEMA)
+        with pytest.raises(SchemaError):
+            methods.add(Method("value", "int", parse_expression("1")))
+
+    def test_declared_type_checked(self):
+        with pytest.raises(TypeCheckError, match="declared"):
+            MethodSet(SCHEMA, [Method("bad", "text", parse_expression("value + 1"))])
+
+    def test_numeric_declared_type_coerces(self):
+        methods = MethodSet(SCHEMA, [Method("half", "float", parse_expression("value"))])
+        view = methods.row_view(Tuple(SCHEMA, ["a", 3]))
+        assert view["half"] == 3.0
+        assert isinstance(view["half"], float)
+
+    def test_python_callable_method(self):
+        method = Method("shout", "text", lambda row: row["name"].upper(),
+                        depends=["name"])
+        methods = MethodSet(SCHEMA, [method])
+        view = methods.row_view(Tuple(SCHEMA, ["ada", 1]))
+        assert view["shout"] == "ADA"
+
+    def test_python_callable_unknown_dependency(self):
+        method = Method("bad", "int", lambda row: 0, depends=["ghost"])
+        with pytest.raises(SchemaError, match="ghost"):
+            MethodSet(SCHEMA, [method])
+
+    def test_wrong_runtime_type_reported(self):
+        method = Method("bad", "int", lambda row: "oops", depends=[])
+        methods = MethodSet(SCHEMA, [method])
+        view = methods.row_view(Tuple(SCHEMA, ["a", 1]))
+        with pytest.raises(EvaluationError, match="wrong type"):
+            view["bad"]
+
+    def test_extended_schema_order(self):
+        methods = MethodSet(SCHEMA)
+        methods.add(Method("m1", "int", parse_expression("value")))
+        methods.add(Method("m2", "int", parse_expression("m1")))
+        assert methods.extended_schema.names == ("name", "value", "m1", "m2")
+
+    def test_replace_rechecks_downstream(self):
+        methods = MethodSet(SCHEMA)
+        methods.add(Method("m1", "int", parse_expression("value")))
+        methods.add(Method("m2", "int", parse_expression("m1 + 1")))
+        methods.replace(Method("m1", "int", parse_expression("value * 10")))
+        view = methods.row_view(Tuple(SCHEMA, ["a", 2]))
+        assert view["m2"] == 21
+
+    def test_replace_type_change_breaking_downstream_rejected(self):
+        methods = MethodSet(SCHEMA)
+        methods.add(Method("m1", "int", parse_expression("value")))
+        methods.add(Method("m2", "int", parse_expression("m1 + 1")))
+        with pytest.raises(TypeCheckError):
+            methods.replace(Method("m1", "text", parse_expression("name")))
+
+    def test_remove_with_dependents_rejected(self):
+        methods = MethodSet(SCHEMA)
+        methods.add(Method("m1", "int", parse_expression("value")))
+        methods.add(Method("m2", "int", parse_expression("m1 + 1")))
+        with pytest.raises(SchemaError, match="depends"):
+            methods.remove("m1")
+
+    def test_remove_leaf(self):
+        methods = MethodSet(SCHEMA)
+        methods.add(Method("m1", "int", parse_expression("value")))
+        methods.remove("m1")
+        assert "m1" not in methods
+
+    def test_rebase_to_compatible_schema(self):
+        methods = MethodSet(SCHEMA, [Method("double", "int", parse_expression("value * 2"))])
+        wider = Schema([("name", "text"), ("value", "int"), ("extra", "float")])
+        rebased = methods.rebase(wider)
+        assert "double" in rebased
+
+    def test_rebase_to_incompatible_schema_rejected(self):
+        methods = MethodSet(SCHEMA, [Method("double", "int", parse_expression("value * 2"))])
+        narrower = Schema([("name", "text")])
+        with pytest.raises(TypeCheckError):
+            methods.rebase(narrower)
+
+    def test_ambient_fields(self):
+        methods = MethodSet(SCHEMA, ambient={"seq": T.INT})
+        methods.add(Method("rank", "int", parse_expression("seq + 1")))
+        view = methods.row_view(Tuple(SCHEMA, ["a", 1]), extra={"seq": 4})
+        assert view["rank"] == 5
+
+    def test_ambient_name_collision_rejected(self):
+        methods = MethodSet(SCHEMA, ambient={"seq": T.INT})
+        with pytest.raises(SchemaError):
+            methods.add(Method("seq", "int", parse_expression("1")))
+
+
+class TestVirtualRow:
+    def test_memoizes_computation(self):
+        calls = []
+
+        def compute(row):
+            calls.append(1)
+            return 42
+
+        methods = MethodSet(SCHEMA, [Method("m", "int", compute, depends=[])])
+        view = methods.row_view(Tuple(SCHEMA, ["a", 1]))
+        assert view["m"] == 42
+        assert view["m"] == 42
+        assert len(calls) == 1
+
+    def test_keyerror_for_unknown(self):
+        methods = MethodSet(SCHEMA)
+        view = methods.row_view(Tuple(SCHEMA, ["a", 1]))
+        with pytest.raises(KeyError):
+            view["ghost"]
+
+    def test_get_default(self):
+        methods = MethodSet(SCHEMA)
+        view = methods.row_view(Tuple(SCHEMA, ["a", 1]))
+        assert view.get("ghost", 7) == 7
+
+    def test_contains(self):
+        methods = MethodSet(SCHEMA, [Method("m", "int", parse_expression("1"))])
+        view = methods.row_view(Tuple(SCHEMA, ["a", 1]), extra={"seq": 0})
+        assert "m" in view
+        assert "name" in view
+        assert "seq" in view
+        assert "ghost" not in view
+
+    def test_as_dict_forces_all(self):
+        methods = MethodSet(SCHEMA, [Method("m", "int", parse_expression("value + 1"))])
+        view = methods.row_view(Tuple(SCHEMA, ["a", 1]))
+        assert view.as_dict() == {"name": "a", "value": 1, "m": 2}
+
+    def test_cycle_detection_in_callables(self):
+        # Two Python-callable methods referencing each other through the view.
+        methods = MethodSet(SCHEMA)
+        methods.add(Method("m1", "int", lambda row: row["m1"], depends=["value"]))
+        view = methods.row_view(Tuple(SCHEMA, ["a", 1]))
+        with pytest.raises(EvaluationError, match="cyclic"):
+            view["m1"]

@@ -1,0 +1,104 @@
+"""Unit tests: the scenario helper builders (repro.core.scenarios) and
+deeply nested encapsulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenarios import (
+    BAND_HEIGHT,
+    SERIES_X_SCALE,
+    band_center,
+    station_map_pipeline,
+    temperature_series_pipeline,
+)
+from repro.ui.session import Session
+
+
+class TestStationMapPipeline:
+    def test_with_names_display(self, weather_db):
+        session = Session(weather_db)
+        tail = station_map_pipeline(session)
+        relation = session.inspect(tail)
+        drawables = relation.display_of(relation.view_at(0))
+        assert [d.kind for d in drawables] == ["circle", "text"]
+
+    def test_without_names_display(self, weather_db):
+        session = Session(weather_db)
+        tail = station_map_pipeline(session, with_names=False)
+        relation = session.inspect(tail)
+        drawables = relation.display_of(relation.view_at(0))
+        assert [d.kind for d in drawables] == ["circle"]
+        assert drawables[0].style.filled
+
+    def test_name_range_applies_set_range(self, weather_db):
+        session = Session(weather_db)
+        tail = station_map_pipeline(session, name_range=(1.0, 9.0))
+        relation = session.inspect(tail)
+        assert relation.elevation_range.minimum == 1.0
+        assert relation.elevation_range.maximum == 9.0
+
+    def test_restricted_to_louisiana(self, weather_db):
+        session = Session(weather_db)
+        tail = station_map_pipeline(session)
+        relation = session.inspect(tail)
+        assert all(row["state"] == "LA" for row in relation.rows)
+
+
+class TestSeriesPipeline:
+    def test_temperature_series_bands(self, weather_db):
+        session = Session(weather_db)
+        tail = temperature_series_pipeline(session)
+        relation = session.inspect(tail)
+        view = relation.view_at(0)
+        x, y = relation.location_of(view)[:2]
+        station_id = view["station_id"]
+        assert abs(y - station_id * BAND_HEIGHT) < BAND_HEIGHT
+        assert x >= 0.0
+
+    def test_precipitation_variant(self, weather_db):
+        session = Session(weather_db)
+        tail = temperature_series_pipeline(
+            session, value_field="precipitation", color="green",
+            value_scale=10.0,
+        )
+        relation = session.inspect(tail)
+        drawables = relation.display_of(relation.view_at(0))
+        assert drawables[0].color == (66, 133, 66)
+
+    def test_band_center_scale(self):
+        x, y = band_center(3)
+        assert y == 3 * BAND_HEIGHT + 25.0
+        assert x == pytest.approx(5.5 * 365 * SERIES_X_SCALE)
+
+
+class TestNestedEncapsulation:
+    def test_encapsulated_box_inside_encapsulated_box(self, stations_session):
+        session = stations_session
+        # Inner macro: restrict to Louisiana.
+        stations = session.add_table("Stations")
+        inner_restrict = session.add_box(
+            "Restrict", {"predicate": "state = 'LA'"}
+        )
+        session.connect(stations, "out", inner_restrict, "in")
+        inner = session.encapsulate([inner_restrict], "level1")
+
+        # Use the inner macro, then encapsulate the use site again.
+        from repro.dataflow.encapsulate import EncapsulatedBox
+
+        use_site = session.program.add_box(EncapsulatedBox(**inner.params))
+        session.connect(stations, "out", use_site, "in1")
+        order = session.add_box("OrderBy", {"fields": ["altitude"]})
+        session.connect(use_site, "out1", order, "in")
+        outer = session.encapsulate([use_site, order], "level2")
+
+        # Fire the two-level box in a fresh program.
+        source2 = session.add_table("Stations")
+        outer_id = session.program.add_box(
+            type(outer)(**outer.params)
+        )
+        session.connect(source2, "out", outer_id, "in1")
+        result = session.inspect(outer_id, "out1")
+        assert len(result.rows) == 3
+        altitudes = [row["altitude"] for row in result.rows]
+        assert altitudes == sorted(altitudes)

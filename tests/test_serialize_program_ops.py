@@ -1,0 +1,177 @@
+"""Unit tests: program serialization and the Figure-2 operations."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dataflow.boxes_db import AddTableBox, JoinBox, RestrictBox, TBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.dataflow.program_ops import (
+    add_program,
+    apply_box,
+    apply_box_candidates,
+    insert_t,
+    load_program,
+    new_program,
+    save_program,
+)
+from repro.dataflow.registry import (
+    box_class,
+    box_class_names,
+    compatible_boxes,
+    instantiate,
+)
+from repro.dataflow.ports import PortType
+from repro.dataflow.serialize import clone_program, program_from_dict, program_to_dict
+from repro.errors import CatalogError, GraphError
+
+
+def sample_program() -> Program:
+    program = Program("demo")
+    src = program.add_box(AddTableBox(table="Stations"), label="source")
+    restrict = program.add_box(RestrictBox(predicate="state = 'LA'"))
+    program.connect(src, "out", restrict, "in")
+    return program
+
+
+class TestSerialize:
+    def test_roundtrip_structure(self):
+        program = sample_program()
+        payload = program_to_dict(program)
+        restored = program_from_dict(payload)
+        assert restored.name == "demo"
+        assert len(restored) == len(program)
+        assert restored.edges() == program.edges()  # ids preserved
+        assert restored.box(1).label == "source"
+
+    def test_params_survive(self):
+        restored = program_from_dict(program_to_dict(sample_program()))
+        assert restored.box(2).param("predicate") == "state = 'LA'"
+
+    def test_json_compatible(self):
+        payload = program_to_dict(sample_program())
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(CatalogError, match="format"):
+            program_from_dict({"format": "nope"})
+
+    def test_clone_is_independent(self):
+        program = sample_program()
+        clone = clone_program(program)
+        clone.box(2).set_param("predicate", "state = 'TX'")
+        assert program.box(2).param("predicate") == "state = 'LA'"
+
+    def test_tuple_params_serialized_as_lists(self):
+        from repro.dataflow.boxes_display import StitchBox
+
+        program = Program()
+        program.add_box(StitchBox(arity=2, layout="tabular", table_shape=(1, 2)))
+        payload = program_to_dict(program)
+        assert json.loads(json.dumps(payload))  # no tuples anywhere
+
+
+class TestRegistry:
+    def test_all_paper_boxes_registered(self):
+        names = box_class_names()
+        for expected in (
+            "AddTable", "Project", "Restrict", "Sample", "Join", "T",
+            "Switch", "AddAttribute", "RemoveAttribute", "SetAttribute",
+            "SwapAttributes", "ScaleAttribute", "TranslateAttribute",
+            "CombineDisplays", "SetRange", "Overlay", "Shuffle", "Stitch",
+            "Replicate", "Viewer", "Encapsulated",
+        ):
+            assert expected in names, expected
+
+    def test_instantiate_from_params(self):
+        box = instantiate("Restrict", {"predicate": "x > 1"})
+        assert box.param("predicate") == "x > 1"
+
+    def test_unknown_type(self):
+        with pytest.raises(CatalogError, match="unknown box type"):
+            box_class("Frobnicate")
+
+    def test_compatible_boxes_for_r_edge(self):
+        candidates = compatible_boxes([PortType("R")])
+        assert "Restrict" in candidates
+        assert "Project" in candidates
+        assert "Viewer" in candidates  # R widens into the G input
+        assert "Join" not in candidates  # needs two inputs
+        assert "AddTable" not in candidates  # needs zero
+
+    def test_compatible_boxes_for_two_r_edges(self):
+        candidates = compatible_boxes([PortType("R"), PortType("R")])
+        assert "Join" in candidates
+        assert "Overlay" in candidates
+        assert "Restrict" not in candidates
+
+    def test_compatible_boxes_for_no_edges(self):
+        candidates = compatible_boxes([])
+        assert "AddTable" in candidates
+
+
+class TestProgramOps:
+    def test_save_and_load(self, stations_db):
+        program = sample_program()
+        save_program(stations_db, program)
+        assert stations_db.has_program("demo")
+        loaded = load_program(stations_db, "demo")
+        assert len(loaded) == 2
+        result = Engine(loaded, stations_db).output_of(2)
+        assert len(result.rows) == 3
+
+    def test_add_program_merges(self, stations_db):
+        save_program(stations_db, sample_program())
+        current = new_program("combined")
+        current.add_box(AddTableBox(table="Stations"))
+        mapping = add_program(stations_db, current, "demo")
+        assert len(current) == 3
+        assert len(mapping) == 2
+
+    def test_apply_box_connects_selection(self, stations_db):
+        program = sample_program()
+        edge = program.edges()[0]
+        candidates = apply_box_candidates(program, [edge], stations_db)
+        assert "Sample" in candidates
+        box_id = apply_box(program, [edge], "Sample", {"probability": 1.0})
+        result = Engine(program, stations_db).output_of(box_id)
+        assert len(result.rows) == 5  # taps the source edge, pre-restrict
+
+    def test_apply_box_arity_mismatch(self, stations_db):
+        program = sample_program()
+        edge = program.edges()[0]
+        with pytest.raises(GraphError, match="needs 2 inputs"):
+            apply_box(program, [edge], "Join")
+
+    def test_apply_box_rolls_back_on_failure(self, stations_db):
+        program = sample_program()
+        boxes_before = len(program)
+        with pytest.raises(Exception):
+            apply_box(program, [program.edges()[0]], "Frobnicate")
+        assert len(program) == boxes_before
+
+    def test_insert_t_preserves_dataflow(self, stations_db):
+        program = sample_program()
+        edge = program.edges()[0]
+        t_id = insert_t(program, edge)
+        engine = Engine(program, stations_db)
+        assert len(engine.output_of(2).rows) == 3
+        # The T's free output can feed an inspection viewer.
+        assert len(engine.output_of(t_id, "out2").rows) == 5
+
+    def test_insert_t_infers_edge_kind(self, stations_db):
+        program = Program()
+        a = program.add_box(AddTableBox(table="Stations"))
+        b = program.add_box(AddTableBox(table="Stations"))
+        from repro.dataflow.boxes_display import OverlayBox, ShuffleBox
+
+        overlay = program.add_box(OverlayBox())
+        program.connect(a, "out", overlay, "base")
+        program.connect(b, "out", overlay, "top")
+        shuffle = program.add_box(ShuffleBox(component="Stations"))
+        edge = program.connect(overlay, "out", shuffle, "in")
+        t_id = insert_t(program, edge)
+        assert str(program.box(t_id).inputs[0].type) == "C"

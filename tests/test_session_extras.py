@@ -1,0 +1,107 @@
+"""Unit tests: session conveniences added around the core operations —
+viewers on edges (§10), elevation-map cycling (§6.1), like() predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms.parser import parse_expression
+from repro.dbms.tuples import Schema, Tuple
+from repro.ui.session import Session
+
+
+class TestViewerOnEdge:
+    def test_debugging_viewer_taps_edge(self, stations_session):
+        stations = stations_session.add_table("Stations")
+        restrict = stations_session.add_box(
+            "Restrict", {"predicate": "state = 'LA'"}
+        )
+        edge = stations_session.connect(stations, "out", restrict, "in")
+        window = stations_session.viewer_on_edge(edge, name="probe",
+                                                 width=320, height=200)
+        # The probe sees the pre-restrict data...
+        window.viewer.pan_to(250.0, -2.0)
+        window.viewer.set_elevation(600.0)
+        assert window.render().count_nonbackground() > 0
+        # ...and the original dataflow still works through the inserted T.
+        assert len(stations_session.inspect(restrict).rows) == 3
+
+    def test_edge_viewer_is_undoable(self, stations_session):
+        stations = stations_session.add_table("Stations")
+        restrict = stations_session.add_box(
+            "Restrict", {"predicate": "true"}
+        )
+        edge = stations_session.connect(stations, "out", restrict, "in")
+        stations_session.viewer_on_edge(edge, name="probe")
+        stations_session.undo()  # the viewer
+        stations_session.undo()  # the T
+        assert stations_session.windows == {}
+        assert len(stations_session.program.boxes_of_type("T")) == 0
+        assert len(stations_session.inspect(restrict).rows) == 5
+
+
+class TestElevationMapCycling:
+    def build_group_window(self, session: Session):
+        a = session.add_table("Stations")
+        b = session.add_table("Stations")
+        stitch = session.add_box(
+            "Stitch", {"arity": 2, "names": ["first", "second"]}
+        )
+        session.connect(a, "out", stitch, "c1")
+        session.connect(b, "out", stitch, "c2")
+        return session.add_viewer(stitch, name="pair", width=200, height=100)
+
+    def test_cycling_advances_member(self, stations_session):
+        window = self.build_group_window(stations_session)
+        first_map = window.elevation_map()
+        assert len(first_map) == 1
+        member = window.cycle_elevation_map()
+        assert member == "second"
+        assert window.cycle_elevation_map() == "first"
+
+    def test_default_map_follows_cycle(self, stations_session):
+        window = self.build_group_window(stations_session)
+        window.cycle_elevation_map()
+        bars = window.elevation_map().bars()
+        assert bars[0].name == "Stations"  # second member's sole component
+
+    def test_single_composite_unaffected(self, stations_session):
+        stations = stations_session.add_table("Stations")
+        window = stations_session.add_viewer(stations, name="solo",
+                                             width=100, height=80)
+        assert len(window.elevation_map()) == 1
+        assert window.cycle_elevation_map() == "main"
+
+
+class TestLikePredicates:
+    SCHEMA = Schema([("name", "text")])
+
+    def matches(self, pattern: str, value: str) -> bool:
+        expr = parse_expression(f"like(name, '{pattern}')", self.SCHEMA)
+        return expr.evaluate(Tuple(self.SCHEMA, [value]))
+
+    def test_percent_wildcard(self):
+        assert self.matches("New%", "New Orleans")
+        assert not self.matches("New%", "Baton Rouge")
+
+    def test_underscore_wildcard(self):
+        assert self.matches("B_ton Rouge", "Baton Rouge")
+        assert not self.matches("B_ton Rouge", "Bton Rouge")
+
+    def test_regex_metacharacters_are_literal(self):
+        assert self.matches("a.b", "a.b")
+        assert not self.matches("a.b", "axb")
+
+    def test_full_match_semantics(self):
+        assert not self.matches("Orleans", "New Orleans")
+        assert self.matches("%Orleans", "New Orleans")
+
+    def test_in_restrict_box(self, stations_session):
+        stations = stations_session.add_table("Stations")
+        restrict = stations_session.add_box(
+            "Restrict", {"predicate": "like(name, '%e%')"}
+        )
+        stations_session.connect(stations, "out", restrict, "in")
+        names = {r["name"] for r in stations_session.inspect(restrict).rows}
+        assert "New Orleans" in names
+        assert "Dallas" not in names

@@ -1,0 +1,205 @@
+"""Unit tests: slaving (§7.1) and magnifying glasses (§7.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_attr import AddAttributeBox, SetAttributeBox
+from repro.dataflow.boxes_db import AddTableBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.errors import ViewerError
+from repro.viewer.magnifier import MagnifyingGlass
+from repro.viewer.slaving import SlavingManager
+from repro.viewer.viewer import Viewer
+
+
+def flat_viewer(db, name, with_slider=False) -> Viewer:
+    program = Program()
+    src = program.add_box(AddTableBox(table="Stations"))
+    sx = program.add_box(SetAttributeBox(name="x", definition="longitude"))
+    sy = program.add_box(SetAttributeBox(name="y", definition="latitude"))
+    disp = program.add_box(
+        SetAttributeBox(name="display", definition="filled_circle(3, 'blue')")
+    )
+    program.connect(src, "out", sx, "in")
+    program.connect(sx, "out", sy, "in")
+    program.connect(sy, "out", disp, "in")
+    tail = disp
+    if with_slider:
+        alt = program.add_box(
+            AddAttributeBox(name="alt", definition="altitude", location=True)
+        )
+        program.connect(disp, "out", alt, "in")
+        tail = alt
+    engine = Engine(program, db)
+    viewer = Viewer(name, lambda: engine.output_of(tail), 200, 160)
+    viewer.pan_to(-91.0, 30.5)
+    viewer.set_elevation(10.0)
+    return viewer
+
+
+class TestSlaving:
+    def test_pan_propagates_with_offset(self, stations_db):
+        manager = SlavingManager()
+        a = flat_viewer(stations_db, "a")
+        b = flat_viewer(stations_db, "b")
+        b.pan_to(-81.0, 30.5)  # 10 degrees east of a
+        manager.slave(a, b)
+        a.pan(2.0, 1.0)
+        assert b.view().center == pytest.approx((-79.0, 31.5))
+
+    def test_propagation_is_bidirectional(self, stations_db):
+        manager = SlavingManager()
+        a = flat_viewer(stations_db, "a")
+        b = flat_viewer(stations_db, "b")
+        manager.slave(a, b)
+        b.pan(5.0, 0.0)
+        assert a.view().center == pytest.approx((-86.0, 30.5))
+
+    def test_elevation_ratio_maintained(self, stations_db):
+        manager = SlavingManager()
+        a = flat_viewer(stations_db, "a")
+        b = flat_viewer(stations_db, "b")
+        b.set_elevation(20.0)  # ratio 2:1 at link time
+        manager.slave(a, b)
+        a.set_elevation(5.0)
+        assert b.view().elevation == pytest.approx(10.0)
+
+    def test_slider_ranges_copied(self, stations_db):
+        manager = SlavingManager()
+        a = flat_viewer(stations_db, "a", with_slider=True)
+        b = flat_viewer(stations_db, "b", with_slider=True)
+        manager.slave(a, b)
+        a.set_slider("alt", 0.0, 99.0)
+        assert b.view().slider_ranges["alt"] == (0.0, 99.0)
+
+    def test_dimension_mismatch_rejected(self, stations_db):
+        manager = SlavingManager()
+        flat = flat_viewer(stations_db, "flat")
+        tall = flat_viewer(stations_db, "tall", with_slider=True)
+        with pytest.raises(ViewerError, match="same dimensions"):
+            manager.slave(flat, tall)
+
+    def test_self_slaving_rejected(self, stations_db):
+        manager = SlavingManager()
+        a = flat_viewer(stations_db, "a")
+        with pytest.raises(ViewerError, match="itself"):
+            manager.slave(a, a)
+
+    def test_unslave(self, stations_db):
+        manager = SlavingManager()
+        a = flat_viewer(stations_db, "a")
+        b = flat_viewer(stations_db, "b")
+        manager.slave(a, b)
+        assert manager.unslave(a, b) == 1
+        a.pan(5.0, 0.0)
+        assert b.view().center == pytest.approx((-91.0, 30.5))  # unchanged
+
+    def test_viewer_deletion_drops_links(self, stations_db):
+        # §7.1: "When a viewer is deleted, all of its slaving relationships
+        # are also deleted."
+        manager = SlavingManager()
+        a = flat_viewer(stations_db, "a")
+        b = flat_viewer(stations_db, "b")
+        c = flat_viewer(stations_db, "c")
+        manager.slave(a, b)
+        manager.slave(b, c)
+        assert manager.remove_viewer(b) == 2
+        assert len(manager) == 0
+
+    def test_chain_propagation(self, stations_db):
+        manager = SlavingManager()
+        a = flat_viewer(stations_db, "a")
+        b = flat_viewer(stations_db, "b")
+        c = flat_viewer(stations_db, "c")
+        manager.slave(a, b)
+        manager.slave(b, c)
+        a.pan(1.0, 0.0)
+        assert b.view().center[0] == pytest.approx(-90.0)
+        assert c.view().center[0] == pytest.approx(-90.0)
+
+    def test_links_of(self, stations_db):
+        manager = SlavingManager()
+        a = flat_viewer(stations_db, "a")
+        b = flat_viewer(stations_db, "b")
+        link = manager.slave(a, b)
+        assert manager.links_of(a) == [link]
+        assert manager.links_of(b) == [link]
+
+
+class TestMagnifyingGlass:
+    def test_magnifies_center_point(self, stations_db):
+        parent = flat_viewer(stations_db, "parent")
+        glass = MagnifyingGlass(parent, rect=(50, 40, 80, 60), magnification=4.0)
+        inner = glass.inner_view()
+        assert inner.elevation == pytest.approx(parent.view().elevation / 4.0)
+        # Centered over the world point under the rect center.
+        expected = parent.view().to_world(50 + 40, 40 + 30)
+        assert inner.center == pytest.approx(expected)
+
+    def test_renders_onto_parent_canvas(self, stations_db):
+        parent = flat_viewer(stations_db, "parent")
+        parent.pan_to(-90.07, 29.95)  # over New Orleans
+        result = parent.render()
+        glass = MagnifyingGlass(parent, rect=(60, 50, 80, 60), magnification=2.0)
+        before = result.canvas.copy()
+        glass.render_onto(result.canvas)
+        assert result.canvas.count_nonbackground() >= before.count_nonbackground()
+        # The frame outline is visible.
+        assert result.canvas.pixel(60, 50) == (64, 64, 64)
+
+    def test_same_dimension_required(self, stations_db):
+        parent = flat_viewer(stations_db, "parent")
+        tall = flat_viewer(stations_db, "tall", with_slider=True)
+        with pytest.raises(ViewerError, match="same dimension"):
+            MagnifyingGlass(parent, rect=(0, 0, 50, 50),
+                            source=tall.displayable)
+
+    def test_alternative_source_rendered(self, stations_db):
+        # Figure 9: the glass shows a different display of the same space.
+        parent = flat_viewer(stations_db, "parent")
+        parent.pan_to(-90.07, 29.95)
+        alt = flat_viewer(stations_db, "alt")
+
+        glass = MagnifyingGlass(
+            parent, rect=(50, 40, 100, 80), magnification=1.0,
+            source=alt.displayable,
+        )
+        canvas = parent.render().canvas
+        glass.render_onto(canvas)
+        assert canvas.region_nonbackground(50, 40, 150, 120) > 0
+
+    def test_slaved_glass_follows_parent(self, stations_db):
+        parent = flat_viewer(stations_db, "parent")
+        glass = MagnifyingGlass(parent, rect=(50, 40, 80, 60), slaved=True)
+        before = glass.inner_view().center
+        parent.pan(2.0, 0.0)
+        after = glass.inner_view().center
+        assert after[0] == pytest.approx(before[0] + 2.0)
+
+    def test_deleted_glass_refuses_to_render(self, stations_db):
+        parent = flat_viewer(stations_db, "parent")
+        glass = MagnifyingGlass(parent, rect=(0, 0, 50, 50))
+        glass.delete()
+        from repro.render.canvas import Canvas
+
+        with pytest.raises(ViewerError, match="deleted"):
+            glass.render_onto(Canvas(100, 100))
+
+    def test_move_and_zoom_controls(self, stations_db):
+        parent = flat_viewer(stations_db, "parent")
+        glass = MagnifyingGlass(parent, rect=(0, 0, 50, 50), magnification=2.0)
+        glass.move_to(20, 30)
+        assert glass.rect[:2] == (20.0, 30.0)
+        glass.set_magnification(8.0)
+        assert glass.inner_view().elevation == pytest.approx(
+            parent.view().elevation / 8.0
+        )
+        with pytest.raises(ViewerError):
+            glass.set_magnification(0.0)
+
+    def test_too_small_rect_rejected(self, stations_db):
+        parent = flat_viewer(stations_db, "parent")
+        with pytest.raises(ViewerError, match="small"):
+            MagnifyingGlass(parent, rect=(0, 0, 2, 2))

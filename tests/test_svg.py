@@ -1,0 +1,141 @@
+"""Unit tests: SVG vector export (render.svg)."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.dataflow.boxes_attr import SetAttributeBox
+from repro.dataflow.boxes_db import AddTableBox
+from repro.dataflow.boxes_display import StitchBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.errors import DisplayError
+from repro.render.canvas import Canvas
+from repro.render.svg import SvgCanvas, render_svg
+from repro.viewer.viewer import Viewer
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: SvgCanvas) -> ET.Element:
+    return ET.fromstring(svg.svg_document())
+
+
+def tags(svg: SvgCanvas) -> list[str]:
+    return [el.tag.removeprefix(SVG_NS) for el in parse(svg).iter()]
+
+
+class TestSvgPrimitives:
+    def test_document_is_valid_xml(self):
+        svg = SvgCanvas(100, 80)
+        svg.draw_line(0, 0, 50, 50, (0, 0, 0))
+        svg.fill_circle(20, 20, 5, (255, 0, 0))
+        svg.draw_text(10, 10, "hello & <world>", (0, 0, 0))
+        root = parse(svg)
+        assert root.get("width") == "100"
+        assert root.get("viewBox") == "0 0 100 80"
+
+    def test_each_primitive_produces_an_element(self):
+        svg = SvgCanvas(64, 64)
+        svg.draw_line(0, 0, 1, 1, (0, 0, 0))
+        svg.draw_rect(0, 0, 10, 10, (0, 0, 0))
+        svg.fill_rect(0, 0, 10, 10, (0, 0, 0))
+        svg.draw_circle(5, 5, 2, (0, 0, 0))
+        svg.fill_circle(5, 5, 2, (0, 0, 0))
+        svg.draw_polygon([(0, 0), (5, 0), (2, 4)], (0, 0, 0))
+        svg.fill_polygon([(0, 0), (5, 0), (2, 4)], (0, 0, 0))
+        svg.draw_text(0, 0, "x", (0, 0, 0))
+        svg.set_pixel(1, 1, (0, 0, 0))
+        present = tags(svg)
+        for tag in ("line", "rect", "circle", "polygon", "text"):
+            assert tag in present
+
+    def test_text_escaped(self):
+        svg = SvgCanvas(64, 16)
+        svg.draw_text(0, 0, "<&>", (0, 0, 0))
+        assert "&lt;&amp;&gt;" in svg.svg_document()
+
+    def test_blit_embeds_translated_group(self):
+        inner = SvgCanvas(10, 10)
+        inner.fill_rect(0, 0, 9, 9, (1, 2, 3))
+        outer = SvgCanvas(40, 40)
+        outer.blit(inner, 15, 20)
+        document = outer.svg_document()
+        assert "translate(15.00,20.00)" in document
+        assert "rgb(1,2,3)" in document
+
+    def test_blit_rejects_raster(self):
+        outer = SvgCanvas(40, 40)
+        with pytest.raises(DisplayError):
+            outer.blit(Canvas(10, 10), 0, 0)
+
+    def test_bad_size(self):
+        with pytest.raises(DisplayError):
+            SvgCanvas(0, 10)
+
+    def test_to_svg_writes_file(self, tmp_path):
+        svg = SvgCanvas(10, 10)
+        path = svg.to_svg(tmp_path / "out.svg")
+        assert path.read_text().startswith("<svg")
+
+
+def map_viewer(db):
+    program = Program()
+    src = program.add_box(AddTableBox(table="Stations"))
+    sx = program.add_box(SetAttributeBox(name="x", definition="longitude"))
+    sy = program.add_box(SetAttributeBox(name="y", definition="latitude"))
+    disp = program.add_box(
+        SetAttributeBox(
+            name="display",
+            definition="combine(filled_circle(3,'blue'), "
+                       "offset(text_of(name),0,-8))",
+        )
+    )
+    program.connect(src, "out", sx, "in")
+    program.connect(sx, "out", sy, "in")
+    program.connect(sy, "out", disp, "in")
+    engine = Engine(program, db)
+    viewer = Viewer("map", lambda: engine.output_of(disp), 320, 240)
+    viewer.pan_to(-91.8, 31.0)
+    viewer.set_elevation(8.0)
+    return viewer, program, engine
+
+
+class TestRenderSvg:
+    def test_scene_renders_to_svg(self, stations_db):
+        viewer, *_ = map_viewer(stations_db)
+        svg = render_svg(viewer)
+        present = tags(svg)
+        assert "circle" in present
+        assert "text" in present
+        # Station names appear as text content.
+        texts = [el.text for el in parse(svg).iter(f"{SVG_NS}text")]
+        assert "New Orleans" in texts
+
+    def test_svg_and_raster_agree_on_visible_items(self, stations_db):
+        viewer, *_ = map_viewer(stations_db)
+        raster = viewer.render()
+        svg = render_svg(viewer)
+        circles = sum(1 for t in tags(svg) if t == "circle")
+        raster_circles = sum(
+            1 for item in raster.all_items() if item.drawable_kind == "circle"
+        )
+        assert circles == raster_circles
+
+    def test_group_renders_member_cells(self, stations_db):
+        program = Program()
+        a = program.add_box(AddTableBox(table="Stations"))
+        b = program.add_box(AddTableBox(table="Stations"))
+        stitch = program.add_box(StitchBox(arity=2, names=["l", "r"]))
+        program.connect(a, "out", stitch, "c1")
+        program.connect(b, "out", stitch, "c2")
+        engine = Engine(program, stations_db)
+        viewer = Viewer("pair", lambda: engine.output_of(stitch), 400, 200)
+        for member in ("l", "r"):
+            viewer.pan_to(200.0, -2.0, member=member)
+            viewer.set_elevation(500.0, member=member)
+        svg = render_svg(viewer)
+        document = svg.svg_document()
+        assert document.count("translate(") >= 2  # one blit per member cell

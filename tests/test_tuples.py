@@ -1,0 +1,155 @@
+"""Unit tests: schemas and tuples (repro.dbms.tuples)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms import types as T
+from repro.dbms.tuples import Field, Schema, Tuple
+from repro.errors import SchemaError, TypeCheckError
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema([("name", "text"), ("age", "int"), ("score", "float")])
+
+
+class TestField:
+    def test_field_by_type_name(self):
+        field = Field("age", "int")
+        assert field.type is T.INT
+
+    def test_field_by_type_object(self):
+        assert Field("age", T.INT).type is T.INT
+
+    def test_illegal_names_rejected(self):
+        for bad in ("", "1abc", "a-b", "a b", "_lead"):
+            with pytest.raises(SchemaError):
+                Field(bad, "int")
+
+    def test_equality_and_hash(self):
+        assert Field("a", "int") == Field("a", "int")
+        assert Field("a", "int") != Field("a", "float")
+        assert hash(Field("a", "int")) == hash(Field("a", "int"))
+
+
+class TestSchema:
+    def test_names_in_order(self, schema):
+        assert schema.names == ("name", "age", "score")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([("a", "int"), ("a", "float")])
+
+    def test_field_lookup(self, schema):
+        assert schema.field("age").type is T.INT
+
+    def test_missing_field_raises_with_names(self, schema):
+        with pytest.raises(SchemaError, match="name, age, score"):
+            schema.field("height")
+
+    def test_position(self, schema):
+        assert schema.position("score") == 2
+
+    def test_contains(self, schema):
+        assert "age" in schema
+        assert "height" not in schema
+
+    def test_project_reorders(self, schema):
+        projected = schema.project(["score", "name"])
+        assert projected.names == ("score", "name")
+
+    def test_without(self, schema):
+        assert schema.without("age").names == ("name", "score")
+
+    def test_without_missing_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.without("height")
+
+    def test_extend(self, schema):
+        extended = schema.extend(Field("height", "float"))
+        assert extended.names[-1] == "height"
+        assert len(schema) == 3  # original untouched
+
+    def test_extend_duplicate_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.extend(Field("age", "float"))
+
+    def test_rename(self, schema):
+        renamed = schema.rename("age", "years")
+        assert renamed.names == ("name", "years", "score")
+        assert renamed.type_of("years") is T.INT
+
+    def test_rename_collision_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.rename("age", "name")
+
+    def test_equality(self, schema):
+        assert schema == Schema([("name", "text"), ("age", "int"), ("score", "float")])
+        assert schema != schema.without("age")
+
+
+class TestTuple:
+    def test_build_from_dict(self, schema):
+        row = Tuple(schema, {"name": "ada", "age": 36, "score": 9.5})
+        assert row["name"] == "ada"
+        assert row["age"] == 36
+
+    def test_build_from_sequence(self, schema):
+        row = Tuple(schema, ["ada", 36, 9.5])
+        assert row["score"] == 9.5
+
+    def test_missing_field_raises(self, schema):
+        with pytest.raises(SchemaError, match="missing"):
+            Tuple(schema, {"name": "ada", "age": 36})
+
+    def test_extra_field_raises(self, schema):
+        with pytest.raises(SchemaError, match="unknown"):
+            Tuple(schema, {"name": "ada", "age": 36, "score": 1.0, "x": 2})
+
+    def test_wrong_arity_raises(self, schema):
+        with pytest.raises(SchemaError):
+            Tuple(schema, ["ada", 36])
+
+    def test_values_coerced(self, schema):
+        row = Tuple(schema, {"name": "ada", "age": 36, "score": 9})
+        assert isinstance(row["score"], float)
+
+    def test_type_error_names_field(self, schema):
+        with pytest.raises(TypeCheckError, match="age"):
+            Tuple(schema, {"name": "ada", "age": "old", "score": 1.0})
+
+    def test_replace(self, schema):
+        row = Tuple(schema, ["ada", 36, 9.5])
+        updated = row.replace(age=37)
+        assert updated["age"] == 37
+        assert row["age"] == 36  # immutable original
+
+    def test_replace_unknown_field(self, schema):
+        row = Tuple(schema, ["ada", 36, 9.5])
+        with pytest.raises(SchemaError):
+            row.replace(height=1.7)
+
+    def test_project(self, schema):
+        row = Tuple(schema, ["ada", 36, 9.5])
+        projected = row.project(["score", "name"])
+        assert projected.values == (9.5, "ada")
+        assert projected.schema.names == ("score", "name")
+
+    def test_get_with_default(self, schema):
+        row = Tuple(schema, ["ada", 36, 9.5])
+        assert row.get("age") == 36
+        assert row.get("height", -1) == -1
+
+    def test_as_dict(self, schema):
+        row = Tuple(schema, ["ada", 36, 9.5])
+        assert row.as_dict() == {"name": "ada", "age": 36, "score": 9.5}
+
+    def test_equality_and_hash(self, schema):
+        a = Tuple(schema, ["ada", 36, 9.5])
+        b = Tuple(schema, ["ada", 36, 9.5])
+        c = Tuple(schema, ["bob", 36, 9.5])
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+        assert len({a, b, c}) == 2

@@ -1,0 +1,114 @@
+"""Integration tests: extending the type system (the §8 'type definer' story).
+
+"For each primitive type, the type definer is required to implement a
+default display function ... Similarly, we require the type definer to write
+a second update function."  This registers a custom Money type end-to-end:
+storage, default display in the terminal-monitor listing, predicates, and
+screen updates through the custom update function.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms import types as T
+from repro.dbms.relation import Table
+from repro.dbms.tuples import Schema
+from repro.dbms.update import ScriptedDialog, generic_update
+from repro.errors import TypeCheckError
+
+
+class MoneyType(T.AtomicType):
+    """Cents stored as int, displayed and edited as dollars."""
+
+    name = "money_test"
+
+    def validates(self, value):
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    def coerce(self, value):
+        if self.validates(value):
+            return value
+        raise TypeCheckError(f"{value!r} is not money (integer cents)")
+
+    def default_value(self):
+        return 0
+
+    def default_display(self, value):
+        return f"${value / 100:.2f}"
+
+    def parse(self, text):
+        text = text.strip().lstrip("$")
+        try:
+            return int(round(float(text) * 100))
+        except ValueError as exc:
+            raise TypeCheckError(f"cannot parse {text!r} as money") from exc
+
+
+@pytest.fixture(scope="module")
+def money() -> MoneyType:
+    try:
+        return T.type_by_name("money_test")  # type: ignore[return-value]
+    except TypeCheckError:
+        return T.register_type(MoneyType())  # type: ignore[return-value]
+
+
+@pytest.fixture()
+def price_table(money) -> Table:
+    table = Table(
+        "Prices", Schema([("item", "text"), ("price", money)])
+    )
+    table.insert_many(
+        [{"item": "widget", "price": 250}, {"item": "gadget", "price": 1999}]
+    )
+    return table
+
+
+class TestCustomType:
+    def test_registered_and_resolvable(self, money):
+        assert T.type_by_name("money_test") is money
+
+    def test_storage_validates(self, money, price_table):
+        with pytest.raises(TypeCheckError):
+            price_table.insert({"item": "bad", "price": "cheap"})
+
+    def test_default_display(self, money):
+        assert money.default_display(1999) == "$19.99"
+
+    def test_default_display_in_listing(self, money, price_table):
+        from repro.dbms.relation import MethodSet
+        from repro.display.defaults import default_field_texts
+
+        methods = MethodSet(price_table.schema)
+        view = methods.row_view(price_table.snapshot()[0])
+        texts = default_field_texts(view, price_table.schema)
+        assert texts[1].strip() == "$2.50"
+
+    def test_update_via_type_parse(self, money, price_table):
+        row = price_table.snapshot()[0]
+        outcome = generic_update(
+            price_table, row, ScriptedDialog({"price": "$3.75"})
+        )
+        assert outcome.new["price"] == 375
+
+    def test_custom_update_function(self, money, price_table):
+        # The type definer swaps in a relative-adjustment update function.
+        T.set_update_function(
+            money, lambda old, raw: old + money.parse(raw)
+        )
+        try:
+            row = price_table.snapshot()[1]
+            outcome = generic_update(
+                price_table, row, ScriptedDialog({"price": "1.00"})
+            )
+            assert outcome.new["price"] == 2099  # 19.99 + 1.00
+        finally:
+            T._UPDATE_FUNCTIONS.pop(money.name, None)
+
+    def test_displayable_relation_over_custom_type(self, money, price_table):
+        from repro.display.defaults import default_displayable
+
+        relation = default_displayable(price_table)
+        drawables = relation.display_of(relation.view_at(1))
+        texts = [d.text for d in drawables]
+        assert any("$19.99" in text for text in texts)

@@ -1,0 +1,191 @@
+"""Unit tests: the atomic type system (repro.dbms.types)."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.dbms import types as T
+from repro.display.drawables import Circle, Text
+from repro.errors import TypeCheckError
+
+
+class TestValidation:
+    def test_int_accepts_ints(self):
+        assert T.INT.validates(7)
+        assert T.INT.validates(-3)
+
+    def test_int_rejects_bool(self):
+        assert not T.INT.validates(True)
+
+    def test_int_rejects_float(self):
+        assert not T.INT.validates(7.0)
+
+    def test_float_accepts_floats(self):
+        assert T.FLOAT.validates(3.5)
+
+    def test_float_rejects_nan(self):
+        assert not T.FLOAT.validates(float("nan"))
+
+    def test_float_rejects_int(self):
+        assert not T.FLOAT.validates(3)
+
+    def test_text_accepts_str(self):
+        assert T.TEXT.validates("hello")
+
+    def test_bool_accepts_bool(self):
+        assert T.BOOL.validates(False)
+
+    def test_bool_rejects_int(self):
+        assert not T.BOOL.validates(0)
+
+    def test_date_accepts_date(self):
+        assert T.DATE.validates(dt.date(1990, 6, 1))
+
+    def test_date_rejects_datetime(self):
+        assert not T.DATE.validates(dt.datetime(1990, 6, 1))
+
+    def test_drawables_accepts_drawable_list(self):
+        assert T.DRAWABLES.validates([Circle(3.0), Text("hi")])
+
+    def test_drawables_accepts_empty_list(self):
+        assert T.DRAWABLES.validates([])
+
+    def test_drawables_rejects_non_drawables(self):
+        assert not T.DRAWABLES.validates([1, 2])
+
+
+class TestCoercion:
+    def test_int_coerces_integral_float(self):
+        assert T.INT.coerce(4.0) == 4
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(TypeCheckError):
+            T.INT.coerce(4.5)
+
+    def test_float_coerces_int(self):
+        assert T.FLOAT.coerce(4) == 4.0
+        assert isinstance(T.FLOAT.coerce(4), float)
+
+    def test_date_coerces_iso_string(self):
+        assert T.DATE.coerce("1990-06-01") == dt.date(1990, 6, 1)
+
+    def test_date_rejects_bad_string(self):
+        with pytest.raises(TypeCheckError):
+            T.DATE.coerce("not-a-date")
+
+    def test_drawables_coerces_single_drawable(self):
+        result = T.DRAWABLES.coerce(Circle(2.0))
+        assert isinstance(result, list) and len(result) == 1
+
+    def test_text_rejects_int(self):
+        with pytest.raises(TypeCheckError):
+            T.TEXT.coerce(42)
+
+
+class TestParsing:
+    def test_int_parse(self):
+        assert T.INT.parse(" 42 ") == 42
+
+    def test_int_parse_error(self):
+        with pytest.raises(TypeCheckError):
+            T.INT.parse("4.5")
+
+    def test_float_parse(self):
+        assert T.FLOAT.parse("2.5") == 2.5
+
+    def test_bool_parse_variants(self):
+        assert T.BOOL.parse("true") is True
+        assert T.BOOL.parse("F") is False
+        assert T.BOOL.parse("yes") is True
+        assert T.BOOL.parse("0") is False
+
+    def test_bool_parse_error(self):
+        with pytest.raises(TypeCheckError):
+            T.BOOL.parse("maybe")
+
+    def test_date_parse(self):
+        assert T.DATE.parse("1995-12-31") == dt.date(1995, 12, 31)
+
+    def test_drawables_parse_is_error(self):
+        with pytest.raises(TypeCheckError):
+            T.DRAWABLES.parse("circle")
+
+
+class TestDefaultDisplay:
+    def test_float_display_is_compact(self):
+        assert T.FLOAT.default_display(2.0) == "2"
+        assert T.FLOAT.default_display(2.5) == "2.5"
+
+    def test_date_display_is_iso(self):
+        assert T.DATE.default_display(dt.date(1990, 1, 2)) == "1990-01-02"
+
+    def test_drawables_display_names_kinds(self):
+        rendered = T.DRAWABLES.default_display([Circle(1.0)])
+        assert "Circle" in rendered
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert T.type_by_name("int") is T.INT
+        assert T.type_by_name("drawables") is T.DRAWABLES
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TypeCheckError, match="unknown type"):
+            T.type_by_name("tensor")
+
+    def test_registered_names_include_all_atomics(self):
+        names = T.registered_type_names()
+        for expected in ("int", "float", "text", "bool", "date", "drawables"):
+            assert expected in names
+
+    def test_conflicting_registration_rejected(self):
+        class FakeInt(T.AtomicType):
+            name = "int"
+
+        with pytest.raises(TypeCheckError, match="already registered"):
+            T.register_type(FakeInt())
+
+
+class TestInference:
+    def test_infer_each_type(self):
+        assert T.infer_type(1) is T.INT
+        assert T.infer_type(1.5) is T.FLOAT
+        assert T.infer_type("x") is T.TEXT
+        assert T.infer_type(True) is T.BOOL
+        assert T.infer_type(dt.date(2000, 1, 1)) is T.DATE
+        assert T.infer_type([Circle(1.0)]) is T.DRAWABLES
+
+    def test_infer_rejects_nan(self):
+        with pytest.raises(TypeCheckError):
+            T.infer_type(float("nan"))
+
+    def test_infer_rejects_unknown(self):
+        with pytest.raises(TypeCheckError):
+            T.infer_type(object())
+
+    def test_numeric_predicate(self):
+        assert T.numeric(T.INT)
+        assert T.numeric(T.FLOAT)
+        assert not T.numeric(T.TEXT)
+        assert not T.numeric(T.BOOL)
+
+
+class TestUpdateFunctions:
+    def test_default_update_parses(self):
+        fn = T.get_update_function(T.INT)
+        assert fn(1, "99") == 99
+
+    def test_custom_update_function(self):
+        doubling = lambda old, raw: int(raw) * 2
+        T.set_update_function(T.INT, doubling)
+        try:
+            assert T.get_update_function(T.INT)(0, "21") == 42
+        finally:
+            T._UPDATE_FUNCTIONS.pop("int", None)
+
+    def test_update_function_reset_restores_default(self):
+        T.set_update_function(T.TEXT, lambda old, raw: raw.upper())
+        T._UPDATE_FUNCTIONS.pop("text", None)
+        assert T.get_update_function(T.TEXT)("", "abc") == "abc"

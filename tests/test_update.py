@@ -1,0 +1,106 @@
+"""Unit tests: the Section-8 update machinery (repro.dbms.update)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms import types as T
+from repro.dbms.relation import Table
+from repro.dbms.tuples import Schema, Tuple
+from repro.dbms.update import ScriptedDialog, UpdateResult, generic_update
+from repro.errors import UpdateError
+
+SCHEMA = Schema([("item", "text"), ("quantity", "int"), ("price", "float")])
+
+
+def make_table() -> Table:
+    table = Table("Inventory", SCHEMA)
+    table.insert_many(
+        [
+            {"item": "widget", "quantity": 10, "price": 2.5},
+            {"item": "gadget", "quantity": 3, "price": 9.0},
+        ]
+    )
+    return table
+
+
+class TestGenericUpdate:
+    def test_applies_changed_fields(self):
+        table = make_table()
+        row = table.snapshot()[0]
+        result = generic_update(table, row, ScriptedDialog({"quantity": "7"}))
+        assert result.applied
+        assert result.new["quantity"] == 7
+        assert table.snapshot()[0]["quantity"] == 7
+
+    def test_multiple_fields(self):
+        table = make_table()
+        row = table.snapshot()[1]
+        result = generic_update(
+            table, row, ScriptedDialog({"quantity": "4", "price": "8.5"})
+        )
+        assert result.new["quantity"] == 4
+        assert result.new["price"] == 8.5
+
+    def test_dialog_asked_for_every_field(self):
+        table = make_table()
+        dialog = ScriptedDialog({})
+        generic_update(table, table.snapshot()[0], dialog)
+        assert dialog.asked == ["item", "quantity", "price"]
+
+    def test_no_answers_is_noop(self):
+        table = make_table()
+        version = table.version
+        result = generic_update(table, table.snapshot()[0], ScriptedDialog({}))
+        assert not result.applied
+        assert table.version == version
+
+    def test_bad_input_reports_field(self):
+        table = make_table()
+        with pytest.raises(UpdateError, match="quantity"):
+            generic_update(
+                table, table.snapshot()[0], ScriptedDialog({"quantity": "lots"})
+            )
+
+    def test_schema_mismatch_rejected(self):
+        table = make_table()
+        foreign = Tuple(Schema([("x", "int")]), [1])
+        with pytest.raises(UpdateError, match="schema"):
+            generic_update(table, foreign, ScriptedDialog({}))
+
+    def test_stale_tuple_rejected(self):
+        table = make_table()
+        row = table.snapshot()[0]
+        table.delete_where(lambda r: r["item"] == "widget")
+        with pytest.raises(UpdateError, match="no longer present"):
+            generic_update(table, row, ScriptedDialog({"quantity": "1"}))
+
+    def test_version_bumped_on_update(self):
+        table = make_table()
+        version = table.version
+        generic_update(
+            table, table.snapshot()[0], ScriptedDialog({"quantity": "1"})
+        )
+        assert table.version > version
+
+    def test_uses_per_type_update_functions(self):
+        # §8: the type definer's update function drives field parsing.
+        table = make_table()
+        T.set_update_function(T.INT, lambda old, raw: old + int(raw))
+        try:
+            result = generic_update(
+                table, table.snapshot()[0], ScriptedDialog({"quantity": "5"})
+            )
+            assert result.new["quantity"] == 15  # 10 + 5, relative update
+        finally:
+            T._UPDATE_FUNCTIONS.pop("int", None)
+
+
+class TestUpdateResultRepr:
+    def test_repr_mentions_state(self):
+        table = make_table()
+        row = table.snapshot()[0]
+        applied = UpdateResult(True, row, row.replace(quantity=1))
+        assert "applied" in repr(applied)
+        noop = UpdateResult(False, row, row)
+        assert "no-op" in repr(noop)

@@ -1,0 +1,194 @@
+"""Unit tests: the Viewer runtime (viewer.viewer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_attr import AddAttributeBox, SetAttributeBox
+from repro.dataflow.boxes_db import AddTableBox
+from repro.dataflow.boxes_display import StitchBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.errors import ViewerError
+from repro.viewer.viewer import MAIN_MEMBER, Viewer, ViewerBox
+
+
+def map_viewer(db, width=200, height=160) -> Viewer:
+    """Stations positioned at (longitude, latitude) with an Altitude slider."""
+    program = Program()
+    src = program.add_box(AddTableBox(table="Stations"))
+    sx = program.add_box(SetAttributeBox(name="x", definition="longitude"))
+    sy = program.add_box(SetAttributeBox(name="y", definition="latitude"))
+    disp = program.add_box(
+        SetAttributeBox(name="display", definition="filled_circle(2, 'blue')")
+    )
+    alt = program.add_box(
+        AddAttributeBox(name="alt", definition="altitude", location=True)
+    )
+    program.connect(src, "out", sx, "in")
+    program.connect(sx, "out", sy, "in")
+    program.connect(sy, "out", disp, "in")
+    program.connect(disp, "out", alt, "in")
+    engine = Engine(program, db)
+    viewer = Viewer("map", lambda: engine.output_of(alt), width, height)
+    viewer.pan_to(-91.8, 31.0)
+    viewer.set_elevation(8.0)
+    return viewer
+
+
+def group_viewer(db) -> Viewer:
+    program = Program()
+    a = program.add_box(AddTableBox(table="Stations"))
+    b = program.add_box(AddTableBox(table="Stations"))
+    stitch = program.add_box(StitchBox(arity=2, names=["one", "two"]))
+    program.connect(a, "out", stitch, "c1")
+    program.connect(b, "out", stitch, "c2")
+    engine = Engine(program, db)
+    return Viewer("pair", lambda: engine.output_of(stitch), 400, 200)
+
+
+class TestPositionControl:
+    def test_pan_moves_center(self, stations_db):
+        viewer = map_viewer(stations_db)
+        viewer.pan(1.0, -0.5)
+        assert viewer.view().center == pytest.approx((-90.8, 30.5))
+
+    def test_zoom_divides_elevation(self, stations_db):
+        viewer = map_viewer(stations_db)
+        viewer.zoom(2.0)
+        assert viewer.view().elevation == 4.0
+
+    def test_zoom_out(self, stations_db):
+        viewer = map_viewer(stations_db)
+        viewer.zoom(0.5)
+        assert viewer.view().elevation == 16.0
+
+    def test_bad_zoom_factor(self, stations_db):
+        with pytest.raises(ViewerError):
+            map_viewer(stations_db).zoom(0.0)
+
+    def test_elevation_must_stay_positive(self, stations_db):
+        # Zero elevation means passing through a wormhole (§6.2).
+        with pytest.raises(ViewerError, match="wormhole"):
+            map_viewer(stations_db).set_elevation(0.0)
+
+    def test_slider_range_set(self, stations_db):
+        viewer = map_viewer(stations_db)
+        viewer.set_slider("alt", 0.0, 100.0)
+        assert viewer.view().slider_ranges["alt"] == (0.0, 100.0)
+
+    def test_unknown_slider_rejected(self, stations_db):
+        with pytest.raises(ViewerError, match="slider"):
+            map_viewer(stations_db).set_slider("depth", 0, 1)
+
+    def test_empty_slider_range_rejected(self, stations_db):
+        with pytest.raises(ViewerError, match="empty"):
+            map_viewer(stations_db).set_slider("alt", 10, 0)
+
+    def test_moved_callbacks_fire(self, stations_db):
+        viewer = map_viewer(stations_db)
+        calls = []
+        viewer.moved_callbacks.append(lambda v, member: calls.append(member))
+        viewer.pan(1, 1)
+        viewer.zoom(2)
+        viewer.set_slider("alt", 0, 10)
+        assert calls == [MAIN_MEMBER] * 3
+
+
+class TestRendering:
+    def test_render_produces_items(self, stations_db):
+        viewer = map_viewer(stations_db)
+        result = viewer.render()
+        assert result.canvas.count_nonbackground() > 0
+        # NO, BR, Shreveport (LA) and Jackson (MS) are inside the frame.
+        assert len(result.all_items()) == 4
+
+    def test_slider_filters_rendered_tuples(self, stations_db):
+        viewer = map_viewer(stations_db)
+        viewer.set_slider("alt", 0.0, 60.0)
+        result = viewer.render()
+        labels = {item.row["name"] for item in result.all_items()}
+        assert labels == {"New Orleans", "Baton Rouge"}
+
+    def test_render_reflects_database_change(self, stations_db):
+        viewer = map_viewer(stations_db)
+        before = len(viewer.render().all_items())
+        stations_db.table("Stations").insert(
+            {"station_id": 9, "name": "Gretna", "state": "LA",
+             "longitude": -90.05, "latitude": 29.91, "altitude": 3.0}
+        )
+        assert len(viewer.render().all_items()) == before + 1
+
+    def test_dimension(self, stations_db):
+        assert map_viewer(stations_db).dimension() == 3
+
+
+class TestPicking:
+    def test_pick_hits_topmost(self, stations_db):
+        viewer = map_viewer(stations_db)
+        result = viewer.render()
+        item = result.all_items()[0]
+        cx = (item.bbox[0] + item.bbox[2]) / 2
+        cy = (item.bbox[1] + item.bbox[3]) / 2
+        hit = viewer.pick(cx, cy)
+        assert hit is not None
+        assert hit.row == item.row
+
+    def test_pick_misses_empty_space(self, stations_db):
+        viewer = map_viewer(stations_db)
+        viewer.render()
+        assert viewer.pick(1.0, 1.0) is None
+
+    def test_pick_renders_lazily(self, stations_db):
+        viewer = map_viewer(stations_db)
+        assert viewer.last_result is None
+        viewer.pick(0, 0)
+        assert viewer.last_result is not None
+
+
+class TestGroupViewer:
+    def test_member_names(self, stations_db):
+        viewer = group_viewer(stations_db)
+        assert viewer.member_names() == ["one", "two"]
+        assert viewer.is_group()
+
+    def test_member_addressing_required(self, stations_db):
+        viewer = group_viewer(stations_db)
+        with pytest.raises(ViewerError, match="name the member"):
+            viewer.view()
+
+    def test_independent_member_positions(self, stations_db):
+        viewer = group_viewer(stations_db)
+        viewer.pan_to(10.0, 0.0, member="one")
+        viewer.pan_to(-10.0, 0.0, member="two")
+        assert viewer.view("one").center == (10.0, 0.0)
+        assert viewer.view("two").center == (-10.0, 0.0)
+
+    def test_render_group(self, stations_db):
+        viewer = group_viewer(stations_db)
+        for member in viewer.member_names():
+            viewer.pan_to(200.0, -2.0, member=member)
+            viewer.set_elevation(400.0, member=member)
+        result = viewer.render()
+        assert set(result.items) == {"one", "two"}
+        assert result.canvas.count_nonbackground() > 0
+
+    def test_unknown_member(self, stations_db):
+        viewer = group_viewer(stations_db)
+        with pytest.raises(ViewerError, match="no member"):
+            viewer.view("three")
+
+    def test_elevation_map_per_member(self, stations_db):
+        viewer = group_viewer(stations_db)
+        bars = viewer.elevation_map("one").bars()
+        assert [bar.name for bar in bars] == ["Stations"]
+
+
+class TestViewerBox:
+    def test_input_is_group_typed(self):
+        box = ViewerBox(name="v")
+        assert str(box.inputs[0].type) == "G"
+        assert box.outputs == []
+
+    def test_fire_is_inert(self):
+        assert ViewerBox().fire({}, None) == {}

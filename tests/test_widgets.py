@@ -1,0 +1,92 @@
+"""Unit tests: the canvas-window furniture widgets (render.widgets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenarios import build_fig4_station_map, build_fig7_overlay
+from repro.render.widgets import (
+    render_elevation_map,
+    render_slider_bar,
+    render_window_frame,
+)
+
+
+class TestElevationMapWidget:
+    def test_one_bar_per_component(self, weather_db):
+        scenario = build_fig7_overlay(weather_db)
+        window = scenario.window()
+        canvas = render_elevation_map(window.elevation_map(), 6.0)
+        assert canvas.count_nonbackground() > 100
+        # Bars painted in the bar color.
+        assert (90, 120, 170) in canvas.colors_used()
+
+    def test_elevation_control_dashed_line(self, weather_db):
+        scenario = build_fig7_overlay(weather_db)
+        window = scenario.window()
+        canvas = render_elevation_map(window.elevation_map(), 6.0)
+        assert (200, 40, 40) in canvas.colors_used()
+
+    def test_control_moves_with_elevation(self, weather_db):
+        scenario = build_fig7_overlay(weather_db)
+        emap = scenario.window().elevation_map()
+
+        def control_rows(elevation):
+            canvas = render_elevation_map(emap, elevation)
+            pixels = canvas.pixels
+            rows = set()
+            for y in range(canvas.height):
+                row = pixels[y]
+                if ((row == (200, 40, 40)).all(axis=1)).any():
+                    rows.add(y)
+            return min(rows)
+
+        # Higher elevation → line nearer the top (smaller y).
+        assert control_rows(20.0) < control_rows(2.0)
+
+    def test_underside_bars_colored_differently(self, weather_db):
+        from repro.core.scenarios import build_fig8_wormholes
+
+        scenario = build_fig8_wormholes(weather_db)
+        emap = scenario["map_window"].elevation_map()
+        canvas = render_elevation_map(emap, 6.0)
+        assert (170, 120, 90) in canvas.colors_used()  # the return wormholes
+
+
+class TestSliderBarWidget:
+    def test_full_range_fills_track(self):
+        full = render_slider_bar("Altitude", (float("-inf"), float("inf")),
+                                 (0.0, 100.0))
+        narrow = render_slider_bar("Altitude", (40.0, 60.0), (0.0, 100.0))
+        assert full.count_nonbackground() > narrow.count_nonbackground()
+
+    def test_label_painted(self):
+        canvas = render_slider_bar("Altitude", (0.0, 1.0), (0.0, 1.0))
+        assert canvas.count_nonbackground() > 20
+
+    def test_degenerate_data_range(self):
+        canvas = render_slider_bar("x", (0.0, 0.0), (5.0, 5.0))
+        assert canvas.count_nonbackground() > 0
+
+
+class TestWindowFrame:
+    def test_frame_composites_all_furniture(self, weather_db):
+        scenario = build_fig4_station_map(weather_db)
+        window = scenario.window()
+        frame = render_window_frame(window)
+        assert frame.width > window.viewer.width
+        assert frame.height > window.viewer.height  # slider strip added
+        # Content region, elevation map region, and slider strip all painted.
+        assert frame.region_nonbackground(0, 0, window.viewer.width,
+                                          window.viewer.height) > 0
+        assert frame.region_nonbackground(window.viewer.width, 0,
+                                          frame.width, 200) > 0
+        assert frame.region_nonbackground(0, window.viewer.height,
+                                          window.viewer.width,
+                                          frame.height) > 0
+
+    def test_frame_without_sliders(self, weather_db):
+        scenario = build_fig7_overlay(weather_db)
+        window = scenario.window()
+        frame = render_window_frame(window)
+        assert frame.count_nonbackground() > 0

@@ -1,0 +1,144 @@
+"""Integration tests: multi-hop wormhole chains and two-sided elevations.
+
+"the user can pan and zoom on this second canvas, as well as move to a
+third canvas" (§6.2); ranges straddling zero are visible on both canvas
+sides (§6.3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_db import AddTableBox
+from repro.dataflow.boxes_attr import SetAttributeBox
+from repro.dataflow.boxes_display import SetRangeBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.render.canvas import Canvas
+from repro.render.scene import SceneStats, ViewState, render_composite
+from repro.viewer.rearview import RearViewMirror
+from repro.viewer.viewer import Viewer
+from repro.viewer.wormhole import CanvasRegistry, WormholeNavigator
+
+
+def dotted_canvas(program, db, destination=None):
+    """A pipeline of stations; with ``destination``, each is a wormhole."""
+    src = program.add_box(AddTableBox(table="Stations"))
+    sx = program.add_box(SetAttributeBox(name="x", definition="longitude"))
+    sy = program.add_box(SetAttributeBox(name="y", definition="latitude"))
+    program.connect(src, "out", sx, "in")
+    program.connect(sx, "out", sy, "in")
+    if destination:
+        disp = program.add_box(SetAttributeBox(
+            name="display",
+            definition=f"wormhole('{destination}', 40, 30, 20, "
+                       "longitude, latitude)",
+        ))
+    else:
+        disp = program.add_box(SetAttributeBox(
+            name="display", definition="filled_circle(2, 'red')"
+        ))
+    program.connect(sy, "out", disp, "in")
+    return disp
+
+
+@pytest.fixture()
+def three_canvases(stations_db):
+    program = Program()
+    a_tail = dotted_canvas(program, stations_db, destination="b")
+    b_tail = dotted_canvas(program, stations_db, destination="c")
+    c_tail = dotted_canvas(program, stations_db)
+    engine = Engine(program, stations_db)
+    registry = CanvasRegistry()
+    viewers = {}
+    for name, tail in (("a", a_tail), ("b", b_tail), ("c", c_tail)):
+        viewer = Viewer(name, lambda t=tail: engine.output_of(t), 200, 160)
+        viewer.pan_to(-90.07, 29.95)
+        viewer.set_elevation(3.0)
+        registry.register(viewer)
+        viewers[name] = viewer
+    navigator = WormholeNavigator(registry)
+    navigator.set_current("a")
+    return navigator, viewers
+
+
+class TestThreeHopChain:
+    def test_chain_forward(self, three_canvases):
+        navigator, viewers = three_canvases
+        viewers["a"].render()
+        navigator.traverse(viewers["a"].visible_wormholes()[0])
+        assert navigator.current_canvas == "b"
+        viewers["b"].pan_to(-90.07, 29.95)
+        viewers["b"].set_elevation(3.0)
+        viewers["b"].render()
+        navigator.traverse(viewers["b"].visible_wormholes()[0])
+        assert navigator.current_canvas == "c"
+        assert len(navigator.history) == 2
+
+    def test_back_twice_unwinds(self, three_canvases):
+        navigator, viewers = three_canvases
+        a_center = viewers["a"].view().center
+        viewers["a"].render()
+        navigator.traverse(viewers["a"].visible_wormholes()[0])
+        viewers["b"].pan_to(-90.07, 29.95)
+        viewers["b"].set_elevation(3.0)
+        b_center = viewers["b"].view().center
+        viewers["b"].render()
+        navigator.traverse(viewers["b"].visible_wormholes()[0])
+
+        assert navigator.go_back().name == "b"
+        assert viewers["b"].view().center == b_center
+        assert navigator.go_back().name == "a"
+        assert viewers["a"].view().center == a_center
+        assert len(navigator.history) == 0
+
+    def test_mirror_tracks_most_recent_passage(self, three_canvases):
+        navigator, viewers = three_canvases
+        viewers["a"].render()
+        navigator.traverse(viewers["a"].visible_wormholes()[0])
+        viewers["b"].pan_to(-90.07, 29.95)
+        viewers["b"].set_elevation(3.0)
+        viewers["b"].render()
+        navigator.traverse(viewers["b"].visible_wormholes()[0])
+        mirror = RearViewMirror(navigator, 120, 90)
+        assert mirror.has_view()
+        record = navigator.history.peek()
+        assert record.origin_canvas == "b"
+
+    def test_nested_previews_render_two_levels(self, three_canvases):
+        # Canvas a shows b inside its wormholes; b's wormholes show c —
+        # bounded by MAX_WORMHOLE_DEPTH.
+        navigator, viewers = three_canvases
+        result = viewers["a"].render()
+        assert result.canvas.count_nonbackground() > 0
+
+
+class TestStraddlingRanges:
+    def make_relation(self, db, low, high):
+        program = Program()
+        tail = dotted_canvas(program, db)
+        rng = program.add_box(SetRangeBox(minimum=low, maximum=high))
+        program.connect(tail, "out", rng, "in")
+        return Engine(program, db).output_of(rng)
+
+    def render_at(self, relation, elevation):
+        view = ViewState(center=(-90.07, 29.95), elevation=elevation,
+                         viewport=(160, 120))
+        stats = SceneStats()
+        render_composite(Canvas(160, 120), relation, view, stats=stats)
+        return stats
+
+    def test_straddling_visible_both_sides(self, stations_db):
+        relation = self.make_relation(stations_db, -10.0, 10.0)
+        assert self.render_at(relation, 5.0).tuples_rendered > 0
+        assert self.render_at(relation, -5.0).tuples_rendered > 0
+
+    def test_straddling_hidden_outside_band(self, stations_db):
+        relation = self.make_relation(stations_db, -10.0, 10.0)
+        assert self.render_at(relation, 50.0).relations_culled_by_elevation == 1
+        assert self.render_at(relation, -50.0).relations_culled_by_elevation == 1
+
+    def test_topside_only_hidden_below(self, stations_db):
+        relation = self.make_relation(stations_db, 1.0, 100.0)
+        assert self.render_at(relation, 5.0).tuples_rendered > 0
+        assert self.render_at(relation, -5.0).relations_culled_by_elevation == 1

@@ -1,0 +1,233 @@
+"""Unit tests: wormhole traversal, travel history, rear view mirrors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_attr import SetAttributeBox
+from repro.dataflow.boxes_db import AddTableBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.errors import ViewerError
+from repro.viewer.rearview import RearViewMirror
+from repro.viewer.viewer import Viewer
+from repro.viewer.wormhole import (
+    CanvasRegistry,
+    TravelHistory,
+    TravelRecord,
+    WormholeNavigator,
+)
+
+
+def build_world(db):
+    """Two canvases: 'origin' has wormholes to 'dest'; 'dest' has plain dots.
+
+    The origin also carries an underside display (range < 0): return
+    wormholes visible only in the rear view mirror (§6.3).
+    """
+    program = Program()
+
+    src1 = program.add_box(AddTableBox(table="Stations"))
+    x1 = program.add_box(SetAttributeBox(name="x", definition="longitude"))
+    y1 = program.add_box(SetAttributeBox(name="y", definition="latitude"))
+    hole = program.add_box(
+        SetAttributeBox(
+            name="display",
+            definition="wormhole('dest', 40, 30, 50, longitude, latitude)",
+        )
+    )
+    program.connect(src1, "out", x1, "in")
+    program.connect(x1, "out", y1, "in")
+    program.connect(y1, "out", hole, "in")
+
+    # Underside overlay: same stations, visible only at negative elevation.
+    src2 = program.add_box(AddTableBox(table="Stations"))
+    x2 = program.add_box(SetAttributeBox(name="x", definition="longitude"))
+    y2 = program.add_box(SetAttributeBox(name="y", definition="latitude"))
+    back = program.add_box(
+        SetAttributeBox(
+            name="display",
+            definition="wormhole('origin', 40, 30, 8, longitude, latitude)",
+        )
+    )
+    program.connect(src2, "out", x2, "in")
+    program.connect(x2, "out", y2, "in")
+    program.connect(y2, "out", back, "in")
+
+    from repro.dataflow.boxes_display import OverlayBox, SetRangeBox
+
+    rng = program.add_box(SetRangeBox(minimum=-1e6, maximum=-1e-6))
+    program.connect(back, "out", rng, "in")
+    overlay = program.add_box(OverlayBox())
+    program.connect(hole, "out", overlay, "base")
+    program.connect(rng, "out", overlay, "top")
+
+    dsrc = program.add_box(AddTableBox(table="Stations"))
+    dx = program.add_box(SetAttributeBox(name="x", definition="longitude"))
+    dy = program.add_box(SetAttributeBox(name="y", definition="latitude"))
+    ddisp = program.add_box(
+        SetAttributeBox(name="display", definition="filled_circle(2, 'red')")
+    )
+    program.connect(dsrc, "out", dx, "in")
+    program.connect(dx, "out", dy, "in")
+    program.connect(dy, "out", ddisp, "in")
+
+    engine = Engine(program, db)
+    registry = CanvasRegistry()
+    origin = Viewer("origin", lambda: engine.output_of(overlay), 200, 160)
+    dest = Viewer("dest", lambda: engine.output_of(ddisp), 200, 160)
+    registry.register(origin)
+    registry.register(dest)
+    origin.pan_to(-90.07, 29.95)
+    origin.set_elevation(3.0)
+    navigator = WormholeNavigator(registry)
+    navigator.set_current("origin")
+    return navigator, origin, dest
+
+
+class TestCanvasRegistry:
+    def test_duplicate_name_rejected(self, stations_db):
+        registry = CanvasRegistry()
+        registry.register(Viewer("a", lambda: None))
+        with pytest.raises(ViewerError, match="already exists"):
+            registry.register(Viewer("a", lambda: None))
+
+    def test_lookup_and_unregister(self, stations_db):
+        registry = CanvasRegistry()
+        viewer = Viewer("a", lambda: None)
+        registry.register(viewer)
+        assert registry.get("a") is viewer
+        assert "a" in registry
+        registry.unregister("a")
+        with pytest.raises(ViewerError, match="no canvas"):
+            registry.get("a")
+
+    def test_register_installs_resolver(self, stations_db):
+        registry = CanvasRegistry()
+        viewer = Viewer("a", lambda: None)
+        registry.register(viewer)
+        assert viewer.resolver is not None
+
+
+class TestTravelHistory:
+    def test_stack_semantics(self):
+        history = TravelHistory()
+        assert history.peek() is None
+        record = TravelRecord("a", "main", (0, 0), 10.0, None, "b")
+        history.push(record)
+        assert history.peek() is record
+        assert len(history) == 1
+        assert history.pop() is record
+        with pytest.raises(ViewerError, match="empty"):
+            history.pop()
+
+
+class TestTraversal:
+    def test_traverse_positions_destination(self, stations_db):
+        navigator, origin, dest = build_world(stations_db)
+        origin.render()
+        wormholes = origin.visible_wormholes()
+        assert wormholes
+        target = wormholes[0]
+        arrived = navigator.traverse(target)
+        assert arrived is dest
+        assert navigator.current_canvas == "dest"
+        assert dest.view().elevation == 50.0
+        # Landed at the wormhole's initial location (the station position).
+        assert dest.view().center == (
+            target.row["longitude"], target.row["latitude"]
+        )
+
+    def test_zoom_into_wormhole_by_screen_point(self, stations_db):
+        navigator, origin, dest = build_world(stations_db)
+        origin.render()
+        item = origin.visible_wormholes()[0]
+        cx = (item.bbox[0] + item.bbox[2]) / 2
+        cy = (item.bbox[1] + item.bbox[3]) / 2
+        arrived = navigator.zoom_into_wormhole(cx, cy)
+        assert arrived.name == "dest"
+
+    def test_zoom_into_empty_space_rejected(self, stations_db):
+        navigator, origin, __ = build_world(stations_db)
+        origin.render()
+        with pytest.raises(ViewerError, match="no wormhole"):
+            navigator.zoom_into_wormhole(1.0, 1.0)
+
+    def test_non_wormhole_item_rejected(self, stations_db):
+        navigator, origin, dest = build_world(stations_db)
+        navigator.set_current("dest")
+        dest.pan_to(-90.07, 29.95)
+        dest.set_elevation(3.0)
+        dest.render()
+        item = dest.last_result.all_items()[0]  # a circle
+        with pytest.raises(ViewerError, match="not a wormhole"):
+            navigator.traverse(item)
+
+    def test_go_back_restores_origin(self, stations_db):
+        navigator, origin, dest = build_world(stations_db)
+        origin.render()
+        before_center = origin.view().center
+        before_elevation = origin.view().elevation
+        navigator.traverse(origin.visible_wormholes()[0])
+        origin.pan_to(0.0, 0.0)  # wander on origin state; back restores it
+        returned = navigator.go_back()
+        assert returned is origin
+        assert navigator.current_canvas == "origin"
+        assert origin.view().center == before_center
+        assert origin.view().elevation == before_elevation
+
+    def test_descent_distance_grows_with_zoom(self, stations_db):
+        navigator, origin, dest = build_world(stations_db)
+        origin.render()
+        navigator.traverse(origin.visible_wormholes()[0])
+        assert navigator.descent_distance() == 0.0
+        dest.set_elevation(20.0)
+        assert navigator.descent_distance() == 30.0
+
+    def test_chained_traversal_history(self, stations_db):
+        navigator, origin, dest = build_world(stations_db)
+        origin.render()
+        navigator.traverse(origin.visible_wormholes()[0])
+        assert len(navigator.history) == 1
+        assert navigator.history.peek().origin_canvas == "origin"
+
+
+class TestRearViewMirror:
+    def test_blank_before_any_travel(self, stations_db):
+        navigator, *_ = build_world(stations_db)
+        mirror = RearViewMirror(navigator, 120, 90)
+        assert not mirror.has_view()
+        assert mirror.render().count_nonbackground() == 0
+
+    def test_shows_underside_after_travel(self, stations_db):
+        navigator, origin, dest = build_world(stations_db)
+        origin.render()
+        navigator.traverse(origin.visible_wormholes()[0])
+        dest.set_elevation(25.0)  # descend below the origin canvas
+        mirror = RearViewMirror(navigator, 200, 160)
+        canvas = mirror.render()
+        assert canvas.count_nonbackground() > 0
+        # The underside shows the return wormholes — the way home (§6.3).
+        assert mirror.visible_wormholes()
+
+    def test_return_through_mirror_wormhole(self, stations_db):
+        navigator, origin, dest = build_world(stations_db)
+        origin.render()
+        navigator.traverse(origin.visible_wormholes()[0])
+        dest.set_elevation(25.0)
+        mirror = RearViewMirror(navigator, 200, 160)
+        mirror.render()
+        home = navigator.traverse(mirror.visible_wormholes()[0])
+        assert home.name == "origin"
+
+    def test_topside_only_displays_hidden_from_mirror(self, stations_db):
+        navigator, origin, dest = build_world(stations_db)
+        origin.render()
+        navigator.traverse(origin.visible_wormholes()[0])
+        dest.set_elevation(25.0)
+        mirror = RearViewMirror(navigator, 200, 160)
+        mirror.render()
+        # Only the underside relation is visible; the topside wormholes
+        # (range [0, inf)) are not.
+        names = {item.relation_name for item in mirror.last_items}
+        assert len(names) == 1
