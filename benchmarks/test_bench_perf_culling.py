@@ -61,6 +61,22 @@ def test_perf_culling_deep_zoom(benchmark, scatter, cull):
         assert stats.drawables_painted == 40_000
 
 
+def test_perf_culling_pushdown_plan_stats(scatter):
+    """The deep zoom takes the plan-pushdown path: culling runs as
+    synthesized Restrict nodes, so display functions are evaluated for
+    strictly fewer tuples than are scanned (asserted from plan stats)."""
+    stats = SceneStats()
+    render_composite(Canvas(320, 240), scatter, DEEP_ZOOM, stats=stats)
+    assert stats.cull_plans, "expected the synthesized culling plan"
+    (plan,) = stats.cull_plans
+    assert plan.stats.rows_in == 20_000
+    assert plan.stats.rows_out < plan.stats.rows_in
+    # Only the survivors reach display-function evaluation (some of those
+    # still bbox-clip: the cull margin keeps anchors near the edge).
+    assert stats.tuples_rendered <= plan.stats.rows_out
+    assert plan.stats.rows_out < 600
+
+
 def test_perf_culling_zoom_sweep(benchmark, scatter):
     """Flying downward: render cost should fall as the view narrows."""
     def sweep():

@@ -104,6 +104,19 @@ def build_parser() -> argparse.ArgumentParser:
         "boxes", help="list the registered box catalog with help text"
     )
     boxes.add_argument("--topic", help="show full help for one box type")
+
+    explain = commands.add_parser(
+        "explain",
+        help="per-operator execution profile of a program (rows in/out, "
+        "batches, wall time per plan node)",
+    )
+    explain.add_argument("--db", help="database JSON (with --name)")
+    explain.add_argument("--name", help="saved program to explain")
+    explain.add_argument(
+        "--figure", choices=sorted(_FIGURES),
+        help="explain a built-in figure scenario instead of a saved program",
+    )
+    explain.add_argument("--box", type=int, help="limit to one box id")
     return parser
 
 
@@ -240,6 +253,28 @@ def _cmd_boxes(args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    from repro.dataflow.explain import explain
+
+    if args.figure:
+        db = build_weather_database(extra_stations=40, every_days=30)
+        scenario = _FIGURES[args.figure](db)
+        session = scenario.session
+        print(explain(session.program, session.database,
+                      engine=session.engine, box_id=args.box))
+        return 0
+    if not args.db or not args.name:
+        print("error: explain needs --figure, or --db with --name",
+              file=sys.stderr)
+        return 2
+    db = load_database_file(args.db)
+    session = Session(db)
+    session.load_program(args.name)
+    print(explain(session.program, session.database,
+                  engine=session.engine, box_id=args.box))
+    return 0
+
+
 _HANDLERS = {
     "init-weather": _cmd_init_weather,
     "tables": _cmd_tables,
@@ -249,6 +284,7 @@ _HANDLERS = {
     "figures": _cmd_figures,
     "query": _cmd_query,
     "boxes": _cmd_boxes,
+    "explain": _cmd_explain,
 }
 
 

@@ -24,12 +24,14 @@ from typing import Any
 from repro.dataflow.box import Box
 from repro.dataflow.overload import apply_to_relation
 from repro.dataflow.ports import Port, PortType
-from repro.dbms import algebra
+from repro.dbms import plan as P
+from repro.dbms.expr import Unary
 from repro.dbms.parser import parse_predicate
+from repro.dbms.plan import LazyRowSet, source_plan
 from repro.dbms.relation import RowSet
 from repro.display.defaults import default_displayable
 from repro.display.displayable import DisplayableRelation
-from repro.errors import GraphError
+from repro.errors import EvaluationError, GraphError
 
 __all__ = [
     "AddTableBox",
@@ -69,17 +71,32 @@ class AddTableBox(Box):
         return ("table", name, database.table(name).version)
 
 
-def _filtered(relation: DisplayableRelation, predicate_source: str) -> DisplayableRelation:
+def _lazy(node: P.PlanNode, label: str) -> LazyRowSet:
+    """Wrap a plan fragment so downstream boxes extend it instead of
+    materializing it; the engine forces only at demanded outputs."""
+    return LazyRowSet(node, label=label)
+
+
+def _filtered(
+    relation: DisplayableRelation, predicate_source: str, negate: bool = False
+) -> DisplayableRelation:
     """Restrict over stored *or computed* attributes.
 
-    Plain stored-field predicates go through the algebra; predicates that
-    mention computed attributes are evaluated over the extended row views.
+    Plain stored-field predicates become a streaming Restrict plan node over
+    the upstream fragment; predicates that mention computed attributes are
+    evaluated over the extended row views.
     """
     predicate = parse_predicate(predicate_source, relation.extended_schema)
     if predicate.fields_used() <= set(relation.rows.schema.names):
-        return relation.with_rows(algebra.restrict(relation.rows, predicate))
+        if negate:
+            predicate = Unary("not", predicate)
+        node = P.RestrictNode(
+            source_plan(relation.rows, relation.name), predicate
+        )
+        return relation.with_rows(_lazy(node, relation.name))
+    keep = (lambda value: not value) if negate else bool
     kept = [
-        view.base for view in relation.views() if bool(predicate.evaluate(view))
+        view.base for view in relation.views() if keep(predicate.evaluate(view))
     ]
     return relation.with_rows(RowSet(relation.rows.schema, kept))
 
@@ -139,7 +156,8 @@ class ProjectBox(Box):
         fields = self.require_param("fields")
 
         def op(rel: DisplayableRelation) -> DisplayableRelation:
-            return rel.with_rows(algebra.project(rel.rows, fields))
+            node = P.ProjectNode(source_plan(rel.rows, rel.name), fields)
+            return rel.with_rows(_lazy(node, rel.name))
 
         return {
             "out": apply_to_relation(
@@ -178,7 +196,8 @@ class SampleBox(Box):
         seed = self.param("seed")
 
         def op(rel: DisplayableRelation) -> DisplayableRelation:
-            return rel.with_rows(algebra.sample(rel.rows, probability, seed))
+            node = P.SampleNode(source_plan(rel.rows, rel.name), probability, seed)
+            return rel.with_rows(_lazy(node, rel.name))
 
         return {
             "out": apply_to_relation(
@@ -219,18 +238,25 @@ class JoinBox(Box):
     def fire(self, inputs: dict[str, Any], context) -> dict[str, Any]:
         left: DisplayableRelation = _as_relation(inputs["left"], "Join left input")
         right: DisplayableRelation = _as_relation(inputs["right"], "Join right input")
+        left_plan = source_plan(left.rows, left.name)
+        right_plan = source_plan(right.rows, right.name)
         predicate = self.param("predicate")
         if predicate is not None:
-            rows = algebra.join_theta(left.rows, right.rows, predicate)
+            node: P.PlanNode = P.ThetaJoinNode(left_plan, right_plan, predicate)
         else:
             left_key = self.require_param("left_key")
             right_key = self.require_param("right_key")
-            rows = algebra.join(
-                left.rows, right.rows, left_key, right_key,
-                strategy=self.param("strategy", "hash"),
-            )
+            strategy = self.param("strategy", "hash")
+            if strategy == "hash":
+                node = P.HashJoinNode(left_plan, right_plan, left_key, right_key)
+            elif strategy == "nested_loop":
+                node = P.NestedLoopJoinNode(
+                    left_plan, right_plan, left_key, right_key
+                )
+            else:
+                raise EvaluationError(f"unknown join strategy {strategy!r}")
         name = f"{left.name}_join_{right.name}"
-        return {"out": DisplayableRelation(rows, name=name)}
+        return {"out": DisplayableRelation(_lazy(node, name), name=name)}
 
 
 def _as_relation(value: Any, what: str) -> DisplayableRelation:
@@ -304,8 +330,4 @@ class SwitchBox(Box):
 def _inverse_filtered(
     relation: DisplayableRelation, predicate_source: str
 ) -> DisplayableRelation:
-    predicate = parse_predicate(predicate_source, relation.extended_schema)
-    kept = [
-        view.base for view in relation.views() if not bool(predicate.evaluate(view))
-    ]
-    return relation.with_rows(RowSet(relation.rows.schema, kept))
+    return _filtered(relation, predicate_source, negate=True)

@@ -22,9 +22,10 @@ from repro.dataflow.box import Box
 from repro.dataflow.overload import apply_to_relation
 from repro.dataflow.ports import Port, PortType, scalar
 from repro.dataflow.registry import register_box_class
-from repro.dbms import algebra
+from repro.dbms import plan as P
 from repro.dbms import types as T
 from repro.dbms.parser import parse_expression
+from repro.dbms.plan import LazyRowSet, source_plan
 from repro.dbms.relation import RowSet
 from repro.dbms.tuples import Field, Schema
 from repro.display.displayable import DisplayableRelation
@@ -76,8 +77,9 @@ class AggregateBox(Box):
         aggregations = [tuple(spec) for spec in self.require_param("aggregations")]
 
         def op(rel: DisplayableRelation) -> DisplayableRelation:
-            rows = algebra.group_by(rel.rows, keys, aggregations)
-            return DisplayableRelation(rows, name=f"{rel.name}_agg")
+            node = P.GroupByNode(source_plan(rel.rows, rel.name), keys, aggregations)
+            name = f"{rel.name}_agg"
+            return DisplayableRelation(LazyRowSet(node, label=name), name=name)
 
         return {
             "out": apply_to_relation(
@@ -116,7 +118,8 @@ class OrderByBox(Box):
         descending = bool(self.param("descending", False))
 
         def op(rel: DisplayableRelation) -> DisplayableRelation:
-            return rel.with_rows(algebra.order_by(rel.rows, fields, descending))
+            node = P.OrderByNode(source_plan(rel.rows, rel.name), fields, descending)
+            return rel.with_rows(LazyRowSet(node, label=rel.name))
 
         return {
             "out": apply_to_relation(
@@ -140,7 +143,12 @@ class DistinctBox(Box):
         return {
             "out": apply_to_relation(
                 inputs["in"],
-                lambda rel: rel.with_rows(algebra.distinct(rel.rows)),
+                lambda rel: rel.with_rows(
+                    LazyRowSet(
+                        P.DistinctNode(source_plan(rel.rows, rel.name)),
+                        label=rel.name,
+                    )
+                ),
                 self.param("component"),
                 self.param("member"),
             )
@@ -168,7 +176,12 @@ class LimitBox(Box):
         return {
             "out": apply_to_relation(
                 inputs["in"],
-                lambda rel: rel.with_rows(algebra.limit(rel.rows, count)),
+                lambda rel: rel.with_rows(
+                    LazyRowSet(
+                        P.LimitNode(source_plan(rel.rows, rel.name), count),
+                        label=rel.name,
+                    )
+                ),
                 self.param("component"),
                 self.param("member"),
             )
@@ -200,7 +213,8 @@ class RenameBox(Box):
         new = self.require_param("new")
 
         def op(rel: DisplayableRelation) -> DisplayableRelation:
-            return rel.with_rows(algebra.rename(rel.rows, old, new))
+            node = P.RenameNode(source_plan(rel.rows, rel.name), old, new)
+            return rel.with_rows(LazyRowSet(node, label=rel.name))
 
         return {
             "out": apply_to_relation(
@@ -230,7 +244,10 @@ class UnionBox(Box):
             right, DisplayableRelation
         ):
             raise GraphError("Union takes two relations (R); select components first")
-        return {"out": left.with_rows(algebra.union(left.rows, right.rows))}
+        node = P.UnionNode(
+            source_plan(left.rows, left.name), source_plan(right.rows, right.name)
+        )
+        return {"out": left.with_rows(LazyRowSet(node, label=left.name))}
 
 
 class ParameterBox(Box):

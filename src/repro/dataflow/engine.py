@@ -23,9 +23,32 @@ from typing import Any
 from repro.dataflow.box import Box
 from repro.dataflow.graph import Program
 from repro.dbms.catalog import Database
+from repro.dbms.plan import LazyRowSet
+from repro.display.displayable import Composite, DisplayableRelation, Group
 from repro.errors import GraphError
 
 __all__ = ["FireContext", "EngineStats", "Engine"]
+
+
+def _force_value(value: Any) -> Any:
+    """Materialize any lazily-streamed row sets inside a demanded value.
+
+    Boxes emit plan fragments wrapped in :class:`LazyRowSet`; demand is the
+    materialization boundary, so data-dependent evaluation errors surface
+    here — from ``output_of``/``evaluate_all`` — exactly where they surfaced
+    when boxes materialized eagerly.
+    """
+    if isinstance(value, LazyRowSet):
+        value.force()
+    elif isinstance(value, DisplayableRelation):
+        _force_value(value.rows)
+    elif isinstance(value, Composite):
+        for entry in value.entries:
+            _force_value(entry.relation)
+    elif isinstance(value, Group):
+        for __, member in value.members:
+            _force_value(member)
+    return value
 
 
 class FireContext:
@@ -44,20 +67,58 @@ class FireContext:
 
 
 class EngineStats:
-    """Counters for benchmarking firing behaviour."""
+    """Counters for benchmarking firing behaviour.
+
+    All three counter families are attributable per box id: ``fires``,
+    ``hits``, and ``misses`` map box id → count.  The aggregate
+    ``cache_hits``/``cache_misses`` views are kept for callers that predate
+    the per-box breakdown.
+    """
 
     def __init__(self) -> None:
         self.fires: dict[int, int] = {}
-        self.cache_hits = 0
-        self.cache_misses = 0
+        self.hits: dict[int, int] = {}
+        self.misses: dict[int, int] = {}
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(self.misses.values())
+
+    def record_fire(self, box_id: int) -> None:
+        self.fires[box_id] = self.fires.get(box_id, 0) + 1
+
+    def record_hit(self, box_id: int) -> None:
+        self.hits[box_id] = self.hits.get(box_id, 0) + 1
+
+    def record_miss(self, box_id: int) -> None:
+        self.misses[box_id] = self.misses.get(box_id, 0) + 1
 
     def total_fires(self) -> int:
         return sum(self.fires.values())
 
     def reset(self) -> None:
         self.fires.clear()
-        self.cache_hits = 0
-        self.cache_misses = 0
+        self.hits.clear()
+        self.misses.clear()
+
+    def summary(self) -> str:
+        """Multi-line, per-box account of firing and cache behaviour (used
+        by ``explain`` and the CLI stats output)."""
+        lines = [
+            f"EngineStats: {self.total_fires()} fires, "
+            f"{self.cache_hits} cache hits, {self.cache_misses} misses"
+        ]
+        for box_id in sorted(set(self.fires) | set(self.hits) | set(self.misses)):
+            lines.append(
+                f"  box #{box_id}: fires={self.fires.get(box_id, 0)} "
+                f"hits={self.hits.get(box_id, 0)} "
+                f"misses={self.misses.get(box_id, 0)}"
+            )
+        return "\n".join(lines)
 
     def __repr__(self) -> str:
         return (
@@ -106,7 +167,7 @@ class Engine:
         else:
             box.output_port(port_name)  # validate
         outputs = self._evaluate_box(box_id, set())
-        return outputs[port_name]
+        return _force_value(outputs[port_name])
 
     def inputs_of(self, box_id: int) -> dict[str, Any]:
         """Demand and return all inputs of a box (used by viewers/sinks)."""
@@ -136,7 +197,9 @@ class Engine:
             if not _all_required_inputs_connected(self.program, box):
                 continue
             if box.outputs:
-                self._evaluate_box(box_id, set())
+                outputs = self._evaluate_box(box_id, set())
+                for value in outputs.values():
+                    _force_value(value)
             else:
                 self.inputs_of(box_id)
             count += 1
@@ -166,9 +229,9 @@ class Engine:
         signature = self._signature_of(box_id, visiting)
         cached = self._cache.get(box_id)
         if cached is not None and cached[0] == signature:
-            self.stats.cache_hits += 1
+            self.stats.record_hit(box_id)
             return cached[1]
-        self.stats.cache_misses += 1
+        self.stats.record_miss(box_id)
 
         visiting = visiting | {box_id}
         inputs: dict[str, Any] = {}
@@ -190,7 +253,7 @@ class Engine:
             raise GraphError(
                 f"{box.describe()} fired without producing outputs: {missing}"
             )
-        self.stats.fires[box_id] = self.stats.fires.get(box_id, 0) + 1
+        self.stats.record_fire(box_id)
         self._cache[box_id] = (signature, outputs)
         return outputs
 

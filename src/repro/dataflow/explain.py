@@ -1,0 +1,95 @@
+"""EXPLAIN for dataflow programs: per-operator execution profiles.
+
+Boxes fire by emitting physical-plan fragments (:mod:`repro.dbms.plan`);
+demanding an output executes the fragment and leaves per-node counters
+behind — rows in/out, batch count, buffered state, wall time.  This module
+surfaces those counters: :func:`explain` demands every (connected) box
+output of a program, then prints each output's plan tree annotated with its
+counters plus the engine's per-box fire/cache accounting.
+
+This is the debugging story for "no distinction between constructing,
+modifying, and using a program" (§1.2): the same incremental evaluation
+that drives the display also reports exactly what each edit recomputed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.dataflow.engine import Engine, _all_required_inputs_connected
+from repro.dataflow.graph import Program
+from repro.dbms.catalog import Database
+from repro.dbms.plan import LazyRowSet, explain_plan
+from repro.display.displayable import Composite, DisplayableRelation, Group
+from repro.errors import TiogaError
+
+__all__ = ["explain", "output_plans"]
+
+
+def output_plans(value: Any) -> Iterator[tuple[str, LazyRowSet]]:
+    """Yield ``(what, lazy)`` for every plan-backed row set inside a value.
+
+    ``what`` names the slot within the output (the relation's name, with
+    group members prefixed); containers are walked the way the renderer
+    walks them.
+    """
+    if isinstance(value, LazyRowSet):
+        yield value.label or "rows", value
+    elif isinstance(value, DisplayableRelation):
+        if isinstance(value.rows, LazyRowSet):
+            yield value.name, value.rows
+    elif isinstance(value, Composite):
+        for entry in value.entries:
+            yield from output_plans(entry.relation)
+    elif isinstance(value, Group):
+        for member_name, member in value.members:
+            for what, lazy in output_plans(member):
+                yield f"{member_name}.{what}", lazy
+
+
+def explain(
+    program: Program,
+    database: Database | None = None,
+    *,
+    engine: Engine | None = None,
+    box_id: int | None = None,
+) -> str:
+    """Demand a program's outputs and report every operator's counters.
+
+    Pass an existing ``engine`` to profile its current (possibly warm)
+    state — cache hits then show as ``Cache[..., hot]`` leaves and engine
+    hits; otherwise a fresh engine is built over ``database`` and every
+    fire is cold.  ``box_id`` limits the report to one box's outputs.
+    """
+    if engine is None:
+        if database is None:
+            raise TiogaError("explain needs a database or an engine")
+        engine = Engine(program, database)
+
+    box_ids = [box_id] if box_id is not None else program.topological_order()
+    lines: list[str] = []
+    for bid in box_ids:
+        box = program.box(bid)
+        if not box.outputs:
+            continue
+        if not _all_required_inputs_connected(program, box):
+            lines.append(f"-- {box.describe()}: inputs not connected, skipped")
+            continue
+        for port in box.outputs:
+            header = f"== {box.describe()} .{port.name} =="
+            try:
+                value = engine.output_of(bid, port.name)
+            except TiogaError as exc:
+                lines.append(header)
+                lines.append(f"error: {exc}")
+                continue
+            lines.append(header)
+            plans = list(output_plans(value))
+            if not plans:
+                lines.append(f"(materialized: {value!r})")
+            for what, lazy in plans:
+                if len(plans) > 1 or what != (lazy.label or "rows"):
+                    lines.append(f"-- {what}")
+                lines.append(explain_plan(lazy.plan))
+    lines.append(engine.stats.summary())
+    return "\n".join(lines)

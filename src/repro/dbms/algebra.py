@@ -5,6 +5,14 @@ Join) plus the standard complements (order-by, group-by/aggregate, union,
 distinct, limit) a real system needs.  All operations are pure: they take row
 sets and return new row sets.
 
+Since the streaming refactor these functions are thin wrappers over the
+physical-plan operators in :mod:`repro.dbms.plan` — each call builds a
+one-node plan over a scan of its input and materializes the result, so the
+list-in/list-out contract (and every error message) is unchanged while the
+actual operator logic lives in exactly one place.  Callers that want
+streaming execution, per-operator statistics, or deferred materialization
+compose the plan nodes directly.
+
 Join offers three strategies — nested-loop, hash (for equi-joins), and a
 general theta-join driven by a predicate expression — benchmarked against one
 another in ``benchmarks/test_bench_perf_join.py``.
@@ -12,15 +20,16 @@ another in ``benchmarks/test_bench_perf_join.py``.
 
 from __future__ import annotations
 
-import random
-from typing import Any, Callable, Iterable, Sequence
+from typing import Sequence
 
-from repro.dbms import types as T
+from repro.dbms import plan as P
 from repro.dbms.expr import Expr
 from repro.dbms.parser import parse_predicate
+from repro.dbms.plan import AGGREGATES
+from repro.dbms.plan import concat_rows as _concat
+from repro.dbms.plan import joined_schema as _joined_schema
 from repro.dbms.relation import RowSet
-from repro.dbms.tuples import Field, Schema, Tuple
-from repro.errors import EvaluationError, SchemaError, TypeCheckError
+from repro.errors import EvaluationError
 
 __all__ = [
     "project",
@@ -44,18 +53,12 @@ __all__ = [
 
 def project(rows: RowSet, names: Sequence[str]) -> RowSet:
     """Standard projection; preserves duplicates (bag semantics)."""
-    if not names:
-        raise SchemaError("projection requires at least one field")
-    schema = rows.schema.project(names)
-    return RowSet(schema, (row.project(names) for row in rows))
+    return P.ProjectNode(P.ScanNode(rows), names).execute()
 
 
 def restrict(rows: RowSet, predicate: Expr) -> RowSet:
     """Filter to tuples satisfying a type-checked boolean predicate."""
-    result_type = predicate.infer(rows.schema)
-    if result_type is not T.BOOL:
-        raise TypeCheckError(f"restrict predicate has type {result_type}, want bool")
-    return RowSet(rows.schema, (row for row in rows if predicate.evaluate(row)))
+    return P.RestrictNode(P.ScanNode(rows), predicate).execute()
 
 
 def restrict_predicate(rows: RowSet, source: str) -> RowSet:
@@ -66,78 +69,32 @@ def restrict_predicate(rows: RowSet, source: str) -> RowSet:
 def sample(rows: RowSet, probability: float, seed: int | None = None) -> RowSet:
     """Random Bernoulli sample: "Each input is retained with a user-specified
     probability" (§4.2).  A seed makes the sample reproducible."""
-    if not 0.0 <= probability <= 1.0:
-        raise EvaluationError(
-            f"sample probability must be in [0, 1], got {probability}"
-        )
-    rng = random.Random(seed)
-    return RowSet(rows.schema, (row for row in rows if rng.random() < probability))
-
-
-def _joined_schema(left: Schema, right: Schema) -> tuple[Schema, dict[str, str]]:
-    """Concatenate schemas, renaming right-side collisions to ``right_<name>``."""
-    renames: dict[str, str] = {}
-    fields: list[Field] = list(left.fields)
-    taken = set(left.names)
-    for field in right.fields:
-        name = field.name
-        if name in taken:
-            candidate = f"right_{name}"
-            suffix = 2
-            while candidate in taken:
-                candidate = f"right_{name}_{suffix}"
-                suffix += 1
-            renames[name] = candidate
-            name = candidate
-        taken.add(name)
-        fields.append(Field(name, field.type))
-    return Schema(fields), renames
-
-
-def _concat(schema: Schema, left_row: Tuple, right_row: Tuple) -> Tuple:
-    return Tuple(schema, [*left_row.values, *right_row.values])
+    return P.SampleNode(P.ScanNode(rows), probability, seed).execute()
 
 
 def cross_product(left: RowSet, right: RowSet) -> RowSet:
     """Cartesian product with collision-renamed right fields."""
-    schema, __ = _joined_schema(left.schema, right.schema)
-    return RowSet(
-        schema,
-        (_concat(schema, lrow, rrow) for lrow in left for rrow in right),
-    )
+    return P.CrossProductNode(P.ScanNode(left), P.ScanNode(right)).execute()
 
 
 def join_nested_loop(
     left: RowSet, right: RowSet, left_key: str, right_key: str
 ) -> RowSet:
     """Equi-join by nested loops — the O(n*m) baseline."""
-    _check_join_keys(left, right, left_key, right_key)
-    schema, __ = _joined_schema(left.schema, right.schema)
-    return RowSet(
-        schema,
-        (
-            _concat(schema, lrow, rrow)
-            for lrow in left
-            for rrow in right
-            if lrow[left_key] == rrow[right_key]
-        ),
-    )
+    return P.NestedLoopJoinNode(
+        P.ScanNode(left), P.ScanNode(right), left_key, right_key
+    ).execute()
 
 
 def join_hash(left: RowSet, right: RowSet, left_key: str, right_key: str) -> RowSet:
-    """Equi-join by hashing the right input — the production strategy."""
-    _check_join_keys(left, right, left_key, right_key)
-    schema, __ = _joined_schema(left.schema, right.schema)
-    buckets: dict[Any, list[Tuple]] = {}
-    for rrow in right:
-        buckets.setdefault(rrow[right_key], []).append(rrow)
+    """Equi-join by hashing the right input — the production strategy.
 
-    def generate() -> Iterable[Tuple]:
-        for lrow in left:
-            for rrow in buckets.get(lrow[left_key], ()):
-                yield _concat(schema, lrow, rrow)
-
-    return RowSet(schema, generate())
+    Non-hashable key values degrade to a nested-loop scan (recorded in the
+    plan node's stats) instead of raising mid-stream.
+    """
+    return P.HashJoinNode(
+        P.ScanNode(left), P.ScanNode(right), left_key, right_key
+    ).execute()
 
 
 def join_theta(left: RowSet, right: RowSet, predicate_source: str) -> RowSet:
@@ -146,17 +103,9 @@ def join_theta(left: RowSet, right: RowSet, predicate_source: str) -> RowSet:
     The predicate is written against the concatenated schema; right-side
     fields whose names collide are addressed as ``right_<name>``.
     """
-    schema, __ = _joined_schema(left.schema, right.schema)
-    predicate = parse_predicate(predicate_source, schema)
-    return RowSet(
-        schema,
-        (
-            joined
-            for lrow in left
-            for rrow in right
-            if predicate.evaluate(joined := _concat(schema, lrow, rrow))
-        ),
-    )
+    return P.ThetaJoinNode(
+        P.ScanNode(left), P.ScanNode(right), predicate_source
+    ).execute()
 
 
 def join(
@@ -174,98 +123,29 @@ def join(
     raise EvaluationError(f"unknown join strategy {strategy!r}")
 
 
-def _check_join_keys(
-    left: RowSet, right: RowSet, left_key: str, right_key: str
-) -> None:
-    left_type = left.schema.type_of(left_key)
-    right_type = right.schema.type_of(right_key)
-    compatible = left_type is right_type or (
-        T.numeric(left_type) and T.numeric(right_type)
-    )
-    if not compatible:
-        raise TypeCheckError(
-            f"join keys {left_key!r} ({left_type}) and {right_key!r} "
-            f"({right_type}) have incompatible types"
-        )
-
-
 def order_by(rows: RowSet, names: Sequence[str], descending: bool = False) -> RowSet:
     """Sort rows by one or more fields (stable)."""
-    for name in names:
-        rows.schema.field(name)
-    key = lambda row: tuple(row[name] for name in names)
-    return RowSet(rows.schema, sorted(rows, key=key, reverse=descending))
+    return P.OrderByNode(P.ScanNode(rows), names, descending).execute()
 
 
 def distinct(rows: RowSet) -> RowSet:
     """Remove duplicate rows, preserving first-occurrence order."""
-    seen: set[Tuple] = set()
-    kept: list[Tuple] = []
-    for row in rows:
-        if row not in seen:
-            seen.add(row)
-            kept.append(row)
-    return RowSet(rows.schema, kept)
+    return P.DistinctNode(P.ScanNode(rows)).execute()
 
 
 def limit(rows: RowSet, count: int) -> RowSet:
     """Keep the first ``count`` rows."""
-    if count < 0:
-        raise EvaluationError(f"limit must be non-negative, got {count}")
-    return RowSet(rows.schema, rows.rows[:count])
+    return P.LimitNode(P.ScanNode(rows), count).execute()
 
 
 def union(left: RowSet, right: RowSet) -> RowSet:
     """Bag union of two schema-identical row sets."""
-    if left.schema != right.schema:
-        raise SchemaError(
-            f"union requires identical schemas, got {left.schema!r} "
-            f"and {right.schema!r}"
-        )
-    return RowSet(left.schema, [*left.rows, *right.rows])
+    return P.UnionNode(P.ScanNode(left), P.ScanNode(right)).execute()
 
 
 def rename(rows: RowSet, old: str, new: str) -> RowSet:
     """Rename a single field."""
-    schema = rows.schema.rename(old, new)
-    return RowSet(schema, (Tuple(schema, row.values) for row in rows))
-
-
-def _agg_count(values: list[Any]) -> int:
-    return len(values)
-
-
-def _agg_sum(values: list[Any]) -> Any:
-    return sum(values) if values else 0
-
-
-def _agg_avg(values: list[Any]) -> float:
-    if not values:
-        raise EvaluationError("avg over an empty group")
-    return sum(values) / len(values)
-
-
-def _agg_min(values: list[Any]) -> Any:
-    if not values:
-        raise EvaluationError("min over an empty group")
-    return min(values)
-
-
-def _agg_max(values: list[Any]) -> Any:
-    if not values:
-        raise EvaluationError("max over an empty group")
-    return max(values)
-
-
-AGGREGATES: dict[str, Callable[[list[Any]], Any]] = {
-    "count": _agg_count,
-    "sum": _agg_sum,
-    "avg": _agg_avg,
-    "min": _agg_min,
-    "max": _agg_max,
-}
-
-_AGG_RESULT_TYPE = {"count": T.INT, "avg": T.FLOAT}
+    return P.RenameNode(P.ScanNode(rows), old, new).execute()
 
 
 def group_by(
@@ -279,35 +159,4 @@ def group_by(
     ``agg_name`` is one of count/sum/avg/min/max.  ``count`` ignores its field
     argument (pass any existing field).
     """
-    for key in keys:
-        rows.schema.field(key)
-    out_fields: list[Field] = [rows.schema.field(key) for key in keys]
-    for agg_name, field, output_name in aggregations:
-        if agg_name not in AGGREGATES:
-            raise EvaluationError(
-                f"unknown aggregate {agg_name!r}; "
-                f"known: {', '.join(sorted(AGGREGATES))}"
-            )
-        source_type = rows.schema.type_of(field)
-        if agg_name in ("sum", "avg") and not T.numeric(source_type):
-            raise TypeCheckError(
-                f"{agg_name} requires a numeric field, {field!r} is {source_type}"
-            )
-        result_type = _AGG_RESULT_TYPE.get(agg_name, source_type)
-        if agg_name == "sum" and source_type is T.FLOAT:
-            result_type = T.FLOAT
-        out_fields.append(Field(output_name, result_type))
-    out_schema = Schema(out_fields)
-
-    groups: dict[tuple[Any, ...], list[Tuple]] = {}
-    for row in rows:
-        groups.setdefault(tuple(row[key] for key in keys), []).append(row)
-
-    result_rows: list[Tuple] = []
-    for key_values, members in groups.items():
-        values: list[Any] = list(key_values)
-        for agg_name, field, __ in aggregations:
-            column = [member[field] for member in members]
-            values.append(AGGREGATES[agg_name](column))
-        result_rows.append(Tuple(out_schema, values))
-    return RowSet(out_schema, result_rows)
+    return P.GroupByNode(P.ScanNode(rows), keys, aggregations).execute()

@@ -1,0 +1,903 @@
+"""Streaming physical-plan IR: instrumented Volcano-style operator nodes.
+
+The paper defers the performance story of browsing queries to a companion
+work (§9); its essence is that evaluation must be lazy so only the demanded
+path fires.  This module is the compile target that makes that real: every
+relational operation is a :class:`PlanNode` following the classic iterator
+protocol — ``open()`` begins one execution and yields *batches* of tuples,
+``close()`` releases per-execution state — and tuples stream through a tree
+of such nodes one at a time.  Pipeline-breaking operators (sort, hash build,
+group-by, distinct) materialize only their own working state; everything
+else holds O(1) rows.
+
+Three things distinguish this IR from a plain generator pipeline:
+
+* **Instrumentation.**  Every node carries a :class:`NodeStats` with rows
+  in/out, batch and open counts, wall time, peak buffered rows, and free-form
+  notes (e.g. the hash-join degradation warning).  :meth:`PlanNode.explain`
+  renders the operator tree with those counters — the EXPLAIN story.
+* **Re-execution.**  Nodes hold declarative configuration, not iterator
+  state; each ``open()`` starts a fresh execution, so one plan can be run,
+  inspected, and run again.
+* **Memo boundaries.**  :class:`LazyRowSet` is a drop-in
+  :class:`~repro.dbms.relation.RowSet` whose rows are produced by a plan on
+  first demand and buffered incrementally — the dataflow engine's memoized
+  box outputs are exactly these, so a chain of boxes streams end to end and
+  each boundary buffers only its own output (O(output), not O(input)).
+  :class:`CacheNode` re-enters a LazyRowSet as a plan leaf, sharing its
+  buffer among any number of downstream consumers.
+
+The list-in/list-out functions in :mod:`repro.dbms.algebra` are thin
+wrappers over these nodes, so the public algebra API is unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import islice
+from time import perf_counter
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.dbms import types as T
+from repro.dbms.expr import Expr
+from repro.dbms.parser import parse_predicate
+from repro.dbms.relation import RowSet
+from repro.dbms.tuples import Field, Schema, Tuple
+from repro.errors import EvaluationError, SchemaError, TypeCheckError
+
+__all__ = [
+    "BATCH_SIZE",
+    "NodeStats",
+    "PlanNode",
+    "ScanNode",
+    "CacheNode",
+    "ProjectNode",
+    "RestrictNode",
+    "SampleNode",
+    "NestedLoopJoinNode",
+    "HashJoinNode",
+    "ThetaJoinNode",
+    "CrossProductNode",
+    "OrderByNode",
+    "DistinctNode",
+    "LimitNode",
+    "UnionNode",
+    "RenameNode",
+    "GroupByNode",
+    "LazyRowSet",
+    "source_plan",
+    "explain_plan",
+    "joined_schema",
+    "concat_rows",
+    "AGGREGATES",
+]
+
+BATCH_SIZE = 256
+"""Rows per batch yielded by ``open()``.  Small enough that early-exit
+consumers (Limit, a zoomed-in viewer) pull little more than they need,
+large enough to amortize per-batch accounting."""
+
+
+class NodeStats:
+    """Per-operator execution counters, cumulative across opens."""
+
+    __slots__ = (
+        "rows_in", "rows_out", "batches", "wall_s", "opens",
+        "rows_buffered", "notes",
+    )
+
+    def __init__(self) -> None:
+        self.rows_in = 0
+        self.rows_out = 0
+        self.batches = 0
+        self.wall_s = 0.0
+        self.opens = 0
+        self.rows_buffered = 0
+        self.notes: list[str] = []
+
+    def note(self, message: str) -> None:
+        """Record a warning once (repeat notes are collapsed)."""
+        if message not in self.notes:
+            self.notes.append(message)
+
+    def summary(self) -> str:
+        parts = [f"in={self.rows_in}", f"out={self.rows_out}",
+                 f"batches={self.batches}"]
+        if self.rows_buffered:
+            parts.append(f"buffered={self.rows_buffered}")
+        if self.opens != 1:
+            parts.append(f"opens={self.opens}")
+        parts.append(f"{self.wall_s * 1000.0:.1f}ms")
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"NodeStats({self.summary()})"
+
+
+class PlanNode:
+    """A physical operator: children, an output schema, and counters.
+
+    Subclasses implement :meth:`_produce`, a generator over output rows;
+    the base class wraps it into the batch protocol and maintains stats.
+    Wall time is *inclusive* of children (it measures time spent producing
+    this node's rows, wherever it went).
+    """
+
+    label = "Plan"
+
+    def __init__(self, children: Sequence["PlanNode"], schema: Schema):
+        self._children = tuple(children)
+        self._schema = schema
+        self.stats = NodeStats()
+
+    # -- protocol ---------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def children(self) -> tuple["PlanNode", ...]:
+        return self._children
+
+    def open(self) -> Iterator[list[Tuple]]:
+        """Begin one execution, yielding batches of rows.
+
+        Every call starts a fresh execution; counters accumulate across
+        executions (``stats.opens`` tells them apart).
+        """
+        self.stats.opens += 1
+        return self._batches()
+
+    def close(self) -> None:
+        """Release per-execution state (the base class holds none; buffered
+        generators are finalized when their iterator is dropped)."""
+
+    def _batches(self) -> Iterator[list[Tuple]]:
+        produced = self._produce()
+        try:
+            while True:
+                start = perf_counter()
+                batch = list(islice(produced, BATCH_SIZE))
+                self.stats.wall_s += perf_counter() - start
+                if not batch:
+                    break
+                self.stats.batches += 1
+                self.stats.rows_out += len(batch)
+                yield batch
+        finally:
+            produced.close()
+            self.close()
+
+    def rows_iter(self) -> Iterator[Tuple]:
+        """Row-at-a-time view of one execution."""
+        for batch in self.open():
+            yield from batch
+
+    def execute(self) -> RowSet:
+        """Run the plan to completion and materialize a RowSet."""
+        return RowSet(self._schema, self.rows_iter())
+
+    # -- helpers for subclasses -------------------------------------------
+
+    def _produce(self) -> Iterator[Tuple]:
+        raise NotImplementedError
+
+    def _pull(self, child: "PlanNode") -> Iterator[Tuple]:
+        """Stream a child's rows, counting them as this node's input."""
+        stats = self.stats
+        for row in child.rows_iter():
+            stats.rows_in += 1
+            yield row
+
+    def _buffered(self, rows: Sequence[Any] | int) -> None:
+        """Record pipeline-breaker state size (peak across executions)."""
+        count = rows if isinstance(rows, int) else len(rows)
+        if count > self.stats.rows_buffered:
+            self.stats.rows_buffered = count
+
+    # -- description ------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line operator description (without stats)."""
+        return self.label
+
+    def explain(self, with_stats: bool = True) -> str:
+        """Render this subtree as an indented operator tree."""
+        return explain_plan(self, with_stats=with_stats)
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()} {self.stats.summary()}>"
+
+
+def _clip(text: str, limit: int = 72) -> str:
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def explain_plan(node: PlanNode, with_stats: bool = True) -> str:
+    """Format a plan tree, one operator per line, with per-node counters."""
+    lines: list[str] = []
+
+    def walk(current: PlanNode, prefix: str, tail: str) -> None:
+        line = tail + _clip(current.describe())
+        if with_stats:
+            line += f"  [{current.stats.summary()}]"
+        lines.append(line)
+        for warning in current.stats.notes:
+            lines.append(prefix + "  ! " + warning)
+        kids = current.children
+        for pos, child in enumerate(kids):
+            last = pos == len(kids) - 1
+            walk(child,
+                 prefix + ("   " if last else "│  "),
+                 prefix + ("└─ " if last else "├─ "))
+
+    walk(node, "", "")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Shared relational helpers (also re-exported through repro.dbms.algebra)
+# ---------------------------------------------------------------------------
+
+
+def joined_schema(left: Schema, right: Schema) -> tuple[Schema, dict[str, str]]:
+    """Concatenate schemas, renaming right-side collisions to ``right_<name>``."""
+    renames: dict[str, str] = {}
+    fields: list[Field] = list(left.fields)
+    taken = set(left.names)
+    for field in right.fields:
+        name = field.name
+        if name in taken:
+            candidate = f"right_{name}"
+            suffix = 2
+            while candidate in taken:
+                candidate = f"right_{name}_{suffix}"
+                suffix += 1
+            renames[name] = candidate
+            name = candidate
+        taken.add(name)
+        fields.append(Field(name, field.type))
+    return Schema(fields), renames
+
+
+def concat_rows(schema: Schema, left_row: Tuple, right_row: Tuple) -> Tuple:
+    return Tuple(schema, [*left_row.values, *right_row.values])
+
+
+def _agg_count(values: list[Any]) -> int:
+    return len(values)
+
+
+def _agg_sum(values: list[Any]) -> Any:
+    return sum(values) if values else 0
+
+
+def _agg_avg(values: list[Any]) -> float:
+    if not values:
+        raise EvaluationError("avg over an empty group")
+    return sum(values) / len(values)
+
+
+def _agg_min(values: list[Any]) -> Any:
+    if not values:
+        raise EvaluationError("min over an empty group")
+    return min(values)
+
+
+def _agg_max(values: list[Any]) -> Any:
+    if not values:
+        raise EvaluationError("max over an empty group")
+    return max(values)
+
+
+AGGREGATES: dict[str, Callable[[list[Any]], Any]] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+}
+
+_AGG_RESULT_TYPE = {"count": T.INT, "avg": T.FLOAT}
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+class ScanNode(PlanNode):
+    """Leaf over an in-memory row source (a RowSet or a tuple sequence)."""
+
+    label = "Scan"
+
+    def __init__(
+        self,
+        source: RowSet | Sequence[Tuple],
+        schema: Schema | None = None,
+        name: str | None = None,
+    ):
+        if schema is None:
+            if not isinstance(source, RowSet):
+                raise SchemaError("ScanNode over a plain sequence needs a schema")
+            schema = source.schema
+        super().__init__((), schema)
+        self._source = source
+        self._name = name
+
+    def _produce(self) -> Iterator[Tuple]:
+        stats = self.stats
+        for row in self._source:
+            stats.rows_in += 1
+            yield row
+
+    def describe(self) -> str:
+        return f"Scan[{self._name}]" if self._name else "Scan"
+
+
+class CacheNode(PlanNode):
+    """Leaf re-entering a :class:`LazyRowSet` — a memoization boundary.
+
+    Streams through the lazy set's shared buffer, so the upstream plan runs
+    at most once no matter how many consumers pull through this node.  The
+    upstream plan appears as a child purely for EXPLAIN continuity; rows are
+    never pulled from it directly.
+    """
+
+    label = "Cache"
+
+    def __init__(self, source: "LazyRowSet"):
+        super().__init__((source.plan,), source.schema)
+        self._source = source
+
+    def _produce(self) -> Iterator[Tuple]:
+        stats = self.stats
+        source = self._source
+        try:
+            for row in source.stream():
+                stats.rows_in += 1
+                yield row
+        finally:
+            self._buffered(source.buffered_rows())
+
+    def describe(self) -> str:
+        label = self._source.label
+        state = "hot" if self._source.is_materialized else "cold"
+        return f"Cache[{label}, {state}]" if label else f"Cache[{state}]"
+
+
+# ---------------------------------------------------------------------------
+# Streaming unary operators
+# ---------------------------------------------------------------------------
+
+
+class ProjectNode(PlanNode):
+    """Keep named fields; preserves duplicates (bag semantics)."""
+
+    label = "Project"
+
+    def __init__(self, child: PlanNode, names: Sequence[str]):
+        if not names:
+            raise SchemaError("projection requires at least one field")
+        self._names = list(names)
+        super().__init__((child,), child.schema.project(self._names))
+
+    def _produce(self) -> Iterator[Tuple]:
+        names = self._names
+        for row in self._pull(self._children[0]):
+            yield row.project(names)
+
+    def describe(self) -> str:
+        return f"Project[{', '.join(self._names)}]"
+
+
+class RestrictNode(PlanNode):
+    """Keep rows satisfying a type-checked boolean predicate."""
+
+    label = "Restrict"
+
+    def __init__(self, child: PlanNode, predicate: Expr, alias: str | None = None):
+        result_type = predicate.infer(child.schema)
+        if result_type is not T.BOOL:
+            raise TypeCheckError(
+                f"restrict predicate has type {result_type}, want bool"
+            )
+        super().__init__((child,), child.schema)
+        self.predicate = predicate
+        self.alias = alias
+
+    def _produce(self) -> Iterator[Tuple]:
+        predicate = self.predicate
+        for row in self._pull(self._children[0]):
+            if predicate.evaluate(row):
+                yield row
+
+    def describe(self) -> str:
+        text = _clip(str(self.predicate), 56)
+        if self.alias:
+            return f"Restrict[{self.alias}: {text}]"
+        return f"Restrict[{text}]"
+
+
+class SampleNode(PlanNode):
+    """Bernoulli sample (§4.2); a seed makes each execution reproducible."""
+
+    label = "Sample"
+
+    def __init__(self, child: PlanNode, probability: float, seed: int | None = None):
+        if not 0.0 <= probability <= 1.0:
+            raise EvaluationError(
+                f"sample probability must be in [0, 1], got {probability}"
+            )
+        super().__init__((child,), child.schema)
+        self._probability = probability
+        self._seed = seed
+
+    def _produce(self) -> Iterator[Tuple]:
+        rng = random.Random(self._seed)
+        probability = self._probability
+        for row in self._pull(self._children[0]):
+            if rng.random() < probability:
+                yield row
+
+    def describe(self) -> str:
+        if self._seed is None:
+            return f"Sample[p={self._probability}]"
+        return f"Sample[p={self._probability}, seed={self._seed}]"
+
+
+class RenameNode(PlanNode):
+    """Rename a single field."""
+
+    label = "Rename"
+
+    def __init__(self, child: PlanNode, old: str, new: str):
+        super().__init__((child,), child.schema.rename(old, new))
+        self._old = old
+        self._new = new
+
+    def _produce(self) -> Iterator[Tuple]:
+        schema = self._schema
+        for row in self._pull(self._children[0]):
+            yield Tuple(schema, row.values)
+
+    @property
+    def mapping(self) -> tuple[str, str]:
+        return (self._old, self._new)
+
+    def describe(self) -> str:
+        return f"Rename[{self._old} -> {self._new}]"
+
+
+class LimitNode(PlanNode):
+    """Keep the first ``count`` rows; stops pulling upstream once satisfied."""
+
+    label = "Limit"
+
+    def __init__(self, child: PlanNode, count: int):
+        if count < 0:
+            raise EvaluationError(f"limit must be non-negative, got {count}")
+        super().__init__((child,), child.schema)
+        self._count = count
+
+    def _produce(self) -> Iterator[Tuple]:
+        remaining = self._count
+        if remaining == 0:
+            return
+        for row in self._pull(self._children[0]):
+            yield row
+            remaining -= 1
+            if remaining == 0:
+                return
+
+    def describe(self) -> str:
+        return f"Limit[{self._count}]"
+
+
+# ---------------------------------------------------------------------------
+# Pipeline breakers
+# ---------------------------------------------------------------------------
+
+
+class OrderByNode(PlanNode):
+    """Stable sort by one or more fields; buffers its input."""
+
+    label = "OrderBy"
+
+    def __init__(self, child: PlanNode, names: Sequence[str],
+                 descending: bool = False):
+        for name in names:
+            child.schema.field(name)
+        super().__init__((child,), child.schema)
+        self._names = list(names)
+        self._descending = descending
+
+    def _produce(self) -> Iterator[Tuple]:
+        names = self._names
+        rows = list(self._pull(self._children[0]))
+        self._buffered(rows)
+        rows.sort(key=lambda row: tuple(row[name] for name in names),
+                  reverse=self._descending)
+        yield from rows
+
+    def describe(self) -> str:
+        direction = " desc" if self._descending else ""
+        return f"OrderBy[{', '.join(self._names)}{direction}]"
+
+
+class DistinctNode(PlanNode):
+    """Drop duplicate rows, first occurrence wins; buffers the seen set."""
+
+    label = "Distinct"
+
+    def __init__(self, child: PlanNode):
+        super().__init__((child,), child.schema)
+
+    def _produce(self) -> Iterator[Tuple]:
+        seen: set[Tuple] = set()
+        try:
+            for row in self._pull(self._children[0]):
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+        finally:
+            self._buffered(seen)
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+class GroupByNode(PlanNode):
+    """Group by key fields and aggregate; buffers the groups.
+
+    ``aggregations`` is a sequence of ``(agg_name, field, output_name)``
+    with ``agg_name`` one of count/sum/avg/min/max.
+    """
+
+    label = "GroupBy"
+
+    def __init__(
+        self,
+        child: PlanNode,
+        keys: Sequence[str],
+        aggregations: Sequence[tuple[str, str, str]],
+    ):
+        schema = child.schema
+        for key in keys:
+            schema.field(key)
+        out_fields: list[Field] = [schema.field(key) for key in keys]
+        for agg_name, field, output_name in aggregations:
+            if agg_name not in AGGREGATES:
+                raise EvaluationError(
+                    f"unknown aggregate {agg_name!r}; "
+                    f"known: {', '.join(sorted(AGGREGATES))}"
+                )
+            source_type = schema.type_of(field)
+            if agg_name in ("sum", "avg") and not T.numeric(source_type):
+                raise TypeCheckError(
+                    f"{agg_name} requires a numeric field, {field!r} is {source_type}"
+                )
+            result_type = _AGG_RESULT_TYPE.get(agg_name, source_type)
+            if agg_name == "sum" and source_type is T.FLOAT:
+                result_type = T.FLOAT
+            out_fields.append(Field(output_name, result_type))
+        super().__init__((child,), Schema(out_fields))
+        self._keys = list(keys)
+        self._aggregations = [tuple(spec) for spec in aggregations]
+
+    def _produce(self) -> Iterator[Tuple]:
+        keys = self._keys
+        groups: dict[tuple[Any, ...], list[Tuple]] = {}
+        total = 0
+        for row in self._pull(self._children[0]):
+            groups.setdefault(tuple(row[key] for key in keys), []).append(row)
+            total += 1
+        if total > self.stats.rows_buffered:
+            self.stats.rows_buffered = total
+        out_schema = self._schema
+        for key_values, members in groups.items():
+            values: list[Any] = list(key_values)
+            for agg_name, field, __ in self._aggregations:
+                column = [member[field] for member in members]
+                values.append(AGGREGATES[agg_name](column))
+            yield Tuple(out_schema, values)
+
+    def describe(self) -> str:
+        aggs = ", ".join(
+            f"{agg}({field})->{out}" for agg, field, out in self._aggregations
+        )
+        return f"GroupBy[{', '.join(self._keys)}; {aggs}]"
+
+
+# ---------------------------------------------------------------------------
+# Binary operators
+# ---------------------------------------------------------------------------
+
+
+class UnionNode(PlanNode):
+    """Bag union of two schema-identical inputs; fully streaming."""
+
+    label = "Union"
+
+    def __init__(self, left: PlanNode, right: PlanNode):
+        if left.schema != right.schema:
+            raise SchemaError(
+                f"union requires identical schemas, got {left.schema!r} "
+                f"and {right.schema!r}"
+            )
+        super().__init__((left, right), left.schema)
+
+    def _produce(self) -> Iterator[Tuple]:
+        yield from self._pull(self._children[0])
+        yield from self._pull(self._children[1])
+
+    def describe(self) -> str:
+        return "Union"
+
+
+def _check_join_keys(
+    left: Schema, right: Schema, left_key: str, right_key: str
+) -> None:
+    left_type = left.type_of(left_key)
+    right_type = right.type_of(right_key)
+    compatible = left_type is right_type or (
+        T.numeric(left_type) and T.numeric(right_type)
+    )
+    if not compatible:
+        raise TypeCheckError(
+            f"join keys {left_key!r} ({left_type}) and {right_key!r} "
+            f"({right_type}) have incompatible types"
+        )
+
+
+class CrossProductNode(PlanNode):
+    """Cartesian product; buffers the right input, streams the left."""
+
+    label = "CrossProduct"
+
+    def __init__(self, left: PlanNode, right: PlanNode):
+        schema, __ = joined_schema(left.schema, right.schema)
+        super().__init__((left, right), schema)
+
+    def _produce(self) -> Iterator[Tuple]:
+        schema = self._schema
+        right_rows = list(self._pull(self._children[1]))
+        self._buffered(right_rows)
+        for lrow in self._pull(self._children[0]):
+            for rrow in right_rows:
+                yield concat_rows(schema, lrow, rrow)
+
+    def describe(self) -> str:
+        return "CrossProduct"
+
+
+class NestedLoopJoinNode(PlanNode):
+    """Equi-join by nested loops — the O(n*m) baseline strategy."""
+
+    label = "NestedLoopJoin"
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 left_key: str, right_key: str):
+        _check_join_keys(left.schema, right.schema, left_key, right_key)
+        schema, __ = joined_schema(left.schema, right.schema)
+        super().__init__((left, right), schema)
+        self._left_key = left_key
+        self._right_key = right_key
+
+    def _produce(self) -> Iterator[Tuple]:
+        schema = self._schema
+        left_key, right_key = self._left_key, self._right_key
+        right_rows = list(self._pull(self._children[1]))
+        self._buffered(right_rows)
+        for lrow in self._pull(self._children[0]):
+            key = lrow[left_key]
+            for rrow in right_rows:
+                if rrow[right_key] == key:
+                    yield concat_rows(schema, lrow, rrow)
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin[{self._left_key} = {self._right_key}]"
+
+
+class HashJoinNode(PlanNode):
+    """Equi-join hashing the right input — the production strategy.
+
+    Non-hashable key values (e.g. drawable lists) cannot poison the stream:
+    the build side degrades to a plain scan list and probing falls back to
+    nested loops, with the degradation recorded in ``stats.notes`` instead
+    of a ``TypeError`` escaping mid-iteration.
+    """
+
+    label = "HashJoin"
+
+    _DEGRADED_BUILD = (
+        "hash join degraded to nested-loop: non-hashable key value in "
+        "the build (right) input"
+    )
+    _DEGRADED_PROBE = (
+        "hash join probed with a non-hashable key value; scanned the "
+        "build side for those rows"
+    )
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 left_key: str, right_key: str):
+        _check_join_keys(left.schema, right.schema, left_key, right_key)
+        schema, __ = joined_schema(left.schema, right.schema)
+        super().__init__((left, right), schema)
+        self._left_key = left_key
+        self._right_key = right_key
+
+    def _produce(self) -> Iterator[Tuple]:
+        schema = self._schema
+        left_key, right_key = self._left_key, self._right_key
+
+        right_rows: list[Tuple] = []
+        buckets: dict[Any, list[Tuple]] | None = {}
+        for rrow in self._pull(self._children[1]):
+            right_rows.append(rrow)
+            if buckets is not None:
+                try:
+                    buckets.setdefault(rrow[right_key], []).append(rrow)
+                except TypeError:
+                    buckets = None
+                    self.stats.note(self._DEGRADED_BUILD)
+        self._buffered(right_rows)
+
+        if buckets is None:
+            for lrow in self._pull(self._children[0]):
+                key = lrow[left_key]
+                for rrow in right_rows:
+                    if rrow[right_key] == key:
+                        yield concat_rows(schema, lrow, rrow)
+            return
+
+        for lrow in self._pull(self._children[0]):
+            key = lrow[left_key]
+            try:
+                matches: Iterable[Tuple] = buckets.get(key, ())
+            except TypeError:
+                self.stats.note(self._DEGRADED_PROBE)
+                matches = [r for r in right_rows if r[right_key] == key]
+            for rrow in matches:
+                yield concat_rows(schema, lrow, rrow)
+
+    def describe(self) -> str:
+        return f"HashJoin[{self._left_key} = {self._right_key}]"
+
+
+class ThetaJoinNode(PlanNode):
+    """General join filtered by a predicate over the concatenated schema.
+
+    Right-side fields whose names collide are addressed as ``right_<name>``.
+    """
+
+    label = "ThetaJoin"
+
+    def __init__(self, left: PlanNode, right: PlanNode, predicate_source: str):
+        schema, __ = joined_schema(left.schema, right.schema)
+        predicate = parse_predicate(predicate_source, schema)
+        super().__init__((left, right), schema)
+        self.predicate = predicate
+        self._source = predicate_source
+
+    def _produce(self) -> Iterator[Tuple]:
+        schema = self._schema
+        predicate = self.predicate
+        right_rows = list(self._pull(self._children[1]))
+        self._buffered(right_rows)
+        for lrow in self._pull(self._children[0]):
+            for rrow in right_rows:
+                joined = concat_rows(schema, lrow, rrow)
+                if predicate.evaluate(joined):
+                    yield joined
+
+    def describe(self) -> str:
+        return f"ThetaJoin[{_clip(self._source, 56)}]"
+
+
+# ---------------------------------------------------------------------------
+# Lazy row sets: the engine's memoization boundary
+# ---------------------------------------------------------------------------
+
+
+class LazyRowSet(RowSet):
+    """A RowSet whose rows are produced by a plan on first demand.
+
+    Fully API-compatible with :class:`RowSet` — iteration, ``len``,
+    indexing, equality all work — but the underlying plan executes at most
+    once, incrementally: :meth:`stream` serves rows from a shared buffer and
+    advances the plan only past the buffered frontier, so N concurrent
+    consumers (fan-out edges, re-demanded outputs, a downstream
+    :class:`CacheNode`) cost one execution and one buffer.
+
+    An error raised mid-stream is remembered and re-raised on every later
+    demand; a half-buffered result can never silently pose as complete.
+    """
+
+    __slots__ = ("_plan", "_buffer", "_iter", "_done", "_error", "_forced",
+                 "label")
+
+    def __init__(self, plan: PlanNode, label: str | None = None):
+        # Deliberately no super().__init__: the parent would materialize.
+        self._schema = plan.schema
+        self._plan = plan
+        self._buffer: list[Tuple] = []
+        self._iter: Iterator[Tuple] | None = None
+        self._done = False
+        self._error: BaseException | None = None
+        self._forced: tuple[Tuple, ...] | None = None
+        self.label = label
+
+    # -- laziness ---------------------------------------------------------
+
+    @property
+    def plan(self) -> PlanNode:
+        return self._plan
+
+    @property
+    def is_materialized(self) -> bool:
+        return self._forced is not None
+
+    def buffered_rows(self) -> int:
+        return len(self._buffer)
+
+    def stream(self) -> Iterator[Tuple]:
+        """Yield rows, sharing one plan execution among all consumers."""
+        pos = 0
+        while True:
+            buffer = self._buffer
+            while pos < len(buffer):
+                yield buffer[pos]
+                pos += 1
+            if self._done:
+                return
+            self._advance()
+
+    def _advance(self) -> None:
+        if self._error is not None:
+            raise self._error
+        if self._iter is None:
+            self._iter = self._plan.rows_iter()
+        try:
+            self._buffer.append(next(self._iter))
+        except StopIteration:
+            self._done = True
+            self._iter = None
+        except Exception as exc:
+            self._error = exc
+            self._iter = None
+            raise
+
+    def force(self) -> tuple[Tuple, ...]:
+        """Run the plan to completion; further demands are free."""
+        if self._forced is None:
+            for __ in self.stream():
+                pass
+            self._forced = tuple(self._buffer)
+        return self._forced
+
+    # _rows shadows the parent's slot with a forcing property, so every
+    # RowSet method (len, indexing, equality, .rows) works transparently.
+    @property
+    def _rows(self) -> tuple[Tuple, ...]:  # type: ignore[override]
+        return self.force()
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return self.stream()
+
+    def __repr__(self) -> str:
+        if self._forced is not None:
+            return f"LazyRowSet({self._schema!r}, {len(self._forced)} rows)"
+        return (
+            f"LazyRowSet({self._schema!r}, unforced, "
+            f"{len(self._buffer)} rows buffered)"
+        )
+
+
+def source_plan(rows: RowSet, name: str | None = None) -> PlanNode:
+    """The plan leaf for an input relation: re-enter a lazy set through its
+    shared buffer, or scan a materialized one."""
+    if isinstance(rows, LazyRowSet):
+        return CacheNode(rows)
+    return ScanNode(rows, name=name)

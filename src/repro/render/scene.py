@@ -20,10 +20,16 @@ from typing import Any, Callable, NamedTuple
 
 import numpy as np
 
-from repro.dbms.expr import FieldRef
+from repro.dbms.expr import Binary, FieldRef, Literal
+from repro.dbms.plan import RestrictNode, source_plan
 from repro.dbms.tuples import Tuple
 from repro.dbms import types as T
-from repro.display.displayable import Composite, DisplayableRelation, Group
+from repro.display.displayable import (
+    SEQ_FIELD,
+    Composite,
+    DisplayableRelation,
+    Group,
+)
 from repro.display.drawables import ViewerDrawable
 from repro.errors import ViewerError
 from repro.render.canvas import Canvas
@@ -164,6 +170,10 @@ class SceneStats:
         self.culled_by_viewport = 0
         self.relations_culled_by_elevation = 0
         self.drawables_painted = 0
+        #: Root plan node of each synthesized culling plan (one per relation
+        #: that took the pushdown path); per-operator counters live in the
+        #: nodes' ``stats``.
+        self.cull_plans: list[Any] = []
 
     def __repr__(self) -> str:
         return (
@@ -222,6 +232,12 @@ def render_composite(
             )
             if fast_items is not None:
                 items.extend(fast_items)
+                continue
+            plan_items = _try_plan_cull(
+                canvas, entry, view, resolver, depth, stats
+            )
+            if plan_items is not None:
+                items.extend(plan_items)
                 continue
         offset_x = entry.offset_for("x")
         offset_y = entry.offset_for("y")
@@ -386,6 +402,171 @@ def _try_fast_scatter(
                     relation.source_table,
                     rows[int(index)],
                     int(index),
+                    drawable.kind,
+                    drawable,
+                )
+            )
+        if painted_any:
+            stats.tuples_rendered += 1
+    return items
+
+
+def _try_plan_cull(
+    canvas: Canvas,
+    entry,
+    view: ViewState,
+    resolver: CanvasResolver | None,
+    depth: int,
+    stats: SceneStats,
+) -> list[RenderedItem] | None:
+    """Push slider and viewport culling into a physical plan, or None.
+
+    Applies when x, y, and every *bounded* slider dimension resolve to
+    stored numeric columns; unlike the fast-scatter path the display
+    attribute may be arbitrary, because the whole point is that display
+    functions are evaluated only for the tuples that survive the synthesized
+    Restrict nodes.  The predicates replicate the general path's float
+    arithmetic term for term, so the culling decisions — including NaN
+    handling — are bit-identical; the elevation-band rule already culled
+    whole relations upstream.  The synthesized plan is recorded in
+    ``stats.cull_plans`` with per-operator row counts.
+    """
+    relation = entry.relation
+    rows = relation.rows
+    if not relation.has_custom_location:
+        return None
+    x_col = _stored_numeric_column(relation, "x")
+    y_col = _stored_numeric_column(relation, "y")
+    if x_col is None or y_col is None:
+        return None
+    bounded: list[tuple[str, str, tuple[float, float]]] = []
+    for dim in relation.slider_dims:
+        bounds = view.slider_ranges.get(dim)
+        if bounds is None:
+            continue  # the relation is invariant in unbounded dims (§6.1)
+        column = _stored_numeric_column(relation, dim)
+        if column is None:
+            return None
+        bounded.append((dim, column, bounds))
+
+    scale = view.scale
+    width, height = view.viewport
+
+    def shifted(column: str, offset: float) -> Binary:
+        return Binary("+", FieldRef(column), Literal(float(offset)))
+
+    # px = W/2 + ((x + off) - cx) * s ;  py = H/2 - ((y + off) - cy) * s —
+    # the exact association order of location_of + to_screen.
+    px = Binary(
+        "+",
+        Literal(width / 2.0),
+        Binary(
+            "*",
+            Binary(
+                "-",
+                shifted(x_col, entry.offset_for("x")),
+                Literal(view.center[0]),
+            ),
+            Literal(scale),
+        ),
+    )
+    py = Binary(
+        "-",
+        Literal(height / 2.0),
+        Binary(
+            "*",
+            Binary(
+                "-",
+                shifted(y_col, entry.offset_for("y")),
+                Literal(view.center[1]),
+            ),
+            Literal(scale),
+        ),
+    )
+    viewport_predicate = Binary(
+        "and",
+        Binary(
+            "and",
+            Binary(
+                "and",
+                Binary(">=", px, Literal(-_CULL_MARGIN_PX)),
+                Binary("<=", px, Literal(width + _CULL_MARGIN_PX)),
+            ),
+            Binary(">=", py, Literal(-_CULL_MARGIN_PX)),
+        ),
+        Binary("<=", py, Literal(height + _CULL_MARGIN_PX)),
+    )
+
+    node = source_plan(rows, relation.name)
+    slider_node = None
+    if bounded:
+        predicate = None
+        for dim, column, (lo, hi) in bounded:
+            value = shifted(column, entry.offset_for(dim))
+            part = Binary(
+                "and",
+                Binary(">=", value, Literal(lo)),
+                Binary("<=", value, Literal(hi)),
+            )
+            predicate = part if predicate is None else Binary(
+                "and", predicate, part
+            )
+        slider_node = RestrictNode(node, predicate, alias="slider cull")
+        node = slider_node
+    viewport_node = RestrictNode(node, viewport_predicate, alias="viewport cull")
+
+    kept = list(viewport_node.rows_iter())
+
+    first = slider_node if slider_node is not None else viewport_node
+    stats.tuples_considered += first.stats.rows_in
+    if slider_node is not None:
+        stats.culled_by_slider += (
+            slider_node.stats.rows_in - slider_node.stats.rows_out
+        )
+    stats.culled_by_viewport += (
+        viewport_node.stats.rows_in - viewport_node.stats.rows_out
+    )
+    stats.cull_plans.append(viewport_node)
+
+    offset_x = entry.offset_for("x")
+    offset_y = entry.offset_for("y")
+    items: list[RenderedItem] = []
+    pos = 0
+    for row in kept:
+        # Restrict preserves order and object identity, so the original
+        # index is recovered by a forward identity walk (exact even with
+        # duplicate-valued rows).
+        while rows[pos] is not row:
+            pos += 1
+        index = pos
+        pos += 1
+        row_view = relation.methods.row_view(row, extra={SEQ_FIELD: index})
+        location = relation.location_of(row_view)
+        anchor_x, anchor_y = view.to_screen(
+            location[0] + offset_x, location[1] + offset_y
+        )
+        drawables = relation.display_of(row_view)
+        painted_any = False
+        for drawable in drawables:
+            bbox = drawable.bbox(anchor_x, anchor_y, scale)
+            if (bbox[2] < -1.0 or bbox[0] > width + 1.0
+                    or bbox[3] < -1.0 or bbox[1] > height + 1.0):
+                continue
+            drawable.paint(canvas, anchor_x, anchor_y, scale)
+            stats.drawables_painted += 1
+            painted_any = True
+            if isinstance(drawable, ViewerDrawable):
+                _render_wormhole(
+                    canvas, drawable, anchor_x, anchor_y, scale,
+                    resolver, depth, stats,
+                )
+            items.append(
+                RenderedItem(
+                    bbox,
+                    relation.name,
+                    relation.source_table,
+                    row,
+                    index,
                     drawable.kind,
                     drawable,
                 )

@@ -296,6 +296,25 @@ class Viewer:
         self.last_result = RenderResult(canvas, items, stats)
         return self.last_result
 
+    def explain_render(self, cull: bool = True) -> str:
+        """Render and report the frame's work: scene counters plus the
+        per-operator tree of every synthesized culling plan.
+
+        The signature-preserving way to see how much display-function
+        evaluation the pushdown avoided: each plan's Restrict nodes carry
+        rows-in/rows-out counts.
+        """
+        from repro.dbms.plan import explain_plan
+
+        result = self.render(cull=cull)
+        stats = result.stats
+        lines = [f"viewer {self.name!r}: {stats!r}"]
+        if not stats.cull_plans:
+            lines.append("(no culling plans synthesized)")
+        for plan in stats.cull_plans:
+            lines.append(explain_plan(plan))
+        return "\n".join(lines)
+
     def pick(self, px: float, py: float) -> RenderedItem | None:
         """The topmost rendered item under a screen point (§8 click)."""
         result = self.last_result or self.render()

@@ -155,6 +155,29 @@ class TestBoxes:
         assert main(["boxes", "--topic", "Frobnicate"]) == 1
 
 
+class TestExplain:
+    def test_explain_figure(self, capsys):
+        assert main(["explain", "--figure", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "Restrict[(state = 'LA')]" in out
+        assert "in=" in out and "out=" in out
+        assert "EngineStats:" in out
+
+    def test_explain_needs_a_target(self, capsys):
+        assert main(["explain"]) == 2
+        assert "needs" in capsys.readouterr().err
+
+    def test_explain_saved_program(self, weather_json, capsys):
+        TestPrograms().make_program(weather_json)
+        code = main([
+            "explain", "--db", str(weather_json), "--name", "cli-demo",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Restrict[(state = 'LA')]" in out
+        assert "EngineStats:" in out
+
+
 class TestQuery:
     def test_prints_terminal_monitor_listing(self, weather_json, capsys):
         code = main([

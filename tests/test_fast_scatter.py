@@ -155,11 +155,14 @@ class TestApplicability:
         fast_elapsed = time.perf_counter() - start
 
         original = scene._try_fast_scatter
+        original_plan = scene._try_plan_cull
         scene._try_fast_scatter = lambda *a, **k: None
+        scene._try_plan_cull = lambda *a, **k: None
         try:
             start = time.perf_counter()
             render_composite(Canvas(160, 120), relation, view)
             slow_elapsed = time.perf_counter() - start
         finally:
             scene._try_fast_scatter = original
+            scene._try_plan_cull = original_plan
         assert fast_elapsed < slow_elapsed

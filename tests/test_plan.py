@@ -1,0 +1,224 @@
+"""Unit tests: the streaming physical-plan IR (repro.dbms.plan)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms import plan as P
+from repro.dbms import types as T
+from repro.dbms.parser import parse_predicate
+from repro.dbms.relation import RowSet
+from repro.dbms.tuples import Schema
+from repro.errors import EvaluationError, TypeCheckError
+
+NUMS = Schema([("n", "int"), ("label", "text")])
+
+
+def num_rows(count: int) -> RowSet:
+    return RowSet.from_dicts(
+        NUMS, [{"n": i, "label": f"row{i}"} for i in range(count)]
+    )
+
+
+def restrict_over(rows: RowSet, source: str) -> P.RestrictNode:
+    return P.RestrictNode(
+        P.ScanNode(rows), parse_predicate(source, rows.schema)
+    )
+
+
+class TestStreamingExecution:
+    def test_batched_pull(self):
+        node = restrict_over(num_rows(1000), "n < 600")
+        result = node.execute()
+        assert len(result) == 600
+        assert node.stats.rows_in == 1000
+        assert node.stats.rows_out == 600
+        assert node.stats.batches == -(-600 // P.BATCH_SIZE)
+
+    def test_streaming_operators_buffer_nothing(self):
+        restrict = restrict_over(num_rows(1000), "n < 600")
+        project = P.ProjectNode(restrict, ["n"])
+        project.execute()
+        assert restrict.stats.rows_buffered == 0
+        assert project.stats.rows_buffered == 0
+
+    def test_pipeline_breakers_buffer_own_state_only(self):
+        restrict = restrict_over(num_rows(1000), "n < 10")
+        order = P.OrderByNode(restrict, ["n"], descending=True)
+        order.execute()
+        # The sort buffered its input — which is the restrict's *output*.
+        assert order.stats.rows_buffered == 10
+        assert restrict.stats.rows_buffered == 0
+
+    def test_limit_stops_pulling_early(self):
+        scan = P.ScanNode(num_rows(1000))
+        limit = P.LimitNode(scan, 5)
+        result = limit.execute()
+        assert len(result) == 5
+        # One batch of the scan ran, not the whole input.
+        assert scan.stats.rows_out <= P.BATCH_SIZE
+
+    def test_wall_time_recorded(self):
+        node = restrict_over(num_rows(100), "n < 50")
+        node.execute()
+        assert node.stats.wall_s >= 0.0
+        assert node.stats.opens == 1
+
+    def test_reopen_accumulates(self):
+        node = restrict_over(num_rows(100), "n < 50")
+        node.execute()
+        node.execute()
+        assert node.stats.opens == 2
+        assert node.stats.rows_out == 100  # 50 per execution
+
+    def test_explain_tree_shows_counters(self):
+        node = restrict_over(num_rows(100), "n < 50")
+        node.execute()
+        text = node.explain()
+        assert "Restrict[(n < 50)]" in text
+        assert "in=100 out=50" in text
+        assert "Scan" in text
+
+
+class TestHashJoinDegradation:
+    @pytest.fixture()
+    def listy(self):
+        class ListType(T.AtomicType):
+            name = "list_test"
+
+            def validates(self, value):
+                return isinstance(value, list)
+
+            def coerce(self, value):
+                if self.validates(value):
+                    return value
+                raise TypeCheckError(f"{value!r} is not a list")
+
+            def default_value(self):
+                return []
+
+        try:
+            return T.type_by_name("list_test")
+        except TypeCheckError:
+            return T.register_type(ListType())
+
+    def test_non_hashable_build_key_degrades_with_note(self, listy):
+        schema = Schema([("k", listy), ("side", "text")])
+        left = RowSet.from_dicts(
+            schema, [{"k": [1], "side": "l1"}, {"k": [2], "side": "l2"}]
+        )
+        right = RowSet.from_dicts(
+            schema, [{"k": [1], "side": "r1"}, {"k": [3], "side": "r3"}]
+        )
+        join = P.HashJoinNode(P.ScanNode(left), P.ScanNode(right), "k", "k")
+        result = join.execute()
+        assert len(result) == 1
+        assert result[0]["side"] == "l1"
+        assert result[0]["right_side"] == "r1"
+        assert P.HashJoinNode._DEGRADED_BUILD in join.stats.notes
+        assert "!" in join.explain()  # degradation surfaces in EXPLAIN
+
+    def test_non_hashable_probe_key_scans_build_side(self, listy):
+        left_schema = Schema([("k", listy), ("side", "text")])
+        right_schema = Schema([("k", listy), ("tag", "text")])
+        left = RowSet.from_dicts(left_schema, [{"k": [7], "side": "probe"}])
+        # Build side is empty, so the buckets survive construction; the
+        # probe-side key is the first non-hashable value seen.
+        right = RowSet(right_schema, [])
+        join = P.HashJoinNode(P.ScanNode(left), P.ScanNode(right), "k", "k")
+        result = join.execute()
+        assert len(result) == 0
+        assert P.HashJoinNode._DEGRADED_PROBE in join.stats.notes
+
+    def test_hashable_keys_leave_no_notes(self):
+        rows = num_rows(10)
+        join = P.HashJoinNode(P.ScanNode(rows), P.ScanNode(rows), "n", "n")
+        assert len(join.execute()) == 10
+        assert join.stats.notes == []
+
+
+class TestLazyRowSet:
+    def test_shared_stream_executes_once(self):
+        scan = P.ScanNode(num_rows(50))
+        lazy = P.LazyRowSet(scan)
+        first = list(lazy.stream())
+        second = list(lazy.stream())
+        assert first == second
+        assert scan.stats.opens == 1  # one execution feeds both consumers
+
+    def test_interleaved_consumers_share_the_buffer(self):
+        scan = P.ScanNode(num_rows(10))
+        lazy = P.LazyRowSet(scan)
+        a, b = lazy.stream(), lazy.stream()
+        assert next(a)["n"] == 0
+        assert next(b)["n"] == 0
+        assert next(b)["n"] == 1
+        assert next(a)["n"] == 1
+        assert scan.stats.opens == 1
+
+    def test_rowset_api_forces(self):
+        lazy = P.LazyRowSet(P.ScanNode(num_rows(5)))
+        assert not lazy.is_materialized
+        assert len(lazy) == 5
+        assert lazy.is_materialized
+        assert lazy == num_rows(5)
+
+    def test_error_poisons_every_later_demand(self):
+        # One full good batch, then a divide-by-zero in the second batch:
+        # the error strikes after rows are already buffered.
+        good = P.BATCH_SIZE
+        rows = RowSet.from_dicts(
+            Schema([("n", "int"), ("d", "int")]),
+            [{"n": i, "d": 1} for i in range(good)] + [{"n": good, "d": 0}],
+        )
+        node = P.RestrictNode(
+            P.ScanNode(rows), parse_predicate("n / d >= 0.0", rows.schema)
+        )
+        lazy = P.LazyRowSet(node)
+        stream = lazy.stream()
+        for i in range(good):
+            assert next(stream)["n"] == i
+        with pytest.raises(EvaluationError):
+            next(stream)
+        # A fresh consumer cannot mistake the half-buffer for a result.
+        assert lazy.buffered_rows() == good
+        with pytest.raises(EvaluationError):
+            lazy.force()
+        assert not lazy.is_materialized
+
+    def test_cache_node_streams_shared_buffer(self):
+        scan = P.ScanNode(num_rows(20))
+        lazy = P.LazyRowSet(scan)
+        cached_a = P.CacheNode(lazy).execute()
+        cached_b = P.CacheNode(lazy).execute()
+        assert cached_a == cached_b
+        assert scan.stats.opens == 1
+        assert "Cache" in P.CacheNode(lazy).describe()
+
+    def test_source_plan_reenters_lazy_sets(self):
+        lazy = P.LazyRowSet(P.ScanNode(num_rows(3)))
+        assert isinstance(P.source_plan(lazy), P.CacheNode)
+        assert isinstance(P.source_plan(num_rows(3)), P.ScanNode)
+
+
+class TestParityWithAlgebra:
+    """Spot checks that one-node plans equal the algebra wrappers (the
+    wrappers *are* these plans, so this guards the wiring)."""
+
+    def test_group_by(self):
+        rows = num_rows(10)
+        node = P.GroupByNode(
+            P.ScanNode(rows), ["label"], [("count", "n", "c")]
+        )
+        assert len(node.execute()) == 10
+
+    def test_union_schema_mismatch(self):
+        from repro.errors import SchemaError
+
+        other = RowSet.from_dicts(Schema([("m", "int")]), [{"m": 1}])
+        with pytest.raises(SchemaError):
+            P.UnionNode(P.ScanNode(num_rows(2)), P.ScanNode(other))
+
+    def test_sample_probability_validated(self):
+        with pytest.raises(EvaluationError):
+            P.SampleNode(P.ScanNode(num_rows(2)), 1.5)
