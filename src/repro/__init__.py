@@ -18,7 +18,10 @@ Subpackages
 ``repro.ui``        the headless session model (windows, menus, undo)
 ``repro.data``      synthetic weather data and benchmark workloads
 ``repro.core``      facade and the paper's figure scenarios
+``repro.analyze``   static program checker, expression typechecker, plan verifier
 """
+
+import os as _os
 
 from repro.core import (
     Database,
@@ -34,6 +37,11 @@ from repro.core import (
     build_weather_database,
 )
 from repro.errors import TiogaError
+
+if _os.environ.get("REPRO_PLAN_VERIFY") == "1":
+    from repro.analyze.planverify import install_from_env as _install_verifier
+
+    _install_verifier()
 
 __version__ = "1.0.0"
 

@@ -1,0 +1,222 @@
+"""The program checker: schema/type inference over boxes-and-arrows programs.
+
+:func:`check_program` walks a :class:`~repro.dataflow.graph.Program` without
+executing it and reports every problem it can prove statically:
+
+1. **Edge validity** — every edge must name real ports of compatible kinds
+   (``T2-E101``/``T2-E102``).  ``Program.connect`` enforces this at edit
+   time; the checker re-proves it so deserialized or hand-built graphs get
+   the same guarantee.
+2. **Schema inference** — abstract values (:mod:`repro.analyze.values`) are
+   propagated through each box's registered transfer function
+   (:mod:`repro.analyze.transfers`), reproducing every runtime schema/type
+   validation as a diagnostic: unwired required inputs (``T2-E103``),
+   unknown tables (``T2-E104``), bad attribute references (``T2-E105``),
+   expression errors (``T2-E106``/``T2-E107``), schema mismatches
+   (``T2-E108``), bad parameters (``T2-E109``), conflicting definitions
+   (``T2-E110``).
+3. **Demand analysis** — under the engine's demand-driven evaluation only
+   boxes upstream of a viewer ever fire; everything else is dead
+   (``T2-W201``), and a program with no sink at all renders nothing
+   (``T2-W202``).
+
+An unknown value (``None``) flows through boxes whose inputs could not be
+inferred, so one error does not cascade into dozens.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analyze import transfers as _transfers  # registers all transfers
+from repro.analyze.diagnostics import Diagnostic, Report
+from repro.dataflow.graph import Program
+from repro.dataflow.ports import can_connect
+from repro.dataflow.registry import schema_transfer
+
+__all__ = ["CheckContext", "check_program"]
+
+del _transfers
+
+
+class CheckContext:
+    """What transfer functions see: the database and a way to report."""
+
+    def __init__(self, program: Program, database, report: Report):
+        self.program = program
+        self.database = database
+        self._report = report
+
+    # -- reporting ------------------------------------------------------
+
+    def report(
+        self,
+        code: str,
+        message: str,
+        *,
+        box=None,
+        port: str | None = None,
+        source: str | None = None,
+        pos: int | None = None,
+        token: str | None = None,
+        hint: str | None = None,
+    ) -> Diagnostic:
+        return self._report.add(
+            Diagnostic(
+                code,
+                message,
+                box_id=None if box is None else box.box_id,
+                box=None if box is None else box.describe(),
+                port=port,
+                source=source,
+                pos=pos,
+                token=token,
+                hint=hint,
+            )
+        )
+
+    def emit(self, diagnostic: Diagnostic, box) -> Diagnostic:
+        """Attach a box location to a diagnostic from the expression checker."""
+        if box is not None and diagnostic.box is None:
+            diagnostic.box_id = box.box_id
+            diagnostic.box = box.describe()
+        return self._report.add(diagnostic)
+
+    # -- parameters -----------------------------------------------------
+
+    def require(self, box, name: str) -> Any:
+        """Mirror of ``Box.require_param``: the value, or ``None`` + E109."""
+        value = box.param(name)
+        if value is None:
+            self.report(
+                "T2-E109",
+                f"missing required parameter {name!r}",
+                box=box,
+                hint=f"set the {name!r} parameter before running",
+            )
+        return value
+
+
+def _check_edges(program: Program, ctx: CheckContext) -> set:
+    """Pass 1: every edge names real ports of compatible kinds.
+
+    Returns the set of edges that failed, so the value pass can ignore them.
+    """
+    bad = set()
+    for edge in program.edges():
+        src = program.box(edge.src_box)
+        dst = program.box(edge.dst_box)
+        out_port = next(
+            (p for p in src.outputs if p.name == edge.src_port), None
+        )
+        in_port = next(
+            (p for p in dst.inputs if p.name == edge.dst_port), None
+        )
+        if out_port is None:
+            ctx.report(
+                "T2-E101",
+                f"edge {edge} names unknown output port {edge.src_port!r}; "
+                f"outputs: {[p.name for p in src.outputs] or '(none)'}",
+                box=src,
+                port=edge.src_port,
+            )
+            bad.add(edge)
+        if in_port is None:
+            ctx.report(
+                "T2-E101",
+                f"edge {edge} names unknown input port {edge.dst_port!r}; "
+                f"inputs: {[p.name for p in dst.inputs] or '(none)'}",
+                box=dst,
+                port=edge.dst_port,
+            )
+            bad.add(edge)
+        if out_port is None or in_port is None:
+            continue
+        if not can_connect(out_port.type, in_port.type, dst.overloadable):
+            ctx.report(
+                "T2-E102",
+                f"cannot connect {src.describe()}.{edge.src_port} "
+                f"({out_port.type}) to {dst.describe()}.{edge.dst_port} "
+                f"({in_port.type})",
+                box=dst,
+                port=edge.dst_port,
+                hint="route through a box producing the expected kind",
+            )
+            bad.add(edge)
+    return bad
+
+
+def _infer_values(program: Program, ctx: CheckContext, bad_edges: set) -> None:
+    """Pass 2: propagate abstract values through transfer functions."""
+    produced: dict[tuple[int, str], Any] = {}
+    for box_id in program.topological_order():
+        box = program.box(box_id)
+        inputs: dict[str, Any] = {}
+        for port in box.inputs:
+            edge = program.edge_into_port(box_id, port.name)
+            if edge is None:
+                if not port.optional:
+                    ctx.report(
+                        "T2-E103",
+                        f"required input {port.name!r} ({port.type}) is not "
+                        "wired",
+                        box=box,
+                        port=port.name,
+                        hint="connect an edge into this port",
+                    )
+                inputs[port.name] = None
+            elif edge in bad_edges:
+                inputs[port.name] = None
+            else:
+                inputs[port.name] = produced.get((edge.src_box, edge.src_port))
+        transfer = schema_transfer(box.type_name)
+        if transfer is None:
+            result: dict[str, Any] = {}
+        else:
+            result = transfer(box, inputs, ctx) or {}
+        for port in box.outputs:
+            produced[(box_id, port.name)] = result.get(port.name)
+
+
+def _check_demand(program: Program, ctx: CheckContext) -> None:
+    """Pass 3: warn about dead boxes and programs with nothing demanded."""
+    if not len(program):
+        return
+    roots = [box for box in program.boxes() if not box.outputs]
+    if not roots:
+        ctx.report(
+            "T2-W202",
+            "program has no viewer or other sink box; nothing is demanded, "
+            "so nothing will ever fire",
+            box=None,
+            hint="add a Viewer (or another output-less box) at the end",
+        )
+        return
+    live: set[int] = set()
+    for root in roots:
+        live.add(root.box_id)
+        live.update(program.upstream_of(root.box_id))
+    for box in program.boxes():
+        if box.box_id not in live:
+            ctx.report(
+                "T2-W201",
+                f"box feeds no viewer; under demand-driven evaluation it "
+                "will never fire",
+                box=box,
+                hint="connect it (transitively) to a viewer or delete it",
+            )
+
+
+def check_program(program: Program, database=None) -> Report:
+    """Statically check a program against an optional database catalog.
+
+    Never raises and never executes a box; all findings land in the
+    returned :class:`Report`.  Without a database, table existence
+    (``T2-E104``) and everything downstream of table schemas is unchecked.
+    """
+    report = Report()
+    ctx = CheckContext(program, database, report)
+    bad_edges = _check_edges(program, ctx)
+    _infer_values(program, ctx, bad_edges)
+    _check_demand(program, ctx)
+    return report

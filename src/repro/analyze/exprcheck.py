@@ -1,0 +1,131 @@
+"""Expression typechecking with source-position diagnostics.
+
+:func:`analyze_expression` parses and infers a query-language expression
+against a schema and reports through
+:class:`~repro.analyze.diagnostics.Diagnostic` records instead of exceptions:
+
+- ``T2-E106`` — syntax errors, carrying the character offset and the
+  offending token from the parser;
+- ``T2-E105`` — references to fields absent from the schema;
+- ``T2-E107`` — type errors: ill-typed operators, a predicate that is not
+  boolean, or an inferred type incompatible with a declared type.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.diagnostics import Diagnostic
+from repro.dbms import types as T
+from repro.dbms.expr import Expr
+from repro.dbms.parser import parse_expression
+from repro.dbms.tuples import Schema
+from repro.errors import ExpressionError, TypeCheckError
+
+__all__ = ["analyze_expression", "check_expression", "types_compatible"]
+
+
+def types_compatible(inferred: T.AtomicType, declared: T.AtomicType) -> bool:
+    """Mirror of ``Method.check``: identical or both numeric."""
+    return inferred is declared or (T.numeric(inferred) and T.numeric(declared))
+
+
+def analyze_expression(
+    source: str,
+    schema: Schema,
+    *,
+    expect_bool: bool = False,
+    declared: T.AtomicType | None = None,
+    what: str = "expression",
+) -> tuple[Expr | None, T.AtomicType | None, list[Diagnostic]]:
+    """Statically check one expression; never raises.
+
+    Returns ``(expr, inferred_type, diagnostics)``; ``expr`` and the type
+    are ``None`` when the expression could not be parsed or typed.
+    ``expect_bool`` marks predicates; ``declared`` adds a declared-type
+    compatibility check (Set/Add Attribute).  ``what`` names the
+    expression's role in messages.
+    """
+    diagnostics: list[Diagnostic] = []
+    try:
+        expr = parse_expression(source)
+    except ExpressionError as exc:
+        diagnostics.append(
+            Diagnostic(
+                "T2-E106",
+                f"{what} does not parse: {exc}",
+                source=source,
+                pos=getattr(exc, "pos", None),
+                token=getattr(exc, "token", None),
+                hint="fix the expression syntax",
+            )
+        )
+        return None, None, diagnostics
+
+    missing = sorted(name for name in expr.fields_used() if name not in schema)
+    if missing:
+        known = ", ".join(schema.names)
+        for name in missing:
+            diagnostics.append(
+                Diagnostic(
+                    "T2-E105",
+                    f"{what} references unknown attribute {name!r}; "
+                    f"available: {known}",
+                    source=source,
+                    hint="reference an attribute of the inferred schema",
+                )
+            )
+        return expr, None, diagnostics
+
+    try:
+        inferred = expr.infer(schema)
+    except TypeCheckError as exc:
+        diagnostics.append(
+            Diagnostic(
+                "T2-E107",
+                f"{what} is ill-typed: {exc}",
+                source=source,
+                hint="adjust the expression so operand types agree",
+            )
+        )
+        return expr, None, diagnostics
+
+    if expect_bool and inferred is not T.BOOL:
+        diagnostics.append(
+            Diagnostic(
+                "T2-E107",
+                f"{what} must be boolean, but has type {inferred}",
+                source=source,
+                hint="use a comparison or boolean operator at the top level",
+            )
+        )
+        return expr, inferred, diagnostics
+
+    if declared is not None and not types_compatible(inferred, declared):
+        diagnostics.append(
+            Diagnostic(
+                "T2-E107",
+                f"{what} is declared {declared} but its definition has "
+                f"type {inferred}",
+                source=source,
+                hint=f"change the declared type to {inferred} or fix the definition",
+            )
+        )
+        return expr, inferred, diagnostics
+    return expr, inferred, diagnostics
+
+
+def check_expression(
+    source: str,
+    schema: Schema,
+    *,
+    expect_bool: bool = False,
+    declared: T.AtomicType | None = None,
+    what: str = "expression",
+) -> tuple[T.AtomicType | None, list[Diagnostic]]:
+    """:func:`analyze_expression` without the parsed expression."""
+    __, inferred, diagnostics = analyze_expression(
+        source, schema, expect_bool=expect_bool, declared=declared, what=what
+    )
+    if diagnostics:
+        return (None if any(d.is_error for d in diagnostics) else inferred,
+                diagnostics)
+    return inferred, diagnostics

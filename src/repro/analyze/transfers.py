@@ -1,0 +1,1171 @@
+"""Output-schema transfer functions: the static mirror of every box catalog.
+
+Each registered box type gets a transfer function (via
+:func:`repro.dataflow.registry.register_schema_transfer`) that mirrors its
+``fire`` method at the schema level: abstract input values in, abstract
+output values out, with every runtime validation reproduced as a
+:class:`~repro.analyze.diagnostics.Diagnostic` instead of an exception.
+
+A transfer returning ``None`` for an output marks it *unknown*, which
+suppresses cascading diagnostics downstream.  The context object (``ctx``)
+is provided by :mod:`repro.analyze.checker` and offers ``report``/``emit``
+for diagnostics, ``require`` for required params, and ``database`` for
+catalog lookups.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.exprcheck import analyze_expression, types_compatible
+from repro.analyze.values import (
+    CompAttr,
+    CompValue,
+    GroupValue,
+    RelValue,
+    ScalarValue,
+    ensure_comp,
+)
+from repro.dataflow.registry import register_schema_transfer
+from repro.dbms import types as T
+from repro.dbms.plan import AGGREGATES, _AGG_RESULT_TYPE, joined_schema
+from repro.dbms.tuples import Field, Schema
+from repro.display.displayable import LAYOUTS, SEQ_FIELD
+from repro.errors import SchemaError, TypeCheckError
+
+__all__: list[str] = []
+
+_PROTECTED = ("x", "y", "display")
+_RESERVED_SLIDERS = ("x", "y", "display")
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers: overload selection, expression checks, method validation
+# ---------------------------------------------------------------------------
+
+
+def _expr(ctx, box, source, schema, *, expect_bool=False, declared=None, what):
+    """Check an expression, attributing its diagnostics to ``box``."""
+    expr, inferred, diagnostics = analyze_expression(
+        source, schema, expect_bool=expect_bool, declared=declared, what=what
+    )
+    ok = True
+    for diagnostic in diagnostics:
+        ctx.emit(diagnostic, box)
+        ok = ok and not diagnostic.is_error
+    return (expr, inferred) if ok else (None, None)
+
+
+def _sole(ctx, box, names, what, owner):
+    """Mirror of ``overload._sole``: the only choice, or an E109."""
+    if len(names) == 1:
+        return names[0]
+    ctx.report(
+        "T2-E109",
+        f"{owner} has {len(names)} {what}s ({', '.join(names)}); "
+        f"specify which {what} the operation applies to",
+        box=box,
+        hint=f"set the {what!r} parameter",
+    )
+    return None
+
+
+def _select_composite(ctx, box, value):
+    """Mirror of ``overload.select_composite``; returns (comp, rebuild)."""
+    if isinstance(value, RelValue):
+        return CompValue([value]), (lambda new: new)
+    if isinstance(value, CompValue):
+        return value, (lambda new: new)
+    if isinstance(value, GroupValue):
+        member = box.param("member")
+        name = member if member is not None else _sole(
+            ctx, box, value.member_names(), "member", "group"
+        )
+        if name is None:
+            return None, None
+        composite = value.member(name)
+        if composite is None:
+            ctx.report(
+                "T2-E109",
+                f"group has no member {name!r}; members: "
+                f"{', '.join(value.member_names()) or '(none)'}",
+                box=box,
+            )
+            return None, None
+        return composite, (lambda new: value.replace_member(name, new))
+    return None, None
+
+
+def _select_relation(ctx, box, value):
+    """Mirror of ``overload.select_relation``; returns (rel, rebuild)."""
+    if isinstance(value, RelValue):
+        return value, (lambda new: new)
+    composite, rebuild_container = _select_composite(ctx, box, value)
+    if composite is None:
+        return None, None
+    component = box.param("component")
+    name = component if component is not None else _sole(
+        ctx, box, composite.component_names(), "component", "composite"
+    )
+    if name is None:
+        return None, None
+    relation = composite.entry_named(name)
+    if relation is None:
+        ctx.report(
+            "T2-E109",
+            f"composite has no component {name!r}; components: "
+            f"{', '.join(composite.component_names()) or '(none)'}",
+            box=box,
+        )
+        return None, None
+
+    def rebuild(new):
+        return rebuild_container(composite.replace_component(name, new))
+
+    return relation, rebuild
+
+
+def _apply(ctx, box, value, op):
+    """Apply an R-level ``op`` through the overload selection; None on error."""
+    if value is None:
+        return None
+    relation, rebuild = _select_relation(ctx, box, value)
+    if relation is None:
+        return None
+    result = op(relation)
+    if result is None:
+        return None
+    return rebuild(result)
+
+
+def _with_seq(schema: Schema) -> Schema:
+    if SEQ_FIELD in schema:
+        return schema
+    return schema.extend(Field(SEQ_FIELD, T.INT))
+
+
+def _rebuild_methods(ctx, box, stored: Schema, methods) -> tuple | None:
+    """Re-validate computed attributes over a new stored schema.
+
+    The static mirror of ``MethodSet.rebase``: every method is re-added in
+    order, re-inferring expression definitions and re-checking dependency
+    sets.  Returns the validated methods, or ``None`` after reporting.
+    """
+    extended = stored
+    out: list[CompAttr] = []
+    for method in methods:
+        reference = _with_seq(extended)
+        if method.source is not None:
+            expr, inferred = _expr(
+                ctx, box, method.source, reference,
+                declared=method.atomic,
+                what=f"definition of computed attribute {method.name!r}",
+            )
+            if expr is None:
+                return None
+        else:
+            missing = sorted(
+                dep for dep in method.depends if dep not in reference
+            )
+            if missing:
+                ctx.report(
+                    "T2-E105",
+                    f"computed attribute {method.name!r} depends on "
+                    f"{', '.join(repr(m) for m in missing)}, absent from the "
+                    "schema at this point",
+                    box=box,
+                    hint="keep the attributes the definition references",
+                )
+                return None
+        out.append(method)
+        if method.name not in extended:
+            extended = extended.extend(Field(method.name, method.atomic))
+    return tuple(out)
+
+
+def _post_validate(ctx, box, rel: RelValue) -> RelValue | None:
+    """Mirror of ``DisplayableRelation._validate`` over the abstract value."""
+    schema = rel.extended_schema
+    ok = True
+    for dim in rel.sliders:
+        if dim in _RESERVED_SLIDERS:
+            ctx.report(
+                "T2-E109",
+                f"{dim!r} cannot be a slider dimension",
+                box=box,
+            )
+            ok = False
+        elif dim not in schema:
+            ctx.report(
+                "T2-E105",
+                f"slider dimension {dim!r} is not an attribute of "
+                f"{rel.name!r}; available: {', '.join(schema.names)}",
+                box=box,
+                hint="add the attribute before using it as a slider",
+            )
+            ok = False
+        elif not T.numeric(schema.type_of(dim)):
+            ctx.report(
+                "T2-E107",
+                f"slider dimension {dim!r} must be numeric, "
+                f"got {schema.type_of(dim)}",
+                box=box,
+            )
+            ok = False
+    if len(set(rel.sliders)) != len(rel.sliders):
+        ctx.report("T2-E110", "duplicate slider dimensions", box=box)
+        ok = False
+    for axis in ("x", "y"):
+        if axis in schema and not T.numeric(schema.type_of(axis)):
+            ctx.report(
+                "T2-E107",
+                f"location attribute {axis!r} must be numeric, "
+                f"got {schema.type_of(axis)}",
+                box=box,
+                hint="x and y position tuples on the canvas",
+            )
+            ok = False
+    if "display" in schema and schema.type_of("display") is not T.DRAWABLES:
+        ctx.report(
+            "T2-E107",
+            f"attribute 'display' must be of drawable-list type, "
+            f"got {schema.type_of('display')}",
+            box=box,
+            hint="declare the display definition with type 'drawables'",
+        )
+        ok = False
+    return rel if ok else None
+
+
+# ---------------------------------------------------------------------------
+# Database-operation boxes (boxes_db)
+# ---------------------------------------------------------------------------
+
+
+@register_schema_transfer("AddTable")
+def _t_add_table(box, inputs, ctx):
+    table = ctx.require(box, "table")
+    if table is None:
+        return {"out": None}
+    if ctx.database is None:
+        return {"out": None}
+    if not ctx.database.has_table(table):
+        known = ", ".join(ctx.database.table_names()) or "(none)"
+        ctx.report(
+            "T2-E104",
+            f"database has no table {table!r}; tables: {known}",
+            box=box,
+            hint="name one of the database's tables",
+        )
+        return {"out": None}
+    schema = ctx.database.table(table).schema
+    return {"out": RelValue(schema, name=table)}
+
+
+@register_schema_transfer("Restrict")
+def _t_restrict(box, inputs, ctx):
+    predicate = ctx.require(box, "predicate")
+
+    def op(rel):
+        if predicate is not None:
+            _expr(ctx, box, predicate, rel.extended_schema,
+                  expect_bool=True, what="Restrict predicate")
+        return rel  # schema-preserving even when the predicate is bad
+
+    return {"out": _apply(ctx, box, inputs.get("in"), op)}
+
+
+@register_schema_transfer("Project")
+def _t_project(box, inputs, ctx):
+    fields = ctx.require(box, "fields")
+
+    def op(rel):
+        if fields is None:
+            return None
+        if not fields:
+            ctx.report(
+                "T2-E109", "projection requires at least one field", box=box
+            )
+            return None
+        missing = [name for name in fields if name not in rel.schema]
+        if missing:
+            for name in missing:
+                computed = rel.method_named(name) is not None
+                note = (
+                    " (it is a computed attribute; Project keeps stored fields"
+                    " and computed attributes survive automatically)"
+                    if computed else ""
+                )
+                ctx.report(
+                    "T2-E105",
+                    f"Project field {name!r} is not a stored field of "
+                    f"{rel.name!r}{note}; stored: {', '.join(rel.schema.names)}",
+                    box=box,
+                )
+            return None
+        stored = rel.schema.project(list(fields))
+        methods = _rebuild_methods(ctx, box, stored, rel.methods)
+        if methods is None:
+            return None
+        return _post_validate(
+            ctx, box, rel.clone(schema=stored, methods=methods)
+        )
+
+    return {"out": _apply(ctx, box, inputs.get("in"), op)}
+
+
+@register_schema_transfer("Sample")
+def _t_sample(box, inputs, ctx):
+    probability = ctx.require(box, "probability")
+    if probability is not None:
+        if not isinstance(probability, (int, float)) or isinstance(
+            probability, bool
+        ) or not 0.0 <= float(probability) <= 1.0:
+            ctx.report(
+                "T2-E109",
+                f"sample probability must be in [0, 1], got {probability!r}",
+                box=box,
+            )
+    return {"out": _apply(ctx, box, inputs.get("in"), lambda rel: rel)}
+
+
+_JOIN_STRATEGIES = ("hash", "nested_loop")
+
+
+@register_schema_transfer("Join")
+def _t_join(box, inputs, ctx):
+    left = inputs.get("left")
+    right = inputs.get("right")
+    if not isinstance(left, RelValue) or not isinstance(right, RelValue):
+        return {"out": None}
+    schema, __ = joined_schema(left.schema, right.schema)
+    predicate = box.param("predicate")
+    ok = True
+    if predicate is not None:
+        expr, __ = _expr(ctx, box, predicate, schema,
+                         expect_bool=True, what="Join predicate")
+        ok = expr is not None
+    else:
+        left_key = ctx.require(box, "left_key")
+        right_key = ctx.require(box, "right_key")
+        strategy = box.param("strategy", "hash")
+        if strategy not in _JOIN_STRATEGIES:
+            ctx.report(
+                "T2-E109",
+                f"unknown join strategy {strategy!r}; "
+                f"known: {', '.join(_JOIN_STRATEGIES)}",
+                box=box,
+            )
+            ok = False
+        if left_key is None or right_key is None:
+            ok = False
+        else:
+            for key, side in ((left_key, left), (right_key, right)):
+                if key not in side.schema:
+                    ctx.report(
+                        "T2-E105",
+                        f"join key {key!r} is not a stored field of "
+                        f"{side.name!r}; stored: {', '.join(side.schema.names)}",
+                        box=box,
+                    )
+                    ok = False
+            if ok:
+                left_type = left.schema.type_of(left_key)
+                right_type = right.schema.type_of(right_key)
+                if not types_compatible(left_type, right_type):
+                    ctx.report(
+                        "T2-E108",
+                        f"join keys {left_key!r} ({left_type}) and "
+                        f"{right_key!r} ({right_type}) have incompatible types",
+                        box=box,
+                        hint="join keys must be the same type or both numeric",
+                    )
+                    ok = False
+    if not ok:
+        return {"out": None}
+    return {"out": RelValue(schema, name=f"{left.name}_join_{right.name}")}
+
+
+@register_schema_transfer("T")
+def _t_tee(box, inputs, ctx):
+    value = inputs.get("in")
+    return {"out1": value, "out2": value}
+
+
+@register_schema_transfer("Switch")
+def _t_switch(box, inputs, ctx):
+    predicate = ctx.require(box, "predicate")
+
+    def op(rel):
+        if predicate is not None:
+            _expr(ctx, box, predicate, rel.extended_schema,
+                  expect_bool=True, what="Switch predicate")
+        return rel
+
+    result = _apply(ctx, box, inputs.get("in"), op)
+    return {"true": result, "false": result}
+
+
+# ---------------------------------------------------------------------------
+# Attribute boxes (boxes_attr)
+# ---------------------------------------------------------------------------
+
+
+def _declared_type(ctx, box):
+    """Resolve the declared_type param to an atomic type (None = inferred)."""
+    declared = box.param("declared_type")
+    if declared is None:
+        return None, True
+    try:
+        return T.type_by_name(declared), True
+    except TypeCheckError as exc:
+        ctx.report("T2-E109", str(exc), box=box)
+        return None, False
+
+
+@register_schema_transfer("AddAttribute")
+def _t_add_attribute(box, inputs, ctx):
+    name = ctx.require(box, "name")
+    definition = ctx.require(box, "definition")
+
+    def op(rel):
+        if name is None or definition is None:
+            return None
+        declared, declared_ok = _declared_type(ctx, box)
+        if not declared_ok:
+            return None
+        if name in rel.extended_schema:
+            ctx.report(
+                "T2-E110",
+                f"attribute {name!r} already exists (stored or computed) on "
+                f"{rel.name!r}",
+                box=box,
+                hint="use Set Attribute to redefine, or pick a new name",
+            )
+            return None
+        expr, inferred = _expr(
+            ctx, box, definition, rel.reference_schema(),
+            declared=declared, what=f"definition of {name!r}",
+        )
+        if expr is None or inferred is None:
+            return None
+        atomic = declared or inferred
+        method = CompAttr(name, atomic, expr.fields_used(), definition)
+        result = rel.clone(methods=(*rel.methods, method))
+        if box.param("location"):
+            if not T.numeric(atomic):
+                ctx.report(
+                    "T2-E107",
+                    f"location attribute {name!r} must be numeric, got {atomic}",
+                    box=box,
+                )
+                return None
+            if name not in ("x", "y"):
+                if name in result.sliders:
+                    ctx.report(
+                        "T2-E110",
+                        f"{name!r} is already a slider dimension",
+                        box=box,
+                    )
+                    return None
+                result = result.clone(sliders=(*result.sliders, name))
+        return _post_validate(ctx, box, result)
+
+    return {"out": _apply(ctx, box, inputs.get("in"), op)}
+
+
+@register_schema_transfer("RemoveAttribute")
+def _t_remove_attribute(box, inputs, ctx):
+    name = ctx.require(box, "name")
+    if name in _PROTECTED:
+        ctx.report(
+            "T2-E109",
+            f"cannot remove attribute {name!r}: x, y, and display are "
+            "required for a valid visualization",
+            box=box,
+        )
+        return {"out": None}
+
+    def op(rel):
+        if name is None:
+            return None
+        sliders = tuple(d for d in rel.sliders if d != name)
+        method = rel.method_named(name)
+        if method is not None:
+            dependents = [
+                m.name for m in rel.methods
+                if m.name != name and name in m.depends
+            ]
+            if dependents:
+                ctx.report(
+                    "T2-E109",
+                    f"cannot remove {name!r}: method {dependents[0]!r} "
+                    "depends on it",
+                    box=box,
+                    hint="remove or redefine the dependent attribute first",
+                )
+                return None
+            methods = tuple(m for m in rel.methods if m.name != name)
+            return rel.clone(methods=methods, sliders=sliders)
+        if name in rel.schema:
+            keep = [f for f in rel.schema.names if f != name]
+            if not keep:
+                ctx.report(
+                    "T2-E109",
+                    f"cannot remove {name!r}: it is the only stored field",
+                    box=box,
+                )
+                return None
+            stored = rel.schema.project(keep)
+            methods = _rebuild_methods(ctx, box, stored, rel.methods)
+            if methods is None:
+                return None
+            return _post_validate(
+                ctx, box, rel.clone(schema=stored, methods=methods,
+                                    sliders=sliders)
+            )
+        ctx.report(
+            "T2-E105",
+            f"relation {rel.name!r} has no attribute {name!r}; available: "
+            f"{', '.join(rel.extended_schema.names)}",
+            box=box,
+        )
+        return None
+
+    return {"out": _apply(ctx, box, inputs.get("in"), op)}
+
+
+@register_schema_transfer("SetAttribute")
+def _t_set_attribute(box, inputs, ctx):
+    name = ctx.require(box, "name")
+    definition = ctx.require(box, "definition")
+
+    def op(rel):
+        if name is None or definition is None:
+            return None
+        if name in rel.schema:
+            ctx.report(
+                "T2-E110",
+                f"{name!r} is a stored field; Set Attribute redefines "
+                "computed attributes only",
+                box=box,
+                hint="use Add Attribute under a new name",
+            )
+            return None
+        declared, declared_ok = _declared_type(ctx, box)
+        if not declared_ok:
+            return None
+        expr, inferred = _expr(
+            ctx, box, definition, rel.reference_schema(),
+            declared=declared, what=f"definition of {name!r}",
+        )
+        if expr is None or inferred is None:
+            return None
+        atomic = declared or inferred
+        method = CompAttr(name, atomic, expr.fields_used(), definition)
+        existing = rel.method_named(name)
+        if existing is None:
+            methods = (*rel.methods, method)
+        else:
+            methods = tuple(
+                method if m.name == name else m for m in rel.methods
+            )
+        rebuilt = _rebuild_methods(ctx, box, rel.schema, methods)
+        if rebuilt is None:
+            return None
+        return _post_validate(ctx, box, rel.clone(methods=rebuilt))
+
+    return {"out": _apply(ctx, box, inputs.get("in"), op)}
+
+
+@register_schema_transfer("SwapAttributes")
+def _t_swap_attributes(box, inputs, ctx):
+    first = ctx.require(box, "first")
+    second = ctx.require(box, "second")
+    if first is not None and first == second:
+        ctx.report(
+            "T2-E109", "Swap Attributes needs two distinct attributes", box=box
+        )
+        return {"out": None}
+
+    def op(rel):
+        if first is None or second is None:
+            return None
+        a, b = rel.method_named(first), rel.method_named(second)
+        if a is not None and b is not None:
+            if not types_compatible(a.atomic, b.atomic):
+                ctx.report(
+                    "T2-E108",
+                    f"cannot swap attributes of different types: {first!r} is "
+                    f"{a.atomic}, {second!r} is {b.atomic}",
+                    box=box,
+                )
+                return None
+            swapped = []
+            for m in rel.methods:
+                if m.name == first:
+                    swapped.append(CompAttr(first, b.atomic, b.depends, b.source))
+                elif m.name == second:
+                    swapped.append(CompAttr(second, a.atomic, a.depends, a.source))
+                else:
+                    swapped.append(m)
+            return _post_validate(ctx, box, rel.clone(methods=tuple(swapped)))
+        if first in rel.schema and second in rel.schema:
+            ta, tb = rel.schema.type_of(first), rel.schema.type_of(second)
+            if ta is not tb:
+                ctx.report(
+                    "T2-E108",
+                    f"cannot swap stored fields of different types: "
+                    f"{first!r} is {ta}, {second!r} is {tb}",
+                    box=box,
+                )
+                return None
+            return rel
+        for attr in (first, second):
+            if attr not in rel.extended_schema:
+                ctx.report(
+                    "T2-E105",
+                    f"relation {rel.name!r} has no attribute {attr!r}; "
+                    f"available: {', '.join(rel.extended_schema.names)}",
+                    box=box,
+                )
+                return None
+        ctx.report(
+            "T2-E108",
+            f"cannot swap {first!r} and {second!r}: both must be computed "
+            "attributes or both stored fields",
+            box=box,
+        )
+        return None
+
+    return {"out": _apply(ctx, box, inputs.get("in"), op)}
+
+
+def _numeric_adjust(box, inputs, ctx):
+    name = ctx.require(box, "name")
+    amount = ctx.require(box, "amount")
+    if amount is not None and (
+        not isinstance(amount, (int, float)) or isinstance(amount, bool)
+    ):
+        ctx.report(
+            "T2-E109", f"amount must be a number, got {amount!r}", box=box
+        )
+
+    def op(rel):
+        if name is None:
+            return None
+        method = rel.method_named(name)
+        if method is not None:
+            if not T.numeric(method.atomic):
+                ctx.report(
+                    "T2-E107",
+                    f"attribute {name!r} is {method.atomic}; Scale/Translate "
+                    "apply to numeric attributes only",
+                    box=box,
+                )
+                return None
+            adjusted = CompAttr(name, T.FLOAT, method.depends, None)
+            methods = tuple(
+                adjusted if m.name == name else m for m in rel.methods
+            )
+            return rel.clone(methods=methods)
+        if name in rel.schema:
+            atomic = rel.schema.type_of(name)
+            if not T.numeric(atomic):
+                ctx.report(
+                    "T2-E107",
+                    f"stored field {name!r} is {atomic}; Scale/Translate "
+                    "apply to numeric attributes only",
+                    box=box,
+                )
+                return None
+            if (
+                atomic is T.INT
+                and isinstance(amount, (int, float))
+                and not float(amount).is_integer()
+            ):
+                # Mirrors the runtime rule: a stored int column cannot hold
+                # the non-integer values this adjustment would produce.
+                ctx.report(
+                    "T2-E107",
+                    f"adjusting stored int field {name!r} by non-integer "
+                    f"{amount} would produce non-integer values",
+                    box=box,
+                    hint="use Add Attribute to derive a float attribute "
+                    "instead",
+                )
+                return None
+            return rel
+        ctx.report(
+            "T2-E105",
+            f"relation {rel.name!r} has no attribute {name!r}; available: "
+            f"{', '.join(rel.extended_schema.names)}",
+            box=box,
+        )
+        return None
+
+    return {"out": _apply(ctx, box, inputs.get("in"), op)}
+
+
+register_schema_transfer("ScaleAttribute")(_numeric_adjust)
+register_schema_transfer("TranslateAttribute")(_numeric_adjust)
+
+
+@register_schema_transfer("CombineDisplays")
+def _t_combine_displays(box, inputs, ctx):
+    first = ctx.require(box, "first")
+    second = ctx.require(box, "second")
+    target = box.param("target", "display")
+
+    def op(rel):
+        if first is None or second is None:
+            return None
+        schema = rel.extended_schema
+        for name in (first, second):
+            if name not in schema:
+                ctx.report(
+                    "T2-E105",
+                    f"relation {rel.name!r} has no display attribute {name!r};"
+                    f" available: {', '.join(schema.names)}",
+                    box=box,
+                )
+                return None
+            if schema.type_of(name) is not T.DRAWABLES:
+                ctx.report(
+                    "T2-E107",
+                    f"attribute {name!r} is {schema.type_of(name)}; Combine "
+                    "Displays requires drawable-list attributes",
+                    box=box,
+                )
+                return None
+        if target in rel.schema:
+            ctx.report(
+                "T2-E110",
+                f"Combine Displays target {target!r} is a stored field",
+                box=box,
+            )
+            return None
+        method = CompAttr(target, T.DRAWABLES, {first, second}, None)
+        existing = rel.method_named(target)
+        if existing is None:
+            methods = (*rel.methods, method)
+        else:
+            methods = tuple(
+                method if m.name == target else m for m in rel.methods
+            )
+        return _post_validate(ctx, box, rel.clone(methods=methods))
+
+    return {"out": _apply(ctx, box, inputs.get("in"), op)}
+
+
+# ---------------------------------------------------------------------------
+# Drill-down and multi-view boxes (boxes_display)
+# ---------------------------------------------------------------------------
+
+
+@register_schema_transfer("SetRange")
+def _t_set_range(box, inputs, ctx):
+    ctx.require(box, "minimum")
+    ctx.require(box, "maximum")
+    return {"out": _apply(ctx, box, inputs.get("in"), lambda rel: rel)}
+
+
+@register_schema_transfer("Overlay")
+def _t_overlay(box, inputs, ctx):
+    base_value = inputs.get("base")
+    top_value = inputs.get("top")
+    if base_value is None or top_value is None:
+        return {"out": None}
+    if isinstance(top_value, GroupValue):
+        ctx.report(
+            "T2-E102",
+            "Overlay 'top' input must be a composite or relation, got a group",
+            box=box,
+            port="top",
+            hint="stitch groups; overlay composites",
+        )
+        return {"out": None}
+    base, rebuild = _select_composite(ctx, box, base_value)
+    if base is None:
+        return {"out": None}
+    top = ensure_comp(top_value)
+    result = base.copy()
+    for entry in top.entries:
+        if result.entries and entry.dimension != result.dimension:
+            ctx.report(
+                "T2-W203",
+                f"dimension mismatch: composite is {result.dimension}-"
+                f"dimensional, {entry.name!r} is {entry.dimension}-dimensional;"
+                " lower-dimensional relations are treated as invariant in the"
+                " extra dimensions",
+                box=box,
+            )
+        result._add_entry(entry)
+    return {"out": rebuild(result)}
+
+
+@register_schema_transfer("Shuffle")
+def _t_shuffle(box, inputs, ctx):
+    value = inputs.get("in")
+    if value is None:
+        return {"out": None}
+    composite, rebuild = _select_composite(ctx, box, value)
+    if composite is None:
+        return {"out": None}
+    component = ctx.require(box, "component")
+    if component is None:
+        return {"out": None}
+    if composite.entry_named(component) is None:
+        ctx.report(
+            "T2-E109",
+            f"no component {component!r} in composite; have: "
+            f"{', '.join(composite.component_names()) or '(none)'}",
+            box=box,
+        )
+        return {"out": None}
+    shuffled = composite.copy()
+    entry = shuffled.entry_named(component)
+    shuffled.entries.remove(entry)
+    shuffled.entries.append(entry)
+    return {"out": rebuild(shuffled)}
+
+
+@register_schema_transfer("Stitch")
+def _t_stitch(box, inputs, ctx):
+    arity = box.param("arity", 2)
+    names = box.param("names") or [f"c{i + 1}" for i in range(arity)]
+    layout = box.param("layout", "horizontal")
+    shape = box.param("table_shape")
+    ok = True
+    if layout not in LAYOUTS:
+        ctx.report(
+            "T2-E109",
+            f"layout must be one of {LAYOUTS}, got {layout!r}",
+            box=box,
+        )
+        ok = False
+    if layout == "tabular":
+        if shape is None:
+            ctx.report(
+                "T2-E109", "tabular layout requires a table_shape", box=box
+            )
+            ok = False
+        else:
+            try:
+                rows, cols = shape
+                bad = rows < 1 or cols < 1
+            except (TypeError, ValueError):
+                bad = True
+            if bad:
+                ctx.report(
+                    "T2-E109", f"illegal table shape {shape!r}", box=box
+                )
+                ok = False
+    if len(set(names)) != len(names):
+        duplicate = next(n for n in names if names.count(n) > 1)
+        ctx.report(
+            "T2-E110",
+            f"group already has a member named {duplicate!r}",
+            box=box,
+            hint="give each stitched member a distinct name",
+        )
+        ok = False
+    members = []
+    for i in range(arity):
+        value = inputs.get(f"c{i + 1}")
+        if isinstance(value, GroupValue):
+            ctx.report(
+                "T2-E102",
+                "Stitch takes composites; to restitch a group, stitch its "
+                "members individually",
+                box=box,
+                port=f"c{i + 1}",
+            )
+            ok = False
+            continue
+        if value is None:
+            return {"out": None}
+        members.append((names[i], ensure_comp(value)))
+    if not ok:
+        return {"out": None}
+    return {"out": GroupValue(members)}
+
+
+@register_schema_transfer("Replicate")
+def _t_replicate(box, inputs, ctx):
+    value = inputs.get("in")
+    if value is None:
+        return {"out": None}
+    predicates = box.param("predicates")
+    enum_field = box.param("enum_field")
+    layout = box.param("layout", "horizontal")
+    if not predicates and not enum_field:
+        ctx.report(
+            "T2-E109",
+            "Replicate needs partition predicates or an enum_field",
+            box=box,
+        )
+        return {"out": None}
+    if layout not in LAYOUTS:
+        ctx.report(
+            "T2-E109",
+            f"layout must be one of {LAYOUTS}, got {layout!r}",
+            box=box,
+        )
+        return {"out": None}
+
+    relation, rebuild = _select_relation(ctx, box, value)
+    if relation is None:
+        return {"out": None}
+    if predicates:
+        ok = True
+        for predicate in predicates:
+            expr, __ = _expr(
+                ctx, box, predicate, relation.extended_schema,
+                expect_bool=True, what="Replicate partition predicate",
+            )
+            ok = ok and expr is not None
+        if not ok:
+            return {"out": None}
+        count = len(predicates)
+    else:
+        if enum_field not in relation.extended_schema:
+            ctx.report(
+                "T2-E105",
+                f"relation {relation.name!r} has no attribute {enum_field!r};"
+                f" available: {', '.join(relation.extended_schema.names)}",
+                box=box,
+            )
+            return {"out": None}
+        # The partition count depends on the data; the member list is unknown.
+        return {"out": None}
+
+    if isinstance(value, GroupValue):
+        members = []
+        for pos in range(count):
+            for name in value.member_names():
+                members.append((f"{name}_part{pos + 1}",
+                                value.member(name)))
+        return {"out": GroupValue(members)}
+    members = [
+        (f"part{pos + 1}", ensure_comp(rebuild(relation)))
+        for pos in range(count)
+    ]
+    return {"out": GroupValue(members)}
+
+
+# ---------------------------------------------------------------------------
+# Big-programmer boxes (boxes_extra)
+# ---------------------------------------------------------------------------
+
+
+@register_schema_transfer("Aggregate")
+def _t_aggregate(box, inputs, ctx):
+    keys = ctx.require(box, "keys")
+    aggregations = ctx.require(box, "aggregations")
+
+    def op(rel):
+        if keys is None or aggregations is None:
+            return None
+        schema = rel.schema
+        ok = True
+        out_fields: list[Field] = []
+        for key in keys:
+            if key not in schema:
+                ctx.report(
+                    "T2-E105",
+                    f"group-by key {key!r} is not a stored field of "
+                    f"{rel.name!r}; stored: {', '.join(schema.names)}",
+                    box=box,
+                )
+                ok = False
+            else:
+                out_fields.append(schema.field(key))
+        for spec in aggregations:
+            if len(spec) != 3:
+                ctx.report(
+                    "T2-E109",
+                    f"aggregation spec must be [agg, field, output], "
+                    f"got {list(spec)!r}",
+                    box=box,
+                )
+                ok = False
+                continue
+            agg_name, field, output_name = spec
+            if agg_name not in AGGREGATES:
+                ctx.report(
+                    "T2-E109",
+                    f"unknown aggregate {agg_name!r}; "
+                    f"known: {', '.join(sorted(AGGREGATES))}",
+                    box=box,
+                )
+                ok = False
+                continue
+            if field not in schema:
+                ctx.report(
+                    "T2-E105",
+                    f"aggregated field {field!r} is not a stored field of "
+                    f"{rel.name!r}; stored: {', '.join(schema.names)}",
+                    box=box,
+                )
+                ok = False
+                continue
+            source_type = schema.type_of(field)
+            if agg_name in ("sum", "avg") and not T.numeric(source_type):
+                ctx.report(
+                    "T2-E107",
+                    f"{agg_name} requires a numeric field, "
+                    f"{field!r} is {source_type}",
+                    box=box,
+                )
+                ok = False
+                continue
+            result_type = _AGG_RESULT_TYPE.get(agg_name, source_type)
+            out_fields.append(Field(output_name, result_type))
+        if not ok:
+            return None
+        try:
+            out_schema = Schema(out_fields)
+        except SchemaError as exc:
+            ctx.report("T2-E110", f"aggregate output: {exc}", box=box)
+            return None
+        return RelValue(out_schema, name=f"{rel.name}_agg")
+
+    return {"out": _apply(ctx, box, inputs.get("in"), op)}
+
+
+@register_schema_transfer("OrderBy")
+def _t_order_by(box, inputs, ctx):
+    fields = ctx.require(box, "fields")
+
+    def op(rel):
+        if fields is None:
+            return None
+        for name in fields:
+            if name not in rel.schema:
+                ctx.report(
+                    "T2-E105",
+                    f"OrderBy field {name!r} is not a stored field of "
+                    f"{rel.name!r}; stored: {', '.join(rel.schema.names)}",
+                    box=box,
+                )
+                return None
+        return rel
+
+    return {"out": _apply(ctx, box, inputs.get("in"), op)}
+
+
+@register_schema_transfer("Distinct")
+def _t_distinct(box, inputs, ctx):
+    return {"out": _apply(ctx, box, inputs.get("in"), lambda rel: rel)}
+
+
+@register_schema_transfer("Limit")
+def _t_limit(box, inputs, ctx):
+    count = ctx.require(box, "count")
+    if count is not None and (not isinstance(count, int) or count < 0):
+        ctx.report(
+            "T2-E109", f"limit must be non-negative, got {count!r}", box=box
+        )
+    return {"out": _apply(ctx, box, inputs.get("in"), lambda rel: rel)}
+
+
+@register_schema_transfer("Rename")
+def _t_rename(box, inputs, ctx):
+    old = ctx.require(box, "old")
+    new = ctx.require(box, "new")
+
+    def op(rel):
+        if old is None or new is None:
+            return None
+        if old not in rel.schema:
+            ctx.report(
+                "T2-E105",
+                f"Rename source {old!r} is not a stored field of "
+                f"{rel.name!r}; stored: {', '.join(rel.schema.names)}",
+                box=box,
+            )
+            return None
+        if new != old and new in rel.schema:
+            ctx.report(
+                "T2-E110",
+                f"cannot rename {old!r} to {new!r}: the field already exists",
+                box=box,
+            )
+            return None
+        stored = rel.schema.rename(old, new)
+        methods = _rebuild_methods(ctx, box, stored, rel.methods)
+        if methods is None:
+            return None
+        return _post_validate(
+            ctx, box,
+            rel.clone(
+                schema=stored,
+                methods=methods,
+                sliders=tuple(rel.sliders),
+            ),
+        )
+
+    return {"out": _apply(ctx, box, inputs.get("in"), op)}
+
+
+@register_schema_transfer("Union")
+def _t_union(box, inputs, ctx):
+    left = inputs.get("left")
+    right = inputs.get("right")
+    if not isinstance(left, RelValue) or not isinstance(right, RelValue):
+        return {"out": None}
+    if left.schema != right.schema:
+        ctx.report(
+            "T2-E108",
+            f"union requires identical schemas, got "
+            f"({', '.join(f'{f.name}:{f.type}' for f in left.schema)}) and "
+            f"({', '.join(f'{f.name}:{f.type}' for f in right.schema)})",
+            box=box,
+            hint="project/rename the inputs into the same shape first",
+        )
+        return {"out": None}
+    return {"out": left}
+
+
+@register_schema_transfer("Parameter")
+def _t_parameter(box, inputs, ctx):
+    value_type = box.param("value_type", "float")
+    try:
+        atomic = T.type_by_name(value_type)
+    except TypeCheckError as exc:
+        ctx.report("T2-E109", str(exc), box=box)
+        return {"out": None}
+    value = ctx.require(box, "value")
+    if value is not None:
+        try:
+            atomic.coerce(value)
+        except TypeCheckError as exc:
+            ctx.report("T2-E107", f"parameter value: {exc}", box=box)
+            return {"out": None}
+    return {"out": ScalarValue(atomic)}
+
+
+@register_schema_transfer("Threshold")
+def _t_threshold(box, inputs, ctx):
+    predicate = ctx.require(box, "predicate")
+    try:
+        atomic = T.type_by_name(box.param("value_type", "float"))
+    except TypeCheckError as exc:
+        ctx.report("T2-E109", str(exc), box=box)
+        return {"out": None}
+
+    def op(rel):
+        if predicate is None:
+            return None
+        schema = rel.reference_schema()
+        if "param" not in schema:
+            schema = schema.extend(Field("param", atomic))
+        _expr(ctx, box, predicate, schema,
+              expect_bool=True, what="Threshold predicate")
+        return rel
+
+    return {"out": _apply(ctx, box, inputs.get("in"), op)}
+
+
+@register_schema_transfer("Viewer")
+def _t_viewer(box, inputs, ctx):
+    return {}

@@ -1,0 +1,243 @@
+"""Abstract values flowed along wires by the program checker.
+
+The checker mirrors the runtime displayable hierarchy at the schema level:
+
+- :class:`RelValue` ~ ``DisplayableRelation`` — a stored :class:`Schema`,
+  an ordered list of computed attributes, and the slider dimensions;
+- :class:`CompValue` ~ ``Composite`` — ordered named components;
+- :class:`GroupValue` ~ ``Group`` — named members;
+- :class:`ScalarValue` — a parameter wire carrying one atomic value.
+
+``None`` stands for *unknown* (an upstream box already reported an error, or
+no transfer function is registered), which suppresses cascading diagnostics
+downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.dbms import types as T
+from repro.dbms.tuples import Field, Schema
+from repro.display.displayable import SEQ_FIELD
+
+__all__ = [
+    "CompAttr",
+    "RelValue",
+    "CompValue",
+    "GroupValue",
+    "ScalarValue",
+    "ensure_comp",
+    "dimension_of",
+]
+
+
+class CompAttr:
+    """A computed attribute: name, type, dependency set, defining source."""
+
+    __slots__ = ("name", "atomic", "depends", "source")
+
+    def __init__(
+        self,
+        name: str,
+        atomic: T.AtomicType,
+        depends: Iterable[str] = (),
+        source: str | None = None,
+    ):
+        self.name = name
+        self.atomic = atomic
+        self.depends = frozenset(depends)
+        self.source = source
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CompAttr({self.name}:{self.atomic})"
+
+
+class RelValue:
+    """The static shape of a displayable relation."""
+
+    __slots__ = ("schema", "methods", "sliders", "name")
+
+    def __init__(
+        self,
+        schema: Schema,
+        methods: Iterable[CompAttr] = (),
+        sliders: Iterable[str] = (),
+        name: str = "relation",
+    ):
+        self.schema = schema
+        self.methods = tuple(methods)
+        self.sliders = tuple(sliders)
+        self.name = name
+
+    # -- schema views ---------------------------------------------------
+
+    @property
+    def extended_schema(self) -> Schema:
+        """Stored fields plus computed attributes, in definition order."""
+        schema = self.schema
+        for method in self.methods:
+            if method.name not in schema:
+                schema = schema.extend(Field(method.name, method.atomic))
+        return schema
+
+    def reference_schema(self) -> Schema:
+        """What attribute definitions may reference: extended + ambient seq."""
+        schema = self.extended_schema
+        if SEQ_FIELD not in schema:
+            schema = schema.extend(Field(SEQ_FIELD, T.INT))
+        return schema
+
+    @property
+    def dimension(self) -> int:
+        return 2 + len(self.sliders)
+
+    def attr_type(self, name: str) -> T.AtomicType | None:
+        """The type of a stored or computed attribute, or ``None``."""
+        schema = self.extended_schema
+        if name in schema:
+            return schema.type_of(name)
+        return None
+
+    def method_named(self, name: str) -> CompAttr | None:
+        for method in self.methods:
+            if method.name == name:
+                return method
+        return None
+
+    def clone(self, **overrides) -> "RelValue":
+        kwargs = {
+            "schema": self.schema,
+            "methods": self.methods,
+            "sliders": self.sliders,
+            "name": self.name,
+        }
+        kwargs.update(overrides)
+        return RelValue(**kwargs)
+
+    def with_name(self, name: str) -> "RelValue":
+        return self.clone(name=name) if name != self.name else self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RelValue({self.name!r}, stored={self.schema.names}, "
+            f"computed={[m.name for m in self.methods]}, sliders={self.sliders})"
+        )
+
+
+class CompValue:
+    """The static shape of a composite: ordered, uniquely named components."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Iterable[RelValue] = ()):
+        self.entries: list[RelValue] = []
+        for entry in entries:
+            self._add_entry(entry)
+
+    @property
+    def dimension(self) -> int:
+        if not self.entries:
+            return 2
+        return max(entry.dimension for entry in self.entries)
+
+    @property
+    def slider_dims(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for entry in self.entries:
+            for dim in entry.sliders:
+                if dim not in seen:
+                    seen.append(dim)
+        return tuple(seen)
+
+    def component_names(self) -> list[str]:
+        return [entry.name for entry in self.entries]
+
+    def _unique_name(self, name: str) -> str:
+        taken = set(self.component_names())
+        if name not in taken:
+            return name
+        suffix = 2
+        while f"{name}_{suffix}" in taken:
+            suffix += 1
+        return f"{name}_{suffix}"
+
+    def _add_entry(self, entry: RelValue) -> None:
+        self.entries.append(entry.with_name(self._unique_name(entry.name)))
+
+    def entry_named(self, name: str) -> RelValue | None:
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        return None
+
+    def copy(self) -> "CompValue":
+        clone = CompValue()
+        clone.entries = list(self.entries)
+        return clone
+
+    def overlay(self, other: "CompValue") -> "CompValue":
+        result = self.copy()
+        for entry in other.entries:
+            result._add_entry(entry)
+        return result
+
+    def replace_component(self, name: str, relation: RelValue) -> "CompValue":
+        result = self.copy()
+        for pos, entry in enumerate(result.entries):
+            if entry.name == name:
+                result.entries[pos] = relation.with_name(name)
+                break
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CompValue({self.component_names()})"
+
+
+class GroupValue:
+    """The static shape of a group: named composite members."""
+
+    __slots__ = ("members",)
+
+    def __init__(self, members: Iterable[tuple[str, CompValue]] = ()):
+        self.members: list[tuple[str, CompValue]] = list(members)
+
+    def member_names(self) -> list[str]:
+        return [name for name, __ in self.members]
+
+    def member(self, name: str) -> CompValue | None:
+        for member_name, composite in self.members:
+            if member_name == name:
+                return composite
+        return None
+
+    def replace_member(self, name: str, composite: CompValue) -> "GroupValue":
+        return GroupValue(
+            (n, composite if n == name else c) for n, c in self.members
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GroupValue({self.member_names()})"
+
+
+class ScalarValue:
+    """A parameter wire: one atomic type (value unknown statically)."""
+
+    __slots__ = ("atomic",)
+
+    def __init__(self, atomic: T.AtomicType):
+        self.atomic = atomic
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ScalarValue({self.atomic})"
+
+
+def ensure_comp(value: "RelValue | CompValue") -> CompValue:
+    """The R = Composite(R) equivalence, statically."""
+    if isinstance(value, CompValue):
+        return value
+    return CompValue([value])
+
+
+def dimension_of(value: "RelValue | CompValue") -> int:
+    return value.dimension

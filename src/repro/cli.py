@@ -9,6 +9,13 @@
     python -m repro.cli run-program --db db.json --name viz --out-dir frames/
     python -m repro.cli figures --out-dir figures/ [--which fig4,fig7]
     python -m repro.cli query --db db.json --table T --where "x > 1" [--limit N]
+    python -m repro.cli lint [--figure fig4 | --db db.json --name viz] [--json]
+
+``lint`` runs the static program checker (``repro.analyze``) over a saved
+program or the built-in figure scenarios (all of them by default) without
+executing anything; it exits 1 when any error-severity diagnostic is found
+(``--strict`` also fails on warnings).  The diagnostic codes are cataloged
+in ``docs/STATIC_ANALYSIS.md``.
 
 ``run-program`` loads a saved boxes-and-arrows program, opens every viewer
 box it contains, and renders each canvas to a PPM file — a headless batch
@@ -117,6 +124,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="explain a built-in figure scenario instead of a saved program",
     )
     explain.add_argument("--box", type=int, help="limit to one box id")
+
+    lint = commands.add_parser(
+        "lint",
+        help="statically check programs without executing them "
+        "(schema inference, expression typechecking, dead-box analysis)",
+    )
+    lint.add_argument("--db", help="database JSON (with --name)")
+    lint.add_argument("--name", help="saved program to lint")
+    lint.add_argument(
+        "--figure", choices=sorted(_FIGURES),
+        help="lint one built-in figure scenario; default is all of them",
+    )
+    lint.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit diagnostics as JSON instead of human-readable lines",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on warnings too, not only errors",
+    )
     return parser
 
 
@@ -275,6 +302,43 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json as json_module
+
+    from repro.analyze.checker import check_program
+
+    targets: list[tuple[str, object, object]] = []  # (name, program, database)
+    if args.name:
+        if not args.db:
+            print("error: lint --name needs --db", file=sys.stderr)
+            return 2
+        db = load_database_file(args.db)
+        session = Session(db)
+        session.load_program(args.name)
+        targets.append((args.name, session.program, db))
+    else:
+        db = build_weather_database(extra_stations=5, every_days=120)
+        wanted = [args.figure] if args.figure else sorted(_FIGURES)
+        for name in wanted:
+            scenario = _FIGURES[name](db)
+            targets.append((name, scenario.session.program, db))
+
+    failed = False
+    json_out = {}
+    for name, program, database in targets:
+        report = check_program(program, database)
+        if not report.ok or (args.strict and report.warnings()):
+            failed = True
+        if args.as_json:
+            json_out[name] = report.to_json()
+        else:
+            print(f"== {name} ==")
+            print(report.render())
+    if args.as_json:
+        print(json_module.dumps(json_out, indent=2, sort_keys=True))
+    return 1 if failed else 0
+
+
 _HANDLERS = {
     "init-weather": _cmd_init_weather,
     "tables": _cmd_tables,
@@ -285,6 +349,7 @@ _HANDLERS = {
     "query": _cmd_query,
     "boxes": _cmd_boxes,
     "explain": _cmd_explain,
+    "lint": _cmd_lint,
 }
 
 

@@ -25,7 +25,7 @@ from repro.dataflow.graph import Program
 from repro.dbms.catalog import Database
 from repro.dbms.plan import LazyRowSet
 from repro.display.displayable import Composite, DisplayableRelation, Group
-from repro.errors import GraphError
+from repro.errors import GraphError, StaticAnalysisError
 
 __all__ = ["FireContext", "EngineStats", "Engine"]
 
@@ -128,14 +128,57 @@ class EngineStats:
 
 
 class Engine:
-    """Evaluates one program against one database."""
+    """Evaluates one program against one database.
 
-    def __init__(self, program: Program, database: Database):
+    With ``preflight=True`` the static checker
+    (:func:`repro.analyze.check_program`) runs before the first demand and
+    again after any program edit (tracked by the program version), raising
+    :class:`StaticAnalysisError` instead of letting a provably broken
+    program fail halfway through a firing chain.
+    """
+
+    def __init__(
+        self, program: Program, database: Database, preflight: bool = False
+    ):
         self.program = program
         self.database = database
         self.stats = EngineStats()
+        self.preflight_enabled = preflight
+        self._preflight_stamp: tuple | None = None
         # box_id -> (signature, outputs dict)
         self._cache: dict[int, tuple[tuple, dict[str, Any]]] = {}
+
+    # ------------------------------------------------------------------
+
+    def preflight(self, force: bool = False):
+        """Statically check the program; raise on errors, return the report.
+
+        Results are cached per program edit stamp (the program's structural
+        version plus every box's parameter version), so demanding many
+        outputs of an unchanged program lints once.  Returns ``None`` when
+        the cached result is still valid and ``force`` is not set.
+        """
+        stamp = self._edit_stamp()
+        if not force and self._preflight_stamp == stamp:
+            return None
+        from repro.analyze.checker import check_program
+
+        report = check_program(self.program, self.database)
+        if not report.ok:
+            raise StaticAnalysisError(
+                f"program {self.program.name!r} fails static checks:\n"
+                + report.render(),
+                report=report,
+            )
+        self._preflight_stamp = stamp
+        return report
+
+    def _edit_stamp(self) -> tuple:
+        """Changes whenever the program's structure or any parameter does."""
+        return (
+            self.program.version,
+            tuple((box.box_id, box.version) for box in self.program.boxes()),
+        )
 
     # ------------------------------------------------------------------
 
@@ -156,6 +199,8 @@ class Engine:
         this is how a viewer placed "on any edge in a diagram" inspects the
         data flowing along it (§1.1 problem 2, solved per §10).
         """
+        if self.preflight_enabled:
+            self.preflight()
         box = self.program.box(box_id)
         if port_name is None:
             if len(box.outputs) != 1:

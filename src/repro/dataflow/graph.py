@@ -129,15 +129,45 @@ class Program:
     def connect(
         self, src_box: int, src_port: str, dst_box: int, dst_port: str
     ) -> Edge:
-        """Add a type-checked arrow; an input accepts at most one arrow."""
+        """Add a type-checked arrow; an input accepts at most one arrow.
+
+        Port-name and port-kind failures carry a structured
+        :class:`repro.analyze.Diagnostic` (``T2-E101``/``T2-E102``) on the
+        raised error's ``diagnostic`` attribute, matching what the static
+        checker reports for the same edge.
+        """
+        from repro.analyze.diagnostics import Diagnostic
+
         src = self.box(src_box)
         dst = self.box(dst_box)
-        out_port = src.output_port(src_port)
-        in_port = dst.input_port(dst_port)
+        try:
+            out_port = src.output_port(src_port)
+        except GraphError as exc:
+            exc.diagnostic = Diagnostic(
+                "T2-E101", str(exc),
+                box_id=src_box, box=src.describe(), port=src_port,
+            )
+            raise
+        try:
+            in_port = dst.input_port(dst_port)
+        except GraphError as exc:
+            exc.diagnostic = Diagnostic(
+                "T2-E101", str(exc),
+                box_id=dst_box, box=dst.describe(), port=dst_port,
+            )
+            raise
         if not can_connect(out_port.type, in_port.type, dst.overloadable):
-            raise TypeCheckError(
+            message = (
                 f"type error: cannot connect {src.describe()}.{src_port} "
                 f"({out_port.type}) to {dst.describe()}.{dst_port} ({in_port.type})"
+            )
+            raise TypeCheckError(
+                message,
+                diagnostic=Diagnostic(
+                    "T2-E102", message,
+                    box_id=dst_box, box=dst.describe(), port=dst_port,
+                    hint="route through a box producing the expected kind",
+                ),
             )
         if self.edge_into_port(dst_box, dst_port) is not None:
             raise GraphError(

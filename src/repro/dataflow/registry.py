@@ -26,9 +26,44 @@ __all__ = [
     "instantiate",
     "inputs_match",
     "compatible_boxes",
+    "register_schema_transfer",
+    "schema_transfer",
+    "schema_transfer_names",
 ]
 
 _BOX_CLASSES: dict[str, type[Box]] = {}
+
+#: type_name -> output-schema transfer function used by the static checker.
+#: A transfer function mirrors ``Box.fire`` abstractly: it maps abstract
+#: input values (schema-level summaries) to abstract output values without
+#: touching any rows.  See :mod:`repro.analyze.transfers`.
+_SCHEMA_TRANSFERS: dict[str, object] = {}
+
+
+def register_schema_transfer(type_name: str):
+    """Decorator registering the output-schema transfer function for a box type.
+
+    The function signature is ``fn(box, inputs, ctx) -> dict[str, value]``
+    where ``inputs`` maps input-port names to abstract values (or ``None``
+    when unknown) and ``ctx`` is the checker context used to report
+    diagnostics.  Re-registration replaces the previous function, so the
+    analyzer module can be reloaded safely.
+    """
+
+    def decorate(fn):
+        _SCHEMA_TRANSFERS[type_name] = fn
+        return fn
+
+    return decorate
+
+
+def schema_transfer(type_name: str):
+    """The registered transfer function for a box type, or ``None``."""
+    return _SCHEMA_TRANSFERS.get(type_name)
+
+
+def schema_transfer_names() -> list[str]:
+    return sorted(_SCHEMA_TRANSFERS)
 
 
 def register_box_class(cls: type[Box]) -> type[Box]:

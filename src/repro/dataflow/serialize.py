@@ -5,6 +5,13 @@ each box's registered type name, its parameter dict, and its label, plus the
 edge list.  Box parameters are JSON-safe by convention (predicate *source
 strings*, field-name lists, numbers) — the same convention that lets boxes be
 re-instantiated from their params.
+
+Each box also records its port signature (``ports``): name, port type, and
+optionality for every input and output.  On load the signature is checked
+against the re-instantiated box, so a program saved under one version of a
+box catalog fails loudly — not with a confusing downstream type error — when
+the catalog's port layout has changed.  Payloads without ``ports`` (saved by
+older versions) still load.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ def program_to_dict(program: Program) -> dict[str, Any]:
             "type": box.type_name,
             "params": _jsonable_params(box.params),
             "label": box.label,
+            "ports": _port_signature(box),
         }
     edges = [
         [edge.src_box, edge.src_port, edge.dst_box, edge.dst_port]
@@ -50,6 +58,28 @@ def _jsonable_params(params: dict[str, Any]) -> dict[str, Any]:
     return cleaned
 
 
+def _port_signature(box: Any) -> dict[str, list[list[Any]]]:
+    """The box's port layout as JSON: ``[name, type, optional]`` triples."""
+    return {
+        "inputs": [[p.name, str(p.type), p.optional] for p in box.inputs],
+        "outputs": [[p.name, str(p.type), p.optional] for p in box.outputs],
+    }
+
+
+def _check_port_signature(box: Any, recorded: dict[str, Any]) -> None:
+    """Fail loudly when a loaded box's ports differ from the saved layout."""
+    current = _port_signature(box)
+    for side in ("inputs", "outputs"):
+        saved = [tuple(entry) for entry in recorded.get(side, [])]
+        have = [tuple(entry) for entry in current[side]]
+        if saved != have:
+            raise CatalogError(
+                f"box {box.describe()} was saved with {side} "
+                f"{saved!r} but the current catalog builds {have!r}; "
+                "the box catalog has changed since this program was saved"
+            )
+
+
 def program_from_dict(payload: dict[str, Any]) -> Program:
     """Reconstruct a program, preserving the original box ids."""
     if payload.get("format") != _FORMAT:
@@ -62,6 +92,9 @@ def program_from_dict(payload: dict[str, Any]) -> Program:
         payload.get("boxes", {}).items(), key=lambda item: int(item[0])
     ):
         box = instantiate(spec["type"], spec.get("params"))
+        recorded_ports = spec.get("ports")
+        if recorded_ports is not None:
+            _check_port_signature(box, recorded_ports)
         program.add_box(box, label=spec.get("label"), box_id=int(box_id_text))
     for src_box, src_port, dst_box, dst_port in payload.get("edges", []):
         program.connect(src_box, src_port, dst_box, dst_port)

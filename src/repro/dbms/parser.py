@@ -90,7 +90,10 @@ def _token_stream(source: str) -> Iterator[Token]:
             while True:
                 if i >= n:
                     raise ExpressionError(
-                        f"unterminated string starting at position {start}"
+                        f"unterminated string starting at position {start}",
+                        source=source,
+                        pos=start,
+                        token="'",
                     )
                 if source[i] == "'":
                     if i + 1 < n and source[i + 1] == "'":
@@ -112,7 +115,12 @@ def _token_stream(source: str) -> Iterator[Token]:
             yield Token("op", ch, i)
             i += 1
             continue
-        raise ExpressionError(f"illegal character {ch!r} at position {i} in {source!r}")
+        raise ExpressionError(
+            f"illegal character {ch!r} at position {i} in {source!r}",
+            source=source,
+            pos=i,
+            token=ch,
+        )
     yield Token("eof", "", n)
 
 
@@ -143,7 +151,10 @@ class _Parser:
             want = text if text is not None else kind
             raise ExpressionError(
                 f"expected {want!r} at position {got.pos} in {self.source!r}, "
-                f"got {got.text!r}"
+                f"got {got.text!r}",
+                source=self.source,
+                pos=got.pos,
+                token=got.text,
             )
         return token
 
@@ -153,7 +164,10 @@ class _Parser:
         if trailing.kind != "eof":
             raise ExpressionError(
                 f"unexpected trailing {trailing.text!r} at position "
-                f"{trailing.pos} in {self.source!r}"
+                f"{trailing.pos} in {self.source!r}",
+                source=self.source,
+                pos=trailing.pos,
+                token=trailing.text,
             )
         return expr
 
@@ -253,7 +267,10 @@ class _Parser:
             return inner
         raise ExpressionError(
             f"unexpected {token.text or 'end of input'!r} at position "
-            f"{token.pos} in {self.source!r}"
+            f"{token.pos} in {self.source!r}",
+            source=self.source,
+            pos=token.pos,
+            token=token.text,
         )
 
 
@@ -273,6 +290,7 @@ def parse_predicate(source: str, schema: Schema) -> Expr:
     result = expr.infer(schema)
     if result is not T.BOOL:
         raise ExpressionError(
-            f"predicate {source!r} has type {result}, expected bool"
+            f"predicate {source!r} has type {result}, expected bool",
+            source=source,
         )
     return expr

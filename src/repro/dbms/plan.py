@@ -70,12 +70,30 @@ __all__ = [
     "joined_schema",
     "concat_rows",
     "AGGREGATES",
+    "set_plan_verifier",
+    "plan_verifier",
 ]
 
 BATCH_SIZE = 256
 """Rows per batch yielded by ``open()``.  Small enough that early-exit
 consumers (Limit, a zoomed-in viewer) pull little more than they need,
 large enough to amortize per-batch accounting."""
+
+#: Optional verification hook run on every ``PlanNode.open()`` and after
+#: plan rewrites.  ``repro.analyze.planverify.install_from_env`` installs
+#: the invariant verifier here when ``REPRO_PLAN_VERIFY=1``.
+_VERIFY_HOOK: Callable[["PlanNode"], None] | None = None
+
+
+def set_plan_verifier(hook: Callable[["PlanNode"], None] | None) -> None:
+    """Install (or clear, with ``None``) the plan verification hook."""
+    global _VERIFY_HOOK
+    _VERIFY_HOOK = hook
+
+
+def plan_verifier() -> Callable[["PlanNode"], None] | None:
+    """The installed verification hook, if any."""
+    return _VERIFY_HOOK
 
 
 class NodeStats:
@@ -145,7 +163,12 @@ class PlanNode:
 
         Every call starts a fresh execution; counters accumulate across
         executions (``stats.opens`` tells them apart).
+
+        When a plan verifier is installed (``REPRO_PLAN_VERIFY=1``), the
+        subtree's invariants are re-checked before any row is produced.
         """
+        if _VERIFY_HOOK is not None:
+            _VERIFY_HOOK(self)
         self.stats.opens += 1
         return self._batches()
 

@@ -46,8 +46,9 @@ from repro.dbms.plan import (
     RenameNode,
     RestrictNode,
     ScanNode,
+    plan_verifier,
 )
-from repro.errors import TiogaError
+from repro.errors import StaticAnalysisError, TiogaError
 
 __all__ = [
     "split_conjuncts",
@@ -106,13 +107,29 @@ def optimize_plan(
 
     Rewrites rebuild nodes (constructors re-validate), so only apply this to
     plans that have not started executing — rebuilt nodes carry fresh stats.
+
+    Rewrite safety: the optimized plan must produce the same schema as the
+    original (checked unconditionally), and when a plan verifier is
+    installed (``REPRO_PLAN_VERIFY=1``) the whole rewritten tree is
+    re-verified against the plan-IR invariants.
     """
     if log is None:
         log = []
+    original_schema = root.schema
     while True:
         root, changed = _rewrite(root, log)
         if not changed:
-            return root, log
+            break
+    if root.schema != original_schema:
+        raise StaticAnalysisError(
+            f"plan rewrite changed the root schema from {original_schema!r} "
+            f"to {root.schema!r}; rewrites must be schema-preserving "
+            f"(rewrite log: {log})"
+        )
+    verifier = plan_verifier()
+    if verifier is not None:
+        verifier(root)
+    return root, log
 
 
 def _rewrite(node: PlanNode, log: list[str]) -> tuple[PlanNode, bool]:

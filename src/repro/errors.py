@@ -10,7 +10,17 @@ from __future__ import annotations
 
 
 class TiogaError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    Errors that the static analyzer can also detect carry an optional
+    ``diagnostic`` attribute (a :class:`repro.analyze.Diagnostic`) so the
+    same failure is reportable with a stable code whether it surfaces as an
+    exception or through ``repro lint``.
+    """
+
+    def __init__(self, *args, diagnostic=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.diagnostic = diagnostic
 
 
 class SchemaError(TiogaError):
@@ -26,7 +36,18 @@ class TypeCheckError(TiogaError):
 
 
 class ExpressionError(TiogaError):
-    """An expression in the query language is syntactically or semantically bad."""
+    """An expression in the query language is syntactically or semantically bad.
+
+    Parse failures carry the source text, the character offset, and the
+    offending token text (``source``/``pos``/``token``) so diagnostics can
+    point at the exact span.
+    """
+
+    def __init__(self, *args, source=None, pos=None, token=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.source = source
+        self.pos = pos
+        self.token = token
 
 
 class EvaluationError(TiogaError):
@@ -59,3 +80,15 @@ class UpdateError(TiogaError):
 
 class UIError(TiogaError):
     """An illegal UI session operation (bad undo, unknown window, ...)."""
+
+
+class StaticAnalysisError(TiogaError):
+    """Static analysis found errors that block execution.
+
+    Raised by the engine's pre-flight check and the plan verifier.  The
+    ``report`` attribute (when set) is the full :class:`repro.analyze.Report`.
+    """
+
+    def __init__(self, *args, report=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.report = report

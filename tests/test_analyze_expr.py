@@ -1,0 +1,160 @@
+"""Expression typechecking (repro.analyze.exprcheck) and structured parser
+errors: every diagnostic carries enough location to point at the defect."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze.exprcheck import (
+    analyze_expression,
+    check_expression,
+    types_compatible,
+)
+from repro.dbms import types as T
+from repro.dbms.parser import parse_expression, parse_predicate
+from repro.dbms.tuples import Schema
+from repro.errors import ExpressionError
+
+STATIONS = Schema(
+    [
+        ("station_id", "int"),
+        ("name", "text"),
+        ("altitude", "float"),
+    ]
+)
+
+
+class TestAnalyzeExpression:
+    def test_well_typed_predicate(self):
+        expr, inferred, diags = analyze_expression(
+            "altitude > 10.0", STATIONS, expect_bool=True
+        )
+        assert expr is not None
+        assert inferred is T.BOOL
+        assert diags == []
+
+    def test_syntax_error_carries_position(self):
+        expr, inferred, diags = analyze_expression("altitude > ", STATIONS)
+        assert expr is None and inferred is None
+        assert [d.code for d in diags] == ["T2-E106"]
+        diag = diags[0]
+        assert diag.source == "altitude > "
+        assert diag.pos is not None and diag.pos >= 0
+
+    def test_illegal_character_carries_token(self):
+        _, _, diags = analyze_expression("altitude @ 2", STATIONS)
+        assert diags and diags[0].code == "T2-E106"
+        assert diags[0].token == "@"
+
+    def test_unknown_attribute_lists_known_names(self):
+        _, _, diags = analyze_expression("wind > 1", STATIONS)
+        assert [d.code for d in diags] == ["T2-E105"]
+        assert "wind" in diags[0].message
+        assert "altitude" in diags[0].message  # available names shown
+
+    def test_each_unknown_attribute_reported_once(self):
+        _, _, diags = analyze_expression("wind + wind + gusts", STATIONS)
+        codes = [d.code for d in diags]
+        assert codes.count("T2-E105") == 2  # wind, gusts — not three
+
+    def test_type_error(self):
+        _, _, diags = analyze_expression("name + 1", STATIONS)
+        assert [d.code for d in diags] == ["T2-E107"]
+
+    def test_non_bool_when_bool_expected(self):
+        expr, inferred, diags = analyze_expression(
+            "altitude + 1.0", STATIONS, expect_bool=True
+        )
+        assert [d.code for d in diags] == ["T2-E107"]
+        assert "boolean" in diags[0].message
+
+    def test_declared_type_mismatch(self):
+        _, _, diags = analyze_expression(
+            "name", STATIONS, declared=T.FLOAT
+        )
+        assert [d.code for d in diags] == ["T2-E107"]
+
+    def test_declared_type_numeric_widening_ok(self):
+        _, inferred, diags = analyze_expression(
+            "station_id", STATIONS, declared=T.FLOAT
+        )
+        assert diags == []
+        assert inferred is T.INT
+
+    def test_what_label_appears_in_messages(self):
+        _, _, diags = analyze_expression(
+            "wind > 1", STATIONS, what="Restrict predicate"
+        )
+        assert diags[0].message.startswith("Restrict predicate")
+
+    def test_check_expression_wrapper(self):
+        inferred, diags = check_expression("altitude * 2", STATIONS)
+        assert inferred is T.FLOAT and diags == []
+
+
+class TestTypesCompatible:
+    def test_identity(self):
+        assert types_compatible(T.TEXT, T.TEXT)
+
+    def test_numeric_widening(self):
+        assert types_compatible(T.INT, T.FLOAT)
+        assert types_compatible(T.FLOAT, T.INT)
+
+    def test_incompatible(self):
+        assert not types_compatible(T.TEXT, T.INT)
+        assert not types_compatible(T.BOOL, T.FLOAT)
+
+
+class TestParserStructuredErrors:
+    """Satellite: every parser raise site records (source, pos, token)."""
+
+    def assert_located(self, err: ExpressionError, source: str):
+        assert err.source == source
+        assert err.pos is not None and 0 <= err.pos <= len(source)
+        assert err.token is not None
+
+    def test_unterminated_string(self):
+        source = "name = 'unfinished"
+        with pytest.raises(ExpressionError) as exc:
+            parse_expression(source)
+        self.assert_located(exc.value, source)
+        assert exc.value.token == "'"
+
+    def test_illegal_character(self):
+        source = "altitude # 2"
+        with pytest.raises(ExpressionError) as exc:
+            parse_expression(source)
+        self.assert_located(exc.value, source)
+        assert exc.value.token == "#"
+        assert exc.value.pos == source.index("#")
+
+    def test_unbalanced_parens(self):
+        source = "(altitude + 1"
+        with pytest.raises(ExpressionError) as exc:
+            parse_expression(source)
+        assert exc.value.source == source
+        assert exc.value.pos is not None
+
+    def test_trailing_garbage(self):
+        source = "altitude + 1 name"
+        with pytest.raises(ExpressionError) as exc:
+            parse_expression(source)
+        self.assert_located(exc.value, source)
+        assert exc.value.token == "name"
+        assert exc.value.pos == source.index("name")
+
+    def test_unexpected_token_in_primary(self):
+        source = "altitude + *"
+        with pytest.raises(ExpressionError) as exc:
+            parse_expression(source)
+        self.assert_located(exc.value, source)
+
+    def test_non_boolean_predicate_carries_source(self):
+        source = "altitude + 1.0"
+        with pytest.raises(ExpressionError) as exc:
+            parse_predicate(source, STATIONS)
+        assert exc.value.source == source
+
+    def test_good_expressions_unaffected(self):
+        expr = parse_expression("altitude * 2 + station_id")
+        assert expr.infer(STATIONS) is T.FLOAT

@@ -1,0 +1,176 @@
+"""End-to-end static analysis: the paper's figure programs lint clean,
+serialization round-trips preserve lint results, the engine preflight gate
+works, and the CLI ``lint`` command reports correctly."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.analyze.checker import check_program
+from repro.core import scenarios
+from repro.dataflow.boxes_db import AddTableBox, RestrictBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.dataflow.serialize import (
+    clone_program,
+    program_from_dict,
+    program_to_dict,
+)
+from repro.errors import CatalogError, StaticAnalysisError
+from repro.viewer.viewer import ViewerBox
+
+FIGURES = {
+    "fig1": scenarios.build_fig1_table_view,
+    "fig4": scenarios.build_fig4_station_map,
+    "fig7": scenarios.build_fig7_overlay,
+    "fig8": scenarios.build_fig8_wormholes,
+    "fig9": scenarios.build_fig9_magnifier,
+    "fig10": scenarios.build_fig10_stitch,
+    "fig11": scenarios.build_fig11_replicate,
+}
+
+
+@pytest.fixture(scope="module")
+def figure_reports(weather_db):
+    reports = {}
+    for name, build in FIGURES.items():
+        scenario = build(weather_db)
+        reports[name] = (
+            scenario.session.program,
+            check_program(scenario.session.program, weather_db),
+        )
+    return reports
+
+
+class TestFigureProgramsLint:
+    @pytest.mark.parametrize("figure", sorted(FIGURES))
+    def test_zero_errors(self, figure_reports, figure):
+        _program, report = figure_reports[figure]
+        assert not report.errors(), report.render()
+
+    def test_fig4_is_fully_clean(self, figure_reports):
+        _program, report = figure_reports["fig4"]
+        assert len(report) == 0, report.render()
+
+
+class TestRoundTripLintEquivalence:
+    @pytest.mark.parametrize("figure", sorted(FIGURES))
+    def test_clone_lints_identically(self, weather_db, figure_reports, figure):
+        program, report = figure_reports[figure]
+        clone = clone_program(program)
+        clone_report = check_program(clone, weather_db)
+        assert clone_report.keys() == report.keys()
+
+    def test_defective_program_round_trips_defects(self, stations_db):
+        program = Program("broken")
+        source = program.add_box(AddTableBox(table="Nowhere"))
+        viewer = program.add_box(ViewerBox())
+        program.connect(source, "out", viewer, "in")
+        before = check_program(program, stations_db)
+        after = check_program(clone_program(program), stations_db)
+        assert before.keys() == after.keys()
+        assert "T2-E104" in after.codes()
+
+
+class TestPortMetadata:
+    def test_ports_recorded_in_payload(self, stations_db):
+        program = Program("meta")
+        program.add_box(AddTableBox(table="Stations"))
+        payload = program_to_dict(program)
+        (spec,) = payload["boxes"].values()
+        assert spec["ports"]["outputs"] == [["out", "R", False]]
+
+    def test_tampered_ports_fail_loudly(self, stations_db):
+        program = Program("meta")
+        program.add_box(AddTableBox(table="Stations"))
+        payload = program_to_dict(program)
+        (spec,) = payload["boxes"].values()
+        spec["ports"]["outputs"] = [["out", "G", False]]
+        with pytest.raises(CatalogError) as exc:
+            program_from_dict(payload)
+        assert "catalog has changed" in str(exc.value)
+
+    def test_payload_without_ports_still_loads(self, stations_db):
+        program = Program("meta")
+        program.add_box(AddTableBox(table="Stations"))
+        payload = program_to_dict(program)
+        for spec in payload["boxes"].values():
+            del spec["ports"]
+        loaded = program_from_dict(payload)
+        assert loaded.boxes()[0].type_name == "AddTable"
+
+
+class TestEnginePreflight:
+    def build(self, predicate):
+        program = Program("preflight")
+        source = program.add_box(AddTableBox(table="Stations"))
+        restrict = program.add_box(RestrictBox(predicate=predicate))
+        viewer = program.add_box(ViewerBox())
+        program.connect(source, "out", restrict, "in")
+        program.connect(restrict, "out", viewer, "in")
+        return program, restrict
+
+    def test_preflight_blocks_broken_program(self, stations_db):
+        program, restrict = self.build("no_such_field > 1")
+        engine = Engine(program, stations_db, preflight=True)
+        with pytest.raises(StaticAnalysisError) as exc:
+            engine.output_of(restrict, "out")
+        assert "T2-E105" in str(exc.value)
+        assert exc.value.report is not None
+
+    def test_preflight_passes_good_program(self, stations_db):
+        program, restrict = self.build("altitude > 100.0")
+        engine = Engine(program, stations_db, preflight=True)
+        rows = engine.output_of(restrict, "out")
+        assert len(rows.rows) > 0
+
+    def test_preflight_cached_per_version(self, stations_db):
+        program, restrict = self.build("altitude > 100.0")
+        engine = Engine(program, stations_db, preflight=True)
+        assert engine.preflight() is not None  # first run returns the report
+        assert engine.preflight() is None  # cached: same program version
+        program.box(restrict).set_param("predicate", "altitude > 50.0")
+        assert engine.preflight() is not None  # edit invalidates the cache
+
+    def test_preflight_off_by_default(self, stations_db):
+        program, restrict = self.build("no_such_field > 1")
+        engine = Engine(program, stations_db)
+        with pytest.raises(Exception) as exc:
+            engine.output_of(restrict, "out")
+        assert not isinstance(exc.value, StaticAnalysisError)
+
+
+class TestCliLint:
+    def test_lint_one_figure_human(self, capsys):
+        assert cli.main(["lint", "--figure", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "== fig4 ==" in out
+        assert "no diagnostics" in out
+
+    def test_lint_json(self, capsys):
+        assert cli.main(["lint", "--figure", "fig4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fig4"]["errors"] == 0
+
+    def test_lint_saved_program_errors_exit_1(self, tmp_path, capsys):
+        from repro.data.weather import build_weather_database
+        from repro.dbms.storage import save_database_file
+
+        db = build_weather_database(extra_stations=0, every_days=365)
+        program = Program("busted")
+        source = program.add_box(AddTableBox(table="Missing"))
+        viewer = program.add_box(ViewerBox())
+        program.connect(source, "out", viewer, "in")
+        db.save_program("busted", program_to_dict(program))
+        path = tmp_path / "db.json"
+        save_database_file(db, path)
+
+        code = cli.main(["lint", "--db", str(path), "--name", "busted"])
+        assert code == 1
+        assert "T2-E104" in capsys.readouterr().out
+
+    def test_lint_name_without_db_is_usage_error(self, capsys):
+        assert cli.main(["lint", "--name", "x"]) == 2

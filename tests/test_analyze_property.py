@@ -1,0 +1,124 @@
+"""Property test: programs the static checker accepts execute without
+type/schema/expression errors.
+
+Thirty deterministic seeds each build a random pipeline of relational boxes
+over the Stations table.  Some generated programs are genuinely broken
+(restricting on a projected-away field, scaling a text attribute, ...) — the
+checker must reject those; every program it accepts must evaluate cleanly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analyze.checker import check_program
+from repro.dataflow.boxes_attr import AddAttributeBox, ScaleAttributeBox
+from repro.dataflow.boxes_db import ProjectBox, RestrictBox, SampleBox
+from repro.dataflow.boxes_extra import (
+    DistinctBox,
+    LimitBox,
+    OrderByBox,
+    RenameBox,
+)
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.dataflow.boxes_db import AddTableBox
+from repro.errors import (
+    DisplayError,
+    ExpressionError,
+    SchemaError,
+    TypeCheckError,
+)
+from repro.viewer.viewer import ViewerBox
+
+SEEDS = 30
+FIELDS = ["station_id", "name", "state", "longitude", "latitude", "altitude"]
+NUMERIC = ["station_id", "longitude", "latitude", "altitude"]
+
+
+def random_step(rng: random.Random, step: int):
+    """One random transform box.  Field references are drawn from the
+    *original* schema, so a step after a Project may reference a field that
+    no longer exists — exactly the defect class the checker must catch."""
+    kind = rng.choice(
+        ["restrict", "sample", "project", "addattr", "scale",
+         "orderby", "distinct", "limit", "rename"]
+    )
+    if kind == "restrict":
+        field = rng.choice(NUMERIC)
+        return RestrictBox(predicate=f"{field} > {rng.uniform(-50, 150):.1f}")
+    if kind == "sample":
+        return SampleBox(probability=rng.choice([0.3, 0.6, 0.9]),
+                         seed=rng.randint(0, 99))
+    if kind == "project":
+        count = rng.randint(1, len(FIELDS))
+        return ProjectBox(fields=rng.sample(FIELDS, count))
+    if kind == "addattr":
+        field = rng.choice(NUMERIC)
+        return AddAttributeBox(name=f"a{step}",
+                               definition=f"{field} * {rng.uniform(0.5, 3):.1f}")
+    if kind == "scale":
+        # Sometimes picks a text field or a not-yet-added attribute: broken.
+        name = rng.choice(FIELDS + [f"a{rng.randint(0, 4)}"])
+        return ScaleAttributeBox(name=name, amount=rng.choice([0.5, 2.0]))
+    if kind == "orderby":
+        return OrderByBox(fields=[rng.choice(FIELDS)],
+                          descending=rng.random() < 0.5)
+    if kind == "distinct":
+        return DistinctBox()
+    if kind == "limit":
+        return LimitBox(count=rng.randint(1, 8))
+    return RenameBox(old=rng.choice(FIELDS), new=f"r{step}")
+
+
+def random_program(seed: int):
+    rng = random.Random(seed)
+    program = Program(f"property-{seed}")
+    upstream = program.add_box(AddTableBox(table="Stations"))
+    for step in range(rng.randint(1, 5)):
+        box_id = program.add_box(random_step(rng, step))
+        program.connect(upstream, "out", box_id, "in")
+        upstream = box_id
+    viewer = program.add_box(ViewerBox())
+    program.connect(upstream, "out", viewer, "in")
+    return program, upstream
+
+
+def test_accepted_programs_execute_cleanly(stations_db):
+    accepted = rejected = 0
+    for seed in range(SEEDS):
+        program, last_box = random_program(seed)
+        report = check_program(program, stations_db)
+        if report.errors():
+            rejected += 1
+            continue
+        accepted += 1
+        engine = Engine(program, stations_db)
+        try:
+            engine.output_of(last_box, "out")
+        except (TypeCheckError, SchemaError, ExpressionError,
+                DisplayError) as exc:
+            raise AssertionError(
+                f"seed {seed}: checker accepted a program that fails at "
+                f"runtime with {type(exc).__name__}: {exc}\n"
+                + "\n".join(
+                    box.describe() for box in program.boxes()
+                )
+            ) from exc
+    # The generator is mostly-benign: a healthy majority must be accepted,
+    # and the broken minority proves the checker rejects for cause.
+    assert accepted >= SEEDS // 2, (accepted, rejected)
+    assert rejected >= 1, "generator never produced a rejected program"
+
+
+def test_rejected_programs_fail_for_cause(stations_db):
+    """Spot-check: rejections carry error-severity diagnostics, never
+    warnings alone."""
+    for seed in range(SEEDS):
+        program, _last = random_program(seed)
+        report = check_program(program, stations_db)
+        if report.errors():
+            assert not report.ok
+            for diagnostic in report.errors():
+                assert diagnostic.code.startswith("T2-E")
+                assert diagnostic.box_id is not None
