@@ -2,14 +2,31 @@
 
 The weather database is sized so every figure scenario is non-trivial but a
 full ``pytest benchmarks/ --benchmark-only`` run stays in the minutes range.
+
+Every benchmark test also runs under an enabled tracer (``repro.obs``); the
+per-test span rollups plus pytest-benchmark timings are written to
+``BENCH_obs.json`` (``REPRO_BENCH_OBS`` overrides the path) at session end —
+the telemetry artifact the CI observability job uploads and schema-checks.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.data.weather import build_weather_database
 from repro.data.workloads import build_points_database
+from repro.obs import (
+    BENCH_SCHEMA,
+    Tracer,
+    declarations,
+    push_tracer,
+    run_summary,
+    validate_bench_summary,
+)
 
 
 @pytest.fixture(scope="session")
@@ -27,3 +44,62 @@ def points_db_20k():
 @pytest.fixture(scope="session")
 def points_db_5k():
     return build_points_database(5_000, seed=4)
+
+
+# ---------------------------------------------------------------------------
+# Benchmark telemetry: per-test tracer -> BENCH_obs.json
+# ---------------------------------------------------------------------------
+
+_TELEMETRY: list[dict] = []
+
+
+@pytest.fixture(autouse=True)
+def _obs_telemetry(request):
+    """Attach a capped tracer to every benchmark test.
+
+    The cap bounds memory when a benchmark loops thousands of rounds; the
+    rollup still counts every span recorded before the cap and reports the
+    overflow in ``dropped``.
+    """
+    if "benchmark" not in request.fixturenames:
+        yield
+        return
+    fixture = request.getfixturevalue("benchmark")
+    tracer = Tracer(enabled=True, max_spans=50_000)
+    with push_tracer(tracer):
+        yield
+    entry = {
+        "name": request.node.nodeid,
+        "timing": _benchmark_timing(fixture),
+        "telemetry": run_summary(tracer),
+    }
+    _TELEMETRY.append(entry)
+
+
+def _benchmark_timing(fixture):
+    """pytest-benchmark timing stats, or None under --benchmark-disable."""
+    meta = getattr(fixture, "stats", None)
+    stats = getattr(meta, "stats", None)
+    if stats is None or not getattr(stats, "data", None):
+        return None
+    return {
+        "mean_s": stats.mean,
+        "min_s": stats.min,
+        "max_s": stats.max,
+        "stddev_s": stats.stddev,
+        "rounds": stats.rounds,
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _TELEMETRY:
+        return
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "benchmarks": _TELEMETRY,
+        "metric_declarations": declarations(),
+    }
+    validate_bench_summary(payload)
+    out = Path(os.environ.get("REPRO_BENCH_OBS",
+                              session.config.rootpath / "BENCH_obs.json"))
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True))

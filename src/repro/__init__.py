@@ -19,6 +19,7 @@ Subpackages
 ``repro.data``      synthetic weather data and benchmark workloads
 ``repro.core``      facade and the paper's figure scenarios
 ``repro.analyze``   static program checker, expression typechecker, plan verifier
+``repro.obs``       tracing spans, metrics registry, Chrome-trace exporters
 """
 
 import os as _os
@@ -42,6 +43,11 @@ if _os.environ.get("REPRO_PLAN_VERIFY") == "1":
     from repro.analyze.planverify import install_from_env as _install_verifier
 
     _install_verifier()
+
+if _os.environ.get("REPRO_TRACE") == "1":
+    from repro.obs.trace import install_from_env as _install_tracer
+
+    _install_tracer()
 
 __version__ = "1.0.0"
 

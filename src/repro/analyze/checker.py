@@ -214,9 +214,15 @@ def check_program(program: Program, database=None) -> Report:
     returned :class:`Report`.  Without a database, table existence
     (``T2-E104``) and everything downstream of table schemas is unchecked.
     """
-    report = Report()
-    ctx = CheckContext(program, database, report)
-    bad_edges = _check_edges(program, ctx)
-    _infer_values(program, ctx, bad_edges)
-    _check_demand(program, ctx)
+    from repro.obs.trace import current_tracer
+
+    with current_tracer().span(
+        "analyze.check_program", program=program.name
+    ) as span:
+        report = Report()
+        ctx = CheckContext(program, database, report)
+        bad_edges = _check_edges(program, ctx)
+        _infer_values(program, ctx, bad_edges)
+        _check_demand(program, ctx)
+        span.set(diagnostics=len(report.diagnostics), ok=report.ok)
     return report

@@ -291,6 +291,10 @@ def verify_plan(root) -> Report:
     several consumers) are verified once; a node appearing on its own
     ancestor path is reported as a cycle.
     """
+    from repro.obs.trace import current_tracer
+
+    verify_span = current_tracer().span("analyze.verify_plan",
+                                        root=type(root).__name__)
     report = Report()
     verified: set[int] = set()
 
@@ -309,7 +313,9 @@ def verify_plan(root) -> Report:
         _verify_node(report, node)
         verified.add(ident)
 
-    walk(root, set())
+    with verify_span as span:
+        walk(root, set())
+        span.set(nodes=len(verified), ok=report.ok)
     return report
 
 

@@ -10,12 +10,25 @@
     python -m repro.cli figures --out-dir figures/ [--which fig4,fig7]
     python -m repro.cli query --db db.json --table T --where "x > 1" [--limit N]
     python -m repro.cli lint [--figure fig4 | --db db.json --name viz] [--json]
+    python -m repro.cli trace fig4 --out trace.json       # Chrome trace_event
+    python -m repro.cli stats --figure fig4 [--json]      # metrics snapshot
 
 ``lint`` runs the static program checker (``repro.analyze``) over a saved
 program or the built-in figure scenarios (all of them by default) without
 executing anything; it exits 1 when any error-severity diagnostic is found
 (``--strict`` also fails on warnings).  The diagnostic codes are cataloged
 in ``docs/STATIC_ANALYSIS.md``.
+
+``trace`` renders a figure scenario (or a saved program) under an enabled
+tracer with a cold engine cache and writes the spans as Chrome
+``trace_event`` JSON — load it at ``chrome://tracing`` or in Perfetto to
+see engine fires, plan-node execution, and render passes nested on one
+timeline.  ``stats`` prints the run-summary dict (span rollups plus the
+metrics registry) for a figure render; ``--check`` verifies the
+process-wide metric declarations are conflict-free and ``--validate-bench``
+schema-checks a ``BENCH_obs.json`` produced by the benchmark suite.
+``lint --timing`` and ``explain --timing`` print a span-tree timing
+breakdown of the analysis itself.  See ``docs/OBSERVABILITY.md``.
 
 ``run-program`` loads a saved boxes-and-arrows program, opens every viewer
 box it contains, and renders each canvas to a PPM file — a headless batch
@@ -124,6 +137,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="explain a built-in figure scenario instead of a saved program",
     )
     explain.add_argument("--box", type=int, help="limit to one box id")
+    explain.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable explain dict instead of text",
+    )
+    explain.add_argument(
+        "--timing", action="store_true",
+        help="also print a span-tree timing breakdown of the execution",
+    )
 
     lint = commands.add_parser(
         "lint",
@@ -143,6 +164,56 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--strict", action="store_true",
         help="exit nonzero on warnings too, not only errors",
+    )
+    lint.add_argument(
+        "--timing", action="store_true",
+        help="also print a span-tree timing breakdown of the checks",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="render a scenario under the tracer and write a Chrome "
+        "trace_event JSON (open in Perfetto or chrome://tracing)",
+    )
+    trace.add_argument(
+        "figure", nargs="?", choices=sorted(_FIGURES),
+        help="built-in figure scenario to trace (or use --db/--name)",
+    )
+    trace.add_argument("--db", help="database JSON (with --name)")
+    trace.add_argument("--name", help="saved program to trace")
+    trace.add_argument("--out", default="trace.json",
+                       help="output path for the Chrome trace JSON")
+    trace.add_argument(
+        "--warm", action="store_true",
+        help="keep the engine cache warm (default is a cold run so engine "
+        "fires appear in the trace)",
+    )
+    trace.add_argument(
+        "--tree", action="store_true",
+        help="also print the span tree to stdout",
+    )
+
+    stats = commands.add_parser(
+        "stats",
+        help="run-summary telemetry for a figure render (span rollups + "
+        "metrics registry), declaration checks, bench-file validation",
+    )
+    stats.add_argument(
+        "--figure", choices=sorted(_FIGURES), default="fig4",
+        help="figure scenario to render and summarize (default fig4)",
+    )
+    stats.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the summary as JSON instead of human-readable lines",
+    )
+    stats.add_argument(
+        "--check", action="store_true",
+        help="verify process-wide metric declarations are conflict-free "
+        "(exit 1 on a kind conflict)",
+    )
+    stats.add_argument(
+        "--validate-bench", metavar="PATH",
+        help="schema-check a BENCH_obs.json written by the benchmark suite",
     )
     return parser
 
@@ -281,25 +352,46 @@ def _cmd_boxes(args) -> int:
 
 
 def _cmd_explain(args) -> int:
-    from repro.dataflow.explain import explain
+    import json as json_module
 
     if args.figure:
         db = build_weather_database(extra_stations=40, every_days=30)
         scenario = _FIGURES[args.figure](db)
         session = scenario.session
-        print(explain(session.program, session.database,
-                      engine=session.engine, box_id=args.box))
-        return 0
-    if not args.db or not args.name:
-        print("error: explain needs --figure, or --db with --name",
-              file=sys.stderr)
-        return 2
-    db = load_database_file(args.db)
-    session = Session(db)
-    session.load_program(args.name)
-    print(explain(session.program, session.database,
-                  engine=session.engine, box_id=args.box))
+    else:
+        if not args.db or not args.name:
+            print("error: explain needs --figure, or --db with --name",
+                  file=sys.stderr)
+            return 2
+        db = load_database_file(args.db)
+        session = Session(db)
+        session.load_program(args.name)
+
+    tracer = None
+    if args.timing:
+        from repro.obs import Tracer, push_tracer, render_tree
+
+        tracer = Tracer(enabled=True)
+        with push_tracer(tracer):
+            report = _explain_report(session, args)
+    else:
+        report = _explain_report(session, args)
+    if args.as_json:
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(report)
+    if tracer is not None:
+        print("-- timing --")
+        print(render_tree(tracer))
     return 0
+
+
+def _explain_report(session, args):
+    from repro.dataflow.explain import explain, explain_data
+
+    fn = explain_data if args.as_json else explain
+    return fn(session.program, session.database,
+              engine=session.engine, box_id=args.box)
 
 
 def _cmd_lint(args) -> int:
@@ -323,10 +415,22 @@ def _cmd_lint(args) -> int:
             scenario = _FIGURES[name](db)
             targets.append((name, scenario.session.program, db))
 
+    tracer = None
+    if args.timing:
+        from repro.obs import Tracer
+
+        tracer = Tracer(enabled=True)
+
     failed = False
     json_out = {}
     for name, program, database in targets:
-        report = check_program(program, database)
+        if tracer is not None:
+            from repro.obs import push_tracer
+
+            with push_tracer(tracer):
+                report = check_program(program, database)
+        else:
+            report = check_program(program, database)
         if not report.ok or (args.strict and report.warnings()):
             failed = True
         if args.as_json:
@@ -336,7 +440,116 @@ def _cmd_lint(args) -> int:
             print(report.render())
     if args.as_json:
         print(json_module.dumps(json_out, indent=2, sort_keys=True))
+    if tracer is not None:
+        from repro.obs import render_tree
+
+        print("-- timing --")
+        print(render_tree(tracer))
     return 1 if failed else 0
+
+
+def _traced_session(args):
+    """Build the session for ``trace``: a figure scenario or saved program."""
+    if args.figure:
+        db = build_weather_database(extra_stations=40, every_days=30)
+        scenario = _FIGURES[args.figure](db)
+        return args.figure, scenario.session
+    if not args.db or not args.name:
+        print("error: trace needs a figure, or --db with --name",
+              file=sys.stderr)
+        return None, None
+    db = load_database_file(args.db)
+    session = Session(db)
+    session.load_program(args.name)
+    return args.name, session
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import Tracer, push_tracer, render_tree, write_chrome_trace
+
+    target, session = _traced_session(args)
+    if session is None:
+        return 2
+    if not session.windows:
+        print("program has no viewer boxes; nothing to trace",
+              file=sys.stderr)
+        return 1
+    tracer = Tracer(enabled=True)
+    if not args.warm:
+        # Cold run: drop memoized box outputs so engine fires (and the plan
+        # nodes they execute) land inside the trace, not just cache hits.
+        session.engine.invalidate()
+    with push_tracer(tracer):
+        for name in sorted(session.windows):
+            session.window(name).render()
+    path = write_chrome_trace(tracer, args.out, process_name=f"repro {target}")
+    spans = len(tracer.finished())
+    print(f"{target}: {spans} spans -> {path}")
+    if tracer.dropped:
+        print(f"warning: {tracer.dropped} spans dropped (buffer full)",
+              file=sys.stderr)
+    if args.tree:
+        print(render_tree(tracer))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    import json as json_module
+
+    from repro.obs import (
+        ObservabilityError,
+        Tracer,
+        check_declarations,
+        global_registry,
+        push_tracer,
+        run_summary,
+        validate_bench_summary,
+    )
+
+    if args.validate_bench:
+        payload = json_module.loads(Path(args.validate_bench).read_text())
+        try:
+            validate_bench_summary(payload)
+        except ObservabilityError as exc:
+            print(f"invalid bench summary: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.validate_bench}: ok "
+              f"({len(payload.get('benchmarks', []))} benchmarks)")
+        return 0
+
+    db = build_weather_database(extra_stations=40, every_days=30)
+    scenario = _FIGURES[args.figure](db)
+    session = scenario.session
+    tracer = Tracer(enabled=True)
+    session.engine.invalidate()
+    with push_tracer(tracer):
+        for name in sorted(session.windows):
+            session.window(name).render()
+
+    if args.check:
+        # The render above populated the process-wide declaration table from
+        # the real instrumented code paths; a conflicting re-declaration
+        # would already have raised, so a clean table here means the
+        # taxonomy is consistent.
+        try:
+            names = check_declarations()
+        except ObservabilityError as exc:
+            print(f"metric declaration conflict: {exc}", file=sys.stderr)
+            return 1
+        print(f"metric declarations: ok ({len(names)} metrics)")
+        return 0
+
+    summary = run_summary(tracer, global_registry())
+    if args.as_json:
+        print(json_module.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"== {args.figure} ==")
+    for name, roll in sorted(summary["spans"].items()):
+        print(f"{name:<28} count={roll['count']:<5} "
+              f"total={roll['total_ms']:.2f}ms mean={roll['mean_ms']:.3f}ms")
+    for name, metric in sorted(summary["metrics"].items()):
+        print(f"{name}: {metric}")
+    return 0
 
 
 _HANDLERS = {
@@ -350,6 +563,8 @@ _HANDLERS = {
     "boxes": _cmd_boxes,
     "explain": _cmd_explain,
     "lint": _cmd_lint,
+    "trace": _cmd_trace,
+    "stats": _cmd_stats,
 }
 
 

@@ -26,6 +26,8 @@ from repro.dbms.catalog import Database
 from repro.dbms.plan import LazyRowSet
 from repro.display.displayable import Composite, DisplayableRelation, Group
 from repro.errors import GraphError, StaticAnalysisError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import current_tracer
 
 __all__ = ["FireContext", "EngineStats", "Engine"]
 
@@ -67,43 +69,84 @@ class FireContext:
 
 
 class EngineStats:
-    """Counters for benchmarking firing behaviour.
+    """Firing counters: a thin view over a :class:`MetricsRegistry`.
 
     All three counter families are attributable per box id: ``fires``,
-    ``hits``, and ``misses`` map box id → count.  The aggregate
+    ``hits``, and ``misses`` map box id → count.  They are the label dicts
+    of the registry counters ``engine.box.fires`` / ``engine.cache.hits`` /
+    ``engine.cache.misses`` — same storage, no copying — so anything
+    recorded here shows up in registry snapshots and run summaries, and
+    ``reset()`` genuinely clears the per-box dicts.  The aggregate
     ``cache_hits``/``cache_misses`` views are kept for callers that predate
     the per-box breakdown.
     """
 
-    def __init__(self) -> None:
-        self.fires: dict[int, int] = {}
-        self.hits: dict[int, int] = {}
-        self.misses: dict[int, int] = {}
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._fires = self.registry.counter(
+            "engine.box.fires", "box firings, labeled by box id"
+        )
+        self._hits = self.registry.counter(
+            "engine.cache.hits", "memo hits, labeled by box id"
+        )
+        self._misses = self.registry.counter(
+            "engine.cache.misses", "memo misses, labeled by box id"
+        )
+
+    @property
+    def fires(self) -> dict[int, int]:
+        return self._fires.values
+
+    @property
+    def hits(self) -> dict[int, int]:
+        return self._hits.values
+
+    @property
+    def misses(self) -> dict[int, int]:
+        return self._misses.values
 
     @property
     def cache_hits(self) -> int:
-        return sum(self.hits.values())
+        return self._hits.total()
 
     @property
     def cache_misses(self) -> int:
-        return sum(self.misses.values())
+        return self._misses.total()
 
     def record_fire(self, box_id: int) -> None:
-        self.fires[box_id] = self.fires.get(box_id, 0) + 1
+        self._fires.inc(label=box_id)
 
     def record_hit(self, box_id: int) -> None:
-        self.hits[box_id] = self.hits.get(box_id, 0) + 1
+        self._hits.inc(label=box_id)
 
     def record_miss(self, box_id: int) -> None:
-        self.misses[box_id] = self.misses.get(box_id, 0) + 1
+        self._misses.inc(label=box_id)
 
     def total_fires(self) -> int:
-        return sum(self.fires.values())
+        return self._fires.total()
 
     def reset(self) -> None:
-        self.fires.clear()
-        self.hits.clear()
-        self.misses.clear()
+        self._fires.reset()
+        self._hits.reset()
+        self._misses.reset()
+
+    def to_dict(self) -> dict[str, Any]:
+        """Stable machine-readable form (sorted per-box breakdown)."""
+        return {
+            "total_fires": self.total_fires(),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "boxes": {
+                box_id: {
+                    "fires": self.fires.get(box_id, 0),
+                    "hits": self.hits.get(box_id, 0),
+                    "misses": self.misses.get(box_id, 0),
+                }
+                for box_id in sorted(
+                    set(self.fires) | set(self.hits) | set(self.misses)
+                )
+            },
+        }
 
     def summary(self) -> str:
         """Multi-line, per-box account of firing and cache behaviour (used
@@ -138,11 +181,15 @@ class Engine:
     """
 
     def __init__(
-        self, program: Program, database: Database, preflight: bool = False
+        self,
+        program: Program,
+        database: Database,
+        preflight: bool = False,
+        registry: MetricsRegistry | None = None,
     ):
         self.program = program
         self.database = database
-        self.stats = EngineStats()
+        self.stats = EngineStats(registry)
         self.preflight_enabled = preflight
         self._preflight_stamp: tuple | None = None
         # box_id -> (signature, outputs dict)
@@ -163,7 +210,9 @@ class Engine:
             return None
         from repro.analyze.checker import check_program
 
-        report = check_program(self.program, self.database)
+        tracer = current_tracer()
+        with tracer.span("engine.preflight", program=self.program.name):
+            report = check_program(self.program, self.database)
         if not report.ok:
             raise StaticAnalysisError(
                 f"program {self.program.name!r} fails static checks:\n"
@@ -211,8 +260,15 @@ class Engine:
             port_name = box.outputs[0].name
         else:
             box.output_port(port_name)  # validate
-        outputs = self._evaluate_box(box_id, set())
-        return _force_value(outputs[port_name])
+        tracer = current_tracer()
+        if not tracer.enabled:
+            outputs = self._evaluate_box(box_id, set())
+            return _force_value(outputs[port_name])
+        with tracer.span(
+            "engine.demand", box=box_id, type=box.type_name, port=port_name
+        ):
+            outputs = self._evaluate_box(box_id, set())
+            return _force_value(outputs[port_name])
 
     def inputs_of(self, box_id: int) -> dict[str, Any]:
         """Demand and return all inputs of a box (used by viewers/sinks)."""
@@ -272,12 +328,29 @@ class Engine:
             raise GraphError(f"cycle detected at box #{box_id}")
         box = self.program.box(box_id)
         signature = self._signature_of(box_id, visiting)
+        tracer = current_tracer()
         cached = self._cache.get(box_id)
         if cached is not None and cached[0] == signature:
             self.stats.record_hit(box_id)
+            if tracer.enabled:
+                tracer.event("engine.cache.hit", box=box_id,
+                             type=box.type_name)
             return cached[1]
         self.stats.record_miss(box_id)
+        if not tracer.enabled:
+            return self._fire_box(box, box_id, signature, visiting)
+        with tracer.span("engine.fire", box=box_id, type=box.type_name):
+            return self._fire_box(box, box_id, signature, visiting)
 
+    def _fire_box(
+        self, box: Box, box_id: int, signature: tuple, visiting: set[int]
+    ) -> dict[str, Any]:
+        """Evaluate inputs and fire one box (the cache-miss path).
+
+        Under tracing this whole evaluation — upstream demands included —
+        runs inside the box's ``engine.fire`` span, so the span tree mirrors
+        the demand-driven firing chain.
+        """
         visiting = visiting | {box_id}
         inputs: dict[str, Any] = {}
         for port in box.inputs:

@@ -44,6 +44,7 @@ from repro.dbms.parser import parse_predicate
 from repro.dbms.relation import RowSet
 from repro.dbms.tuples import Field, Schema, Tuple
 from repro.errors import EvaluationError, SchemaError, TypeCheckError
+from repro.obs.trace import current_tracer
 
 __all__ = [
     "BATCH_SIZE",
@@ -177,6 +178,12 @@ class PlanNode:
         generators are finalized when their iterator is dropped)."""
 
     def _batches(self) -> Iterator[list[Tuple]]:
+        tracer = current_tracer()
+        if tracer.enabled:
+            return self._batches_traced(tracer)
+        return self._batches_plain()
+
+    def _batches_plain(self) -> Iterator[list[Tuple]]:
         produced = self._produce()
         try:
             while True:
@@ -191,6 +198,26 @@ class PlanNode:
         finally:
             produced.close()
             self.close()
+
+    def _batches_traced(self, tracer) -> Iterator[list[Tuple]]:
+        """One ``plan.node`` span per execution, open from first pull to
+        exhaustion (inclusive of consumer interleave); children's spans nest
+        because their rows are pulled while this span is open.  Row counts
+        for *this* execution are attached at close."""
+        stats = self.stats
+        rows_in_before = stats.rows_in
+        rows_out_before = stats.rows_out
+        span = tracer.span("plan.node", op=self.label, desc=self.describe())
+        span.__enter__()
+        try:
+            yield from self._batches_plain()
+        finally:
+            span.set(
+                rows_in=stats.rows_in - rows_in_before,
+                rows_out=stats.rows_out - rows_out_before,
+                opens=stats.opens,
+            )
+            span.__exit__(None, None, None)
 
     def rows_iter(self) -> Iterator[Tuple]:
         """Row-at-a-time view of one execution."""

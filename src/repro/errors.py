@@ -82,6 +82,11 @@ class UIError(TiogaError):
     """An illegal UI session operation (bad undo, unknown window, ...)."""
 
 
+class ObservabilityError(TiogaError):
+    """A misuse of the tracing/metrics subsystem: conflicting metric kinds,
+    malformed histogram buckets, or reading an empty histogram."""
+
+
 class StaticAnalysisError(TiogaError):
     """Static analysis found errors that block execution.
 

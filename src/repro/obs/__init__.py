@@ -1,0 +1,75 @@
+"""``repro.obs`` — the unified tracing & metrics subsystem.
+
+Zero-dependency observability for the whole stack: nested spans
+(:class:`Tracer`), labeled counters/gauges/histograms
+(:class:`MetricsRegistry`), and exporters (Chrome ``trace_event`` JSON,
+human-readable trees, machine-readable run summaries).  The span and metric
+taxonomy the instrumented modules emit is documented in
+``docs/OBSERVABILITY.md``.
+
+Activation: tracing is off by default and costs one attribute read per hook
+when off.  Turn it on for a region with :func:`tracing` /
+:func:`push_tracer`, per render with ``Viewer.render(trace=...)``, per CLI
+run with ``repro trace`` / ``--timing``, or process-wide with
+``REPRO_TRACE=1``.
+"""
+
+from repro.errors import ObservabilityError
+from repro.obs.export import (
+    BENCH_SCHEMA,
+    chrome_trace,
+    render_tree,
+    run_summary,
+    validate_bench_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    check_declarations,
+    declarations,
+    declare,
+    global_registry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    install_from_env,
+    push_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "ObservabilityError",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "check_declarations",
+    "chrome_trace",
+    "current_tracer",
+    "declarations",
+    "declare",
+    "global_registry",
+    "install_from_env",
+    "push_tracer",
+    "render_tree",
+    "run_summary",
+    "set_tracer",
+    "tracing",
+    "validate_bench_summary",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,289 @@
+"""Exporters: Chrome trace JSON, a human-readable span tree, run summaries.
+
+Three consumers, three formats:
+
+* :func:`chrome_trace` — the Chrome ``trace_event`` JSON object format
+  (``{"traceEvents": [...]}``) with complete (``ph: "X"``) events for spans
+  and instant (``ph: "i"``) events for markers; loads in ``chrome://tracing``
+  and Perfetto.  Span attributes ride in ``args``.
+* :func:`render_tree` — an indented wall-clock tree for terminals, the
+  ``--timing`` output.
+* :func:`run_summary` — a stable, JSON-ready dict combining span rollups and
+  a metrics snapshot; the benchmark telemetry pipeline aggregates these into
+  ``BENCH_obs.json``.
+
+:func:`validate_chrome_trace` and :func:`validate_bench_summary` are the
+schema guards used by the tests and the CI telemetry job.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "render_tree",
+    "run_summary",
+    "validate_chrome_trace",
+    "validate_bench_summary",
+    "BENCH_SCHEMA",
+]
+
+BENCH_SCHEMA = "repro.bench/1"
+"""Schema tag stamped into ``BENCH_obs.json``."""
+
+_PID = 1  # single-process traces; Chrome requires *a* pid
+
+
+def _ts_us(tracer: Tracer, ns: int) -> float:
+    origin = tracer.origin_ns or 0
+    return (ns - origin) / 1000.0
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict[str, Any]:
+    """The Chrome ``trace_event`` JSON object for a tracer's recordings."""
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    threads = sorted(
+        {span.thread_id for span in tracer.finished()}
+        | {event.thread_id for event in tracer.events}
+    )
+    tids = {thread_id: index for index, thread_id in enumerate(threads)}
+    for thread_id, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": f"thread-{thread_id}"},
+            }
+        )
+    for span in tracer.finished():
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": _ts_us(tracer, span.start_ns),
+                "dur": max(0.0, span.duration_ns / 1000.0),
+                "pid": _PID,
+                "tid": tids.get(span.thread_id, 0),
+                "args": _json_safe(span.attrs),
+            }
+        )
+    for event in tracer.events:
+        events.append(
+            {
+                "name": event.name,
+                "cat": event.name.split(".", 1)[0],
+                "ph": "i",
+                "ts": _ts_us(tracer, event.ts_ns),
+                "pid": _PID,
+                "tid": tids.get(event.thread_id, 0),
+                "s": "t",
+                "args": _json_safe(event.attrs),
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"dropped": tracer.dropped},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path,
+                       process_name: str = "repro") -> Path:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer, process_name), indent=1))
+    return path
+
+
+def _json_safe(attrs: dict[str, Any]) -> dict[str, Any]:
+    safe: dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+        else:
+            safe[key] = repr(value)
+    return safe
+
+
+# ---------------------------------------------------------------------------
+# Human-readable tree
+# ---------------------------------------------------------------------------
+
+
+def render_tree(tracer: Tracer, min_ms: float = 0.0) -> str:
+    """Indented wall-clock tree of the tracer's completed spans.
+
+    Spans cheaper than ``min_ms`` are elided (their time still shows in the
+    parent).  Children print in start order.
+    """
+    spans = sorted(tracer.finished(), key=lambda s: (s.start_ns, s.span_id))
+    by_parent: dict[int | None, list[Span]] = {}
+    known = {span.span_id for span in spans}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in known else None
+        by_parent.setdefault(parent, []).append(span)
+
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        if span.duration_ms < min_ms:
+            return
+        attrs = ""
+        if span.attrs:
+            inner = ", ".join(
+                f"{key}={value}" for key, value in sorted(span.attrs.items())
+            )
+            attrs = f"  ({inner})"
+        lines.append(
+            f"{'  ' * depth}{span.name}  {span.duration_ms:.3f}ms{attrs}"
+        )
+        for child in by_parent.get(span.span_id, ()):
+            walk(child, depth + 1)
+
+    for root in by_parent.get(None, ()):
+        walk(root, 0)
+    if tracer.dropped:
+        lines.append(f"({tracer.dropped} spans/events dropped at cap)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Run summary
+# ---------------------------------------------------------------------------
+
+
+def run_summary(tracer: Tracer | None = None,
+                registry: MetricsRegistry | None = None) -> dict[str, Any]:
+    """Stable machine-readable summary of one run.
+
+    Span rollups are grouped by span name — count, total/mean wall — so the
+    summary's size is bounded by the taxonomy, not the workload.
+    """
+    spans_by_name: dict[str, dict[str, Any]] = {}
+    events_by_name: dict[str, int] = {}
+    dropped = 0
+    if tracer is not None:
+        for span in tracer.finished():
+            entry = spans_by_name.setdefault(
+                span.name, {"count": 0, "total_ms": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_ms"] += span.duration_ms
+        for entry in spans_by_name.values():
+            entry["total_ms"] = round(entry["total_ms"], 3)
+            entry["mean_ms"] = round(entry["total_ms"] / entry["count"], 3)
+        for event in tracer.events:
+            events_by_name[event.name] = events_by_name.get(event.name, 0) + 1
+        dropped = tracer.dropped
+    return {
+        "schema": BENCH_SCHEMA,
+        "spans": {name: spans_by_name[name] for name in sorted(spans_by_name)},
+        "events": {name: events_by_name[name]
+                   for name in sorted(events_by_name)},
+        "metrics": registry.snapshot() if registry is not None else {},
+        "dropped": dropped,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (tests + CI)
+# ---------------------------------------------------------------------------
+
+
+def validate_chrome_trace(obj: Any) -> list[dict[str, Any]]:
+    """Check an object against the Chrome trace_event object format.
+
+    Returns the event list on success; raises :class:`ObservabilityError`
+    naming the first offending event otherwise.
+    """
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        raise ObservabilityError(
+            "chrome trace must be an object with a 'traceEvents' list"
+        )
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        raise ObservabilityError("'traceEvents' must be a list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ObservabilityError(f"traceEvents[{index}] is not an object")
+        for key in ("name", "ph", "pid"):
+            if key not in event:
+                raise ObservabilityError(
+                    f"traceEvents[{index}] missing required key {key!r}"
+                )
+        phase = event["ph"]
+        if phase not in ("X", "i", "M", "B", "E", "C"):
+            raise ObservabilityError(
+                f"traceEvents[{index}] has unsupported phase {phase!r}"
+            )
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ObservabilityError(
+                        f"traceEvents[{index}] ({event['name']!r}) needs "
+                        f"non-negative numeric {key!r}"
+                    )
+        if "args" in event and not isinstance(event["args"], dict):
+            raise ObservabilityError(
+                f"traceEvents[{index}] 'args' must be an object"
+            )
+    return events
+
+
+def validate_bench_summary(obj: Any) -> dict[str, Any]:
+    """Check a ``BENCH_obs.json`` payload; returns it on success."""
+    if not isinstance(obj, dict):
+        raise ObservabilityError("bench summary must be an object")
+    if obj.get("schema") != BENCH_SCHEMA:
+        raise ObservabilityError(
+            f"bench summary schema must be {BENCH_SCHEMA!r}, "
+            f"got {obj.get('schema')!r}"
+        )
+    benchmarks = obj.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise ObservabilityError("bench summary needs a 'benchmarks' list")
+    for index, entry in enumerate(benchmarks):
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise ObservabilityError(
+                f"benchmarks[{index}] must be an object with a 'name'"
+            )
+        timing = entry.get("timing")
+        if timing is not None:
+            if not isinstance(timing, dict):
+                raise ObservabilityError(
+                    f"benchmarks[{index}] 'timing' must be an object"
+                )
+            for key in ("mean_s", "rounds"):
+                if key not in timing:
+                    raise ObservabilityError(
+                        f"benchmarks[{index}] timing missing {key!r}"
+                    )
+        telemetry = entry.get("telemetry")
+        if telemetry is not None and not isinstance(telemetry, dict):
+            raise ObservabilityError(
+                f"benchmarks[{index}] 'telemetry' must be an object"
+            )
+    metrics = obj.get("metric_declarations")
+    if metrics is not None and not isinstance(metrics, dict):
+        raise ObservabilityError("'metric_declarations' must be an object")
+    return obj

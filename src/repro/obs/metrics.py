@@ -1,0 +1,317 @@
+"""Metrics: counters, gauges, fixed-bucket histograms with label attribution.
+
+One :class:`MetricsRegistry` holds every metric for a scope (an engine, a
+render, a benchmark run).  Each metric is identified by a dotted name and a
+kind; re-requesting a name with a different kind is a hard error — that is
+the conflict CI guards against — and the process-wide declaration table
+(:func:`declare` / :func:`check_declarations`) catches the same clash across
+modules that never share a registry.
+
+Attribution is by label: every ``inc``/``set``/``observe`` takes an optional
+hashable label (box id, plan node id, viewer pass name), so one metric holds
+the whole per-box/per-node breakdown — this is the model that supersedes the
+scattered ad-hoc counter dicts.  The per-label dicts are exposed directly
+(``Counter.values``), which lets :class:`~repro.dataflow.engine.EngineStats`
+stay a thin, dict-compatible view with zero copying.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Hashable, Iterable
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "declare",
+    "declarations",
+    "check_declarations",
+    "global_registry",
+]
+
+
+class _Metric:
+    kind = "metric"
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+def _label_key(label: Hashable | None) -> str:
+    """Stable JSON-safe rendering of a label for snapshots."""
+    if label is None:
+        return "_total"
+    return str(label)
+
+
+class Counter(_Metric):
+    """A monotonically increasing count, broken down by label."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = ""):
+        super().__init__(name, description)
+        #: label -> count; exposed raw so views (EngineStats) share storage.
+        self.values: dict[Hashable, int | float] = {}
+
+    def inc(self, amount: int | float = 1, label: Hashable = None) -> None:
+        self.values[label] = self.values.get(label, 0) + amount
+
+    def value(self, label: Hashable = None) -> int | float:
+        return self.values.get(label, 0)
+
+    def total(self) -> int | float:
+        return sum(self.values.values())
+
+    def reset(self) -> None:
+        self.values.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "total": self.total(),
+            "by_label": {
+                _label_key(label): value
+                for label, value in sorted(
+                    self.values.items(), key=lambda kv: _label_key(kv[0])
+                )
+            },
+        }
+
+
+class Gauge(_Metric):
+    """A last-write-wins value per label (buffer sizes, cache entries)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = ""):
+        super().__init__(name, description)
+        self.values: dict[Hashable, float] = {}
+
+    def set(self, value: float, label: Hashable = None) -> None:
+        self.values[label] = value
+
+    def value(self, label: Hashable = None) -> float:
+        return self.values.get(label, 0.0)
+
+    def reset(self) -> None:
+        self.values.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "by_label": {
+                _label_key(label): value
+                for label, value in sorted(
+                    self.values.items(), key=lambda kv: _label_key(kv[0])
+                )
+            },
+        }
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram: counts of observations per upper bound.
+
+    ``buckets`` are the finite upper bounds; an implicit +inf bucket catches
+    the rest.  Per label it tracks bucket counts plus count/sum/min/max, so
+    snapshots can report means without storing observations.
+    """
+
+    kind = "histogram"
+
+    DEFAULT_BUCKETS = (0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0)
+
+    def __init__(self, name: str, description: str = "",
+                 buckets: Iterable[float] | None = None):
+        super().__init__(name, description)
+        bounds = tuple(sorted(buckets if buckets is not None
+                              else self.DEFAULT_BUCKETS))
+        if not bounds:
+            raise ObservabilityError(
+                f"histogram {name!r} needs at least one bucket bound"
+            )
+        self.bounds = bounds
+        # label -> [bucket counts..., overflow]
+        self._counts: dict[Hashable, list[int]] = {}
+        self._stats: dict[Hashable, list[float]] = {}  # count, sum, min, max
+
+    def observe(self, value: float, label: Hashable = None) -> None:
+        counts = self._counts.get(label)
+        if counts is None:
+            counts = self._counts[label] = [0] * (len(self.bounds) + 1)
+            self._stats[label] = [0, 0.0, value, value]
+        # Inclusive upper bounds: an observation equal to a bound counts in
+        # that bound's bucket.
+        counts[bisect_left(self.bounds, value)] += 1
+        stats = self._stats[label]
+        stats[0] += 1
+        stats[1] += value
+        if value < stats[2]:
+            stats[2] = value
+        if value > stats[3]:
+            stats[3] = value
+
+    def count(self, label: Hashable = None) -> int:
+        stats = self._stats.get(label)
+        return int(stats[0]) if stats else 0
+
+    def mean(self, label: Hashable = None) -> float:
+        stats = self._stats.get(label)
+        if not stats or not stats[0]:
+            raise ObservabilityError(
+                f"histogram {self.name!r} has no observations for {label!r}"
+            )
+        return stats[1] / stats[0]
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._stats.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        by_label: dict[str, Any] = {}
+        for label in sorted(self._counts, key=_label_key):
+            count, total, low, high = self._stats[label]
+            by_label[_label_key(label)] = {
+                "count": int(count),
+                "sum": total,
+                "min": low,
+                "max": high,
+                "buckets": dict(
+                    zip([str(b) for b in self.bounds] + ["+inf"],
+                        self._counts[label])
+                ),
+            }
+        return {"kind": self.kind, "bounds": list(self.bounds),
+                "by_label": by_label}
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create metric store for one scope.
+
+    ``counter``/``gauge``/``histogram`` are idempotent for a matching kind
+    and raise :class:`ObservabilityError` on a kind conflict.  The snapshot
+    is a stable, sorted, JSON-ready dict — the machine-readable run summary.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str, description: str, **kwargs) -> Any:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, cannot re-register as "
+                        f"{cls.kind}"
+                    )
+                return existing
+            declare(name, cls.kind)
+            metric = cls(name, description, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get(Gauge, name, description)
+
+    def histogram(self, name: str, description: str = "",
+                  buckets: Iterable[float] | None = None) -> Histogram:
+        return self._get(Histogram, name, description, buckets=buckets)
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every metric, keeping registrations."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.reset()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Stable machine-readable dump: {name: {kind, ...}} sorted by name."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+
+# ---------------------------------------------------------------------------
+# Process-wide declaration table (cross-registry conflict detection)
+# ---------------------------------------------------------------------------
+
+_DECLARED: dict[str, str] = {}
+_DECLARED_LOCK = threading.Lock()
+
+
+def declare(name: str, kind: str) -> None:
+    """Record that ``name`` is a metric of ``kind`` anywhere in the process.
+
+    Raises :class:`ObservabilityError` when the same name was previously
+    declared with a different kind — even by a different registry.  This is
+    the invariant the CI telemetry job enforces.
+    """
+    if kind not in _KINDS:
+        raise ObservabilityError(
+            f"unknown metric kind {kind!r}; known: {', '.join(sorted(_KINDS))}"
+        )
+    with _DECLARED_LOCK:
+        existing = _DECLARED.get(name)
+        if existing is not None and existing != kind:
+            raise ObservabilityError(
+                f"metric {name!r} declared as both {existing!r} and {kind!r}"
+            )
+        _DECLARED[name] = kind
+
+
+def declarations() -> dict[str, str]:
+    """A copy of the process-wide name → kind declaration table."""
+    with _DECLARED_LOCK:
+        return dict(_DECLARED)
+
+
+def check_declarations() -> list[str]:
+    """Re-validate the declaration table; returns sorted metric names.
+
+    The table cannot hold a conflict (``declare`` raises on insert), so a
+    clean return means every metric name observed by this process so far has
+    exactly one kind.
+    """
+    with _DECLARED_LOCK:
+        return sorted(_DECLARED)
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The default process-wide registry (render/scene counters land here)."""
+    return _GLOBAL_REGISTRY

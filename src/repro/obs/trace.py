@@ -1,0 +1,331 @@
+"""Nested-span tracing: the timeline half of the observability layer.
+
+A :class:`Tracer` records a tree of :class:`Span` records (monotonic clocks,
+thread-safe, one tree per thread via a thread-local span stack) plus point
+:class:`TraceEvent` records.  Instrumented code does::
+
+    tracer = current_tracer()
+    if tracer.enabled:
+        with tracer.span("engine.fire", box=box_id):
+            ...
+
+The ``enabled`` guard is the whole overhead story: a disabled tracer's
+``span()`` returns one shared no-op singleton, so hot paths that pre-check
+``enabled`` pay a single attribute read and hot paths that don't pay only
+the kwargs packing — nothing is recorded, nothing retained, no locks taken.
+
+One process-global tracer (disabled by default) backs ``REPRO_TRACE=1`` env
+activation and the CLI; :func:`push_tracer` installs a different tracer for
+a scoped region (``Viewer.render(trace=...)``, ``repro trace``,
+benchmark telemetry) without touching global state permanently.
+
+The span taxonomy emitted by the instrumented modules is cataloged in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from time import perf_counter_ns
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "NULL_SPAN",
+    "current_tracer",
+    "set_tracer",
+    "push_tracer",
+    "tracing",
+    "install_from_env",
+]
+
+
+class Span:
+    """One timed region: name, attributes, parent link, monotonic bounds.
+
+    Spans are created by :meth:`Tracer.span` and closed by leaving the
+    ``with`` block; ``set()`` attaches attributes (row counts, cache
+    verdicts) at any point while the span is open.
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "start_ns", "end_ns", "attrs",
+        "thread_id", "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        attrs: dict[str, Any],
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.thread_id = threading.get_ident()
+        self.start_ns = 0
+        self.end_ns: int | None = None
+        self._tracer = tracer
+
+    # -- protocol ---------------------------------------------------------
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to an open span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns is None:
+            return perf_counter_ns() - self.start_ns
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._exit(self)
+        return False
+
+    def __repr__(self) -> str:
+        state = "open" if self.end_ns is None else f"{self.duration_ms:.3f}ms"
+        return f"Span({self.name!r}, #{self.span_id}, {state})"
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by disabled tracers.
+
+    A singleton so the disabled hot path allocates nothing; ``set`` and the
+    context protocol are inert.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    name = ""
+    span_id = 0
+    parent_id = None
+    attrs: dict[str, Any] = {}
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NULL_SPAN"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class TraceEvent:
+    """A point-in-time marker (Chrome 'instant' event)."""
+
+    __slots__ = ("name", "ts_ns", "attrs", "thread_id", "parent_id")
+
+    def __init__(self, name: str, ts_ns: int, attrs: dict[str, Any],
+                 thread_id: int, parent_id: int | None):
+        self.name = name
+        self.ts_ns = ts_ns
+        self.attrs = attrs
+        self.thread_id = thread_id
+        self.parent_id = parent_id
+
+    def __repr__(self) -> str:
+        return f"TraceEvent({self.name!r})"
+
+
+class Tracer:
+    """Collects spans and events for one run.
+
+    ``max_spans`` bounds retention so a tracer attached to a benchmark loop
+    cannot grow without limit; completed spans beyond the cap are counted in
+    ``dropped`` instead of stored.  All mutation of the finished lists is
+    lock-guarded; the open-span stack is thread-local, so concurrent threads
+    each build their own subtree.
+    """
+
+    def __init__(self, enabled: bool = True, max_spans: int = 200_000):
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.dropped = 0
+        self.spans: list[Span] = []
+        self.events: list[TraceEvent] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 1
+        #: perf_counter_ns origin, set lazily on first span/event so all
+        #: exported timestamps are small non-negative offsets.
+        self.origin_ns: int | None = None
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span | _NullSpan:
+        """Open a span; use as a context manager.
+
+        Returns :data:`NULL_SPAN` when disabled — hot paths that build
+        expensive attribute dicts should pre-check ``tracer.enabled``.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(self, name, span_id, None, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instant event under the current span."""
+        if not self.enabled:
+            return
+        now = perf_counter_ns()
+        current = self.current()
+        record = TraceEvent(
+            name, now, attrs, threading.get_ident(),
+            current.span_id if current is not None else None,
+        )
+        with self._lock:
+            if self.origin_ns is None:
+                self.origin_ns = now
+            if len(self.events) < self.max_spans:
+                self.events.append(record)
+            else:
+                self.dropped += 1
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            return stack[-1]
+        return None
+
+    # -- span lifecycle (called by Span) ----------------------------------
+
+    def _enter(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        if span.parent_id is None and stack:
+            span.parent_id = stack[-1].span_id
+        stack.append(span)
+        span.start_ns = perf_counter_ns()
+        if self.origin_ns is None:
+            with self._lock:
+                if self.origin_ns is None:
+                    self.origin_ns = span.start_ns
+
+    def _exit(self, span: Span) -> None:
+        span.end_ns = perf_counter_ns()
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            # Normally a plain pop; generator-driven spans (plan nodes) can
+            # finalize out of order, so remove by identity when needed.
+            if stack[-1] is span:
+                stack.pop()
+            else:
+                try:
+                    stack.remove(span)
+                except ValueError:  # pragma: no cover - foreign span
+                    pass
+        with self._lock:
+            if len(self.spans) < self.max_spans:
+                self.spans.append(span)
+            else:
+                self.dropped += 1
+
+    # -- inspection -------------------------------------------------------
+
+    def finished(self, name: str | None = None) -> list[Span]:
+        """Completed spans, optionally filtered by name."""
+        with self._lock:
+            spans = list(self.spans)
+        if name is None:
+            return spans
+        return [span for span in spans if span.name == name]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.finished() if s.parent_id == span.span_id]
+
+    def roots(self) -> list[Span]:
+        """Completed spans whose parent never completed (tree roots)."""
+        spans = self.finished()
+        known = {span.span_id for span in spans}
+        return [s for s in spans if s.parent_id not in known]
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+            self.events.clear()
+            self.dropped = 0
+            self.origin_ns = None
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, {len(self.spans)} spans)"
+
+
+# ---------------------------------------------------------------------------
+# The process-global tracer and scoped installation
+# ---------------------------------------------------------------------------
+
+_GLOBAL_TRACER = Tracer(enabled=False)
+_INSTALL_LOCK = threading.Lock()
+
+
+def current_tracer() -> Tracer:
+    """The tracer instrumented code should record into right now."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-global tracer; returns the old one."""
+    global _GLOBAL_TRACER
+    with _INSTALL_LOCK:
+        previous = _GLOBAL_TRACER
+        _GLOBAL_TRACER = tracer
+    return previous
+
+
+@contextmanager
+def push_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Scoped installation: the global tracer is ``tracer`` inside the block."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+@contextmanager
+def tracing(max_spans: int = 200_000) -> Iterator[Tracer]:
+    """Convenience: install a fresh enabled tracer for the block."""
+    with push_tracer(Tracer(enabled=True, max_spans=max_spans)) as tracer:
+        yield tracer
+
+
+def install_from_env(environ=None) -> bool:
+    """Enable the global tracer when ``REPRO_TRACE=1`` (package init hook)."""
+    if environ is None:
+        environ = os.environ
+    if environ.get("REPRO_TRACE") == "1":
+        _GLOBAL_TRACER.enabled = True
+        return True
+    return False

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.display.drawables import Color, resolve_color
 from repro.errors import DisplayError
+from repro.obs.trace import current_tracer
 from repro.render.font import CHAR_HEIGHT, CHAR_WIDTH, glyph_rows
 
 __all__ = ["Canvas", "WHITE", "BLACK"]
@@ -37,6 +38,9 @@ class Canvas:
         self.height = int(height)
         self.background = resolve_color(background)
         self.pixels = np.empty((self.height, self.width, 3), dtype=np.uint8)
+        #: Primitive draw calls since creation (lines, fills, text, blits);
+        #: surfaced as the ``render.draw_ops`` metric and span attribute.
+        self.draw_ops = 0
         self.clear()
 
     def clear(self) -> None:
@@ -106,6 +110,7 @@ class Canvas:
         self, x0: float, y0: float, x1: float, y1: float, color: Color, width: int = 1
     ) -> None:
         """Bresenham line with optional thickness."""
+        self.draw_ops += 1
         ix0, iy0, ix1, iy1 = int(round(x0)), int(round(y0)), int(round(x1)), int(round(y1))
         dx = abs(ix1 - ix0)
         dy = -abs(iy1 - iy0)
@@ -136,6 +141,7 @@ class Canvas:
         self.draw_line(x0, y1, x0, y0, color, width)
 
     def fill_rect(self, x0: float, y0: float, x1: float, y1: float, color: Color) -> None:
+        self.draw_ops += 1
         x0, x1 = min(x0, x1), max(x0, x1)
         y0, y1 = min(y0, y1), max(y0, y1)
         xi0 = max(0, int(round(x0)))
@@ -149,6 +155,7 @@ class Canvas:
         self, cx: float, cy: float, radius: float, color: Color, width: int = 1
     ) -> None:
         """Midpoint circle."""
+        self.draw_ops += 1
         r = int(round(radius))
         if r <= 0:
             self._thick_point(int(round(cx)), int(round(cy)), color, width)
@@ -172,6 +179,7 @@ class Canvas:
                 err += 2 * (y - x) + 1
 
     def fill_circle(self, cx: float, cy: float, radius: float, color: Color) -> None:
+        self.draw_ops += 1
         r = radius
         if r <= 0:
             self.set_pixel(cx, cy, color)
@@ -199,6 +207,7 @@ class Canvas:
 
     def fill_polygon(self, points: list[tuple[float, float]], color: Color) -> None:
         """Even-odd scanline fill."""
+        self.draw_ops += 1
         if len(points) < 3:
             return
         ys = [p[1] for p in points]
@@ -223,6 +232,7 @@ class Canvas:
 
     def draw_text(self, x: float, y: float, text: str, color: Color) -> None:
         """Paint ``text`` with its top-left corner at (x, y)."""
+        self.draw_ops += 1
         cursor = int(round(x))
         top = int(round(y))
         for char in text:
@@ -244,6 +254,7 @@ class Canvas:
 
     def blit(self, other: "Canvas", x: float, y: float) -> None:
         """Paint another canvas onto this one with top-left at (x, y)."""
+        self.draw_ops += 1
         xi, yi = int(round(x)), int(round(y))
         src_x0 = max(0, -xi)
         src_y0 = max(0, -yi)
@@ -260,8 +271,10 @@ class Canvas:
     def to_ppm(self, path: str | Path) -> Path:
         """Write a binary PPM (P6) image — viewable by any image tool."""
         path = Path(path)
-        header = f"P6\n{self.width} {self.height}\n255\n".encode("ascii")
-        path.write_bytes(header + self.pixels.tobytes())
+        with current_tracer().span("canvas.export", format="ppm",
+                                   px=self.width * self.height):
+            header = f"P6\n{self.width} {self.height}\n255\n".encode("ascii")
+            path.write_bytes(header + self.pixels.tobytes())
         return path
 
     def to_png(self, path: str | Path) -> Path:
@@ -279,20 +292,22 @@ class Canvas:
                 + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF)
             )
 
-        header = struct.pack(
-            ">IIBBBBB", self.width, self.height, 8, 2, 0, 0, 0
-        )
-        # Each scanline gets filter byte 0 (None).
-        raw = b"".join(
-            b"\x00" + self.pixels[y].tobytes() for y in range(self.height)
-        )
-        payload = (
-            b"\x89PNG\r\n\x1a\n"
-            + chunk(b"IHDR", header)
-            + chunk(b"IDAT", zlib.compress(raw, level=6))
-            + chunk(b"IEND", b"")
-        )
-        path.write_bytes(payload)
+        with current_tracer().span("canvas.export", format="png",
+                                   px=self.width * self.height):
+            header = struct.pack(
+                ">IIBBBBB", self.width, self.height, 8, 2, 0, 0, 0
+            )
+            # Each scanline gets filter byte 0 (None).
+            raw = b"".join(
+                b"\x00" + self.pixels[y].tobytes() for y in range(self.height)
+            )
+            payload = (
+                b"\x89PNG\r\n\x1a\n"
+                + chunk(b"IHDR", header)
+                + chunk(b"IDAT", zlib.compress(raw, level=6))
+                + chunk(b"IEND", b"")
+            )
+            path.write_bytes(payload)
         return path
 
     def to_ascii(self, columns: int = 80) -> str:

@@ -32,6 +32,7 @@ from repro.display.displayable import (
 )
 from repro.display.drawables import ViewerDrawable
 from repro.errors import ViewerError
+from repro.obs.trace import current_tracer
 from repro.render.canvas import Canvas
 
 __all__ = [
@@ -175,6 +176,18 @@ class SceneStats:
         #: nodes' ``stats``.
         self.cull_plans: list[Any] = []
 
+    def to_dict(self) -> dict[str, int]:
+        """Stable machine-readable form (run summaries, ``repro stats``)."""
+        return {
+            "tuples_considered": self.tuples_considered,
+            "tuples_rendered": self.tuples_rendered,
+            "culled_by_slider": self.culled_by_slider,
+            "culled_by_viewport": self.culled_by_viewport,
+            "relations_culled_by_elevation": self.relations_culled_by_elevation,
+            "drawables_painted": self.drawables_painted,
+            "cull_plans": len(self.cull_plans),
+        }
+
     def __repr__(self) -> str:
         return (
             f"SceneStats(considered={self.tuples_considered}, "
@@ -218,73 +231,111 @@ def render_composite(
         composite = Composite([composite])
     stats = stats if stats is not None else SceneStats()
     items: list[RenderedItem] = []
-    width, height = view.viewport
-    scale = view.scale
-
+    tracer = current_tracer()
     for entry in composite.entries:
         relation = entry.relation
         if not relation.elevation_range.contains(view.elevation):
             stats.relations_culled_by_elevation += 1
+            if tracer.enabled:
+                tracer.event("render.elevation_cull", relation=relation.name)
             continue
-        if cull:
-            fast_items = _try_fast_scatter(
-                canvas, entry, view, resolver, depth, stats
+        if not tracer.enabled:
+            items.extend(
+                _render_entry(canvas, entry, view, resolver, depth, cull, stats)
             )
-            if fast_items is not None:
-                items.extend(fast_items)
-                continue
-            plan_items = _try_plan_cull(
-                canvas, entry, view, resolver, depth, stats
+            continue
+        considered0 = stats.tuples_considered
+        rendered0 = stats.tuples_rendered
+        painted0 = stats.drawables_painted
+        with tracer.span(
+            "render.pass", relation=relation.name, depth=depth, cull=cull
+        ) as span:
+            items.extend(
+                _render_entry(canvas, entry, view, resolver, depth, cull, stats)
             )
-            if plan_items is not None:
-                items.extend(plan_items)
-                continue
-        offset_x = entry.offset_for("x")
-        offset_y = entry.offset_for("y")
-        for index, row_view in enumerate(relation.views()):
-            stats.tuples_considered += 1
-            location = relation.location_of(row_view)
-            if cull and _slider_culled(relation, entry, location, view):
-                stats.culled_by_slider += 1
-                continue
-            px, py = view.to_screen(location[0] + offset_x, location[1] + offset_y)
-            if cull and not (
-                -_CULL_MARGIN_PX <= px <= width + _CULL_MARGIN_PX
-                and -_CULL_MARGIN_PX <= py <= height + _CULL_MARGIN_PX
+            span.set(
+                rows_considered=stats.tuples_considered - considered0,
+                rows_rendered=stats.tuples_rendered - rendered0,
+                drawables_painted=stats.drawables_painted - painted0,
+            )
+    return items
+
+
+def _render_entry(
+    canvas: Canvas,
+    entry,
+    view: ViewState,
+    resolver: CanvasResolver | None,
+    depth: int,
+    cull: bool,
+    stats: SceneStats,
+) -> list[RenderedItem]:
+    """Render one composite entry — one viewer pass over one relation.
+
+    Tries the vectorized and plan-pushdown culling paths first, then the
+    general row-at-a-time path.
+    """
+    relation = entry.relation
+    width, height = view.viewport
+    scale = view.scale
+    if cull:
+        fast_items = _try_fast_scatter(
+            canvas, entry, view, resolver, depth, stats
+        )
+        if fast_items is not None:
+            return fast_items
+        plan_items = _try_plan_cull(
+            canvas, entry, view, resolver, depth, stats
+        )
+        if plan_items is not None:
+            return plan_items
+    items: list[RenderedItem] = []
+    offset_x = entry.offset_for("x")
+    offset_y = entry.offset_for("y")
+    for index, row_view in enumerate(relation.views()):
+        stats.tuples_considered += 1
+        location = relation.location_of(row_view)
+        if cull and _slider_culled(relation, entry, location, view):
+            stats.culled_by_slider += 1
+            continue
+        px, py = view.to_screen(location[0] + offset_x, location[1] + offset_y)
+        if cull and not (
+            -_CULL_MARGIN_PX <= px <= width + _CULL_MARGIN_PX
+            and -_CULL_MARGIN_PX <= py <= height + _CULL_MARGIN_PX
+        ):
+            stats.culled_by_viewport += 1
+            continue
+        drawables = relation.display_of(row_view)
+        painted_any = False
+        for drawable in drawables:
+            bbox = drawable.bbox(px, py, scale)
+            # One pixel of slack: rasterization rounds coordinates, so a
+            # bbox ending fractionally off-canvas can still touch pixels.
+            if cull and (
+                bbox[2] < -1.0 or bbox[0] > width + 1.0
+                or bbox[3] < -1.0 or bbox[1] > height + 1.0
             ):
-                stats.culled_by_viewport += 1
                 continue
-            drawables = relation.display_of(row_view)
-            painted_any = False
-            for drawable in drawables:
-                bbox = drawable.bbox(px, py, scale)
-                # One pixel of slack: rasterization rounds coordinates, so a
-                # bbox ending fractionally off-canvas can still touch pixels.
-                if cull and (
-                    bbox[2] < -1.0 or bbox[0] > width + 1.0
-                    or bbox[3] < -1.0 or bbox[1] > height + 1.0
-                ):
-                    continue
-                drawable.paint(canvas, px, py, scale)
-                stats.drawables_painted += 1
-                painted_any = True
-                if isinstance(drawable, ViewerDrawable):
-                    _render_wormhole(
-                        canvas, drawable, px, py, scale, resolver, depth, stats
-                    )
-                items.append(
-                    RenderedItem(
-                        bbox,
-                        relation.name,
-                        relation.source_table,
-                        row_view.base,
-                        index,
-                        drawable.kind,
-                        drawable,
-                    )
+            drawable.paint(canvas, px, py, scale)
+            stats.drawables_painted += 1
+            painted_any = True
+            if isinstance(drawable, ViewerDrawable):
+                _render_wormhole(
+                    canvas, drawable, px, py, scale, resolver, depth, stats
                 )
-            if painted_any:
-                stats.tuples_rendered += 1
+            items.append(
+                RenderedItem(
+                    bbox,
+                    relation.name,
+                    relation.source_table,
+                    row_view.base,
+                    index,
+                    drawable.kind,
+                    drawable,
+                )
+            )
+        if painted_any:
+            stats.tuples_rendered += 1
     return items
 
 
@@ -341,73 +392,83 @@ def _try_fast_scatter(
     if display_method.expr is None or display_method.expr.fields_used():
         return None
 
-    schema = rows.schema
-    x_pos = schema.position(x_col)
-    y_pos = schema.position(y_col)
-    xs = np.fromiter(
-        (row.values[x_pos] for row in rows), dtype=np.float64, count=len(rows)
-    )
-    ys = np.fromiter(
-        (row.values[y_pos] for row in rows), dtype=np.float64, count=len(rows)
-    )
-    stats.tuples_considered += len(rows)
+    tracer = current_tracer()
+    with tracer.span("render.cull", method="fast_scatter",
+                     relation=relation.name) as cull_span:
+        schema = rows.schema
+        x_pos = schema.position(x_col)
+        y_pos = schema.position(y_col)
+        xs = np.fromiter(
+            (row.values[x_pos] for row in rows), dtype=np.float64,
+            count=len(rows)
+        )
+        ys = np.fromiter(
+            (row.values[y_pos] for row in rows), dtype=np.float64,
+            count=len(rows)
+        )
+        stats.tuples_considered += len(rows)
 
-    visible = np.ones(len(rows), dtype=bool)
-    for dim, column in slider_cols:
-        bounds = view.slider_ranges.get(dim)
-        if bounds is None:
-            continue
-        pos = schema.position(column)
-        values = np.fromiter(
-            (row.values[pos] for row in rows), dtype=np.float64, count=len(rows)
-        ) + entry.offset_for(dim)
-        visible &= (values >= bounds[0]) & (values <= bounds[1])
-    stats.culled_by_slider += int(len(rows) - visible.sum())
+        visible = np.ones(len(rows), dtype=bool)
+        for dim, column in slider_cols:
+            bounds = view.slider_ranges.get(dim)
+            if bounds is None:
+                continue
+            pos = schema.position(column)
+            values = np.fromiter(
+                (row.values[pos] for row in rows), dtype=np.float64,
+                count=len(rows)
+            ) + entry.offset_for(dim)
+            visible &= (values >= bounds[0]) & (values <= bounds[1])
+        stats.culled_by_slider += int(len(rows) - visible.sum())
 
-    scale = view.scale
-    width, height = view.viewport
-    px = width / 2.0 + (xs + entry.offset_for("x") - view.center[0]) * scale
-    py = height / 2.0 - (ys + entry.offset_for("y") - view.center[1]) * scale
-    in_frame = (
-        (px >= -_CULL_MARGIN_PX) & (px <= width + _CULL_MARGIN_PX)
-        & (py >= -_CULL_MARGIN_PX) & (py <= height + _CULL_MARGIN_PX)
-    )
-    stats.culled_by_viewport += int((visible & ~in_frame).sum())
-    visible &= in_frame
-    indices = np.nonzero(visible)[0]
+        scale = view.scale
+        width, height = view.viewport
+        px = width / 2.0 + (xs + entry.offset_for("x") - view.center[0]) * scale
+        py = height / 2.0 - (ys + entry.offset_for("y") - view.center[1]) * scale
+        in_frame = (
+            (px >= -_CULL_MARGIN_PX) & (px <= width + _CULL_MARGIN_PX)
+            & (py >= -_CULL_MARGIN_PX) & (py <= height + _CULL_MARGIN_PX)
+        )
+        stats.culled_by_viewport += int((visible & ~in_frame).sum())
+        visible &= in_frame
+        indices = np.nonzero(visible)[0]
+        cull_span.set(rows_in=len(rows), rows_out=int(len(indices)))
 
     drawables = display_method.compute(relation.methods.row_view(rows[0]))
     items: list[RenderedItem] = []
-    for index in indices:
-        anchor_x = float(px[index])
-        anchor_y = float(py[index])
-        painted_any = False
-        for drawable in drawables:
-            bbox = drawable.bbox(anchor_x, anchor_y, scale)
-            if (bbox[2] < -1.0 or bbox[0] > width + 1.0
-                    or bbox[3] < -1.0 or bbox[1] > height + 1.0):
-                continue
-            drawable.paint(canvas, anchor_x, anchor_y, scale)
-            stats.drawables_painted += 1
-            painted_any = True
-            if isinstance(drawable, ViewerDrawable):
-                _render_wormhole(
-                    canvas, drawable, anchor_x, anchor_y, scale,
-                    resolver, depth, stats,
+    with tracer.span("render.draw", method="fast_scatter",
+                     relation=relation.name) as draw_span:
+        for index in indices:
+            anchor_x = float(px[index])
+            anchor_y = float(py[index])
+            painted_any = False
+            for drawable in drawables:
+                bbox = drawable.bbox(anchor_x, anchor_y, scale)
+                if (bbox[2] < -1.0 or bbox[0] > width + 1.0
+                        or bbox[3] < -1.0 or bbox[1] > height + 1.0):
+                    continue
+                drawable.paint(canvas, anchor_x, anchor_y, scale)
+                stats.drawables_painted += 1
+                painted_any = True
+                if isinstance(drawable, ViewerDrawable):
+                    _render_wormhole(
+                        canvas, drawable, anchor_x, anchor_y, scale,
+                        resolver, depth, stats,
+                    )
+                items.append(
+                    RenderedItem(
+                        bbox,
+                        relation.name,
+                        relation.source_table,
+                        rows[int(index)],
+                        int(index),
+                        drawable.kind,
+                        drawable,
+                    )
                 )
-            items.append(
-                RenderedItem(
-                    bbox,
-                    relation.name,
-                    relation.source_table,
-                    rows[int(index)],
-                    int(index),
-                    drawable.kind,
-                    drawable,
-                )
-            )
-        if painted_any:
-            stats.tuples_rendered += 1
+            if painted_any:
+                stats.tuples_rendered += 1
+        draw_span.set(items=len(items))
     return items
 
 
@@ -515,7 +576,13 @@ def _try_plan_cull(
         node = slider_node
     viewport_node = RestrictNode(node, viewport_predicate, alias="viewport cull")
 
-    kept = list(viewport_node.rows_iter())
+    tracer = current_tracer()
+    with tracer.span("render.cull", method="plan",
+                     relation=relation.name) as cull_span:
+        kept = list(viewport_node.rows_iter())
+        cull_span.set(rows_in=viewport_node.stats.rows_in
+                      if slider_node is None else slider_node.stats.rows_in,
+                      rows_out=len(kept))
 
     first = slider_node if slider_node is not None else viewport_node
     stats.tuples_considered += first.stats.rows_in
@@ -532,47 +599,50 @@ def _try_plan_cull(
     offset_y = entry.offset_for("y")
     items: list[RenderedItem] = []
     pos = 0
-    for row in kept:
-        # Restrict preserves order and object identity, so the original
-        # index is recovered by a forward identity walk (exact even with
-        # duplicate-valued rows).
-        while rows[pos] is not row:
+    with tracer.span("render.draw", method="plan",
+                     relation=relation.name) as draw_span:
+        for row in kept:
+            # Restrict preserves order and object identity, so the original
+            # index is recovered by a forward identity walk (exact even with
+            # duplicate-valued rows).
+            while rows[pos] is not row:
+                pos += 1
+            index = pos
             pos += 1
-        index = pos
-        pos += 1
-        row_view = relation.methods.row_view(row, extra={SEQ_FIELD: index})
-        location = relation.location_of(row_view)
-        anchor_x, anchor_y = view.to_screen(
-            location[0] + offset_x, location[1] + offset_y
-        )
-        drawables = relation.display_of(row_view)
-        painted_any = False
-        for drawable in drawables:
-            bbox = drawable.bbox(anchor_x, anchor_y, scale)
-            if (bbox[2] < -1.0 or bbox[0] > width + 1.0
-                    or bbox[3] < -1.0 or bbox[1] > height + 1.0):
-                continue
-            drawable.paint(canvas, anchor_x, anchor_y, scale)
-            stats.drawables_painted += 1
-            painted_any = True
-            if isinstance(drawable, ViewerDrawable):
-                _render_wormhole(
-                    canvas, drawable, anchor_x, anchor_y, scale,
-                    resolver, depth, stats,
-                )
-            items.append(
-                RenderedItem(
-                    bbox,
-                    relation.name,
-                    relation.source_table,
-                    row,
-                    index,
-                    drawable.kind,
-                    drawable,
-                )
+            row_view = relation.methods.row_view(row, extra={SEQ_FIELD: index})
+            location = relation.location_of(row_view)
+            anchor_x, anchor_y = view.to_screen(
+                location[0] + offset_x, location[1] + offset_y
             )
-        if painted_any:
-            stats.tuples_rendered += 1
+            drawables = relation.display_of(row_view)
+            painted_any = False
+            for drawable in drawables:
+                bbox = drawable.bbox(anchor_x, anchor_y, scale)
+                if (bbox[2] < -1.0 or bbox[0] > width + 1.0
+                        or bbox[3] < -1.0 or bbox[1] > height + 1.0):
+                    continue
+                drawable.paint(canvas, anchor_x, anchor_y, scale)
+                stats.drawables_painted += 1
+                painted_any = True
+                if isinstance(drawable, ViewerDrawable):
+                    _render_wormhole(
+                        canvas, drawable, anchor_x, anchor_y, scale,
+                        resolver, depth, stats,
+                    )
+                items.append(
+                    RenderedItem(
+                        bbox,
+                        relation.name,
+                        relation.source_table,
+                        row,
+                        index,
+                        drawable.kind,
+                        drawable,
+                    )
+                )
+            if painted_any:
+                stats.tuples_rendered += 1
+        draw_span.set(items=len(items))
     return items
 
 

@@ -30,6 +30,8 @@ from repro.display.displayable import (
 from repro.display.drawables import ViewerDrawable
 from repro.display.elevation import ElevationMap
 from repro.errors import ViewerError
+from repro.obs.metrics import global_registry
+from repro.obs.trace import Tracer, current_tracer, push_tracer
 from repro.render.canvas import Canvas
 from repro.render.scene import (
     CanvasResolver,
@@ -87,17 +89,24 @@ register_box_class(ViewerBox)
 
 
 class RenderResult:
-    """One rendered frame: the canvas, per-member display lists, statistics."""
+    """One rendered frame: the canvas, per-member display lists, statistics.
+
+    ``tracer`` is set when the frame was rendered with ``render(trace=...)``
+    — it holds the frame's span tree, ready for
+    :func:`repro.obs.chrome_trace` / :func:`repro.obs.render_tree`.
+    """
 
     def __init__(
         self,
         canvas: Canvas,
         items: dict[str, list[RenderedItem]],
         stats: SceneStats,
+        tracer: "Tracer | None" = None,
     ):
         self.canvas = canvas
         self.items = items
         self.stats = stats
+        self.tracer = tracer
 
     def all_items(self) -> list[RenderedItem]:
         flat: list[RenderedItem] = []
@@ -271,30 +280,81 @@ class Viewer:
     # Rendering and picking
     # ------------------------------------------------------------------
 
-    def render(self, cull: bool = True) -> RenderResult:
-        """Render the current input through the current position(s)."""
-        self._sync_views()
-        displayable = self.displayable()
-        canvas = Canvas(self.width, self.height)
-        stats = SceneStats()
-        if isinstance(displayable, Group):
-            items = render_group(
-                canvas, displayable, self.views, self.resolver, cull=cull, stats=stats
+    def render(
+        self, cull: bool = True, trace: "Tracer | bool | None" = None
+    ) -> RenderResult:
+        """Render the current input through the current position(s).
+
+        ``trace`` opts this render into span recording: pass ``True`` for a
+        fresh tracer (returned on ``result.tracer``), or an existing
+        :class:`~repro.obs.Tracer` to append to.  With ``trace=None`` the
+        ambient tracer applies (enabled by ``REPRO_TRACE=1`` or
+        :func:`repro.obs.push_tracer`, a no-op otherwise).
+        """
+        if trace is not None:
+            tracer = Tracer(enabled=True) if trace is True else trace
+            with push_tracer(tracer):
+                result = self.render(cull=cull)
+            result.tracer = tracer
+            return result
+        tracer = current_tracer()
+        with tracer.span("viewer.render", viewer=self.name, cull=cull) as span:
+            self._sync_views()
+            displayable = self.displayable()
+            canvas = Canvas(self.width, self.height)
+            stats = SceneStats()
+            if isinstance(displayable, Group):
+                items = render_group(
+                    canvas, displayable, self.views, self.resolver,
+                    cull=cull, stats=stats,
+                )
+            else:
+                view = self.views[MAIN_MEMBER]
+                view.viewport = (self.width, self.height)
+                flat = render_composite(
+                    canvas,
+                    ensure_composite(displayable),
+                    view,
+                    self.resolver,
+                    cull=cull,
+                    stats=stats,
+                )
+                items = {MAIN_MEMBER: flat}
+            span.set(
+                tuples_considered=stats.tuples_considered,
+                tuples_rendered=stats.tuples_rendered,
+                drawables_painted=stats.drawables_painted,
+                draw_ops=canvas.draw_ops,
             )
-        else:
-            view = self.views[MAIN_MEMBER]
-            view.viewport = (self.width, self.height)
-            flat = render_composite(
-                canvas,
-                ensure_composite(displayable),
-                view,
-                self.resolver,
-                cull=cull,
-                stats=stats,
-            )
-            items = {MAIN_MEMBER: flat}
+        self._record_frame_metrics(stats, canvas)
         self.last_result = RenderResult(canvas, items, stats)
         return self.last_result
+
+    def _record_frame_metrics(self, stats: SceneStats, canvas: Canvas) -> None:
+        """Fold one frame's scene counters into the global metrics registry,
+        attributed to this viewer (the 'viewer pass' label)."""
+        registry = global_registry()
+        registry.counter(
+            "render.frames", "rendered frames per viewer"
+        ).inc(label=self.name)
+        registry.counter(
+            "render.tuples_considered", "tuples examined before culling"
+        ).inc(stats.tuples_considered, label=self.name)
+        registry.counter(
+            "render.tuples_rendered", "tuples that painted at least one drawable"
+        ).inc(stats.tuples_rendered, label=self.name)
+        registry.counter(
+            "render.culled.slider", "tuples dropped by slider ranges"
+        ).inc(stats.culled_by_slider, label=self.name)
+        registry.counter(
+            "render.culled.viewport", "tuples dropped outside the viewport"
+        ).inc(stats.culled_by_viewport, label=self.name)
+        registry.counter(
+            "render.drawables_painted", "drawables painted onto canvases"
+        ).inc(stats.drawables_painted, label=self.name)
+        registry.counter(
+            "render.draw_ops", "canvas primitive calls"
+        ).inc(canvas.draw_ops, label=self.name)
 
     def explain_render(self, cull: bool = True) -> str:
         """Render and report the frame's work: scene counters plus the

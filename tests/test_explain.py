@@ -2,12 +2,25 @@
 
 from __future__ import annotations
 
+import json
+
+import pytest
+
 from repro.data.weather import build_weather_database
 from repro.dataflow.boxes_db import AddTableBox, JoinBox, RestrictBox
 from repro.dataflow.engine import Engine
-from repro.dataflow.explain import explain, output_plans
+from repro.dataflow.explain import (
+    deterministic_order,
+    explain,
+    explain_data,
+    output_plans,
+)
 from repro.dataflow.graph import Program
-from repro.dbms.plan import LazyRowSet
+from repro.dbms import plan as P
+from repro.dbms import types as T
+from repro.dbms.catalog import Database
+from repro.dbms.plan import LazyRowSet, Schema
+from repro.errors import TypeCheckError
 
 
 def small_db():
@@ -79,6 +92,98 @@ class TestExplain:
         root = lazy.plan
         assert root.describe() == "HashJoin[station_id = station_id]"
         assert root.stats.rows_out == len(value.rows)
+
+
+def _walk(tree):
+    yield tree
+    for child in tree["children"]:
+        yield from _walk(child)
+
+
+class TestExplainData:
+    def test_structure_and_json_round_trip(self):
+        program, src, keep = restrict_program()
+        data = explain_data(program, small_db())
+        assert data["program"] == program.name
+        assert [entry["box"] for entry in data["boxes"]] == [src, keep]
+        keep_entry = data["boxes"][1]
+        assert keep_entry["type"] == "Restrict"
+        (output,) = keep_entry["outputs"]
+        assert output["port"] == "out"
+        (plan,) = output["plans"]
+        root = plan["tree"]
+        assert root["op"] and "Restrict" in root["describe"]
+        assert set(root["stats"]) == {
+            "rows_in", "rows_out", "batches", "opens",
+            "rows_buffered", "wall_ms",
+        }
+        assert root["stats"]["rows_out"] <= root["stats"]["rows_in"]
+        assert data["engine"]["total_fires"] == 2
+        json.loads(json.dumps(data))  # fully JSON-serializable
+
+    def test_preorder_node_ids(self):
+        program, __, keep = restrict_program()
+        data = explain_data(program, small_db(), box_id=keep)
+        (root,) = [p["tree"] for b in data["boxes"]
+                   for o in b["outputs"] for p in o["plans"]]
+        ids = [node["id"] for node in _walk(root)]
+        assert ids == list(range(len(ids)))
+
+    def test_deterministic_order_breaks_ties_by_id(self):
+        # Two independent sources feeding one join: insertion order of the
+        # edges must not matter, only topology + box id.
+        program = Program()
+        obs = program.add_box(AddTableBox(table="Observations"))
+        sta = program.add_box(AddTableBox(table="Stations"))
+        join = program.add_box(JoinBox(left_key="station_id",
+                                       right_key="station_id"))
+        # Wire the later-id source first.
+        program.connect(sta, "out", join, "right")
+        program.connect(obs, "out", join, "left")
+        assert deterministic_order(program) == sorted([obs, sta, join])
+        data = explain_data(program, small_db())
+        assert [entry["box"] for entry in data["boxes"]] == [obs, sta, join]
+
+    def test_hash_join_degradation_note_in_dict(self):
+        class ListType(T.AtomicType):
+            name = "list_explain_test"
+
+            def validates(self, value):
+                return isinstance(value, list)
+
+            def coerce(self, value):
+                if self.validates(value):
+                    return value
+                raise TypeCheckError(f"{value!r} is not a list")
+
+            def default_value(self):
+                return []
+
+        try:
+            listy = T.type_by_name("list_explain_test")
+        except TypeCheckError:
+            listy = T.register_type(ListType())
+
+        db = Database("degraded")
+        left = db.create_table("L", Schema([("k", listy), ("a", "text")]))
+        right = db.create_table("R", Schema([("k", listy), ("b", "text")]))
+        left.insert_many([{"k": [1], "a": "x"}, {"k": [2], "a": "y"}])
+        right.insert_many([{"k": [1], "b": "z"}])
+
+        program = Program()
+        lbox = program.add_box(AddTableBox(table="L"))
+        rbox = program.add_box(AddTableBox(table="R"))
+        join = program.add_box(JoinBox(left_key="k", right_key="k"))
+        program.connect(lbox, "out", join, "left")
+        program.connect(rbox, "out", join, "right")
+
+        data = explain_data(program, db)
+        notes = [note for entry in data["boxes"]
+                 for output in entry.get("outputs", [])
+                 for plan in output.get("plans", [])
+                 for node in _walk(plan["tree"])
+                 for note in node["notes"]]
+        assert P.HashJoinNode._DEGRADED_BUILD in notes
 
 
 class TestEngineStats:

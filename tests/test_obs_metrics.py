@@ -1,0 +1,152 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    declarations,
+    declare,
+    global_registry,
+)
+
+
+class TestCounter:
+    def test_inc_by_label(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2, label=7)
+        counter.inc(label=7)
+        assert counter.value() == 1
+        assert counter.value(7) == 3
+        assert counter.value("missing") == 0
+        assert counter.total() == 4
+
+    def test_values_dict_is_shared_storage(self):
+        # EngineStats depends on this: the exposed dict IS the storage, so a
+        # view holding it sees updates and reset in place.
+        counter = Counter("c")
+        view = counter.values
+        counter.inc(label=1)
+        assert view == {1: 1}
+        counter.reset()
+        assert view == {}
+        assert counter.values is view
+
+    def test_snapshot_sorted_and_json_ready(self):
+        counter = Counter("c")
+        counter.inc(label="b")
+        counter.inc(label="a")
+        counter.inc(5)
+        snap = counter.snapshot()
+        assert snap == {
+            "kind": "counter",
+            "total": 7,
+            "by_label": {"_total": 5, "a": 1, "b": 1},
+        }
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(3.0, label="x")
+        gauge.set(5.0, label="x")
+        assert gauge.value("x") == 5.0
+        assert gauge.value("other") == 0.0
+        assert gauge.snapshot()["by_label"] == {"x": 5.0}
+
+
+class TestHistogram:
+    def test_bucketing_and_stats(self):
+        hist = Histogram("h", buckets=[1.0, 10.0])
+        for value in (0.5, 1.0, 2.0, 100.0):
+            hist.observe(value)
+        assert hist.count() == 4
+        assert hist.mean() == pytest.approx(25.875)
+        snap = hist.snapshot()["by_label"]["_total"]
+        assert snap["min"] == 0.5 and snap["max"] == 100.0
+        # 0.5 and 1.0 land at or under the 1.0 bound; 2.0 under 10.0;
+        # 100.0 overflows.
+        assert snap["buckets"] == {"1.0": 2, "10.0": 1, "+inf": 1}
+
+    def test_mean_without_observations_raises(self):
+        hist = Histogram("h", buckets=[1.0])
+        with pytest.raises(ObservabilityError):
+            hist.mean()
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", buckets=[])
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("test.reg.fires")
+        second = registry.counter("test.reg.fires")
+        assert first is second
+        assert "test.reg.fires" in registry
+        assert registry.get("test.reg.fires") is first
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("test.reg.conflict")
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.gauge("test.reg.conflict")
+
+    def test_cross_registry_conflict_raises_via_declarations(self):
+        MetricsRegistry().counter("test.reg.crossconflict")
+        with pytest.raises(ObservabilityError, match="declared as both"):
+            MetricsRegistry().histogram("test.reg.crossconflict")
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("test.reg.reset")
+        counter.inc(3)
+        registry.reset()
+        assert registry.counter("test.reg.reset") is counter
+        assert counter.total() == 0
+
+    def test_snapshot_stable_order(self):
+        registry = MetricsRegistry()
+        registry.counter("test.reg.snap.b").inc()
+        registry.counter("test.reg.snap.a").inc(2)
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["test.reg.snap.a"]["total"] == 2
+
+
+class TestDeclarations:
+    def test_redeclare_same_kind_ok(self):
+        declare("test.decl.stable", "counter")
+        declare("test.decl.stable", "counter")
+        assert declarations()["test.decl.stable"] == "counter"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown metric kind"):
+            declare("test.decl.bogus", "timer")
+
+    def test_declarations_returns_copy(self):
+        table = declarations()
+        table["test.decl.mutated"] = "counter"
+        assert "test.decl.mutated" not in declarations()
+
+    def test_engine_taxonomy_declared_after_use(self):
+        # Creating an EngineStats registers the engine counters process-wide.
+        from repro.dataflow.engine import EngineStats
+
+        EngineStats()
+        table = declarations()
+        for name in ("engine.box.fires", "engine.cache.hits",
+                     "engine.cache.misses"):
+            assert table[name] == "counter"
+
+
+def test_global_registry_is_a_singleton():
+    assert global_registry() is global_registry()
+    assert isinstance(global_registry(), MetricsRegistry)
