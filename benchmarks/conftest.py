@@ -21,11 +21,13 @@ from repro.data.weather import build_weather_database
 from repro.data.workloads import build_points_database
 from repro.obs import (
     BENCH_SCHEMA,
+    PARALLEL_BENCH_SCHEMA,
     Tracer,
     declarations,
     push_tracer,
     run_summary,
     validate_bench_summary,
+    validate_parallel_bench,
 )
 
 
@@ -91,15 +93,46 @@ def _benchmark_timing(fixture):
     }
 
 
+# ---------------------------------------------------------------------------
+# Parallel-scaling telemetry: arm timings -> BENCH_parallel.json
+# ---------------------------------------------------------------------------
+
+_PARALLEL: list[dict] = []
+
+
+@pytest.fixture(scope="session")
+def record_parallel():
+    """Collector for the parallel-scaling benchmarks.
+
+    Each call records one benchmark entry (name + timing arms + speedup);
+    the session hook below schema-checks and writes them all to
+    ``BENCH_parallel.json`` (``REPRO_BENCH_PARALLEL`` overrides the path).
+    """
+
+    def record(entry: dict) -> None:
+        _PARALLEL.append(entry)
+
+    return record
+
+
 def pytest_sessionfinish(session, exitstatus):
-    if not _TELEMETRY:
-        return
-    payload = {
-        "schema": BENCH_SCHEMA,
-        "benchmarks": _TELEMETRY,
-        "metric_declarations": declarations(),
-    }
-    validate_bench_summary(payload)
-    out = Path(os.environ.get("REPRO_BENCH_OBS",
-                              session.config.rootpath / "BENCH_obs.json"))
-    out.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    if _TELEMETRY:
+        payload = {
+            "schema": BENCH_SCHEMA,
+            "benchmarks": _TELEMETRY,
+            "metric_declarations": declarations(),
+        }
+        validate_bench_summary(payload)
+        out = Path(os.environ.get("REPRO_BENCH_OBS",
+                                  session.config.rootpath / "BENCH_obs.json"))
+        out.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    if _PARALLEL:
+        payload = {
+            "schema": PARALLEL_BENCH_SCHEMA,
+            "benchmarks": _PARALLEL,
+        }
+        validate_parallel_bench(payload)
+        out = Path(os.environ.get(
+            "REPRO_BENCH_PARALLEL",
+            session.config.rootpath / "BENCH_parallel.json"))
+        out.write_text(json.dumps(payload, indent=1, sort_keys=True))

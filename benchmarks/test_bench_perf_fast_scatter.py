@@ -9,6 +9,9 @@ in tests/test_fast_scatter.py.
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
 import pytest
 
 import repro.render.scene as scene
@@ -16,6 +19,11 @@ from repro.dataflow.boxes_attr import AddAttributeBox, SetAttributeBox
 from repro.dataflow.boxes_db import AddTableBox
 from repro.dataflow.engine import Engine
 from repro.dataflow.graph import Program
+from repro.dbms.plan_parallel import (
+    ParallelConfig,
+    result_cache,
+    set_default_config,
+)
 from repro.render.canvas import Canvas
 from repro.render.scene import SceneStats, ViewState, render_composite
 
@@ -64,3 +72,65 @@ def test_perf_fast_scatter(benchmark, scatter, where, path):
     finally:
         scene._try_fast_scatter = original
     assert stats.tuples_considered == 20_000
+
+
+# ---------------------------------------------------------------------------
+# Parallel scaling: repeated pan/zoom renders through the cull-plan cache
+# ---------------------------------------------------------------------------
+
+_ARMS = {"serial": 0, "workers_1": 1, "workers_2": 2, "workers_4": 4}
+_RENDERS = 10   # re-renders of one viewport (the pan-and-return pattern)
+_ROUNDS = 3
+
+
+def test_perf_scatter_parallel_cache_speedup(scatter, record_parallel):
+    """Re-rendering one viewport must hit the result cache, pixel-identically.
+
+    The fast scatter path is disabled so every render goes through the
+    synthesized viewport-cull plan — the code path the result cache fronts.
+    The serial arm re-runs the cull per render; the cached arms pay one miss
+    and then reuse the kept-row fragment.  Deep zoom is the representative
+    view: culling 20k tuples dominates, drawing the few survivors is cheap.
+    """
+    view = VIEWS["deep-zoom"]
+    cache = result_cache()
+    original = scene._try_fast_scatter
+    scene._try_fast_scatter = lambda *a, **k: None
+    arms: dict[str, dict] = {}
+    canvases: dict[str, Canvas] = {}
+    try:
+        for arm, workers in _ARMS.items():
+            config = (None if workers == 0
+                      else ParallelConfig(workers=workers, cache=True))
+            previous = set_default_config(config)
+            try:
+                best = float("inf")
+                canvas = None
+                for __ in range(_ROUNDS):
+                    cache.clear()
+                    start = time.perf_counter()
+                    for __ in range(_RENDERS):
+                        canvas = Canvas(320, 240)
+                        render_composite(canvas, scatter, view,
+                                         stats=SceneStats())
+                    best = min(best, time.perf_counter() - start)
+            finally:
+                set_default_config(previous)
+            arms[arm] = {"workers": workers, "seconds": round(best, 6)}
+            canvases[arm] = canvas
+    finally:
+        scene._try_fast_scatter = original
+    stats = cache.stats()
+    assert stats["hits"] >= _RENDERS - 1    # the cull-plan cache engaged
+    for arm in _ARMS:
+        assert np.array_equal(canvases["serial"].pixels, canvases[arm].pixels)
+    speedup = arms["serial"]["seconds"] / arms["workers_4"]["seconds"]
+    record_parallel({
+        "name": "scatter_repeated_renders",
+        "workload": {"points": 20_000, "renders": _RENDERS,
+                     "viewport": [320, 240]},
+        "arms": arms,
+        "speedup": round(speedup, 2),
+        "cache": {"hits": stats["hits"], "misses": stats["misses"]},
+    })
+    assert speedup >= 1.8

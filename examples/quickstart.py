@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro import Session, build_weather_database
+from repro.api import Engine, Session, build_weather_database, result_cache
 
 
 def main() -> None:
@@ -83,7 +83,19 @@ def main() -> None:
         sorted({item.row["name"] for item in low.all_items()}),
     )
 
-    # 6. Everything is a program: save it in the database for next time.
+    # 6. The same program, executed morsel-parallel with the result cache
+    #    (docs/PARALLELISM.md): a second engine — a slaved viewer, say — is
+    #    served the materialized rows without re-executing the plan.
+    result_cache().clear()
+    fast = Engine(session.program, db, workers=4)
+    rows = fast.output_of(restrict).rows.force()
+    slaved = Engine(session.program, db, workers=4)
+    slaved.output_of(restrict).rows.force()
+    stats = result_cache().stats()
+    print(f"\nparallel engine (workers=4): {len(rows)} rows; result cache "
+          f"hits={stats['hits']} misses={stats['misses']}")
+
+    # 7. Everything is a program: save it in the database for next time.
     session.save_program()
     print("saved programs:", db.program_names())
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 from pathlib import Path
 
-from repro import Database, Session
+from repro.api import Database, Engine, Session, result_cache
 from repro.dbms.tuples import Schema
 
 
@@ -129,6 +129,20 @@ def main() -> None:
     out = Path(__file__).with_name("sales_regions.ppm")
     canvas.to_ppm(out)
     print(f"dashboard image -> {out.name}")
+
+    # ------------------------------------------------------------------
+    # Dashboards re-render constantly; run the plans morsel-parallel and
+    # let the shared result cache serve the repeat demands
+    # (docs/PARALLELISM.md).
+    # ------------------------------------------------------------------
+    result_cache().clear()
+    parallel = Engine(session.program, db, workers=4)
+    rows = parallel.output_of(switch, "true").rows.force()
+    mirror = Engine(session.program, db, workers=4)
+    mirror.output_of(switch, "true").rows.force()
+    stats = result_cache().stats()
+    print(f"parallel engine (workers=4): {len(rows)} big-ticket rows; "
+          f"result cache hits={stats['hits']} misses={stats['misses']}")
 
     # ------------------------------------------------------------------
     # Programs live in the database.

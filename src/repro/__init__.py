@@ -24,10 +24,16 @@ Subpackages
 
 import os as _os
 
-from repro.core import (
+# The supported public surface lives in repro.api; the package root
+# re-exports it so `from repro import Session` keeps working.  Deep module
+# imports (repro.dbms.plan, ...) remain available but are internals.
+from repro.api import (
     Database,
+    Engine,
+    Program,
     Scenario,
     Session,
+    Viewer,
     build_fig1_table_view,
     build_fig4_station_map,
     build_fig7_overlay,
@@ -36,6 +42,7 @@ from repro.core import (
     build_fig10_stitch,
     build_fig11_replicate,
     build_weather_database,
+    open_db,
 )
 from repro.errors import TiogaError
 
@@ -49,12 +56,20 @@ if _os.environ.get("REPRO_TRACE") == "1":
 
     _install_tracer()
 
+if _os.environ.get("REPRO_PARALLEL", "") not in ("", "0"):
+    from repro.dbms.plan_parallel import install_from_env as _install_parallel
+
+    _install_parallel()
+
 __version__ = "1.0.0"
 
 __all__ = [
     "Database",
+    "Engine",
+    "Program",
     "Scenario",
     "Session",
+    "Viewer",
     "TiogaError",
     "__version__",
     "build_fig1_table_view",
@@ -65,4 +80,5 @@ __all__ = [
     "build_fig10_stitch",
     "build_fig11_replicate",
     "build_weather_database",
+    "open_db",
 ]

@@ -25,6 +25,7 @@ import os
 
 from repro.analyze.diagnostics import Diagnostic, Report
 from repro.dbms import plan as P
+from repro.dbms import plan_parallel as PP
 from repro.dbms import types as T
 from repro.errors import SchemaError, StaticAnalysisError, TiogaError
 
@@ -85,6 +86,34 @@ def _expect_children(report: Report, node, count: int) -> bool:
 
 def _verify_node(report: Report, node) -> None:
     """Dispatch on node class; unknown classes get only generic checks."""
+    if isinstance(node, PP.ParallelMapNode):
+        if not _expect_children(report, node, 1):
+            return
+        _expect_schema(report, node, node.children[0].schema)
+        # The child is the serial template chain the morsel builders were
+        # cloned from; every template (and the partitioned leaf) must still
+        # be on that chain, or folded stats and EXPLAIN would lie.
+        on_chain = []
+        cursor = node.children[0]
+        while cursor is not None:
+            on_chain.append(cursor)
+            cursor = cursor.children[0] if cursor.children else None
+        for template in node._chain:
+            if template not in on_chain:
+                _fail(
+                    report, node,
+                    f"morsel template {template.describe()} is not on the "
+                    "serial chain child",
+                )
+        if node._leaf not in on_chain:
+            _fail(report, node, "partitioned leaf is not on the serial chain")
+        if not isinstance(node._leaf, (P.ScanNode, P.CacheNode)):
+            _fail(
+                report, node,
+                f"partitioned leaf {node._leaf.describe()} is not a "
+                "Scan or Cache",
+            )
+        return
     if isinstance(node, P.ScanNode):
         _expect_children(report, node, 0)
         source = node._source

@@ -1,0 +1,161 @@
+"""The stable public API surface of the Tioga-2 reproduction.
+
+Import from here::
+
+    from repro.api import Session, Engine, Program, open_db
+
+    db = open_db()                     # empty database
+    db = open_db("weather")           # the paper's synthetic weather data
+    session = Session(db)
+    engine = Engine(program, db, workers=4)   # morsel-parallel + result cache
+
+Everything re-exported below is **supported**: names, signatures, and
+observable behaviour are kept compatible across releases of this repo,
+and ``repro.__init__`` routes through this module.  Anything imported
+from a deep module path (``repro.dbms.plan``, ``repro.render.scene``,
+…) is an **internal** and may change in any commit — see ``docs/API.md``
+for the full contract.
+
+New in this release: keyword-only ``workers=`` / ``cache=`` knobs on
+:class:`Engine` (and the ``REPRO_PARALLEL`` environment variable) turning
+on partition-parallel plan execution with a process-wide result cache —
+see ``docs/PARALLELISM.md``.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    CanvasWindow,
+    Database,
+    Scenario,
+    Session,
+    build_fig1_table_view,
+    build_fig4_station_map,
+    build_fig7_overlay,
+    build_fig8_wormholes,
+    build_fig9_magnifier,
+    build_fig10_stitch,
+    build_fig11_replicate,
+    build_weather_database,
+)
+from repro.dataflow.boxes_attr import (
+    AddAttributeBox,
+    CombineDisplaysBox,
+    RemoveAttributeBox,
+    ScaleAttributeBox,
+    SetAttributeBox,
+    SwapAttributesBox,
+    TranslateAttributeBox,
+)
+from repro.dataflow.boxes_db import (
+    AddTableBox,
+    JoinBox,
+    ProjectBox,
+    RestrictBox,
+    SampleBox,
+    SwitchBox,
+    TBox,
+)
+from repro.dataflow.boxes_display import (
+    OverlayBox,
+    ReplicateBox,
+    SetRangeBox,
+    ShuffleBox,
+    StitchBox,
+)
+from repro.dataflow.boxes_extra import (
+    AggregateBox,
+    DistinctBox,
+    LimitBox,
+    OrderByBox,
+    ParameterBox,
+    RenameBox,
+    ThresholdBox,
+    UnionBox,
+)
+from repro.dataflow.engine import Engine, EngineStats
+from repro.dataflow.explain import explain, explain_data
+from repro.dataflow.graph import Program
+from repro.dbms.plan_parallel import (
+    ParallelConfig,
+    config_from_env,
+    default_config,
+    result_cache,
+    set_default_config,
+)
+from repro.errors import TiogaError
+from repro.viewer.viewer import Viewer, ViewerBox
+
+__all__ = [
+    # Environment
+    "Database",
+    "open_db",
+    "build_weather_database",
+    "Session",
+    "CanvasWindow",
+    "Scenario",
+    "TiogaError",
+    # Dataflow
+    "Program",
+    "Engine",
+    "EngineStats",
+    "explain",
+    "explain_data",
+    # Parallelism & caching
+    "ParallelConfig",
+    "config_from_env",
+    "default_config",
+    "set_default_config",
+    "result_cache",
+    # Boxes
+    "AddTableBox",
+    "RestrictBox",
+    "ProjectBox",
+    "SampleBox",
+    "JoinBox",
+    "TBox",
+    "SwitchBox",
+    "AddAttributeBox",
+    "RemoveAttributeBox",
+    "SetAttributeBox",
+    "SwapAttributesBox",
+    "ScaleAttributeBox",
+    "TranslateAttributeBox",
+    "CombineDisplaysBox",
+    "SetRangeBox",
+    "OverlayBox",
+    "ShuffleBox",
+    "StitchBox",
+    "ReplicateBox",
+    "AggregateBox",
+    "OrderByBox",
+    "DistinctBox",
+    "LimitBox",
+    "RenameBox",
+    "UnionBox",
+    "ParameterBox",
+    "ThresholdBox",
+    # Viewers
+    "Viewer",
+    "ViewerBox",
+    # Figure scenarios
+    "build_fig1_table_view",
+    "build_fig4_station_map",
+    "build_fig7_overlay",
+    "build_fig8_wormholes",
+    "build_fig9_magnifier",
+    "build_fig10_stitch",
+    "build_fig11_replicate",
+]
+
+
+def open_db(name: str = "tioga") -> Database:
+    """Open a database by name — the catalog entry point.
+
+    ``open_db()`` returns a fresh empty :class:`Database`;
+    ``open_db("weather")`` builds the paper's synthetic weather dataset
+    (stations, temperatures, precipitation) used by every figure scenario.
+    """
+    if name == "weather":
+        return build_weather_database()
+    return Database(name)

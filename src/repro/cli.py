@@ -33,6 +33,15 @@ breakdown of the analysis itself.  See ``docs/OBSERVABILITY.md``.
 ``run-program`` loads a saved boxes-and-arrows program, opens every viewer
 box it contains, and renders each canvas to a PPM file — a headless batch
 version of the interactive session.
+
+The inspection subcommands (``lint``, ``explain``, ``stats``, ``trace``,
+``render``) accept one uniform flag set from a shared parent parser:
+``--json`` (machine-readable output), ``--timing`` (span-tree timing
+breakdown of the run), ``--strict`` (exit nonzero on soft problems —
+lint warnings, plan degradation notes, dropped trace spans, blank
+canvases), and ``--workers N`` (install a process-wide parallel
+execution config; ``N <= 1`` forces fully serial, see
+``docs/PARALLELISM.md``).
 """
 
 from __future__ import annotations
@@ -63,12 +72,43 @@ _FIGURES = {
 }
 
 
+def _common_flags() -> argparse.ArgumentParser:
+    """Shared parent parser for the inspection subcommands.
+
+    ``lint``/``explain``/``stats``/``trace``/``render`` all inherit the
+    same four flags instead of re-declaring per-command copies, so
+    ``--json``/``--timing``/``--strict``/``--workers`` mean the same thing
+    (and spell the same way) everywhere.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON instead of human-readable lines",
+    )
+    common.add_argument(
+        "--timing", action="store_true",
+        help="also print a span-tree timing breakdown of the run",
+    )
+    common.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on soft problems too (lint warnings, plan "
+        "degradation notes, dropped trace spans, blank canvases)",
+    )
+    common.add_argument(
+        "--workers", type=int, metavar="N",
+        help="execute plans with N-way morsel parallelism and the shared "
+        "result cache (N <= 1 forces fully serial execution)",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tioga2",
         description="Tioga-2 reproduction: headless database visualization",
     )
     commands = parser.add_subparsers(dest="command", required=True)
+    common = _common_flags()
 
     init = commands.add_parser(
         "init-weather", help="write the synthetic weather database to JSON"
@@ -126,7 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     boxes.add_argument("--topic", help="show full help for one box type")
 
     explain = commands.add_parser(
-        "explain",
+        "explain", parents=[common],
         help="per-operator execution profile of a program (rows in/out, "
         "batches, wall time per plan node)",
     )
@@ -137,17 +177,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="explain a built-in figure scenario instead of a saved program",
     )
     explain.add_argument("--box", type=int, help="limit to one box id")
-    explain.add_argument(
-        "--json", action="store_true", dest="as_json",
-        help="emit the machine-readable explain dict instead of text",
-    )
-    explain.add_argument(
-        "--timing", action="store_true",
-        help="also print a span-tree timing breakdown of the execution",
-    )
 
     lint = commands.add_parser(
-        "lint",
+        "lint", parents=[common],
         help="statically check programs without executing them "
         "(schema inference, expression typechecking, dead-box analysis)",
     )
@@ -157,21 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--figure", choices=sorted(_FIGURES),
         help="lint one built-in figure scenario; default is all of them",
     )
-    lint.add_argument(
-        "--json", action="store_true", dest="as_json",
-        help="emit diagnostics as JSON instead of human-readable lines",
-    )
-    lint.add_argument(
-        "--strict", action="store_true",
-        help="exit nonzero on warnings too, not only errors",
-    )
-    lint.add_argument(
-        "--timing", action="store_true",
-        help="also print a span-tree timing breakdown of the checks",
-    )
 
     trace = commands.add_parser(
-        "trace",
+        "trace", parents=[common],
         help="render a scenario under the tracer and write a Chrome "
         "trace_event JSON (open in Perfetto or chrome://tracing)",
     )
@@ -190,11 +210,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--tree", action="store_true",
-        help="also print the span tree to stdout",
+        help="also print the span tree to stdout (same as --timing)",
     )
 
     stats = commands.add_parser(
-        "stats",
+        "stats", parents=[common],
         help="run-summary telemetry for a figure render (span rollups + "
         "metrics registry), declaration checks, bench-file validation",
     )
@@ -203,17 +223,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="figure scenario to render and summarize (default fig4)",
     )
     stats.add_argument(
-        "--json", action="store_true", dest="as_json",
-        help="emit the summary as JSON instead of human-readable lines",
-    )
-    stats.add_argument(
         "--check", action="store_true",
         help="verify process-wide metric declarations are conflict-free "
         "(exit 1 on a kind conflict)",
     )
     stats.add_argument(
         "--validate-bench", metavar="PATH",
-        help="schema-check a BENCH_obs.json written by the benchmark suite",
+        help="schema-check a BENCH_obs.json or BENCH_parallel.json "
+        "written by the benchmark suite",
+    )
+
+    render = commands.add_parser(
+        "render", parents=[common],
+        help="render figure scenarios to images (the inspection-flag "
+        "sibling of `figures`: adds --json/--timing/--strict/--workers)",
+    )
+    render.add_argument("--out-dir", required=True)
+    render.add_argument(
+        "--which", default=",".join(_FIGURES),
+        help=f"comma-separated subset of: {', '.join(_FIGURES)}",
+    )
+    render.add_argument(
+        "--format", default="ppm", choices=("ppm", "png", "svg"),
+        help="image format (svg renders vectors through the SVG surface)",
     )
     return parser
 
@@ -351,6 +383,22 @@ def _cmd_boxes(args) -> int:
     return 0
 
 
+def _plan_notes(report: dict) -> list[str]:
+    """Every free-form plan-node note in an ``explain_data`` report."""
+    notes: list[str] = []
+
+    def walk(tree: dict) -> None:
+        notes.extend(tree.get("notes", ()))
+        for child in tree.get("children", ()):
+            walk(child)
+
+    for box in report.get("boxes", ()):
+        for output in box.get("outputs", ()):
+            for plan in output.get("plans", ()):
+                walk(plan["tree"])
+    return notes
+
+
 def _cmd_explain(args) -> int:
     import json as json_module
 
@@ -379,19 +427,29 @@ def _cmd_explain(args) -> int:
     if args.as_json:
         print(json_module.dumps(report, indent=2, sort_keys=True))
     else:
-        print(report)
+        # The engine memoized every box output above, so the text render
+        # walks the same forced plans without re-executing anything.
+        from repro.dataflow.explain import explain
+
+        print(explain(session.program, session.database,
+                      engine=session.engine, box_id=args.box))
     if tracer is not None:
         print("-- timing --")
         print(render_tree(tracer))
+    if args.strict:
+        notes = _plan_notes(report)
+        if notes:
+            for note in notes:
+                print(f"strict: plan degradation: {note}", file=sys.stderr)
+            return 1
     return 0
 
 
-def _explain_report(session, args):
-    from repro.dataflow.explain import explain, explain_data
+def _explain_report(session, args) -> dict:
+    from repro.dataflow.explain import explain_data
 
-    fn = explain_data if args.as_json else explain
-    return fn(session.program, session.database,
-              engine=session.engine, box_id=args.box)
+    return explain_data(session.program, session.database,
+                        engine=session.engine, box_id=args.box)
 
 
 def _cmd_lint(args) -> int:
@@ -484,12 +542,23 @@ def _cmd_trace(args) -> int:
             session.window(name).render()
     path = write_chrome_trace(tracer, args.out, process_name=f"repro {target}")
     spans = len(tracer.finished())
-    print(f"{target}: {spans} spans -> {path}")
+    if args.as_json:
+        import json as json_module
+
+        print(json_module.dumps(
+            {"target": target, "spans": spans, "dropped": tracer.dropped,
+             "out": str(path)},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(f"{target}: {spans} spans -> {path}")
     if tracer.dropped:
         print(f"warning: {tracer.dropped} spans dropped (buffer full)",
               file=sys.stderr)
-    if args.tree:
+    if args.tree or args.timing:
         print(render_tree(tracer))
+    if args.strict and tracer.dropped:
+        return 1
     return 0
 
 
@@ -497,6 +566,7 @@ def _cmd_stats(args) -> int:
     import json as json_module
 
     from repro.obs import (
+        PARALLEL_BENCH_SCHEMA,
         ObservabilityError,
         Tracer,
         check_declarations,
@@ -504,12 +574,20 @@ def _cmd_stats(args) -> int:
         push_tracer,
         run_summary,
         validate_bench_summary,
+        validate_parallel_bench,
     )
 
     if args.validate_bench:
         payload = json_module.loads(Path(args.validate_bench).read_text())
+        # Route by the payload's own schema tag: BENCH_obs.json carries
+        # repro.bench/1, BENCH_parallel.json repro.bench.parallel/1.
+        if (isinstance(payload, dict)
+                and payload.get("schema") == PARALLEL_BENCH_SCHEMA):
+            validator = validate_parallel_bench
+        else:
+            validator = validate_bench_summary
         try:
-            validate_bench_summary(payload)
+            validator(payload)
         except ObservabilityError as exc:
             print(f"invalid bench summary: {exc}", file=sys.stderr)
             return 1
@@ -542,13 +620,97 @@ def _cmd_stats(args) -> int:
     summary = run_summary(tracer, global_registry())
     if args.as_json:
         print(json_module.dumps(summary, indent=2, sort_keys=True))
-        return 0
-    print(f"== {args.figure} ==")
-    for name, roll in sorted(summary["spans"].items()):
-        print(f"{name:<28} count={roll['count']:<5} "
-              f"total={roll['total_ms']:.2f}ms mean={roll['mean_ms']:.3f}ms")
-    for name, metric in sorted(summary["metrics"].items()):
-        print(f"{name}: {metric}")
+    else:
+        print(f"== {args.figure} ==")
+        for name, roll in sorted(summary["spans"].items()):
+            print(f"{name:<28} count={roll['count']:<5} "
+                  f"total={roll['total_ms']:.2f}ms "
+                  f"mean={roll['mean_ms']:.3f}ms")
+        for name, metric in sorted(summary["metrics"].items()):
+            print(f"{name}: {metric}")
+    if args.timing:
+        from repro.obs import render_tree
+
+        print("-- timing --")
+        print(render_tree(tracer))
+    if args.strict and tracer.dropped:
+        print(f"strict: {tracer.dropped} spans dropped (buffer full)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_render(args) -> int:
+    import json as json_module
+
+    wanted = [part.strip() for part in args.which.split(",") if part.strip()]
+    unknown = [name for name in wanted if name not in _FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}; "
+              f"choose from {', '.join(_FIGURES)}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    tracer = None
+    if args.timing:
+        from repro.obs import Tracer
+
+        tracer = Tracer(enabled=True)
+
+    results: list[dict] = []
+
+    def run() -> None:
+        db = build_weather_database(extra_stations=40, every_days=30)
+        for name in wanted:
+            scenario = _FIGURES[name](db)
+            window = (scenario.named.get("window")
+                      or scenario.named.get("map_window"))
+            path = out_dir / f"{name}.{args.format}"
+            if args.format == "svg":
+                from repro.render.svg import render_svg
+
+                svg = render_svg(window.viewer)
+                svg.to_svg(path)
+                results.append({"figure": name, "out": str(path),
+                                "elements": len(svg.elements)})
+            else:
+                canvas = window.render()
+                if args.format == "png":
+                    canvas.to_png(path)
+                else:
+                    canvas.to_ppm(path)
+                results.append({"figure": name, "out": str(path),
+                                "pixels": canvas.count_nonbackground()})
+
+    if tracer is not None:
+        from repro.obs import push_tracer
+
+        with push_tracer(tracer):
+            run()
+    else:
+        run()
+
+    if args.as_json:
+        print(json_module.dumps({"figures": results},
+                                indent=2, sort_keys=True))
+    else:
+        for entry in results:
+            detail = (f"{entry['pixels']} px" if "pixels" in entry
+                      else f"{entry['elements']} elements")
+            print(f"{entry['figure']}: {detail} -> {entry['out']}")
+    if tracer is not None:
+        from repro.obs import render_tree
+
+        print("-- timing --")
+        print(render_tree(tracer))
+    if args.strict:
+        blank = [entry["figure"] for entry in results
+                 if not entry.get("pixels", entry.get("elements"))]
+        if blank:
+            print(f"strict: blank canvases: {', '.join(blank)}",
+                  file=sys.stderr)
+            return 1
     return 0
 
 
@@ -565,7 +727,10 @@ _HANDLERS = {
     "lint": _cmd_lint,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
+    "render": _cmd_render,
 }
+
+_UNSET = object()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -573,6 +738,16 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     import json
 
+    previous_config = _UNSET
+    if getattr(args, "workers", None) is not None:
+        # --workers installs a process-wide parallel config so every engine
+        # the subcommand creates (Session builds them internally) picks it
+        # up; N <= 1 resolves to serial execution.
+        from repro.dbms.plan_parallel import resolve_config, set_default_config
+
+        previous_config = set_default_config(
+            resolve_config(workers=args.workers)
+        )
     try:
         return _HANDLERS[args.command](args)
     except TiogaError as exc:
@@ -584,6 +759,11 @@ def main(argv: list[str] | None = None) -> int:
     except json.JSONDecodeError as exc:
         print(f"error: not a database file: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if previous_config is not _UNSET:
+            from repro.dbms.plan_parallel import set_default_config
+
+            set_default_config(previous_config)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from repro.dataflow.box import Box
 from repro.dataflow.graph import Program
 from repro.dbms.catalog import Database
 from repro.dbms.plan import LazyRowSet
+from repro.dbms.plan_parallel import resolve_config
 from repro.display.displayable import Composite, DisplayableRelation, Group
 from repro.errors import GraphError, StaticAnalysisError
 from repro.obs.metrics import MetricsRegistry
@@ -186,6 +187,9 @@ class Engine:
         database: Database,
         preflight: bool = False,
         registry: MetricsRegistry | None = None,
+        *,
+        workers: int | None = None,
+        cache: bool | None = None,
     ):
         self.program = program
         self.database = database
@@ -194,6 +198,18 @@ class Engine:
         self._preflight_stamp: tuple | None = None
         # box_id -> (signature, outputs dict)
         self._cache: dict[int, tuple[tuple, dict[str, Any]]] = {}
+        # Parallel execution + result-cache config.  With both knobs left
+        # None this follows the process default (REPRO_PARALLEL); explicit
+        # workers=0/1 with cache=False forces fully serial execution.
+        self.parallel = resolve_config(workers, cache)
+
+    def _force(self, value: Any) -> Any:
+        """Materialize a demanded value, honoring the parallel config."""
+        if self.parallel is None:
+            return _force_value(value)
+        from repro.dataflow.parallel import prepare_value
+
+        return prepare_value(value, self.parallel)
 
     # ------------------------------------------------------------------
 
@@ -263,12 +279,12 @@ class Engine:
         tracer = current_tracer()
         if not tracer.enabled:
             outputs = self._evaluate_box(box_id, set())
-            return _force_value(outputs[port_name])
+            return self._force(outputs[port_name])
         with tracer.span(
             "engine.demand", box=box_id, type=box.type_name, port=port_name
         ):
             outputs = self._evaluate_box(box_id, set())
-            return _force_value(outputs[port_name])
+            return self._force(outputs[port_name])
 
     def inputs_of(self, box_id: int) -> dict[str, Any]:
         """Demand and return all inputs of a box (used by viewers/sinks)."""
@@ -300,7 +316,7 @@ class Engine:
             if box.outputs:
                 outputs = self._evaluate_box(box_id, set())
                 for value in outputs.values():
-                    _force_value(value)
+                    self._force(value)
             else:
                 self.inputs_of(box_id)
             count += 1

@@ -116,6 +116,8 @@ def explain(
             for what, lazy in plans:
                 if len(plans) > 1 or what != (lazy.label or "rows"):
                     lines.append(f"-- {what}")
+                if lazy.cache_status is not None:
+                    lines.append(f"-- result cache: {lazy.cache_status}")
                 lines.append(explain_plan(lazy.plan))
     lines.append(engine.stats.summary())
     return "\n".join(lines)
@@ -127,7 +129,7 @@ def _plan_to_dict(node: PlanNode, counter: list[int]) -> dict[str, Any]:
     node_id = counter[0]
     counter[0] += 1
     stats = node.stats
-    return {
+    entry: dict[str, Any] = {
         "id": node_id,
         "op": node.label,
         "describe": node.describe(),
@@ -142,6 +144,10 @@ def _plan_to_dict(node: PlanNode, counter: list[int]) -> dict[str, Any]:
         "notes": list(stats.notes),
         "children": [_plan_to_dict(child, counter) for child in node.children],
     }
+    parallel = getattr(node, "parallel_info", None)
+    if parallel is not None:
+        entry["parallel"] = parallel
+    return entry
 
 
 def explain_data(
@@ -186,7 +192,11 @@ def explain_data(
             for what, lazy in output_plans(value):
                 counter = [0]
                 output["plans"].append(
-                    {"what": what, "tree": _plan_to_dict(lazy.plan, counter)}
+                    {
+                        "what": what,
+                        "cache": lazy.cache_status,
+                        "tree": _plan_to_dict(lazy.plan, counter),
+                    }
                 )
             entry["outputs"].append(output)
         boxes.append(entry)

@@ -1,0 +1,90 @@
+"""Engine-side integration of parallel execution and the result cache.
+
+:func:`prepare_value` is the parallel-aware counterpart of the engine's
+plain forcing walk: it descends demanded values (displayable relations,
+composites, groups) and materializes every :class:`LazyRowSet` through
+the machinery in :mod:`repro.dbms.plan_parallel` —
+
+1. **Cache probe.**  If the config enables caching and the lazy set's plan
+   has a fingerprint, a process-wide :class:`ResultCache` lookup may satisfy
+   the demand instantly (``lazy.adopt``); slaved viewers and repeated
+   renders share one materialization this way.  ``lazy.cache_status``
+   records "hit"/"miss" for EXPLAIN.
+2. **Parallelize.**  On a miss (or with caching off) the plan is rewritten
+   by :func:`parallelize_plan` — same rows, same order, morsel-parallel
+   where safe — before forcing.
+3. **Publish.**  The materialized rows are stored back under the
+   fingerprint, tagged with the storage epoch read *before* execution, so
+   a concurrent update can never be masked by a stale entry.
+
+Plans that have already started streaming (a downstream consumer pulled
+through a CacheNode first) are left untouched: rewriting or adopting into
+a half-filled shared buffer would corrupt other consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dbms.plan import LazyRowSet
+from repro.dbms.plan_parallel import (
+    ParallelConfig,
+    parallelize_plan,
+    plan_fingerprint,
+    result_cache,
+    resolve_config,
+    storage_epoch,
+)
+from repro.display.displayable import Composite, DisplayableRelation, Group
+
+__all__ = ["prepare_value", "force_lazy", "resolve_config", "ParallelConfig"]
+
+
+def force_lazy(lazy: LazyRowSet, config: ParallelConfig) -> LazyRowSet:
+    """Materialize one lazy row set under a parallel config."""
+    if lazy.is_materialized:
+        return lazy
+
+    key = None
+    pins: tuple = ()
+    epoch = None
+    if config.cache and not lazy.has_started:
+        fingerprint = plan_fingerprint(lazy.plan)
+        if fingerprint is not None:
+            key, pins = fingerprint
+            cached = result_cache().lookup(key)
+            if cached is not None:
+                rows, _meta = cached
+                lazy.adopt(rows)
+                lazy.cache_status = "hit"
+                return lazy
+            lazy.cache_status = "miss"
+            epoch = storage_epoch()
+
+    if config.parallel and not lazy.has_started:
+        new_root, _log = parallelize_plan(lazy.plan, config)
+        if new_root is not lazy.plan:
+            lazy.replace_plan(new_root)
+
+    rows = lazy.force()
+    if key is not None and epoch is not None:
+        result_cache().store(key, rows, pins, epoch)
+    return lazy
+
+
+def prepare_value(value: Any, config: ParallelConfig) -> Any:
+    """Materialize lazy row sets inside a demanded value, parallel-aware.
+
+    Mirrors the engine's serial forcing walk over displayable containers.
+    """
+    if isinstance(value, LazyRowSet):
+        force_lazy(value, config)
+    elif isinstance(value, DisplayableRelation):
+        prepare_value(value.rows, config)
+    elif isinstance(value, Composite):
+        for entry in value.entries:
+            prepare_value(entry.relation, config)
+    elif isinstance(value, Group):
+        for __, member in value.members:
+            prepare_value(member, config)
+    return value

@@ -866,7 +866,7 @@ class LazyRowSet(RowSet):
     """
 
     __slots__ = ("_plan", "_buffer", "_iter", "_done", "_error", "_forced",
-                 "label")
+                 "label", "cache_status")
 
     def __init__(self, plan: PlanNode, label: str | None = None):
         # Deliberately no super().__init__: the parent would materialize.
@@ -878,6 +878,8 @@ class LazyRowSet(RowSet):
         self._error: BaseException | None = None
         self._forced: tuple[Tuple, ...] | None = None
         self.label = label
+        # "hit" / "miss" when the result cache was consulted; None otherwise.
+        self.cache_status: str | None = None
 
     # -- laziness ---------------------------------------------------------
 
@@ -926,6 +928,41 @@ class LazyRowSet(RowSet):
                 pass
             self._forced = tuple(self._buffer)
         return self._forced
+
+    @property
+    def has_started(self) -> bool:
+        """True once any plan execution has begun (or finished)."""
+        return (
+            self._iter is not None
+            or self._done
+            or self._error is not None
+            or bool(self._buffer)
+        )
+
+    def adopt(self, rows: Sequence[Tuple]) -> None:
+        """Install an externally computed result (e.g. a result-cache hit).
+
+        Only legal before any execution has started; the plan never runs.
+        """
+        if self.has_started:
+            raise RuntimeError("cannot adopt rows: plan execution has started")
+        self._buffer = list(rows)
+        self._forced = tuple(self._buffer)
+        self._done = True
+
+    def replace_plan(self, plan: PlanNode) -> None:
+        """Swap in an equivalent plan (e.g. a parallelized rewrite).
+
+        Only legal before any execution has started, and the replacement must
+        preserve the schema — downstream consumers already saw it.
+        """
+        if self.has_started:
+            raise RuntimeError(
+                "cannot replace plan: plan execution has started"
+            )
+        if plan.schema != self._schema:
+            raise SchemaError("replacement plan changes the output schema")
+        self._plan = plan
 
     # _rows shadows the parent's slot with a forcing property, so every
     # RowSet method (len, indexing, equality, .rows) works transparently.

@@ -101,12 +101,17 @@ def rename_fields(expr: Expr, mapping: dict[str, str]) -> Expr:
 
 
 def optimize_plan(
-    root: PlanNode, log: list[str] | None = None
+    root: PlanNode, log: list[str] | None = None, *, parallel=None
 ) -> tuple[PlanNode, list[str]]:
     """Apply plan rewrites until fixpoint; returns (new root, rewrite log).
 
     Rewrites rebuild nodes (constructors re-validate), so only apply this to
     plans that have not started executing — rebuilt nodes carry fresh stats.
+
+    When ``parallel`` (a :class:`repro.dbms.plan_parallel.ParallelConfig`)
+    is given and enables multiple workers, a final parallelize pass wraps
+    morsel-friendly subtrees in parallel operators; output order and
+    schemas are unchanged.
 
     Rewrite safety: the optimized plan must produce the same schema as the
     original (checked unconditionally), and when a plan verifier is
@@ -120,6 +125,10 @@ def optimize_plan(
         root, changed = _rewrite(root, log)
         if not changed:
             break
+    if parallel is not None and parallel.parallel:
+        from repro.dbms.plan_parallel import parallelize_plan
+
+        root, log = parallelize_plan(root, parallel, log)
     if root.schema != original_schema:
         raise StaticAnalysisError(
             f"plan rewrite changed the root schema from {original_schema!r} "
@@ -135,7 +144,9 @@ def optimize_plan(
 def _rewrite(node: PlanNode, log: list[str]) -> tuple[PlanNode, bool]:
     # Leaves stop the walk.  A CacheNode's child belongs to another (shared,
     # possibly executing) plan: it is shown by EXPLAIN but never rewritten.
-    if isinstance(node, (ScanNode, CacheNode)):
+    # Parallel operators also stop it: their child is the serial template
+    # their morsel builders were derived from, and must stay in sync.
+    if isinstance(node, (ScanNode, CacheNode)) or hasattr(node, "parallel_info"):
         return node, False
 
     changed = False

@@ -18,6 +18,7 @@ Three classes realize that here:
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.dbms import types as T
@@ -25,7 +26,37 @@ from repro.dbms.expr import Expr
 from repro.dbms.tuples import Field, Schema, Tuple
 from repro.errors import EvaluationError, SchemaError, TypeCheckError
 
-__all__ = ["Table", "RowSet", "Method", "MethodSet", "VirtualRow"]
+__all__ = [
+    "Table",
+    "RowSet",
+    "Method",
+    "MethodSet",
+    "VirtualRow",
+    "storage_epoch",
+    "bump_storage_epoch",
+]
+
+
+# Process-wide storage epoch: a monotone counter advanced by every stored-table
+# mutation (including the Section-8 update dialogs, which land in
+# ``Table.replace_row``).  Cached plan results are keyed against the epoch at
+# which they were computed, so any mutation anywhere invalidates them without
+# the cache having to know which tables a plan touched.
+_EPOCH_LOCK = threading.Lock()
+_STORAGE_EPOCH = 0
+
+
+def storage_epoch() -> int:
+    """The current process-wide storage epoch."""
+    return _STORAGE_EPOCH
+
+
+def bump_storage_epoch() -> int:
+    """Advance the storage epoch; returns the new value."""
+    global _STORAGE_EPOCH
+    with _EPOCH_LOCK:
+        _STORAGE_EPOCH += 1
+        return _STORAGE_EPOCH
 
 
 class RowSet:
@@ -87,6 +118,12 @@ class Table:
         self._schema = schema
         self._rows: list[Tuple] = []
         self._version = 0
+        self._snapshot: RowSet | None = None
+
+    def _bump(self) -> None:
+        self._version += 1
+        self._snapshot = None
+        bump_storage_epoch()
 
     @property
     def schema(self) -> Schema:
@@ -107,7 +144,7 @@ class Table:
         """Insert one row (dict or positional values); returns the new tuple."""
         row = Tuple(self._schema, values)
         self._rows.append(row)
-        self._version += 1
+        self._bump()
         return row
 
     def insert_many(self, rows: Iterable[Mapping[str, Any] | Sequence[Any]]) -> int:
@@ -115,7 +152,7 @@ class Table:
         staged = [Tuple(self._schema, values) for values in rows]
         self._rows.extend(staged)
         if staged:
-            self._version += 1
+            self._bump()
         return len(staged)
 
     def delete_where(self, predicate: Callable[[Tuple], bool]) -> int:
@@ -124,7 +161,7 @@ class Table:
         deleted = len(self._rows) - len(kept)
         if deleted:
             self._rows = kept
-            self._version += 1
+            self._bump()
         return deleted
 
     def update_where(
@@ -141,7 +178,7 @@ class Table:
                 new_rows.append(row)
         if updated:
             self._rows = new_rows
-            self._version += 1
+            self._bump()
         return updated
 
     def replace_row(self, old: Tuple, new: Tuple) -> bool:
@@ -154,18 +191,26 @@ class Table:
         for pos, row in enumerate(self._rows):
             if row == old:
                 self._rows[pos] = new
-                self._version += 1
+                self._bump()
                 return True
         return False
 
     def clear(self) -> None:
         if self._rows:
             self._rows = []
-            self._version += 1
+            self._bump()
 
     def snapshot(self) -> RowSet:
-        """An immutable row set of the current contents."""
-        return RowSet(self._schema, self._rows)
+        """An immutable row set of the current contents.
+
+        The row set is memoized until the next mutation: repeated snapshots of
+        an unchanged table return the *same* object, which lets plan
+        fingerprints (``repro.dbms.plan_parallel``) recognize scans of the same
+        stored data across independently built plans and engines.
+        """
+        if self._snapshot is None:
+            self._snapshot = RowSet(self._schema, self._rows)
+        return self._snapshot
 
     def __repr__(self) -> str:
         return f"Table({self.name!r}, {len(self._rows)} rows, v{self._version})"

@@ -17,11 +17,13 @@ run with ``repro trace`` / ``--timing``, or process-wide with
 from repro.errors import ObservabilityError
 from repro.obs.export import (
     BENCH_SCHEMA,
+    PARALLEL_BENCH_SCHEMA,
     chrome_trace,
     render_tree,
     run_summary,
     validate_bench_summary,
     validate_chrome_trace,
+    validate_parallel_bench,
     write_chrome_trace,
 )
 from repro.obs.metrics import (
@@ -48,6 +50,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "PARALLEL_BENCH_SCHEMA",
     "Counter",
     "Gauge",
     "Histogram",
@@ -70,6 +73,7 @@ __all__ = [
     "set_tracer",
     "tracing",
     "validate_bench_summary",
+    "validate_parallel_bench",
     "validate_chrome_trace",
     "write_chrome_trace",
 ]

@@ -33,11 +33,16 @@ __all__ = [
     "run_summary",
     "validate_chrome_trace",
     "validate_bench_summary",
+    "validate_parallel_bench",
     "BENCH_SCHEMA",
+    "PARALLEL_BENCH_SCHEMA",
 ]
 
 BENCH_SCHEMA = "repro.bench/1"
 """Schema tag stamped into ``BENCH_obs.json``."""
+
+PARALLEL_BENCH_SCHEMA = "repro.bench.parallel/1"
+"""Schema tag stamped into ``BENCH_parallel.json``."""
 
 _PID = 1  # single-process traces; Chrome requires *a* pid
 
@@ -286,4 +291,71 @@ def validate_bench_summary(obj: Any) -> dict[str, Any]:
     metrics = obj.get("metric_declarations")
     if metrics is not None and not isinstance(metrics, dict):
         raise ObservabilityError("'metric_declarations' must be an object")
+    return obj
+
+
+def validate_parallel_bench(obj: Any) -> dict[str, Any]:
+    """Check a ``BENCH_parallel.json`` payload; returns it on success.
+
+    Each benchmark compares timing arms (worker counts) on one workload::
+
+        {"schema": "repro.bench.parallel/1",
+         "benchmarks": [
+             {"name": "join_slaved_viewers",
+              "arms": {"serial": {"workers": 0, "seconds": 0.41},
+                       "workers_4": {"workers": 4, "seconds": 0.11}},
+              "speedup": 3.7,
+              "cache": {"hits": 7, "misses": 1}}]}
+    """
+    if not isinstance(obj, dict):
+        raise ObservabilityError("parallel bench summary must be an object")
+    if obj.get("schema") != PARALLEL_BENCH_SCHEMA:
+        raise ObservabilityError(
+            f"parallel bench schema must be {PARALLEL_BENCH_SCHEMA!r}, "
+            f"got {obj.get('schema')!r}"
+        )
+    benchmarks = obj.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise ObservabilityError(
+            "parallel bench summary needs a 'benchmarks' list"
+        )
+    for index, entry in enumerate(benchmarks):
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise ObservabilityError(
+                f"benchmarks[{index}] must be an object with a 'name'"
+            )
+        arms = entry.get("arms")
+        if not isinstance(arms, dict) or not arms:
+            raise ObservabilityError(
+                f"benchmarks[{index}] needs a non-empty 'arms' object"
+            )
+        for arm_name, arm in arms.items():
+            if not isinstance(arm, dict):
+                raise ObservabilityError(
+                    f"benchmarks[{index}] arm {arm_name!r} must be an object"
+                )
+            seconds = arm.get("seconds")
+            if not isinstance(seconds, (int, float)) or seconds < 0:
+                raise ObservabilityError(
+                    f"benchmarks[{index}] arm {arm_name!r} needs "
+                    "non-negative numeric 'seconds'"
+                )
+            workers = arm.get("workers")
+            if not isinstance(workers, int) or workers < 0:
+                raise ObservabilityError(
+                    f"benchmarks[{index}] arm {arm_name!r} needs "
+                    "non-negative integer 'workers'"
+                )
+        speedup = entry.get("speedup")
+        if speedup is not None and (
+            not isinstance(speedup, (int, float)) or speedup <= 0
+        ):
+            raise ObservabilityError(
+                f"benchmarks[{index}] 'speedup' must be positive"
+            )
+        cache = entry.get("cache")
+        if cache is not None and not isinstance(cache, dict):
+            raise ObservabilityError(
+                f"benchmarks[{index}] 'cache' must be an object"
+            )
     return obj

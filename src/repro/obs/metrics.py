@@ -41,6 +41,9 @@ class _Metric:
     def __init__(self, name: str, description: str = ""):
         self.name = name
         self.description = description
+        # Updates must be lock-protected: parallel morsel workers increment
+        # counters concurrently, and ``dict.get`` + assignment is not atomic.
+        self._update_lock = threading.Lock()
 
     def reset(self) -> None:
         raise NotImplementedError
@@ -70,7 +73,8 @@ class Counter(_Metric):
         self.values: dict[Hashable, int | float] = {}
 
     def inc(self, amount: int | float = 1, label: Hashable = None) -> None:
-        self.values[label] = self.values.get(label, 0) + amount
+        with self._update_lock:
+            self.values[label] = self.values.get(label, 0) + amount
 
     def value(self, label: Hashable = None) -> int | float:
         return self.values.get(label, 0)
@@ -79,7 +83,8 @@ class Counter(_Metric):
         return sum(self.values.values())
 
     def reset(self) -> None:
-        self.values.clear()
+        with self._update_lock:
+            self.values.clear()
 
     def snapshot(self) -> dict[str, Any]:
         return {
@@ -104,13 +109,15 @@ class Gauge(_Metric):
         self.values: dict[Hashable, float] = {}
 
     def set(self, value: float, label: Hashable = None) -> None:
-        self.values[label] = value
+        with self._update_lock:
+            self.values[label] = value
 
     def value(self, label: Hashable = None) -> float:
         return self.values.get(label, 0.0)
 
     def reset(self) -> None:
-        self.values.clear()
+        with self._update_lock:
+            self.values.clear()
 
     def snapshot(self) -> dict[str, Any]:
         return {
@@ -151,20 +158,21 @@ class Histogram(_Metric):
         self._stats: dict[Hashable, list[float]] = {}  # count, sum, min, max
 
     def observe(self, value: float, label: Hashable = None) -> None:
-        counts = self._counts.get(label)
-        if counts is None:
-            counts = self._counts[label] = [0] * (len(self.bounds) + 1)
-            self._stats[label] = [0, 0.0, value, value]
-        # Inclusive upper bounds: an observation equal to a bound counts in
-        # that bound's bucket.
-        counts[bisect_left(self.bounds, value)] += 1
-        stats = self._stats[label]
-        stats[0] += 1
-        stats[1] += value
-        if value < stats[2]:
-            stats[2] = value
-        if value > stats[3]:
-            stats[3] = value
+        with self._update_lock:
+            counts = self._counts.get(label)
+            if counts is None:
+                counts = self._counts[label] = [0] * (len(self.bounds) + 1)
+                self._stats[label] = [0, 0.0, value, value]
+            # Inclusive upper bounds: an observation equal to a bound counts
+            # in that bound's bucket.
+            counts[bisect_left(self.bounds, value)] += 1
+            stats = self._stats[label]
+            stats[0] += 1
+            stats[1] += value
+            if value < stats[2]:
+                stats[2] = value
+            if value > stats[3]:
+                stats[3] = value
 
     def count(self, label: Hashable = None) -> int:
         stats = self._stats.get(label)
@@ -179,8 +187,9 @@ class Histogram(_Metric):
         return stats[1] / stats[0]
 
     def reset(self) -> None:
-        self._counts.clear()
-        self._stats.clear()
+        with self._update_lock:
+            self._counts.clear()
+            self._stats.clear()
 
     def snapshot(self) -> dict[str, Any]:
         by_label: dict[str, Any] = {}

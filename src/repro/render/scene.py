@@ -22,6 +22,13 @@ import numpy as np
 
 from repro.dbms.expr import Binary, FieldRef, Literal
 from repro.dbms.plan import RestrictNode, source_plan
+from repro.dbms.plan_parallel import (
+    default_config,
+    parallelize_plan,
+    plan_fingerprint,
+    result_cache,
+    storage_epoch,
+)
 from repro.dbms.tuples import Tuple
 from repro.dbms import types as T
 from repro.display.displayable import (
@@ -472,6 +479,49 @@ def _try_fast_scatter(
     return items
 
 
+def _execute_cull_plan(viewport_node, slider_node):
+    """Run a synthesized cull plan, parallel- and cache-aware.
+
+    With no process-wide parallel config this is a plain serial execution.
+    Otherwise the plan may be morsel-parallelized (output order and row
+    identity are preserved, so the caller's identity walk still recovers
+    original indices) and its result memoized in the process-wide result
+    cache keyed by extent + source identity + storage epoch — a repeated
+    pan/zoom visit of the same extent skips the cull entirely.  Entry meta
+    carries the per-node counters so SceneStats stays exact on a hit.
+    """
+    config = default_config()
+    if config is None:
+        return list(viewport_node.rows_iter())
+
+    counted = [node for node in (slider_node, viewport_node)
+               if node is not None]
+    key = None
+    pins: tuple = ()
+    epoch = None
+    if config.cache:
+        fingerprint = plan_fingerprint(viewport_node)
+        if fingerprint is not None:
+            key, pins = fingerprint
+            cached = result_cache().lookup(key)
+            if cached is not None:
+                rows, meta = cached
+                for node, (rows_in, rows_out) in zip(counted, meta or ()):
+                    node.stats.rows_in += rows_in
+                    node.stats.rows_out += rows_out
+                return list(rows)
+            epoch = storage_epoch()
+
+    root = viewport_node
+    if config.parallel:
+        root, __ = parallelize_plan(viewport_node, config)
+    kept = list(root.rows_iter())
+    if key is not None and epoch is not None:
+        meta = [(node.stats.rows_in, node.stats.rows_out) for node in counted]
+        result_cache().store(key, kept, pins, epoch, meta=meta)
+    return kept
+
+
 def _try_plan_cull(
     canvas: Canvas,
     entry,
@@ -579,7 +629,7 @@ def _try_plan_cull(
     tracer = current_tracer()
     with tracer.span("render.cull", method="plan",
                      relation=relation.name) as cull_span:
-        kept = list(viewport_node.rows_iter())
+        kept = _execute_cull_plan(viewport_node, slider_node)
         cull_span.set(rows_in=viewport_node.stats.rows_in
                       if slider_node is None else slider_node.stats.rows_in,
                       rows_out=len(kept))

@@ -1,0 +1,94 @@
+"""Tests: the stable ``repro.api`` facade and package-root routing.
+
+``repro.api`` is the supported import surface (docs/API.md); the package
+root re-exports through it.  These tests pin the contract: every advertised
+name is importable, ``open_db`` works, the root routes through the facade,
+and deep module imports keep working for internal use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+import repro.api as api
+
+
+class TestFacadeSurface:
+    def test_all_names_resolve(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_core_workflow_types_exported(self):
+        for name in ("Database", "Session", "Engine", "Program", "Viewer",
+                     "Scenario", "TiogaError", "open_db",
+                     "build_weather_database", "explain", "explain_data"):
+            assert name in api.__all__
+
+    def test_parallel_knobs_exported(self):
+        for name in ("ParallelConfig", "config_from_env", "default_config",
+                     "set_default_config", "result_cache"):
+            assert name in api.__all__
+
+    def test_box_catalog_exported(self):
+        for name in ("AddTableBox", "RestrictBox", "ProjectBox", "JoinBox",
+                     "OverlayBox", "StitchBox", "ReplicateBox",
+                     "AggregateBox", "UnionBox"):
+            assert name in api.__all__
+
+
+class TestOpenDb:
+    def test_default_is_empty_database(self):
+        db = api.open_db()
+        assert db.table_names() == []
+
+    def test_named_database(self):
+        db = api.open_db("mydb")
+        assert db.name == "mydb"
+
+    def test_weather_builds_the_paper_dataset(self):
+        db = api.open_db("weather")
+        assert "Stations" in db.table_names()
+        assert len(db.table("Stations")) > 0
+
+
+class TestRootRouting:
+    def test_root_reexports_are_facade_objects(self):
+        for name in ("Database", "Session", "Engine", "Program", "Viewer",
+                     "open_db", "build_weather_database"):
+            assert getattr(repro, name) is getattr(api, name), name
+
+    def test_root_all_subset_of_facade_plus_extras(self):
+        extras = {"TiogaError", "__version__"}
+        for name in repro.__all__:
+            assert name in api.__all__ or name in extras, name
+
+
+class TestDeepImportsStillWork:
+    """Internals stay importable — the facade adds a surface, removes none."""
+
+    def test_plan_layer(self):
+        from repro.dbms.plan import LazyRowSet, PlanNode  # noqa: F401
+
+    def test_engine_layer(self):
+        from repro.dataflow.engine import Engine as DeepEngine
+
+        assert DeepEngine is api.Engine
+
+    def test_parallel_layer(self):
+        from repro.dbms.plan_parallel import ParallelConfig as DeepConfig
+
+        assert DeepConfig is api.ParallelConfig
+
+
+class TestEndToEndThroughFacade:
+    def test_quickstart_shape(self):
+        db = api.open_db("weather")
+        program = api.Program("facade")
+        source = program.add_box(api.AddTableBox(table="Stations"))
+        keep = program.add_box(api.RestrictBox(predicate="latitude > 40"))
+        program.connect(source, "out", keep, "in")
+        engine = api.Engine(program, db, workers=4)
+        rows = engine.output_of(keep).rows.force()
+        assert rows
+        assert all(row["latitude"] > 40 for row in rows)

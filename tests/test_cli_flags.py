@@ -1,0 +1,131 @@
+"""Tests: the uniform CLI flag set across inspection subcommands.
+
+``lint``/``explain``/``stats``/``trace``/``render`` share one argparse
+parent parser, so ``--json``/``--timing``/``--strict``/``--workers`` parse
+(and mean the same thing) on all of them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dbms.plan_parallel import default_config, result_cache
+
+INSPECTION = ["lint", "explain", "stats", "trace", "render"]
+
+
+def parse(argv):
+    return build_parser().parse_args(argv)
+
+
+class TestUniformParsing:
+    @pytest.mark.parametrize("command", INSPECTION)
+    def test_common_flags_accepted_everywhere(self, command):
+        argv = [command, "--json", "--timing", "--strict", "--workers", "4"]
+        if command == "render":
+            argv += ["--out-dir", "out"]
+        args = parse(argv)
+        assert args.as_json is True
+        assert args.timing is True
+        assert args.strict is True
+        assert args.workers == 4
+
+    @pytest.mark.parametrize("command", INSPECTION)
+    def test_common_flags_default_off(self, command):
+        argv = [command] if command != "render" else [command, "--out-dir", "x"]
+        args = parse(argv)
+        assert args.as_json is False
+        assert args.timing is False
+        assert args.strict is False
+        assert args.workers is None
+
+    def test_non_inspection_commands_reject_common_flags(self):
+        with pytest.raises(SystemExit):
+            parse(["tables", "--db", "x.json", "--workers", "4"])
+
+
+class TestWorkersFlag:
+    def test_workers_config_restored_after_run(self, capsys):
+        before = default_config()
+        assert main(["explain", "--figure", "fig1", "--workers", "4"]) == 0
+        assert default_config() is before
+        capsys.readouterr()
+
+    def test_explain_json_reports_parallel_and_cache(self, capsys):
+        result_cache().clear()
+        assert main(["explain", "--figure", "fig1", "--json",
+                     "--workers", "4"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        statuses = set()
+        parallel_nodes = []
+
+        def walk(tree):
+            if "parallel" in tree:
+                parallel_nodes.append(tree)
+            for child in tree.get("children", ()):
+                walk(child)
+
+        for box in report["boxes"]:
+            for output in box["outputs"]:
+                for plan in output.get("plans", ()):
+                    statuses.add(plan["cache"])
+                    walk(plan["tree"])
+        assert statuses & {"hit", "miss"}
+        result_cache().clear()
+
+
+class TestJsonOutputs:
+    def test_trace_json_summary(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "fig1", "--out", str(out), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["target"] == "fig1"
+        assert summary["spans"] > 0
+        assert out.exists()
+
+    def test_render_json_summary(self, capsys, tmp_path):
+        assert main(["render", "--out-dir", str(tmp_path),
+                     "--which", "fig1", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["figures"][0]["figure"] == "fig1"
+        assert summary["figures"][0]["pixels"] > 0
+
+
+class TestStrictSemantics:
+    def test_render_strict_passes_on_nonblank_figures(self, capsys, tmp_path):
+        assert main(["render", "--out-dir", str(tmp_path),
+                     "--which", "fig1", "--strict"]) == 0
+        capsys.readouterr()
+
+    def test_lint_strict_still_gates_warnings(self, capsys):
+        # Pre-existing behaviour routed through the shared parser.
+        assert main(["lint", "--figure", "fig4", "--strict"]) in (0, 1)
+        capsys.readouterr()
+
+
+class TestValidateBenchRouting:
+    def test_parallel_schema_routed_by_payload(self, capsys, tmp_path):
+        payload = {
+            "schema": "repro.bench.parallel/1",
+            "benchmarks": [{
+                "name": "demo",
+                "arms": {"serial": {"workers": 0, "seconds": 0.5},
+                         "workers_4": {"workers": 4, "seconds": 0.1}},
+                "speedup": 5.0,
+            }],
+        }
+        path = tmp_path / "BENCH_parallel.json"
+        path.write_text(json.dumps(payload))
+        assert main(["stats", "--validate-bench", str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_parallel_payload_rejected(self, capsys, tmp_path):
+        payload = {"schema": "repro.bench.parallel/1",
+                   "benchmarks": [{"name": "demo", "arms": {}}]}
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        assert main(["stats", "--validate-bench", str(path)]) == 1
+        capsys.readouterr()

@@ -1,0 +1,159 @@
+"""Unit tests: the process-wide result cache and storage-epoch invalidation.
+
+The cache's contract: a lookup may only hit while *no* table anywhere has
+been mutated since the entry was stored — the global storage epoch stamps
+entries and any :class:`Table` mutation bumps it.  Entries pin their leaf
+source objects so the id()-based fingerprint keys stay unambiguous.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms import plan as P
+from repro.dbms.parser import parse_predicate
+from repro.dbms.plan_parallel import (
+    ResultCache,
+    plan_fingerprint,
+    result_cache,
+)
+from repro.dbms.relation import (
+    RowSet,
+    Table,
+    bump_storage_epoch,
+    storage_epoch,
+)
+from repro.dbms.tuples import Schema
+
+NUMS = Schema([("n", "int"), ("label", "text")])
+
+
+def num_rows(count: int) -> RowSet:
+    return RowSet.from_dicts(
+        NUMS, [{"n": i, "label": f"row{i}"} for i in range(count)]
+    )
+
+
+def plan_over(rows: RowSet) -> P.PlanNode:
+    return P.RestrictNode(
+        P.ScanNode(rows), parse_predicate("n % 2 == 0", rows.schema)
+    )
+
+
+def fresh_entry(cache: ResultCache, rows: RowSet):
+    key, pins = plan_fingerprint(plan_over(rows))
+    result = tuple(plan_over(rows).execute())
+    cache.store(key, result, pins, storage_epoch())
+    return key, result
+
+
+class TestHitAndMiss:
+    def test_store_then_lookup_round_trips(self):
+        cache = ResultCache()
+        rows = num_rows(40)
+        key, result = fresh_entry(cache, rows)
+        hit = cache.lookup(key)
+        assert hit is not None
+        assert hit[0] == result
+
+    def test_unknown_key_misses(self):
+        cache = ResultCache()
+        assert cache.lookup(("nope",)) is None
+
+    def test_counters_track_hits_and_misses(self):
+        cache = ResultCache()
+        rows = num_rows(10)
+        before = cache.stats()
+        key, __ = fresh_entry(cache, rows)
+        cache.lookup(key)
+        cache.lookup(("unknown",))
+        after = cache.stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"] + 1
+
+
+class TestEpochInvalidation:
+    def test_any_table_mutation_invalidates_everything(self):
+        cache = ResultCache()
+        key, __ = fresh_entry(cache, num_rows(20))
+        unrelated = Table("Unrelated", Schema([("x", "int")]))
+        unrelated.insert({"x": 1})
+        assert cache.lookup(key) is None    # stale: epoch moved
+
+    @pytest.mark.parametrize("mutate", [
+        lambda t: t.insert({"x": 9}),
+        lambda t: t.insert_many([{"x": 9}, {"x": 10}]),
+        lambda t: t.delete_where(lambda row: row["x"] > 0),
+        lambda t: t.update_where(lambda row: row["x"] == 1, {"x": 5}),
+        lambda t: t.clear(),
+    ])
+    def test_every_mutator_bumps_the_epoch(self, mutate):
+        table = Table("T", Schema([("x", "int")]))
+        table.insert({"x": 1})
+        before = storage_epoch()
+        mutate(table)
+        assert storage_epoch() > before
+
+    def test_store_refused_if_epoch_moved_during_execution(self):
+        # An update racing a plan execution must not publish stale rows
+        # under a fresh-looking key.
+        cache = ResultCache()
+        rows = num_rows(20)
+        key, pins = plan_fingerprint(plan_over(rows))
+        epoch_before = storage_epoch()
+        result = tuple(plan_over(rows).execute())
+        bump_storage_epoch()    # the "concurrent" update
+        cache.store(key, result, pins, epoch_before)
+        assert cache.lookup(key) is None
+
+    def test_snapshot_identity_renews_after_mutation(self):
+        # After a mutation the table snapshot is a new object, so new plans
+        # fingerprint to a *different* key — old entries cannot be confused
+        # with post-update results even apart from the epoch check.
+        table = Table("T", NUMS)
+        table.insert_many(
+            {"n": i, "label": str(i)} for i in range(5)
+        )
+        first = table.snapshot()
+        assert table.snapshot() is first    # memoized while unchanged
+        table.insert({"n": 99, "label": "new"})
+        assert table.snapshot() is not first
+
+
+class TestLimitsAndEviction:
+    def test_lru_evicts_oldest(self):
+        cache = ResultCache(max_entries=2)
+        keys = []
+        for count in (3, 4, 5):
+            key, __ = fresh_entry(cache, num_rows(count))
+            keys.append(key)
+        assert cache.lookup(keys[0]) is None
+        assert cache.lookup(keys[2]) is not None
+        assert len(cache) == 2
+
+    def test_lookup_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        first, __ = fresh_entry(cache, num_rows(3))
+        second, __ = fresh_entry(cache, num_rows(4))
+        cache.lookup(first)                      # first is now most recent
+        third, __ = fresh_entry(cache, num_rows(5))
+        assert cache.lookup(first) is not None
+        assert cache.lookup(second) is None
+
+    def test_oversized_results_not_stored(self):
+        cache = ResultCache(max_rows=10)
+        rows = num_rows(50)
+        key, pins = plan_fingerprint(plan_over(rows))
+        result = tuple(plan_over(rows).execute())
+        cache.store(key, result, pins, storage_epoch())
+        assert len(cache) == 0
+
+    def test_clear_empties(self):
+        cache = ResultCache()
+        fresh_entry(cache, num_rows(5))
+        cache.clear()
+        assert len(cache) == 0
+
+
+def test_singleton_is_shared():
+    assert result_cache() is result_cache()
