@@ -56,6 +56,11 @@ if _os.environ.get("REPRO_TRACE") == "1":
 
     _install_tracer()
 
+if _os.environ.get("REPRO_FLIGHT") == "1":
+    from repro.obs.flightrec import install_from_env as _install_flight
+
+    _install_flight()
+
 if _os.environ.get("REPRO_PARALLEL", "") not in ("", "0"):
     from repro.dbms.plan_parallel import install_from_env as _install_parallel
 

@@ -20,6 +20,15 @@ New in this release: keyword-only ``workers=`` / ``cache=`` knobs on
 :class:`Engine` (and the ``REPRO_PARALLEL`` environment variable) turning
 on partition-parallel plan execution with a process-wide result cache —
 see ``docs/PARALLELISM.md``.
+
+Also new: time-series telemetry and the self-hosted dashboard.
+:class:`MetricsRecorder` samples the process metrics into ring-buffer
+series (JSON + Prometheus exposition), :class:`FlightRecorder` keeps a
+JSONL black box of recent spans that auto-dumps on engine errors,
+:func:`diff_bench` gates performance regressions between two
+``BENCH_*.json`` files, and :func:`build_telemetry_dashboard` /
+:func:`render_dashboard` visualize recorded engine telemetry with a
+Tioga-2 program — see ``docs/OBSERVABILITY.md`` and ``docs/DASHBOARD.md``.
 """
 
 from __future__ import annotations
@@ -84,6 +93,21 @@ from repro.dbms.plan_parallel import (
     set_default_config,
 )
 from repro.errors import TiogaError
+from repro.obs import (
+    FlightRecorder,
+    MetricsRecorder,
+    TimeSeries,
+    diff_bench,
+    diff_bench_files,
+    install_flight_recorder,
+)
+from repro.obs.dashboard import (
+    build_dashboard_program,
+    build_telemetry_dashboard,
+    record_figure_telemetry,
+    render_dashboard,
+    telemetry_database,
+)
 from repro.viewer.viewer import Viewer, ViewerBox
 
 __all__ = [
@@ -107,6 +131,18 @@ __all__ = [
     "default_config",
     "set_default_config",
     "result_cache",
+    # Observability: time series, flight recorder, bench gate, dashboard
+    "MetricsRecorder",
+    "TimeSeries",
+    "FlightRecorder",
+    "install_flight_recorder",
+    "diff_bench",
+    "diff_bench_files",
+    "record_figure_telemetry",
+    "telemetry_database",
+    "build_dashboard_program",
+    "build_telemetry_dashboard",
+    "render_dashboard",
     # Boxes
     "AddTableBox",
     "RestrictBox",

@@ -10,8 +10,10 @@
     python -m repro.cli figures --out-dir figures/ [--which fig4,fig7]
     python -m repro.cli query --db db.json --table T --where "x > 1" [--limit N]
     python -m repro.cli lint [--figure fig4 | --db db.json --name viz] [--json]
-    python -m repro.cli trace fig4 --out trace.json       # Chrome trace_event
+    python -m repro.cli trace fig4                        # Chrome trace_event
     python -m repro.cli stats --figure fig4 [--json]      # metrics snapshot
+    python -m repro.cli bench-diff baselines/BENCH_parallel.json BENCH_parallel.json
+    python -m repro.cli dashboard --out-dir dash/         # self-hosted telemetry
 
 ``lint`` runs the static program checker (``repro.analyze``) over a saved
 program or the built-in figure scenarios (all of them by default) without
@@ -29,6 +31,13 @@ process-wide metric declarations are conflict-free and ``--validate-bench``
 schema-checks a ``BENCH_obs.json`` produced by the benchmark suite.
 ``lint --timing`` and ``explain --timing`` print a span-tree timing
 breakdown of the analysis itself.  See ``docs/OBSERVABILITY.md``.
+
+``bench-diff`` compares two ``BENCH_*.json`` files (routing on their schema
+tag) and exits nonzero when any metric regresses past its threshold — the
+perf-regression gate CI runs against ``benchmarks/baselines/``.
+``dashboard`` records telemetry from a real figure render and renders the
+self-hosted telemetry dashboard (``repro.obs.dashboard``) headless — the
+reproduction visualizing its own engine; see ``docs/DASHBOARD.md``.
 
 ``run-program`` loads a saved boxes-and-arrows program, opens every viewer
 box it contains, and renders each canvas to a PPM file — a headless batch
@@ -201,8 +210,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--db", help="database JSON (with --name)")
     trace.add_argument("--name", help="saved program to trace")
-    trace.add_argument("--out", default="trace.json",
-                       help="output path for the Chrome trace JSON")
+    trace.add_argument("--out", default=None,
+                       help="output path for the Chrome trace JSON "
+                       "(default: trace_<target>.json, deterministic so "
+                       "CI artifact paths are stable)")
     trace.add_argument(
         "--warm", action="store_true",
         help="keep the engine cache warm (default is a cold run so engine "
@@ -231,6 +242,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate-bench", metavar="PATH",
         help="schema-check a BENCH_obs.json or BENCH_parallel.json "
         "written by the benchmark suite",
+    )
+
+    bench_diff = commands.add_parser(
+        "bench-diff", parents=[common],
+        help="compare two BENCH_*.json files (schema-tag routed) and exit "
+        "nonzero on perf regressions past the threshold",
+    )
+    bench_diff.add_argument("baseline", help="baseline BENCH_*.json path")
+    bench_diff.add_argument("current", help="current BENCH_*.json path")
+    bench_diff.add_argument(
+        "--threshold", type=float, default=None, metavar="FRACTION",
+        help="relative-change threshold for every metric (default: "
+        "per-metric, 0.25)",
+    )
+    bench_diff.add_argument(
+        "--min-seconds", type=float, default=None, metavar="S",
+        help="ignore wall-time regressions when both sides are under S "
+        "seconds (micro-benchmark noise floor, default 0.005)",
+    )
+
+    dashboard = commands.add_parser(
+        "dashboard", parents=[common],
+        help="record telemetry from a figure render and render the "
+        "self-hosted telemetry dashboard headless (repro.obs.dashboard)",
+    )
+    dashboard.add_argument(
+        "--figure", choices=sorted(_FIGURES), default="fig4",
+        help="figure workload to record telemetry from (default fig4)",
+    )
+    dashboard.add_argument("--out-dir", required=True,
+                           help="directory for chart images + telemetry")
+    dashboard.add_argument(
+        "--renders", type=int, default=3,
+        help="renders of the workload to sample across (default 3)",
     )
 
     render = commands.add_parser(
@@ -540,6 +585,12 @@ def _cmd_trace(args) -> int:
     with push_tracer(tracer):
         for name in sorted(session.windows):
             session.window(name).render()
+    if args.out is None:
+        # Deterministic default keyed on the traced target, so repeated CI
+        # runs (and their artifact globs) see a stable filename.
+        safe = "".join(ch if ch.isalnum() or ch in "-_" else "_"
+                       for ch in str(target))
+        args.out = f"trace_{safe}.json"
     path = write_chrome_trace(tracer, args.out, process_name=f"repro {target}")
     spans = len(tracer.finished())
     if args.as_json:
@@ -595,6 +646,16 @@ def _cmd_stats(args) -> int:
               f"({len(payload.get('benchmarks', []))} benchmarks)")
         return 0
 
+    # Pre-register the PR-4 counter set (cache.hit/miss/evict via the
+    # process-wide ResultCache, parallel.morsels explicitly) so one `stats`
+    # invocation surfaces the full counter taxonomy even when the run
+    # happens not to exercise the cache or the morsel pool — the snapshot
+    # then always carries the complete, pinned key set.
+    from repro.dbms.plan_parallel import result_cache
+
+    result_cache()
+    global_registry().counter("parallel.morsels", "morsel tasks executed")
+
     db = build_weather_database(extra_stations=40, every_days=30)
     scenario = _FIGURES[args.figure](db)
     session = scenario.session
@@ -637,6 +698,98 @@ def _cmd_stats(args) -> int:
         print(f"strict: {tracer.dropped} spans dropped (buffer full)",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    import json as json_module
+
+    from repro.obs.benchdiff import diff_bench_files, render_diff
+
+    kwargs = {}
+    if args.threshold is not None:
+        kwargs["threshold"] = args.threshold
+    if args.min_seconds is not None:
+        kwargs["min_seconds"] = args.min_seconds
+    report = diff_bench_files(args.baseline, args.current, **kwargs)
+    if args.as_json:
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_diff(report))
+    if report["regressions"]:
+        for row in report["regressions"]:
+            print(f"regression: {row['name']} {row['metric']} "
+                  f"{row['baseline']:.6g} -> {row['current']:.6g} "
+                  f"(x{row['ratio']:.3g}, threshold "
+                  f"{row['threshold']:.0%})", file=sys.stderr)
+        return 1
+    if args.strict and report["missing"]:
+        print(f"strict: benchmarks missing from current run: "
+              f"{', '.join(report['missing'])}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_dashboard(args) -> int:
+    import json as json_module
+
+    from repro.obs import render_tree
+    from repro.obs.dashboard import (
+        build_dashboard_program,
+        record_figure_telemetry,
+        render_dashboard,
+        telemetry_database,
+    )
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    workers = args.workers if args.workers and args.workers > 1 else 2
+    recorder, tracer = record_figure_telemetry(
+        figure=args.figure, renders=args.renders, workers=workers,
+    )
+    db = telemetry_database(recorder, tracer)
+    scenario = build_dashboard_program(db)
+    charts = render_dashboard(scenario)
+
+    (out_dir / "timeseries.json").write_text(
+        json_module.dumps(recorder.snapshot(), indent=1, sort_keys=True)
+    )
+    (out_dir / "metrics.prom").write_text(recorder.prometheus_text())
+    results = []
+    for name, chart in sorted(charts.items()):
+        if name == "total_draw_ops":
+            continue
+        path = out_dir / f"dashboard_{name}.ppm"
+        chart["canvas"].to_ppm(path)
+        results.append({"chart": name, "out": str(path),
+                        "draw_ops": chart["draw_ops"],
+                        "pixels": chart["pixels"]})
+    if args.as_json:
+        print(json_module.dumps(
+            {"figure": args.figure,
+             "total_draw_ops": charts["total_draw_ops"],
+             "charts": results,
+             "series": len(recorder.series_keys()),
+             "samples": recorder.samples_taken},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for entry in results:
+            print(f"{entry['chart']}: {entry['draw_ops']} draw ops, "
+                  f"{entry['pixels']} px -> {entry['out']}")
+        print(f"telemetry: {len(recorder.series_keys())} series, "
+              f"{recorder.samples_taken} samples -> "
+              f"{out_dir / 'timeseries.json'}")
+    if args.timing:
+        print("-- timing --")
+        print(render_tree(tracer))
+    if args.strict:
+        blank = [entry["chart"] for entry in results
+                 if not entry["draw_ops"]]
+        if blank:
+            print(f"strict: dashboard charts drew nothing: "
+                  f"{', '.join(blank)}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -727,6 +880,8 @@ _HANDLERS = {
     "lint": _cmd_lint,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
+    "bench-diff": _cmd_bench_diff,
+    "dashboard": _cmd_dashboard,
     "render": _cmd_render,
 }
 

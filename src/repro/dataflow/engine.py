@@ -26,7 +26,7 @@ from repro.dbms.catalog import Database
 from repro.dbms.plan import LazyRowSet
 from repro.dbms.plan_parallel import resolve_config
 from repro.display.displayable import Composite, DisplayableRelation, Group
-from repro.errors import GraphError, StaticAnalysisError
+from repro.errors import GraphError, StaticAnalysisError, TiogaError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import current_tracer
 
@@ -277,14 +277,24 @@ class Engine:
         else:
             box.output_port(port_name)  # validate
         tracer = current_tracer()
-        if not tracer.enabled:
-            outputs = self._evaluate_box(box_id, set())
-            return self._force(outputs[port_name])
-        with tracer.span(
-            "engine.demand", box=box_id, type=box.type_name, port=port_name
-        ):
-            outputs = self._evaluate_box(box_id, set())
-            return self._force(outputs[port_name])
+        try:
+            if not tracer.enabled:
+                outputs = self._evaluate_box(box_id, set())
+                return self._force(outputs[port_name])
+            with tracer.span(
+                "engine.demand", box=box_id, type=box.type_name, port=port_name
+            ):
+                outputs = self._evaluate_box(box_id, set())
+                return self._force(outputs[port_name])
+        except TiogaError as exc:
+            # Black-box telemetry: when a flight recorder is installed, the
+            # spans/events leading up to this failure are dumped to JSONL
+            # before the error propagates (docs/OBSERVABILITY.md).
+            from repro.obs.flightrec import note_engine_error
+
+            note_engine_error(exc, box=box_id, type=box.type_name,
+                              port=port_name, program=self.program.name)
+            raise
 
     def inputs_of(self, box_id: int) -> dict[str, Any]:
         """Demand and return all inputs of a box (used by viewers/sinks)."""

@@ -15,16 +15,36 @@ run with ``repro trace`` / ``--timing``, or process-wide with
 """
 
 from repro.errors import ObservabilityError
+from repro.obs.benchdiff import (
+    DIFF_SCHEMA,
+    diff_bench,
+    diff_bench_files,
+    render_diff,
+)
 from repro.obs.export import (
     BENCH_SCHEMA,
     PARALLEL_BENCH_SCHEMA,
     chrome_trace,
+    empty_run_summary,
     render_tree,
     run_summary,
     validate_bench_summary,
     validate_chrome_trace,
     validate_parallel_bench,
     write_chrome_trace,
+)
+from repro.obs.flightrec import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    current_flight_recorder,
+    install_flight_recorder,
+    note_engine_error,
+)
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA,
+    MetricsRecorder,
+    TimeSeries,
+    validate_timeseries,
 )
 from repro.obs.metrics import (
     Counter,
@@ -50,24 +70,37 @@ from repro.obs.trace import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "DIFF_SCHEMA",
+    "FLIGHT_SCHEMA",
     "PARALLEL_BENCH_SCHEMA",
+    "TIMESERIES_SCHEMA",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "MetricsRecorder",
     "MetricsRegistry",
     "NULL_SPAN",
     "ObservabilityError",
     "Span",
+    "TimeSeries",
     "TraceEvent",
     "Tracer",
     "check_declarations",
     "chrome_trace",
+    "current_flight_recorder",
     "current_tracer",
     "declarations",
     "declare",
+    "diff_bench",
+    "diff_bench_files",
+    "empty_run_summary",
     "global_registry",
+    "install_flight_recorder",
     "install_from_env",
+    "note_engine_error",
     "push_tracer",
+    "render_diff",
     "render_tree",
     "run_summary",
     "set_tracer",
@@ -75,5 +108,6 @@ __all__ = [
     "validate_bench_summary",
     "validate_parallel_bench",
     "validate_chrome_trace",
+    "validate_timeseries",
     "write_chrome_trace",
 ]

@@ -31,6 +31,7 @@ __all__ = [
     "write_chrome_trace",
     "render_tree",
     "run_summary",
+    "empty_run_summary",
     "validate_chrome_trace",
     "validate_bench_summary",
     "validate_parallel_bench",
@@ -52,8 +53,22 @@ def _ts_us(tracer: Tracer, ns: int) -> float:
     return (ns - origin) / 1000.0
 
 
-def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict[str, Any]:
-    """The Chrome ``trace_event`` JSON object for a tracer's recordings."""
+def chrome_trace(tracer: Tracer | None,
+                 process_name: str = "repro") -> dict[str, Any]:
+    """The Chrome ``trace_event`` JSON object for a tracer's recordings.
+
+    ``tracer=None`` degrades to a valid empty trace (metadata event only) —
+    exporters never require the caller to have traced anything.
+    """
+    if tracer is None:
+        return {
+            "traceEvents": [
+                {"name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+                 "args": {"name": process_name}},
+            ],
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped": 0},
+        }
     events: list[dict[str, Any]] = [
         {
             "name": "process_name",
@@ -134,12 +149,15 @@ def _json_safe(attrs: dict[str, Any]) -> dict[str, Any]:
 # ---------------------------------------------------------------------------
 
 
-def render_tree(tracer: Tracer, min_ms: float = 0.0) -> str:
+def render_tree(tracer: Tracer | None, min_ms: float = 0.0) -> str:
     """Indented wall-clock tree of the tracer's completed spans.
 
     Spans cheaper than ``min_ms`` are elided (their time still shows in the
-    parent).  Children print in start order.
+    parent).  Children print in start order.  ``tracer=None`` degrades to
+    the empty string.
     """
+    if tracer is None:
+        return ""
     spans = sorted(tracer.finished(), key=lambda s: (s.start_ns, s.span_id))
     by_parent: dict[int | None, list[Span]] = {}
     known = {span.span_id for span in spans}
@@ -176,12 +194,38 @@ def render_tree(tracer: Tracer, min_ms: float = 0.0) -> str:
 # ---------------------------------------------------------------------------
 
 
+def empty_run_summary() -> dict[str, Any]:
+    """The documented degenerate run summary: no spans, events, or metrics.
+
+    This is exactly what :func:`run_summary` returns when called with no
+    tracer and no registry — the shape is pinned so callers (CI scripts,
+    the bench pipeline) can rely on every key existing even when telemetry
+    was never enabled::
+
+        {"schema": "repro.bench/1", "spans": {}, "events": {},
+         "metrics": {}, "dropped": 0}
+    """
+    return {
+        "schema": BENCH_SCHEMA,
+        "spans": {},
+        "events": {},
+        "metrics": {},
+        "dropped": 0,
+    }
+
+
 def run_summary(tracer: Tracer | None = None,
                 registry: MetricsRegistry | None = None) -> dict[str, Any]:
     """Stable machine-readable summary of one run.
 
     Span rollups are grouped by span name — count, total/mean wall — so the
     summary's size is bounded by the taxonomy, not the workload.
+
+    Degrades gracefully rather than reaching for implicit globals: with
+    ``tracer=None`` the span/event sections are empty, with
+    ``registry=None`` the metrics section is empty, and with neither the
+    result is exactly :func:`empty_run_summary` — callers that want the
+    ambient tracer must pass ``current_tracer()`` explicitly.
     """
     spans_by_name: dict[str, dict[str, Any]] = {}
     events_by_name: dict[str, int] = {}

@@ -176,6 +176,22 @@ class Tracer:
         #: perf_counter_ns origin, set lazily on first span/event so all
         #: exported timestamps are small non-negative offsets.
         self.origin_ns: int | None = None
+        #: callbacks invoked with each completed Span / recorded TraceEvent
+        #: (the flight recorder's tap).  Empty for ordinary tracers, so the
+        #: hot path pays one truthiness check.
+        self._sinks: list = []
+
+    def add_sink(self, sink) -> None:
+        """Subscribe ``sink(record)`` to completed spans and events.
+
+        Sinks see records *after* retention accounting, including ones the
+        cap dropped — a flight recorder keeps its own (smaller) window.
+        """
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
 
     # -- recording --------------------------------------------------------
 
@@ -209,6 +225,9 @@ class Tracer:
                 self.events.append(record)
             else:
                 self.dropped += 1
+        if self._sinks:
+            for sink in self._sinks:
+                sink(record)
 
     def current(self) -> Span | None:
         """The innermost open span on this thread, if any."""
@@ -250,6 +269,9 @@ class Tracer:
                 self.spans.append(span)
             else:
                 self.dropped += 1
+        if self._sinks:
+            for sink in self._sinks:
+                sink(span)
 
     # -- inspection -------------------------------------------------------
 

@@ -1,0 +1,212 @@
+"""The perf-regression gate: diff_bench routing, thresholds, CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.errors import ObservabilityError
+from repro.obs import DIFF_SCHEMA, diff_bench, diff_bench_files, render_diff
+from repro.obs.export import BENCH_SCHEMA, PARALLEL_BENCH_SCHEMA
+
+
+def parallel_payload(seconds_1=1.0, seconds_4=0.2, speedup=5.0,
+                     name="scatter_repeated_renders"):
+    return {
+        "schema": PARALLEL_BENCH_SCHEMA,
+        "benchmarks": [{
+            "name": name,
+            "arms": {
+                "serial": {"workers": 0, "seconds": seconds_1},
+                "workers4": {"workers": 4, "seconds": seconds_4},
+            },
+            "speedup": speedup,
+        }],
+    }
+
+
+def obs_payload(mean_s=0.1, name="bench_lazy_render"):
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmarks": [
+            {"name": name, "timing": {"mean_s": mean_s, "rounds": 5}},
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# diff_bench routing and report shape
+# ---------------------------------------------------------------------------
+
+
+def test_identity_diff_has_no_regressions():
+    report = diff_bench(parallel_payload(), parallel_payload())
+    assert report["schema"] == DIFF_SCHEMA
+    assert report["bench_schema"] == PARALLEL_BENCH_SCHEMA
+    assert report["regressions"] == []
+    assert report["improvements"] == []
+    assert {row["status"] for row in report["comparisons"]} == {"ok"}
+    # Both arms and the headline speedup are compared.
+    metrics = [row["metric"] for row in report["comparisons"]]
+    assert metrics.count("seconds") == 2
+    assert metrics.count("speedup") == 1
+
+
+def test_parallel_slowdown_and_speedup_direction():
+    base = parallel_payload(seconds_1=1.0, seconds_4=0.2, speedup=5.0)
+    # 2x slower wall time and halved speedup: both flagged.
+    curr = parallel_payload(seconds_1=2.0, seconds_4=0.4, speedup=2.5)
+    report = diff_bench(base, curr)
+    statuses = {(r["name"], r["metric"]): r["status"]
+                for r in report["comparisons"]}
+    assert statuses[("scatter_repeated_renders[serial]", "seconds")] == \
+        "regression"
+    assert statuses[("scatter_repeated_renders", "speedup")] == "regression"
+    # Speedup is higher-is-better: a raised speedup is an improvement.
+    better = parallel_payload(speedup=9.0)
+    report = diff_bench(parallel_payload(), better)
+    speedup_row = [r for r in report["comparisons"]
+                   if r["metric"] == "speedup"][0]
+    assert speedup_row["status"] == "improvement"
+
+
+def test_obs_schema_compares_mean_s():
+    report = diff_bench(obs_payload(0.100), obs_payload(0.130))
+    assert report["bench_schema"] == BENCH_SCHEMA
+    [row] = report["comparisons"]
+    assert row["metric"] == "mean_s"
+    assert row["status"] == "regression"  # 0.13/0.10 = +30% > 25%
+    assert row["ratio"] == 1.3
+
+
+def test_obs_threshold_boundary():
+    # Exactly at +25% is not a regression; just past it is.
+    at = diff_bench(obs_payload(0.100), obs_payload(0.125))
+    assert at["regressions"] == []
+    past = diff_bench(obs_payload(0.100), obs_payload(0.1251))
+    assert [r["name"] for r in past["regressions"]] == ["bench_lazy_render"]
+
+
+def test_threshold_overrides():
+    base, curr = obs_payload(0.100), obs_payload(0.140)
+    assert diff_bench(base, curr)["regressions"] != []
+    assert diff_bench(base, curr, threshold=0.5)["regressions"] == []
+    assert diff_bench(base, curr,
+                      thresholds={"mean_s": 0.5})["regressions"] == []
+    # Per-metric override leaves other metrics at their defaults.
+    report = diff_bench(parallel_payload(speedup=5.0),
+                        parallel_payload(seconds_4=0.6, speedup=2.0),
+                        thresholds={"speedup": 0.9})
+    assert [r["metric"] for r in report["regressions"]] == ["seconds"]
+
+
+def test_min_seconds_floor_skips_micro_timings():
+    base = obs_payload(0.001)
+    curr = obs_payload(0.004)  # 4x "slower" but both under the 5ms floor
+    report = diff_bench(base, curr)
+    assert report["regressions"] == []
+    assert report["comparisons"][0]["status"] == "ok"
+    # Lowering the floor flags it again.
+    report = diff_bench(base, curr, min_seconds=0.0005)
+    assert len(report["regressions"]) == 1
+
+
+def test_missing_and_added_benchmarks():
+    base = parallel_payload()
+    curr = parallel_payload(name="join_slaved_viewers")
+    report = diff_bench(base, curr)
+    assert report["comparisons"] == []
+    assert report["missing"] == ["scatter_repeated_renders"]
+    assert report["added"] == ["join_slaved_viewers"]
+
+
+def test_schema_mismatch_and_unknown_schema_raise():
+    with pytest.raises(ObservabilityError):
+        diff_bench(parallel_payload(), obs_payload())
+    with pytest.raises(ObservabilityError):
+        diff_bench({"schema": "nope/9", "benchmarks": []},
+                   {"schema": "nope/9", "benchmarks": []})
+    with pytest.raises(ObservabilityError):
+        diff_bench({}, obs_payload())
+
+
+def test_diff_bench_files_and_render(tmp_path):
+    base_path = tmp_path / "base.json"
+    curr_path = tmp_path / "curr.json"
+    base_path.write_text(json.dumps(parallel_payload()))
+    curr_path.write_text(json.dumps(parallel_payload(seconds_4=0.5,
+                                                     speedup=2.0)))
+    report = diff_bench_files(base_path, curr_path)
+    assert len(report["regressions"]) == 2
+    text = render_diff(report)
+    assert "2 regressions" in text
+    assert "✗" in text
+    assert "higher-is-better" in text
+
+
+# ---------------------------------------------------------------------------
+# CLI: repro bench-diff exit codes (the CI gate)
+# ---------------------------------------------------------------------------
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_cli_identity_passes_strict(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", parallel_payload())
+    curr = _write(tmp_path, "curr.json", parallel_payload())
+    assert cli.main(["bench-diff", base, curr, "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "0 regressions" in out
+
+
+def test_cli_synthetic_2x_slowdown_fails(tmp_path, capsys):
+    """Acceptance fixture: a 2x slowdown must trip the gate."""
+    base = _write(tmp_path, "base.json", parallel_payload(
+        seconds_1=1.0, seconds_4=0.2, speedup=5.0))
+    slow = _write(tmp_path, "slow.json", parallel_payload(
+        seconds_1=2.0, seconds_4=0.4, speedup=2.5))
+    assert cli.main(["bench-diff", base, slow]) == 1
+    out = capsys.readouterr().out
+    assert "regression" in out
+
+
+def test_cli_json_output(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", obs_payload(0.1))
+    curr = _write(tmp_path, "curr.json", obs_payload(0.2))
+    assert cli.main(["bench-diff", base, curr, "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == DIFF_SCHEMA
+    assert len(report["regressions"]) == 1
+
+
+def test_cli_threshold_flag(tmp_path):
+    base = _write(tmp_path, "base.json", obs_payload(0.1))
+    curr = _write(tmp_path, "curr.json", obs_payload(0.2))
+    assert cli.main(["bench-diff", base, curr, "--threshold", "1.5"]) == 0
+
+
+def test_cli_strict_fails_on_missing_benchmark(tmp_path):
+    base = _write(tmp_path, "base.json", parallel_payload())
+    curr = _write(tmp_path, "curr.json",
+                  parallel_payload(name="join_slaved_viewers"))
+    # Non-strict: nothing comparable, nothing regressed -> pass.
+    assert cli.main(["bench-diff", base, curr]) == 0
+    # Strict: a benchmark vanished from the current run -> fail.
+    assert cli.main(["bench-diff", base, curr, "--strict"]) == 1
+
+
+def test_committed_baseline_matches_repo_artifact():
+    """The acceptance-criteria invocation: the committed baseline diffs
+    cleanly against the repo's own BENCH_parallel.json."""
+    assert cli.main([
+        "bench-diff",
+        "benchmarks/baselines/BENCH_parallel.json",
+        "BENCH_parallel.json",
+        "--strict",
+    ]) == 0

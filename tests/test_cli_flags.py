@@ -129,3 +129,63 @@ class TestValidateBenchRouting:
         path.write_text(json.dumps(payload))
         assert main(["stats", "--validate-bench", str(path)]) == 1
         capsys.readouterr()
+
+
+class TestStatsJsonSchema:
+    def test_pinned_shape_with_parallel_counters(self, capsys):
+        """The `stats --json` contract: a repro.bench/1 summary whose
+        metrics always include the PR-4 counter set, even when the run
+        didn't happen to exercise cache or morsel pool."""
+        assert main(["stats", "--figure", "fig4", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert set(summary) == {"schema", "spans", "events", "metrics",
+                                "dropped"}
+        assert summary["schema"] == "repro.bench/1"
+        for counter in ("cache.hit", "cache.miss", "cache.evict",
+                        "parallel.morsels"):
+            assert counter in summary["metrics"], counter
+        # Engine/render taxonomy is present too (the render really ran).
+        assert "render.frames" in summary["metrics"]
+        assert summary["spans"]  # non-empty span rollups
+
+
+class TestTraceDefaultOut:
+    def test_default_filename_is_deterministic(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "trace_fig1.json" in out
+        assert (tmp_path / "trace_fig1.json").exists()
+        # Same invocation, same filename: CI artifact globs stay stable.
+        assert main(["trace", "fig1"]) == 0
+        capsys.readouterr()
+
+    def test_explicit_out_still_wins(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "fig1", "--out", "mytrace.json"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "mytrace.json").exists()
+        assert not (tmp_path / "trace_fig1.json").exists()
+
+
+class TestDashboardCommand:
+    def test_headless_dashboard_smoke(self, tmp_path, capsys):
+        out_dir = tmp_path / "dash"
+        assert main(["dashboard", "--figure", "fig1", "--renders", "2",
+                     "--out-dir", str(out_dir), "--json", "--strict"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_draw_ops"] > 0
+        charts = {entry["chart"]: entry for entry in payload["charts"]}
+        assert set(charts) == {"spans", "cache", "rates"}
+        for entry in charts.values():
+            assert entry["draw_ops"] > 0
+        assert (out_dir / "timeseries.json").exists()
+        assert (out_dir / "metrics.prom").exists()
+        for chart in charts:
+            assert (out_dir / f"dashboard_{chart}.ppm").exists()
+        # The exported snapshot validates against its schema.
+        from repro.obs import validate_timeseries
+
+        validate_timeseries(json.loads(
+            (out_dir / "timeseries.json").read_text()))

@@ -131,6 +131,43 @@ class TestRunSummary:
         tracer.event("hit")
         assert run_summary(tracer)["events"] == {"hit": 2}
 
+    def test_no_tracer_no_registry_is_pinned_empty_shape(self):
+        from repro.obs import empty_run_summary
+
+        # The documented degenerate shape: every key present, all empty.
+        expected = {"schema": BENCH_SCHEMA, "spans": {}, "events": {},
+                    "metrics": {}, "dropped": 0}
+        assert empty_run_summary() == expected
+        assert run_summary() == expected
+        assert run_summary(None, None) == expected
+        # Fresh dict each call — callers may mutate their copy.
+        assert empty_run_summary() is not empty_run_summary()
+
+    def test_degrades_per_argument(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        only_metrics = run_summary(None, registry)
+        assert only_metrics["spans"] == {} and only_metrics["events"] == {}
+        assert only_metrics["metrics"] != {}
+        tracer = Tracer(enabled=True)
+        with tracer.span("s"):
+            pass
+        only_spans = run_summary(tracer, None)
+        assert only_spans["metrics"] == {}
+        assert only_spans["spans"]["s"]["count"] == 1
+
+
+class TestExportersWithoutTracer:
+    def test_chrome_trace_none_is_valid_empty_trace(self):
+        trace = chrome_trace(None)
+        validate_chrome_trace(trace)
+        assert trace["otherData"]["dropped"] == 0
+        # Only the process-name metadata event remains.
+        assert all(ev["ph"] == "M" for ev in trace["traceEvents"])
+
+    def test_render_tree_none_is_empty_string(self):
+        assert render_tree(None) == ""
+
 
 class TestValidateBenchSummary:
     def good(self):

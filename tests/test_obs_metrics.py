@@ -74,6 +74,23 @@ class TestHistogram:
         # 100.0 overflows.
         assert snap["buckets"] == {"1.0": 2, "10.0": 1, "+inf": 1}
 
+    def test_bucket_edge_values_are_inclusive(self):
+        # Observations exactly on a bucket bound land IN that bucket
+        # (upper bounds are inclusive, Prometheus-style); the next float
+        # up overflows to the following bucket.
+        hist = Histogram("h", buckets=[1.0, 10.0, 100.0])
+        for value in (1.0, 10.0, 100.0):
+            hist.observe(value)
+        snap = hist.snapshot()["by_label"]["_total"]
+        assert snap["buckets"] == {"1.0": 1, "10.0": 1, "100.0": 1,
+                                   "+inf": 0}
+        import math
+
+        hist.observe(math.nextafter(100.0, math.inf))
+        snap = hist.snapshot()["by_label"]["_total"]
+        assert snap["buckets"]["+inf"] == 1
+        assert snap["max"] > 100.0
+
     def test_mean_without_observations_raises(self):
         hist = Histogram("h", buckets=[1.0])
         with pytest.raises(ObservabilityError):
