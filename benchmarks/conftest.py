@@ -21,12 +21,14 @@ from repro.data.weather import build_weather_database
 from repro.data.workloads import build_points_database
 from repro.obs import (
     BENCH_SCHEMA,
+    COLUMNAR_BENCH_SCHEMA,
     PARALLEL_BENCH_SCHEMA,
     Tracer,
     declarations,
     push_tracer,
     run_summary,
     validate_bench_summary,
+    validate_columnar_bench,
     validate_parallel_bench,
 )
 
@@ -115,6 +117,29 @@ def record_parallel():
     return record
 
 
+# ---------------------------------------------------------------------------
+# Columnar-backend telemetry: row-vs-columnar arms -> BENCH_columnar.json
+# ---------------------------------------------------------------------------
+
+_COLUMNAR: list[dict] = []
+
+
+@pytest.fixture(scope="session")
+def record_columnar():
+    """Collector for the row-vs-columnar backend benchmarks.
+
+    Each call records one benchmark entry (name + row/columnar timing arms +
+    speedup + columnar counters); the session hook below schema-checks and
+    writes them all to ``BENCH_columnar.json`` (``REPRO_BENCH_COLUMNAR``
+    overrides the path).
+    """
+
+    def record(entry: dict) -> None:
+        _COLUMNAR.append(entry)
+
+    return record
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _TELEMETRY:
         payload = {
@@ -135,4 +160,14 @@ def pytest_sessionfinish(session, exitstatus):
         out = Path(os.environ.get(
             "REPRO_BENCH_PARALLEL",
             session.config.rootpath / "BENCH_parallel.json"))
+        out.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    if _COLUMNAR:
+        payload = {
+            "schema": COLUMNAR_BENCH_SCHEMA,
+            "benchmarks": _COLUMNAR,
+        }
+        validate_columnar_bench(payload)
+        out = Path(os.environ.get(
+            "REPRO_BENCH_COLUMNAR",
+            session.config.rootpath / "BENCH_columnar.json"))
         out.write_text(json.dumps(payload, indent=1, sort_keys=True))

@@ -66,6 +66,11 @@ if _os.environ.get("REPRO_PARALLEL", "") not in ("", "0"):
 
     _install_parallel()
 
+if _os.environ.get("REPRO_COLUMNAR", "") not in ("", "0"):
+    from repro.dbms.columnar import install_from_env as _install_columnar
+
+    _install_columnar()
+
 __version__ = "1.0.0"
 
 __all__ = [

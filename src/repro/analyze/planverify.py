@@ -10,7 +10,10 @@ reporting violations as ``T2-E111`` diagnostics:
 - every Restrict/ThetaJoin predicate is *closed over its input schema* and
   infers to boolean;
 - operator parameters are in range (sample probability, limit count,
-  aggregate names).
+  aggregate names);
+- backend regions are well formed: a columnar kernel's inputs are columnar
+  (entered only through a ``ToColumns`` adapter), and a columnar region is
+  consumed only through a ``ToRows`` adapter — no bare backend crossings.
 
 Constructors check these once; rewrites (:mod:`repro.dbms.plan_rewrite`)
 mutate ``_children`` in place, so a buggy rewrite is exactly what this
@@ -82,6 +85,52 @@ def _expect_children(report: Report, node, count: int) -> bool:
         )
         return False
     return True
+
+
+def _check_backend_edges(report: Report, node) -> None:
+    """Adapter placement: backend changes only at ToColumns / ToRows.
+
+    ``columnarize_plan`` wraps every columnar region in exactly one
+    ``ToColumns`` at the bottom and one ``ToRows`` at the top; a rewrite
+    that splices a kernel against a row node (or vice versa) produces a
+    plan whose two protocols disagree about who is iterating what.
+    """
+    if isinstance(node, P.ToColumnsNode):
+        for child in node.children:
+            if isinstance(child, P.ColumnarNode):
+                _fail(
+                    report, node,
+                    f"child {child.describe()} is already columnar",
+                    hint="ToColumns belongs below the columnar region, "
+                    "not inside it",
+                )
+        return
+    if isinstance(node, P.ColumnarNode):
+        for child in node.children:
+            if not isinstance(child, P.ColumnarNode):
+                _fail(
+                    report, node,
+                    f"row-backend child {child.describe()} without a "
+                    "ToColumns adapter",
+                )
+        return
+    if isinstance(node, P.ToRowsNode):
+        for child in node.children:
+            if not isinstance(child, P.ColumnarNode):
+                _fail(
+                    report, node,
+                    f"child {child.describe()} is not columnar",
+                    hint="ToRows consumes a columnar region; a row child "
+                    "needs no adapter",
+                )
+        return
+    for child in node.children:
+        if isinstance(child, P.ColumnarNode):
+            _fail(
+                report, node,
+                f"columnar child {child.describe()} without a ToRows "
+                "adapter",
+            )
 
 
 def _verify_node(report: Report, node) -> None:
@@ -310,6 +359,129 @@ def _verify_node(report: Report, node) -> None:
         )
         _expect_schema(report, node, expected)
         return
+    if isinstance(node, P.ToColumnsNode):
+        if not _expect_children(report, node, 1):
+            return
+        if node.batch_rows < 1:
+            _fail(report, node, f"batch size {node.batch_rows} below 1")
+        _expect_schema(report, node, node.children[0].schema)
+        return
+    if isinstance(node, P.ToRowsNode):
+        if not _expect_children(report, node, 1):
+            return
+        _expect_schema(report, node, node.children[0].schema)
+        return
+    if isinstance(node, P.ColumnarRestrictNode):
+        if not _expect_children(report, node, 1):
+            return
+        child = node.children[0]
+        _check_predicate(
+            report, node, node.predicate, child.schema, "restrict predicate"
+        )
+        _expect_schema(report, node, child.schema)
+        return
+    if isinstance(node, P.ColumnarProjectNode):
+        if not _expect_children(report, node, 1):
+            return
+        child = node.children[0]
+        if not node._names:
+            _fail(report, node, "projects zero fields")
+            return
+        missing = [n for n in node._names if n not in child.schema]
+        if missing:
+            _fail(
+                report, node,
+                f"projects {', '.join(repr(n) for n in missing)}, not in the "
+                f"child schema ({', '.join(child.schema.names)})",
+            )
+            return
+        _expect_schema(report, node, child.schema.project(node._names))
+        return
+    if isinstance(node, P.ColumnarRenameNode):
+        if not _expect_children(report, node, 1):
+            return
+        child = node.children[0]
+        old, new = node.mapping
+        if old not in child.schema:
+            _fail(
+                report, node,
+                f"renames {old!r}, not in the child schema "
+                f"({', '.join(child.schema.names)})",
+            )
+            return
+        try:
+            expected = child.schema.rename(old, new)
+        except SchemaError as exc:
+            _fail(report, node, f"illegal rename: {exc}")
+            return
+        _expect_schema(report, node, expected)
+        return
+    if isinstance(node, P.ColumnarLimitNode):
+        if not _expect_children(report, node, 1):
+            return
+        if node._count < 0:
+            _fail(report, node, f"negative limit {node._count}")
+        _expect_schema(report, node, node.children[0].schema)
+        return
+    if isinstance(node, P.ColumnarDistinctNode):
+        if not _expect_children(report, node, 1):
+            return
+        _expect_schema(report, node, node.children[0].schema)
+        return
+    if isinstance(node, P.ColumnarOrderByNode):
+        if not _expect_children(report, node, 1):
+            return
+        child = node.children[0]
+        missing = [n for n in node._names if n not in child.schema]
+        if missing:
+            _fail(
+                report, node,
+                f"orders by {', '.join(repr(n) for n in missing)}, not in "
+                f"the child schema ({', '.join(child.schema.names)})",
+            )
+        _expect_schema(report, node, child.schema)
+        return
+    if isinstance(node, P.ColumnarGroupByNode):
+        if not _expect_children(report, node, 1):
+            return
+        # Same typing rules as the serial GroupBy — re-derive the output
+        # schema through the shared helper both constructors use.
+        try:
+            expected = P._groupby_output_schema(
+                node.children[0].schema, node._keys, node._aggregations
+            )
+        except TiogaError as exc:
+            _fail(report, node, f"illegal grouping: {exc}")
+            return
+        _expect_schema(report, node, expected)
+        return
+    if isinstance(node, P.ColumnarHashJoinNode):
+        if not _expect_children(report, node, 2):
+            return
+        left, right = node.children
+        for key, side, label in (
+            (node._left_key, left, "left"),
+            (node._right_key, right, "right"),
+        ):
+            if key not in side.schema:
+                _fail(
+                    report, node,
+                    f"{label} join key {key!r} not in the {label} schema "
+                    f"({', '.join(side.schema.names)})",
+                )
+                return
+        left_type = left.schema.type_of(node._left_key)
+        right_type = right.schema.type_of(node._right_key)
+        if left_type is not right_type and not (
+            T.numeric(left_type) and T.numeric(right_type)
+        ):
+            _fail(
+                report, node,
+                f"join keys have incompatible types "
+                f"({left_type} vs {right_type})",
+            )
+        _expect_schema(report, node, P.joined_schema(left.schema, right.schema)[0])
+        return
     # Unknown node class: nothing structural to assert beyond the walk.
 
 
@@ -339,6 +511,7 @@ def verify_plan(root) -> Report:
         on_path = path | {ident}
         for child in node.children:
             walk(child, on_path)
+        _check_backend_edges(report, node)
         _verify_node(report, node)
         verified.add(ident)
 

@@ -21,6 +21,12 @@ New in this release: keyword-only ``workers=`` / ``cache=`` knobs on
 on partition-parallel plan execution with a process-wide result cache —
 see ``docs/PARALLELISM.md``.
 
+Also new: the columnar execution backend.  ``Engine(columnar=True)`` (or
+``REPRO_COLUMNAR=1``, or a :class:`ColumnarConfig`) lets the plan
+optimizer run eligible subtrees as vectorized numpy kernels over
+:class:`ColumnBatch` data — identical rows, order, and pixels, large
+speedups on scans/filters/joins — see ``docs/COLUMNAR.md``.
+
 Also new: time-series telemetry and the self-hosted dashboard.
 :class:`MetricsRecorder` samples the process metrics into ring-buffer
 series (JSON + Prometheus exposition), :class:`FlightRecorder` keeps a
@@ -85,6 +91,12 @@ from repro.dataflow.boxes_extra import (
 from repro.dataflow.engine import Engine, EngineStats
 from repro.dataflow.explain import explain, explain_data
 from repro.dataflow.graph import Program
+from repro.dbms.columnar import (
+    ColumnarConfig,
+    columnar_config_from_env,
+    default_columnar_config,
+    set_default_columnar_config,
+)
 from repro.dbms.plan_parallel import (
     ParallelConfig,
     config_from_env,
@@ -131,6 +143,11 @@ __all__ = [
     "default_config",
     "set_default_config",
     "result_cache",
+    # Columnar backend
+    "ColumnarConfig",
+    "columnar_config_from_env",
+    "default_columnar_config",
+    "set_default_columnar_config",
     # Observability: time series, flight recorder, bench gate, dashboard
     "MetricsRecorder",
     "TimeSeries",

@@ -48,9 +48,11 @@ The inspection subcommands (``lint``, ``explain``, ``stats``, ``trace``,
 ``--json`` (machine-readable output), ``--timing`` (span-tree timing
 breakdown of the run), ``--strict`` (exit nonzero on soft problems —
 lint warnings, plan degradation notes, dropped trace spans, blank
-canvases), and ``--workers N`` (install a process-wide parallel
+canvases), ``--workers N`` (install a process-wide parallel
 execution config; ``N <= 1`` forces fully serial, see
-``docs/PARALLELISM.md``).
+``docs/PARALLELISM.md``), and ``--columnar`` (install the vectorized
+columnar backend as the process default; identical rows and pixels,
+see ``docs/COLUMNAR.md``).
 """
 
 from __future__ import annotations
@@ -107,6 +109,11 @@ def _common_flags() -> argparse.ArgumentParser:
         "--workers", type=int, metavar="N",
         help="execute plans with N-way morsel parallelism and the shared "
         "result cache (N <= 1 forces fully serial execution)",
+    )
+    common.add_argument(
+        "--columnar", action="store_true",
+        help="execute eligible plan subtrees on the vectorized columnar "
+        "backend (identical rows/pixels; see docs/COLUMNAR.md)",
     )
     return common
 
@@ -260,6 +267,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-seconds", type=float, default=None, metavar="S",
         help="ignore wall-time regressions when both sides are under S "
         "seconds (micro-benchmark noise floor, default 0.005)",
+    )
+    bench_diff.add_argument(
+        "--update-baselines", action="store_true",
+        help="schema-validate the current BENCH file and copy it over the "
+        "baseline path instead of diffing (refreshes "
+        "benchmarks/baselines/)",
     )
 
     dashboard = commands.add_parser(
@@ -617,28 +630,22 @@ def _cmd_stats(args) -> int:
     import json as json_module
 
     from repro.obs import (
-        PARALLEL_BENCH_SCHEMA,
         ObservabilityError,
         Tracer,
         check_declarations,
         global_registry,
         push_tracer,
         run_summary,
-        validate_bench_summary,
-        validate_parallel_bench,
+        validate_any_bench,
     )
 
     if args.validate_bench:
         payload = json_module.loads(Path(args.validate_bench).read_text())
         # Route by the payload's own schema tag: BENCH_obs.json carries
-        # repro.bench/1, BENCH_parallel.json repro.bench.parallel/1.
-        if (isinstance(payload, dict)
-                and payload.get("schema") == PARALLEL_BENCH_SCHEMA):
-            validator = validate_parallel_bench
-        else:
-            validator = validate_bench_summary
+        # repro.bench/1, BENCH_parallel.json repro.bench.parallel/1,
+        # BENCH_columnar.json repro.bench.columnar/1.
         try:
-            validator(payload)
+            validate_any_bench(payload)
         except ObservabilityError as exc:
             print(f"invalid bench summary: {exc}", file=sys.stderr)
             return 1
@@ -646,15 +653,21 @@ def _cmd_stats(args) -> int:
               f"({len(payload.get('benchmarks', []))} benchmarks)")
         return 0
 
-    # Pre-register the PR-4 counter set (cache.hit/miss/evict via the
-    # process-wide ResultCache, parallel.morsels explicitly) so one `stats`
-    # invocation surfaces the full counter taxonomy even when the run
-    # happens not to exercise the cache or the morsel pool — the snapshot
-    # then always carries the complete, pinned key set.
+    # Pre-register the execution counter set (cache.hit/miss/evict via the
+    # process-wide ResultCache; parallel.morsels and the columnar pair
+    # explicitly) so one `stats` invocation surfaces the full counter
+    # taxonomy even when the run happens not to exercise the cache, the
+    # morsel pool, or the columnar backend — the snapshot then always
+    # carries the complete, pinned key set.
     from repro.dbms.plan_parallel import result_cache
 
     result_cache()
     global_registry().counter("parallel.morsels", "morsel tasks executed")
+    global_registry().counter(
+        "columnar.batches", "column batches produced by columnar kernels")
+    global_registry().counter(
+        "columnar.fallback",
+        "column batches re-evaluated on the row path after a data hazard")
 
     db = build_weather_database(extra_stations=40, every_days=30)
     scenario = _FIGURES[args.figure](db)
@@ -705,6 +718,30 @@ def _cmd_bench_diff(args) -> int:
     import json as json_module
 
     from repro.obs.benchdiff import diff_bench_files, render_diff
+
+    if args.update_baselines:
+        # Refresh the committed baseline from a current run: the current
+        # file must validate against its own schema before it can replace
+        # the baseline — a malformed artifact never becomes the gate.
+        from repro.obs import ObservabilityError, validate_any_bench
+
+        try:
+            payload = json_module.loads(Path(args.current).read_text())
+            validate_any_bench(payload)
+        except ObservabilityError as exc:
+            print(f"invalid bench file {args.current}: {exc}",
+                  file=sys.stderr)
+            return 1
+        baseline_path = Path(args.baseline)
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(
+            json_module.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"baseline updated: {args.current} "
+              f"({payload.get('schema')}, "
+              f"{len(payload.get('benchmarks', []))} benchmarks) "
+              f"-> {baseline_path}")
+        return 0
 
     kwargs = {}
     if args.threshold is not None:
@@ -903,6 +940,19 @@ def main(argv: list[str] | None = None) -> int:
         previous_config = set_default_config(
             resolve_config(workers=args.workers)
         )
+    previous_columnar = _UNSET
+    if getattr(args, "columnar", False):
+        # Same pattern for --columnar: a process-wide default so every
+        # engine the subcommand creates runs eligible subtrees vectorized.
+        from repro.dbms.columnar import (
+            ColumnarConfig,
+            default_columnar_config,
+            set_default_columnar_config,
+        )
+
+        previous_columnar = set_default_columnar_config(
+            default_columnar_config() or ColumnarConfig()
+        )
     try:
         return _HANDLERS[args.command](args)
     except TiogaError as exc:
@@ -919,6 +969,10 @@ def main(argv: list[str] | None = None) -> int:
             from repro.dbms.plan_parallel import set_default_config
 
             set_default_config(previous_config)
+        if previous_columnar is not _UNSET:
+            from repro.dbms.columnar import set_default_columnar_config
+
+            set_default_columnar_config(previous_columnar)
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from typing import Any
 from repro.dataflow.box import Box
 from repro.dataflow.graph import Program
 from repro.dbms.catalog import Database
+from repro.dbms.columnar import ColumnarConfig, resolve_columnar_config
 from repro.dbms.plan import LazyRowSet
 from repro.dbms.plan_parallel import resolve_config
 from repro.display.displayable import Composite, DisplayableRelation, Group
@@ -190,6 +191,7 @@ class Engine:
         *,
         workers: int | None = None,
         cache: bool | None = None,
+        columnar: bool | ColumnarConfig | None = None,
     ):
         self.program = program
         self.database = database
@@ -202,14 +204,19 @@ class Engine:
         # None this follows the process default (REPRO_PARALLEL); explicit
         # workers=0/1 with cache=False forces fully serial execution.
         self.parallel = resolve_config(workers, cache)
+        # Columnar backend selection: None inherits the process default
+        # (REPRO_COLUMNAR), False pins the row backend, True/a config
+        # enables per-subtree vectorization.  Rows/order are identical
+        # either way (docs/COLUMNAR.md).
+        self.columnar = resolve_columnar_config(columnar)
 
     def _force(self, value: Any) -> Any:
-        """Materialize a demanded value, honoring the parallel config."""
-        if self.parallel is None:
+        """Materialize a demanded value, honoring the execution config."""
+        if self.parallel is None and self.columnar is None:
             return _force_value(value)
         from repro.dataflow.parallel import prepare_value
 
-        return prepare_value(value, self.parallel)
+        return prepare_value(value, self.parallel, columnar=self.columnar)
 
     # ------------------------------------------------------------------
 

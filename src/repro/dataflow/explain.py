@@ -144,6 +144,7 @@ def _plan_to_dict(node: PlanNode, counter: list[int]) -> dict[str, Any]:
         "notes": list(stats.notes),
         "children": [_plan_to_dict(child, counter) for child in node.children],
     }
+    entry["backend"] = getattr(node, "backend", "row")
     parallel = getattr(node, "parallel_info", None)
     if parallel is not None:
         entry["parallel"] = parallel

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.dbms.columnar import ColumnarConfig
 from repro.dbms.plan import LazyRowSet
 from repro.dbms.plan_parallel import (
     ParallelConfig,
@@ -40,15 +41,24 @@ from repro.display.displayable import Composite, DisplayableRelation, Group
 __all__ = ["prepare_value", "force_lazy", "resolve_config", "ParallelConfig"]
 
 
-def force_lazy(lazy: LazyRowSet, config: ParallelConfig) -> LazyRowSet:
-    """Materialize one lazy row set under a parallel config."""
+def force_lazy(
+    lazy: LazyRowSet,
+    config: ParallelConfig | None,
+    columnar: ColumnarConfig | None = None,
+) -> LazyRowSet:
+    """Materialize one lazy row set under a parallel/columnar config.
+
+    Plan fingerprints are computed on the *pre-rewrite* plan and the
+    rewrites are backend-transparent, so cache entries are shared between
+    row, columnar, and parallel executions of the same logical plan.
+    """
     if lazy.is_materialized:
         return lazy
 
     key = None
     pins: tuple = ()
     epoch = None
-    if config.cache and not lazy.has_started:
+    if config is not None and config.cache and not lazy.has_started:
         fingerprint = plan_fingerprint(lazy.plan)
         if fingerprint is not None:
             key, pins = fingerprint
@@ -61,8 +71,15 @@ def force_lazy(lazy: LazyRowSet, config: ParallelConfig) -> LazyRowSet:
             lazy.cache_status = "miss"
             epoch = storage_epoch()
 
-    if config.parallel and not lazy.has_started:
-        new_root, _log = parallelize_plan(lazy.plan, config)
+    if not lazy.has_started:
+        new_root = lazy.plan
+        if config is not None and config.parallel:
+            new_root, _log = parallelize_plan(new_root, config,
+                                              columnar=columnar)
+        if columnar is not None:
+            from repro.dbms.plan_rewrite import columnarize_plan
+
+            new_root, _log = columnarize_plan(new_root, columnar)
         if new_root is not lazy.plan:
             lazy.replace_plan(new_root)
 
@@ -72,19 +89,23 @@ def force_lazy(lazy: LazyRowSet, config: ParallelConfig) -> LazyRowSet:
     return lazy
 
 
-def prepare_value(value: Any, config: ParallelConfig) -> Any:
-    """Materialize lazy row sets inside a demanded value, parallel-aware.
+def prepare_value(
+    value: Any,
+    config: ParallelConfig | None,
+    columnar: ColumnarConfig | None = None,
+) -> Any:
+    """Materialize lazy row sets inside a demanded value, backend-aware.
 
     Mirrors the engine's serial forcing walk over displayable containers.
     """
     if isinstance(value, LazyRowSet):
-        force_lazy(value, config)
+        force_lazy(value, config, columnar)
     elif isinstance(value, DisplayableRelation):
-        prepare_value(value.rows, config)
+        prepare_value(value.rows, config, columnar)
     elif isinstance(value, Composite):
         for entry in value.entries:
-            prepare_value(entry.relation, config)
+            prepare_value(entry.relation, config, columnar)
     elif isinstance(value, Group):
         for __, member in value.members:
-            prepare_value(member, config)
+            prepare_value(member, config, columnar)
     return value

@@ -1,0 +1,319 @@
+"""Expression-to-numpy compilation for the columnar backend.
+
+:func:`compile_expression` turns a typechecked query-language expression
+into a closure over a :class:`~repro.dbms.columnar.ColumnBatch` that
+returns one numpy array — a chain of ufunc applications instead of a
+per-row ``evaluate`` walk.  Vectorizability is decided by the *same* type
+judgment the static checker makes: the expression is re-checked through
+:func:`repro.analyze.exprcheck.analyze_expression`, so the compiler can
+never disagree with the checker about what typechecks, and anything the
+checker rejects stays on the row backend.
+
+Exactness contract — the columnar backend must produce bit-identical rows:
+
+* Only operations whose numpy implementation provably matches the serial
+  Python semantics are compiled.  ``sqrt`` is IEEE correctly-rounded in
+  both; ``np.round`` is banker's rounding like Python ``round``; integer
+  ``%``/``floor``/``ceil`` are exact.  The transcendentals (``exp``,
+  ``ln``, ``log10``, ``sin``, ``cos``) may differ from ``math.*`` by an
+  ulp, so they are *not* vectorizable — expressions using them run on the
+  row backend.
+* Mixed int/float comparisons are exact in Python but round the int side
+  to float64 in numpy; the compiled comparison guards the magnitude and
+  falls back past 2**53.  Same for int/int division.
+* Data-dependent hazards (a zero divisor, a negative ``sqrt`` argument)
+  raise :class:`VectorFallback` instead of erroring eagerly: the serial
+  backend's ``and``/``or`` short-circuit may skip the error entirely, so
+  the kernel re-evaluates that batch row-at-a-time with exact serial
+  semantics (and counts it in ``columnar.fallback``).
+
+TEXT and DATE columns live at ``object`` dtype where numpy applies the
+Python comparison operators elementwise — correct by construction, just
+not SIMD-fast.  DRAWABLES never vectorize.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.dbms import types as T
+from repro.dbms.columnar import ColumnBatch, NUMPY_DTYPES
+from repro.dbms.expr import (
+    Binary,
+    Call,
+    Conditional,
+    Expr,
+    FieldRef,
+    Literal,
+    Unary,
+)
+from repro.dbms.tuples import Schema
+
+__all__ = [
+    "VectorFallback",
+    "compile_expression",
+    "compile_predicate",
+    "vectorizable",
+]
+
+CompiledExpr = Callable[[ColumnBatch], np.ndarray]
+
+#: Largest integer magnitude that float64 represents exactly; int values
+#: beyond it would compare/divide differently after numpy's promotion.
+_EXACT_INT = 2 ** 53
+
+
+class VectorFallback(Exception):
+    """A compiled kernel hit a data-dependent hazard in this batch.
+
+    The caller must re-evaluate the batch row-at-a-time with the serial
+    ``Expr.evaluate`` — that reproduces short-circuiting and the exact
+    ``EvaluationError`` messages the row backend raises.
+    """
+
+
+class _NotVectorizable(Exception):
+    """Compile-time verdict: this expression stays on the row backend."""
+
+
+def _as_bool(arr: np.ndarray) -> np.ndarray:
+    return np.asarray(arr, dtype=bool)
+
+
+def _require_fixed(arr: np.ndarray) -> np.ndarray:
+    """Reject object-dtype operands at runtime (overflowed int columns)."""
+    if arr.dtype == object:
+        raise VectorFallback("object-dtype column in a numeric kernel")
+    return arr
+
+
+def _guard_exact_int(arr: np.ndarray) -> None:
+    """Fall back when int values would lose precision as float64."""
+    if arr.dtype.kind in "iu" and arr.size and \
+            int(np.abs(arr).max()) > _EXACT_INT:
+        raise VectorFallback("int magnitude beyond exact float64 range")
+
+
+# ---------------------------------------------------------------------------
+# Node compilers
+# ---------------------------------------------------------------------------
+
+
+def _compile_literal(expr: Literal) -> CompiledExpr:
+    atomic, value = expr.type, expr.value
+    if atomic is T.DRAWABLES:
+        raise _NotVectorizable("drawables literal")
+    dtype = NUMPY_DTYPES.get(atomic)
+
+    def constant(batch: ColumnBatch) -> np.ndarray:
+        n = len(batch)
+        if dtype is None:
+            arr = np.empty(n, dtype=object)
+            arr[:] = value
+            return arr
+        return np.full(n, value, dtype=dtype)
+
+    return constant
+
+
+def _compile_fieldref(expr: FieldRef, schema: Schema) -> CompiledExpr:
+    if schema.type_of(expr.name) is T.DRAWABLES:
+        raise _NotVectorizable("drawables column")
+    name = expr.name
+    return lambda batch: batch.column(name)
+
+
+def _compile_unary(expr: Unary, schema: Schema) -> CompiledExpr:
+    inner = _compile(expr.operand, schema)
+    if expr.op == "-":
+        return lambda batch: np.negative(inner(batch))
+    return lambda batch: np.logical_not(_as_bool(inner(batch)))
+
+
+_COMPARE_UFUNCS = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+_ARITH_UFUNCS = {"+": np.add, "-": np.subtract, "*": np.multiply}
+
+
+def _compile_binary(expr: Binary, schema: Schema) -> CompiledExpr:
+    left = _compile(expr.left, schema)
+    right = _compile(expr.right, schema)
+    op = expr.op
+
+    if op == "and":
+        return lambda b: np.logical_and(_as_bool(left(b)), _as_bool(right(b)))
+    if op == "or":
+        return lambda b: np.logical_or(_as_bool(left(b)), _as_bool(right(b)))
+
+    if op == "/":
+        def divide(batch: ColumnBatch) -> np.ndarray:
+            l, r = left(batch), right(batch)
+            if np.any(r == 0):
+                raise VectorFallback("division by zero in batch")
+            if getattr(l, "dtype", None) is not None and \
+                    l.dtype.kind in "iu" and r.dtype.kind in "iu":
+                # Python divides the exact integers; numpy rounds each side
+                # to float64 first — identical only inside the exact range.
+                _guard_exact_int(l)
+                _guard_exact_int(r)
+            return np.true_divide(l, r)
+        return divide
+
+    if op == "%":
+        def modulo(batch: ColumnBatch) -> np.ndarray:
+            l, r = left(batch), right(batch)
+            if np.any(r == 0):
+                raise VectorFallback("modulo by zero in batch")
+            return np.mod(l, r)    # sign-of-divisor, like Python %
+        return modulo
+
+    if op in _ARITH_UFUNCS:
+        ufunc = _ARITH_UFUNCS[op]
+        return lambda b: ufunc(left(b), right(b))
+
+    if op in _COMPARE_UFUNCS:
+        lt, rt = expr.left.infer(schema), expr.right.infer(schema)
+        mixed = {lt, rt} == {T.INT, T.FLOAT}
+        ufunc = _COMPARE_UFUNCS[op]
+
+        def compare(batch: ColumnBatch) -> np.ndarray:
+            l, r = left(batch), right(batch)
+            if mixed:
+                _guard_exact_int(l)
+                _guard_exact_int(r)
+            return _as_bool(ufunc(l, r))
+        return compare
+
+    # "||" — object arrays of str: np.add applies + elementwise
+    return lambda b: np.add(left(b), right(b))
+
+
+def _compile_conditional(expr: Conditional, schema: Schema) -> CompiledExpr:
+    condition = _compile(expr.condition, schema)
+    then_branch = _compile(expr.then_branch, schema)
+    else_branch = _compile(expr.else_branch, schema)
+
+    def choose(batch: ColumnBatch) -> np.ndarray:
+        keep = _as_bool(condition(batch))
+        return np.where(keep, then_branch(batch), else_branch(batch))
+
+    return choose
+
+
+def _compile_call(expr: Call, schema: Schema) -> CompiledExpr:
+    name = expr.fn.name
+    args = [_compile(arg, schema) for arg in expr.args]
+
+    if name == "abs":
+        return lambda b: np.abs(args[0](b))
+    if name == "sqrt":
+        def sqrt(batch: ColumnBatch) -> np.ndarray:
+            x = _require_fixed(np.asarray(args[0](batch)))
+            if np.any(x < 0):
+                raise VectorFallback("sqrt of negative value in batch")
+            return np.sqrt(x.astype(np.float64, copy=False))
+        return sqrt
+    if name in ("floor", "ceil"):
+        ufunc = np.floor if name == "floor" else np.ceil
+        def to_int(batch: ColumnBatch) -> np.ndarray:
+            x = _require_fixed(np.asarray(args[0](batch)))
+            return ufunc(x).astype(np.int64)
+        return to_int
+    if name == "round":
+        def round_half_even(batch: ColumnBatch) -> np.ndarray:
+            x = _require_fixed(np.asarray(args[0](batch)))
+            return np.round(x).astype(np.int64)    # banker's, like round()
+        return round_half_even
+    if name in ("min", "max"):
+        arg_types = [arg.infer(schema) for arg in expr.args]
+        if not all(T.numeric(at) for at in arg_types):
+            raise _NotVectorizable(f"{name} over non-numeric arguments")
+        ufunc = np.minimum if name == "min" else np.maximum
+        def fold(batch: ColumnBatch) -> np.ndarray:
+            out = args[0](batch)
+            for compiled in args[1:]:
+                out = ufunc(out, compiled(batch))
+            return out
+        return fold
+    # Everything else — transcendentals (ulp-level divergence from math.*),
+    # text/date functions, display constructors — stays on the row backend.
+    raise _NotVectorizable(f"function {name}() is not vectorizable")
+
+
+def _compile(expr: Expr, schema: Schema) -> CompiledExpr:
+    if isinstance(expr, Literal):
+        return _compile_literal(expr)
+    if isinstance(expr, FieldRef):
+        return _compile_fieldref(expr, schema)
+    if isinstance(expr, Unary):
+        return _compile_unary(expr, schema)
+    if isinstance(expr, Binary):
+        return _compile_binary(expr, schema)
+    if isinstance(expr, Conditional):
+        return _compile_conditional(expr, schema)
+    if isinstance(expr, Call):
+        return _compile_call(expr, schema)
+    raise _NotVectorizable(f"unknown expression node {type(expr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def _checker_accepts(expr: Expr, schema: Schema) -> bool:
+    """The static checker's verdict, reused verbatim.
+
+    The expression is rendered back to source and pushed through
+    :func:`repro.analyze.exprcheck.analyze_expression` — one judgment,
+    shared by the lint surface and this compiler.  (Imported lazily:
+    ``repro.analyze`` sits above ``repro.dbms`` in the layer order.)
+    """
+    from repro.analyze.exprcheck import analyze_expression
+
+    try:
+        checked, inferred, diagnostics = analyze_expression(str(expr), schema)
+    except Exception:
+        return False
+    return checked is not None and inferred is not None and not diagnostics
+
+
+def compile_expression(expr: Expr, schema: Schema) -> CompiledExpr | None:
+    """Compile ``expr`` to an array program, or ``None`` if not vectorizable.
+
+    The returned callable maps a :class:`ColumnBatch` (whose schema must
+    match ``schema``) to one numpy array.  It may raise
+    :class:`VectorFallback` on hazardous data; see the module docstring.
+    """
+    if not _checker_accepts(expr, schema):
+        return None
+    try:
+        return _compile(expr, schema)
+    except _NotVectorizable:
+        return None
+
+
+def compile_predicate(expr: Expr, schema: Schema) -> CompiledExpr | None:
+    """Compile a boolean predicate to a mask program (or ``None``)."""
+    try:
+        if expr.infer(schema) is not T.BOOL:
+            return None
+    except Exception:
+        return None
+    compiled = compile_expression(expr, schema)
+    if compiled is None:
+        return None
+    return lambda batch: _as_bool(compiled(batch))
+
+
+def vectorizable(expr: Expr, schema: Schema) -> bool:
+    """Would :func:`compile_expression` accept this expression?"""
+    return compile_expression(expr, schema) is not None

@@ -42,8 +42,18 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterator, Sequence
 
+from repro.dbms.columnar import ColumnBatch, ColumnarConfig, cached_batch
+from repro.dbms.expr_compile import VectorFallback, compile_predicate
 from repro.dbms.plan import (
     CacheNode,
+    ColumnarDistinctNode,
+    ColumnarGroupByNode,
+    ColumnarHashJoinNode,
+    ColumnarLimitNode,
+    ColumnarOrderByNode,
+    ColumnarProjectNode,
+    ColumnarRenameNode,
+    ColumnarRestrictNode,
     CrossProductNode,
     DistinctNode,
     GroupByNode,
@@ -59,6 +69,8 @@ from repro.dbms.plan import (
     SampleNode,
     ScanNode,
     ThetaJoinNode,
+    ToColumnsNode,
+    ToRowsNode,
     UnionNode,
     concat_rows,
 )
@@ -261,6 +273,34 @@ def _fingerprint(node: PlanNode, pins: list[Any]) -> tuple:
     if isinstance(node, ParallelMapNode):
         # Same result as its serial chain, by construction.
         return _fingerprint(node.children[0], pins)
+    if isinstance(node, (ToColumnsNode, ToRowsNode)):
+        # Adapters change representation, never content.
+        return _fingerprint(node.children[0], pins)
+    # Columnar kernels produce the same rows as their serial siblings, so
+    # they share the serial tags — cache keys are backend-independent and
+    # a result computed on either backend serves both.
+    if isinstance(node, ColumnarRestrictNode):
+        return ("restrict", str(node.predicate),
+                _fingerprint(node.children[0], pins))
+    if isinstance(node, ColumnarProjectNode):
+        return ("project", tuple(node._names),
+                _fingerprint(node.children[0], pins))
+    if isinstance(node, ColumnarRenameNode):
+        return ("rename", node.mapping, _fingerprint(node.children[0], pins))
+    if isinstance(node, ColumnarLimitNode):
+        return ("limit", node._count, _fingerprint(node.children[0], pins))
+    if isinstance(node, ColumnarOrderByNode):
+        return ("orderby", tuple(node._names), node._descending,
+                _fingerprint(node.children[0], pins))
+    if isinstance(node, ColumnarDistinctNode):
+        return ("distinct", _fingerprint(node.children[0], pins))
+    if isinstance(node, ColumnarGroupByNode):
+        return ("groupby", tuple(node._keys), tuple(node._aggregations),
+                _fingerprint(node.children[0], pins))
+    if isinstance(node, ColumnarHashJoinNode):
+        return ("equijoin", node._left_key, node._right_key,
+                _fingerprint(node.children[0], pins),
+                _fingerprint(node.children[1], pins))
     if isinstance(node, ScanNode):
         pins.append(node._source)
         return ("scan", id(node._source))
@@ -458,6 +498,15 @@ class ParallelMapNode(PlanNode):
     keep-mask drawn in one serial pass over the leaf rows — the same stream
     of draws the serial operator makes — then morsels partition the
     surviving rows.
+
+    When a :class:`~repro.dbms.columnar.ColumnarConfig` is supplied and
+    every Restrict predicate in the chain vectorizes, each morsel executes
+    as a column-batch slice instead of a row loop: the leaf's cached
+    columnar conversion is sliced per morsel, compiled mask programs apply
+    the restricts, and Project/Rename relabel column references.  A morsel
+    that trips a data hazard re-runs on the serial row path
+    (``columnar.fallback``).  Output rows, order, and per-template
+    counters are identical either way.
     """
 
     label = "ParallelMap"
@@ -469,6 +518,7 @@ class ParallelMapNode(PlanNode):
         chain: Sequence[PlanNode],
         sample: SampleNode | None,
         config: ParallelConfig,
+        columnar: ColumnarConfig | None = None,
     ):
         super().__init__((chain_root,), chain_root.schema)
         self._leaf = leaf
@@ -477,6 +527,37 @@ class ParallelMapNode(PlanNode):
         self._builders = [_rebuilder(template) for template in self._chain]
         self._sample = sample
         self._config = config
+        self._vector_chain = (
+            self._compile_vector_chain() if columnar is not None else None
+        )
+
+    def _compile_vector_chain(self):
+        """Per-stage columnar programs, or None if the chain won't pay off.
+
+        Stages mirror ``self._chain`` bottom-up; schemas are threaded
+        through Project/Rename so each compiled predicate sees the schema
+        its template validated against.  Vectorizing is only worthwhile
+        when at least one Restrict compiled — bare Project/Rename chains
+        are pure plumbing.
+        """
+        schema = self._leaf.schema
+        stages: list[tuple] = []
+        compiled_any = False
+        for template in self._chain:
+            if isinstance(template, RestrictNode):
+                compiled = compile_predicate(template.predicate, schema)
+                if compiled is None:
+                    return None
+                stages.append(("restrict", compiled))
+                compiled_any = True
+            elif isinstance(template, ProjectNode):
+                schema = schema.project(template._names)
+                stages.append(("project", list(template._names), schema))
+            else:
+                old, new = template.mapping
+                schema = schema.rename(old, new)
+                stages.append(("rename", (old, new), schema))
+        return stages if compiled_any else None
 
     @property
     def parallel_info(self) -> dict[str, Any]:
@@ -485,6 +566,7 @@ class ParallelMapNode(PlanNode):
             "workers": self._config.workers,
             "morsel_size": self._config.morsel_size,
             "ops": [template.label for template in self._chain],
+            "columnar": self._vector_chain is not None,
         }
 
     def _run_morsel(self, index: int, chunk: Sequence[Tuple]):
@@ -500,6 +582,56 @@ class ParallelMapNode(PlanNode):
             counters = [
                 (item.stats.rows_in, item.stats.rows_out) for item in built
             ]
+        global_registry().counter(
+            "parallel.morsels", "morsel tasks executed").inc(label=self.label)
+        return out, counters
+
+    def _run_morsel_vector(self, index, chunk, base_batch, start):
+        """One morsel as a column-batch slice; row-path retry on hazards."""
+        stages = self._vector_chain
+        tracer = current_tracer()
+        with tracer.span("parallel.morsel", op=self.label, morsel=index,
+                         rows=len(chunk)):
+            if base_batch is not None:
+                batch = base_batch.slice(start, start + len(chunk))
+            else:
+                batch = ColumnBatch.from_rows(self._leaf.schema, chunk)
+            counters: list[tuple[int, int]] = []
+            for stage in stages:
+                rows_in = len(batch)
+                if stage[0] == "restrict":
+                    try:
+                        keep = stage[1](batch)
+                    except VectorFallback:
+                        global_registry().counter(
+                            "columnar.fallback",
+                            "column batches re-evaluated on the row path "
+                            "after a data hazard",
+                        ).inc(label=self.label)
+                        return self._run_morsel(index, chunk)
+                    batch = batch.take_mask(keep)
+                elif stage[0] == "project":
+                    __, names, schema = stage
+                    batch = ColumnBatch(
+                        schema,
+                        {name: batch.column(name) for name in names},
+                        mask=batch.mask,
+                    )
+                else:
+                    __, (old, new), schema = stage
+                    batch = ColumnBatch(
+                        schema,
+                        {
+                            (new if name == old else name): batch.column(name)
+                            for name in batch.schema.names
+                        },
+                        mask=batch.mask,
+                    )
+                counters.append((rows_in, len(batch)))
+            out = list(batch.to_rows())
+        global_registry().counter(
+            "columnar.batches", "column batches produced by columnar kernels"
+        ).inc(label=self.label)
         global_registry().counter(
             "parallel.morsels", "morsel tasks executed").inc(label=self.label)
         return out, counters
@@ -524,6 +656,18 @@ class ParallelMapNode(PlanNode):
             rows = kept
 
         morsels = _morsels(rows, config.morsel_size)
+        vector = self._vector_chain is not None
+        base_batch = None
+        if vector and isinstance(rows, tuple):
+            # One cached whole-source conversion; morsels become slices.
+            base_batch = cached_batch(rows, self._leaf.schema)
+
+        def submit_args(index: int, chunk):
+            if vector:
+                return (self._run_morsel_vector, index, chunk, base_batch,
+                        index * config.morsel_size)
+            return (self._run_morsel, index, chunk)
+
         run_parallel = (
             config.parallel
             and len(rows) >= config.min_partition_rows
@@ -532,15 +676,15 @@ class ParallelMapNode(PlanNode):
         if run_parallel:
             pool = executor_for(config.workers)
             futures = [
-                pool.submit(self._run_morsel, index, chunk)
+                pool.submit(*submit_args(index, chunk))
                 for index, chunk in enumerate(morsels)
             ]
             results = [future.result() for future in futures]
         else:
-            results = [
-                self._run_morsel(index, chunk)
-                for index, chunk in enumerate(morsels)
-            ]
+            results = []
+            for index, chunk in enumerate(morsels):
+                fn, *call_args = submit_args(index, chunk)
+                results.append(fn(*call_args))
 
         for out, counters in results:
             for template, (rows_in, rows_out) in zip(self._chain, counters):
@@ -701,6 +845,8 @@ def parallelize_plan(
     root: PlanNode,
     config: ParallelConfig,
     log: list[str] | None = None,
+    *,
+    columnar: ColumnarConfig | None = None,
 ) -> tuple[PlanNode, list[str]]:
     """Rewrite a plan for morsel-parallel execution; serial-identical output.
 
@@ -711,12 +857,18 @@ def parallelize_plan(
     sources — keeps its serial operator, with its inputs rewritten
     recursively.  The rewrite preserves schemas and never touches the
     interior of a CacheNode (its child belongs to another LazyRowSet).
+
+    When ``columnar`` is given, each :class:`ParallelMapNode` additionally
+    compiles its chain for column-batch morsels (see the class docstring);
+    subtrees already on the columnar backend are left untouched.
     """
     if log is None:
         log = []
 
     def walk(node: PlanNode) -> PlanNode:
         if isinstance(node, (ParallelMapNode, ParallelHashJoinNode)):
+            return node
+        if hasattr(node, "columnar_info") or isinstance(node, ToRowsNode):
             return node
         if isinstance(node, _LEAF_OPS) or not node.children:
             return node
@@ -737,7 +889,9 @@ def parallelize_plan(
             elif isinstance(cursor, _LEAF_OPS):
                 leaf = cursor
             if leaf is not None:
-                wrapped = ParallelMapNode(node, leaf, chain, sample, config)
+                wrapped = ParallelMapNode(
+                    node, leaf, chain, sample, config, columnar=columnar
+                )
                 log.append(
                     f"parallelize: {len(chain)}-op chain over "
                     f"{leaf.describe()} → morsels "

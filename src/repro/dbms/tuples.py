@@ -184,6 +184,21 @@ class Tuple:
                 raise TypeCheckError(f"field {field.name!r}: {exc}") from exc
         self._values = tuple(coerced)
 
+    @classmethod
+    def trusted(cls, schema: Schema, values: Iterable[Any]) -> "Tuple":
+        """Construct without validation or coercion.
+
+        Only for values that provably already conform to ``schema`` — the
+        columnar backend uses this when rebuilding rows from column arrays
+        whose every element came out of a previously validated tuple.
+        Anywhere the values' provenance is less airtight, use the normal
+        constructor.
+        """
+        row = object.__new__(cls)
+        row._schema = schema
+        row._values = tuple(values)
+        return row
+
     @property
     def schema(self) -> Schema:
         return self._schema

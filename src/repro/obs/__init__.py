@@ -23,13 +23,16 @@ from repro.obs.benchdiff import (
 )
 from repro.obs.export import (
     BENCH_SCHEMA,
+    COLUMNAR_BENCH_SCHEMA,
     PARALLEL_BENCH_SCHEMA,
     chrome_trace,
     empty_run_summary,
     render_tree,
     run_summary,
+    validate_any_bench,
     validate_bench_summary,
     validate_chrome_trace,
+    validate_columnar_bench,
     validate_parallel_bench,
     write_chrome_trace,
 )
@@ -70,6 +73,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "COLUMNAR_BENCH_SCHEMA",
     "DIFF_SCHEMA",
     "FLIGHT_SCHEMA",
     "PARALLEL_BENCH_SCHEMA",
@@ -105,7 +109,9 @@ __all__ = [
     "run_summary",
     "set_tracer",
     "tracing",
+    "validate_any_bench",
     "validate_bench_summary",
+    "validate_columnar_bench",
     "validate_parallel_bench",
     "validate_chrome_trace",
     "validate_timeseries",

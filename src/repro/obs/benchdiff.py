@@ -26,7 +26,11 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ObservabilityError
-from repro.obs.export import BENCH_SCHEMA, PARALLEL_BENCH_SCHEMA
+from repro.obs.export import (
+    BENCH_SCHEMA,
+    COLUMNAR_BENCH_SCHEMA,
+    PARALLEL_BENCH_SCHEMA,
+)
 
 __all__ = [
     "diff_bench",
@@ -147,14 +151,17 @@ def diff_bench(baseline: dict[str, Any], current: dict[str, Any],
             f"cannot diff schemas {base_schema!r} and "
             f"{current['schema']!r}; compare like with like"
         )
-    if base_schema == PARALLEL_BENCH_SCHEMA:
+    if base_schema in (PARALLEL_BENCH_SCHEMA, COLUMNAR_BENCH_SCHEMA):
+        # Columnar bench files share the arms-plus-speedup shape; the same
+        # row comparison applies (arm seconds, headline speedup).
         row_fn = _parallel_rows
     elif base_schema == BENCH_SCHEMA:
         row_fn = _obs_rows
     else:
         raise ObservabilityError(
             f"unknown bench schema {base_schema!r}; known: "
-            f"{BENCH_SCHEMA!r}, {PARALLEL_BENCH_SCHEMA!r}"
+            f"{BENCH_SCHEMA!r}, {PARALLEL_BENCH_SCHEMA!r}, "
+            f"{COLUMNAR_BENCH_SCHEMA!r}"
         )
     effective = dict(DEFAULT_THRESHOLDS)
     if threshold is not None:

@@ -35,8 +35,11 @@ __all__ = [
     "validate_chrome_trace",
     "validate_bench_summary",
     "validate_parallel_bench",
+    "validate_columnar_bench",
+    "validate_any_bench",
     "BENCH_SCHEMA",
     "PARALLEL_BENCH_SCHEMA",
+    "COLUMNAR_BENCH_SCHEMA",
 ]
 
 BENCH_SCHEMA = "repro.bench/1"
@@ -44,6 +47,9 @@ BENCH_SCHEMA = "repro.bench/1"
 
 PARALLEL_BENCH_SCHEMA = "repro.bench.parallel/1"
 """Schema tag stamped into ``BENCH_parallel.json``."""
+
+COLUMNAR_BENCH_SCHEMA = "repro.bench.columnar/1"
+"""Schema tag stamped into ``BENCH_columnar.json``."""
 
 _PID = 1  # single-process traces; Chrome requires *a* pid
 
@@ -403,3 +409,81 @@ def validate_parallel_bench(obj: Any) -> dict[str, Any]:
                 f"benchmarks[{index}] 'cache' must be an object"
             )
     return obj
+
+
+def validate_columnar_bench(obj: Any) -> dict[str, Any]:
+    """Check a ``BENCH_columnar.json`` payload; returns it on success.
+
+    Each benchmark compares timing arms (row vs columnar backend) on one
+    workload::
+
+        {"schema": "repro.bench.columnar/1",
+         "benchmarks": [
+             {"name": "fast_scatter_restrict",
+              "arms": {"row": {"seconds": 0.52},
+                       "columnar": {"seconds": 0.03}},
+              "speedup": 17.3,
+              "counters": {"columnar.batches": 12,
+                           "columnar.fallback": 0}}]}
+    """
+    if not isinstance(obj, dict):
+        raise ObservabilityError("columnar bench summary must be an object")
+    if obj.get("schema") != COLUMNAR_BENCH_SCHEMA:
+        raise ObservabilityError(
+            f"columnar bench schema must be {COLUMNAR_BENCH_SCHEMA!r}, "
+            f"got {obj.get('schema')!r}"
+        )
+    benchmarks = obj.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise ObservabilityError(
+            "columnar bench summary needs a 'benchmarks' list"
+        )
+    for index, entry in enumerate(benchmarks):
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise ObservabilityError(
+                f"benchmarks[{index}] must be an object with a 'name'"
+            )
+        arms = entry.get("arms")
+        if not isinstance(arms, dict) or not arms:
+            raise ObservabilityError(
+                f"benchmarks[{index}] needs a non-empty 'arms' object"
+            )
+        for arm_name, arm in arms.items():
+            if not isinstance(arm, dict):
+                raise ObservabilityError(
+                    f"benchmarks[{index}] arm {arm_name!r} must be an object"
+                )
+            seconds = arm.get("seconds")
+            if not isinstance(seconds, (int, float)) or seconds < 0:
+                raise ObservabilityError(
+                    f"benchmarks[{index}] arm {arm_name!r} needs "
+                    "non-negative numeric 'seconds'"
+                )
+        speedup = entry.get("speedup")
+        if speedup is not None and (
+            not isinstance(speedup, (int, float)) or speedup <= 0
+        ):
+            raise ObservabilityError(
+                f"benchmarks[{index}] 'speedup' must be positive"
+            )
+        counters = entry.get("counters")
+        if counters is not None and not isinstance(counters, dict):
+            raise ObservabilityError(
+                f"benchmarks[{index}] 'counters' must be an object"
+            )
+    return obj
+
+
+def validate_any_bench(obj: Any) -> dict[str, Any]:
+    """Validate a bench payload, routing on its own schema tag.
+
+    Used by ``repro stats --validate-bench`` and
+    ``repro bench-diff --update-baselines``, which accept any of the three
+    ``BENCH_*.json`` artifact kinds.
+    """
+    schema = obj.get("schema") if isinstance(obj, dict) else None
+    if schema == PARALLEL_BENCH_SCHEMA:
+        return validate_parallel_bench(obj)
+    if schema == COLUMNAR_BENCH_SCHEMA:
+        return validate_columnar_bench(obj)
+    return validate_bench_summary(obj)

@@ -20,6 +20,7 @@ from typing import Any, Callable, NamedTuple
 
 import numpy as np
 
+from repro.dbms.columnar import default_columnar_config
 from repro.dbms.expr import Binary, FieldRef, Literal
 from repro.dbms.plan import RestrictNode, source_plan
 from repro.dbms.plan_parallel import (
@@ -491,7 +492,8 @@ def _execute_cull_plan(viewport_node, slider_node):
     carries the per-node counters so SceneStats stays exact on a hit.
     """
     config = default_config()
-    if config is None:
+    columnar = default_columnar_config()
+    if config is None and columnar is None:
         return list(viewport_node.rows_iter())
 
     counted = [node for node in (slider_node, viewport_node)
@@ -499,7 +501,7 @@ def _execute_cull_plan(viewport_node, slider_node):
     key = None
     pins: tuple = ()
     epoch = None
-    if config.cache:
+    if config is not None and config.cache:
         fingerprint = plan_fingerprint(viewport_node)
         if fingerprint is not None:
             key, pins = fingerprint
@@ -512,9 +514,17 @@ def _execute_cull_plan(viewport_node, slider_node):
                 return list(rows)
             epoch = storage_epoch()
 
+    # The rewrites keep row identity (columnar Restrict selects from cached
+    # whole-source batches that hand back the original Tuple objects) and
+    # fold per-node counters back into the synthesized Restricts, so the
+    # caller's identity walk and SceneStats stay exact on every backend.
     root = viewport_node
-    if config.parallel:
-        root, __ = parallelize_plan(viewport_node, config)
+    if config is not None and config.parallel:
+        root, __ = parallelize_plan(viewport_node, config, columnar=columnar)
+    if columnar is not None:
+        from repro.dbms.plan_rewrite import columnarize_plan
+
+        root, __ = columnarize_plan(root, columnar)
     kept = list(root.rows_iter())
     if key is not None and epoch is not None:
         meta = [(node.stats.rows_in, node.stats.rows_out) for node in counted]

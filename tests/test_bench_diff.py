@@ -9,7 +9,11 @@ import pytest
 from repro import cli
 from repro.errors import ObservabilityError
 from repro.obs import DIFF_SCHEMA, diff_bench, diff_bench_files, render_diff
-from repro.obs.export import BENCH_SCHEMA, PARALLEL_BENCH_SCHEMA
+from repro.obs.export import (
+    BENCH_SCHEMA,
+    COLUMNAR_BENCH_SCHEMA,
+    PARALLEL_BENCH_SCHEMA,
+)
 
 
 def parallel_payload(seconds_1=1.0, seconds_4=0.2, speedup=5.0,
@@ -23,6 +27,22 @@ def parallel_payload(seconds_1=1.0, seconds_4=0.2, speedup=5.0,
                 "workers4": {"workers": 4, "seconds": seconds_4},
             },
             "speedup": speedup,
+        }],
+    }
+
+
+def columnar_payload(row_s=0.5, col_s=0.05, speedup=10.0,
+                     name="fast_scatter_cull_restrict"):
+    return {
+        "schema": COLUMNAR_BENCH_SCHEMA,
+        "benchmarks": [{
+            "name": name,
+            "arms": {
+                "row": {"seconds": row_s},
+                "columnar": {"seconds": col_s},
+            },
+            "speedup": speedup,
+            "counters": {"columnar.batches": 4, "columnar.fallback": 0},
         }],
     }
 
@@ -70,6 +90,26 @@ def test_parallel_slowdown_and_speedup_direction():
     speedup_row = [r for r in report["comparisons"]
                    if r["metric"] == "speedup"][0]
     assert speedup_row["status"] == "improvement"
+
+
+def test_columnar_schema_routes_to_arm_comparison():
+    report = diff_bench(columnar_payload(), columnar_payload())
+    assert report["bench_schema"] == COLUMNAR_BENCH_SCHEMA
+    metrics = [row["metric"] for row in report["comparisons"]]
+    assert metrics.count("seconds") == 2
+    assert metrics.count("speedup") == 1
+    assert report["regressions"] == []
+
+
+def test_columnar_speedup_collapse_is_a_regression():
+    # The columnar arm losing its edge (10x -> 3x) must trip the gate even
+    # if absolute wall times moved less than the threshold.
+    base = columnar_payload(speedup=10.0)
+    curr = columnar_payload(col_s=0.17, speedup=3.0)
+    report = diff_bench(base, curr)
+    by_metric = {row["metric"]: row["status"]
+                 for row in report["comparisons"]}
+    assert by_metric["speedup"] == "regression"
 
 
 def test_obs_schema_compares_mean_s():
@@ -210,3 +250,38 @@ def test_committed_baseline_matches_repo_artifact():
         "BENCH_parallel.json",
         "--strict",
     ]) == 0
+
+
+def test_cli_update_baselines_writes_validated_copy(tmp_path, capsys):
+    baseline = tmp_path / "baselines" / "BENCH_columnar.json"
+    current = _write(tmp_path, "curr.json", columnar_payload())
+    assert cli.main(["bench-diff", str(baseline), current,
+                     "--update-baselines"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline updated" in out
+    assert json.loads(baseline.read_text())["schema"] == COLUMNAR_BENCH_SCHEMA
+    # The refreshed baseline immediately diffs clean against its source.
+    assert cli.main(["bench-diff", str(baseline), current, "--strict"]) == 0
+
+
+def test_cli_update_baselines_rejects_invalid_payload(tmp_path, capsys):
+    baseline = tmp_path / "BENCH_columnar.json"
+    bad = _write(tmp_path, "bad.json",
+                 {"schema": COLUMNAR_BENCH_SCHEMA, "benchmarks": [
+                     {"name": "x", "arms": {}}]})
+    assert cli.main(["bench-diff", str(baseline), bad,
+                     "--update-baselines"]) == 1
+    assert not baseline.exists()
+    assert "invalid bench file" in capsys.readouterr().err
+
+
+def test_committed_columnar_baseline_is_valid():
+    """The committed columnar baseline schema-validates and records the
+    >=10x speedup on at least two of the three workloads."""
+    payload = json.loads(
+        open("benchmarks/baselines/BENCH_columnar.json").read())
+    assert payload["schema"] == COLUMNAR_BENCH_SCHEMA
+    assert cli.main(["stats", "--validate-bench",
+                     "benchmarks/baselines/BENCH_columnar.json"]) == 0
+    fast = [b for b in payload["benchmarks"] if b["speedup"] >= 10.0]
+    assert len(fast) >= 2, [b["speedup"] for b in payload["benchmarks"]]

@@ -24,7 +24,8 @@ def parse(argv):
 class TestUniformParsing:
     @pytest.mark.parametrize("command", INSPECTION)
     def test_common_flags_accepted_everywhere(self, command):
-        argv = [command, "--json", "--timing", "--strict", "--workers", "4"]
+        argv = [command, "--json", "--timing", "--strict", "--workers", "4",
+                "--columnar"]
         if command == "render":
             argv += ["--out-dir", "out"]
         args = parse(argv)
@@ -32,6 +33,7 @@ class TestUniformParsing:
         assert args.timing is True
         assert args.strict is True
         assert args.workers == 4
+        assert args.columnar is True
 
     @pytest.mark.parametrize("command", INSPECTION)
     def test_common_flags_default_off(self, command):
@@ -41,6 +43,7 @@ class TestUniformParsing:
         assert args.timing is False
         assert args.strict is False
         assert args.workers is None
+        assert args.columnar is False
 
     def test_non_inspection_commands_reject_common_flags(self):
         with pytest.raises(SystemExit):
@@ -75,6 +78,42 @@ class TestWorkersFlag:
                     walk(plan["tree"])
         assert statuses & {"hit", "miss"}
         result_cache().clear()
+
+
+class TestColumnarFlag:
+    def test_columnar_config_restored_after_run(self, capsys):
+        from repro.dbms.columnar import default_columnar_config
+
+        before = default_columnar_config()
+        assert main(["explain", "--figure", "fig1", "--columnar"]) == 0
+        assert default_columnar_config() is before
+        capsys.readouterr()
+
+    def test_explain_json_reports_columnar_backend(self, capsys):
+        # --workers 1 forces serial even under a REPRO_PARALLEL default;
+        # otherwise the eligible chains ride inside ParallelMap morsels
+        # and no standalone node reports the columnar backend.
+        assert main(["explain", "--figure", "fig4", "--json",
+                     "--columnar", "--workers", "1"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        backends = set()
+
+        def walk(tree):
+            backends.add(tree["backend"])
+            for child in tree.get("children", ()):
+                walk(child)
+
+        for box in report["boxes"]:
+            for output in box["outputs"]:
+                for plan in output.get("plans", ()):
+                    walk(plan["tree"])
+        assert "columnar" in backends
+
+    def test_stats_preregisters_columnar_counters(self, capsys):
+        assert main(["stats", "--figure", "fig1", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        for counter in ("columnar.batches", "columnar.fallback"):
+            assert counter in summary["metrics"], counter
 
 
 class TestJsonOutputs:

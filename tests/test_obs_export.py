@@ -9,13 +9,17 @@ import pytest
 from repro.errors import ObservabilityError
 from repro.obs import (
     BENCH_SCHEMA,
+    COLUMNAR_BENCH_SCHEMA,
+    PARALLEL_BENCH_SCHEMA,
     MetricsRegistry,
     Tracer,
     chrome_trace,
     render_tree,
     run_summary,
+    validate_any_bench,
     validate_bench_summary,
     validate_chrome_trace,
+    validate_columnar_bench,
     write_chrome_trace,
 )
 
@@ -207,3 +211,76 @@ class TestValidateBenchSummary:
         payload["benchmarks"][0]["timing"] = {"rounds": 5}
         with pytest.raises(ObservabilityError, match="mean_s"):
             validate_bench_summary(payload)
+
+
+class TestValidateColumnarBench:
+    def good(self):
+        return {
+            "schema": COLUMNAR_BENCH_SCHEMA,
+            "benchmarks": [{
+                "name": "fast_scatter_cull_restrict",
+                "arms": {
+                    "row": {"seconds": 0.52},
+                    "columnar": {"seconds": 0.03},
+                },
+                "speedup": 17.3,
+                "counters": {"columnar.batches": 12,
+                             "columnar.fallback": 0},
+            }],
+        }
+
+    def test_accepts_good_payload(self):
+        payload = self.good()
+        assert validate_columnar_bench(payload) is payload
+
+    def test_speedup_and_counters_are_optional(self):
+        payload = self.good()
+        del payload["benchmarks"][0]["speedup"]
+        del payload["benchmarks"][0]["counters"]
+        validate_columnar_bench(payload)
+
+    def test_rejects_wrong_schema_tag(self):
+        payload = self.good()
+        payload["schema"] = BENCH_SCHEMA
+        with pytest.raises(ObservabilityError, match="schema"):
+            validate_columnar_bench(payload)
+
+    def test_rejects_empty_arms(self):
+        payload = self.good()
+        payload["benchmarks"][0]["arms"] = {}
+        with pytest.raises(ObservabilityError, match="arm"):
+            validate_columnar_bench(payload)
+
+    def test_rejects_negative_seconds(self):
+        payload = self.good()
+        payload["benchmarks"][0]["arms"]["row"]["seconds"] = -1.0
+        with pytest.raises(ObservabilityError, match="seconds"):
+            validate_columnar_bench(payload)
+
+    def test_rejects_nonpositive_speedup(self):
+        payload = self.good()
+        payload["benchmarks"][0]["speedup"] = 0.0
+        with pytest.raises(ObservabilityError, match="speedup"):
+            validate_columnar_bench(payload)
+
+
+class TestValidateAnyBench:
+    def test_routes_by_schema_tag(self):
+        columnar = TestValidateColumnarBench().good()
+        assert validate_any_bench(columnar) is columnar
+        obs = {"schema": BENCH_SCHEMA,
+               "benchmarks": [{"name": "b", "timing": None}]}
+        assert validate_any_bench(obs) is obs
+        parallel = {
+            "schema": PARALLEL_BENCH_SCHEMA,
+            "benchmarks": [{
+                "name": "p",
+                "arms": {"serial": {"workers": 0, "seconds": 1.0}},
+                "speedup": 1.0,
+            }],
+        }
+        assert validate_any_bench(parallel) is parallel
+
+    def test_unknown_schema_raises(self):
+        with pytest.raises(ObservabilityError, match="schema"):
+            validate_any_bench({"schema": "nope/1", "benchmarks": []})

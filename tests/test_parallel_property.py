@@ -1,11 +1,12 @@
-"""Property test: parallel execution is observationally equivalent to serial.
+"""Property test: every execution backend is observationally equivalent.
 
 Thirty deterministic seeds each build a random pipeline of relational boxes
 (the generator mirrors tests/test_analyze_property.py) over a 5000-row
-Stations table — large enough that chains genuinely split into morsels.
-Every program the static checker accepts is executed three ways: serial,
-parallel-cold (cache miss), and parallel-warm (cache hit).  All three must
-produce identical tuples in identical order.
+Stations table — large enough that chains genuinely split into morsels and
+column batches.  Every program the static checker accepts is executed
+several ways — serial-row, parallel-cold (cache miss), parallel-warm (cache
+hit), columnar, and parallel-columnar — and all must produce identical
+tuples in identical order.
 """
 
 from __future__ import annotations
@@ -117,11 +118,13 @@ def random_program(seed: int):
     return program, upstream
 
 
-def forced(db, program, box_id, *, parallel: bool):
+def forced(db, program, box_id, *, parallel: bool, columnar: bool = False):
     if parallel:
-        engine = Engine(program, db)    # inherits the installed default
+        engine = Engine(program, db,    # inherits the installed default
+                        columnar=columnar)
     else:
-        engine = Engine(program, db, workers=0, cache=False)
+        engine = Engine(program, db, workers=0, cache=False,
+                        columnar=columnar)
     return tuple(engine.output_of(box_id, "out").rows.force())
 
 
@@ -144,4 +147,45 @@ def test_serial_and_parallel_agree_over_30_seeds(big_stations_db):
         compared += 1
     result_cache().clear()
     # A degenerate generator would vacuously pass; require real coverage.
+    assert compared >= SEEDS // 2, compared
+
+
+def test_four_backends_agree_over_30_seeds(big_stations_db):
+    """Serial-row vs columnar vs parallel-columnar vs warm-cache.
+
+    The columnar arms run under the plan verifier so every rewritten tree is
+    also structurally checked (adapter placement, schema/dtype agreement).
+    """
+    from repro.analyze.planverify import assert_valid_plan
+    from repro.dbms.plan import plan_verifier, set_plan_verifier
+
+    previous_verifier = plan_verifier()
+    set_plan_verifier(assert_valid_plan)
+    compared = 0
+    try:
+        for seed in range(SEEDS):
+            program, last_box = random_program(seed)
+            if check_program(program, big_stations_db).errors():
+                continue
+            serial = forced(big_stations_db, program, last_box,
+                            parallel=False)
+            columnar = forced(big_stations_db, program, last_box,
+                              parallel=False, columnar=True)
+            previous = set_default_config(PARALLEL)
+            try:
+                result_cache().clear()
+                parallel_columnar = forced(big_stations_db, program, last_box,
+                                           parallel=True, columnar=True)
+                warm = forced(big_stations_db, program, last_box,
+                              parallel=True, columnar=True)
+            finally:
+                set_default_config(previous)
+            assert columnar == serial, f"seed {seed}: columnar differs"
+            assert parallel_columnar == serial, \
+                f"seed {seed}: parallel-columnar differs"
+            assert warm == serial, f"seed {seed}: warm-cache differs"
+            compared += 1
+    finally:
+        set_plan_verifier(previous_verifier)
+        result_cache().clear()
     assert compared >= SEEDS // 2, compared
