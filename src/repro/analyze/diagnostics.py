@@ -19,35 +19,69 @@ __all__ = [
     "Severity",
     "ERROR",
     "WARNING",
+    "INFO",
     "Diagnostic",
     "Report",
     "CODES",
     "code_info",
+    "register_code",
 ]
 
 Severity = str
 
 ERROR: Severity = "error"
 WARNING: Severity = "warning"
+INFO: Severity = "info"
 
 #: Stable diagnostic codes.  ``E`` codes are errors (the program cannot run
-#: correctly); ``W`` codes are warnings (suspicious but executable).
-CODES: dict[str, str] = {
-    "T2-E101": "unknown port name on an edge",
-    "T2-E102": "edge connects ports of incompatible kinds",
-    "T2-E103": "required input port is not wired",
-    "T2-E104": "AddTable names a table absent from the database",
-    "T2-E105": "reference to an attribute absent from the inferred schema",
-    "T2-E106": "expression syntax error",
-    "T2-E107": "expression type error (wrong inferred type)",
-    "T2-E108": "schema mismatch between inputs (union/join/swap)",
-    "T2-E109": "bad or missing box parameter",
-    "T2-E110": "duplicate or conflicting attribute definition",
-    "T2-E111": "plan-IR structural invariant violated",
-    "T2-W201": "dead box: no path to any demanded output",
-    "T2-W202": "program has no demanded output (no viewer or sink)",
-    "T2-W203": "overlay combines composites of different dimensions",
-}
+#: correctly); ``W`` codes are warnings (suspicious but executable); ``I``
+#: codes are informational notes (proof annotations, not problems).
+#: Populated exclusively through :func:`register_code`, which raises on a
+#: duplicate — a silently re-registered code would let two passes disagree
+#: about what a code means.
+CODES: dict[str, str] = {}
+
+
+def register_code(code: str, summary: str) -> str:
+    """Register a stable diagnostic code with its one-line summary.
+
+    Raises :class:`ValueError` at import time if the code is already
+    registered (duplicate registration was previously last-writer-wins,
+    which silently corrupted the catalog docs and CI assertions).
+    """
+    if code in CODES:
+        raise ValueError(
+            f"diagnostic code {code!r} is already registered as "
+            f"{CODES[code]!r}; refusing duplicate registration of {summary!r}"
+        )
+    CODES[code] = summary
+    return code
+
+
+for _code, _summary in (
+    ("T2-E101", "unknown port name on an edge"),
+    ("T2-E102", "edge connects ports of incompatible kinds"),
+    ("T2-E103", "required input port is not wired"),
+    ("T2-E104", "AddTable names a table absent from the database"),
+    ("T2-E105", "reference to an attribute absent from the inferred schema"),
+    ("T2-E106", "expression syntax error"),
+    ("T2-E107", "expression type error (wrong inferred type)"),
+    ("T2-E108", "schema mismatch between inputs (union/join/swap)"),
+    ("T2-E109", "bad or missing box parameter"),
+    ("T2-E110", "duplicate or conflicting attribute definition"),
+    ("T2-E111", "plan-IR structural invariant violated"),
+    ("T2-E112", "effect violation in a parallel region"),
+    ("T2-W201", "dead box: no path to any demanded output"),
+    ("T2-W202", "program has no demanded output (no viewer or sink)"),
+    ("T2-W203", "overlay combines composites of different dimensions"),
+    ("T2-W204", "dead predicate: restriction is statically always "
+                "true or always false"),
+    ("T2-W205", "statically empty result: no tuple can ever reach this point"),
+    ("T2-I301", "abstract-interpretation proof note (hazard proven "
+                "impossible)"),
+):
+    register_code(_code, _summary)
+del _code, _summary
 
 
 def code_info(code: str) -> str:
@@ -89,7 +123,9 @@ class Diagnostic:
             raise ValueError(f"unregistered diagnostic code {code!r}")
         self.code = code
         if severity is None:
-            severity = ERROR if "-E" in code else WARNING
+            severity = (
+                ERROR if "-E" in code else INFO if "-I" in code else WARNING
+            )
         self.severity = severity
         self.message = message
         self.box_id = box_id
@@ -168,7 +204,15 @@ class Report:
         return [d for d in self.diagnostics if d.is_error]
 
     def warnings(self) -> list[Diagnostic]:
-        return [d for d in self.diagnostics if not d.is_error]
+        """Warnings only — informational notes are excluded, so strict
+        modes that fail on warnings are unaffected by proof notes."""
+        return [
+            d for d in self.diagnostics
+            if not d.is_error and d.severity != INFO
+        ]
+
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == INFO]
 
     @property
     def ok(self) -> bool:
@@ -185,9 +229,12 @@ class Report:
         if not self.diagnostics:
             return "no diagnostics"
         lines = [d.render() for d in self.diagnostics]
-        lines.append(
+        summary = (
             f"{len(self.errors())} error(s), {len(self.warnings())} warning(s)"
         )
+        if self.infos():
+            summary += f", {len(self.infos())} note(s)"
+        lines.append(summary)
         return "\n".join(lines)
 
     def to_json(self) -> dict[str, Any]:
@@ -195,6 +242,7 @@ class Report:
             "diagnostics": [d.to_json() for d in self.diagnostics],
             "errors": len(self.errors()),
             "warnings": len(self.warnings()),
+            "infos": len(self.infos()),
         }
 
     def keys(self) -> list[tuple]:

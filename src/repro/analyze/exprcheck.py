@@ -15,7 +15,14 @@ from __future__ import annotations
 
 from repro.analyze.diagnostics import Diagnostic
 from repro.dbms import types as T
-from repro.dbms.expr import Expr
+from repro.dbms.expr import (
+    Binary,
+    Call,
+    Conditional,
+    Expr,
+    FieldRef,
+    Unary,
+)
 from repro.dbms.parser import parse_expression
 from repro.dbms.tuples import Schema
 from repro.errors import ExpressionError, TypeCheckError
@@ -26,6 +33,58 @@ __all__ = ["analyze_expression", "check_expression", "types_compatible"]
 def types_compatible(inferred: T.AtomicType, declared: T.AtomicType) -> bool:
     """Mirror of ``Method.check``: identical or both numeric."""
     return inferred is declared or (T.numeric(inferred) and T.numeric(declared))
+
+
+def _children(expr: Expr) -> tuple[Expr, ...]:
+    if isinstance(expr, Unary):
+        return (expr.operand,)
+    if isinstance(expr, Binary):
+        return (expr.left, expr.right)
+    if isinstance(expr, Conditional):
+        return (expr.condition, expr.then_branch, expr.else_branch)
+    if isinstance(expr, Call):
+        return tuple(expr.args)
+    return ()
+
+
+def _find_field(expr: Expr, name: str) -> FieldRef | None:
+    """The first (leftmost) reference to ``name`` in the expression."""
+    if isinstance(expr, FieldRef):
+        return expr if expr.name == name else None
+    for child in _children(expr):
+        found = _find_field(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+def _blame(expr: Expr, schema: Schema) -> Expr:
+    """The smallest subexpression whose typing fails.
+
+    Walks bottom-up: a node is to blame when all of its children infer but
+    it does not — that pins the diagnostic to the exact offending token even
+    deep inside nested conditional branches, where the top-level node's
+    position would be the (useless) leading ``if``.
+    """
+    for child in _children(expr):
+        try:
+            child.infer(schema)
+        except TypeCheckError:
+            return _blame(child, schema)
+    return expr
+
+
+def _token_of(expr: Expr) -> str | None:
+    """The source token a blamed node anchors to, for diagnostics."""
+    if isinstance(expr, (Unary, Binary)):
+        return expr.op
+    if isinstance(expr, FieldRef):
+        return expr.name
+    if isinstance(expr, Call):
+        return expr.fn.name
+    if isinstance(expr, Conditional):
+        return "if"
+    return None
 
 
 def analyze_expression(
@@ -64,12 +123,15 @@ def analyze_expression(
     if missing:
         known = ", ".join(schema.names)
         for name in missing:
+            ref = _find_field(expr, name)
             diagnostics.append(
                 Diagnostic(
                     "T2-E105",
                     f"{what} references unknown attribute {name!r}; "
                     f"available: {known}",
                     source=source,
+                    pos=None if ref is None else ref.pos,
+                    token=name,
                     hint="reference an attribute of the inferred schema",
                 )
             )
@@ -78,11 +140,14 @@ def analyze_expression(
     try:
         inferred = expr.infer(schema)
     except TypeCheckError as exc:
+        blamed = _blame(expr, schema)
         diagnostics.append(
             Diagnostic(
                 "T2-E107",
                 f"{what} is ill-typed: {exc}",
                 source=source,
+                pos=blamed.pos,
+                token=_token_of(blamed),
                 hint="adjust the expression so operand types agree",
             )
         )
@@ -94,6 +159,8 @@ def analyze_expression(
                 "T2-E107",
                 f"{what} must be boolean, but has type {inferred}",
                 source=source,
+                pos=expr.pos,
+                token=_token_of(expr),
                 hint="use a comparison or boolean operator at the top level",
             )
         )
@@ -106,6 +173,8 @@ def analyze_expression(
                 f"{what} is declared {declared} but its definition has "
                 f"type {inferred}",
                 source=source,
+                pos=expr.pos,
+                token=_token_of(expr),
                 hint=f"change the declared type to {inferred} or fix the definition",
             )
         )

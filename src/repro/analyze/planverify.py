@@ -13,7 +13,13 @@ reporting violations as ``T2-E111`` diagnostics:
   aggregate names);
 - backend regions are well formed: a columnar kernel's inputs are columnar
   (entered only through a ``ToColumns`` adapter), and a columnar region is
-  consumed only through a ``ToRows`` adapter — no bare backend crossings.
+  consumed only through a ``ToRows`` adapter — no bare backend crossings;
+- parallel regions are race-free by declaration (``T2-E112``): every morsel
+  template inside a :class:`~repro.dbms.plan_parallel.ParallelMapNode` must
+  be *declared* pure (:func:`repro.dbms.plan.declared_effect`), the
+  partitioned leaf declared a source, and any sample seeded.  The effect
+  table uses exact-class lookup, so a subclass that overrides behaviour
+  without declaring its own effect is rejected rather than trusted.
 
 Constructors check these once; rewrites (:mod:`repro.dbms.plan_rewrite`)
 mutate ``_children`` in place, so a buggy rewrite is exactly what this
@@ -43,6 +49,57 @@ def _fail(report: Report, node, message: str, hint: str | None = None) -> None:
             hint=hint,
         )
     )
+
+
+def _race(report: Report, node, message: str, hint: str | None = None) -> None:
+    report.add(
+        Diagnostic(
+            "T2-E112",
+            f"{node.describe()}: {message}",
+            hint=hint,
+        )
+    )
+
+
+def _check_parallel_region(report: Report, node) -> None:
+    """Effect/race lint for one morsel-parallel region (``T2-E112``).
+
+    Morsel workers run every chain template concurrently over disjoint row
+    ranges; that is only sound when each template is *declared* pure in
+    :data:`repro.dbms.plan.NODE_EFFECTS` and operates on the row backend.
+    Declarations do not inherit, so an undeclared subclass (e.g. a test
+    double with a side effect) has effect ``None`` and is rejected here
+    even if ``parallelize_plan`` was somehow talked into accepting it.
+    """
+    for template in node._chain:
+        effect = P.declared_effect(template)
+        if effect != P.EFFECT_PURE:
+            _race(
+                report, node,
+                f"morsel template {template.describe()} has declared effect "
+                f"{effect!r}, want {P.EFFECT_PURE!r}",
+                hint="declare_effect(cls, EFFECT_PURE) only for operators "
+                "that are safe to run concurrently per-morsel",
+            )
+        if template.backend != "row":
+            _race(
+                report, node,
+                f"morsel template {template.describe()} is on the "
+                f"{template.backend!r} backend, want 'row'",
+            )
+    if node._sample is not None and node._sample._seed is None:
+        _race(
+            report, node,
+            "unseeded sample inside a parallel region is nondeterministic",
+            hint="seed the sample, or leave it serial",
+        )
+    leaf_effect = P.declared_effect(node._leaf)
+    if leaf_effect != P.EFFECT_SOURCE:
+        _race(
+            report, node,
+            f"partitioned leaf {node._leaf.describe()} has declared effect "
+            f"{leaf_effect!r}, want {P.EFFECT_SOURCE!r}",
+        )
 
 
 def _check_predicate(report: Report, node, predicate, schema, what: str) -> None:
@@ -156,12 +213,7 @@ def _verify_node(report: Report, node) -> None:
                 )
         if node._leaf not in on_chain:
             _fail(report, node, "partitioned leaf is not on the serial chain")
-        if not isinstance(node._leaf, (P.ScanNode, P.CacheNode)):
-            _fail(
-                report, node,
-                f"partitioned leaf {node._leaf.describe()} is not a "
-                "Scan or Cache",
-            )
+        _check_parallel_region(report, node)
         return
     if isinstance(node, P.ScanNode):
         _expect_children(report, node, 0)

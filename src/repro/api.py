@@ -35,10 +35,26 @@ JSONL black box of recent spans that auto-dumps on engine errors,
 ``BENCH_*.json`` files, and :func:`build_telemetry_dashboard` /
 :func:`render_dashboard` visualize recorded engine telemetry with a
 Tioga-2 program — see ``docs/OBSERVABILITY.md`` and ``docs/DASHBOARD.md``.
+
+Also new: static analysis.  :func:`check_program` lints a program without
+executing it; :func:`check_program_deep` additionally runs the abstract
+interpreter (interval/nullability/constancy/sign domains) for dead
+predicates and statically empty results; :func:`set_absint_enabled` (or
+``REPRO_ABSINT=1``) feeds the same analysis to the plan compiler so
+proven-impossible runtime guards are elided from columnar kernels — see
+``docs/STATIC_ANALYSIS.md``.
 """
 
 from __future__ import annotations
 
+from repro.analyze import (
+    Diagnostic,
+    Report,
+    absint_enabled,
+    check_program,
+    check_program_deep,
+    set_absint_enabled,
+)
 from repro.core import (
     CanvasWindow,
     Database,
@@ -160,6 +176,13 @@ __all__ = [
     "build_dashboard_program",
     "build_telemetry_dashboard",
     "render_dashboard",
+    # Static analysis
+    "Diagnostic",
+    "Report",
+    "check_program",
+    "check_program_deep",
+    "absint_enabled",
+    "set_absint_enabled",
     # Boxes
     "AddTableBox",
     "RestrictBox",

@@ -18,8 +18,11 @@
 ``lint`` runs the static program checker (``repro.analyze``) over a saved
 program or the built-in figure scenarios (all of them by default) without
 executing anything; it exits 1 when any error-severity diagnostic is found
-(``--strict`` also fails on warnings).  The diagnostic codes are cataloged
-in ``docs/STATIC_ANALYSIS.md``.
+(``--strict`` also fails on warnings).  ``lint --deep`` additionally runs
+the abstract interpreter (``repro.analyze.absint``) over each program,
+reporting dead predicates (``T2-W204``), statically empty results
+(``T2-W205``), and hazard-impossibility proof notes (``T2-I301``).  The
+diagnostic codes are cataloged in ``docs/STATIC_ANALYSIS.md``.
 
 ``trace`` renders a figure scenario (or a saved program) under an enabled
 tracer with a cold engine cache and writes the spans as Chrome
@@ -204,6 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--figure", choices=sorted(_FIGURES),
         help="lint one built-in figure scenario; default is all of them",
+    )
+    lint.add_argument(
+        "--deep", action="store_true",
+        help="also run the abstract interpreter over each program "
+        "(value-range/nullability propagation: dead predicates T2-W204, "
+        "statically empty results T2-W205, hazard-proof notes T2-I301)",
     )
 
     trace = commands.add_parser(
@@ -540,13 +549,21 @@ def _cmd_lint(args) -> int:
     failed = False
     json_out = {}
     for name, program, database in targets:
+        def run_checks(program=program, database=database):
+            report = check_program(program, database)
+            if args.deep:
+                from repro.analyze.absint import check_program_deep
+
+                report.extend(check_program_deep(program, database))
+            return report
+
         if tracer is not None:
             from repro.obs import push_tracer
 
             with push_tracer(tracer):
-                report = check_program(program, database)
+                report = run_checks()
         else:
-            report = check_program(program, database)
+            report = run_checks()
         if not report.ok or (args.strict and report.warnings()):
             failed = True
         if args.as_json:
@@ -659,6 +676,8 @@ def _cmd_stats(args) -> int:
     # taxonomy even when the run happens not to exercise the cache, the
     # morsel pool, or the columnar backend — the snapshot then always
     # carries the complete, pinned key set.
+    from repro.analyze.absint import PROOFS_COUNTER
+    from repro.dbms.expr_compile import ELIDED_COUNTER
     from repro.dbms.plan_parallel import result_cache
 
     result_cache()
@@ -668,6 +687,10 @@ def _cmd_stats(args) -> int:
     global_registry().counter(
         "columnar.fallback",
         "column batches re-evaluated on the row path after a data hazard")
+    # The absint pair's declaration strings live next to the code that
+    # increments them; importing the tuples keeps `--check` conflict-free.
+    global_registry().counter(*PROOFS_COUNTER)
+    global_registry().counter(*ELIDED_COUNTER)
 
     db = build_weather_database(extra_stations=40, every_days=30)
     scenario = _FIGURES[args.figure](db)

@@ -148,6 +148,9 @@ def _plan_to_dict(node: PlanNode, counter: list[int]) -> dict[str, Any]:
     parallel = getattr(node, "parallel_info", None)
     if parallel is not None:
         entry["parallel"] = parallel
+    proof = getattr(node, "proof", None)
+    if proof is not None:
+        entry["proof"] = proof
     return entry
 
 

@@ -8,13 +8,126 @@ and program menus (§3).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Iterable
 
-from repro.dbms.relation import Table
+from repro.dbms import types as T
+from repro.dbms.relation import RowSet, Table
 from repro.dbms.tuples import Schema
 from repro.errors import CatalogError
 
-__all__ = ["Database"]
+__all__ = ["ColumnStats", "Database", "TableStats", "stats_for"]
+
+
+# ---------------------------------------------------------------------------
+# Column statistics: the abstract interpreter's entry facts
+# ---------------------------------------------------------------------------
+
+
+class ColumnStats:
+    """Value-range facts about one column of an immutable row set.
+
+    ``minimum``/``maximum`` are populated for numeric columns only (``None``
+    elsewhere, and for empty tables); ``has_nan`` records whether any float
+    ``NaN`` was seen — a NaN is outside every interval, so range-based
+    proofs over columns containing one must widen to unknown.
+    """
+
+    __slots__ = ("name", "type", "minimum", "maximum", "has_nan")
+
+    def __init__(
+        self,
+        name: str,
+        type_: T.AtomicType,
+        minimum: Any = None,
+        maximum: Any = None,
+        has_nan: bool = False,
+    ):
+        self.name = name
+        self.type = type_
+        self.minimum = minimum
+        self.maximum = maximum
+        self.has_nan = has_nan
+
+    @property
+    def constant(self) -> bool:
+        """True when every (non-NaN-free) value equals ``minimum``."""
+        return (
+            self.minimum is not None
+            and self.minimum == self.maximum
+            and not self.has_nan
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ColumnStats({self.name!r}, {self.type}, "
+            f"[{self.minimum}, {self.maximum}], nan={self.has_nan})"
+        )
+
+
+class TableStats:
+    """Row count plus per-column :class:`ColumnStats` for a row set."""
+
+    __slots__ = ("row_count", "columns")
+
+    def __init__(self, row_count: int, columns: dict[str, ColumnStats]):
+        self.row_count = row_count
+        self.columns = columns
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TableStats({self.row_count} rows, {len(self.columns)} cols)"
+
+
+_STATS_CACHE: OrderedDict[int, tuple[RowSet, TableStats]] = OrderedDict()
+_STATS_CACHE_CAP = 64
+
+
+def _column_minmax(rows: RowSet, name: str) -> tuple[Any, Any, bool]:
+    lo = hi = None
+    has_nan = False
+    for row in rows:
+        value = row[name]
+        if isinstance(value, float) and value != value:
+            has_nan = True
+            continue
+        if lo is None or value < lo:
+            lo = value
+        if hi is None or value > hi:
+            hi = value
+    return lo, hi, has_nan
+
+
+def stats_for(rows: RowSet) -> TableStats:
+    """Column stats for an immutable row set, memoized by identity.
+
+    Row sets are immutable and :meth:`Table.snapshot` returns the same
+    object until the next mutation, so identity keying doubles as
+    per-version memoization for stored tables.  The cache pins the row
+    sets it has seen (bounded LRU) so an ``id()`` is never reused while
+    its entry is live.
+    """
+    key = id(rows)
+    hit = _STATS_CACHE.get(key)
+    if hit is not None and hit[0] is rows:
+        _STATS_CACHE.move_to_end(key)
+        return hit[1]
+    columns: dict[str, ColumnStats] = {}
+    for field in rows.schema:
+        if field.type in (T.INT, T.FLOAT):
+            lo, hi, has_nan = _column_minmax(rows, field.name)
+            columns[field.name] = ColumnStats(
+                field.name, field.type, lo, hi, has_nan
+            )
+        else:
+            columns[field.name] = ColumnStats(field.name, field.type)
+    stats = TableStats(len(rows), columns)
+    _STATS_CACHE[key] = (rows, stats)
+    while len(_STATS_CACHE) > _STATS_CACHE_CAP:
+        _STATS_CACHE.popitem(last=False)
+    return stats
 
 
 class Database:
@@ -63,6 +176,14 @@ class Database:
 
     def has_table(self, name: str) -> bool:
         return name in self._tables
+
+    def table_stats(self, name: str) -> TableStats:
+        """Column stats for a stored table's current contents.
+
+        Memoized per table version: snapshots are shared until the next
+        mutation, and :func:`stats_for` keys on snapshot identity.
+        """
+        return stats_for(self.table(name).snapshot())
 
     # ------------------------------------------------------------------
     # Registered boxes (big-programmer functions, §1.2 principle 5)

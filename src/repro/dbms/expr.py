@@ -42,7 +42,15 @@ __all__ = [
 
 
 class Expr:
-    """Abstract expression node."""
+    """Abstract expression node.
+
+    Every node carries an optional ``pos`` — the character offset of its
+    defining token in the source it was parsed from (``None`` for nodes
+    built programmatically).  Diagnostics use it to point at the exact
+    token, including inside nested conditional branches.
+    """
+
+    pos: int | None
 
     def infer(self, schema: Schema) -> T.AtomicType:
         """Infer this expression's type against ``schema`` or raise."""
@@ -63,11 +71,12 @@ class Expr:
 class Literal(Expr):
     """A constant of any atomic type."""
 
-    __slots__ = ("value", "type")
+    __slots__ = ("value", "type", "pos")
 
-    def __init__(self, value: Any):
+    def __init__(self, value: Any, *, pos: int | None = None):
         self.type = T.infer_type(value)
         self.value = value
+        self.pos = pos
 
     def infer(self, schema: Schema) -> T.AtomicType:
         del schema
@@ -92,10 +101,11 @@ class Literal(Expr):
 class FieldRef(Expr):
     """A reference to a field of the input tuple (the paper's ``t.l``)."""
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "pos")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, *, pos: int | None = None):
         self.name = name
+        self.pos = pos
 
     def infer(self, schema: Schema) -> T.AtomicType:
         if self.name not in schema:
@@ -123,13 +133,14 @@ _UNARY_OPS = {"-", "not"}
 class Unary(Expr):
     """Unary negation (numeric) and logical not."""
 
-    __slots__ = ("op", "operand")
+    __slots__ = ("op", "operand", "pos")
 
-    def __init__(self, op: str, operand: Expr):
+    def __init__(self, op: str, operand: Expr, *, pos: int | None = None):
         if op not in _UNARY_OPS:
             raise ExpressionError(f"unknown unary operator {op!r}")
         self.op = op
         self.operand = operand
+        self.pos = pos
 
     def infer(self, schema: Schema) -> T.AtomicType:
         inner = self.operand.infer(schema)
@@ -166,14 +177,17 @@ _COMPARABLE = (T.INT, T.FLOAT, T.TEXT, T.DATE, T.BOOL)
 class Binary(Expr):
     """Arithmetic, comparison, logical connectives, and text concatenation."""
 
-    __slots__ = ("op", "left", "right")
+    __slots__ = ("op", "left", "right", "pos")
 
-    def __init__(self, op: str, left: Expr, right: Expr):
+    def __init__(
+        self, op: str, left: Expr, right: Expr, *, pos: int | None = None
+    ):
         if op not in _ARITH | _COMPARE | _LOGIC | _CONCAT:
             raise ExpressionError(f"unknown binary operator {op!r}")
         self.op = op
         self.left = left
         self.right = right
+        self.pos = pos
 
     def infer(self, schema: Schema) -> T.AtomicType:
         lt = self.left.infer(schema)
@@ -250,12 +264,20 @@ class Binary(Expr):
 class Conditional(Expr):
     """``if cond then a else b`` with matching branch types."""
 
-    __slots__ = ("condition", "then_branch", "else_branch")
+    __slots__ = ("condition", "then_branch", "else_branch", "pos")
 
-    def __init__(self, condition: Expr, then_branch: Expr, else_branch: Expr):
+    def __init__(
+        self,
+        condition: Expr,
+        then_branch: Expr,
+        else_branch: Expr,
+        *,
+        pos: int | None = None,
+    ):
         self.condition = condition
         self.then_branch = then_branch
         self.else_branch = else_branch
+        self.pos = pos
 
     def infer(self, schema: Schema) -> T.AtomicType:
         ct = self.condition.infer(schema)
@@ -332,11 +354,14 @@ def function_names() -> list[str]:
 class Call(Expr):
     """A call to a registered function."""
 
-    __slots__ = ("fn", "args")
+    __slots__ = ("fn", "args", "pos")
 
-    def __init__(self, name: str, args: Sequence[Expr]):
+    def __init__(
+        self, name: str, args: Sequence[Expr], *, pos: int | None = None
+    ):
         self.fn = lookup_function(name)
         self.args = list(args)
+        self.pos = pos
 
     def infer(self, schema: Schema) -> T.AtomicType:
         arg_types = [arg.infer(schema) for arg in self.args]

@@ -172,31 +172,35 @@ class _Parser:
         return expr
 
     def expression(self) -> Expr:
-        if self.accept("kw", "if"):
+        if_token = self.accept("kw", "if")
+        if if_token is not None:
             condition = self.expression()
             self.expect("kw", "then")
             then_branch = self.expression()
             self.expect("kw", "else")
             else_branch = self.expression()
             self.accept("kw", "end")
-            return Conditional(condition, then_branch, else_branch)
+            return Conditional(
+                condition, then_branch, else_branch, pos=if_token.pos
+            )
         return self.or_expr()
 
     def or_expr(self) -> Expr:
         left = self.and_expr()
-        while self.accept("kw", "or"):
-            left = Binary("or", left, self.and_expr())
+        while (token := self.accept("kw", "or")) is not None:
+            left = Binary("or", left, self.and_expr(), pos=token.pos)
         return left
 
     def and_expr(self) -> Expr:
         left = self.not_expr()
-        while self.accept("kw", "and"):
-            left = Binary("and", left, self.not_expr())
+        while (token := self.accept("kw", "and")) is not None:
+            left = Binary("and", left, self.not_expr(), pos=token.pos)
         return left
 
     def not_expr(self) -> Expr:
-        if self.accept("kw", "not"):
-            return Unary("not", self.not_expr())
+        token = self.accept("kw", "not")
+        if token is not None:
+            return Unary("not", self.not_expr(), pos=token.pos)
         return self.comparison()
 
     _CMP_CANON = {"==": "=", "<>": "!="}
@@ -207,7 +211,7 @@ class _Parser:
         if token.kind == "op" and token.text in ("=", "==", "!=", "<>", "<", "<=", ">", ">="):
             self.advance()
             op = self._CMP_CANON.get(token.text, token.text)
-            return Binary(op, left, self.additive())
+            return Binary(op, left, self.additive(), pos=token.pos)
         return left
 
     def additive(self) -> Expr:
@@ -216,7 +220,9 @@ class _Parser:
             token = self.peek()
             if token.kind == "op" and token.text in ("+", "-", "||"):
                 self.advance()
-                left = Binary(token.text, left, self.multiplicative())
+                left = Binary(
+                    token.text, left, self.multiplicative(), pos=token.pos
+                )
             else:
                 return left
 
@@ -226,13 +232,14 @@ class _Parser:
             token = self.peek()
             if token.kind == "op" and token.text in ("*", "/", "%"):
                 self.advance()
-                left = Binary(token.text, left, self.unary())
+                left = Binary(token.text, left, self.unary(), pos=token.pos)
             else:
                 return left
 
     def unary(self) -> Expr:
-        if self.accept("op", "-"):
-            return Unary("-", self.unary())
+        token = self.accept("op", "-")
+        if token is not None:
+            return Unary("-", self.unary(), pos=token.pos)
         return self.primary()
 
     def primary(self) -> Expr:
@@ -241,14 +248,14 @@ class _Parser:
             self.advance()
             text = token.text
             if any(c in text for c in ".eE"):
-                return Literal(float(text))
-            return Literal(int(text))
+                return Literal(float(text), pos=token.pos)
+            return Literal(int(text), pos=token.pos)
         if token.kind == "str":
             self.advance()
-            return Literal(token.text)
+            return Literal(token.text, pos=token.pos)
         if token.kind == "kw" and token.text in ("true", "false"):
             self.advance()
-            return Literal(token.text == "true")
+            return Literal(token.text == "true", pos=token.pos)
         if token.kind == "ident":
             self.advance()
             if self.accept("op", "("):
@@ -258,8 +265,8 @@ class _Parser:
                     while self.accept("op", ","):
                         args.append(self.expression())
                     self.expect("op", ")")
-                return Call(token.text, args)
-            return FieldRef(token.text)
+                return Call(token.text, args, pos=token.pos)
+            return FieldRef(token.text, pos=token.pos)
         if token.kind == "op" and token.text == "(":
             self.advance()
             inner = self.expression()

@@ -83,6 +83,18 @@ __all__ = [
     "AGGREGATES",
     "set_plan_verifier",
     "plan_verifier",
+    "set_plan_annotator",
+    "plan_annotator",
+    "EFFECT_PURE",
+    "EFFECT_SOURCE",
+    "EFFECT_RNG",
+    "EFFECT_STATEFUL",
+    "EFFECT_BLOCKING",
+    "EFFECT_ADAPTER",
+    "EFFECT_PARALLEL",
+    "NODE_EFFECTS",
+    "declare_effect",
+    "declared_effect",
     "ColumnarNode",
     "ToColumnsNode",
     "ToRowsNode",
@@ -116,6 +128,66 @@ def set_plan_verifier(hook: Callable[["PlanNode"], None] | None) -> None:
 def plan_verifier() -> Callable[["PlanNode"], None] | None:
     """The installed verification hook, if any."""
     return _VERIFY_HOOK
+
+
+#: Optional abstract-interpretation hook consulted when predicate-bearing
+#: nodes compile their kernels.  ``repro.analyze.absint`` installs
+#: ``prove_plan_predicate`` here (``REPRO_ABSINT=1`` or
+#: ``set_absint_enabled``); the hook maps ``(predicate, child_node)`` to a
+#: proof object consumed by ``expr_compile.compile_predicate(hazards=...)``.
+_ABSINT_HOOK: Callable[[Expr, "PlanNode"], Any] | None = None
+
+
+def set_plan_annotator(hook: Callable[[Expr, "PlanNode"], Any] | None) -> None:
+    """Install (or clear, with ``None``) the plan annotation hook."""
+    global _ABSINT_HOOK
+    _ABSINT_HOOK = hook
+
+
+def plan_annotator() -> Callable[[Expr, "PlanNode"], Any] | None:
+    """The installed annotation hook, if any."""
+    return _ABSINT_HOOK
+
+
+# ---------------------------------------------------------------------------
+# Declared effects: what each operator may do besides mapping rows to rows.
+# The parallelizer and the plan verifier key off this table — a node class
+# with no declared effect is never parallelized and fails the static race
+# lint (T2-E112) if found inside a parallel region.
+# ---------------------------------------------------------------------------
+
+#: Pure per-row function of its input: safe to run on any morsel in any
+#: worker, results merged by concatenation.
+EFFECT_PURE = "pure"
+#: Produces rows from storage/buffers without consuming plan input.
+EFFECT_SOURCE = "source"
+#: Draws from a random number generator (reproducible only when seeded).
+EFFECT_RNG = "rng"
+#: Carries cross-row mutable state (e.g. a countdown) — order-sensitive.
+EFFECT_STATEFUL = "stateful"
+#: Pipeline breaker: must see its whole input before emitting.
+EFFECT_BLOCKING = "blocking"
+#: Backend adapter: changes representation, not contents.
+EFFECT_ADAPTER = "adapter"
+#: A parallel region operator itself (owns its own worker coordination).
+EFFECT_PARALLEL = "parallel"
+
+#: Exact-class effect declarations (subclasses deliberately do NOT inherit:
+#: an undeclared subclass may override ``_produce`` with arbitrary
+#: behavior, so it gets no effect — and therefore no parallelization).
+NODE_EFFECTS: dict[type, str] = {}
+
+
+def declare_effect(cls: type, effect: str) -> type:
+    """Register ``cls``'s declared effect (last declaration wins)."""
+    NODE_EFFECTS[cls] = effect
+    return cls
+
+
+def declared_effect(node_or_cls: Any) -> str | None:
+    """The declared effect for a node (or node class), exact-class lookup."""
+    cls = node_or_cls if isinstance(node_or_cls, type) else type(node_or_cls)
+    return NODE_EFFECTS.get(cls)
 
 
 class NodeStats:
@@ -297,6 +369,9 @@ def explain_plan(node: PlanNode, with_stats: bool = True) -> str:
         line = tail + _clip(current.describe())
         if getattr(current, "backend", "row") != "row":
             line += " <columnar>"
+        proof = getattr(current, "proof", None)
+        if proof:
+            line += f" proof={_clip(proof, 64)}"
         if with_stats:
             line += f"  [{current.stats.summary()}]"
         lines.append(line)
@@ -1295,7 +1370,17 @@ class ColumnarRestrictNode(ColumnarNode):
         self.predicate = predicate
         self.alias = alias
         self.template = template
-        self._compiled = compile_predicate(predicate, child.schema)
+        #: Human-readable summary of the hazard proofs that elided guards
+        #: in the compiled kernel (shown as ``proof=`` in EXPLAIN).
+        self.proof: str | None = None
+        hazards = None
+        if _ABSINT_HOOK is not None:
+            hazards = _ABSINT_HOOK(predicate, child)
+            if hazards is not None and len(hazards):
+                self.proof = hazards.proof_text()
+        self._compiled = compile_predicate(
+            predicate, child.schema, hazards=hazards
+        )
 
     @property
     def compiled(self) -> bool:
@@ -1879,3 +1964,40 @@ class ColumnarHashJoinNode(ColumnarNode):
 
     def describe(self) -> str:
         return f"HashJoin[{self._left_key} = {self._right_key}]"
+
+
+# ---------------------------------------------------------------------------
+# Effect declarations for every operator in this module.  plan_parallel
+# declares its own region operators; test-defined subclasses are
+# intentionally undeclared (exact-class lookup) until they declare.
+# ---------------------------------------------------------------------------
+
+for _cls, _effect in (
+    (ScanNode, EFFECT_SOURCE),
+    (CacheNode, EFFECT_SOURCE),
+    (ProjectNode, EFFECT_PURE),
+    (RestrictNode, EFFECT_PURE),
+    (RenameNode, EFFECT_PURE),
+    (SampleNode, EFFECT_RNG),
+    (LimitNode, EFFECT_STATEFUL),
+    (OrderByNode, EFFECT_BLOCKING),
+    (DistinctNode, EFFECT_BLOCKING),
+    (GroupByNode, EFFECT_BLOCKING),
+    (UnionNode, EFFECT_BLOCKING),
+    (CrossProductNode, EFFECT_BLOCKING),
+    (NestedLoopJoinNode, EFFECT_BLOCKING),
+    (HashJoinNode, EFFECT_BLOCKING),
+    (ThetaJoinNode, EFFECT_BLOCKING),
+    (ToColumnsNode, EFFECT_ADAPTER),
+    (ToRowsNode, EFFECT_ADAPTER),
+    (ColumnarRestrictNode, EFFECT_PURE),
+    (ColumnarProjectNode, EFFECT_PURE),
+    (ColumnarRenameNode, EFFECT_PURE),
+    (ColumnarLimitNode, EFFECT_STATEFUL),
+    (ColumnarDistinctNode, EFFECT_BLOCKING),
+    (ColumnarOrderByNode, EFFECT_BLOCKING),
+    (ColumnarGroupByNode, EFFECT_BLOCKING),
+    (ColumnarHashJoinNode, EFFECT_BLOCKING),
+):
+    declare_effect(_cls, _effect)
+del _cls, _effect

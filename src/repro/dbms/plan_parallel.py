@@ -45,6 +45,9 @@ from typing import Any, Callable, Iterator, Sequence
 from repro.dbms.columnar import ColumnBatch, ColumnarConfig, cached_batch
 from repro.dbms.expr_compile import VectorFallback, compile_predicate
 from repro.dbms.plan import (
+    EFFECT_PARALLEL,
+    EFFECT_PURE,
+    EFFECT_SOURCE,
     CacheNode,
     ColumnarDistinctNode,
     ColumnarGroupByNode,
@@ -73,6 +76,9 @@ from repro.dbms.plan import (
     ToRowsNode,
     UnionNode,
     concat_rows,
+    declare_effect,
+    declared_effect,
+    plan_annotator,
 )
 from repro.dbms.relation import RowSet, storage_epoch
 from repro.dbms.tuples import Tuple
@@ -527,6 +533,8 @@ class ParallelMapNode(PlanNode):
         self._builders = [_rebuilder(template) for template in self._chain]
         self._sample = sample
         self._config = config
+        #: Hazard proofs that elided guards in the vector chain (EXPLAIN).
+        self.proof: str | None = None
         self._vector_chain = (
             self._compile_vector_chain() if columnar is not None else None
         )
@@ -543,9 +551,20 @@ class ParallelMapNode(PlanNode):
         schema = self._leaf.schema
         stages: list[tuple] = []
         compiled_any = False
+        annotator = plan_annotator()
+        proofs: list[str] = []
         for template in self._chain:
             if isinstance(template, RestrictNode):
-                compiled = compile_predicate(template.predicate, schema)
+                hazards = None
+                if annotator is not None:
+                    hazards = annotator(
+                        template.predicate, template.children[0]
+                    )
+                    if hazards is not None and len(hazards):
+                        proofs.append(hazards.proof_text())
+                compiled = compile_predicate(
+                    template.predicate, schema, hazards=hazards
+                )
                 if compiled is None:
                     return None
                 stages.append(("restrict", compiled))
@@ -557,7 +576,11 @@ class ParallelMapNode(PlanNode):
                 old, new = template.mapping
                 schema = schema.rename(old, new)
                 stages.append(("rename", (old, new), schema))
-        return stages if compiled_any else None
+        if not compiled_any:
+            return None
+        if proofs:
+            self.proof = "; ".join(proofs)
+        return stages
 
     @property
     def parallel_info(self) -> dict[str, Any]:
@@ -836,9 +859,29 @@ class ParallelHashJoinNode(HashJoinNode):
 # ---------------------------------------------------------------------------
 # The parallelize rewrite
 # ---------------------------------------------------------------------------
+#
+# Eligibility is decided by each operator's *declared effect*
+# (:data:`repro.dbms.plan.NODE_EFFECTS`), not a hardcoded class allowlist:
+# only pure row-backend streaming unary operators may run per-morsel, and
+# only declared sources may be partitioned.  Exact-class lookup means a
+# subclass that overrides behavior without declaring an effect is never
+# parallelized — and the static race lint (``T2-E112`` in
+# ``repro.analyze.planverify``) rejects it if it shows up inside a
+# parallel region anyway.
 
-_CHAIN_OPS = (RestrictNode, ProjectNode, RenameNode)
-_LEAF_OPS = (ScanNode, CacheNode)
+
+def _chain_op(node: PlanNode) -> bool:
+    """May ``node`` run per-morsel inside a :class:`ParallelMapNode`?"""
+    return (
+        declared_effect(node) == EFFECT_PURE
+        and node.backend == "row"
+        and len(node.children) == 1
+    )
+
+
+def _leaf_op(node: PlanNode) -> bool:
+    """May ``node`` be partitioned into morsels?"""
+    return declared_effect(node) == EFFECT_SOURCE
 
 
 def parallelize_plan(
@@ -870,23 +913,23 @@ def parallelize_plan(
             return node
         if hasattr(node, "columnar_info") or isinstance(node, ToRowsNode):
             return node
-        if isinstance(node, _LEAF_OPS) or not node.children:
+        if _leaf_op(node) or not node.children:
             return node
-        if isinstance(node, _CHAIN_OPS):
+        if _chain_op(node):
             chain: list[PlanNode] = []
             cursor: PlanNode = node
-            while isinstance(cursor, _CHAIN_OPS):
+            while _chain_op(cursor):
                 chain.append(cursor)
                 cursor = cursor.children[0]
             sample: SampleNode | None = None
             leaf: PlanNode | None = None
             if (
-                isinstance(cursor, SampleNode)
+                type(cursor) is SampleNode
                 and cursor._seed is not None
-                and isinstance(cursor.children[0], _LEAF_OPS)
+                and _leaf_op(cursor.children[0])
             ):
                 sample, leaf = cursor, cursor.children[0]
-            elif isinstance(cursor, _LEAF_OPS):
+            elif _leaf_op(cursor):
                 leaf = cursor
             if leaf is not None:
                 wrapped = ParallelMapNode(
@@ -918,3 +961,9 @@ def parallelize_plan(
         return node
 
     return walk(root), log
+
+
+# The parallel region operators own their worker coordination; the race
+# lint checks their *interiors* instead of treating them as plain nodes.
+declare_effect(ParallelMapNode, EFFECT_PARALLEL)
+declare_effect(ParallelHashJoinNode, EFFECT_PARALLEL)

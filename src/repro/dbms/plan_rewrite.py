@@ -60,6 +60,7 @@ from repro.dbms.plan import (
     ScanNode,
     ToColumnsNode,
     ToRowsNode,
+    plan_annotator,
     plan_verifier,
 )
 from repro.errors import StaticAnalysisError, TiogaError
@@ -144,6 +145,13 @@ def optimize_plan(
         root, changed = _rewrite(root, log)
         if not changed:
             break
+    if plan_annotator() is not None:
+        # Abstract interpretation is on (REPRO_ABSINT=1): eliminate
+        # restricts whose predicates have a constant truth value and prune
+        # statically empty subtrees, before backend selection sees them.
+        from repro.analyze.absint import absint_rewrite_plan
+
+        root, log = absint_rewrite_plan(root, log)
     if parallel is not None and parallel.parallel:
         from repro.dbms.plan_parallel import parallelize_plan
 

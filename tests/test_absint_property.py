@@ -1,0 +1,166 @@
+"""Soundness property tests for the abstract interpreter (30 random seeds).
+
+Two properties, checked against concrete execution:
+
+1. **Value soundness** — for every expression and every row, the concrete
+   result of ``expr.evaluate(row)`` lies inside the abstract value computed
+   by ``abstract_eval`` from the table's column statistics.
+
+2. **Proof soundness** — every hazard-impossibility proof the interpreter
+   produces is concretely true on every row: a proven ``div_zero`` divisor
+   never evaluates to zero, a proven ``sqrt_nonneg`` argument is never
+   negative, and proven ``exact_int`` operands stay within ±2^53.  These
+   are exactly the facts the columnar compiler relies on when it elides a
+   runtime guard, so a violation here means an elided guard would have
+   fired.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analyze.absint import (
+    HazardProofs,
+    abstract_eval,
+    env_from_stats,
+)
+from repro.dbms.catalog import stats_for
+from repro.dbms.expr import Binary, Call, Conditional, Unary
+from repro.dbms.parser import parse_expression
+from repro.dbms.relation import RowSet
+from repro.dbms.tuples import Schema
+from repro.errors import EvaluationError
+
+SCHEMA = Schema([("a", "int"), ("b", "int"), ("x", "float"), ("y", "float")])
+
+# A mix of safe and hazardous shapes: bounded arithmetic, divisions whose
+# divisor may or may not span zero, square-based denominators, calls, and
+# conditionals.  Text columns are deliberately absent — the interesting
+# domains are numeric.
+EXPRESSIONS = (
+    "a + b * 2",
+    "a - b",
+    "-a + abs(b)",
+    "x * y + 1.0",
+    "x * x",
+    "x / (x * x + 1.0)",
+    "a / (b * b + 1)",
+    "x / y",
+    "a / b",
+    "(a + b) / (a - b)",
+    "sqrt(x * x)",
+    "sqrt(abs(y))",
+    "sqrt(x)",
+    "min(a, b) + max(a, b)",
+    "floor(x) + ceil(y)",
+    "if a < b then x else y",
+    "if x > 0.0 then x / (x + 1.0) else 0.0 - x",
+    "a % (b * b + 1)",
+)
+
+EXACT_INT = 2**53
+
+
+def random_rows(rng: random.Random, count: int = 40) -> RowSet:
+    dicts = []
+    for _ in range(count):
+        dicts.append(
+            {
+                "a": rng.randint(-50, 50),
+                "b": rng.randint(-10, 10),
+                # Occasionally huge floats so exact_int bounds get exercised.
+                "x": rng.choice(
+                    [rng.uniform(-100.0, 100.0), rng.uniform(-1e16, 1e16)]
+                ),
+                "y": rng.uniform(-5.0, 5.0),
+            }
+        )
+    return RowSet.from_dicts(SCHEMA, dicts)
+
+
+def walk(expr):
+    yield expr
+    if isinstance(expr, Binary):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, Unary):
+        yield from walk(expr.operand)
+    elif isinstance(expr, Conditional):
+        yield from walk(expr.condition)
+        yield from walk(expr.then_branch)
+        yield from walk(expr.else_branch)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk(arg)
+
+
+def concrete(expr, row):
+    """Evaluate, mapping runtime hazard traps to a sentinel."""
+    try:
+        return expr.evaluate(row)
+    except EvaluationError:
+        return EvaluationError
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_abstract_values_and_proofs_are_sound(seed):
+    rng = random.Random(seed)
+    rows = random_rows(rng)
+    env = env_from_stats(stats_for(rows), SCHEMA)
+    dict_rows = [row.as_dict() for row in rows]
+
+    for source in EXPRESSIONS:
+        expr = parse_expression(source, SCHEMA)
+        proofs = HazardProofs()
+        av = abstract_eval(expr, dict(env), SCHEMA, proofs)
+
+        for row in dict_rows:
+            value = concrete(expr, row)
+
+            # Property 1: concrete results live inside the abstract value.
+            if value is not EvaluationError:
+                assert av.contains(value), (
+                    f"seed={seed} {source!r}: concrete {value!r} "
+                    f"escapes abstract {av!r} on row {row}"
+                )
+
+            # Property 2: every proof holds concretely on this row.
+            for node in walk(expr):
+                if proofs.proves(node, "div_zero"):
+                    divisor = concrete(node.right, row)
+                    assert divisor is not EvaluationError and divisor != 0, (
+                        f"seed={seed} {source!r}: proven div_zero divisor "
+                        f"({node.right}) evaluated to {divisor!r} on {row}"
+                    )
+                if proofs.proves(node, "sqrt_nonneg"):
+                    arg = concrete(node.args[0], row)
+                    assert arg is not EvaluationError and arg >= 0, (
+                        f"seed={seed} {source!r}: proven sqrt_nonneg arg "
+                        f"({node.args[0]}) evaluated to {arg!r} on {row}"
+                    )
+                if proofs.proves(node, "exact_int"):
+                    for side in (node.left, node.right):
+                        operand = concrete(side, row)
+                        if operand is EvaluationError:
+                            continue
+                        assert abs(operand) <= EXACT_INT, (
+                            f"seed={seed} {source!r}: proven exact_int "
+                            f"operand ({side}) = {operand!r} exceeds 2^53"
+                        )
+
+
+@pytest.mark.parametrize("seed", range(0, 30, 7))
+def test_proofs_never_cover_a_row_that_traps(seed):
+    """If the *whole* expression carries a div_zero proof on its top-level
+    division, evaluation must never raise on any generated row."""
+    rng = random.Random(1000 + seed)
+    rows = random_rows(rng)
+    env = env_from_stats(stats_for(rows), SCHEMA)
+    expr = parse_expression("x / (x * x + 1.0)", SCHEMA)
+    proofs = HazardProofs()
+    abstract_eval(expr, dict(env), SCHEMA, proofs)
+    assert proofs.proves(expr, "div_zero")
+    for row in rows:
+        expr.evaluate(row.as_dict())  # must not raise

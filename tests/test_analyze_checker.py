@@ -360,6 +360,7 @@ class TestCoverageOfCatalog:
                 "test_analyze_checker.py",
                 "test_analyze_expr.py",
                 "test_analyze_planverify.py",
+                "test_absint.py",
             )
         )
         for code in CODES:

@@ -158,3 +158,48 @@ class TestParserStructuredErrors:
     def test_good_expressions_unaffected(self):
         expr = parse_expression("altitude * 2 + station_id")
         assert expr.infer(STATIONS) is T.FLOAT
+
+
+class TestPositionThroughConditionals:
+    """Position propagation: a defect inside a nested conditional branch is
+    blamed at the offending token, not at the leading ``if``."""
+
+    def test_ill_typed_then_branch_blamed_inside(self):
+        source = "if altitude > 1.0 then name + 1 else 0"
+        _, _, diags = analyze_expression(source, STATIONS)
+        assert [d.code for d in diags] == ["T2-E107"]
+        diag = diags[0]
+        assert diag.token == "+"
+        assert diag.pos == source.index("name + 1") + len("name ")
+
+    def test_nested_conditional_blames_innermost(self):
+        source = (
+            "if altitude > 1.0 then "
+            "(if station_id > 2 then name + 1 else 3) else 0"
+        )
+        _, _, diags = analyze_expression(source, STATIONS)
+        assert [d.code for d in diags] == ["T2-E107"]
+        # The blamed position is the inner "+", past the outer "then".
+        assert diags[0].pos > source.index("(")
+        assert source[diags[0].pos] == "+"
+
+    def test_ill_typed_else_branch_blamed_inside(self):
+        source = "if altitude > 1.0 then 1 else name * 2"
+        _, _, diags = analyze_expression(source, STATIONS)
+        assert [d.code for d in diags] == ["T2-E107"]
+        assert diags[0].token == "*"
+        assert source[diags[0].pos] == "*"
+
+    def test_unknown_field_in_branch_points_at_reference(self):
+        source = "if altitude > 1.0 then wind else 0.0"
+        _, _, diags = analyze_expression(source, STATIONS)
+        assert [d.code for d in diags] == ["T2-E105"]
+        assert diags[0].token == "wind"
+        assert diags[0].pos == source.index("wind")
+
+    def test_condition_defect_blamed_in_condition(self):
+        source = "if name > 1 then 1 else 0"
+        _, _, diags = analyze_expression(source, STATIONS)
+        assert [d.code for d in diags] == ["T2-E107"]
+        assert diags[0].pos is not None
+        assert diags[0].pos < source.index("then")
