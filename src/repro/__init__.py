@@ -76,6 +76,11 @@ if _os.environ.get("REPRO_COLUMNAR", "") not in ("", "0"):
 
     _install_columnar()
 
+if _os.environ.get("REPRO_LINEAGE", "") not in ("", "0"):
+    from repro.obs.lineage import install_from_env as _install_lineage
+
+    _install_lineage()
+
 __version__ = "1.0.0"
 
 __all__ = [

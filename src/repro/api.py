@@ -43,6 +43,14 @@ predicates and statically empty results; :func:`set_absint_enabled` (or
 ``REPRO_ABSINT=1``) feeds the same analysis to the plan compiler so
 proven-impossible runtime guards are elided from columnar kernels — see
 ``docs/STATIC_ANALYSIS.md``.
+
+Also new: why-provenance.  ``Engine(lineage=True)`` (or ``REPRO_LINEAGE=1``,
+or a :class:`LineageConfig`) records per-operator backward lineage while
+plans execute; :func:`why` picks the mark under a pixel and walks it back
+to the exact base-table rows, returning a ``repro.lineage/1`` document
+(:func:`render_why` pretty-prints it, CLI ``repro why``).  Result-cache
+invalidation is now per-table: mutating one table no longer evicts cached
+plans that never read it — see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -122,12 +130,20 @@ from repro.dbms.plan_parallel import (
 )
 from repro.errors import TiogaError
 from repro.obs import (
+    LINEAGE_SCHEMA,
     FlightRecorder,
+    LineageConfig,
     MetricsRecorder,
     TimeSeries,
+    default_lineage_config,
     diff_bench,
     diff_bench_files,
     install_flight_recorder,
+    lineage_capture,
+    lineage_config_from_env,
+    render_why,
+    set_default_lineage_config,
+    why,
 )
 from repro.obs.dashboard import (
     build_dashboard_program,
@@ -176,6 +192,15 @@ __all__ = [
     "build_dashboard_program",
     "build_telemetry_dashboard",
     "render_dashboard",
+    # Lineage & why-provenance
+    "LINEAGE_SCHEMA",
+    "LineageConfig",
+    "lineage_capture",
+    "lineage_config_from_env",
+    "default_lineage_config",
+    "set_default_lineage_config",
+    "why",
+    "render_why",
     # Static analysis
     "Diagnostic",
     "Report",

@@ -12,6 +12,7 @@
     python -m repro.cli lint [--figure fig4 | --db db.json --name viz] [--json]
     python -m repro.cli trace fig4                        # Chrome trace_event
     python -m repro.cli stats --figure fig4 [--json]      # metrics snapshot
+    python -m repro.cli why --figure fig4 --px 504 --py 352   # why-provenance
     python -m repro.cli bench-diff baselines/BENCH_parallel.json BENCH_parallel.json
     python -m repro.cli dashboard --out-dir dash/         # self-hosted telemetry
 
@@ -33,7 +34,11 @@ metrics registry) for a figure render; ``--check`` verifies the
 process-wide metric declarations are conflict-free and ``--validate-bench``
 schema-checks a ``BENCH_obs.json`` produced by the benchmark suite.
 ``lint --timing`` and ``explain --timing`` print a span-tree timing
-breakdown of the analysis itself.  See ``docs/OBSERVABILITY.md``.
+breakdown of the analysis itself.  ``why`` renders a figure scenario,
+picks the mark under a pixel, and walks its lineage back to the base-table
+rows — a human provenance tree, or the ``repro.lineage/1`` document with
+``--json`` (``--strict`` exits 1 when provenance is incomplete).  See
+``docs/OBSERVABILITY.md``.
 
 ``bench-diff`` compares two ``BENCH_*.json`` files (routing on their schema
 tag) and exits nonzero when any metric regresses past its threshold — the
@@ -258,6 +263,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate-bench", metavar="PATH",
         help="schema-check a BENCH_obs.json or BENCH_parallel.json "
         "written by the benchmark suite",
+    )
+
+    why = commands.add_parser(
+        "why", parents=[common],
+        help="why-provenance drill-down: pick the mark under a pixel of a "
+        "figure render and trace it back to base-table rows "
+        "(repro.lineage/1; see docs/OBSERVABILITY.md)",
+    )
+    why.add_argument(
+        "--figure", choices=sorted(_FIGURES), default="fig4",
+        help="figure scenario to render and pick from (default fig4)",
+    )
+    why.add_argument("--px", type=float, required=True,
+                     help="pixel x coordinate to pick")
+    why.add_argument("--py", type=float, required=True,
+                     help="pixel y coordinate to pick")
+    why.add_argument(
+        "--window", default=None,
+        help="window name within the scenario (default: first window)",
     )
 
     bench_diff = commands.add_parser(
@@ -691,6 +715,17 @@ def _cmd_stats(args) -> int:
     # increments them; importing the tuples keeps `--check` conflict-free.
     global_registry().counter(*PROOFS_COUNTER)
     global_registry().counter(*ELIDED_COUNTER)
+    # Same convention for the lineage counters: cold runs (capture off, no
+    # why-walks) still emit the full lineage.* key set with zero totals.
+    from repro.obs.lineage import (
+        DROPPED_COUNTER,
+        MAPPINGS_COUNTER,
+        WALKS_COUNTER,
+    )
+
+    global_registry().counter(*MAPPINGS_COUNTER)
+    global_registry().counter(*DROPPED_COUNTER)
+    global_registry().counter(*WALKS_COUNTER)
 
     db = build_weather_database(extra_stations=40, every_days=30)
     scenario = _FIGURES[args.figure](db)
@@ -927,6 +962,32 @@ def _cmd_render(args) -> int:
     return 0
 
 
+def _cmd_why(args) -> int:
+    import json as json_module
+
+    from repro.obs.lineage import render_why, why
+
+    db = build_weather_database(extra_stations=40, every_days=30)
+    scenario = _FIGURES[args.figure](db)
+    session = scenario.session
+    windows = sorted(session.windows)
+    name = args.window or windows[0]
+    if name not in session.windows:
+        print(f"unknown window {name!r}; choose from {', '.join(windows)}",
+              file=sys.stderr)
+        return 2
+    window = session.window(name)
+    window.render()
+    doc = why(window, args.px, args.py)
+    if args.as_json:
+        print(json_module.dumps(doc, indent=2, sort_keys=True, default=str))
+    else:
+        print(render_why(doc))
+    if args.strict and not doc["complete"]:
+        return 1
+    return 0
+
+
 _HANDLERS = {
     "init-weather": _cmd_init_weather,
     "tables": _cmd_tables,
@@ -940,6 +1001,7 @@ _HANDLERS = {
     "lint": _cmd_lint,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
+    "why": _cmd_why,
     "bench-diff": _cmd_bench_diff,
     "dashboard": _cmd_dashboard,
     "render": _cmd_render,

@@ -28,6 +28,11 @@ from repro.dbms.plan import LazyRowSet
 from repro.dbms.plan_parallel import resolve_config
 from repro.display.displayable import Composite, DisplayableRelation, Group
 from repro.errors import GraphError, StaticAnalysisError, TiogaError
+from repro.obs.lineage import (
+    LineageConfig,
+    lineage_capture,
+    resolve_lineage_config,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import current_tracer
 
@@ -192,6 +197,7 @@ class Engine:
         workers: int | None = None,
         cache: bool | None = None,
         columnar: bool | ColumnarConfig | None = None,
+        lineage: bool | LineageConfig | None = None,
     ):
         self.program = program
         self.database = database
@@ -209,9 +215,20 @@ class Engine:
         # enables per-subtree vectorization.  Rows/order are identical
         # either way (docs/COLUMNAR.md).
         self.columnar = resolve_columnar_config(columnar)
+        # Lineage capture: None inherits the process default
+        # (REPRO_LINEAGE), False disables, True/a config records
+        # output -> input mappings while this engine forces values
+        # (docs/OBSERVABILITY.md, "Lineage & why-provenance").
+        self.lineage = resolve_lineage_config(lineage)
 
     def _force(self, value: Any) -> Any:
         """Materialize a demanded value, honoring the execution config."""
+        if self.lineage is not None:
+            with lineage_capture(self.lineage):
+                return self._force_configured(value)
+        return self._force_configured(value)
+
+    def _force_configured(self, value: Any) -> Any:
         if self.parallel is None and self.columnar is None:
             return _force_value(value)
         from repro.dataflow.parallel import prepare_value

@@ -32,10 +32,12 @@ from repro.dbms.plan_parallel import (
     ParallelConfig,
     parallelize_plan,
     plan_fingerprint,
+    plan_read_set,
     result_cache,
     resolve_config,
     storage_epoch,
 )
+from repro.dbms.relation import table_epochs
 from repro.display.displayable import Composite, DisplayableRelation, Group
 
 __all__ = ["prepare_value", "force_lazy", "resolve_config", "ParallelConfig"]
@@ -69,7 +71,9 @@ def force_lazy(
                 lazy.cache_status = "hit"
                 return lazy
             lazy.cache_status = "miss"
-            epoch = storage_epoch()
+            tables = plan_read_set(lazy.plan)
+            epoch = (table_epochs(tables) if tables is not None
+                     else storage_epoch())
 
     if not lazy.has_started:
         new_root = lazy.plan

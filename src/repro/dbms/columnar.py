@@ -18,7 +18,11 @@ Distinct, OrderBy) carry them through, so converting back to rows returns
 the *same* objects the serial backend would have produced — not equal
 copies.  The scene-graph culling path depends on this (it recovers source
 indices by identity).  Schema-changing kernels (Project, Rename, GroupBy,
-Join) drop the originals and rebuild rows via :meth:`Tuple.trusted`.
+Join) drop the originals and rebuild rows via :meth:`Tuple.trusted` —
+except under lineage capture (``repro.obs.lineage``), where those kernels
+materialize their output rows once, re-attach them to the outgoing batch,
+and record output-row → input-row mappings, so backward walks compose by
+identity across the whole columnar pipeline.
 
 :class:`ColumnarConfig` mirrors the :class:`ParallelConfig` pattern from
 ``plan_parallel``: a process default installable from ``REPRO_COLUMNAR``,

@@ -45,6 +45,7 @@ from repro.dbms.columnar import (
     ColumnBatch,
     DEFAULT_BATCH_ROWS,
     NUMPY_DTYPES,
+    _object_array,
     cached_batch,
 )
 from repro.dbms.expr import Expr
@@ -53,6 +54,7 @@ from repro.dbms.parser import parse_predicate
 from repro.dbms.relation import RowSet
 from repro.dbms.tuples import Field, Schema, Tuple
 from repro.errors import EvaluationError, SchemaError, TypeCheckError
+from repro.obs.lineage import LineageStore, active_lineage
 from repro.obs.metrics import global_registry
 from repro.obs.trace import current_tracer
 
@@ -190,6 +192,23 @@ def declared_effect(node_or_cls: Any) -> str | None:
     return NODE_EFFECTS.get(cls)
 
 
+def _lineage_store(node: "PlanNode") -> LineageStore | None:
+    """The node's lineage store for the active capture, or None.
+
+    One module-global read when capture is off — the whole disabled cost.
+    A node keeps its store across executions *within* one capture (counters
+    and the EXPLAIN annotation accumulate); a new capture replaces it, so
+    stores never grow across unrelated captures.
+    """
+    state = active_lineage()
+    if state is None:
+        return None
+    store = node.lineage
+    if store is None or store.state is not state:
+        store = node.lineage = LineageStore(state)
+    return store
+
+
 class NodeStats:
     """Per-operator execution counters, cumulative across opens."""
 
@@ -240,6 +259,12 @@ class PlanNode:
     #: Which execution backend the node runs on; the columnar kernels
     #: override this.  Surfaced per node through ``explain``/``explain_data``.
     backend = "row"
+
+    #: Backward-lineage mappings recorded by the most recent capture, or
+    #: None.  Identity-breaking operators populate this via
+    #: :func:`_lineage_store` while a capture is active; the why-provenance
+    #: walk (``repro.obs.lineage``) reads it.
+    lineage: LineageStore | None = None
 
     def __init__(self, children: Sequence["PlanNode"], schema: Schema):
         self._children = tuple(children)
@@ -372,6 +397,9 @@ def explain_plan(node: PlanNode, with_stats: bool = True) -> str:
         proof = getattr(current, "proof", None)
         if proof:
             line += f" proof={_clip(proof, 64)}"
+        store = current.lineage
+        if store is not None and len(store):
+            line += f" lineage={len(store)}"
         if with_stats:
             line += f"  [{current.stats.summary()}]"
         lines.append(line)
@@ -591,8 +619,15 @@ class ProjectNode(PlanNode):
 
     def _produce(self) -> Iterator[Tuple]:
         names = self._names
+        store = _lineage_store(self)
+        if store is None:
+            for row in self._pull(self._children[0]):
+                yield row.project(names)
+            return
         for row in self._pull(self._children[0]):
-            yield row.project(names)
+            out = row.project(names)
+            store.record(out, (row,))
+            yield out
 
     def describe(self) -> str:
         return f"Project[{', '.join(self._names)}]"
@@ -665,8 +700,15 @@ class RenameNode(PlanNode):
 
     def _produce(self) -> Iterator[Tuple]:
         schema = self._schema
+        store = _lineage_store(self)
+        if store is None:
+            for row in self._pull(self._children[0]):
+                yield Tuple(schema, row.values)
+            return
         for row in self._pull(self._children[0]):
-            yield Tuple(schema, row.values)
+            out = Tuple(schema, row.values)
+            store.record(out, (row,))
+            yield out
 
     @property
     def mapping(self) -> tuple[str, str]:
@@ -784,12 +826,16 @@ class GroupByNode(PlanNode):
         if total > self.stats.rows_buffered:
             self.stats.rows_buffered = total
         out_schema = self._schema
+        store = _lineage_store(self)
         for key_values, members in groups.items():
             values: list[Any] = list(key_values)
             for agg_name, field, __ in self._aggregations:
                 column = [member[field] for member in members]
                 values.append(AGGREGATES[agg_name](column))
-            yield Tuple(out_schema, values)
+            out = Tuple(out_schema, values)
+            if store is not None:
+                store.record(out, tuple(members))
+            yield out
 
     def describe(self) -> str:
         aggs = ", ".join(
@@ -817,8 +863,17 @@ class UnionNode(PlanNode):
         super().__init__((left, right), left.schema)
 
     def _produce(self) -> Iterator[Tuple]:
-        yield from self._pull(self._children[0])
-        yield from self._pull(self._children[1])
+        store = _lineage_store(self)
+        if store is None:
+            yield from self._pull(self._children[0])
+            yield from self._pull(self._children[1])
+            return
+        # Rows pass through unchanged, but the walk needs to know which
+        # child a row streamed from — the tag records the child index.
+        for side in (0, 1):
+            for row in self._pull(self._children[side]):
+                store.record(row, (row,), tag=side)
+                yield row
 
     def describe(self) -> str:
         return "Union"
@@ -850,11 +905,15 @@ class CrossProductNode(PlanNode):
 
     def _produce(self) -> Iterator[Tuple]:
         schema = self._schema
+        store = _lineage_store(self)
         right_rows = list(self._pull(self._children[1]))
         self._buffered(right_rows)
         for lrow in self._pull(self._children[0]):
             for rrow in right_rows:
-                yield concat_rows(schema, lrow, rrow)
+                out = concat_rows(schema, lrow, rrow)
+                if store is not None:
+                    store.record(out, (lrow, rrow))
+                yield out
 
     def describe(self) -> str:
         return "CrossProduct"
@@ -875,6 +934,7 @@ class NestedLoopJoinNode(PlanNode):
 
     def _produce(self) -> Iterator[Tuple]:
         schema = self._schema
+        store = _lineage_store(self)
         left_key, right_key = self._left_key, self._right_key
         right_rows = list(self._pull(self._children[1]))
         self._buffered(right_rows)
@@ -882,7 +942,10 @@ class NestedLoopJoinNode(PlanNode):
             key = lrow[left_key]
             for rrow in right_rows:
                 if rrow[right_key] == key:
-                    yield concat_rows(schema, lrow, rrow)
+                    out = concat_rows(schema, lrow, rrow)
+                    if store is not None:
+                        store.record(out, (lrow, rrow))
+                    yield out
 
     def describe(self) -> str:
         return f"NestedLoopJoin[{self._left_key} = {self._right_key}]"
@@ -918,6 +981,7 @@ class HashJoinNode(PlanNode):
 
     def _produce(self) -> Iterator[Tuple]:
         schema = self._schema
+        store = _lineage_store(self)
         left_key, right_key = self._left_key, self._right_key
 
         right_rows: list[Tuple] = []
@@ -937,7 +1001,10 @@ class HashJoinNode(PlanNode):
                 key = lrow[left_key]
                 for rrow in right_rows:
                     if rrow[right_key] == key:
-                        yield concat_rows(schema, lrow, rrow)
+                        out = concat_rows(schema, lrow, rrow)
+                        if store is not None:
+                            store.record(out, (lrow, rrow))
+                        yield out
             return
 
         for lrow in self._pull(self._children[0]):
@@ -948,7 +1015,10 @@ class HashJoinNode(PlanNode):
                 self.stats.note(self._DEGRADED_PROBE)
                 matches = [r for r in right_rows if r[right_key] == key]
             for rrow in matches:
-                yield concat_rows(schema, lrow, rrow)
+                out = concat_rows(schema, lrow, rrow)
+                if store is not None:
+                    store.record(out, (lrow, rrow))
+                yield out
 
     def describe(self) -> str:
         return f"HashJoin[{self._left_key} = {self._right_key}]"
@@ -972,12 +1042,15 @@ class ThetaJoinNode(PlanNode):
     def _produce(self) -> Iterator[Tuple]:
         schema = self._schema
         predicate = self.predicate
+        store = _lineage_store(self)
         right_rows = list(self._pull(self._children[1]))
         self._buffered(right_rows)
         for lrow in self._pull(self._children[0]):
             for rrow in right_rows:
                 joined = concat_rows(schema, lrow, rrow)
                 if predicate.evaluate(joined):
+                    if store is not None:
+                        store.record(joined, (lrow, rrow))
                     yield joined
 
     def describe(self) -> str:
@@ -1437,9 +1510,17 @@ class ColumnarProjectNode(ColumnarNode):
     def _produce_columns(self) -> Iterator[ColumnBatch]:
         names = self._names
         schema = self._schema
+        store = _lineage_store(self)
         for batch in self._pull_columns(self._children[0]):
             columns = {name: batch.column(name) for name in names}
-            yield ColumnBatch(schema, columns, mask=batch.mask)
+            out = ColumnBatch(schema, columns, mask=batch.mask)
+            if store is not None:
+                in_rows = batch.to_rows()
+                out_rows = list(out.to_rows())
+                out.rows = _object_array(out_rows)
+                for irow, orow in zip(in_rows, out_rows):
+                    store.record(orow, (irow,))
+            yield out
 
     def describe(self) -> str:
         return f"Project[{', '.join(self._names)}]"
@@ -1469,12 +1550,20 @@ class ColumnarRenameNode(ColumnarNode):
     def _produce_columns(self) -> Iterator[ColumnBatch]:
         old, new = self._old, self._new
         schema = self._schema
+        store = _lineage_store(self)
         for batch in self._pull_columns(self._children[0]):
             columns = {
                 (new if name == old else name): batch.column(name)
                 for name in batch.schema.names
             }
-            yield ColumnBatch(schema, columns, mask=batch.mask)
+            out = ColumnBatch(schema, columns, mask=batch.mask)
+            if store is not None:
+                in_rows = batch.to_rows()
+                out_rows = list(out.to_rows())
+                out.rows = _object_array(out_rows)
+                for irow, orow in zip(in_rows, out_rows):
+                    store.record(orow, (irow,))
+            yield out
 
     def describe(self) -> str:
         return f"Rename[{self._old} -> {self._new}]"
@@ -1778,12 +1867,24 @@ class ColumnarGroupByNode(ColumnarNode):
             _fallback_counter().inc()
             yield from self._row_groups(batch)
             return
-        yield ColumnBatch(self._schema, columns)
+        out = ColumnBatch(self._schema, columns)
+        store = _lineage_store(self)
+        if store is not None:
+            in_rows = batch.to_rows()
+            out_rows = list(out.to_rows())
+            out.rows = _object_array(out_rows)
+            members: list[list[Tuple]] = [[] for __ in range(group_count)]
+            for idx, code in enumerate(codes.tolist()):
+                members[code].append(in_rows[idx])
+            for code, orow in enumerate(out_rows):
+                store.record(orow, tuple(members[code]))
+        yield out
 
     def _row_groups(self, batch: ColumnBatch) -> Iterator[ColumnBatch]:
         """The serial grouping algorithm over the buffered input."""
         keys = self._keys
         out_schema = self._schema
+        store = _lineage_store(self)
         groups: dict[tuple[Any, ...], list[Tuple]] = {}
         for row in batch.to_rows():
             groups.setdefault(tuple(row[key] for key in keys), []).append(row)
@@ -1794,7 +1895,10 @@ class ColumnarGroupByNode(ColumnarNode):
                 values.append(
                     AGGREGATES[agg_name]([member[field] for member in members])
                 )
-            out_rows.append(Tuple(out_schema, values))
+            out = Tuple(out_schema, values)
+            if store is not None:
+                store.record(out, tuple(members))
+            out_rows.append(out)
         if out_rows:
             yield ColumnBatch.from_rows(out_schema, out_rows)
 
@@ -1897,6 +2001,8 @@ class ColumnarHashJoinNode(ColumnarNode):
             for name in right_child.schema.names
         ]
         out_schema = self._schema
+        store = _lineage_store(self)
+        r_rows = rbatch.to_rows() if store is not None else None
         for lbatch in left_stream:
             if not len(lbatch):
                 continue
@@ -1925,13 +2031,22 @@ class ColumnarHashJoinNode(ColumnarNode):
             }
             for name, out_name in right_names:
                 columns[out_name] = rbatch.column(name)[ri]
-            yield ColumnBatch(out_schema, columns)
+            out = ColumnBatch(out_schema, columns)
+            if store is not None and r_rows is not None:
+                l_rows = lbatch.to_rows()
+                out_rows = list(out.to_rows())
+                out.rows = _object_array(out_rows)
+                li_list, ri_list = li.tolist(), ri.tolist()
+                for j, orow in enumerate(out_rows):
+                    store.record(orow, (l_rows[li_list[j]], r_rows[ri_list[j]]))
+            yield out
 
     def _row_join(
         self, rbatch: ColumnBatch, left_stream: Iterator[ColumnBatch]
     ) -> Iterator[ColumnBatch]:
         """The serial hash-join algorithm (hazard path), batch-granular."""
         schema = self._schema
+        store = _lineage_store(self)
         left_key, right_key = self._left_key, self._right_key
         right_rows = list(rbatch.to_rows())
         buckets: dict[Any, list[Tuple]] | None = {}
@@ -1958,7 +2073,10 @@ class ColumnarHashJoinNode(ColumnarNode):
                             r for r in right_rows if r[right_key] == key
                         ]
                 for rrow in matches:
-                    out.append(concat_rows(schema, lrow, rrow))
+                    joined = concat_rows(schema, lrow, rrow)
+                    if store is not None:
+                        store.record(joined, (lrow, rrow))
+                    out.append(joined)
             if out:
                 yield ColumnBatch.from_rows(schema, out)
 

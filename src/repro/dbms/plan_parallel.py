@@ -15,12 +15,14 @@ loop re-runs queries on every gesture):
   their inputs may still be parallel below.
 
 * **Result caching.**  :class:`ResultCache` memoizes materialized plan
-  results process-wide, keyed by a structural plan fingerprint plus the
-  storage epoch (:func:`repro.dbms.relation.storage_epoch`, bumped by every
+  results process-wide, keyed by a structural plan fingerprint plus a
+  storage-epoch stamp (:mod:`repro.dbms.relation`, bumped by every
   stored-table mutation including the Section-8 update dialogs).  Slaved
   viewers and repeated renders of overlapping extents reuse fragments
-  instead of re-running subplans; any update invalidates every cached
-  entry by advancing the epoch.
+  instead of re-running subplans.  When the plan's read set is known
+  (:func:`plan_read_set`) the stamp is a per-table epoch snapshot, so
+  mutating one table only invalidates the entries that actually read it;
+  otherwise the global epoch invalidates on any update.
 
 Fingerprints identify leaves by source-object identity.  That is sound
 because cache entries *pin* strong references to their sources (no id
@@ -79,9 +81,11 @@ from repro.dbms.plan import (
     declare_effect,
     declared_effect,
     plan_annotator,
+    _lineage_store,
 )
-from repro.dbms.relation import RowSet, storage_epoch
+from repro.dbms.relation import RowSet, storage_epoch, table_epoch, table_epochs
 from repro.dbms.tuples import Tuple
+from repro.obs.lineage import active_lineage
 from repro.obs.metrics import global_registry
 from repro.obs.trace import current_tracer
 
@@ -96,6 +100,7 @@ __all__ = [
     "ParallelHashJoinNode",
     "parallelize_plan",
     "plan_fingerprint",
+    "plan_read_set",
     "ResultCache",
     "result_cache",
     "storage_epoch",
@@ -358,21 +363,67 @@ def _fingerprint(node: PlanNode, pins: list[Any]) -> tuple:
     raise _Unfingerprintable(type(node).__name__)
 
 
+def plan_read_set(node: PlanNode) -> frozenset[str] | None:
+    """The named stored tables this plan reads, or None if unknowable.
+
+    Walks the plan the same way :func:`plan_fingerprint` does: through
+    :class:`ParallelMapNode` templates and :class:`CacheNode` memoization
+    boundaries down to the scan leaves.  Every leaf must be a *named*
+    scan for the read set to be known — an anonymous leaf (or a custom
+    node with no children) returns None, and callers fall back to the
+    global storage epoch.
+    """
+    names: set[str] = set()
+    if _read_set(node, names):
+        return frozenset(names)
+    return None
+
+
+def _read_set(node: PlanNode, names: set[str]) -> bool:
+    if isinstance(node, ScanNode):
+        if node._name is None:
+            return False
+        names.add(node._name)
+        return True
+    if isinstance(node, CacheNode):
+        return _read_set(node._source.plan, names)
+    if not node.children:
+        return False
+    return all(_read_set(child, names) for child in node.children)
+
+
 # ---------------------------------------------------------------------------
 # Result cache
 # ---------------------------------------------------------------------------
 
 
+def _epoch_fresh(epoch: int | dict[str, int]) -> bool:
+    """Is a cache entry computed at ``epoch`` still current?
+
+    An int is a global-epoch stamp (legacy / unknown read set); a dict maps
+    table name -> per-table epoch at computation time and stays fresh as
+    long as none of *those* tables mutated.
+    """
+    if isinstance(epoch, dict):
+        return all(table_epoch(name) == value
+                   for name, value in epoch.items())
+    return epoch == storage_epoch()
+
+
 class ResultCache:
     """Process-wide LRU of materialized plan results.
 
-    Keys are ``(plan fingerprint, storage epoch)``-equivalent: the epoch a
-    result was computed at is stored with the entry, and a lookup only hits
-    while the global epoch is unchanged.  Any table mutation anywhere bumps
-    the epoch, so stale entries can never be served; they are evicted on
-    the next touch.  Entries pin their leaf source objects (see
-    :func:`plan_fingerprint`) and may carry opaque ``meta`` for the caller
-    (e.g. per-node counters to restore on a hit).
+    Keys are ``(plan fingerprint, storage epoch)``-equivalent: the epoch
+    stamp a result was computed at is stored with the entry, and a lookup
+    only hits while that stamp is fresh (:func:`_epoch_fresh`).  A stamp is
+    either the global storage epoch — any mutation anywhere invalidates —
+    or, when the caller derived the plan's read set
+    (:func:`plan_read_set`), a per-table epoch snapshot, so only mutations
+    of the tables the plan actually read invalidate the entry.  Stale
+    entries can never be served; they are evicted on the next touch.
+    Entries pin their leaf source objects (see :func:`plan_fingerprint`)
+    and may carry opaque ``meta`` for the caller (e.g. per-node counters to
+    restore on a hit).
     """
 
     def __init__(self, max_entries: int = 256, max_rows: int = 500_000):
@@ -394,7 +445,7 @@ class ResultCache:
             entry = self._entries.get(key)
             if entry is not None:
                 rows, meta, _pins, epoch = entry
-                if epoch == storage_epoch():
+                if _epoch_fresh(epoch):
                     self._entries.move_to_end(key)
                     self._hits.inc()
                     return rows, meta
@@ -408,16 +459,18 @@ class ResultCache:
         key: tuple,
         rows: Sequence[Tuple],
         pins: tuple,
-        epoch: int,
+        epoch: int | dict[str, int],
         meta: Any = None,
     ) -> bool:
         """Insert a result computed at ``epoch``; refuses stale results.
 
-        ``epoch`` must be the storage epoch read *before* the plan ran — if
-        a mutation landed mid-execution the rows reflect a snapshot no
-        longer current and must not be cached.
+        ``epoch`` must be the epoch stamp read *before* the plan ran — the
+        global epoch, or a :func:`repro.dbms.relation.table_epochs`
+        snapshot of the plan's read set.  If a relevant mutation landed
+        mid-execution the rows reflect a snapshot no longer current and
+        must not be cached.
         """
-        if epoch != storage_epoch():
+        if not _epoch_fresh(epoch):
             return False
         if len(rows) > self.max_rows:
             return False
@@ -605,9 +658,13 @@ class ParallelMapNode(PlanNode):
             counters = [
                 (item.stats.rows_in, item.stats.rows_out) for item in built
             ]
+            # Each rebuilt node recorded lineage (if capture is on) into a
+            # private store; hand those back so the main thread can merge
+            # them into the template chain in morsel order.
+            stores = [getattr(item, "lineage", None) for item in built]
         global_registry().counter(
             "parallel.morsels", "morsel tasks executed").inc(label=self.label)
-        return out, counters
+        return out, counters, stores
 
     def _run_morsel_vector(self, index, chunk, base_batch, start):
         """One morsel as a column-batch slice; row-path retry on hazards."""
@@ -657,7 +714,7 @@ class ParallelMapNode(PlanNode):
         ).inc(label=self.label)
         global_registry().counter(
             "parallel.morsels", "morsel tasks executed").inc(label=self.label)
-        return out, counters
+        return out, counters, None
 
     def _produce(self) -> Iterator[Tuple]:
         config = self._config
@@ -679,7 +736,9 @@ class ParallelMapNode(PlanNode):
             rows = kept
 
         morsels = _morsels(rows, config.morsel_size)
-        vector = self._vector_chain is not None
+        # Under lineage capture the row path must run so rebuilt operators
+        # record mappings; morsel order keeps the merged stores stable.
+        vector = self._vector_chain is not None and active_lineage() is None
         base_batch = None
         if vector and isinstance(rows, tuple):
             # One cached whole-source conversion; morsels become slices.
@@ -709,10 +768,17 @@ class ParallelMapNode(PlanNode):
                 fn, *call_args = submit_args(index, chunk)
                 results.append(fn(*call_args))
 
-        for out, counters in results:
+        for out, counters, stores in results:
             for template, (rows_in, rows_out) in zip(self._chain, counters):
                 template.stats.rows_in += rows_in
                 template.stats.rows_out += rows_out
+            if stores is not None:
+                for template, store in zip(self._chain, stores):
+                    if store is None or not len(store):
+                        continue
+                    target = _lineage_store(template)
+                    if target is not None:
+                        target.merge(store)
             yield from out
 
     def describe(self) -> str:
@@ -791,7 +857,8 @@ class ParallelHashJoinNode(HashJoinNode):
 
     def _produce(self) -> Iterator[Tuple]:
         config = self._config
-        if not config.parallel:
+        if not config.parallel or active_lineage() is not None:
+            # Serial operator records lineage on this node directly.
             yield from super()._produce()
             return
 

@@ -34,16 +34,23 @@ __all__ = [
     "VirtualRow",
     "storage_epoch",
     "bump_storage_epoch",
+    "table_epoch",
+    "table_epochs",
+    "bump_table_epoch",
 ]
 
 
-# Process-wide storage epoch: a monotone counter advanced by every stored-table
+# Process-wide storage epochs: monotone counters advanced by every stored-table
 # mutation (including the Section-8 update dialogs, which land in
-# ``Table.replace_row``).  Cached plan results are keyed against the epoch at
-# which they were computed, so any mutation anywhere invalidates them without
-# the cache having to know which tables a plan touched.
+# ``Table.replace_row``).  The *global* epoch advances on any mutation; a
+# *per-table* epoch advances only when that table mutates.  Cached plan
+# results whose read set is known (every leaf is a named scan — see
+# ``plan_read_set``) are keyed against the per-table epochs they read, so
+# mutating one table no longer evicts every cached result; plans with
+# anonymous leaves fall back to the global epoch.
 _EPOCH_LOCK = threading.Lock()
 _STORAGE_EPOCH = 0
+_TABLE_EPOCHS: dict[str, int] = {}
 
 
 def storage_epoch() -> int:
@@ -57,6 +64,38 @@ def bump_storage_epoch() -> int:
     with _EPOCH_LOCK:
         _STORAGE_EPOCH += 1
         return _STORAGE_EPOCH
+
+
+def table_epoch(name: str) -> int:
+    """The per-table epoch for ``name`` (0 if the table never mutated)."""
+    return _TABLE_EPOCHS.get(name, 0)
+
+
+def table_epochs(names: Iterable[str]) -> dict[str, int]:
+    """A point-in-time epoch snapshot for a plan's read set."""
+    epochs = _TABLE_EPOCHS
+    return {name: epochs.get(name, 0) for name in names}
+
+
+def bump_table_epoch(name: str) -> int:
+    """Advance both the global epoch and ``name``'s epoch; returns the latter.
+
+    Also publishes the new per-table value as a ``storage.epoch`` gauge so
+    the dashboard can chart invalidation churn per table.
+    """
+    global _STORAGE_EPOCH
+    with _EPOCH_LOCK:
+        _STORAGE_EPOCH += 1
+        epoch = _TABLE_EPOCHS.get(name, 0) + 1
+        _TABLE_EPOCHS[name] = epoch
+    # Lazy import: the metrics registry sits above the dbms layer in the
+    # package graph, and importing it at module top would be circular.
+    from repro.obs.metrics import global_registry
+
+    global_registry().gauge(
+        "storage.epoch", "per-table storage epoch (mutation count)"
+    ).set(epoch, label=name)
+    return epoch
 
 
 class RowSet:
@@ -123,7 +162,7 @@ class Table:
     def _bump(self) -> None:
         self._version += 1
         self._snapshot = None
-        bump_storage_epoch()
+        bump_table_epoch(self.name)
 
     @property
     def schema(self) -> Schema:

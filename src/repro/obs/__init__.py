@@ -43,6 +43,19 @@ from repro.obs.flightrec import (
     install_flight_recorder,
     note_engine_error,
 )
+from repro.obs.lineage import (
+    LINEAGE_SCHEMA,
+    LineageConfig,
+    LineageStore,
+    active_lineage,
+    default_lineage_config,
+    lineage_capture,
+    lineage_config_from_env,
+    render_why,
+    resolve_lineage_config,
+    set_default_lineage_config,
+    why,
+)
 from repro.obs.timeseries import (
     TIMESERIES_SCHEMA,
     MetricsRecorder,
@@ -76,12 +89,15 @@ __all__ = [
     "COLUMNAR_BENCH_SCHEMA",
     "DIFF_SCHEMA",
     "FLIGHT_SCHEMA",
+    "LINEAGE_SCHEMA",
     "PARALLEL_BENCH_SCHEMA",
     "TIMESERIES_SCHEMA",
     "Counter",
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LineageConfig",
+    "LineageStore",
     "MetricsRecorder",
     "MetricsRegistry",
     "NULL_SPAN",
@@ -90,25 +106,33 @@ __all__ = [
     "TimeSeries",
     "TraceEvent",
     "Tracer",
+    "active_lineage",
     "check_declarations",
     "chrome_trace",
     "current_flight_recorder",
     "current_tracer",
     "declarations",
     "declare",
+    "default_lineage_config",
     "diff_bench",
     "diff_bench_files",
     "empty_run_summary",
     "global_registry",
     "install_flight_recorder",
     "install_from_env",
+    "lineage_capture",
+    "lineage_config_from_env",
     "note_engine_error",
     "push_tracer",
     "render_diff",
     "render_tree",
+    "render_why",
+    "resolve_lineage_config",
     "run_summary",
+    "set_default_lineage_config",
     "set_tracer",
     "tracing",
+    "why",
     "validate_any_bench",
     "validate_bench_summary",
     "validate_columnar_bench",

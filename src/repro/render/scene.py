@@ -27,9 +27,11 @@ from repro.dbms.plan_parallel import (
     default_config,
     parallelize_plan,
     plan_fingerprint,
+    plan_read_set,
     result_cache,
     storage_epoch,
 )
+from repro.dbms.relation import table_epochs
 from repro.dbms.tuples import Tuple
 from repro.dbms import types as T
 from repro.display.displayable import (
@@ -512,7 +514,9 @@ def _execute_cull_plan(viewport_node, slider_node):
                     node.stats.rows_in += rows_in
                     node.stats.rows_out += rows_out
                 return list(rows)
-            epoch = storage_epoch()
+            tables = plan_read_set(viewport_node)
+            epoch = (table_epochs(tables) if tables is not None
+                     else storage_epoch())
 
     # The rewrites keep row identity (columnar Restrict selects from cached
     # whole-source batches that hand back the original Tuple objects) and

@@ -1,0 +1,172 @@
+"""Edge-case tests: Viewer.pick / Session.pick (§8 click resolution).
+
+The cases the happy-path picking tests skip: stacked marks (z-order),
+pixels outside the viewport, and picks aimed at regions whose marks were
+culled away (viewport pan, slider ranges).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_attr import AddAttributeBox, SetAttributeBox
+from repro.dataflow.boxes_db import AddTableBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.errors import UIError
+from repro.viewer.viewer import Viewer
+
+
+def map_viewer(db, width=200, height=160) -> Viewer:
+    program = Program()
+    src = program.add_box(AddTableBox(table="Stations"))
+    sx = program.add_box(SetAttributeBox(name="x", definition="longitude"))
+    sy = program.add_box(SetAttributeBox(name="y", definition="latitude"))
+    disp = program.add_box(
+        SetAttributeBox(name="display", definition="filled_circle(2, 'blue')")
+    )
+    alt = program.add_box(
+        AddAttributeBox(name="alt", definition="altitude", location=True)
+    )
+    program.connect(src, "out", sx, "in")
+    program.connect(sx, "out", sy, "in")
+    program.connect(sy, "out", disp, "in")
+    program.connect(disp, "out", alt, "in")
+    engine = Engine(program, db)
+    viewer = Viewer("map", lambda: engine.output_of(alt), width, height)
+    viewer.pan_to(-91.8, 31.0)
+    viewer.set_elevation(8.0)
+    return viewer
+
+
+def center(item):
+    x0, y0, x1, y1 = item.bbox
+    return (x0 + x1) / 2, (y0 + y1) / 2
+
+
+class TestZOrder:
+    def test_overlapping_marks_resolve_to_topmost(self, stations_db):
+        # Two stations at the same coordinates: the later-painted mark
+        # paints on top, and pick must agree with the paint order.
+        stations_db.table("Stations").insert_many([
+            {"station_id": 8, "name": "Under", "state": "LA",
+             "longitude": -90.50, "latitude": 30.10, "altitude": 5.0},
+            {"station_id": 9, "name": "Over", "state": "LA",
+             "longitude": -90.50, "latitude": 30.10, "altitude": 5.0},
+        ])
+        viewer = map_viewer(stations_db)
+        result = viewer.render()
+        stacked = [item for item in result.all_items()
+                   if item.row["name"] in ("Under", "Over")]
+        assert len(stacked) == 2
+        assert stacked[0].bbox == stacked[1].bbox
+        hit = viewer.pick(*center(stacked[0]))
+        assert hit is stacked[-1]
+        assert hit.row["name"] == stacked[-1].row["name"]
+
+    def test_partial_overlap_picks_top_only_in_the_overlap(self, stations_db):
+        # Offset the twin by one pixel: inside the overlap the top mark
+        # wins, in the bottom mark's exposed sliver the bottom mark wins.
+        stations_db.table("Stations").insert_many([
+            {"station_id": 8, "name": "Under", "state": "LA",
+             "longitude": -90.50, "latitude": 30.10, "altitude": 5.0},
+        ])
+        viewer = map_viewer(stations_db)
+        result = viewer.render()
+        items = result.all_items()
+        under = next(i for i in items if i.row["name"] == "Under")
+        cx, cy = center(under)
+        hit = viewer.pick(cx, cy)
+        assert hit.row["name"] == "Under"
+
+
+class TestOutsideViewport:
+    @pytest.mark.parametrize("px,py", [
+        (-10.0, 80.0),      # left of the frame
+        (210.0, 80.0),      # right of the frame
+        (100.0, -10.0),     # above
+        (100.0, 170.0),     # below
+        (-1e9, -1e9),       # far outside
+    ])
+    def test_pick_outside_the_frame_misses(self, stations_db, px, py):
+        viewer = map_viewer(stations_db)
+        viewer.render()
+        assert viewer.pick(px, py) is None
+
+    def test_corner_pixels_without_marks_miss(self, stations_db):
+        viewer = map_viewer(stations_db)
+        viewer.render()
+        for corner in [(0.0, 0.0), (199.0, 0.0), (0.0, 159.0),
+                       (199.0, 159.0)]:
+            assert viewer.pick(*corner) is None
+
+
+class TestCulledRegions:
+    def test_pick_misses_viewport_culled_marks(self, stations_db):
+        viewer = map_viewer(stations_db)
+        item = viewer.render().all_items()[0]
+        cx, cy = center(item)
+        assert viewer.pick(cx, cy) is not None
+        # Pan the frame to empty ocean: every station is culled, so the
+        # same pixel no longer hits anything.
+        viewer.pan_to(-40.0, 31.0)
+        assert viewer.render().all_items() == []
+        assert viewer.pick(cx, cy) is None
+        # Pan back: the mark (and the pick) come back.
+        viewer.pan_to(-91.8, 31.0)
+        viewer.render()
+        assert viewer.pick(cx, cy) is not None
+
+    def test_pick_misses_slider_culled_marks(self, stations_db):
+        viewer = map_viewer(stations_db)
+        result = viewer.render()
+        shreveport = next(i for i in result.all_items()
+                          if i.row["name"] == "Shreveport")   # altitude 141
+        cx, cy = center(shreveport)
+        assert viewer.pick(cx, cy) is not None
+        viewer.set_slider("alt", 0.0, 100.0)
+        viewer.render()
+        assert viewer.pick(cx, cy) is None
+
+    def test_pick_uses_the_last_render(self, stations_db):
+        # pick() resolves against last_result: marks culled since the last
+        # render still hit until a re-render refreshes the frame.
+        viewer = map_viewer(stations_db)
+        item = viewer.render().all_items()[0]
+        cx, cy = center(item)
+        viewer.set_slider("alt", 1000.0, 2000.0)    # would cull everything
+        assert viewer.pick(cx, cy) is not None      # stale frame still hit
+        viewer.render()
+        assert viewer.pick(cx, cy) is None
+
+
+class TestSessionPick:
+    def _map_window(self, session):
+        stations = session.add_table("Stations")
+        sx = session.add_box(
+            "SetAttribute", {"name": "x", "definition": "longitude"})
+        session.connect(stations, "out", sx, "in")
+        sy = session.add_box(
+            "SetAttribute", {"name": "y", "definition": "latitude"})
+        session.connect(sx, "out", sy, "in")
+        disp = session.add_box(
+            "SetAttribute",
+            {"name": "display", "definition": "filled_circle(3, 'blue')"},
+        )
+        session.connect(sy, "out", disp, "in")
+        window = session.add_viewer(disp, name="map", width=200, height=160)
+        window.viewer.pan_to(-91.8, 31.0)
+        window.viewer.set_elevation(8.0)
+        return window
+
+    def test_session_pick_hits_and_misses(self, stations_session):
+        window = self._map_window(stations_session)
+        item = window.viewer.render().all_items()[0]
+        hit = stations_session.pick("map", *center(item))
+        assert hit is not None and hit.row == item.row
+        assert stations_session.pick("map", -5.0, -5.0) is None
+
+    def test_session_pick_unknown_canvas_rejected(self, stations_session):
+        self._map_window(stations_session)
+        with pytest.raises(UIError):
+            stations_session.pick("ghost", 10.0, 10.0)

@@ -1,9 +1,12 @@
 """Unit tests: the process-wide result cache and storage-epoch invalidation.
 
-The cache's contract: a lookup may only hit while *no* table anywhere has
-been mutated since the entry was stored — the global storage epoch stamps
-entries and any :class:`Table` mutation bumps it.  Entries pin their leaf
-source objects so the id()-based fingerprint keys stay unambiguous.
+The cache's contract: a lookup may only hit while no table the plan *reads*
+has been mutated since the entry was stored.  Entries stamped with a
+per-table epoch dict (``table_epochs`` over the plan's ``plan_read_set``)
+survive mutations of unrelated tables; entries stamped with the legacy
+global-epoch int keep the conservative any-mutation-evicts semantics.
+Entries pin their leaf source objects so the id()-based fingerprint keys
+stay unambiguous.
 """
 
 from __future__ import annotations
@@ -15,13 +18,17 @@ from repro.dbms.parser import parse_predicate
 from repro.dbms.plan_parallel import (
     ResultCache,
     plan_fingerprint,
+    plan_read_set,
     result_cache,
 )
 from repro.dbms.relation import (
     RowSet,
     Table,
     bump_storage_epoch,
+    bump_table_epoch,
     storage_epoch,
+    table_epoch,
+    table_epochs,
 )
 from repro.dbms.tuples import Schema
 
@@ -153,6 +160,108 @@ class TestLimitsAndEviction:
         fresh_entry(cache, num_rows(5))
         cache.clear()
         assert len(cache) == 0
+
+
+def named_table(name: str, count: int = 10) -> Table:
+    table = Table(name, NUMS)
+    table.insert_many(
+        {"n": i, "label": f"{name}{i}"} for i in range(count)
+    )
+    return table
+
+
+def named_plan(table: Table) -> P.PlanNode:
+    return P.RestrictNode(
+        P.ScanNode(table.snapshot(), name=table.name),
+        parse_predicate("n % 2 == 0", table.schema),
+    )
+
+
+def table_entry(cache: ResultCache, table: Table):
+    """Store a plan over ``table`` stamped with its per-table epoch dict."""
+    node = named_plan(table)
+    key, pins = plan_fingerprint(node)
+    tables = plan_read_set(node)
+    assert tables == frozenset({table.name})
+    result = tuple(named_plan(table).execute())
+    cache.store(key, result, pins, table_epochs(tables))
+    return key, result
+
+
+class TestPerTableEpochs:
+    def test_read_set_of_named_scans(self):
+        ta, tb = named_table("RSA"), named_table("RSB")
+        union = P.UnionNode(
+            P.ScanNode(ta.snapshot(), name=ta.name),
+            P.ScanNode(tb.snapshot(), name=tb.name),
+        )
+        assert plan_read_set(union) == frozenset({"RSA", "RSB"})
+
+    def test_unnamed_leaf_disables_the_read_set(self):
+        # An anonymous RowSet scan can't be attributed to a table: the plan
+        # falls back to the conservative global epoch.
+        anonymous = P.ScanNode(num_rows(4))
+        assert plan_read_set(anonymous) is None
+        mixed = P.UnionNode(
+            P.ScanNode(named_table("RSM").snapshot(), name="RSM"), anonymous)
+        assert plan_read_set(mixed) is None
+
+    def test_bump_table_epoch_is_per_table(self):
+        before_x = table_epoch("EpochX")
+        before_y = table_epoch("EpochY")
+        assert bump_table_epoch("EpochX") == before_x + 1
+        assert table_epochs({"EpochX", "EpochY"}) == {
+            "EpochX": before_x + 1, "EpochY": before_y}
+
+    def test_table_mutations_bump_both_epochs(self):
+        table = named_table("EpochBoth")
+        global_before = storage_epoch()
+        per_table_before = table_epoch("EpochBoth")
+        table.insert({"n": 99, "label": "new"})
+        assert storage_epoch() > global_before
+        assert table_epoch("EpochBoth") == per_table_before + 1
+
+    def test_mutating_unrelated_table_keeps_entry(self):
+        # The regression this feature exists for: a cached plan reading
+        # only B must survive writes to A.
+        cache = ResultCache()
+        ta, tb = named_table("KeepA"), named_table("KeepB")
+        key, result = table_entry(cache, tb)
+        ta.insert({"n": 77, "label": "unrelated write"})
+        hit = cache.lookup(key)
+        assert hit is not None and hit[0] == result
+        tb.insert({"n": 78, "label": "related write"})
+        assert cache.lookup(key) is None
+
+    def test_int_epoch_entries_keep_global_semantics(self):
+        cache = ResultCache()
+        key, __ = fresh_entry(cache, num_rows(10))     # int-stamped
+        named_table("GlobalSem").insert({"n": 1, "label": "any write"})
+        assert cache.lookup(key) is None
+
+    def test_store_refused_if_read_table_moved_during_execution(self):
+        cache = ResultCache()
+        table = named_table("RaceT")
+        node = named_plan(table)
+        key, pins = plan_fingerprint(node)
+        epochs = table_epochs(plan_read_set(node))
+        result = tuple(named_plan(table).execute())
+        table.insert({"n": 50, "label": "concurrent"})
+        cache.store(key, result, pins, epochs)
+        assert cache.lookup(key) is None
+
+    def test_generic_update_evicts_only_its_table(self):
+        # §8 acceptance: a screen-object update on A leaves cached plans
+        # over B live.
+        from repro.dbms.update import ScriptedDialog, generic_update
+
+        cache = ResultCache()
+        ta, tb = named_table("UpdA"), named_table("UpdB")
+        key_b, __ = table_entry(cache, tb)
+        row = next(iter(ta.snapshot()))
+        outcome = generic_update(ta, row, ScriptedDialog({"label": "edited"}))
+        assert outcome.applied
+        assert cache.lookup(key_b) is not None
 
 
 def test_singleton_is_shared():
