@@ -23,6 +23,7 @@ from repro.obs import (
     BENCH_SCHEMA,
     COLUMNAR_BENCH_SCHEMA,
     PARALLEL_BENCH_SCHEMA,
+    SERVER_BENCH_SCHEMA,
     Tracer,
     declarations,
     push_tracer,
@@ -30,6 +31,7 @@ from repro.obs import (
     validate_bench_summary,
     validate_columnar_bench,
     validate_parallel_bench,
+    validate_server_bench,
 )
 
 
@@ -140,6 +142,29 @@ def record_columnar():
     return record
 
 
+# ---------------------------------------------------------------------------
+# Server-load telemetry: concurrent-viewer runs -> BENCH_server.json
+# ---------------------------------------------------------------------------
+
+_SERVER: list[dict] = []
+
+
+@pytest.fixture(scope="session")
+def record_server():
+    """Collector for the multi-session server load benchmarks.
+
+    Each call records one benchmark entry (name + viewer count + latency
+    quantiles + throughput + frame/cache counters); the session hook below
+    schema-checks and writes them all to ``BENCH_server.json``
+    (``REPRO_BENCH_SERVER`` overrides the path).
+    """
+
+    def record(entry: dict) -> None:
+        _SERVER.append(entry)
+
+    return record
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _TELEMETRY:
         payload = {
@@ -170,4 +195,14 @@ def pytest_sessionfinish(session, exitstatus):
         out = Path(os.environ.get(
             "REPRO_BENCH_COLUMNAR",
             session.config.rootpath / "BENCH_columnar.json"))
+        out.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    if _SERVER:
+        payload = {
+            "schema": SERVER_BENCH_SCHEMA,
+            "benchmarks": _SERVER,
+        }
+        validate_server_bench(payload)
+        out = Path(os.environ.get(
+            "REPRO_BENCH_SERVER",
+            session.config.rootpath / "BENCH_server.json"))
         out.write_text(json.dumps(payload, indent=1, sort_keys=True))

@@ -1,0 +1,119 @@
+"""Server load: 50 concurrent WebSocket viewers over the fig4 station map.
+
+Every viewer walks the *same* deterministic demand script (pan to a shared
+sequence of world positions, render after each move), so sessions collide
+on the shared result cache exactly the way slaved viewers do in the paper:
+the first session to reach a view pays the miss, the other 49 hit.  The
+benchmark records request→frame latency quantiles across all viewers plus
+command throughput and cache counters into ``BENCH_server.json``
+(``repro.bench.server/1``), which CI diffs against the committed baseline.
+
+The in-test assertions are deliberately lenient (a loaded CI box jitters);
+the regression gate is ``repro bench-diff`` over the recorded quantiles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.data.weather import build_weather_database
+from repro.obs.metrics import MetricsRegistry
+from repro.protocol import FrameReply, OpenProgram, PanTo, Render
+from repro.server import ServerThread, connect
+
+VIEWERS = 50
+RENDERS_PER_VIEWER = 6
+
+#: Shared world positions every viewer pans to, in order.  Identical across
+#: sessions so their render plans share result-cache entries.
+_SCRIPT = [(-95.0 + 6.0 * step, 38.0 + 1.5 * step)
+           for step in range(RENDERS_PER_VIEWER)]
+
+
+def _viewer(url: str, latencies: list[float], frames: list[int],
+            errors: list[str], barrier: threading.Barrier) -> None:
+    try:
+        with connect(url, timeout=120.0) as client:
+            assert client.request(OpenProgram(name="fig4")).ok
+            barrier.wait(timeout=60)    # all viewers start demanding at once
+            for cx, cy in _SCRIPT:
+                client.request(PanTo(window="stations", cx=cx, cy=cy))
+                started = time.perf_counter()
+                frame = client.request(Render(window="stations",
+                                              format="png"))
+                latencies.append(time.perf_counter() - started)
+                assert isinstance(frame, FrameReply), frame
+                assert frame.data_bytes().startswith(b"\x89PNG")
+                frames.append(frame.cache_hits)
+                time.sleep(0.01)        # think time between interactions
+    except Exception as exc:  # noqa: BLE001 - surfaced by the main thread
+        errors.append(repr(exc))
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def test_server_load_fig4_50_viewers(record_server):
+    registry = MetricsRegistry()
+    latencies: list[float] = []
+    frame_hits: list[int] = []
+    errors: list[str] = []
+    barrier = threading.Barrier(VIEWERS)
+
+    with ServerThread(build_weather_database(), registry=registry,
+                      pool_workers=8) as server:
+        url = f"ws://{server.host}:{server.port}/ws"
+        threads = [
+            threading.Thread(
+                target=_viewer,
+                args=(url, latencies, frame_hits, errors, barrier),
+            )
+            for _ in range(VIEWERS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(300)
+        wall = time.perf_counter() - started
+        commands = registry.counter("server.commands").total()
+        dropped = registry.counter("server.frames_dropped").total()
+
+    assert not errors, errors[:3]
+    assert len(latencies) == VIEWERS * RENDERS_PER_VIEWER
+
+    ordered = sorted(latencies)
+    p50 = _quantile(ordered, 0.50)
+    p99 = _quantile(ordered, 0.99)
+    cache = server.database  # keep the database alive until counters read
+    del cache
+    hits = sum(frame_hits)
+
+    record_server({
+        "name": "fig4_ws_load",
+        "viewers": VIEWERS,
+        "renders_per_viewer": RENDERS_PER_VIEWER,
+        "latency": {
+            "p50_s": round(p50, 6),
+            "p99_s": round(p99, 6),
+            "mean_s": round(sum(ordered) / len(ordered), 6),
+            "max_s": round(ordered[-1], 6),
+        },
+        "throughput_cps": round(commands / wall, 2),
+        "frames": {
+            "delivered": len(latencies),
+            "dropped": int(dropped),
+        },
+        "cache": {"hits": hits},
+    })
+
+    # Request/reply pacing means no frame may ever be coalesced away.
+    assert dropped == 0
+    # Cross-session sharing must engage: 50 sessions render 6 shared views,
+    # so far more frames hit the cache than miss.
+    assert hits >= VIEWERS * RENDERS_PER_VIEWER // 2
+    # Generous wall-clock ceiling; the real gate is bench-diff on quantiles.
+    assert p99 < 1.5, f"p99 {p99:.3f}s"

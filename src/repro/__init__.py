@@ -28,11 +28,14 @@ import os as _os
 # re-exports it so `from repro import Session` keeps working.  Deep module
 # imports (repro.dbms.plan, ...) remain available but are internals.
 from repro.api import (
+    Command,
     Database,
     Engine,
     Program,
+    Response,
     Scenario,
     Session,
+    ServerThread,
     Viewer,
     build_fig1_table_view,
     build_fig4_station_map,
@@ -42,7 +45,9 @@ from repro.api import (
     build_fig10_stitch,
     build_fig11_replicate,
     build_weather_database,
+    connect,
     open_db,
+    serve,
 )
 from repro.errors import TiogaError
 
@@ -84,14 +89,19 @@ if _os.environ.get("REPRO_LINEAGE", "") not in ("", "0"):
 __version__ = "1.0.0"
 
 __all__ = [
+    "Command",
     "Database",
     "Engine",
     "Program",
+    "Response",
     "Scenario",
+    "ServerThread",
     "Session",
     "Viewer",
     "TiogaError",
     "__version__",
+    "connect",
+    "serve",
     "build_fig1_table_view",
     "build_fig4_station_map",
     "build_fig7_overlay",

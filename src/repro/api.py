@@ -51,6 +51,22 @@ to the exact base-table rows, returning a ``repro.lineage/1`` document
 (:func:`render_why` pretty-prints it, CLI ``repro why``).  Result-cache
 invalidation is now per-table: mutating one table no longer evicts cached
 plans that never read it — see ``docs/OBSERVABILITY.md``.
+
+Also new: the protocol command layer and the multi-session server.  Every
+demand is a versioned :class:`Command` dataclass with a JSON codec
+(:mod:`repro.protocol`); :class:`Session`'s imperative methods — and the
+new demand wrappers ``Session.pan`` / ``pan_to`` / ``zoom`` /
+``set_elevation`` / ``set_slider`` / ``render_frame`` / ``why`` — are thin
+wrappers building those commands, so in-process and remote interaction
+share one dispatch path.  :func:`serve` runs the asyncio HTTP/WebSocket
+server (:class:`TiogaServer`), :func:`connect` returns a blocking client;
+see ``docs/SERVER.md``.
+
+Deprecated this release (removed next): mutating a :class:`Viewer`
+directly (``viewer.pan``/``pan_to``/``zoom``/``set_elevation``/
+``set_slider``).  Those methods now emit :class:`DeprecationWarning` and
+forward to the protocol layer's internals; call the ``Session`` wrappers
+instead.
 """
 
 from __future__ import annotations
@@ -152,6 +168,36 @@ from repro.obs.dashboard import (
     render_dashboard,
     telemetry_database,
 )
+from repro.protocol import (
+    PROTOCOL_CODES,
+    PROTOCOL_VERSION,
+    AddViewer,
+    Command,
+    CommandExecutor,
+    ErrorReply,
+    Explain,
+    FrameReply,
+    OpenProgram,
+    Pan,
+    PanTo,
+    Pick,
+    ProtocolError,
+    Render,
+    Reply,
+    Response,
+    SetElevation,
+    SetSlider,
+    Stats,
+    Welcome,
+    Why,
+    Zoom,
+    decode_command,
+    decode_response,
+    encode_command,
+    encode_response,
+    error_code_for,
+)
+from repro.server import Client, ServerThread, TiogaServer, connect, serve
 from repro.viewer.viewer import Viewer, ViewerBox
 
 __all__ = [
@@ -236,6 +282,40 @@ __all__ = [
     "UnionBox",
     "ParameterBox",
     "ThresholdBox",
+    # Protocol command layer (the demand wire format)
+    "PROTOCOL_VERSION",
+    "PROTOCOL_CODES",
+    "Command",
+    "OpenProgram",
+    "AddViewer",
+    "Pan",
+    "PanTo",
+    "Zoom",
+    "SetElevation",
+    "SetSlider",
+    "Render",
+    "Pick",
+    "Why",
+    "Explain",
+    "Stats",
+    "Response",
+    "Reply",
+    "ErrorReply",
+    "FrameReply",
+    "Welcome",
+    "encode_command",
+    "decode_command",
+    "encode_response",
+    "decode_response",
+    "CommandExecutor",
+    "ProtocolError",
+    "error_code_for",
+    # Server & client
+    "TiogaServer",
+    "ServerThread",
+    "serve",
+    "connect",
+    "Client",
     # Viewers
     "Viewer",
     "ViewerBox",

@@ -80,15 +80,9 @@ from repro.ui.session import Session
 
 __all__ = ["main", "build_parser"]
 
-_FIGURES = {
-    "fig1": scenarios.build_fig1_table_view,
-    "fig4": scenarios.build_fig4_station_map,
-    "fig7": scenarios.build_fig7_overlay,
-    "fig8": scenarios.build_fig8_wormholes,
-    "fig9": scenarios.build_fig9_magnifier,
-    "fig10": scenarios.build_fig10_stitch,
-    "fig11": scenarios.build_fig11_replicate,
-}
+# The figure registry lives with the scenarios so the CLI and the server
+# host the same catalog.
+_FIGURES = scenarios.FIGURES
 
 
 def _common_flags() -> argparse.ArgumentParser:
@@ -338,6 +332,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", default="ppm", choices=("ppm", "png", "svg"),
         help="image format (svg renders vectors through the SVG surface)",
     )
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="run the multi-session visualization server (HTTP + WebSocket; "
+        "see docs/SERVER.md)",
+    )
+    serve_cmd.add_argument("--db", help="database file to host "
+                           "(default: built-in weather demo)")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8765)
+    serve_cmd.add_argument(
+        "--max-queue", type=int, default=32,
+        help="per-connection send-queue bound before frame coalescing "
+        "(default 32)",
+    )
+    serve_cmd.add_argument(
+        "--flight-dump",
+        help="file to dump the flight recorder to on internal handler "
+        "errors (JSONL)",
+    )
+
+    client_cmd = commands.add_parser(
+        "client",
+        help="connect to a running server, run one command, print the "
+        "JSON response",
+    )
+    client_cmd.add_argument(
+        "--url", default="ws://127.0.0.1:8765/ws",
+        help="server WebSocket URL (default ws://127.0.0.1:8765/ws)",
+    )
+    client_cmd.add_argument(
+        "command_json", nargs="?",
+        help="one protocol command as JSON, e.g. "
+        '\'{"v": 1, "kind": "open_program", "name": "fig4"}\'; '
+        "omit to print the server welcome",
+    )
+    client_cmd.add_argument(
+        "--out", help="write a frame response's image bytes to this file")
     return parser
 
 
@@ -726,6 +758,11 @@ def _cmd_stats(args) -> int:
     global_registry().counter(*MAPPINGS_COUNTER)
     global_registry().counter(*DROPPED_COUNTER)
     global_registry().counter(*WALKS_COUNTER)
+    # And the server family (sessions/commands/frame_ms/...), so the stats
+    # snapshot pins the full metric surface a serving process exposes.
+    from repro.server.app import register_server_metrics
+
+    register_server_metrics(global_registry())
 
     db = build_weather_database(extra_stations=40, every_days=30)
     scenario = _FIGURES[args.figure](db)
@@ -988,6 +1025,42 @@ def _cmd_why(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.server import serve
+
+    database = load_database_file(args.db) if args.db else None
+    host, port = args.host, args.port
+    print(f"serving on http://{host}:{port} (ws://{host}:{port}/ws); "
+          "Ctrl-C stops", file=sys.stderr)
+    serve(host=host, port=port, database=database,
+          max_queue=args.max_queue, flight_dump=args.flight_dump)
+    return 0
+
+
+def _cmd_client(args) -> int:
+    import base64 as _base64
+    import json as _json
+
+    from repro.protocol import decode_command, encode_response
+    from repro.server import connect
+
+    with connect(args.url) as client:
+        if not args.command_json:
+            print(encode_response(client.welcome))
+            return 0
+        command = decode_command(args.command_json)
+        response = client.request(command)
+        if args.out and getattr(response, "data", None):
+            Path(args.out).write_bytes(
+                _base64.b64decode(response.data))
+            payload = _json.loads(encode_response(response))
+            payload["data"] = f"(written to {args.out})"
+            print(_json.dumps(payload, sort_keys=True))
+        else:
+            print(encode_response(response))
+        return 0 if response.ok else 1
+
+
 _HANDLERS = {
     "init-weather": _cmd_init_weather,
     "tables": _cmd_tables,
@@ -1005,6 +1078,8 @@ _HANDLERS = {
     "bench-diff": _cmd_bench_diff,
     "dashboard": _cmd_dashboard,
     "render": _cmd_render,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
 }
 
 _UNSET = object()

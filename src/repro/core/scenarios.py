@@ -19,6 +19,7 @@ from repro.ui.session import CanvasWindow, Session
 
 __all__ = [
     "Scenario",
+    "FIGURES",
     "build_fig1_table_view",
     "build_fig4_station_map",
     "station_map_pipeline",
@@ -86,8 +87,8 @@ def build_fig1_table_view(db: Database) -> Scenario:
     window = session.add_viewer(project, name="table", width=640, height=360)
     # The default display is the terminal-monitor listing: x = 0, y = tuple
     # sequence; frame the first rows.
-    window.viewer.pan_to(220.0, -8.0)
-    window.viewer.set_elevation(480.0)
+    session.pan_to(window.name, 220.0, -8.0)
+    session.set_elevation(window.name, 480.0)
     return Scenario(
         session,
         stations=stations,
@@ -151,8 +152,8 @@ def build_fig4_station_map(db: Database) -> Scenario:
     session = Session(db, "fig4-station-map")
     tail = station_map_pipeline(session)
     window = session.add_viewer(tail, name="stations", width=640, height=480)
-    window.viewer.pan_to(*LOUISIANA_CENTER)
-    window.viewer.set_elevation(STATE_ELEVATION)
+    session.pan_to(window.name, *LOUISIANA_CENTER)
+    session.set_elevation(window.name, STATE_ELEVATION)
     return Scenario(session, tail=tail, window=window)
 
 
@@ -200,8 +201,8 @@ def build_fig7_overlay(db: Database) -> Scenario:
     session.connect(overlay_low, "out", overlay_high, "base")
     session.connect(detailed, "out", overlay_high, "top")
     window = session.add_viewer(overlay_high, name="map", width=640, height=480)
-    window.viewer.pan_to(*LOUISIANA_CENTER)
-    window.viewer.set_elevation(STATE_ELEVATION)
+    session.pan_to(window.name, *LOUISIANA_CENTER)
+    session.set_elevation(window.name, STATE_ELEVATION)
     return Scenario(
         session,
         map_tail=map_tail,
@@ -290,7 +291,7 @@ def build_fig8_wormholes(db: Database) -> Scenario:
     series_window = session.add_viewer(
         series_tail, name="tempseries", width=640, height=480,
     )
-    series_window.viewer.set_elevation(200.0)
+    session.set_elevation(series_window.name, 200.0)
 
     # The map canvas of Figure 7, plus a wormhole display defined only at
     # very low elevations (it "appears upon zooming in").
@@ -352,8 +353,8 @@ def build_fig8_wormholes(db: Database) -> Scenario:
     session.connect(underside_range, "out", overlay4, "top")
 
     map_window = session.add_viewer(overlay4, name="map", width=640, height=480)
-    map_window.viewer.pan_to(*LOUISIANA_CENTER)
-    map_window.viewer.set_elevation(STATE_ELEVATION)
+    session.pan_to(map_window.name, *LOUISIANA_CENTER)
+    session.set_elevation(map_window.name, STATE_ELEVATION)
     session.navigator.set_current("map")
     return Scenario(
         session,
@@ -415,8 +416,8 @@ def build_fig9_magnifier(db: Database) -> Scenario:
     window = session.add_viewer(tee, src_port="out1", name="temperature",
                                 width=640, height=480)
     new_orleans = band_center(1)
-    window.viewer.pan_to(*new_orleans)
-    window.viewer.set_elevation(80.0)
+    session.pan_to(window.name, *new_orleans)
+    session.set_elevation(window.name, 80.0)
     glass = window.add_magnifier(
         rect=(400.0, 160.0, 180.0, 140.0),
         magnification=4.0,
@@ -459,10 +460,10 @@ def build_fig10_stitch(db: Database) -> Scenario:
     session.connect(precipitation, "out", stitch, "c2")
     window = session.add_viewer(stitch, name="stitched", width=800, height=400)
     start = band_center(1)
-    window.viewer.pan_to(*start, member="temperature")
-    window.viewer.set_elevation(60.0, member="temperature")
-    window.viewer.pan_to(*start, member="precipitation")
-    window.viewer.set_elevation(60.0, member="precipitation")
+    session.pan_to(window.name, *start, member="temperature")
+    session.set_elevation(window.name, 60.0, member="temperature")
+    session.pan_to(window.name, *start, member="precipitation")
+    session.set_elevation(window.name, 60.0, member="precipitation")
     link = session.slaving.slave(
         window.viewer, window.viewer,
         a_member="temperature", b_member="precipitation",
@@ -499,9 +500,22 @@ def build_fig11_replicate(db: Database) -> Scenario:
     window = session.add_viewer(replicate, name="replicated", width=800, height=400)
     early_center = (2.5 * 365 * SERIES_X_SCALE, band_center(1)[1])
     late_center = (8.0 * 365 * SERIES_X_SCALE, band_center(1)[1])
-    window.viewer.pan_to(*early_center, member="part1")
-    window.viewer.set_elevation(60.0, member="part1")
-    window.viewer.pan_to(*late_center, member="part2")
-    window.viewer.set_elevation(60.0, member="part2")
+    session.pan_to(window.name, *early_center, member="part1")
+    session.set_elevation(window.name, 60.0, member="part1")
+    session.pan_to(window.name, *late_center, member="part2")
+    session.set_elevation(window.name, 60.0, member="part2")
     return Scenario(session, window=window, replicate=replicate,
                     temperature=temperature)
+
+
+#: The figure scenarios by CLI/server name — the shared registry behind
+#: ``repro.cli`` figure flags and the server's hosted program catalog.
+FIGURES: dict[str, Any] = {
+    "fig1": build_fig1_table_view,
+    "fig4": build_fig4_station_map,
+    "fig7": build_fig7_overlay,
+    "fig8": build_fig8_wormholes,
+    "fig9": build_fig9_magnifier,
+    "fig10": build_fig10_stitch,
+    "fig11": build_fig11_replicate,
+}

@@ -25,6 +25,7 @@ from repro.obs.export import (
     BENCH_SCHEMA,
     COLUMNAR_BENCH_SCHEMA,
     PARALLEL_BENCH_SCHEMA,
+    SERVER_BENCH_SCHEMA,
     chrome_trace,
     empty_run_summary,
     render_tree,
@@ -34,6 +35,7 @@ from repro.obs.export import (
     validate_chrome_trace,
     validate_columnar_bench,
     validate_parallel_bench,
+    validate_server_bench,
     write_chrome_trace,
 )
 from repro.obs.flightrec import (
@@ -91,6 +93,7 @@ __all__ = [
     "FLIGHT_SCHEMA",
     "LINEAGE_SCHEMA",
     "PARALLEL_BENCH_SCHEMA",
+    "SERVER_BENCH_SCHEMA",
     "TIMESERIES_SCHEMA",
     "Counter",
     "FlightRecorder",
@@ -137,6 +140,7 @@ __all__ = [
     "validate_bench_summary",
     "validate_columnar_bench",
     "validate_parallel_bench",
+    "validate_server_bench",
     "validate_chrome_trace",
     "validate_timeseries",
     "write_chrome_trace",

@@ -30,6 +30,7 @@ from repro.obs.export import (
     BENCH_SCHEMA,
     COLUMNAR_BENCH_SCHEMA,
     PARALLEL_BENCH_SCHEMA,
+    SERVER_BENCH_SCHEMA,
 )
 
 __all__ = [
@@ -43,7 +44,14 @@ __all__ = [
 DIFF_SCHEMA = "repro.benchdiff/1"
 """Schema tag stamped into :func:`diff_bench` reports."""
 
-DEFAULT_THRESHOLDS = {"seconds": 0.25, "mean_s": 0.25, "speedup": 0.25}
+DEFAULT_THRESHOLDS = {
+    "seconds": 0.25,
+    "mean_s": 0.25,
+    "speedup": 0.25,
+    "p50_s": 0.5,
+    "p99_s": 0.5,
+    "throughput_cps": 0.5,
+}
 """Per-metric relative-change thresholds beyond which a change is a
 regression (and, symmetrically, an improvement)."""
 
@@ -52,7 +60,7 @@ regression (and, symmetrically, an improvement)."""
 DEFAULT_MIN_SECONDS = 0.005
 
 #: Metrics where *higher* is better (everything else: lower is better).
-_HIGHER_IS_BETTER = {"speedup"}
+_HIGHER_IS_BETTER = {"speedup", "throughput_cps"}
 
 
 def _by_name(payload: dict[str, Any]) -> dict[str, dict[str, Any]]:
@@ -114,6 +122,29 @@ def _parallel_rows(name: str, base: dict, curr: dict, thresholds: dict,
     return rows
 
 
+def _server_rows(name: str, base: dict, curr: dict, thresholds: dict,
+                 min_seconds: float) -> list[dict[str, Any]]:
+    rows: list[dict[str, Any]] = []
+    base_latency = base.get("latency") or {}
+    curr_latency = curr.get("latency") or {}
+    for quantile in ("p50_s", "p99_s"):
+        base_q = base_latency.get(quantile)
+        curr_q = curr_latency.get(quantile)
+        if not isinstance(base_q, (int, float)) or \
+                not isinstance(curr_q, (int, float)):
+            continue
+        flaggable = max(base_q, curr_q) >= min_seconds
+        rows.append(_compare(name, quantile, float(base_q), float(curr_q),
+                             thresholds[quantile], flaggable))
+    base_tp = base.get("throughput_cps")
+    curr_tp = curr.get("throughput_cps")
+    if isinstance(base_tp, (int, float)) and isinstance(curr_tp, (int, float)):
+        rows.append(_compare(name, "throughput_cps", float(base_tp),
+                             float(curr_tp), thresholds["throughput_cps"],
+                             True))
+    return rows
+
+
 def _obs_rows(name: str, base: dict, curr: dict, thresholds: dict,
               min_seconds: float) -> list[dict[str, Any]]:
     base_timing = base.get("timing") or {}
@@ -155,13 +186,15 @@ def diff_bench(baseline: dict[str, Any], current: dict[str, Any],
         # Columnar bench files share the arms-plus-speedup shape; the same
         # row comparison applies (arm seconds, headline speedup).
         row_fn = _parallel_rows
+    elif base_schema == SERVER_BENCH_SCHEMA:
+        row_fn = _server_rows
     elif base_schema == BENCH_SCHEMA:
         row_fn = _obs_rows
     else:
         raise ObservabilityError(
             f"unknown bench schema {base_schema!r}; known: "
             f"{BENCH_SCHEMA!r}, {PARALLEL_BENCH_SCHEMA!r}, "
-            f"{COLUMNAR_BENCH_SCHEMA!r}"
+            f"{COLUMNAR_BENCH_SCHEMA!r}, {SERVER_BENCH_SCHEMA!r}"
         )
     effective = dict(DEFAULT_THRESHOLDS)
     if threshold is not None:

@@ -323,8 +323,8 @@ def _chart_window(session, tail: int, chart: str, axes_tail: int):
     session.connect(axes_tail, "out", overlay, "base")
     session.connect(tail, "out", overlay, "top")
     window = session.add_viewer(overlay, name=chart, width=480, height=320)
-    window.viewer.pan_to(_CHART_W / 2.0, _CHART_H / 2.0)
-    window.viewer.set_elevation(_CHART_W + 60.0)
+    window.viewer._pan_to(_CHART_W / 2.0, _CHART_H / 2.0)
+    window.viewer._set_elevation(_CHART_W + 60.0)
     return window
 
 

@@ -36,10 +36,12 @@ __all__ = [
     "validate_bench_summary",
     "validate_parallel_bench",
     "validate_columnar_bench",
+    "validate_server_bench",
     "validate_any_bench",
     "BENCH_SCHEMA",
     "PARALLEL_BENCH_SCHEMA",
     "COLUMNAR_BENCH_SCHEMA",
+    "SERVER_BENCH_SCHEMA",
 ]
 
 BENCH_SCHEMA = "repro.bench/1"
@@ -50,6 +52,9 @@ PARALLEL_BENCH_SCHEMA = "repro.bench.parallel/1"
 
 COLUMNAR_BENCH_SCHEMA = "repro.bench.columnar/1"
 """Schema tag stamped into ``BENCH_columnar.json``."""
+
+SERVER_BENCH_SCHEMA = "repro.bench.server/1"
+"""Schema tag stamped into ``BENCH_server.json``."""
 
 _PID = 1  # single-process traces; Chrome requires *a* pid
 
@@ -474,11 +479,78 @@ def validate_columnar_bench(obj: Any) -> dict[str, Any]:
     return obj
 
 
+def validate_server_bench(obj: Any) -> dict[str, Any]:
+    """Check a ``BENCH_server.json`` payload; returns it on success.
+
+    Each benchmark is one concurrent-viewer load run against a hosted
+    program::
+
+        {"schema": "repro.bench.server/1",
+         "benchmarks": [
+             {"name": "fig4_ws_load",
+              "viewers": 50,
+              "renders_per_viewer": 6,
+              "latency": {"p50_s": 0.011, "p99_s": 0.18,
+                          "mean_s": 0.02, "max_s": 0.21},
+              "throughput_cps": 410.0,
+              "frames": {"delivered": 300, "dropped": 0},
+              "cache": {"hits": 620, "misses": 9}}]}
+    """
+    if not isinstance(obj, dict):
+        raise ObservabilityError("server bench summary must be an object")
+    if obj.get("schema") != SERVER_BENCH_SCHEMA:
+        raise ObservabilityError(
+            f"server bench schema must be {SERVER_BENCH_SCHEMA!r}, "
+            f"got {obj.get('schema')!r}"
+        )
+    benchmarks = obj.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise ObservabilityError(
+            "server bench summary needs a 'benchmarks' list"
+        )
+    for index, entry in enumerate(benchmarks):
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise ObservabilityError(
+                f"benchmarks[{index}] must be an object with a 'name'"
+            )
+        viewers = entry.get("viewers")
+        if not isinstance(viewers, int) or viewers <= 0:
+            raise ObservabilityError(
+                f"benchmarks[{index}] needs a positive integer 'viewers'"
+            )
+        latency = entry.get("latency")
+        if not isinstance(latency, dict):
+            raise ObservabilityError(
+                f"benchmarks[{index}] needs a 'latency' object"
+            )
+        for quantile in ("p50_s", "p99_s"):
+            value = latency.get(quantile)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ObservabilityError(
+                    f"benchmarks[{index}] latency needs non-negative "
+                    f"numeric {quantile!r}"
+                )
+        throughput = entry.get("throughput_cps")
+        if throughput is not None and (
+            not isinstance(throughput, (int, float)) or throughput < 0
+        ):
+            raise ObservabilityError(
+                f"benchmarks[{index}] 'throughput_cps' must be non-negative"
+            )
+        for section in ("frames", "cache"):
+            value = entry.get(section)
+            if value is not None and not isinstance(value, dict):
+                raise ObservabilityError(
+                    f"benchmarks[{index}] {section!r} must be an object"
+                )
+    return obj
+
+
 def validate_any_bench(obj: Any) -> dict[str, Any]:
     """Validate a bench payload, routing on its own schema tag.
 
     Used by ``repro stats --validate-bench`` and
-    ``repro bench-diff --update-baselines``, which accept any of the three
+    ``repro bench-diff --update-baselines``, which accept any of the four
     ``BENCH_*.json`` artifact kinds.
     """
     schema = obj.get("schema") if isinstance(obj, dict) else None
@@ -486,4 +558,6 @@ def validate_any_bench(obj: Any) -> dict[str, Any]:
         return validate_parallel_bench(obj)
     if schema == COLUMNAR_BENCH_SCHEMA:
         return validate_columnar_bench(obj)
+    if schema == SERVER_BENCH_SCHEMA:
+        return validate_server_bench(obj)
     return validate_bench_summary(obj)

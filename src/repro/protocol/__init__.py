@@ -1,0 +1,85 @@
+"""Serializable command layer for Tioga-2 demands.
+
+The protocol is the seam between interaction and execution: the in-process
+:class:`~repro.ui.session.Session` and the network server in
+:mod:`repro.server` both express every demand (open a program, pan, zoom,
+move a slider, render, pick, *why*) as the same versioned
+:class:`Command` dataclasses and dispatch them through the same
+:class:`CommandExecutor`, so local and remote interaction are one code path.
+
+See :mod:`repro.protocol.messages` for the wire format and compatibility
+contract, :mod:`repro.protocol.errors` for the stable ``T2-E5xx`` error-code
+family, and :mod:`repro.protocol.dispatch` for execution.
+"""
+
+from repro.protocol.dispatch import CommandExecutor, FrameCache, jsonable
+from repro.protocol.errors import (
+    PROTOCOL_CODES,
+    ProtocolError,
+    error_code_for,
+    protocol_code_info,
+)
+from repro.protocol.messages import (
+    COMMAND_KINDS,
+    FRAME_FORMATS,
+    PROTOCOL_VERSION,
+    RESPONSE_KINDS,
+    AddViewer,
+    Command,
+    ErrorReply,
+    Explain,
+    FrameReply,
+    OpenProgram,
+    Pan,
+    PanTo,
+    Pick,
+    Render,
+    Reply,
+    Response,
+    SetElevation,
+    SetSlider,
+    Stats,
+    Welcome,
+    Why,
+    Zoom,
+    decode_command,
+    decode_response,
+    encode_command,
+    encode_response,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FRAME_FORMATS",
+    "Command",
+    "OpenProgram",
+    "AddViewer",
+    "Pan",
+    "PanTo",
+    "Zoom",
+    "SetElevation",
+    "SetSlider",
+    "Render",
+    "Pick",
+    "Why",
+    "Explain",
+    "Stats",
+    "Response",
+    "Reply",
+    "ErrorReply",
+    "FrameReply",
+    "Welcome",
+    "COMMAND_KINDS",
+    "RESPONSE_KINDS",
+    "encode_command",
+    "decode_command",
+    "encode_response",
+    "decode_response",
+    "CommandExecutor",
+    "FrameCache",
+    "jsonable",
+    "PROTOCOL_CODES",
+    "ProtocolError",
+    "error_code_for",
+    "protocol_code_info",
+]

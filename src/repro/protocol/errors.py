@@ -1,0 +1,129 @@
+"""Stable protocol error codes: the ``T2-E5xx`` family.
+
+Remote clients must get machine-readable failures, never tracebacks.  Every
+:class:`~repro.errors.TiogaError` subclass a command handler can raise maps
+to one stable code here, following the ``T2-Exxx`` diagnostic-code
+convention from :mod:`repro.analyze` (whose catalog owns ``E1xx``/``W2xx``/
+``I3xx``; the protocol/server range is ``E5xx``).  The mapping is by
+exception *class*, walking the MRO, so a new ``ViewerError`` subclass
+automatically inherits ``T2-E501`` until it earns its own code.
+
+Codes are append-only: a released code never changes meaning.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    CatalogError,
+    DisplayError,
+    EvaluationError,
+    ExpressionError,
+    GraphError,
+    ObservabilityError,
+    SchemaError,
+    StaticAnalysisError,
+    TiogaError,
+    TypeCheckError,
+    UIError,
+    UpdateError,
+    ViewerError,
+)
+
+__all__ = [
+    "PROTOCOL_CODES",
+    "ProtocolError",
+    "error_code_for",
+    "protocol_code_info",
+]
+
+#: Stable protocol error codes and their one-line summaries.  The server
+#: range (``T2-E5xx``) deliberately does not overlap the static-analysis
+#: catalog (``repro.analyze.diagnostics.CODES``); the guard below keeps it
+#: that way at import time.
+PROTOCOL_CODES: dict[str, str] = {
+    "T2-E500": "unclassified server-side error (bare TiogaError)",
+    "T2-E501": "illegal viewer interaction (bad slider, zoom, member)",
+    "T2-E502": "illegal session operation (unknown window, bad edit)",
+    "T2-E503": "catalog lookup failed (unknown table, program, or box)",
+    "T2-E504": "screen-initiated database update failed",
+    "T2-E505": "query-language expression is syntactically or semantically bad",
+    "T2-E506": "illegal edit of the boxes-and-arrows graph",
+    "T2-E507": "static analysis rejected the program before execution",
+    "T2-E508": "well-typed expression failed at evaluation time",
+    "T2-E509": "schema or dataflow type error",
+    "T2-E510": "malformed or unsupported protocol message",
+    "T2-E511": "unknown command or response kind",
+    "T2-E512": "unknown or expired server session",
+    "T2-E513": "unknown program name (no figure or saved program matches)",
+    "T2-E514": "internal server error (handler raised a non-Tioga exception)",
+    "T2-E515": "malformed displayable reached the viewer",
+    "T2-E516": "observability subsystem misuse",
+}
+
+
+class ProtocolError(TiogaError):
+    """A message-level protocol failure (decode, version, unknown kind).
+
+    Carries its stable ``code`` so transports can surface it without a
+    lookup; :func:`error_code_for` returns the same code for consistency.
+    """
+
+    def __init__(self, *args, code: str = "T2-E510", **kwargs):
+        super().__init__(*args, **kwargs)
+        self.code = code
+
+
+#: Exception class → stable code.  Order does not matter: the lookup walks
+#: each exception's MRO most-derived-first, so the most specific registered
+#: ancestor wins.
+_CODE_BY_CLASS: dict[type[BaseException], str] = {
+    ViewerError: "T2-E501",
+    UIError: "T2-E502",
+    CatalogError: "T2-E503",
+    UpdateError: "T2-E504",
+    ExpressionError: "T2-E505",
+    GraphError: "T2-E506",
+    StaticAnalysisError: "T2-E507",
+    EvaluationError: "T2-E508",
+    SchemaError: "T2-E509",
+    TypeCheckError: "T2-E509",
+    DisplayError: "T2-E515",
+    ObservabilityError: "T2-E516",
+    TiogaError: "T2-E500",
+}
+
+
+def error_code_for(exc: BaseException) -> str:
+    """The stable protocol code for an exception.
+
+    :class:`ProtocolError` carries its own code; other Tioga errors map by
+    class (most-derived registered ancestor); anything else is the internal
+    server error ``T2-E514``.
+    """
+    if isinstance(exc, ProtocolError):
+        return exc.code
+    for cls in type(exc).__mro__:
+        code = _CODE_BY_CLASS.get(cls)
+        if code is not None:
+            return code
+    return "T2-E514"
+
+
+def protocol_code_info(code: str) -> str:
+    """The one-line summary for a protocol code (KeyError if unknown)."""
+    return PROTOCOL_CODES[code]
+
+
+def _assert_disjoint_from_analysis_catalog() -> None:
+    # The analyze catalog raises on duplicate registration inside itself;
+    # this guard extends the same uniqueness across the protocol family.
+    from repro.analyze.diagnostics import CODES
+
+    overlap = sorted(set(PROTOCOL_CODES) & set(CODES))
+    if overlap:  # pragma: no cover - developer error caught at import
+        raise ValueError(
+            f"protocol codes collide with the analysis catalog: {overlap}"
+        )
+
+
+_assert_disjoint_from_analysis_catalog()

@@ -1,0 +1,435 @@
+"""Versioned command/response messages for the Tioga-2 demand protocol.
+
+Every direct-manipulation demand — open a program, add a viewer, pan, zoom,
+move a slider, render a frame, pick a mark, ask *why* — is a frozen
+:class:`Command` dataclass here, and every answer a :class:`Response`.  The
+JSON codecs (:func:`encode_command` / :func:`decode_command` and the
+response pair) are the wire format of :mod:`repro.server`; the in-process
+:class:`~repro.ui.session.Session` builds exactly the same dataclasses and
+routes them through the same :class:`~repro.protocol.dispatch.CommandExecutor`,
+so local and remote interaction are provably one code path.
+
+Compatibility contract: the protocol is versioned by
+:data:`PROTOCOL_VERSION`.  Within a version, command kinds and field names
+are append-only — new optional fields may appear with defaults; existing
+fields never change meaning.  Decoders reject unknown versions, unknown
+kinds, and unknown fields with :class:`~repro.protocol.errors.ProtocolError`
+(stable code ``T2-E510``/``T2-E511``) instead of guessing.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.protocol.errors import ProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Command",
+    "OpenProgram",
+    "AddViewer",
+    "Pan",
+    "PanTo",
+    "Zoom",
+    "SetElevation",
+    "SetSlider",
+    "Render",
+    "Pick",
+    "Why",
+    "Explain",
+    "Stats",
+    "Response",
+    "Reply",
+    "ErrorReply",
+    "FrameReply",
+    "Welcome",
+    "COMMAND_KINDS",
+    "RESPONSE_KINDS",
+    "encode_command",
+    "decode_command",
+    "encode_response",
+    "decode_response",
+]
+
+PROTOCOL_VERSION = 1
+"""Wire protocol version; bumped only on incompatible changes."""
+
+#: Frame payload formats a ``render`` command may request.
+FRAME_FORMATS = ("ppm", "png", "ops")
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base class for protocol commands (never instantiated directly).
+
+    ``seq`` is an optional client correlation id: servers echo it back as
+    ``reply_to`` on the response so pipelined clients can match answers to
+    questions.
+    """
+
+    kind: ClassVar[str] = ""
+
+
+@dataclass(frozen=True)
+class OpenProgram(Command):
+    """Load a named program (figure scenario or database-saved) into the
+    session — the demand-side ``Session.load_program``."""
+
+    kind: ClassVar[str] = "open_program"
+    name: str = ""
+    seq: int | None = None
+
+
+@dataclass(frozen=True)
+class AddViewer(Command):
+    """Connect a viewer box to an output and open its canvas window."""
+
+    kind: ClassVar[str] = "add_viewer"
+    src_box: int = 0
+    src_port: str | None = None
+    name: str | None = None
+    width: int = 640
+    height: int = 480
+    world_per_elevation: float = 1.0
+    seq: int | None = None
+
+
+@dataclass(frozen=True)
+class Pan(Command):
+    """Pan a window by world-unit deltas in the two screen dimensions."""
+
+    kind: ClassVar[str] = "pan"
+    window: str = ""
+    dx: float = 0.0
+    dy: float = 0.0
+    member: str | None = None
+    seq: int | None = None
+
+
+@dataclass(frozen=True)
+class PanTo(Command):
+    """Pan a window so its center lands on absolute world coordinates."""
+
+    kind: ClassVar[str] = "pan_to"
+    window: str = ""
+    cx: float = 0.0
+    cy: float = 0.0
+    member: str | None = None
+    seq: int | None = None
+
+
+@dataclass(frozen=True)
+class Zoom(Command):
+    """Zoom a window (factor > 1 descends; elevation divides by factor)."""
+
+    kind: ClassVar[str] = "zoom"
+    window: str = ""
+    factor: float = 1.0
+    member: str | None = None
+    seq: int | None = None
+
+
+@dataclass(frozen=True)
+class SetElevation(Command):
+    """Set a window's elevation directly (the elevation control)."""
+
+    kind: ClassVar[str] = "set_elevation"
+    window: str = ""
+    elevation: float = 100.0
+    member: str | None = None
+    seq: int | None = None
+
+
+@dataclass(frozen=True)
+class SetSlider(Command):
+    """Set one slider dimension's visible range on a window."""
+
+    kind: ClassVar[str] = "set_slider"
+    window: str = ""
+    dim: str = ""
+    low: float = 0.0
+    high: float = 0.0
+    member: str | None = None
+    seq: int | None = None
+
+
+@dataclass(frozen=True)
+class Render(Command):
+    """Render a window and return the frame.
+
+    ``format`` selects the payload: ``"ppm"`` (base64 P6 bytes), ``"png"``
+    (base64 PNG bytes), or ``"ops"`` (draw-op delta — rendered-item
+    summaries added/removed since this session's previous ``ops`` frame of
+    the same window).
+    """
+
+    kind: ClassVar[str] = "render"
+    window: str = ""
+    format: str = "ppm"
+    cull: bool = True
+    seq: int | None = None
+
+
+@dataclass(frozen=True)
+class Pick(Command):
+    """The topmost screen object under a pixel (the §8 click)."""
+
+    kind: ClassVar[str] = "pick"
+    window: str = ""
+    px: float = 0.0
+    py: float = 0.0
+    seq: int | None = None
+
+
+@dataclass(frozen=True)
+class Why(Command):
+    """Why-provenance drill-down: mark under a pixel → base-table rows."""
+
+    kind: ClassVar[str] = "why"
+    window: str = ""
+    px: float = 0.0
+    py: float = 0.0
+    seq: int | None = None
+
+
+@dataclass(frozen=True)
+class Explain(Command):
+    """Machine-readable EXPLAIN of the session's current program."""
+
+    kind: ClassVar[str] = "explain"
+    box_id: int | None = None
+    seq: int | None = None
+
+
+@dataclass(frozen=True)
+class Stats(Command):
+    """Run-summary snapshot of the process metrics registry."""
+
+    kind: ClassVar[str] = "stats"
+    seq: int | None = None
+
+
+# ---------------------------------------------------------------------------
+# Responses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Response:
+    """Base class for protocol responses."""
+
+    kind: ClassVar[str] = ""
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Reply(Response):
+    """Generic success: the command kind it answers plus a JSON-able result."""
+
+    kind: ClassVar[str] = "reply"
+    command: str = ""
+    result: Any = None
+    reply_to: int | None = None
+
+
+@dataclass(frozen=True)
+class ErrorReply(Response):
+    """A failed command: stable protocol code, exception type, message.
+
+    ``code`` follows the repo's ``T2-Exxx`` diagnostic convention (the
+    ``T2-E5xx`` family is the protocol/server range — see
+    :data:`repro.protocol.errors.PROTOCOL_CODES`), so clients branch on a
+    machine-readable code, never on message prose or a traceback.
+    """
+
+    kind: ClassVar[str] = "error"
+    code: str = "T2-E500"
+    error_type: str = "TiogaError"
+    message: str = ""
+    command: str | None = None
+    reply_to: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class FrameReply(Response):
+    """One rendered frame.
+
+    ``data`` carries base64 image bytes for ``ppm``/``png`` formats;
+    ``ops`` carries the draw-op delta for ``ops`` frames.  ``frame_seq`` is
+    the per-window frame number within the session — consumers detect
+    dropped intermediate frames by gaps, and the newest frame always has
+    the highest number (the server's send queues may coalesce intermediate
+    frames under backpressure but never drop the most recent one).
+    """
+
+    kind: ClassVar[str] = "frame"
+    window: str = ""
+    frame_seq: int = 0
+    format: str = "ppm"
+    width: int = 0
+    height: int = 0
+    data: str | None = None
+    ops: dict | None = None
+    draw_ops: int = 0
+    render_ms: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    reply_to: int | None = None
+
+    def data_bytes(self) -> bytes:
+        """The decoded image payload (empty for ``ops`` frames)."""
+        if self.data is None:
+            return b""
+        return base64.b64decode(self.data)
+
+
+@dataclass(frozen=True)
+class Welcome(Response):
+    """The server's first message on a WebSocket connection."""
+
+    kind: ClassVar[str] = "welcome"
+    session: str = ""
+    protocol: int = PROTOCOL_VERSION
+    database: str = ""
+    programs: tuple[str, ...] = ()
+    reply_to: int | None = None
+
+
+# ---------------------------------------------------------------------------
+# Codecs
+# ---------------------------------------------------------------------------
+
+COMMAND_KINDS: dict[str, type[Command]] = {
+    cls.kind: cls
+    for cls in (
+        OpenProgram, AddViewer, Pan, PanTo, Zoom, SetElevation, SetSlider,
+        Render, Pick, Why, Explain, Stats,
+    )
+}
+
+RESPONSE_KINDS: dict[str, type[Response]] = {
+    cls.kind: cls for cls in (Reply, ErrorReply, FrameReply, Welcome)
+}
+
+
+def _encode(message: Command | Response, type_tag: str) -> str:
+    payload: dict[str, Any] = {"v": PROTOCOL_VERSION, "kind": message.kind}
+    for field in dataclasses.fields(message):
+        value = getattr(message, field.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        payload[field.name] = value
+    try:
+        return json.dumps(payload, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"{type_tag} {message.kind!r} is not JSON-serializable: {exc}",
+            code="T2-E510",
+        ) from exc
+
+
+def _decode(text: str | bytes, kinds: dict[str, type], type_tag: str):
+    try:
+        payload = json.loads(text)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"malformed {type_tag}: not valid JSON ({exc})", code="T2-E510"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"malformed {type_tag}: expected a JSON object, "
+            f"got {type(payload).__name__}",
+            code="T2-E510",
+        )
+    version = payload.pop("v", None)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this build speaks {PROTOCOL_VERSION})",
+            code="T2-E510",
+        )
+    kind = payload.pop("kind", None)
+    cls = kinds.get(kind)
+    if cls is None:
+        known = ", ".join(sorted(kinds))
+        raise ProtocolError(
+            f"unknown {type_tag} kind {kind!r}; known: {known}",
+            code="T2-E511",
+        )
+    fields = {field.name: field for field in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - set(fields))
+    if unknown:
+        raise ProtocolError(
+            f"{type_tag} {kind!r} has unknown fields: {', '.join(unknown)}",
+            code="T2-E510",
+        )
+    kwargs: dict[str, Any] = {}
+    for name, field in fields.items():
+        if name in payload:
+            value = payload[name]
+            if isinstance(value, list) and _field_is_tuple(field):
+                value = tuple(value)
+            kwargs[name] = value
+        elif (field.default is dataclasses.MISSING
+              and field.default_factory is dataclasses.MISSING):
+            raise ProtocolError(
+                f"{type_tag} {kind!r} is missing required field {name!r}",
+                code="T2-E510",
+            )
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"{type_tag} {kind!r} could not be constructed: {exc}",
+            code="T2-E510",
+        ) from exc
+
+
+def _field_is_tuple(field: dataclasses.Field) -> bool:
+    return isinstance(field.default, tuple) or "tuple" in str(field.type)
+
+
+def encode_command(command: Command) -> str:
+    """One JSON line for a command (the WS/HTTP wire form)."""
+    if type(command) not in COMMAND_KINDS.values():
+        raise ProtocolError(
+            f"not a protocol command: {type(command).__name__}",
+            code="T2-E510",
+        )
+    return _encode(command, "command")
+
+
+def decode_command(text: str | bytes) -> Command:
+    """Parse and validate a wire command; raises :class:`ProtocolError`."""
+    return _decode(text, COMMAND_KINDS, "command")
+
+
+def encode_response(response: Response) -> str:
+    """One JSON line for a response."""
+    if type(response) not in RESPONSE_KINDS.values():
+        raise ProtocolError(
+            f"not a protocol response: {type(response).__name__}",
+            code="T2-E510",
+        )
+    return _encode(response, "response")
+
+
+def decode_response(text: str | bytes) -> Response:
+    """Parse and validate a wire response; raises :class:`ProtocolError`."""
+    return _decode(text, RESPONSE_KINDS, "response")

@@ -268,21 +268,23 @@ class Canvas:
             src_y0 : src_y0 + copy_h, src_x0 : src_x0 + copy_w
         ]
 
+    def ppm_bytes(self) -> bytes:
+        """The binary PPM (P6) encoding — the server's raw frame payload."""
+        header = f"P6\n{self.width} {self.height}\n255\n".encode("ascii")
+        return header + self.pixels.tobytes()
+
     def to_ppm(self, path: str | Path) -> Path:
         """Write a binary PPM (P6) image — viewable by any image tool."""
         path = Path(path)
         with current_tracer().span("canvas.export", format="ppm",
                                    px=self.width * self.height):
-            header = f"P6\n{self.width} {self.height}\n255\n".encode("ascii")
-            path.write_bytes(header + self.pixels.tobytes())
+            path.write_bytes(self.ppm_bytes())
         return path
 
-    def to_png(self, path: str | Path) -> Path:
-        """Write a PNG (8-bit RGB, zlib-compressed) using only the stdlib."""
+    def png_bytes(self) -> bytes:
+        """The PNG (8-bit RGB, zlib-compressed) encoding, stdlib only."""
         import struct
         import zlib
-
-        path = Path(path)
 
         def chunk(tag: bytes, payload: bytes) -> bytes:
             return (
@@ -292,22 +294,26 @@ class Canvas:
                 + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF)
             )
 
+        header = struct.pack(
+            ">IIBBBBB", self.width, self.height, 8, 2, 0, 0, 0
+        )
+        # Each scanline gets filter byte 0 (None).
+        raw = b"".join(
+            b"\x00" + self.pixels[y].tobytes() for y in range(self.height)
+        )
+        return (
+            b"\x89PNG\r\n\x1a\n"
+            + chunk(b"IHDR", header)
+            + chunk(b"IDAT", zlib.compress(raw, level=6))
+            + chunk(b"IEND", b"")
+        )
+
+    def to_png(self, path: str | Path) -> Path:
+        """Write a PNG (8-bit RGB, zlib-compressed) using only the stdlib."""
+        path = Path(path)
         with current_tracer().span("canvas.export", format="png",
                                    px=self.width * self.height):
-            header = struct.pack(
-                ">IIBBBBB", self.width, self.height, 8, 2, 0, 0, 0
-            )
-            # Each scanline gets filter byte 0 (None).
-            raw = b"".join(
-                b"\x00" + self.pixels[y].tobytes() for y in range(self.height)
-            )
-            payload = (
-                b"\x89PNG\r\n\x1a\n"
-                + chunk(b"IHDR", header)
-                + chunk(b"IDAT", zlib.compress(raw, level=6))
-                + chunk(b"IEND", b"")
-            )
-            path.write_bytes(payload)
+            path.write_bytes(self.png_bytes())
         return path
 
     def to_ascii(self, columns: int = 80) -> str:

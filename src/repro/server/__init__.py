@@ -1,0 +1,27 @@
+"""Multi-session visualization server (HTTP + WebSocket, stdlib only).
+
+The ROADMAP's "millions of users" direction starts here: a
+:class:`TiogaServer` hosts named databases and programs, executes demand
+commands server-side through the same :mod:`repro.protocol` dispatch the
+in-process :class:`~repro.ui.session.Session` uses, and streams rendered
+frames to many concurrent WebSocket viewers with bounded, frame-coalescing
+send queues.  :func:`serve` runs one; :func:`connect` returns a blocking
+client.  See ``docs/SERVER.md``.
+"""
+
+from repro.server.app import (
+    ServerThread,
+    TiogaServer,
+    register_server_metrics,
+    serve,
+)
+from repro.server.client import Client, connect
+
+__all__ = [
+    "TiogaServer",
+    "ServerThread",
+    "serve",
+    "connect",
+    "Client",
+    "register_server_metrics",
+]

@@ -1,0 +1,684 @@
+"""The multi-session visualization server (ROADMAP item 2, first rung).
+
+:class:`TiogaServer` hosts one named database and its programs (the built-in
+figure scenarios plus anything saved in the database) behind HTTP and
+WebSocket endpoints, executing pan/zoom/slider/pick/why demands server-side
+through exactly the :class:`~repro.protocol.CommandExecutor` an in-process
+:class:`~repro.ui.session.Session` uses, and streaming rendered frames to
+many concurrent viewers.
+
+Endpoints (all on one port):
+
+- ``GET /healthz`` — liveness JSON (session count, hosted programs).
+- ``GET /metrics`` — Prometheus text exposition of the process registry.
+- ``POST /api/session`` — create a session; returns its id.
+- ``POST /api/command?session=ID`` — execute one JSON command, JSON reply.
+- ``GET /ws[?session=ID]`` — WebSocket: server sends a ``welcome``, then
+  each text frame in is one command, each text frame out one response.
+
+Concurrency model: the asyncio loop owns all sockets; command execution
+(CPU-bound rendering) runs on a thread pool, serialized per session by a
+lock — many sessions make progress concurrently, one session's commands
+keep their order.  All sessions share the process result cache (the server
+installs a caching parallel config on start), so two viewers panning over
+the same figure hit each other's cached plan results — cross-*user* slaving
+of the PR-4 cache.
+
+Backpressure: each connection has a bounded send queue.  When a slow
+consumer lets it fill, queued *frame* responses for the same window are
+coalesced — the older frame is dropped (counted in ``server.frames_dropped``)
+and the newest kept, so a client that falls behind skips intermediate frames
+but always receives the final state.  Non-frame responses are never dropped;
+a full queue of them suspends that connection's reader instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.dataflow.serialize import program_to_dict
+from repro.dbms.catalog import Database
+from repro.dbms.plan_parallel import resolve_config, set_default_config
+from repro.errors import TiogaError
+from repro.obs.flightrec import current_flight_recorder
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.timeseries import MetricsRecorder
+from repro.protocol import (
+    PROTOCOL_VERSION,
+    Command,
+    ErrorReply,
+    FrameCache,
+    FrameReply,
+    ProtocolError,
+    Response,
+    Welcome,
+    decode_command,
+    encode_response,
+    error_code_for,
+)
+from repro.server import ws
+from repro.ui.session import Session
+
+__all__ = ["TiogaServer", "ServerThread", "serve", "register_server_metrics"]
+
+#: Default bound on a connection's send queue (responses, not bytes).
+DEFAULT_MAX_QUEUE = 32
+
+
+def register_server_metrics(registry: MetricsRegistry) -> None:
+    """Pre-register the server metric family (idempotent).
+
+    Pre-registration pins names, kinds, and descriptions before any traffic,
+    so ``/metrics`` scrapes and ``stats --check`` see a stable declaration
+    set even on an idle server.
+    """
+    registry.gauge("server.sessions", "live sessions hosted by the server")
+    registry.counter("server.commands",
+                     "protocol commands executed, labeled by session")
+    registry.histogram("server.frame_ms",
+                       "command-to-frame latency in ms, labeled by session")
+    registry.counter("server.frames_dropped",
+                     "intermediate frames coalesced under backpressure")
+    registry.counter("server.errors",
+                     "failed commands, labeled by protocol error code")
+
+
+class _ServerSession:
+    """One hosted session: a Session plus the lock serializing its commands."""
+
+    def __init__(self, sid: str, session: Session):
+        self.sid = sid
+        self.session = session
+        self.lock = threading.Lock()
+
+
+class _SendQueue:
+    """Bounded per-connection response queue with frame coalescing.
+
+    ``put`` runs on the event loop.  When the queue is full and the incoming
+    item carries a ``drop_key`` (frames key on their window), the oldest
+    queued item with the *same* key is dropped — the newest frame always
+    survives, so the client sees the final state of every window.  With no
+    same-key victim, ``put`` waits for space (true backpressure).
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAX_QUEUE):
+        self.maxsize = maxsize
+        self._items: list[tuple[str | None, str]] = []
+        self._cond = asyncio.Condition()
+        self._closed = False
+        self.dropped = 0
+
+    async def put(self, text: str, drop_key: str | None = None) -> None:
+        async with self._cond:
+            while len(self._items) >= self.maxsize and not self._closed:
+                if drop_key is not None:
+                    victim = next(
+                        (i for i, (key, _) in enumerate(self._items)
+                         if key == drop_key),
+                        None,
+                    )
+                    if victim is not None:
+                        del self._items[victim]
+                        self.dropped += 1
+                        break
+                await self._cond.wait()
+            if self._closed:
+                return
+            self._items.append((drop_key, text))
+            self._cond.notify_all()
+
+    async def get(self) -> str | None:
+        """The next response text, or None once closed and drained."""
+        async with self._cond:
+            while not self._items and not self._closed:
+                await self._cond.wait()
+            if not self._items:
+                return None
+            item = self._items.pop(0)[1]
+            self._cond.notify_all()
+            return item
+
+    async def close(self) -> None:
+        async with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+
+class TiogaServer:
+    """Host a database's programs for many concurrent remote viewers."""
+
+    def __init__(
+        self,
+        database: Database | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        pool_workers: int = 8,
+        registry: MetricsRegistry | None = None,
+        flight_dump: str | None = None,
+    ):
+        if database is None:
+            from repro.data.weather import build_weather_database
+
+            database = build_weather_database()
+        self.database = database
+        self.host = host
+        self.port = port
+        self.max_queue = max_queue
+        self.registry = registry or global_registry()
+        self.flight_dump = flight_dump
+        self.sessions: dict[str, _ServerSession] = {}
+        self._sid_counter = itertools.count(1)
+        self._pool = ThreadPoolExecutor(
+            max_workers=pool_workers, thread_name_prefix="tioga-exec")
+        self._asyncio_server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._previous_config: Any = None
+        self._recorder = MetricsRecorder(self.registry)
+        #: Encoded frames shared by every hosted session: fifty viewers on
+        #: one view rasterize once (see :class:`repro.protocol.FrameCache`).
+        self.frame_cache = FrameCache()
+        #: Canonical initial view states per figure program, captured from
+        #: the scenario builders so a freshly opened remote program frames
+        #: the same world region the local figure does.
+        self._initial_views: dict[str, list[dict[str, Any]]] = {}
+        register_server_metrics(self.registry)
+        self._install_figures()
+
+    # ------------------------------------------------------------------
+    # Program catalog
+    # ------------------------------------------------------------------
+
+    def _install_figures(self) -> None:
+        """Save every figure scenario as a named program in the database."""
+        from repro.core.scenarios import FIGURES
+
+        for name, builder in FIGURES.items():
+            scenario = builder(self.database)
+            program = scenario.session.program
+            self.database.save_program(name, program_to_dict(program))
+            views: list[dict[str, Any]] = []
+            for window_name, window in scenario.session.windows.items():
+                viewer = window.viewer
+                for member in viewer.member_names():
+                    view = viewer.view(member)
+                    views.append({
+                        "window": window_name,
+                        "member": member,
+                        "center": view.center,
+                        "elevation": view.elevation,
+                        "sliders": dict(view.slider_ranges),
+                    })
+            self._initial_views[name] = views
+
+    def program_names(self) -> list[str]:
+        return sorted(self.database.program_names())
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+
+    def create_session(self) -> _ServerSession:
+        sid = f"s{next(self._sid_counter)}"
+        held = _ServerSession(sid, Session(self.database, f"server-{sid}"))
+        held.session.protocol.frame_cache = self.frame_cache
+        self.sessions[sid] = held
+        self.registry.gauge("server.sessions").set(len(self.sessions))
+        return held
+
+    def drop_session(self, sid: str) -> None:
+        self.sessions.pop(sid, None)
+        self.registry.gauge("server.sessions").set(len(self.sessions))
+
+    def session(self, sid: str) -> _ServerSession:
+        try:
+            return self.sessions[sid]
+        except KeyError as exc:
+            raise ProtocolError(
+                f"unknown session {sid!r}", code="T2-E512") from exc
+
+    def _apply_initial_views(self, held: _ServerSession, program: str) -> None:
+        for spec in self._initial_views.get(program, ()):
+            window = held.session.windows.get(spec["window"])
+            if window is None:
+                continue
+            viewer = window.viewer
+            viewer._pan_to(*spec["center"], member=spec["member"])
+            viewer._set_elevation(spec["elevation"], member=spec["member"])
+            for dim, (low, high) in spec["sliders"].items():
+                view = viewer.view(spec["member"])
+                view.slider_ranges[dim] = (low, high)
+
+    # ------------------------------------------------------------------
+    # Command execution (thread pool, per-session lock)
+    # ------------------------------------------------------------------
+
+    def _execute_sync(self, held: _ServerSession, command: Command) -> Response:
+        started = time.perf_counter()
+        with held.lock:
+            try:
+                response = held.session.execute(command)
+            except TiogaError as exc:
+                # execute() already wraps Tioga errors; anything arriving
+                # here is decode-level (ProtocolError before dispatch).
+                response = ErrorReply(
+                    code=error_code_for(exc),
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    command=getattr(command, "kind", None),
+                    reply_to=getattr(command, "seq", None),
+                )
+            except Exception as exc:  # noqa: BLE001 - boundary
+                recorder = current_flight_recorder()
+                recorder.note_error(
+                    exc,
+                    session=held.sid,
+                    command=getattr(command, "kind", None),
+                )
+                if self.flight_dump:
+                    recorder.dump_jsonl(self.flight_dump)
+                response = ErrorReply(
+                    code="T2-E514",
+                    error_type=type(exc).__name__,
+                    message=f"internal server error: {exc}",
+                    command=getattr(command, "kind", None),
+                    reply_to=getattr(command, "seq", None),
+                )
+            if isinstance(command, Command) and command.kind == "open_program":
+                if not isinstance(response, ErrorReply):
+                    self._apply_initial_views(held, command.name)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self.registry.counter("server.commands").inc(label=held.sid)
+        if isinstance(response, FrameReply):
+            self.registry.histogram("server.frame_ms").observe(
+                elapsed_ms, label=held.sid)
+        if isinstance(response, ErrorReply):
+            self.registry.counter("server.errors").inc(label=response.code)
+        return response
+
+    async def execute(self, held: _ServerSession, command: Command) -> Response:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool, self._execute_sync, held, command)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the port and begin accepting connections."""
+        # Cross-session cache sharing: every hosted session executes under
+        # a caching config, restored on stop.
+        self._previous_config = set_default_config(resolve_config(cache=True))
+        self._asyncio_server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._asyncio_server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+            self._asyncio_server = None
+        # Wind down live connection handlers before the loop goes away, so
+        # their cleanup runs here rather than as unraisable GC noise.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        self._pool.shutdown(wait=True)
+        set_default_config(self._previous_config)
+        self.sessions.clear()
+        self.registry.gauge("server.sessions").set(0)
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._asyncio_server is not None
+        async with self._asyncio_server:
+            await self._asyncio_server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            request = await self._read_http_request(reader)
+            if request is None:
+                return
+            method, target, headers, body = request
+            parsed = urlsplit(target)
+            path = parsed.path
+            query = parse_qs(parsed.query)
+            if (path == "/ws"
+                    and headers.get("upgrade", "").lower() == "websocket"):
+                await self._handle_websocket(
+                    reader, writer, headers, query)
+                return
+            await self._handle_http(
+                writer, method, path, query, body)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # stop() cancelled us; finish normally so asyncio's stream
+            # callback doesn't re-raise into the loop's exception handler.
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    async def _read_http_request(self, reader: asyncio.StreamReader):
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split(" ", 2)
+        except ValueError:
+            return None
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if ":" in line:
+                key, value = line.split(":", 1)
+                headers[key.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", "0") or "0")
+        if length:
+            body = await reader.readexactly(length)
+        return method.upper(), target, headers, body
+
+    # -- plain HTTP ----------------------------------------------------
+
+    async def _handle_http(self, writer: asyncio.StreamWriter, method: str,
+                           path: str, query: dict[str, list[str]],
+                           body: bytes) -> None:
+        if method == "GET" and path == "/healthz":
+            await self._send_json(writer, 200, {
+                "ok": True,
+                "database": self.database.name,
+                "sessions": len(self.sessions),
+                "programs": self.program_names(),
+                "protocol": PROTOCOL_VERSION,
+            })
+        elif method == "GET" and path == "/metrics":
+            self._recorder.sample()
+            text = self._recorder.prometheus_text()
+            await self._send_response(
+                writer, 200, text.encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8")
+        elif method == "POST" and path == "/api/session":
+            held = self.create_session()
+            await self._send_json(writer, 200, {
+                "session": held.sid,
+                "protocol": PROTOCOL_VERSION,
+                "database": self.database.name,
+                "programs": self.program_names(),
+            })
+        elif method == "POST" and path == "/api/command":
+            sid = (query.get("session") or [""])[0]
+            response = await self._execute_wire(sid, body)
+            status = 200 if response.ok else 400
+            await self._send_response(
+                writer, status, encode_response(response).encode("utf-8"),
+                "application/json")
+        else:
+            await self._send_json(writer, 404, {
+                "ok": False, "error": f"no route {method} {path}"})
+
+    async def _execute_wire(self, sid: str, payload: bytes) -> Response:
+        try:
+            held = self.session(sid)
+            command = decode_command(payload)
+        except TiogaError as exc:
+            self.registry.counter("server.errors").inc(
+                label=error_code_for(exc))
+            return ErrorReply(
+                code=error_code_for(exc),
+                error_type=type(exc).__name__,
+                message=str(exc),
+            )
+        return await self.execute(held, command)
+
+    async def _send_json(self, writer: asyncio.StreamWriter, status: int,
+                         payload: dict[str, Any]) -> None:
+        await self._send_response(
+            writer, status, json.dumps(payload).encode("utf-8"),
+            "application/json")
+
+    async def _send_response(self, writer: asyncio.StreamWriter, status: int,
+                             body: bytes, content_type: str) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
+            status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- WebSocket -----------------------------------------------------
+
+    async def _handle_websocket(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter,
+                                headers: dict[str, str],
+                                query: dict[str, list[str]]) -> None:
+        key = headers.get("sec-websocket-key")
+        if not key:
+            await self._send_json(writer, 400, {
+                "ok": False, "error": "missing Sec-WebSocket-Key"})
+            return
+        accept = ws.accept_key(key)
+        writer.write((
+            "HTTP/1.1 101 Switching Protocols\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Accept: {accept}\r\n"
+            "\r\n"
+        ).encode("latin-1"))
+        await writer.drain()
+
+        sid = (query.get("session") or [""])[0]
+        own_session = not sid
+        try:
+            held = self.session(sid) if sid else self.create_session()
+        except ProtocolError as exc:
+            error = ErrorReply(code=exc.code, error_type="ProtocolError",
+                               message=str(exc))
+            writer.write(ws.encode_frame(
+                encode_response(error).encode("utf-8")))
+            await writer.drain()
+            return
+
+        queue = _SendQueue(self.max_queue)
+        sender = asyncio.create_task(self._ws_sender(writer, queue))
+        welcome = Welcome(
+            session=held.sid,
+            protocol=PROTOCOL_VERSION,
+            database=self.database.name,
+            programs=tuple(self.program_names()),
+        )
+        await queue.put(encode_response(welcome))
+        parser = ws.FrameParser(require_mask=True)
+        # One worker per connection keeps that client's commands in order
+        # (pan before render); different connections still overlap in the
+        # thread pool.  The bounded inbox is reader-side backpressure.
+        inbox: asyncio.Queue[bytes | None] = asyncio.Queue(maxsize=256)
+        worker = asyncio.create_task(self._ws_worker(held, inbox, queue))
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    messages = parser.feed(data)
+                except ws.WSProtocolError:
+                    break
+                closing = False
+                for opcode, payload in messages:
+                    if opcode == ws.OP_CLOSE:
+                        writer.write(ws.encode_frame(
+                            payload[:2], opcode=ws.OP_CLOSE))
+                        await writer.drain()
+                        closing = True
+                        break
+                    if opcode == ws.OP_PING:
+                        writer.write(ws.encode_frame(
+                            payload, opcode=ws.OP_PONG))
+                        await writer.drain()
+                        continue
+                    if opcode != ws.OP_TEXT:
+                        continue
+                    await inbox.put(payload)
+                if closing:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                await inbox.put(None)
+                await worker
+                await queue.close()
+                await sender
+            except asyncio.CancelledError:
+                # Server shutdown: abandon the graceful drain but still run
+                # the bookkeeping below.
+                worker.cancel()
+                sender.cancel()
+                await asyncio.gather(worker, sender, return_exceptions=True)
+                await queue.close()
+            if queue.dropped:
+                self.registry.counter("server.frames_dropped").inc(
+                    queue.dropped, label=held.sid)
+            if own_session:
+                self.drop_session(held.sid)
+
+    async def _ws_worker(self, held: _ServerSession,
+                         inbox: "asyncio.Queue[bytes | None]",
+                         queue: _SendQueue) -> None:
+        while True:
+            payload = await inbox.get()
+            if payload is None:
+                return
+            await self._ws_command(held, payload, queue)
+
+    async def _ws_command(self, held: _ServerSession, payload: bytes,
+                          queue: _SendQueue) -> None:
+        try:
+            command = decode_command(payload)
+        except TiogaError as exc:
+            self.registry.counter("server.errors").inc(
+                label=error_code_for(exc))
+            error = ErrorReply(
+                code=error_code_for(exc),
+                error_type=type(exc).__name__,
+                message=str(exc),
+            )
+            await queue.put(encode_response(error))
+            return
+        response = await self.execute(held, command)
+        drop_key = None
+        if isinstance(response, FrameReply):
+            drop_key = f"frame:{response.window}"
+        await queue.put(encode_response(response), drop_key=drop_key)
+
+    async def _ws_sender(self, writer: asyncio.StreamWriter,
+                         queue: _SendQueue) -> None:
+        try:
+            while True:
+                text = await queue.get()
+                if text is None:
+                    return
+                writer.write(ws.encode_frame(text.encode("utf-8")))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            await queue.close()
+
+
+class ServerThread:
+    """Run a :class:`TiogaServer` on a daemon thread (tests, benchmarks).
+
+    ``with ServerThread(db) as server:`` yields the started server with its
+    bound ``port``; exiting stops the loop and joins the thread.
+    """
+
+    def __init__(self, database: Database | None = None, **options: Any):
+        self.server = TiogaServer(database, **options)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._stop_event: asyncio.Event | None = None
+
+    def start(self, timeout: float = 30.0) -> TiogaServer:
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="tioga-server")
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("server did not start in time")
+        return self.server
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> None:
+            self._stop_event = asyncio.Event()
+            await self.server.start()
+            self._started.set()
+            await self._stop_event.wait()
+            await self.server.stop()
+
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._loop.close()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> TiogaServer:
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def serve(host: str = "127.0.0.1", port: int = 8765,
+          database: Database | None = None, **options: Any) -> None:
+    """Run a :class:`TiogaServer` until interrupted (the CLI entry point)."""
+    server = TiogaServer(database, host=host, port=port, **options)
+
+    async def main() -> None:
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass

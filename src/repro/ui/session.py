@@ -38,6 +38,22 @@ from repro.dbms.update import ScriptedDialog, UpdateDialog, UpdateResult, generi
 from repro.display.displayable import Composite, DisplayableRelation, Group
 from repro.display.elevation import ElevationMap
 from repro.errors import UIError, UpdateError, ViewerError
+from repro.protocol.dispatch import CommandExecutor
+from repro.protocol.messages import (
+    AddViewer,
+    Command,
+    FrameReply,
+    OpenProgram,
+    Pan,
+    PanTo,
+    Pick,
+    Render,
+    Response,
+    SetElevation,
+    SetSlider,
+    Why,
+    Zoom,
+)
 from repro.render.canvas import Canvas
 from repro.render.scene import RenderedItem
 from repro.ui.menus import MenuBar
@@ -152,6 +168,10 @@ class Session:
         self.navigator = WormholeNavigator(self.registry)
         self.slaving = SlavingManager()
         self.windows: dict[str, CanvasWindow] = {}
+        #: The protocol dispatcher every demand below routes through — the
+        #: same executor the network server drives, so local and remote
+        #: interaction are one code path.
+        self.protocol = CommandExecutor(self)
 
     # ------------------------------------------------------------------
     # Undo plumbing
@@ -192,6 +212,9 @@ class Session:
 
     def load_program(self, name: str) -> None:
         """Load Program = New Program + Add Program (Fig 2)."""
+        self.protocol.run(OpenProgram(name=name))
+
+    def _load_program_impl(self, name: str) -> None:
         self._record(f"Load Program {name!r}")
         self.program = program_from_dict(self.database.load_program(name))
         self.program.name = name
@@ -342,6 +365,24 @@ class Session:
         world_per_elevation: float = 1.0,
     ) -> CanvasWindow:
         """Connect a viewer box to an output and open its canvas window."""
+        return self.protocol.run(AddViewer(
+            src_box=src_box,
+            src_port=src_port,
+            name=name,
+            width=width,
+            height=height,
+            world_per_elevation=world_per_elevation,
+        ))
+
+    def _add_viewer_impl(
+        self,
+        src_box: int,
+        src_port: str | None = None,
+        name: str | None = None,
+        width: int = 640,
+        height: int = 480,
+        world_per_elevation: float = 1.0,
+    ) -> CanvasWindow:
         source_box = self.program.box(src_box)
         if src_port is None:
             if len(source_box.outputs) != 1:
@@ -470,7 +511,57 @@ class Session:
 
     def pick(self, canvas_name: str, px: float, py: float) -> RenderedItem | None:
         """Click on a canvas: the topmost screen object under the point."""
-        return self.window(canvas_name).viewer.pick(px, py)
+        return self.protocol.run(Pick(window=canvas_name, px=px, py=py))
+
+    # ------------------------------------------------------------------
+    # Demand wrappers (the protocol command layer)
+    #
+    # Each gesture below builds the same Command dataclass a remote client
+    # would send and runs it through self.protocol — Session is just the
+    # in-process transport.  All return the rich result (view-state dict,
+    # FrameReply, lineage doc); errors raise the original TiogaError.
+    # ------------------------------------------------------------------
+
+    def execute(self, command: "Command") -> "Response":
+        """Execute any protocol command, returning a wire-safe Response
+        (failures become :class:`~repro.protocol.ErrorReply`, not raises)."""
+        return self.protocol.execute(command)
+
+    def pan(self, window: str, dx: float, dy: float,
+            member: str | None = None) -> dict[str, Any]:
+        """Pan a canvas window by world-unit deltas; returns the view state."""
+        return self.protocol.run(Pan(window=window, dx=dx, dy=dy, member=member))
+
+    def pan_to(self, window: str, cx: float, cy: float,
+               member: str | None = None) -> dict[str, Any]:
+        """Center a canvas window on absolute world coordinates."""
+        return self.protocol.run(PanTo(window=window, cx=cx, cy=cy, member=member))
+
+    def zoom(self, window: str, factor: float,
+             member: str | None = None) -> dict[str, Any]:
+        """Zoom a canvas window (factor > 1 descends)."""
+        return self.protocol.run(Zoom(window=window, factor=factor, member=member))
+
+    def set_elevation(self, window: str, elevation: float,
+                      member: str | None = None) -> dict[str, Any]:
+        """Set a canvas window's elevation directly."""
+        return self.protocol.run(
+            SetElevation(window=window, elevation=elevation, member=member))
+
+    def set_slider(self, window: str, dim: str, low: float, high: float,
+                   member: str | None = None) -> dict[str, Any]:
+        """Set one slider dimension's visible range on a canvas window."""
+        return self.protocol.run(SetSlider(
+            window=window, dim=dim, low=low, high=high, member=member))
+
+    def render_frame(self, window: str, format: str = "ppm",
+                     cull: bool = True) -> "FrameReply":
+        """Render a window to a wire-ready frame (ppm/png bytes or ops delta)."""
+        return self.protocol.run(Render(window=window, format=format, cull=cull))
+
+    def why(self, window: str, px: float, py: float) -> dict[str, Any]:
+        """Why-provenance for the mark under a pixel (lineage drill-down)."""
+        return self.protocol.run(Why(window=window, px=px, py=py))
 
     def update_at(
         self,

@@ -16,6 +16,7 @@ wormhole traversal (§6.2).
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable
 
 from repro.dataflow.box import Box
@@ -222,18 +223,18 @@ class Viewer:
     # Position control (§3: scroll bars, sliders, elevation control)
     # ------------------------------------------------------------------
 
-    def pan(self, dx: float, dy: float, member: str | None = None) -> None:
+    def _pan(self, dx: float, dy: float, member: str | None = None) -> None:
         """Pan in the two screen dimensions by world-unit deltas."""
         view = self.view(member)
         view.center = (view.center[0] + dx, view.center[1] + dy)
         self._notify_moved(member)
 
-    def pan_to(self, cx: float, cy: float, member: str | None = None) -> None:
+    def _pan_to(self, cx: float, cy: float, member: str | None = None) -> None:
         view = self.view(member)
         view.center = (float(cx), float(cy))
         self._notify_moved(member)
 
-    def set_elevation(self, elevation: float, member: str | None = None) -> None:
+    def _set_elevation(self, elevation: float, member: str | None = None) -> None:
         """The elevation control: drag the dashed line in the elevation map."""
         if elevation <= 0:
             raise ViewerError(
@@ -244,7 +245,7 @@ class Viewer:
         self.view(member).elevation = float(elevation)
         self._notify_moved(member)
 
-    def zoom(self, factor: float, member: str | None = None) -> None:
+    def _zoom(self, factor: float, member: str | None = None) -> None:
         """Zoom in (factor > 1 descends; elevation divides by the factor)."""
         if factor <= 0:
             raise ViewerError(f"zoom factor must be positive, got {factor}")
@@ -252,7 +253,7 @@ class Viewer:
         view.elevation = view.elevation / factor
         self._notify_moved(member)
 
-    def set_slider(
+    def _set_slider(
         self, dim: str, low: float, high: float, member: str | None = None
     ) -> None:
         """Set a slider dimension's visible range (§3)."""
@@ -267,6 +268,47 @@ class Viewer:
             raise ViewerError(f"slider range [{low}, {high}] is empty")
         view.slider_ranges[dim] = (float(low), float(high))
         self._notify_moved(member)
+
+    # Deprecated direct-mutation surface.  Demands now route through the
+    # protocol layer (``Session.pan`` and friends build Command dataclasses
+    # dispatched by CommandExecutor); these shims keep one release of
+    # compatibility for code that mutated viewers directly.
+
+    def _deprecated(self, method: str) -> None:
+        warnings.warn(
+            f"Viewer.{method} is deprecated and will be removed in the next "
+            f"release; route the demand through Session.{method} (the "
+            "repro.protocol command layer) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def pan(self, dx: float, dy: float, member: str | None = None) -> None:
+        """Deprecated: use :meth:`Session.pan` (protocol command layer)."""
+        self._deprecated("pan")
+        self._pan(dx, dy, member)
+
+    def pan_to(self, cx: float, cy: float, member: str | None = None) -> None:
+        """Deprecated: use :meth:`Session.pan_to` (protocol command layer)."""
+        self._deprecated("pan_to")
+        self._pan_to(cx, cy, member)
+
+    def set_elevation(self, elevation: float, member: str | None = None) -> None:
+        """Deprecated: use :meth:`Session.set_elevation`."""
+        self._deprecated("set_elevation")
+        self._set_elevation(elevation, member)
+
+    def zoom(self, factor: float, member: str | None = None) -> None:
+        """Deprecated: use :meth:`Session.zoom` (protocol command layer)."""
+        self._deprecated("zoom")
+        self._zoom(factor, member)
+
+    def set_slider(
+        self, dim: str, low: float, high: float, member: str | None = None
+    ) -> None:
+        """Deprecated: use :meth:`Session.set_slider`."""
+        self._deprecated("set_slider")
+        self._set_slider(dim, low, high, member)
 
     def slider_dims(self, member: str | None = None) -> tuple[str, ...]:
         return self._member_composite(member or self._only_member()).slider_dims

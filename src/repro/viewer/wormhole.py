@@ -148,8 +148,8 @@ class WormholeNavigator:
             )
         )
         dest_member = destination.member_names()[0]
-        destination.pan_to(*wormhole.dest_location, member=dest_member)
-        destination.set_elevation(wormhole.dest_elevation, member=dest_member)
+        destination._pan_to(*wormhole.dest_location, member=dest_member)
+        destination._set_elevation(wormhole.dest_elevation, member=dest_member)
         self.current_canvas = destination.name
         return destination
 
@@ -171,8 +171,8 @@ class WormholeNavigator:
         """Return through the last wormhole, restoring the origin position."""
         record = self.history.pop()
         origin = self.registry.get(record.origin_canvas)
-        origin.pan_to(*record.origin_center, member=record.origin_member)
-        origin.set_elevation(record.origin_elevation, member=record.origin_member)
+        origin._pan_to(*record.origin_center, member=record.origin_member)
+        origin._set_elevation(record.origin_elevation, member=record.origin_member)
         self.current_canvas = origin.name
         return origin
 

@@ -13,6 +13,7 @@ from repro.obs.export import (
     BENCH_SCHEMA,
     COLUMNAR_BENCH_SCHEMA,
     PARALLEL_BENCH_SCHEMA,
+    SERVER_BENCH_SCHEMA,
 )
 
 
@@ -43,6 +44,23 @@ def columnar_payload(row_s=0.5, col_s=0.05, speedup=10.0,
             },
             "speedup": speedup,
             "counters": {"columnar.batches": 4, "columnar.fallback": 0},
+        }],
+    }
+
+
+def server_payload(p50=0.02, p99=0.07, throughput=1000.0,
+                   name="fig4_ws_load"):
+    return {
+        "schema": SERVER_BENCH_SCHEMA,
+        "benchmarks": [{
+            "name": name,
+            "viewers": 50,
+            "renders_per_viewer": 6,
+            "latency": {"p50_s": p50, "p99_s": p99,
+                        "mean_s": p50, "max_s": p99},
+            "throughput_cps": throughput,
+            "frames": {"delivered": 300, "dropped": 0},
+            "cache": {"hits": 300},
         }],
     }
 
@@ -110,6 +128,31 @@ def test_columnar_speedup_collapse_is_a_regression():
     by_metric = {row["metric"]: row["status"]
                  for row in report["comparisons"]}
     assert by_metric["speedup"] == "regression"
+
+
+def test_server_schema_compares_latency_and_throughput():
+    report = diff_bench(server_payload(), server_payload())
+    metrics = {row["metric"] for row in report["comparisons"]}
+    assert metrics == {"p50_s", "p99_s", "throughput_cps"}
+    assert not report["regressions"]
+
+
+def test_server_latency_regression_trips_the_gate():
+    # p99 doubling (0.07 -> 0.15) is past the 50% threshold.
+    report = diff_bench(server_payload(), server_payload(p99=0.15))
+    assert [row["name"] for row in report["regressions"]] == ["fig4_ws_load"]
+    assert report["regressions"][0]["metric"] == "p99_s"
+
+
+def test_server_throughput_is_higher_is_better():
+    # Throughput collapsing is a regression; latency dropping with it is an
+    # improvement, not a second regression.
+    report = diff_bench(server_payload(),
+                        server_payload(p99=0.03, throughput=400.0))
+    by_metric = {row["metric"]: row["status"]
+                 for row in report["comparisons"]}
+    assert by_metric["throughput_cps"] == "regression"
+    assert by_metric["p99_s"] == "improvement"
 
 
 def test_obs_schema_compares_mean_s():
@@ -273,6 +316,20 @@ def test_cli_update_baselines_rejects_invalid_payload(tmp_path, capsys):
                      "--update-baselines"]) == 1
     assert not baseline.exists()
     assert "invalid bench file" in capsys.readouterr().err
+
+
+def test_committed_server_baseline_is_valid():
+    """The committed server baseline schema-validates and records the
+    50-viewer fig4 run under the 250ms p99 acceptance ceiling."""
+    payload = json.loads(
+        open("benchmarks/baselines/BENCH_server.json").read())
+    assert payload["schema"] == SERVER_BENCH_SCHEMA
+    assert cli.main(["stats", "--validate-bench",
+                     "benchmarks/baselines/BENCH_server.json"]) == 0
+    run = payload["benchmarks"][0]
+    assert run["viewers"] == 50
+    assert run["latency"]["p99_s"] < 0.25
+    assert run["frames"]["dropped"] == 0
 
 
 def test_committed_columnar_baseline_is_valid():

@@ -11,6 +11,7 @@ from repro.obs import (
     BENCH_SCHEMA,
     COLUMNAR_BENCH_SCHEMA,
     PARALLEL_BENCH_SCHEMA,
+    SERVER_BENCH_SCHEMA,
     MetricsRegistry,
     Tracer,
     chrome_trace,
@@ -20,6 +21,7 @@ from repro.obs import (
     validate_bench_summary,
     validate_chrome_trace,
     validate_columnar_bench,
+    validate_server_bench,
     write_chrome_trace,
 )
 
@@ -264,10 +266,70 @@ class TestValidateColumnarBench:
             validate_columnar_bench(payload)
 
 
+class TestValidateServerBench:
+    def good(self):
+        return {
+            "schema": SERVER_BENCH_SCHEMA,
+            "benchmarks": [{
+                "name": "fig4_ws_load",
+                "viewers": 50,
+                "renders_per_viewer": 6,
+                "latency": {"p50_s": 0.02, "p99_s": 0.07,
+                            "mean_s": 0.03, "max_s": 0.08},
+                "throughput_cps": 1000.0,
+                "frames": {"delivered": 300, "dropped": 0},
+                "cache": {"hits": 300},
+            }],
+        }
+
+    def test_accepts_good_payload(self):
+        payload = self.good()
+        assert validate_server_bench(payload) is payload
+
+    def test_throughput_and_sections_are_optional(self):
+        payload = self.good()
+        del payload["benchmarks"][0]["throughput_cps"]
+        del payload["benchmarks"][0]["frames"]
+        del payload["benchmarks"][0]["cache"]
+        validate_server_bench(payload)
+
+    def test_rejects_wrong_schema_tag(self):
+        payload = self.good()
+        payload["schema"] = BENCH_SCHEMA
+        with pytest.raises(ObservabilityError, match="schema"):
+            validate_server_bench(payload)
+
+    def test_rejects_missing_viewers(self):
+        payload = self.good()
+        del payload["benchmarks"][0]["viewers"]
+        with pytest.raises(ObservabilityError, match="viewers"):
+            validate_server_bench(payload)
+
+    def test_rejects_missing_latency_quantile(self):
+        payload = self.good()
+        del payload["benchmarks"][0]["latency"]["p99_s"]
+        with pytest.raises(ObservabilityError, match="p99_s"):
+            validate_server_bench(payload)
+
+    def test_rejects_negative_latency(self):
+        payload = self.good()
+        payload["benchmarks"][0]["latency"]["p50_s"] = -0.1
+        with pytest.raises(ObservabilityError, match="p50_s"):
+            validate_server_bench(payload)
+
+    def test_rejects_negative_throughput(self):
+        payload = self.good()
+        payload["benchmarks"][0]["throughput_cps"] = -1.0
+        with pytest.raises(ObservabilityError, match="throughput_cps"):
+            validate_server_bench(payload)
+
+
 class TestValidateAnyBench:
     def test_routes_by_schema_tag(self):
         columnar = TestValidateColumnarBench().good()
         assert validate_any_bench(columnar) is columnar
+        server = TestValidateServerBench().good()
+        assert validate_any_bench(server) is server
         obs = {"schema": BENCH_SCHEMA,
                "benchmarks": [{"name": "b", "timing": None}]}
         assert validate_any_bench(obs) is obs

@@ -1,0 +1,298 @@
+"""The protocol layer: codecs, error codes, and local/remote parity.
+
+Covers the PR-9 satellite guarantees: every command survives an
+encode→decode round trip unchanged (seeded property over random field
+values), every ``TiogaError`` subclass maps to a stable ``T2-E5xx`` code
+disjoint from the static-analysis catalog, and the ``set_slider``
+validation path produces character-identical ``ViewerError`` diagnostics
+whether the demand arrives as an imperative ``Session`` call or a
+protocol-dispatched command.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro.data.weather import build_weather_database
+from repro.errors import (
+    CatalogError,
+    DisplayError,
+    EvaluationError,
+    ExpressionError,
+    GraphError,
+    ObservabilityError,
+    SchemaError,
+    TiogaError,
+    TypeCheckError,
+    UIError,
+    UpdateError,
+    ViewerError,
+)
+from repro.protocol import (
+    COMMAND_KINDS,
+    PROTOCOL_CODES,
+    PROTOCOL_VERSION,
+    RESPONSE_KINDS,
+    ErrorReply,
+    FrameReply,
+    ProtocolError,
+    Render,
+    Reply,
+    SetSlider,
+    Welcome,
+    decode_command,
+    decode_response,
+    encode_command,
+    encode_response,
+    error_code_for,
+)
+
+
+# ---------------------------------------------------------------------------
+# Round-trip property
+# ---------------------------------------------------------------------------
+
+
+def _random_value(rng: random.Random, field: dataclasses.Field):
+    """A random wire-legal value for a dataclass field, by annotation."""
+    annotation = str(field.type)
+    if "tuple" in annotation:
+        return tuple(f"p{rng.randint(0, 9)}" for _ in range(rng.randint(0, 3)))
+    if "dict" in annotation:
+        return {"mode": "full", "items": [rng.randint(0, 5)]}
+    if "bool" in annotation:
+        return rng.random() < 0.5
+    if "int" in annotation:
+        value = rng.randint(-1000, 1000)
+        return None if ("None" in annotation and rng.random() < 0.3) else value
+    if "float" in annotation:
+        return round(rng.uniform(-1e6, 1e6), 6)
+    # str-ish
+    value = "".join(rng.choice("abwxyz_ 0123") for _ in range(rng.randint(0, 8)))
+    return None if ("None" in annotation and rng.random() < 0.3) else value
+
+
+def _random_instance(rng: random.Random, cls):
+    kwargs = {f.name: _random_value(rng, f) for f in dataclasses.fields(cls)}
+    return cls(**kwargs)
+
+
+def test_every_command_round_trips_over_seeded_values():
+    rng = random.Random(90)
+    for kind, cls in sorted(COMMAND_KINDS.items()):
+        for _ in range(25):
+            command = _random_instance(rng, cls)
+            encoded = encode_command(command)
+            decoded = decode_command(encoded)
+            assert decoded == command, kind
+            assert type(decoded) is cls
+            # And the envelope is versioned JSON.
+            payload = json.loads(encoded)
+            assert payload["v"] == PROTOCOL_VERSION
+            assert payload["kind"] == kind
+
+
+def test_every_response_round_trips_over_seeded_values():
+    rng = random.Random(91)
+    for kind, cls in sorted(RESPONSE_KINDS.items()):
+        for _ in range(25):
+            response = _random_instance(rng, cls)
+            assert decode_response(encode_response(response)) == response, kind
+
+
+def test_defaults_round_trip():
+    for cls in COMMAND_KINDS.values():
+        assert decode_command(encode_command(cls())) == cls()
+
+
+# ---------------------------------------------------------------------------
+# Decoder rejection (stable codes, no guessing)
+# ---------------------------------------------------------------------------
+
+
+def test_decode_rejects_wrong_version():
+    with pytest.raises(ProtocolError) as info:
+        decode_command('{"v": 99, "kind": "pan"}')
+    assert info.value.code == "T2-E510"
+    assert "version" in str(info.value)
+
+
+def test_decode_rejects_unknown_kind():
+    with pytest.raises(ProtocolError) as info:
+        decode_command('{"v": 1, "kind": "teleport"}')
+    assert info.value.code == "T2-E511"
+
+
+def test_decode_rejects_unknown_fields():
+    with pytest.raises(ProtocolError) as info:
+        decode_command('{"v": 1, "kind": "pan", "window": "w", "dz": 3}')
+    assert info.value.code == "T2-E510"
+    assert "dz" in str(info.value)
+
+
+def test_decode_rejects_non_json_and_non_objects():
+    for bad in ("not json", "[1, 2]", '"pan"'):
+        with pytest.raises(ProtocolError):
+            decode_command(bad)
+
+
+def test_encode_rejects_foreign_types():
+    with pytest.raises(ProtocolError):
+        encode_command(object())  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Error-code mapping
+# ---------------------------------------------------------------------------
+
+
+EXPECTED_CODES = [
+    (ViewerError, "T2-E501"),
+    (UIError, "T2-E502"),
+    (CatalogError, "T2-E503"),
+    (UpdateError, "T2-E504"),
+    (ExpressionError, "T2-E505"),
+    (GraphError, "T2-E506"),
+    (EvaluationError, "T2-E508"),
+    (SchemaError, "T2-E509"),
+    (TypeCheckError, "T2-E509"),
+    (DisplayError, "T2-E515"),
+    (ObservabilityError, "T2-E516"),
+    (TiogaError, "T2-E500"),
+]
+
+
+@pytest.mark.parametrize("exc_cls,code", EXPECTED_CODES,
+                         ids=[c.__name__ for c, _ in EXPECTED_CODES])
+def test_tioga_errors_map_to_stable_codes(exc_cls, code):
+    assert error_code_for(exc_cls("boom")) == code
+    assert code in PROTOCOL_CODES
+
+
+def test_subclasses_inherit_their_nearest_ancestor_code():
+    class CustomViewerError(ViewerError):
+        pass
+
+    assert error_code_for(CustomViewerError("x")) == "T2-E501"
+
+
+def test_non_tioga_exceptions_are_internal_server_errors():
+    assert error_code_for(ValueError("x")) == "T2-E514"
+    assert error_code_for(RuntimeError("x")) == "T2-E514"
+
+
+def test_protocol_error_carries_its_own_code():
+    assert error_code_for(ProtocolError("x", code="T2-E512")) == "T2-E512"
+
+
+def test_protocol_codes_disjoint_from_analysis_catalog():
+    from repro.analyze.diagnostics import CODES
+
+    assert not set(PROTOCOL_CODES) & set(CODES)
+
+
+# ---------------------------------------------------------------------------
+# Local vs protocol parity (the set_slider validation-drift fix)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fig4_session():
+    from repro.core.scenarios import build_fig4_station_map
+
+    return build_fig4_station_map(build_weather_database()).session
+
+
+def _wire_error(session, command) -> ErrorReply:
+    response = session.execute(
+        decode_command(encode_command(command)))
+    assert isinstance(response, ErrorReply)
+    return response
+
+
+def test_set_slider_unknown_dim_parity(fig4_session):
+    with pytest.raises(ViewerError) as local:
+        fig4_session.set_slider("stations", "Depth", 0.0, 10.0)
+    remote = _wire_error(
+        fig4_session,
+        SetSlider(window="stations", dim="Depth", low=0.0, high=10.0))
+    assert remote.code == "T2-E501"
+    assert remote.error_type == "ViewerError"
+    assert remote.message == str(local.value)
+    assert "no slider dimension 'Depth'" in remote.message
+
+
+def test_set_slider_empty_range_parity(fig4_session):
+    with pytest.raises(ViewerError) as local:
+        fig4_session.set_slider("stations", "Altitude", 10.0, 2.0)
+    remote = _wire_error(
+        fig4_session,
+        SetSlider(window="stations", dim="Altitude", low=10.0, high=2.0))
+    assert remote.message == str(local.value)
+    assert remote.message == "slider range [10.0, 2.0] is empty"
+    assert remote.code == "T2-E501"
+
+
+def test_deprecated_viewer_set_slider_matches_protocol_diagnostics(
+        fig4_session):
+    viewer = fig4_session.window("stations").viewer
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ViewerError) as direct:
+            viewer.set_slider("Depth", 0.0, 10.0)
+    remote = _wire_error(
+        fig4_session,
+        SetSlider(window="stations", dim="Depth", low=0.0, high=10.0))
+    assert remote.message == str(direct.value)
+
+
+def test_unknown_window_parity(fig4_session):
+    with pytest.raises(UIError) as local:
+        fig4_session.pan("nowhere", 1.0, 0.0)
+    remote = _wire_error(
+        fig4_session,
+        decode_command('{"v": 1, "kind": "pan", "window": "nowhere"}'))
+    assert remote.code == "T2-E502"
+    assert remote.message == str(local.value)
+
+
+def test_error_reply_echoes_seq(fig4_session):
+    remote = fig4_session.execute(
+        SetSlider(window="stations", dim="Depth", low=0.0, high=1.0, seq=42))
+    assert isinstance(remote, ErrorReply)
+    assert remote.reply_to == 42
+
+
+def test_render_format_validation(fig4_session):
+    response = fig4_session.execute(Render(window="stations", format="webp"))
+    assert isinstance(response, ErrorReply)
+    assert response.code == "T2-E510"
+
+
+# ---------------------------------------------------------------------------
+# Frame and welcome details
+# ---------------------------------------------------------------------------
+
+
+def test_frame_reply_data_bytes_round_trip(fig4_session):
+    frame = fig4_session.render_frame("stations")
+    assert isinstance(frame, FrameReply)
+    data = frame.data_bytes()
+    assert data.startswith(b"P6\n640 480\n255\n")
+    again = decode_response(encode_response(frame))
+    assert again.data_bytes() == data
+
+
+def test_welcome_programs_survive_as_tuple():
+    welcome = Welcome(session="s1", database="db", programs=("fig4", "fig1"))
+    decoded = decode_response(encode_response(welcome))
+    assert decoded.programs == ("fig4", "fig1")
+    assert isinstance(decoded.programs, tuple)
+
+
+def test_reply_ok_and_error_not_ok():
+    assert Reply(command="pan").ok
+    assert not ErrorReply().ok
