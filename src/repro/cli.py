@@ -352,6 +352,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="file to dump the flight recorder to on internal handler "
         "errors (JSONL)",
     )
+    serve_cmd.add_argument(
+        "--session-ttl", type=float, default=900.0,
+        help="seconds an HTTP-created session may sit idle with no "
+        "attached connection before it expires (0 disables; default 900)",
+    )
 
     client_cmd = commands.add_parser(
         "client",
@@ -1033,7 +1038,8 @@ def _cmd_serve(args) -> int:
     print(f"serving on http://{host}:{port} (ws://{host}:{port}/ws); "
           "Ctrl-C stops", file=sys.stderr)
     serve(host=host, port=port, database=database,
-          max_queue=args.max_queue, flight_dump=args.flight_dump)
+          max_queue=args.max_queue, flight_dump=args.flight_dump,
+          session_ttl=args.session_ttl)
     return 0
 
 

@@ -68,6 +68,12 @@ class FrameCache:
     global storage epoch, so any table mutation anywhere invalidates every
     cached frame — conservative but always correct.
 
+    Entries carry the frame's :class:`~repro.viewer.viewer.RenderResult`
+    alongside the encoded bytes: a hit restores it as the viewer's
+    ``last_result``, so pick/why/wormhole provenance resolves against the
+    display list of the frame the client is looking at, never the display
+    list of the last render that actually rasterized.
+
     In-process sessions leave ``CommandExecutor.frame_cache`` unset: local
     callers keep the engine-executing path (and its per-box statistics)
     byte-for-byte identical to the imperative API.
@@ -234,7 +240,11 @@ class CommandExecutor:
                     "cache.frame_hit",
                     "renders served whole from the shared frame cache",
                 ).inc()
-                width, height, data, draw_ops = cached
+                width, height, data, draw_ops, result = cached
+                # The client now sees this cached frame: pick/why must
+                # resolve against its display list, not the one left over
+                # from the previous actual render (possibly another view).
+                window.viewer.last_result = result
                 seq = self._frame_seq.get(command.window, 0) + 1
                 self._frame_seq[command.window] = seq
                 return FrameReply(
@@ -275,7 +285,8 @@ class CommandExecutor:
         misses = registry.counter("cache.miss").total() - misses_before
         if key is not None:
             self.frame_cache.put(
-                key, (canvas.width, canvas.height, data, canvas.draw_ops))
+                key, (canvas.width, canvas.height, data, canvas.draw_ops,
+                      window.viewer.last_result))
         return FrameReply(
             window=command.window,
             frame_seq=seq,
@@ -300,6 +311,10 @@ class CommandExecutor:
         from repro.dataflow.serialize import program_to_dict
         from repro.dbms.relation import storage_epoch
 
+        if any(not glass.deleted for glass in window.magnifiers):
+            # Magnifier overlays are composited into the encoded bytes but
+            # are session-local furniture outside the key; don't cache.
+            return None
         viewer = window.viewer
         try:
             program_fp = hash(json.dumps(

@@ -12,9 +12,16 @@ Endpoints (all on one port):
 - ``GET /healthz`` — liveness JSON (session count, hosted programs).
 - ``GET /metrics`` — Prometheus text exposition of the process registry.
 - ``POST /api/session`` — create a session; returns its id.
+- ``DELETE /api/session?session=ID`` — drop a session explicitly.
 - ``POST /api/command?session=ID`` — execute one JSON command, JSON reply.
 - ``GET /ws[?session=ID]`` — WebSocket: server sends a ``welcome``, then
   each text frame in is one command, each text frame out one response.
+
+Session lifetime: WebSocket-created sessions die with their connection.
+HTTP-created (or adopted) sessions are reclaimed by an idle sweep — a
+session with no attached connection and no command for ``session_ttl``
+seconds (default 900) expires and later use fails with ``T2-E512`` — or
+explicitly via ``DELETE /api/session``.
 
 Concurrency model: the asyncio loop owns all sockets; command execution
 (CPU-bound rendering) runs on a thread pool, serialized per session by a
@@ -71,6 +78,10 @@ __all__ = ["TiogaServer", "ServerThread", "serve", "register_server_metrics"]
 #: Default bound on a connection's send queue (responses, not bytes).
 DEFAULT_MAX_QUEUE = 32
 
+#: Default idle lifetime of a session with no attached connection (seconds);
+#: the expiry behind the ``T2-E512`` "unknown or expired session" code.
+DEFAULT_SESSION_TTL = 900.0
+
 
 def register_server_metrics(registry: MetricsRegistry) -> None:
     """Pre-register the server metric family (idempotent).
@@ -91,12 +102,21 @@ def register_server_metrics(registry: MetricsRegistry) -> None:
 
 
 class _ServerSession:
-    """One hosted session: a Session plus the lock serializing its commands."""
+    """One hosted session: a Session plus the lock serializing its commands.
+
+    ``refs`` counts attached WebSocket connections (a referenced session is
+    never idle-expired); ``last_used`` feeds the idle sweep.
+    """
 
     def __init__(self, sid: str, session: Session):
         self.sid = sid
         self.session = session
         self.lock = threading.Lock()
+        self.refs = 0
+        self.last_used = time.monotonic()
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
 
 
 class _SendQueue:
@@ -165,6 +185,7 @@ class TiogaServer:
         pool_workers: int = 8,
         registry: MetricsRegistry | None = None,
         flight_dump: str | None = None,
+        session_ttl: float | None = DEFAULT_SESSION_TTL,
     ):
         if database is None:
             from repro.data.weather import build_weather_database
@@ -176,8 +197,12 @@ class TiogaServer:
         self.max_queue = max_queue
         self.registry = registry or global_registry()
         self.flight_dump = flight_dump
+        #: Idle lifetime of unreferenced sessions; None or <= 0 disables
+        #: the sweep (sessions then live until deleted or server stop).
+        self.session_ttl = session_ttl
         self.sessions: dict[str, _ServerSession] = {}
         self._sid_counter = itertools.count(1)
+        self._sweeper: asyncio.Task | None = None
         self._pool = ThreadPoolExecutor(
             max_workers=pool_workers, thread_name_prefix="tioga-exec")
         self._asyncio_server: asyncio.AbstractServer | None = None
@@ -241,10 +266,36 @@ class TiogaServer:
 
     def session(self, sid: str) -> _ServerSession:
         try:
-            return self.sessions[sid]
+            held = self.sessions[sid]
         except KeyError as exc:
             raise ProtocolError(
-                f"unknown session {sid!r}", code="T2-E512") from exc
+                f"unknown or expired session {sid!r}", code="T2-E512"
+            ) from exc
+        held.touch()
+        return held
+
+    def expire_idle_sessions(self, now: float | None = None) -> list[str]:
+        """Drop every unreferenced session idle past ``session_ttl``.
+
+        Returns the dropped session ids; a no-op when the TTL is disabled.
+        Runs from the background sweeper, but callable directly (tests,
+        embeddings driving their own loop).
+        """
+        ttl = self.session_ttl
+        if not ttl or ttl <= 0:
+            return []
+        now = time.monotonic() if now is None else now
+        expired = [sid for sid, held in list(self.sessions.items())
+                   if held.refs == 0 and now - held.last_used > ttl]
+        for sid in expired:
+            self.drop_session(sid)
+        return expired
+
+    async def _sweep_idle_sessions(self) -> None:
+        interval = min(max((self.session_ttl or 0.0) / 4.0, 0.05), 60.0)
+        while True:
+            await asyncio.sleep(interval)
+            self.expire_idle_sessions()
 
     def _apply_initial_views(self, held: _ServerSession, program: str) -> None:
         for spec in self._initial_views.get(program, ()):
@@ -264,6 +315,7 @@ class TiogaServer:
 
     def _execute_sync(self, held: _ServerSession, command: Command) -> Response:
         started = time.perf_counter()
+        held.touch()
         with held.lock:
             try:
                 response = held.session.execute(command)
@@ -322,8 +374,14 @@ class TiogaServer:
         self._asyncio_server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._asyncio_server.sockets[0].getsockname()[1]
+        if self.session_ttl and self.session_ttl > 0:
+            self._sweeper = asyncio.create_task(self._sweep_idle_sessions())
 
     async def stop(self) -> None:
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            await asyncio.gather(self._sweeper, return_exceptions=True)
+            self._sweeper = None
         if self._asyncio_server is not None:
             self._asyncio_server.close()
             await self._asyncio_server.wait_closed()
@@ -433,6 +491,18 @@ class TiogaServer:
                 "database": self.database.name,
                 "programs": self.program_names(),
             })
+        elif method == "DELETE" and path == "/api/session":
+            sid = (query.get("session") or [""])[0]
+            if sid in self.sessions:
+                self.drop_session(sid)
+                await self._send_json(writer, 200, {
+                    "ok": True, "session": sid})
+            else:
+                await self._send_json(writer, 404, {
+                    "ok": False,
+                    "code": "T2-E512",
+                    "error": f"unknown or expired session {sid!r}",
+                })
         elif method == "POST" and path == "/api/command":
             sid = (query.get("session") or [""])[0]
             response = await self._execute_wire(sid, body)
@@ -508,9 +578,11 @@ class TiogaServer:
                                message=str(exc))
             writer.write(ws.encode_frame(
                 encode_response(error).encode("utf-8")))
+            self._write_close_frame(writer, 1000)
             await writer.drain()
             return
 
+        held.refs += 1
         queue = _SendQueue(self.max_queue)
         sender = asyncio.create_task(self._ws_sender(writer, queue))
         welcome = Welcome(
@@ -538,9 +610,9 @@ class TiogaServer:
                 closing = False
                 for opcode, payload in messages:
                     if opcode == ws.OP_CLOSE:
-                        writer.write(ws.encode_frame(
-                            payload[:2], opcode=ws.OP_CLOSE))
-                        await writer.drain()
+                        # The close reply comes from _ws_sender once the
+                        # send queue drains, so pending responses are
+                        # delivered before the handshake completes.
                         closing = True
                         break
                     if opcode == ws.OP_PING:
@@ -557,22 +629,29 @@ class TiogaServer:
             pass
         finally:
             try:
-                await inbox.put(None)
-                await worker
-                await queue.close()
-                await sender
-            except asyncio.CancelledError:
-                # Server shutdown: abandon the graceful drain but still run
-                # the bookkeeping below.
-                worker.cancel()
-                sender.cancel()
-                await asyncio.gather(worker, sender, return_exceptions=True)
-                await queue.close()
-            if queue.dropped:
-                self.registry.counter("server.frames_dropped").inc(
-                    queue.dropped, label=held.sid)
-            if own_session:
-                self.drop_session(held.sid)
+                try:
+                    await inbox.put(None)
+                    await worker
+                    await queue.close()
+                    await sender
+                except BaseException:
+                    # Server shutdown (CancelledError) or an unexpected
+                    # worker/sender crash: abandon the graceful drain, but
+                    # never skip the bookkeeping below.
+                    worker.cancel()
+                    sender.cancel()
+                    await queue.close()
+                    await asyncio.gather(worker, sender,
+                                         return_exceptions=True)
+                    self._write_close_frame(writer, 1001)
+            finally:
+                held.refs -= 1
+                held.touch()
+                if queue.dropped:
+                    self.registry.counter("server.frames_dropped").inc(
+                        queue.dropped, label=held.sid)
+                if own_session:
+                    self.drop_session(held.sid)
 
     async def _ws_worker(self, held: _ServerSession,
                          inbox: "asyncio.Queue[bytes | None]",
@@ -609,11 +688,24 @@ class TiogaServer:
             while True:
                 text = await queue.get()
                 if text is None:
+                    # Queue drained after close(): complete the RFC 6455
+                    # close handshake rather than an abrupt TCP close.
+                    self._write_close_frame(writer, 1000)
+                    await writer.drain()
                     return
                 writer.write(ws.encode_frame(text.encode("utf-8")))
                 await writer.drain()
         except (ConnectionError, OSError):
             await queue.close()
+
+    @staticmethod
+    def _write_close_frame(writer: asyncio.StreamWriter, code: int) -> None:
+        """Best-effort OP_CLOSE (1000 normal, 1001 going away)."""
+        try:
+            writer.write(ws.encode_frame(
+                code.to_bytes(2, "big"), opcode=ws.OP_CLOSE))
+        except (ConnectionError, OSError, RuntimeError):
+            pass
 
 
 class ServerThread:

@@ -174,6 +174,7 @@ class Client:
 
     def drain(self) -> list[Response]:
         """All responses already buffered locally (non-blocking)."""
+        timeout = self._sock.gettimeout()
         self._sock.setblocking(False)
         try:
             while True:
@@ -187,7 +188,9 @@ class Client:
                     break
                 self._pump(chunk)
         finally:
-            self._sock.setblocking(True)
+            # Restore the constructor's timeout, not bare blocking mode —
+            # otherwise every recv() after a drain() could block forever.
+            self._sock.settimeout(timeout)
         drained = self._inbox
         self._inbox = []
         return drained

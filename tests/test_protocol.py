@@ -296,3 +296,84 @@ def test_welcome_programs_survive_as_tuple():
 def test_reply_ok_and_error_not_ok():
     assert Reply(command="pan").ok
     assert not ErrorReply().ok
+
+
+# ---------------------------------------------------------------------------
+# Frame-cache hits keep pick/why provenance on the displayed frame
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def cached_map_session(stations_db):
+    """A stations map session with the server's FrameCache attached."""
+    from repro.protocol import FrameCache
+    from repro.ui.session import Session
+
+    session = Session(stations_db, "cache-map")
+    stations = session.add_table("Stations")
+    sx = session.add_box(
+        "SetAttribute", {"name": "x", "definition": "longitude"})
+    session.connect(stations, "out", sx, "in")
+    sy = session.add_box(
+        "SetAttribute", {"name": "y", "definition": "latitude"})
+    session.connect(sx, "out", sy, "in")
+    disp = session.add_box(
+        "SetAttribute",
+        {"name": "display", "definition": "filled_circle(3, 'blue')"},
+    )
+    session.connect(sy, "out", disp, "in")
+    session.add_viewer(disp, name="map", width=200, height=160)
+    session.pan_to("map", -91.8, 31.0)
+    session.set_elevation("map", 8.0)
+    session.protocol.frame_cache = FrameCache()
+    return session
+
+
+def test_frame_cache_hit_restores_pick_provenance(cached_map_session):
+    # Review regression: render view A, pan to B, render, pan back to A,
+    # render (FrameCache hit — no rasterization), then pick.  The pick
+    # must resolve against view A's display list (the frame on screen),
+    # not view B's stale one from the last actual render.
+    session = cached_map_session
+    frame_a = session.render_frame("map")
+    item = session.window("map").viewer.last_result.all_items()[0]
+    cx = (item.bbox[0] + item.bbox[2]) / 2
+    cy = (item.bbox[1] + item.bbox[3]) / 2
+    first = session.pick("map", cx, cy)
+    assert first is not None
+
+    # View B is empty ocean: a fresh render there hits nothing.
+    session.pan_to("map", -40.0, 31.0)
+    session.render_frame("map")
+    assert session.pick("map", cx, cy) is None
+
+    session.pan_to("map", -91.8, 31.0)
+    served = session.render_frame("map")
+    assert served.data_bytes() == frame_a.data_bytes()
+    assert served.render_ms == 0.0  # served whole from the frame cache
+
+    picked = session.pick("map", cx, cy)
+    assert picked is not None
+    assert picked.row == first.row
+
+    why_doc = session.why("map", cx, cy)
+    assert why_doc["picked"] is True
+    assert why_doc["mark"]["relation"] == first.relation_name
+    assert why_doc["mark"]["tuple_index"] == first.tuple_index
+
+
+def test_frames_with_live_magnifiers_are_not_cached(cached_map_session):
+    # Magnifier overlays are composited into the encoded frame but are
+    # session-local furniture outside the cache key — such frames must
+    # bypass the cache entirely rather than be served to other views.
+    session = cached_map_session
+    session.render_frame("map")
+    assert len(session.protocol.frame_cache) == 1
+    window = session.window("map")
+    glass = window.add_magnifier((40.0, 30.0, 120.0, 90.0))
+    frame = session.render_frame("map")
+    assert frame.render_ms > 0.0  # not served from the pre-magnifier entry
+    assert len(session.protocol.frame_cache) == 1  # and not re-cached
+    glass.delete()
+    session.render_frame("map")  # deleted glass: cacheable again
+    assert len(session.protocol.frame_cache) == 1

@@ -27,6 +27,7 @@ from repro.protocol import (
     FrameReply,
     OpenProgram,
     Pan,
+    PanTo,
     Pick,
     ProtocolError,
     Render,
@@ -37,7 +38,7 @@ from repro.protocol import (
     Zoom,
     encode_command,
 )
-from repro.server import Client, ServerThread, connect
+from repro.server import Client, ServerThread, connect, ws
 
 
 @pytest.fixture(scope="module")
@@ -314,4 +315,131 @@ def test_two_clients_one_session_share_state(server):
         assert a.request(OpenProgram(name="fig4")).ok
         # b sees the program a opened: same server-side Session object.
         frame = b.request(Render(window="stations"))
+        assert isinstance(frame, FrameReply)
+
+
+def test_pick_after_cached_frame_matches_fresh_session(server):
+    # Review regression: a FrameCache hit must leave pick/why resolving
+    # against the displayed frame's display list.  The stale-path client
+    # (render A, pan, render, pan back, cached render A) must pick exactly
+    # what a fresh client at view A picks.
+    url = f"ws://{server.host}:{server.port}/ws"
+    with connect(url) as stale, connect(url) as fresh:
+        assert stale.request(OpenProgram(name="fig4")).ok
+        state = stale.request(Pan(window="stations", dx=0.0, dy=0.0)).result
+        cx, cy = state["center"]
+        first = stale.request(Render(window="stations"))
+        assert isinstance(first, FrameReply)
+        stale.request(Pan(window="stations", dx=40.0, dy=25.0))
+        assert isinstance(
+            stale.request(Render(window="stations")), FrameReply)
+        stale.request(PanTo(window="stations", cx=cx, cy=cy))
+        back = stale.request(Render(window="stations"))
+        assert isinstance(back, FrameReply)
+        assert back.data_bytes() == first.data_bytes()
+        assert back.render_ms == 0.0  # served from the shared FrameCache
+
+        assert fresh.request(OpenProgram(name="fig4")).ok
+        assert isinstance(
+            fresh.request(Render(window="stations")), FrameReply)
+        for px, py in [(120.0, 90.0), (320.0, 240.0), (520.0, 400.0)]:
+            a = stale.request(Pick(window="stations", px=px, py=py))
+            b = fresh.request(Pick(window="stations", px=px, py=py))
+            assert a.result == b.result
+
+
+# ---------------------------------------------------------------------------
+# Session lifecycle: explicit delete, idle expiry
+# ---------------------------------------------------------------------------
+
+
+def _delete(server, path: str) -> tuple[int, bytes]:
+    request = urllib.request.Request(_url(server, path), method="DELETE")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as reply:
+            return reply.status, reply.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def test_http_session_delete_endpoint(server):
+    _, body = _post(server, "/api/session")
+    sid = json.loads(body)["session"]
+    assert sid in server.sessions
+
+    status, body = _delete(server, f"/api/session?session={sid}")
+    assert status == 200
+    assert json.loads(body) == {"ok": True, "session": sid}
+    assert sid not in server.sessions
+
+    status, body = _delete(server, f"/api/session?session={sid}")
+    assert status == 404
+    assert json.loads(body)["code"] == "T2-E512"
+
+    status, body = _post(
+        server, f"/api/command?session={sid}",
+        encode_command(Stats()).encode("utf-8"))
+    payload = json.loads(body)
+    assert status == 400
+    assert payload["code"] == "T2-E512"
+    assert "expired" in payload["message"]
+
+
+def test_idle_http_sessions_expire():
+    registry = MetricsRegistry()
+    with ServerThread(build_weather_database(), registry=registry,
+                      session_ttl=0.1) as srv:
+        _, body = _post(srv, "/api/session")
+        sid = json.loads(body)["session"]
+        assert sid in srv.sessions
+        _wait_until(lambda: sid not in srv.sessions)
+        assert registry.gauge("server.sessions").value() == 0
+
+
+def test_connected_sessions_never_idle_expire():
+    with ServerThread(build_weather_database(),
+                      registry=MetricsRegistry(),
+                      session_ttl=0.1) as srv:
+        with connect(f"ws://{srv.host}:{srv.port}/ws") as client:
+            sid = client.session
+            time.sleep(0.5)  # several sweep intervals past the TTL
+            assert sid in srv.sessions
+            assert client.request(OpenProgram(name="fig4")).ok
+
+
+# ---------------------------------------------------------------------------
+# Close handshake and client socket hygiene
+# ---------------------------------------------------------------------------
+
+
+def test_ws_close_handshake_completes(server):
+    client = connect(f"ws://{server.host}:{server.port}/ws")
+    assert client.request(OpenProgram(name="fig4")).ok
+    # Initiate the close handshake without tearing the socket down: the
+    # server must reply with an RFC 6455 close frame, not a bare TCP close.
+    client._sock.sendall(ws.encode_frame(
+        (1000).to_bytes(2, "big"), opcode=ws.OP_CLOSE, mask=True))
+    codes = []
+    while not codes:
+        chunk = client._sock.recv(65536)
+        if not chunk:
+            break
+        for opcode, payload in client._parser.feed(chunk):
+            if opcode == ws.OP_CLOSE:
+                codes.append(int.from_bytes(payload[:2], "big"))
+    assert codes == [1000]
+    client._closed = True
+    client._sock.close()
+
+
+def test_drain_restores_socket_timeout(server):
+    with connect(f"ws://{server.host}:{server.port}/ws",
+                 timeout=5.0) as client:
+        assert client.request(OpenProgram(name="fig4")).ok
+        client.send(Render(window="stations"))
+        client.drain()
+        # drain() must restore the constructor's timeout, not blocking
+        # mode — otherwise every later recv() could hang forever.
+        assert client._sock.gettimeout() == 5.0
+        frame = client.request(Render(window="stations"))
         assert isinstance(frame, FrameReply)
