@@ -1,0 +1,95 @@
+"""Profiler and request-context arms: the cost of PR-10 observability.
+
+Two claims ride into ``BENCH_obs.json`` behind ``repro bench-diff
+--strict``: the continuous sampler at its default 67hz must not move a
+render-shaped workload (the ``profiled`` arm tracks its ``disabled``
+history — the <3% budget the analytic guards in
+``tests/test_obs_profiler.py`` and ``tests/test_server_obs.py`` also
+enforce), and the per-request context machinery (mint + double adopt +
+dispatch/request spans, what the server pays per command) is noise next
+to the work a command does (docs/OBSERVABILITY.md, "Request tracing").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.boxes_attr import SetAttributeBox
+from repro.dataflow.boxes_db import AddTableBox
+from repro.dataflow.engine import Engine
+from repro.dataflow.graph import Program
+from repro.obs.profiler import Profiler
+from repro.obs.trace import TraceContext, current_tracer
+from repro.render.canvas import Canvas
+from repro.render.scene import SceneStats, ViewState, render_composite
+
+
+@pytest.fixture(scope="module")
+def scatter(points_db_20k):
+    program = Program()
+    src = program.add_box(AddTableBox(table="Points"))
+    set_x = program.add_box(SetAttributeBox(name="x", definition="x_pos"))
+    set_y = program.add_box(SetAttributeBox(name="y", definition="y_pos"))
+    display = program.add_box(
+        SetAttributeBox(name="display", definition="filled_circle(2)")
+    )
+    program.connect(src, "out", set_x, "in")
+    program.connect(set_x, "out", set_y, "in")
+    program.connect(set_y, "out", display, "in")
+    engine = Engine(program, points_db_20k)
+    return engine.output_of(display)
+
+
+DEEP_ZOOM = ViewState(center=(0.0, 0.0), elevation=30.0, viewport=(320, 240))
+
+
+def _render(scatter) -> SceneStats:
+    canvas = Canvas(320, 240)
+    stats = SceneStats()
+    render_composite(canvas, scatter, DEEP_ZOOM, stats=stats)
+    return stats
+
+
+@pytest.mark.parametrize("profiled", [False, True],
+                         ids=["disabled", "profiled"])
+def test_perf_profiler_render_deep_zoom(benchmark, scatter, profiled):
+    """The culling render with the 67hz sampler running vs. without.
+
+    The profiled arm measures what a server render pays for leaving the
+    continuous profiler on — the statistical sampler's whole-process
+    steady-state cost, not a per-call hook.
+    """
+    if profiled:
+        profiler = Profiler()
+        with profiler:
+            stats = benchmark(lambda: _render(scatter))
+        assert profiler.ticks > 0, "the sampler must have run"
+    else:
+        stats = benchmark(lambda: _render(scatter))
+    assert stats.tuples_considered == 20_000
+    assert stats.culled_by_viewport > 19_000
+
+
+@pytest.mark.parametrize("traced", [False, True], ids=["bare", "traced"])
+def test_perf_profiler_request_context(benchmark, scatter, traced):
+    """A render wrapped in the full per-command context machinery vs. bare.
+
+    The traced arm performs exactly what ``TiogaServer.execute`` +
+    ``CommandExecutor.run`` add per command: mint a context, adopt it,
+    open ``server.dispatch``, re-adopt the child on the "worker", open
+    ``request.render``, then do the work.
+    """
+    tracer = current_tracer()  # the bench harness's enabled tracer
+
+    def run_traced() -> SceneStats:
+        ctx = TraceContext.new(session="bench", command="render")
+        with tracer.adopt(ctx):
+            with tracer.span("server.dispatch", command="render") as span:
+                child = ctx.child_of(span)
+                with tracer.adopt(child):
+                    with tracer.span("request.render", command="render"):
+                        return _render(scatter)
+
+    stats = benchmark(run_traced if traced else
+                      (lambda: _render(scatter)))
+    assert stats.tuples_considered == 20_000

@@ -150,10 +150,16 @@ from repro.obs import (
     FlightRecorder,
     LineageConfig,
     MetricsRecorder,
+    Profiler,
+    RequestLog,
     TimeSeries,
+    TraceContext,
+    configure_logging,
+    current_trace_context,
     default_lineage_config,
     diff_bench,
     diff_bench_files,
+    get_logger,
     install_flight_recorder,
     lineage_capture,
     lineage_config_from_env,
@@ -233,6 +239,13 @@ __all__ = [
     "install_flight_recorder",
     "diff_bench",
     "diff_bench_files",
+    # Request observability: tracing, profiling, structured logs
+    "TraceContext",
+    "current_trace_context",
+    "Profiler",
+    "RequestLog",
+    "configure_logging",
+    "get_logger",
     "record_figure_telemetry",
     "telemetry_database",
     "build_dashboard_program",

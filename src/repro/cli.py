@@ -239,6 +239,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the span tree to stdout (same as --timing)",
     )
 
+    profile = commands.add_parser(
+        "profile", parents=[common],
+        help="render a scenario under the continuous statistical profiler "
+        "and print folded stacks (flamegraph input) or a JSON snapshot",
+    )
+    profile.add_argument(
+        "figure", nargs="?", choices=sorted(_FIGURES),
+        help="built-in figure scenario to profile (or use --db/--name)",
+    )
+    profile.add_argument("--db", help="database JSON (with --name)")
+    profile.add_argument("--name", help="saved program to profile")
+    profile.add_argument(
+        "--hz", type=float, default=200.0,
+        help="sampling rate in Hz (default 200; higher resolves shorter "
+        "renders at proportionally higher overhead)",
+    )
+    profile.add_argument(
+        "--rounds", type=int, default=5,
+        help="how many times to render every window (default 5; more "
+        "rounds give the sampler more to catch)",
+    )
+    profile.add_argument(
+        "--out", default=None,
+        help="write folded stacks here instead of stdout",
+    )
+    profile.add_argument(
+        "--chrome", default=None,
+        help="also write the samples as Chrome trace_event JSON "
+        "(instant events on named thread tracks)",
+    )
+
     stats = commands.add_parser(
         "stats", parents=[common],
         help="run-summary telemetry for a figure render (span rollups + "
@@ -356,6 +387,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--session-ttl", type=float, default=900.0,
         help="seconds an HTTP-created session may sit idle with no "
         "attached connection before it expires (0 disables; default 900)",
+    )
+    serve_cmd.add_argument(
+        "--profile-hz", type=float, default=67.0,
+        help="continuous-profiler sampling rate in Hz (0 disables; "
+        "default 67)",
+    )
+    serve_cmd.add_argument(
+        "--slow-ms", type=float, default=None,
+        help="uniform slow-request threshold in ms for every command kind "
+        "(default: the per-kind SLO table in docs/OBSERVABILITY.md)",
+    )
+    serve_cmd.add_argument(
+        "--slow-dir", default="slowreq",
+        help="directory for slow-request capture files "
+        "(slowreq_<trace>.jsonl; default ./slowreq, created on first "
+        "capture; empty string disables capture)",
+    )
+    serve_cmd.add_argument(
+        "--no-request-tracing", action="store_true",
+        help="disable request tracing, the request log, and the /debug "
+        "request endpoints",
+    )
+    serve_cmd.add_argument(
+        "--log-level", default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="structured JSON log level on stderr (default info)",
     )
 
     client_cmd = commands.add_parser(
@@ -1030,16 +1087,76 @@ def _cmd_why(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json as json_module
+
+    from repro.obs import Profiler, Tracer, push_tracer
+
+    target, session = _traced_session(args)
+    if session is None:
+        return 2
+    if not session.windows:
+        print("program has no viewer boxes; nothing to profile",
+              file=sys.stderr)
+        return 1
+    profiler = Profiler(hz=args.hz)
+    # Trace alongside the sampler so samples can be attributed to requests
+    # exactly as the server does it.
+    tracer = Tracer(enabled=True)
+    session.engine.invalidate()
+    with push_tracer(tracer), profiler:
+        for _ in range(max(1, args.rounds)):
+            session.engine.invalidate()
+            for name in sorted(session.windows):
+                session.window(name).render()
+    folded = profiler.collapsed_text()
+    if args.out:
+        Path(args.out).write_text(folded)
+    if args.chrome:
+        Path(args.chrome).write_text(json_module.dumps(
+            profiler.chrome_trace(process_name=f"repro profile {target}"),
+            indent=1))
+    if args.as_json:
+        print(json_module.dumps(profiler.snapshot(), indent=2,
+                                sort_keys=True))
+    elif not args.out:
+        print(folded, end="")
+    summary = (f"{target}: {profiler.ticks} ticks, "
+               f"{len(profiler)} samples at {args.hz:g}hz")
+    if args.out:
+        summary += f" -> {args.out}"
+    if args.chrome:
+        summary += f" (chrome: {args.chrome})"
+    print(summary, file=sys.stderr)
+    if args.strict and len(profiler) == 0:
+        print("no samples captured; raise --hz or --rounds",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve(args) -> int:
+    import logging as logging_module
+
+    from repro.obs import DEFAULT_SLO_MS, configure_logging
     from repro.server import serve
 
+    configure_logging(
+        level=getattr(logging_module, args.log_level.upper()))
     database = load_database_file(args.db) if args.db else None
     host, port = args.host, args.port
+    slo_ms = None
+    if args.slow_ms is not None:
+        slo_ms = {kind: args.slow_ms for kind in DEFAULT_SLO_MS}
     print(f"serving on http://{host}:{port} (ws://{host}:{port}/ws); "
           "Ctrl-C stops", file=sys.stderr)
     serve(host=host, port=port, database=database,
           max_queue=args.max_queue, flight_dump=args.flight_dump,
-          session_ttl=args.session_ttl)
+          session_ttl=args.session_ttl,
+          request_tracing=not args.no_request_tracing,
+          profile_hz=args.profile_hz,
+          slo_ms=slo_ms,
+          slow_dir=args.slow_dir or None)
     return 0
 
 
@@ -1079,6 +1196,7 @@ _HANDLERS = {
     "explain": _cmd_explain,
     "lint": _cmd_lint,
     "trace": _cmd_trace,
+    "profile": _cmd_profile,
     "stats": _cmd_stats,
     "why": _cmd_why,
     "bench-diff": _cmd_bench_diff,

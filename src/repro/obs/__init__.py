@@ -58,6 +58,23 @@ from repro.obs.lineage import (
     set_default_lineage_config,
     why,
 )
+from repro.obs.log import (
+    ACCESS_LOGGER,
+    JsonFormatter,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.profiler import (
+    PROFILE_SCHEMA,
+    Profiler,
+    ProfileSample,
+)
+from repro.obs.requests import (
+    DEFAULT_SLO_MS,
+    SLOWREQ_SCHEMA,
+    RequestLog,
+    RequestRecord,
+)
 from repro.obs.timeseries import (
     TIMESERIES_SCHEMA,
     MetricsRecorder,
@@ -77,42 +94,57 @@ from repro.obs.metrics import (
 from repro.obs.trace import (
     NULL_SPAN,
     Span,
+    TraceContext,
     TraceEvent,
     Tracer,
+    current_trace_context,
     current_tracer,
     install_from_env,
     push_tracer,
     set_tracer,
+    thread_trace_contexts,
     tracing,
 )
 
 __all__ = [
+    "ACCESS_LOGGER",
     "BENCH_SCHEMA",
     "COLUMNAR_BENCH_SCHEMA",
+    "DEFAULT_SLO_MS",
     "DIFF_SCHEMA",
     "FLIGHT_SCHEMA",
     "LINEAGE_SCHEMA",
     "PARALLEL_BENCH_SCHEMA",
+    "PROFILE_SCHEMA",
     "SERVER_BENCH_SCHEMA",
+    "SLOWREQ_SCHEMA",
     "TIMESERIES_SCHEMA",
     "Counter",
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "JsonFormatter",
     "LineageConfig",
     "LineageStore",
     "MetricsRecorder",
     "MetricsRegistry",
     "NULL_SPAN",
     "ObservabilityError",
+    "ProfileSample",
+    "Profiler",
+    "RequestLog",
+    "RequestRecord",
     "Span",
     "TimeSeries",
+    "TraceContext",
     "TraceEvent",
     "Tracer",
     "active_lineage",
     "check_declarations",
     "chrome_trace",
+    "configure_logging",
     "current_flight_recorder",
+    "current_trace_context",
     "current_tracer",
     "declarations",
     "declare",
@@ -120,6 +152,7 @@ __all__ = [
     "diff_bench",
     "diff_bench_files",
     "empty_run_summary",
+    "get_logger",
     "global_registry",
     "install_flight_recorder",
     "install_from_env",
@@ -134,6 +167,7 @@ __all__ = [
     "run_summary",
     "set_default_lineage_config",
     "set_tracer",
+    "thread_trace_contexts",
     "tracing",
     "why",
     "validate_any_bench",

@@ -89,8 +89,18 @@ def chrome_trace(tracer: Tracer | None,
             "args": {"name": process_name},
         }
     ]
+    # Real thread names on the metadata events: pool workers show up as
+    # "tioga-exec_0", not an opaque id, so a request's hop from the asyncio
+    # thread to its worker reads directly off the track labels.  Spans from
+    # before the thread_name slot existed fall back to the id form.
+    finished = tracer.finished()
+    names: dict[int, str] = {}
+    for span in finished:
+        name = getattr(span, "thread_name", None)
+        if span.thread_id not in names or name:
+            names[span.thread_id] = name or f"thread-{span.thread_id}"
     threads = sorted(
-        {span.thread_id for span in tracer.finished()}
+        {span.thread_id for span in finished}
         | {event.thread_id for event in tracer.events}
     )
     tids = {thread_id: index for index, thread_id in enumerate(threads)}
@@ -101,10 +111,16 @@ def chrome_trace(tracer: Tracer | None,
                 "ph": "M",
                 "pid": _PID,
                 "tid": tid,
-                "args": {"name": f"thread-{thread_id}"},
+                "args": {"name": names.get(
+                    thread_id, f"thread-{thread_id}")},
             }
         )
-    for span in tracer.finished():
+    for span in finished:
+        args = _json_safe(span.attrs)
+        if span.trace_id is not None:
+            # Request correlation: Perfetto queries group a request's spans
+            # across threads by this arg.
+            args.setdefault("trace_id", span.trace_id)
         events.append(
             {
                 "name": span.name,
@@ -114,7 +130,7 @@ def chrome_trace(tracer: Tracer | None,
                 "dur": max(0.0, span.duration_ns / 1000.0),
                 "pid": _PID,
                 "tid": tids.get(span.thread_id, 0),
-                "args": _json_safe(span.attrs),
+                "args": args,
             }
         )
     for event in tracer.events:

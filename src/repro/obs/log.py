@@ -1,0 +1,110 @@
+"""Structured JSON logging with trace/session correlation ids.
+
+Ad-hoc prints can't be joined against spans or metrics; these loggers can.
+:class:`JsonFormatter` renders every record as one JSON object per line —
+timestamp, level, logger, message, any ``extra={...}`` fields — and injects
+the active request's ``trace_id`` and ``session`` from the adopted
+:class:`~repro.obs.trace.TraceContext`, so a grep for a trace id crosses the
+log/span boundary for free.
+
+Library default is silence: :func:`get_logger` hangs everything under the
+``repro`` logger, which carries a ``NullHandler`` until an application calls
+:func:`configure_logging` (the ``repro serve`` CLI does; tests stay quiet).
+The server's access log lives at :data:`ACCESS_LOGGER` — one line per HTTP
+request and per executed WebSocket command.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+from repro.obs.trace import current_trace_context
+
+__all__ = [
+    "ACCESS_LOGGER",
+    "JsonFormatter",
+    "configure_logging",
+    "get_logger",
+]
+
+#: The server access log: one record per HTTP request / executed command.
+ACCESS_LOGGER = "repro.server.access"
+
+_ROOT = "repro"
+
+#: LogRecord attributes that are plumbing, not payload; anything else bound
+#: to a record (``extra={...}``) is emitted as a JSON field.
+_RESERVED = frozenset(vars(logging.LogRecord(
+    "", 0, "", 0, "", (), None)).keys()) | {
+        "message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record, correlation ids included."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created))
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        ctx = current_trace_context()
+        if ctx is not None:
+            payload.setdefault("trace_id", ctx.trace_id)
+            if ctx.session is not None:
+                payload.setdefault("session", ctx.session)
+        for key, value in vars(record).items():
+            if key in _RESERVED or key in payload:
+                continue
+            payload[key] = value if isinstance(
+                value, (str, int, float, bool)) or value is None else repr(
+                value)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["error"] = record.exc_info[0].__name__
+            payload["error_message"] = str(record.exc_info[1])
+        return json.dumps(payload, sort_keys=True)
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (quiet until configured)."""
+    root = logging.getLogger(_ROOT)
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+    if name is None or name == _ROOT:
+        return root
+    if not name.startswith(_ROOT + "."):
+        name = f"{_ROOT}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(stream: TextIO | None = None,
+                      level: int = logging.INFO) -> logging.Handler:
+    """Attach one JSON handler to the ``repro`` logger; returns it.
+
+    Idempotent per stream: reconfiguring replaces the previous JSON handler
+    rather than stacking duplicates.  Remove the returned handler (or call
+    with ``level=logging.CRITICAL + 1``) to quiesce again.
+    """
+    stream = stream if stream is not None else sys.stderr
+    root = get_logger()
+    for handler in list(root.handlers):
+        if isinstance(handler, _JsonHandler):
+            root.removeHandler(handler)
+    handler = _JsonHandler(stream)
+    handler.setFormatter(JsonFormatter())
+    handler.setLevel(level)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler
+
+
+class _JsonHandler(logging.StreamHandler):
+    """Marker subclass so reconfiguration can find its own handler."""

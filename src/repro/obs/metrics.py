@@ -48,6 +48,20 @@ class _Metric:
     def reset(self) -> None:
         raise NotImplementedError
 
+    def remove_label(self, label: Hashable) -> bool:
+        """Forget one label's series; returns whether anything was removed.
+
+        The cure for per-session label cardinality: a server that labels
+        ``inc(label=sid)`` prunes the session's series when it dies, so
+        exposition output stops growing without bound.  Counters and
+        histograms *fold* the removed series into the unlabeled aggregate
+        (``None``) rather than discarding it — totals stay monotone, so
+        rate/delta consumers (:class:`~repro.obs.timeseries.MetricsRecorder`)
+        never see a counter go backwards.  Gauges are last-write-wins and
+        simply drop the series.
+        """
+        raise NotImplementedError
+
     def snapshot(self) -> dict[str, Any]:
         raise NotImplementedError
 
@@ -86,6 +100,16 @@ class Counter(_Metric):
         with self._update_lock:
             self.values.clear()
 
+    def remove_label(self, label: Hashable) -> bool:
+        with self._update_lock:
+            removed = self.values.pop(label, None)
+            if removed is None:
+                return False
+            if label is not None:
+                # Fold into the aggregate so total() never regresses.
+                self.values[None] = self.values.get(None, 0) + removed
+            return True
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "kind": self.kind,
@@ -118,6 +142,10 @@ class Gauge(_Metric):
     def reset(self) -> None:
         with self._update_lock:
             self.values.clear()
+
+    def remove_label(self, label: Hashable) -> bool:
+        with self._update_lock:
+            return self.values.pop(label, None) is not None
 
     def snapshot(self) -> dict[str, Any]:
         return {
@@ -191,6 +219,29 @@ class Histogram(_Metric):
             self._counts.clear()
             self._stats.clear()
 
+    def remove_label(self, label: Hashable) -> bool:
+        with self._update_lock:
+            counts = self._counts.pop(label, None)
+            stats = self._stats.pop(label, None)
+            if counts is None:
+                return False
+            if label is not None and stats is not None:
+                # Fold bucket counts and count/sum/min/max into the
+                # aggregate series so distribution totals stay monotone.
+                base = self._counts.get(None)
+                if base is None:
+                    self._counts[None] = list(counts)
+                    self._stats[None] = list(stats)
+                else:
+                    for i, c in enumerate(counts):
+                        base[i] += c
+                    base_stats = self._stats[None]
+                    base_stats[0] += stats[0]
+                    base_stats[1] += stats[1]
+                    base_stats[2] = min(base_stats[2], stats[2])
+                    base_stats[3] = max(base_stats[3], stats[3])
+            return True
+
     def snapshot(self) -> dict[str, Any]:
         by_label: dict[str, Any] = {}
         for label in sorted(self._counts, key=_label_key):
@@ -261,6 +312,19 @@ class MetricsRegistry:
         with self._lock:
             for metric in self._metrics.values():
                 metric.reset()
+
+    def prune_label(self, label: Hashable) -> int:
+        """Remove ``label``'s series from every metric; returns how many
+        metrics held it.
+
+        The registry-wide half of the session-cardinality fix: dropping a
+        server session prunes its ``server.commands{label=sid}``-style
+        series in one call instead of leaking one family row per session
+        ever hosted.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return sum(1 for metric in metrics if metric.remove_label(label))
 
     def snapshot(self) -> dict[str, Any]:
         """Stable machine-readable dump: {name: {kind, ...}} sorted by name."""

@@ -1,0 +1,325 @@
+"""Continuous statistical profiling over ``sys._current_frames()``.
+
+A :class:`Profiler` runs one daemon sampler thread that, ``hz`` times a
+second, snapshots every live thread's Python stack and appends a
+:class:`ProfileSample` to a bounded ring.  Pure stdlib, no signals, no
+native code — it works inside the asyncio server, under the thread pool,
+and on any platform the repo runs on.  The cost model is simple: each tick
+holds the GIL for one stack walk per thread, so overhead scales with
+``hz × threads × stack depth`` and stays well under the documented 3%
+budget at the default rate (see ``docs/OBSERVABILITY.md``).
+
+Samples carry per-request attribution: when the sampled thread has adopted
+a :class:`~repro.obs.trace.TraceContext` (the server's pool workers do, via
+:meth:`Tracer.adopt`), the sample records its ``trace_id`` and ``session``,
+which is what lets slow-request capture cut the profile down to *this
+request's* time on CPU.
+
+Exports: :meth:`Profiler.collapsed` (folded-stack lines, flamegraph
+ready), :meth:`Profiler.chrome_trace` (instant events on named thread
+tracks for Perfetto), :meth:`Profiler.snapshot` (JSON, schema
+``repro.profile/1``), and :meth:`Profiler.slice` (raw samples in a time
+window, the slow-request capture hook).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import Counter as _TallyCounter
+from collections import deque
+from os.path import basename
+from time import perf_counter_ns
+from typing import Any, Iterable
+
+from repro.errors import ObservabilityError
+from repro.obs.trace import thread_trace_contexts
+
+__all__ = ["Profiler", "ProfileSample", "PROFILE_SCHEMA"]
+
+PROFILE_SCHEMA = "repro.profile/1"
+"""Schema tag stamped into :meth:`Profiler.snapshot` payloads."""
+
+_PID = 1  # single-process traces; Chrome requires *a* pid
+
+
+class ProfileSample:
+    """One thread's stack at one sampler tick (root-first frames)."""
+
+    __slots__ = ("ts_ns", "thread_id", "thread_name", "frames", "trace_id",
+                 "session")
+
+    def __init__(self, ts_ns: int, thread_id: int, thread_name: str,
+                 frames: tuple[str, ...], trace_id: str | None,
+                 session: str | None):
+        self.ts_ns = ts_ns
+        self.thread_id = thread_id
+        self.thread_name = thread_name
+        self.frames = frames
+        self.trace_id = trace_id
+        self.session = session
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "ts_ns": self.ts_ns,
+            "thread": self.thread_id,
+            "thread_name": self.thread_name,
+            "frames": list(self.frames),
+            "trace_id": self.trace_id,
+            "session": self.session,
+        }
+
+    def __repr__(self) -> str:
+        leaf = self.frames[-1] if self.frames else "?"
+        return f"ProfileSample({self.thread_name!r}, {leaf!r})"
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    return f"{basename(code.co_filename)}:{code.co_name}:{frame.f_lineno}"
+
+
+class Profiler:
+    """Sample every live thread's stack at a fixed rate into a ring.
+
+    ``hz`` is the target sampling rate; ``capacity`` bounds retention
+    (oldest samples fall off).  The sampler thread never samples itself.
+    Timestamps share the spans' ``perf_counter_ns`` clock, so profiler
+    slices line up with span trees without conversion.
+    """
+
+    def __init__(self, hz: float = 67.0, capacity: int = 100_000):
+        if hz <= 0:
+            raise ObservabilityError(
+                f"profiler rate must be positive, got {hz}")
+        if capacity < 1:
+            raise ObservabilityError(
+                f"profiler capacity must be >= 1, got {capacity}")
+        self.hz = hz
+        self.capacity = capacity
+        self._samples: deque[ProfileSample] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.ticks = 0
+        self.total_samples = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> "Profiler":
+        """Start the sampler daemon thread (idempotent-hostile: raises if
+        already running, so double-starts surface instead of doubling hz)."""
+        if self._thread is not None:
+            raise ObservabilityError("profiler already started")
+        self._stop.clear()
+        interval = 1.0 / self.hz
+
+        def loop() -> None:
+            while not self._stop.wait(interval):
+                self.sample_once()
+
+        self._thread = threading.Thread(
+            target=loop, name="repro-profiler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the sampler (no-op if never started)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "Profiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample_once(self, now_ns: int | None = None) -> int:
+        """Take one tick: snapshot every thread's stack; returns samples
+        appended.  Public so tests (and the overhead guard) can measure a
+        tick without running the thread."""
+        now = perf_counter_ns() if now_ns is None else now_ns
+        own = self._thread.ident if self._thread is not None else None
+        names = {t.ident: t.name for t in threading.enumerate()}
+        contexts = thread_trace_contexts()
+        appended = 0
+        # sys._current_frames holds the GIL for the dict build; the stack
+        # walk below runs on live frames, which is safe (read-only) and the
+        # standard stdlib statistical-profiler idiom.
+        for tid, frame in sys._current_frames().items():
+            if tid == own or tid == threading.get_ident():
+                continue
+            frames: list[str] = []
+            depth = 0
+            while frame is not None and depth < 128:
+                frames.append(_frame_label(frame))
+                frame = frame.f_back
+                depth += 1
+            frames.reverse()
+            ctx = contexts.get(tid)
+            sample = ProfileSample(
+                now, tid, names.get(tid, f"thread-{tid}"), tuple(frames),
+                ctx.trace_id if ctx is not None else None,
+                ctx.session if ctx is not None else None,
+            )
+            with self._lock:
+                self._samples.append(sample)
+            self.total_samples += 1
+            appended += 1
+        self.ticks += 1
+        return appended
+
+    # -- access ------------------------------------------------------------
+
+    def samples(self, since_ns: int | None = None,
+                until_ns: int | None = None,
+                trace_id: str | None = None) -> list[ProfileSample]:
+        """Retained samples oldest-first, optionally windowed/filtered."""
+        with self._lock:
+            out: Iterable[ProfileSample] = list(self._samples)
+        if since_ns is not None:
+            out = (s for s in out if s.ts_ns >= since_ns)
+        if until_ns is not None:
+            out = (s for s in out if s.ts_ns <= until_ns)
+        if trace_id is not None:
+            out = (s for s in out if s.trace_id == trace_id)
+        return list(out)
+
+    def slice(self, start_ns: int, end_ns: int,
+              trace_id: str | None = None) -> list[dict[str, Any]]:
+        """Dict-form samples inside ``[start_ns, end_ns]`` — the
+        slow-request capture hook.  ``trace_id`` keeps only samples
+        attributed to that request (unattributed samples in the window are
+        kept too: they are usually the request's own un-adopted frames)."""
+        out = []
+        for sample in self.samples(start_ns, end_ns):
+            if trace_id is not None and sample.trace_id not in (
+                    None, trace_id):
+                continue
+            out.append(sample.as_dict())
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def __bool__(self) -> bool:
+        # Sized, but an empty profiler is still a profiler: never let
+        # ``if profiler:`` mean "has samples".
+        return True
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self.total_samples - len(self._samples)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    # -- export ------------------------------------------------------------
+
+    def collapsed(self, since_ns: int | None = None,
+                  trace_id: str | None = None) -> dict[str, int]:
+        """Folded stacks → occurrence counts (flamegraph.pl input form):
+        frames joined root-first with ``;``."""
+        tally: _TallyCounter[str] = _TallyCounter()
+        for sample in self.samples(since_ns=since_ns, trace_id=trace_id):
+            if sample.frames:
+                tally[";".join(sample.frames)] += 1
+        return dict(tally)
+
+    def collapsed_text(self, since_ns: int | None = None,
+                       trace_id: str | None = None) -> str:
+        """``stack count`` lines, most frequent first."""
+        folded = self.collapsed(since_ns=since_ns, trace_id=trace_id)
+        lines = [f"{stack} {count}" for stack, count in
+                 sorted(folded.items(), key=lambda kv: (-kv[1], kv[0]))]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def chrome_trace(self, process_name: str = "repro-profile"
+                     ) -> dict[str, Any]:
+        """Chrome ``trace_event`` JSON: one instant event per sample on a
+        named per-thread track, trace ids riding in ``args`` so Perfetto
+        queries can group a request's samples across threads."""
+        samples = self.samples()
+        events: list[dict[str, Any]] = [{
+            "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+            "args": {"name": process_name},
+        }]
+        threads: dict[int, str] = {}
+        for sample in samples:
+            threads.setdefault(sample.thread_id, sample.thread_name)
+        tids = {tid: index for index, tid in enumerate(sorted(threads))}
+        for tid, index in tids.items():
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": _PID, "tid": index,
+                "args": {"name": threads[tid]},
+            })
+        origin = samples[0].ts_ns if samples else 0
+        for sample in samples:
+            leaf = sample.frames[-1] if sample.frames else "?"
+            args: dict[str, Any] = {"stack": ";".join(sample.frames)}
+            if sample.trace_id is not None:
+                args["trace_id"] = sample.trace_id
+            if sample.session is not None:
+                args["session"] = sample.session
+            events.append({
+                "name": leaf,
+                "cat": "sample",
+                "ph": "i",
+                "ts": (sample.ts_ns - origin) / 1000.0,
+                "pid": _PID,
+                "tid": tids[sample.thread_id],
+                "s": "t",
+                "args": args,
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped": self.dropped},
+        }
+
+    def snapshot(self, seconds: float | None = None) -> dict[str, Any]:
+        """JSON-ready summary (schema ``repro.profile/1``).
+
+        ``seconds`` keeps only the trailing window — the ``/debug/profile``
+        form.  Carries the folded stacks, per-thread sample counts, and the
+        raw window size so consumers can normalize to rates.
+        """
+        since = None
+        if seconds is not None:
+            since = perf_counter_ns() - int(seconds * 1e9)
+        samples = self.samples(since_ns=since)
+        by_thread: _TallyCounter[str] = _TallyCounter()
+        by_trace: _TallyCounter[str] = _TallyCounter()
+        for sample in samples:
+            by_thread[sample.thread_name] += 1
+            if sample.trace_id is not None:
+                by_trace[sample.trace_id] += 1
+        return {
+            "schema": PROFILE_SCHEMA,
+            "hz": self.hz,
+            "running": self.running,
+            "ticks": self.ticks,
+            "samples": len(samples),
+            "dropped": self.dropped,
+            "window_s": seconds,
+            "threads": dict(sorted(by_thread.items())),
+            "traces": dict(sorted(by_trace.items())),
+            "collapsed": self.collapsed(since_ns=since),
+        }
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"Profiler({self.hz}hz, {len(self)} samples, {state})"

@@ -1,0 +1,338 @@
+"""Request log: per-request span trees, latency SLOs, slow-request capture.
+
+The tracer answers "what spans ran"; this module answers "what *requests*
+ran, how long did each take, and show me the slow one".  A
+:class:`RequestLog` attaches to a :class:`~repro.obs.trace.Tracer` as a
+sink, buckets completed spans by their ``trace_id``, and finalizes one
+:class:`RequestRecord` per request when the request's **root** span (the
+span with a trace id and no parent — ``server.dispatch`` on the server,
+``request.<kind>`` in-process) completes.  Records live in a bounded ring,
+so a long-lived server retains the recent-request table the ``/debug``
+endpoints serve without growing.
+
+Latency SLOs are per command kind (:data:`DEFAULT_SLO_MS`, overridable per
+log).  A request that blows its threshold is marked ``slow`` and — when the
+log has a ``capture_dir`` — auto-dumped to JSONL (schema
+``repro.slowreq/1``): the request record, its full span tree, the
+profiler's samples for the request's time window, and the flight-recorder
+ring that led up to it.  That file is the "why was this request slow"
+answer, the request-level sibling of the pixel-level *why* of PR 8.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict, deque
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.obs.trace import Span, TraceEvent, Tracer
+
+__all__ = [
+    "RequestLog",
+    "RequestRecord",
+    "DEFAULT_SLO_MS",
+    "SLOWREQ_SCHEMA",
+]
+
+SLOWREQ_SCHEMA = "repro.slowreq/1"
+"""Schema tag heading every slow-request capture file."""
+
+#: Per-command-kind latency SLO thresholds (milliseconds).  Renders carry
+#: the rasterizer and get the widest budget; provenance walks and EXPLAIN
+#: are bounded analytical work; view-state demands should be instant.
+DEFAULT_SLO_MS: dict[str, float] = {
+    "open_program": 2_000.0,
+    "add_viewer": 1_000.0,
+    "render": 2_000.0,
+    "why": 1_000.0,
+    "pick": 500.0,
+    "explain": 1_000.0,
+    "stats": 1_000.0,
+    "pan": 250.0,
+    "pan_to": 250.0,
+    "zoom": 250.0,
+    "set_elevation": 250.0,
+    "set_slider": 250.0,
+}
+
+#: Fallback for command kinds without an explicit threshold.
+DEFAULT_SLO_FALLBACK_MS = 1_000.0
+
+
+def _span_dict(span: Span) -> dict[str, Any]:
+    attrs = {
+        key: value if isinstance(value, (str, int, float, bool))
+        or value is None else repr(value)
+        for key, value in span.attrs.items()
+    }
+    return {
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "trace_id": span.trace_id,
+        "thread": span.thread_id,
+        "thread_name": span.thread_name,
+        "start_ns": span.start_ns,
+        "end_ns": span.end_ns,
+        "duration_ms": round(span.duration_ms, 6),
+        "attrs": attrs,
+    }
+
+
+class RequestRecord:
+    """One finished request: identity, timing, status, and its span tree."""
+
+    __slots__ = ("trace_id", "session", "command", "start_ns", "end_ns",
+                 "duration_ms", "status", "slow", "threshold_ms", "spans",
+                 "capture_path")
+
+    def __init__(self, trace_id: str, session: str | None,
+                 command: str | None, start_ns: int, end_ns: int,
+                 status: str, slow: bool, threshold_ms: float,
+                 spans: list[dict[str, Any]]):
+        self.trace_id = trace_id
+        self.session = session
+        self.command = command
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.duration_ms = round((end_ns - start_ns) / 1e6, 6)
+        self.status = status
+        self.slow = slow
+        self.threshold_ms = threshold_ms
+        self.spans = spans
+        self.capture_path: str | None = None
+
+    def as_dict(self, with_spans: bool = False) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "session": self.session,
+            "command": self.command,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+            "slow": self.slow,
+            "threshold_ms": self.threshold_ms,
+            "spans": len(self.spans),
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+        }
+        if self.capture_path is not None:
+            out["capture"] = self.capture_path
+        if with_spans:
+            out["spans"] = self.spans
+            out["span_count"] = len(self.spans)
+        return out
+
+    def __repr__(self) -> str:
+        flag = " SLOW" if self.slow else ""
+        return (f"RequestRecord({self.command!r}, {self.trace_id!r}, "
+                f"{self.duration_ms:.3f}ms{flag})")
+
+
+class RequestLog:
+    """Tracer sink that turns trace-stamped spans into request records.
+
+    Attach with :meth:`attach` (or pass the log to ``Tracer.add_sink``).
+    Thread-safe: the server's pool workers complete spans concurrently.
+
+    ``slo_ms`` overrides individual command thresholds on top of
+    :data:`DEFAULT_SLO_MS`; ``default_slo_ms`` replaces the fallback.
+    ``capture_dir`` enables slow-request JSONL dumps; ``profiler`` and
+    ``flight`` contribute their windows to the dump.  ``on_slow`` is called
+    with each slow :class:`RequestRecord` (the server counts a metric).
+    """
+
+    def __init__(self, capacity: int = 256,
+                 slo_ms: dict[str, float] | None = None,
+                 default_slo_ms: float = DEFAULT_SLO_FALLBACK_MS,
+                 capture_dir: str | Path | None = None,
+                 profiler: Any = None,
+                 flight: Any = None,
+                 on_slow: Callable[[RequestRecord], None] | None = None,
+                 max_spans_per_request: int = 2_000):
+        self.capacity = capacity
+        self.slo_ms = dict(DEFAULT_SLO_MS)
+        if slo_ms:
+            self.slo_ms.update(slo_ms)
+        self.default_slo_ms = default_slo_ms
+        self.capture_dir = Path(capture_dir) if capture_dir else None
+        self.profiler = profiler
+        self.flight = flight
+        self.on_slow = on_slow
+        self.max_spans_per_request = max_spans_per_request
+        self._lock = threading.Lock()
+        self._open: OrderedDict[str, list[dict[str, Any]]] = OrderedDict()
+        self._records: deque[RequestRecord] = deque(maxlen=capacity)
+        self._by_trace: OrderedDict[str, RequestRecord] = OrderedDict()
+        self._attached: list[Tracer] = []
+        self.total_requests = 0
+        self.slow_requests = 0
+        self.captures: list[Path] = []
+
+    # -- sink protocol -----------------------------------------------------
+
+    def __call__(self, item: Span | TraceEvent) -> None:
+        if not isinstance(item, Span) or item.trace_id is None:
+            return
+        finished: RequestRecord | None = None
+        with self._lock:
+            spans = self._open.get(item.trace_id)
+            if spans is None:
+                spans = self._open[item.trace_id] = []
+                # Bound abandoned traces (a root that never completes —
+                # crashed worker, cancelled task): evict the oldest once we
+                # track twice the record capacity.
+                while len(self._open) > 2 * self.capacity:
+                    self._open.popitem(last=False)
+            if len(spans) < self.max_spans_per_request:
+                spans.append(_span_dict(item))
+            if item.parent_id is None:
+                # The request's root span: children completed first (the
+                # with-block nests), so the tree is whole — finalize.
+                finished = self._finalize(item, spans)
+        if finished is not None:
+            self._after_finalize(finished)
+
+    def _finalize(self, root: Span,
+                  spans: list[dict[str, Any]]) -> RequestRecord:
+        self._open.pop(root.trace_id, None)
+        command = root.attrs.get("command")
+        if command is None and root.name.startswith("request."):
+            command = root.name.split(".", 1)[1]
+        session = root.attrs.get("session")
+        status = "error" if any(
+            span["attrs"].get("error") for span in spans) else "ok"
+        threshold = self.slo_ms.get(str(command), self.default_slo_ms)
+        duration_ms = (root.end_ns - root.start_ns) / 1e6
+        record = RequestRecord(
+            trace_id=root.trace_id,
+            session=str(session) if session is not None else None,
+            command=str(command) if command is not None else None,
+            start_ns=root.start_ns,
+            end_ns=root.end_ns or root.start_ns,
+            status=status,
+            slow=duration_ms > threshold,
+            threshold_ms=threshold,
+            spans=spans,
+        )
+        self._records.append(record)
+        self._by_trace[record.trace_id] = record
+        while len(self._by_trace) > self.capacity:
+            self._by_trace.popitem(last=False)
+        self.total_requests += 1
+        if record.slow:
+            self.slow_requests += 1
+        return record
+
+    def _after_finalize(self, record: RequestRecord) -> None:
+        """Outside the lock: capture files and callbacks must not block
+        other workers' span completions."""
+        if not record.slow:
+            return
+        if self.capture_dir is not None:
+            try:
+                record.capture_path = str(self.capture(record))
+            except OSError:  # pragma: no cover - unwritable capture dir
+                record.capture_path = None
+        if self.on_slow is not None:
+            self.on_slow(record)
+
+    # -- slow-request capture ----------------------------------------------
+
+    def capture(self, record: RequestRecord) -> Path:
+        """Dump one request's full context to JSONL; returns the path.
+
+        Line 1 is a header (schema, identity, timing, threshold); then one
+        line per span (``kind: span``), per profiler sample in the
+        request's window (``kind: profile``), and per flight-recorder
+        record (``kind: flight``).
+        """
+        assert self.capture_dir is not None
+        self.capture_dir.mkdir(parents=True, exist_ok=True)
+        path = self.capture_dir / f"slowreq_{record.trace_id}.jsonl"
+        header = {
+            "schema": SLOWREQ_SCHEMA,
+            "trace_id": record.trace_id,
+            "session": record.session,
+            "command": record.command,
+            "duration_ms": record.duration_ms,
+            "threshold_ms": record.threshold_ms,
+            "status": record.status,
+            "spans": len(record.spans),
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        for span in record.spans:
+            lines.append(json.dumps({"kind": "span", **span},
+                                    sort_keys=True))
+        if self.profiler is not None:
+            for sample in self.profiler.slice(
+                    record.start_ns, record.end_ns,
+                    trace_id=record.trace_id):
+                lines.append(json.dumps({"kind": "profile", **sample},
+                                        sort_keys=True))
+        if self.flight is not None:
+            for flight_record in self.flight.records():
+                lines.append(json.dumps(
+                    {"kind": "flight", "record": flight_record},
+                    sort_keys=True, default=str))
+        path.write_text("\n".join(lines) + "\n")
+        self.captures.append(path)
+        return path
+
+    # -- tracer taps -------------------------------------------------------
+
+    def attach(self, tracer: Tracer) -> "RequestLog":
+        tracer.add_sink(self)
+        self._attached.append(tracer)
+        return self
+
+    def detach(self, tracer: Tracer | None = None) -> None:
+        targets = [tracer] if tracer is not None else list(self._attached)
+        for target in targets:
+            target.remove_sink(self)
+            if target in self._attached:
+                self._attached.remove(target)
+
+    # -- inspection --------------------------------------------------------
+
+    def requests(self, limit: int | None = None) -> list[RequestRecord]:
+        """Finished requests, newest first."""
+        with self._lock:
+            records = list(self._records)
+        records.reverse()
+        return records[:limit] if limit is not None else records
+
+    def record(self, trace_id: str) -> RequestRecord | None:
+        with self._lock:
+            return self._by_trace.get(trace_id)
+
+    def trace(self, trace_id: str) -> dict[str, Any] | None:
+        """The ``/debug/trace`` document: record summary + full span tree."""
+        found = self.record(trace_id)
+        if found is None:
+            return None
+        return {
+            "trace_id": trace_id,
+            "request": found.as_dict(),
+            "spans": found.spans,
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __bool__(self) -> bool:
+        # Sized, but an empty log is still a log: never let ``if log:``
+        # mean "has records".
+        return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._by_trace.clear()
+            self._open.clear()
+
+    def __repr__(self) -> str:
+        return (f"RequestLog({len(self)} records, "
+                f"{self.slow_requests} slow)")

@@ -267,6 +267,30 @@ class MetricsRecorder:
         self.stop(final_sample=exc_type is None)
         return False
 
+    def prune_label(self, label: Any) -> int:
+        """Drop every retained series (and derived-series state) for a label.
+
+        The recorder-side half of the session-cardinality fix: series keys
+        are ``metric|label[|qualifier]``, so pruning matches on the label
+        segment and also clears the counter delta/rate bookkeeping
+        (``_prev_counts`` / ``_derived_keys``) so a recycled label starts
+        from a clean slate.  Returns the number of series removed.
+        """
+        wanted = str(label)
+
+        def matches(key: str) -> bool:
+            parts = key.split("|")
+            return len(parts) > 1 and parts[1] == wanted
+
+        with self._lock:
+            doomed = [key for key in self._series if matches(key)]
+            for key in doomed:
+                del self._series[key]
+            for table in (self._prev_counts, self._derived_keys):
+                for key in [key for key in table if matches(key)]:
+                    del table[key]
+        return len(doomed)
+
     # -- access -----------------------------------------------------------
 
     def series(self, key: str) -> TimeSeries | None:

@@ -1,8 +1,8 @@
 """Nested-span tracing: the timeline half of the observability layer.
 
 A :class:`Tracer` records a tree of :class:`Span` records (monotonic clocks,
-thread-safe, one tree per thread via a thread-local span stack) plus point
-:class:`TraceEvent` records.  Instrumented code does::
+thread-safe, one tree per execution context via a ``contextvars`` span
+stack) plus point :class:`TraceEvent` records.  Instrumented code does::
 
     tracer = current_tracer()
     if tracer.enabled:
@@ -13,6 +13,21 @@ The ``enabled`` guard is the whole overhead story: a disabled tracer's
 ``span()`` returns one shared no-op singleton, so hot paths that pre-check
 ``enabled`` pay a single attribute read and hot paths that don't pay only
 the kwargs packing — nothing is recorded, nothing retained, no locks taken.
+
+Request scope: a :class:`TraceContext` names one dispatched command — a
+trace id, the span to parent under, the session and command kind.  Context
+variables do **not** flow into ``run_in_executor`` threads, so code that
+moves a request across threads (the server's thread pool) carries the
+context explicitly and re-activates it with :meth:`Tracer.adopt`::
+
+    ctx = current_trace_context()          # on the dispatching thread
+    ...                                    # hop to a pool worker
+    with tracer.adopt(ctx):                # spans now join the request tree
+        session.execute(command)
+
+Every span carries the active ``trace_id``, so exporters (and the
+``/debug/trace`` endpoint) can reassemble one connected request tree even
+when its spans ran on three different threads.
 
 One process-global tracer (disabled by default) backs ``REPRO_TRACE=1`` env
 activation and the CLI; :func:`push_tracer` installs a different tracer for
@@ -27,13 +42,16 @@ from __future__ import annotations
 
 import os
 import threading
+import uuid
 from contextlib import contextmanager
+from contextvars import ContextVar
 from time import perf_counter_ns
 from typing import Any, Iterator
 
 __all__ = [
     "Span",
     "TraceEvent",
+    "TraceContext",
     "Tracer",
     "NULL_SPAN",
     "current_tracer",
@@ -41,7 +59,98 @@ __all__ = [
     "push_tracer",
     "tracing",
     "install_from_env",
+    "current_trace_context",
+    "thread_trace_contexts",
 ]
+
+
+class TraceContext:
+    """The identity of one dispatched request, carried across threads.
+
+    ``trace_id`` is the request's correlation id (hex, client-suppliable on
+    the wire); ``parent_span_id`` is the span new work should parent under
+    (None at the root); ``session`` and ``command`` are attribution for
+    profilers and logs.  Instances are immutable — derive with
+    :meth:`child_of`.
+    """
+
+    __slots__ = ("trace_id", "parent_span_id", "session", "command")
+
+    def __init__(self, trace_id: str, parent_span_id: int | None = None,
+                 session: str | None = None, command: str | None = None):
+        object.__setattr__(self, "trace_id", trace_id)
+        object.__setattr__(self, "parent_span_id", parent_span_id)
+        object.__setattr__(self, "session", session)
+        object.__setattr__(self, "command", command)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("TraceContext is immutable")
+
+    @classmethod
+    def new(cls, session: str | None = None,
+            command: str | None = None) -> "TraceContext":
+        """Mint a fresh context with a random trace id."""
+        return cls(uuid.uuid4().hex[:16], None, session, command)
+
+    def child_of(self, span: "Span") -> "TraceContext":
+        """The context for work dispatched from under ``span``."""
+        return TraceContext(self.trace_id, span.span_id,
+                            self.session, self.command)
+
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-safe dict form (the optional ``trace`` command field)."""
+        wire: dict[str, Any] = {"trace_id": self.trace_id}
+        if self.parent_span_id is not None:
+            wire["parent_span_id"] = self.parent_span_id
+        if self.session is not None:
+            wire["session"] = self.session
+        if self.command is not None:
+            wire["command"] = self.command
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "TraceContext":
+        """Rebuild a context from its dict form; tolerant of extras."""
+        trace_id = str(wire.get("trace_id") or uuid.uuid4().hex[:16])
+        parent = wire.get("parent_span_id")
+        return cls(
+            trace_id,
+            int(parent) if parent is not None else None,
+            wire.get("session"),
+            wire.get("command"),
+        )
+
+    def __repr__(self) -> str:
+        return (f"TraceContext({self.trace_id!r}, parent="
+                f"{self.parent_span_id}, session={self.session!r}, "
+                f"command={self.command!r})")
+
+
+#: The open-span stack for the current execution context.  One module-level
+#: ContextVar (not per-tracer) so asyncio tasks inherit and isolate stacks
+#: naturally; entries remember their tracer, so a pushed benchmark tracer
+#: never parents under a foreign tracer's open span.
+_SPAN_STACK: ContextVar[tuple["Span", ...]] = ContextVar(
+    "repro-span-stack", default=())
+
+#: The adopted request context for the current execution context.
+_TRACE_CONTEXT: ContextVar[TraceContext | None] = ContextVar(
+    "repro-trace-context", default=None)
+
+#: thread id -> adopted TraceContext, for samplers that only see thread ids
+#: (``sys._current_frames``).  Guarded by the GIL-atomic dict ops plus
+#: best-effort semantics: the profiler tolerates a stale entry.
+_THREAD_CONTEXTS: dict[int, TraceContext] = {}
+
+
+def current_trace_context() -> TraceContext | None:
+    """The request context adopted in this execution context, if any."""
+    return _TRACE_CONTEXT.get()
+
+
+def thread_trace_contexts() -> dict[int, TraceContext]:
+    """Snapshot of thread id → adopted request context (profiler hook)."""
+    return dict(_THREAD_CONTEXTS)
 
 
 class Span:
@@ -53,8 +162,8 @@ class Span:
     """
 
     __slots__ = (
-        "name", "span_id", "parent_id", "start_ns", "end_ns", "attrs",
-        "thread_id", "_tracer",
+        "name", "span_id", "parent_id", "trace_id", "start_ns", "end_ns",
+        "attrs", "thread_id", "thread_name", "_tracer",
     )
 
     def __init__(
@@ -68,8 +177,11 @@ class Span:
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
+        self.trace_id: str | None = None
         self.attrs = attrs
-        self.thread_id = threading.get_ident()
+        current = threading.current_thread()
+        self.thread_id = current.ident or threading.get_ident()
+        self.thread_name = current.name
         self.start_ns = 0
         self.end_ns: int | None = None
         self._tracer = tracer
@@ -119,6 +231,7 @@ class _NullSpan:
     name = ""
     span_id = 0
     parent_id = None
+    trace_id = None
     attrs: dict[str, Any] = {}
 
     def set(self, **attrs: Any) -> "_NullSpan":
@@ -160,8 +273,11 @@ class Tracer:
     ``max_spans`` bounds retention so a tracer attached to a benchmark loop
     cannot grow without limit; completed spans beyond the cap are counted in
     ``dropped`` instead of stored.  All mutation of the finished lists is
-    lock-guarded; the open-span stack is thread-local, so concurrent threads
-    each build their own subtree.
+    lock-guarded; the open-span stack lives in a ``contextvars`` variable,
+    so concurrent threads — and concurrent asyncio tasks on one thread —
+    each build their own subtree.  :meth:`adopt` re-activates a request's
+    :class:`TraceContext` on a pool worker, which context variables alone
+    cannot do (``run_in_executor`` does not propagate context).
     """
 
     def __init__(self, enabled: bool = True, max_spans: int = 200_000):
@@ -171,7 +287,6 @@ class Tracer:
         self.spans: list[Span] = []
         self.events: list[TraceEvent] = []
         self._lock = threading.Lock()
-        self._local = threading.local()
         self._next_id = 1
         #: perf_counter_ns origin, set lazily on first span/event so all
         #: exported timestamps are small non-negative offsets.
@@ -208,6 +323,38 @@ class Tracer:
             self._next_id += 1
         return Span(self, name, span_id, None, attrs)
 
+    # -- request adoption --------------------------------------------------
+
+    def context(self) -> TraceContext | None:
+        """The adopted request context in this execution context, if any."""
+        return _TRACE_CONTEXT.get()
+
+    @contextmanager
+    def adopt(self, ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+        """Re-activate a request's context on this thread/task.
+
+        Inside the block, spans with no in-context parent attach under
+        ``ctx.parent_span_id`` and inherit ``ctx.trace_id``; the thread is
+        registered in :func:`thread_trace_contexts` so samplers can
+        attribute its stacks to the request.  ``ctx=None`` is a no-op block
+        (callers need not branch).  Nesting restores the previous context.
+        """
+        if ctx is None:
+            yield None
+            return
+        token = _TRACE_CONTEXT.set(ctx)
+        tid = threading.get_ident()
+        previous = _THREAD_CONTEXTS.get(tid)
+        _THREAD_CONTEXTS[tid] = ctx
+        try:
+            yield ctx
+        finally:
+            _TRACE_CONTEXT.reset(token)
+            if previous is None:
+                _THREAD_CONTEXTS.pop(tid, None)
+            else:
+                _THREAD_CONTEXTS[tid] = previous
+
     def event(self, name: str, **attrs: Any) -> None:
         """Record an instant event under the current span."""
         if not self.enabled:
@@ -230,21 +377,30 @@ class Tracer:
                 sink(record)
 
     def current(self) -> Span | None:
-        """The innermost open span on this thread, if any."""
-        stack = getattr(self._local, "stack", None)
-        if stack:
-            return stack[-1]
+        """The innermost open span of this tracer in this context, if any."""
+        for span in reversed(_SPAN_STACK.get()):
+            if span._tracer is self:
+                return span
         return None
 
     # -- span lifecycle (called by Span) ----------------------------------
 
     def _enter(self, span: Span) -> None:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        if span.parent_id is None and stack:
-            span.parent_id = stack[-1].span_id
-        stack.append(span)
+        stack = _SPAN_STACK.get()
+        if span.parent_id is None:
+            # Parent under this tracer's innermost open span; a pushed
+            # benchmark tracer must not adopt a foreign tracer's tree.
+            for open_span in reversed(stack):
+                if open_span._tracer is self:
+                    span.parent_id = open_span.span_id
+                    span.trace_id = open_span.trace_id
+                    break
+            else:
+                ctx = _TRACE_CONTEXT.get()
+                if ctx is not None:
+                    span.parent_id = ctx.parent_span_id
+                    span.trace_id = ctx.trace_id
+        _SPAN_STACK.set(stack + (span,))
         span.start_ns = perf_counter_ns()
         if self.origin_ns is None:
             with self._lock:
@@ -253,17 +409,16 @@ class Tracer:
 
     def _exit(self, span: Span) -> None:
         span.end_ns = perf_counter_ns()
-        stack = getattr(self._local, "stack", None)
+        stack = _SPAN_STACK.get()
         if stack:
             # Normally a plain pop; generator-driven spans (plan nodes) can
             # finalize out of order, so remove by identity when needed.
             if stack[-1] is span:
-                stack.pop()
+                _SPAN_STACK.set(stack[:-1])
             else:
-                try:
-                    stack.remove(span)
-                except ValueError:  # pragma: no cover - foreign span
-                    pass
+                _SPAN_STACK.set(tuple(
+                    open_span for open_span in stack
+                    if open_span is not span))
         with self._lock:
             if len(self.spans) < self.max_spans:
                 self.spans.append(span)

@@ -15,6 +15,7 @@ diagnostic a local call raises.
 from __future__ import annotations
 
 import base64
+import dataclasses
 import json
 import threading
 import time
@@ -22,6 +23,7 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import TiogaError
+from repro.obs.trace import TraceContext, current_tracer
 from repro.protocol.errors import ProtocolError, error_code_for
 from repro.protocol.messages import (
     FRAME_FORMATS,
@@ -129,18 +131,71 @@ class CommandExecutor:
 
     def run(self, command: Command) -> Any:
         """Execute a command and return its rich result; raises
-        :class:`TiogaError` exactly as the equivalent imperative call."""
+        :class:`TiogaError` exactly as the equivalent imperative call.
+
+        When the current tracer is enabled, every dispatch runs inside a
+        ``request.<kind>`` span under a :class:`TraceContext` — adopted
+        from the caller when one is active (the server's pool workers), or
+        minted here (in-process sessions), so engine/plan/render/lineage
+        spans attach to one connected request tree either way.  Disabled
+        tracers pay a single attribute check.
+        """
         handler = self._HANDLERS.get(type(command))
         if handler is None:
             raise ProtocolError(
                 f"unknown command kind {getattr(command, 'kind', None)!r}",
                 code="T2-E511",
             )
-        return handler(self, command)
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return handler(self, command)
+        ctx = self.trace_context_for(command, tracer)
+        attrs: dict[str, Any] = {"command": command.kind}
+        if ctx.session is not None:
+            attrs["session"] = ctx.session
+        window = getattr(command, "window", None)
+        if window:
+            attrs["window"] = window
+        with tracer.adopt(ctx):
+            with tracer.span(f"request.{command.kind}", **attrs):
+                return handler(self, command)
+
+    def trace_context_for(self, command: Command,
+                          tracer=None) -> TraceContext:
+        """The request context this dispatch will run under: the already
+        adopted one, else the client-supplied ``trace`` wire field, else a
+        freshly minted id."""
+        tracer = tracer if tracer is not None else current_tracer()
+        ctx = tracer.context()
+        if ctx is not None:
+            return ctx
+        wire = getattr(command, "trace", None)
+        if wire:
+            return TraceContext.from_wire(wire)
+        return TraceContext.new(command=command.kind)
 
     def execute(self, command: Command) -> Response:
         """Execute a command and return a wire-safe response (never raises
-        for Tioga-level failures — they become :class:`ErrorReply`)."""
+        for Tioga-level failures — they become :class:`ErrorReply`).
+
+        Responses carry the request's ``trace_id`` so remote clients can
+        quote it back at ``/debug/trace`` (and correlate their own logs)."""
+        tracer = current_tracer()
+        trace_id: str | None = None
+        if tracer.enabled:
+            # Resolve (and adopt) the context up front so the id stamped on
+            # the response is the one run() traces under.
+            ctx = self.trace_context_for(command, tracer)
+            trace_id = ctx.trace_id
+            with tracer.adopt(ctx):
+                response = self._execute_raw(command)
+        else:
+            response = self._execute_raw(command)
+        if trace_id is not None:
+            response = dataclasses.replace(response, trace_id=trace_id)
+        return response
+
+    def _execute_raw(self, command: Command) -> Response:
         try:
             result = self.run(command)
             wire = self._WIRE.get(type(command), CommandExecutor._wire_reply)

@@ -73,7 +73,12 @@ class Command:
 
     ``seq`` is an optional client correlation id: servers echo it back as
     ``reply_to`` on the response so pipelined clients can match answers to
-    questions.
+    questions.  ``trace`` is an optional wire form of a
+    :class:`~repro.obs.trace.TraceContext` (``{"trace_id": ...}``): clients
+    that already carry a distributed trace attach it so the server joins
+    their trace instead of minting a fresh id; responses echo the id back
+    as ``trace_id``.  Both fields are append-only protocol extensions with
+    defaults — a version-1 peer that never sends them is unaffected.
     """
 
     kind: ClassVar[str] = ""
@@ -87,6 +92,7 @@ class OpenProgram(Command):
     kind: ClassVar[str] = "open_program"
     name: str = ""
     seq: int | None = None
+    trace: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -101,6 +107,7 @@ class AddViewer(Command):
     height: int = 480
     world_per_elevation: float = 1.0
     seq: int | None = None
+    trace: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -113,6 +120,7 @@ class Pan(Command):
     dy: float = 0.0
     member: str | None = None
     seq: int | None = None
+    trace: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -125,6 +133,7 @@ class PanTo(Command):
     cy: float = 0.0
     member: str | None = None
     seq: int | None = None
+    trace: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -136,6 +145,7 @@ class Zoom(Command):
     factor: float = 1.0
     member: str | None = None
     seq: int | None = None
+    trace: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -147,6 +157,7 @@ class SetElevation(Command):
     elevation: float = 100.0
     member: str | None = None
     seq: int | None = None
+    trace: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -160,6 +171,7 @@ class SetSlider(Command):
     high: float = 0.0
     member: str | None = None
     seq: int | None = None
+    trace: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -177,6 +189,7 @@ class Render(Command):
     format: str = "ppm"
     cull: bool = True
     seq: int | None = None
+    trace: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -188,6 +201,7 @@ class Pick(Command):
     px: float = 0.0
     py: float = 0.0
     seq: int | None = None
+    trace: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -199,6 +213,7 @@ class Why(Command):
     px: float = 0.0
     py: float = 0.0
     seq: int | None = None
+    trace: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -208,6 +223,7 @@ class Explain(Command):
     kind: ClassVar[str] = "explain"
     box_id: int | None = None
     seq: int | None = None
+    trace: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -216,6 +232,7 @@ class Stats(Command):
 
     kind: ClassVar[str] = "stats"
     seq: int | None = None
+    trace: dict | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -242,6 +259,7 @@ class Reply(Response):
     command: str = ""
     result: Any = None
     reply_to: int | None = None
+    trace_id: str | None = None
 
 
 @dataclass(frozen=True)
@@ -260,6 +278,7 @@ class ErrorReply(Response):
     message: str = ""
     command: str | None = None
     reply_to: int | None = None
+    trace_id: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -291,6 +310,7 @@ class FrameReply(Response):
     cache_hits: int = 0
     cache_misses: int = 0
     reply_to: int | None = None
+    trace_id: str | None = None
 
     def data_bytes(self) -> bytes:
         """The decoded image payload (empty for ``ops`` frames)."""

@@ -16,6 +16,26 @@ Endpoints (all on one port):
 - ``POST /api/command?session=ID`` — execute one JSON command, JSON reply.
 - ``GET /ws[?session=ID]`` — WebSocket: server sends a ``welcome``, then
   each text frame in is one command, each text frame out one response.
+- ``GET /debug/requests[?limit=N]`` — recent finished requests (id,
+  command, session, latency, SLO verdict), newest first.
+- ``GET /debug/trace?id=TRACE`` — one request's connected span tree.
+- ``GET /debug/profile[?seconds=N]`` — profiler snapshot (collapsed
+  stacks, per-thread/per-request sample counts) for the trailing window.
+- ``GET /debug/sessions`` — per-session liveness (refs, idle, windows).
+
+Observability: every dispatched command runs under a
+:class:`~repro.obs.trace.TraceContext` minted on arrival.  The asyncio
+thread opens the ``server.dispatch`` root span, and the pool worker
+*adopts* the context (``run_in_executor`` does not propagate contextvars),
+so engine/plan/render/lineage spans from the worker attach to the same
+tree — one connected trace per request, retrievable by id while it stays
+in the :class:`~repro.obs.requests.RequestLog` ring.  A continuous
+statistical profiler (:class:`~repro.obs.profiler.Profiler`) samples all
+threads and attributes stacks to adopted requests; requests that exceed
+their per-command SLO are captured to JSONL (span tree + profile slice +
+flight-recorder ring) under ``slow_dir``.  The access log
+(:data:`~repro.obs.log.ACCESS_LOGGER`) emits one structured JSON record
+per HTTP request and per executed command, correlated by trace id.
 
 Session lifetime: WebSocket-created sessions die with their connection.
 HTTP-created (or adopted) sessions are reclaimed by an idle sweep — a
@@ -47,6 +67,7 @@ import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
@@ -55,8 +76,12 @@ from repro.dbms.catalog import Database
 from repro.dbms.plan_parallel import resolve_config, set_default_config
 from repro.errors import TiogaError
 from repro.obs.flightrec import current_flight_recorder
+from repro.obs.log import ACCESS_LOGGER, get_logger
 from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.profiler import Profiler
+from repro.obs.requests import RequestLog, RequestRecord
 from repro.obs.timeseries import MetricsRecorder
+from repro.obs.trace import TraceContext, Tracer, set_tracer
 from repro.protocol import (
     PROTOCOL_VERSION,
     Command,
@@ -82,6 +107,10 @@ DEFAULT_MAX_QUEUE = 32
 #: the expiry behind the ``T2-E512`` "unknown or expired session" code.
 DEFAULT_SESSION_TTL = 900.0
 
+#: Default continuous-profiler sampling rate (Hz); 0 disables the sampler.
+#: 67 deliberately avoids aliasing with common 10ms-periodic work.
+DEFAULT_PROFILE_HZ = 67.0
+
 
 def register_server_metrics(registry: MetricsRegistry) -> None:
     """Pre-register the server metric family (idempotent).
@@ -99,6 +128,8 @@ def register_server_metrics(registry: MetricsRegistry) -> None:
                      "intermediate frames coalesced under backpressure")
     registry.counter("server.errors",
                      "failed commands, labeled by protocol error code")
+    registry.counter("server.slow_requests",
+                     "requests over their latency SLO, labeled by command")
 
 
 class _ServerSession:
@@ -186,6 +217,10 @@ class TiogaServer:
         registry: MetricsRegistry | None = None,
         flight_dump: str | None = None,
         session_ttl: float | None = DEFAULT_SESSION_TTL,
+        request_tracing: bool = True,
+        profile_hz: float = DEFAULT_PROFILE_HZ,
+        slo_ms: dict[str, float] | None = None,
+        slow_dir: str | None = None,
     ):
         if database is None:
             from repro.data.weather import build_weather_database
@@ -209,6 +244,27 @@ class TiogaServer:
         self._connections: set[asyncio.Task] = set()
         self._previous_config: Any = None
         self._recorder = MetricsRecorder(self.registry)
+        #: Request observability: the server owns a tracer (installed as the
+        #: process tracer while running), a continuous profiler, and the
+        #: request log wiring them to SLO verdicts and slow-request capture.
+        self.request_tracing = request_tracing
+        self.tracer: Tracer | None = (
+            Tracer(enabled=True, max_spans=50_000) if request_tracing
+            else None)
+        self.profiler: Profiler | None = (
+            Profiler(hz=profile_hz) if profile_hz and profile_hz > 0
+            else None)
+        self.request_log: RequestLog | None = None
+        if request_tracing:
+            self.request_log = RequestLog(
+                slo_ms=slo_ms,
+                capture_dir=slow_dir,
+                profiler=self.profiler,
+                flight=current_flight_recorder(),
+                on_slow=self._note_slow_request,
+            )
+        self._previous_tracer: Tracer | None = None
+        self._access = get_logger(ACCESS_LOGGER)
         #: Encoded frames shared by every hosted session: fifty viewers on
         #: one view rasterize once (see :class:`repro.protocol.FrameCache`).
         self.frame_cache = FrameCache()
@@ -261,8 +317,15 @@ class TiogaServer:
         return held
 
     def drop_session(self, sid: str) -> None:
-        self.sessions.pop(sid, None)
+        dropped = self.sessions.pop(sid, None)
         self.registry.gauge("server.sessions").set(len(self.sessions))
+        if dropped is not None:
+            # Session-label cardinality hygiene: a dead session's per-label
+            # series (server.commands{sid}, server.frame_ms{sid}, ...) would
+            # otherwise live in every future /metrics scrape; prune them
+            # from the registry and the recorder's time series in one go.
+            self.registry.prune_label(sid)
+            self._recorder.prune_label(sid)
 
     def session(self, sid: str) -> _ServerSession:
         try:
@@ -313,10 +376,30 @@ class TiogaServer:
     # Command execution (thread pool, per-session lock)
     # ------------------------------------------------------------------
 
-    def _execute_sync(self, held: _ServerSession, command: Command) -> Response:
+    def _note_slow_request(self, record: RequestRecord) -> None:
+        self.registry.counter("server.slow_requests").inc(
+            label=record.command)
+        self._access.warning(
+            "slow request", extra={
+                "trace_id": record.trace_id,
+                "session": record.session,
+                "command": record.command,
+                "duration_ms": record.duration_ms,
+                "threshold_ms": record.threshold_ms,
+                "capture": record.capture_path,
+            })
+
+    def _execute_sync(self, held: _ServerSession, command: Command,
+                      ctx: TraceContext | None = None) -> Response:
         started = time.perf_counter()
         held.touch()
-        with held.lock:
+        # Adopt the request's context on this pool thread: contextvars do
+        # not cross run_in_executor, so without this the worker's spans
+        # would start a fresh tree instead of attaching under the asyncio
+        # thread's server.dispatch root.
+        scope = (self.tracer.adopt(ctx) if self.tracer is not None
+                 else nullcontext())
+        with scope, held.lock:
             try:
                 response = held.session.execute(command)
             except TiogaError as exc:
@@ -358,9 +441,47 @@ class TiogaServer:
         return response
 
     async def execute(self, held: _ServerSession, command: Command) -> Response:
+        """Run one command for a session: mint the request's trace, open the
+        ``server.dispatch`` root span on the asyncio thread, and hand the
+        context to the pool worker for adoption."""
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
-            self._pool, self._execute_sync, held, command)
+        if self.tracer is None:
+            return await loop.run_in_executor(
+                self._pool, self._execute_sync, held, command, None)
+        ctx = self._mint_context(held, command)
+        started = time.perf_counter()
+        with self.tracer.adopt(ctx):
+            with self.tracer.span(
+                    "server.dispatch", command=command.kind,
+                    session=held.sid) as span:
+                response = await loop.run_in_executor(
+                    self._pool, self._execute_sync, held, command,
+                    ctx.child_of(span))
+        self._access.info(
+            "command", extra={
+                "trace_id": ctx.trace_id,
+                "session": held.sid,
+                "command": command.kind,
+                "ok": response.ok,
+                "duration_ms": round(
+                    (time.perf_counter() - started) * 1000.0, 3),
+            })
+        return response
+
+    def _mint_context(self, held: _ServerSession,
+                      command: Command) -> TraceContext:
+        """The request's TraceContext: join the client's distributed trace
+        when the command carries one, else mint a fresh id — always stamped
+        with this server's session and command kind."""
+        wire = getattr(command, "trace", None)
+        if wire:
+            try:
+                client = TraceContext.from_wire(wire)
+                return TraceContext(client.trace_id, client.parent_span_id,
+                                    held.sid, command.kind)
+            except TiogaError:
+                pass  # malformed client trace never fails the command
+        return TraceContext.new(session=held.sid, command=command.kind)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -371,11 +492,26 @@ class TiogaServer:
         # Cross-session cache sharing: every hosted session executes under
         # a caching config, restored on stop.
         self._previous_config = set_default_config(resolve_config(cache=True))
+        if self.tracer is not None:
+            # The engine/render layers trace through the process tracer;
+            # installing ours for the server's lifetime is what stitches
+            # their spans into our request trees.  Restored on stop.
+            self._previous_tracer = set_tracer(self.tracer)
+            self.request_log.attach(self.tracer)
+        if self.profiler is not None and not self.profiler.running:
+            self.profiler.start()
         self._asyncio_server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._asyncio_server.sockets[0].getsockname()[1]
         if self.session_ttl and self.session_ttl > 0:
             self._sweeper = asyncio.create_task(self._sweep_idle_sessions())
+        self._access.info(
+            "server started", extra={
+                "host": self.host, "port": self.port,
+                "database": self.database.name,
+                "profiler_hz": (self.profiler.hz
+                                if self.profiler is not None else 0),
+            })
 
     async def stop(self) -> None:
         if self._sweeper is not None:
@@ -395,6 +531,15 @@ class TiogaServer:
         self._connections.clear()
         self._pool.shutdown(wait=True)
         set_default_config(self._previous_config)
+        if self.profiler is not None:
+            self.profiler.stop()
+        if self.tracer is not None:
+            self.request_log.detach(self.tracer)
+            if self._previous_tracer is not None:
+                set_tracer(self._previous_tracer)
+                self._previous_tracer = None
+        for sid in list(self.sessions):
+            self.drop_session(sid)
         self.sessions.clear()
         self.registry.gauge("server.sessions").set(0)
 
@@ -510,9 +655,72 @@ class TiogaServer:
             await self._send_response(
                 writer, status, encode_response(response).encode("utf-8"),
                 "application/json")
+        elif method == "GET" and path.startswith("/debug/"):
+            await self._handle_debug(writer, path, query)
         else:
             await self._send_json(writer, 404, {
                 "ok": False, "error": f"no route {method} {path}"})
+        if path != "/api/command":  # commands log via execute()
+            self._access.info(
+                "http", extra={"method": method, "path": path})
+
+    # -- debug surface -------------------------------------------------
+
+    async def _handle_debug(self, writer: asyncio.StreamWriter, path: str,
+                            query: dict[str, list[str]]) -> None:
+        """The ``/debug/*`` read-only observability surface."""
+        if path == "/debug/requests" and self.request_log is not None:
+            try:
+                limit = int((query.get("limit") or ["50"])[0])
+            except ValueError:
+                limit = 50
+            await self._send_json(writer, 200, {
+                "total": self.request_log.total_requests,
+                "slow": self.request_log.slow_requests,
+                "requests": [r.as_dict() for r in
+                             self.request_log.requests(limit=limit)],
+            })
+        elif path == "/debug/trace" and self.request_log is not None:
+            trace_id = (query.get("id") or [""])[0]
+            doc = self.request_log.trace(trace_id) if trace_id else None
+            if doc is None:
+                await self._send_json(writer, 404, {
+                    "ok": False,
+                    "error": f"no retained request trace {trace_id!r}",
+                })
+            else:
+                await self._send_json(writer, 200, doc)
+        elif path == "/debug/profile" and self.profiler is not None:
+            seconds: float | None = None
+            raw = (query.get("seconds") or [""])[0]
+            if raw:
+                try:
+                    seconds = float(raw)
+                except ValueError:
+                    seconds = None
+            await self._send_json(
+                writer, 200, self.profiler.snapshot(seconds=seconds))
+        elif path == "/debug/sessions":
+            now = time.monotonic()
+            await self._send_json(writer, 200, {
+                "sessions": [
+                    {
+                        "session": held.sid,
+                        "refs": held.refs,
+                        "idle_s": round(now - held.last_used, 3),
+                        "program": (held.session.program.name
+                                    if held.session.program else None),
+                        "windows": sorted(held.session.windows),
+                    }
+                    for _, held in sorted(self.sessions.items())
+                ],
+            })
+        else:
+            await self._send_json(writer, 404, {
+                "ok": False,
+                "error": f"no debug route {path} "
+                         "(tracing or profiling may be disabled)",
+            })
 
     async def _execute_wire(self, sid: str, payload: bytes) -> Response:
         try:

@@ -164,6 +164,91 @@ class TestDeclarations:
             assert table[name] == "counter"
 
 
+class TestRemoveLabel:
+    """The session-cardinality fix: pruning a label must not make any
+    counter-like total go backwards (MetricsRecorder derives deltas/rates
+    from totals), so counters and histograms fold into the aggregate."""
+
+    def test_counter_folds_removed_series_into_aggregate(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.inc(5, label="sid-1")
+        counter.inc(2, label="sid-2")
+        assert counter.remove_label("sid-1") is True
+        assert "sid-1" not in counter.values
+        assert counter.value() == 8  # 3 + folded 5
+        assert counter.value("sid-2") == 2
+        assert counter.total() == 10  # monotone across the prune
+        assert counter.remove_label("sid-1") is False
+
+    def test_counter_remove_unlabeled_series_discards(self):
+        counter = Counter("c")
+        counter.inc(4)
+        assert counter.remove_label(None) is True
+        assert counter.total() == 0
+
+    def test_gauge_drop_is_plain_removal(self):
+        gauge = Gauge("g")
+        gauge.set(1.0)
+        gauge.set(9.0, label="sid-1")
+        assert gauge.remove_label("sid-1") is True
+        # Last-write-wins semantics: folding a dead gauge into the
+        # aggregate would fabricate a reading, so the series just goes.
+        assert gauge.value() == 1.0
+        assert "sid-1" not in gauge.snapshot()["by_label"]
+        assert gauge.remove_label("missing") is False
+
+    def test_histogram_folds_buckets_and_stats(self):
+        hist = Histogram("h", buckets=[1.0, 10.0])
+        hist.observe(0.5)
+        hist.observe(5.0, label="sid-1")
+        hist.observe(200.0, label="sid-1")
+        assert hist.remove_label("sid-1") is True
+        assert hist.count() == 3
+        snap = hist.snapshot()["by_label"]
+        assert list(snap) == ["_total"]
+        agg = snap["_total"]
+        assert agg["buckets"] == {"1.0": 1, "10.0": 1, "+inf": 1}
+        assert agg["min"] == 0.5 and agg["max"] == 200.0
+        assert agg["sum"] == pytest.approx(205.5)
+
+    def test_histogram_fold_into_empty_aggregate(self):
+        hist = Histogram("h", buckets=[1.0])
+        hist.observe(0.5, label="sid-1")
+        assert hist.remove_label("sid-1") is True
+        assert hist.count() == 1
+        assert hist.mean() == pytest.approx(0.5)
+
+    def test_registry_prune_label_sweeps_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("test.prune.cmds").inc(label="sid-9")
+        registry.histogram("test.prune.ms",
+                           buckets=[10.0]).observe(3.0, label="sid-9")
+        registry.gauge("test.prune.depth").set(2.0, label="sid-9")
+        registry.counter("test.prune.other").inc(label="elsewhere")
+        assert registry.prune_label("sid-9") == 3
+        assert registry.prune_label("sid-9") == 0
+        assert registry.counter("test.prune.cmds").total() == 1
+        assert "sid-9" not in registry.counter("test.prune.cmds").values
+
+    def test_recorder_prune_label_clears_series_and_derived_state(self):
+        from repro.obs import MetricsRecorder
+
+        registry = MetricsRegistry()
+        registry.counter("test.prune.rec").inc(5, label="sid-3")
+        recorder = MetricsRecorder(registry=registry)
+        recorder.sample()
+        assert recorder.series("test.prune.rec|sid-3") is not None
+        removed = recorder.prune_label("sid-3")
+        assert removed >= 1
+        assert recorder.series("test.prune.rec|sid-3") is None
+        # After the registry-side prune, the next sample derives from the
+        # folded aggregate without a negative delta blowing up.
+        registry.prune_label("sid-3")
+        recorder.sample()
+        assert recorder.series("test.prune.rec|sid-3") is None
+
+
 def test_global_registry_is_a_singleton():
     assert global_registry() is global_registry()
     assert isinstance(global_registry(), MetricsRegistry)

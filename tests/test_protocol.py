@@ -32,6 +32,7 @@ from repro.errors import (
     UpdateError,
     ViewerError,
 )
+from repro.obs.trace import TraceContext, Tracer, push_tracer
 from repro.protocol import (
     COMMAND_KINDS,
     PROTOCOL_CODES,
@@ -39,10 +40,12 @@ from repro.protocol import (
     RESPONSE_KINDS,
     ErrorReply,
     FrameReply,
+    Pan,
     ProtocolError,
     Render,
     Reply,
     SetSlider,
+    Stats,
     Welcome,
     decode_command,
     decode_response,
@@ -270,6 +273,55 @@ def test_render_format_validation(fig4_session):
     response = fig4_session.execute(Render(window="stations", format="webp"))
     assert isinstance(response, ErrorReply)
     assert response.code == "T2-E510"
+
+
+# ---------------------------------------------------------------------------
+# Trace propagation: the PR-10 append-only wire extension
+# ---------------------------------------------------------------------------
+
+
+def test_trace_context_rides_the_command_wire():
+    ctx = TraceContext.new(session="s-1", command="pan")
+    command = Pan(window="w", dx=1.0, dy=2.0, trace=ctx.to_wire())
+    decoded = decode_command(encode_command(command))
+    assert decoded == command
+    joined = TraceContext.from_wire(decoded.trace)
+    assert joined.trace_id == ctx.trace_id
+    assert joined.session == "s-1"
+
+
+def test_old_wire_without_trace_still_decodes():
+    # Backward compatibility: pre-PR-10 peers never send the field; the
+    # command decodes with trace=None and responses with trace_id=None.
+    command = decode_command('{"v": 1, "kind": "pan", "window": "w"}')
+    assert command.trace is None
+    envelope = json.loads(encode_response(Reply(command="pan")))
+    del envelope["trace_id"]
+    response = decode_response(json.dumps(envelope))
+    assert response.trace_id is None
+
+
+def test_executor_stamps_reply_trace_id_under_tracing(fig4_session):
+    with push_tracer(Tracer(enabled=True)):
+        response = fig4_session.execute(Stats())
+        assert isinstance(response, Reply)
+        assert response.trace_id
+        # A caller-minted context is joined, not replaced: the reply
+        # echoes the wire trace id (the distributed-join contract).
+        ctx = TraceContext.new(command="stats")
+        echoed = fig4_session.execute(Stats(trace=ctx.to_wire()))
+        assert echoed.trace_id == ctx.trace_id
+        # Error replies carry the id too — slow/failed requests are
+        # exactly the ones worth looking up in /debug/trace.
+        error = fig4_session.execute(Render(window="nowhere"))
+        assert isinstance(error, ErrorReply)
+        assert error.trace_id
+
+
+def test_executor_leaves_trace_id_none_when_tracing_off(fig4_session):
+    with push_tracer(Tracer(enabled=False)):
+        response = fig4_session.execute(Stats())
+    assert response.trace_id is None
 
 
 # ---------------------------------------------------------------------------
